@@ -1,0 +1,176 @@
+// Package asc is a from-scratch reproduction of "Authenticated System
+// Calls" (Rajagopalan, Hiltunen, Jim, Schlichting; DSN 2005 / IEEE TDSC
+// 2006): system call monitoring in which the trusted installer rewrites a
+// binary so every system call carries its own policy and a cryptographic
+// MAC, and the kernel's trap handler verifies each call against the key
+// it shares with the installer.
+//
+// Because the original targets Linux/x86 with a patched kernel, this
+// package ships an entire simulated platform built in pure Go: a 32-bit
+// ISA and CPU with deterministic cycle accounting, an assembler, linker
+// and libc, a SELF binary format with relocations (the PLTO
+// prerequisite), an in-memory Unix-like kernel and filesystem, the
+// trusted installer with its static analyses, a Systrace-style trained
+// baseline, the paper's attack experiments, and benchmark drivers that
+// regenerate every table of the evaluation.
+//
+// # Quick start
+//
+//	exe, _ := asc.BuildProgram("hello", `
+//	        .text
+//	        .global main
+//	main:
+//	        MOVI r1, msg
+//	        CALL puts
+//	        MOVI r0, 0
+//	        RET
+//	        .rodata
+//	msg:    .asciz "hello\n"
+//	`, asc.Linux)
+//
+//	sys, _ := asc.NewSystem(asc.SystemConfig{Key: asc.NewKey("my-secret")})
+//	hardened, policy, report, _ := sys.Install(exe, "hello")
+//	res, _ := sys.Exec(hardened, "hello", "")
+//	fmt.Print(res.Output) // "hello\n" — every call verified by the kernel
+package asc
+
+import (
+	"asc/internal/asm"
+	"asc/internal/binfmt"
+	"asc/internal/core"
+	"asc/internal/installer"
+	"asc/internal/kernel"
+	"asc/internal/libc"
+	"asc/internal/linker"
+	"asc/internal/mac"
+	"asc/internal/policy"
+)
+
+// Re-exported core types. These aliases are the public names of the
+// system's building blocks.
+type (
+	// Binary is an executable or object in the SELF format.
+	Binary = binfmt.File
+	// Policy is a program's overall system call policy.
+	Policy = policy.ProgramPolicy
+	// SitePolicy is the policy of one system call site.
+	SitePolicy = policy.SitePolicy
+	// Report carries the installer's per-program statistics (Table 3).
+	Report = installer.Report
+	// InstallOptions configures the trusted installer.
+	InstallOptions = installer.Options
+	// ArgPattern is a pattern constraint for one argument (§5.1).
+	ArgPattern = installer.ArgPattern
+	// Metapolicy states mandatory constraints (§5.2).
+	Metapolicy = installer.Metapolicy
+	// System is a protected machine (kernel + filesystem + installer key).
+	System = core.System
+	// SystemConfig configures a System.
+	SystemConfig = core.Config
+	// Result summarizes one process execution.
+	Result = core.Result
+	// OS selects a libc/kernel personality.
+	OS = libc.OS
+)
+
+// Personalities.
+const (
+	Linux   = libc.Linux
+	OpenBSD = libc.OpenBSD
+)
+
+// KeySize is the MAC key length in bytes (AES-128).
+const KeySize = mac.KeySize
+
+// NewKey derives a fixed-size key from a passphrase by truncating or
+// right-padding with '#'. For demonstrations only; production deployments
+// should supply KeySize random bytes.
+func NewKey(passphrase string) []byte {
+	key := make([]byte, KeySize)
+	for i := range key {
+		key[i] = '#'
+	}
+	copy(key, passphrase)
+	return key
+}
+
+// Assemble translates assembly source into a relocatable object.
+func Assemble(name, source string) (*Binary, error) {
+	return asm.Assemble(name, source)
+}
+
+// Link combines objects and the personality's libc into a relocatable
+// executable (the installer's required input).
+func Link(objects []*Binary, os OS) (*Binary, error) {
+	lib, err := libc.Objects(os)
+	if err != nil {
+		return nil, err
+	}
+	return linker.Link(objects, lib)
+}
+
+// BuildProgram assembles one source file and links it against libc.
+func BuildProgram(name, source string, os OS) (*Binary, error) {
+	obj, err := Assemble(name+".s", source)
+	if err != nil {
+		return nil, err
+	}
+	return Link([]*Binary{obj}, os)
+}
+
+// Install runs the trusted installer standalone (without a System):
+// static analysis, policy generation, and binary rewriting.
+func Install(exe *Binary, name string, opts InstallOptions) (*Binary, *Policy, *Report, error) {
+	return installer.Install(exe, name, opts)
+}
+
+// GeneratePolicy runs the analysis only, returning the policy and report
+// without rewriting (usable even on partially disassemblable binaries).
+func GeneratePolicy(exe *Binary, name string, os OS) (*Policy, *Report, error) {
+	return installer.GeneratePolicy(exe, name, os.String())
+}
+
+// Optimize applies the installer's rewriting passes (stub inlining, dead
+// stub removal, re-layout) without authentication — the evaluation's
+// baseline binaries.
+func Optimize(exe *Binary) (*Binary, error) {
+	return installer.Optimize(exe)
+}
+
+// NewSystem builds a protected machine.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	return core.NewSystem(cfg)
+}
+
+// ReadBinary parses a serialized SELF binary.
+func ReadBinary(b []byte) (*Binary, error) {
+	return binfmt.Read(b)
+}
+
+// CheckMetapolicy evaluates a policy against a metapolicy and returns the
+// unmet-requirement template (§5.2).
+func CheckMetapolicy(pp *Policy, mp Metapolicy) []installer.TemplateEntry {
+	return installer.CheckMetapolicy(pp, mp)
+}
+
+// DefaultMetapolicy returns the threat-level-based metapolicy (§5.2).
+func DefaultMetapolicy() Metapolicy { return installer.DefaultMetapolicy() }
+
+// RenderTemplate prints a policy template for the administrator (§5.2).
+func RenderTemplate(entries []installer.TemplateEntry) string {
+	return installer.RenderTemplate(entries)
+}
+
+// KillReasons re-exported for matching Result.Reason.
+const (
+	KillUnauthenticated = kernel.KillUnauthenticated
+	KillBadCallMAC      = kernel.KillBadCallMAC
+	KillBadString       = kernel.KillBadString
+	KillBadState        = kernel.KillBadState
+	KillBadPredecessor  = kernel.KillBadPredecessor
+	KillBadPattern      = kernel.KillBadPattern
+	KillBadCapability   = kernel.KillBadCapability
+)
+
+// Version identifies this reproduction.
+const Version = "1.0.0"

@@ -1,0 +1,179 @@
+// bench_test.go regenerates every evaluation artifact of the paper as a
+// Go benchmark: Tables 1-4 and 6, the Andrew-style multiprogram benchmark
+// of Section 4.3, the Section 2.3 enforcement comparison, and the Section
+// 4.1 attack battery. Each benchmark reports its headline numbers as
+// custom metrics; `go test -bench . -benchtime 1x` reproduces the paper's
+// evaluation end to end.
+package asc_test
+
+import (
+	"testing"
+
+	"asc/internal/attack"
+	"asc/internal/bench"
+	"asc/internal/workload"
+)
+
+// BenchmarkTable1PolicySizes regenerates Table 1: the number of distinct
+// system calls in ASC policies (static analysis, both OS personalities)
+// versus trained Systrace policies.
+func BenchmarkTable1PolicySizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		data, err := bench.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + data.Render())
+			for _, r := range data.Rows {
+				b.ReportMetric(float64(r.ASCLinux), r.Program+"_asc_linux")
+				b.ReportMetric(float64(r.SystraceBSD), r.Program+"_systrace")
+			}
+		}
+	}
+}
+
+// BenchmarkTable2BisonDiff regenerates Table 2: the per-call differences
+// between the bison ASC and Systrace policies on OpenBSD.
+func BenchmarkTable2BisonDiff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		data, err := bench.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + data.Render())
+			var ascOnly, sysOnly int
+			for _, r := range data.Rows {
+				if r.ASC {
+					ascOnly++
+				} else {
+					sysOnly++
+				}
+			}
+			b.ReportMetric(float64(ascOnly), "asc_only_calls")
+			b.ReportMetric(float64(sysOnly), "systrace_only_calls")
+		}
+	}
+}
+
+// BenchmarkTable3ArgCoverage regenerates Table 3: argument coverage of
+// the generated policies (sites, calls, args, o/p, auth, mv, fds).
+func BenchmarkTable3ArgCoverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		data, err := bench.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + data.Render())
+			for _, r := range data.Rows {
+				b.ReportMetric(100*float64(r.Auth)/float64(r.Args), r.Program+"_auth_pct")
+			}
+		}
+	}
+}
+
+// BenchmarkTable4Microbench regenerates Table 4: per-system-call cycles,
+// original versus authenticated.
+func BenchmarkTable4Microbench(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		data, err := bench.Table4(bench.DefaultKey)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + data.Render())
+			for _, r := range data.Rows {
+				b.ReportMetric(r.OverheadPct, r.Call+"_overhead_pct")
+			}
+		}
+	}
+}
+
+// BenchmarkTable6Macro regenerates Table 6: end-to-end overhead across
+// the Table 5 benchmark suite at full iteration counts.
+func BenchmarkTable6Macro(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		data, err := bench.Table6(bench.DefaultKey, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + data.Render())
+			for _, r := range data.Rows {
+				b.ReportMetric(r.OverheadPct, r.Program+"_overhead_pct")
+			}
+		}
+	}
+}
+
+// BenchmarkAndrew regenerates the Section 4.3 multiprogram benchmark.
+func BenchmarkAndrew(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		data, err := bench.Andrew(bench.DefaultKey, workload.AndrewConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + data.Render())
+			b.ReportMetric(data.OverheadPct, "overhead_pct")
+			b.ReportMetric(float64(data.Syscalls), "syscalls")
+		}
+	}
+}
+
+// BenchmarkEnforcementComparison regenerates the Section 2.3 comparison:
+// per-call cost under no monitoring, ASC, an in-kernel table, and a
+// user-space daemon.
+func BenchmarkEnforcementComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		data, err := bench.EnforcementComparison(bench.DefaultKey)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + data.Render())
+			for _, r := range data.Rows {
+				b.ReportMetric(r.CyclesPerCall, sanitize(r.Mechanism))
+			}
+		}
+	}
+}
+
+// BenchmarkAttackBattery runs the Section 4.1 / 5.5 attack experiments.
+func BenchmarkAttackBattery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab, err := attack.NewLab(bench.DefaultKey)
+		if err != nil {
+			b.Fatal(err)
+		}
+		outcomes, err := lab.Battery()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			blocked := 0
+			for _, o := range outcomes {
+				b.Log(o.String())
+				if o.Blocked {
+					blocked++
+				}
+			}
+			b.ReportMetric(float64(blocked), "blocked")
+			b.ReportMetric(float64(len(outcomes)), "experiments")
+		}
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == ' ' || r == '-' {
+			out = append(out, '_')
+		} else {
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,49 @@
+// ascas assembles platform assembly source into a relocatable SELF
+// object.
+//
+// Usage: ascas [-o out.o] file.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"asc/internal/asm"
+)
+
+func main() {
+	out := flag.String("o", "", "output object path (default: source with .o)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ascas [-o out.o] file.s")
+		os.Exit(2)
+	}
+	src := flag.Arg(0)
+	b, err := os.ReadFile(src)
+	if err != nil {
+		fatal(err)
+	}
+	obj, err := asm.Assemble(src, string(b))
+	if err != nil {
+		fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = strings.TrimSuffix(src, ".s") + ".o"
+	}
+	data, err := obj.Bytes()
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ascas: %s -> %s (%d bytes)\n", src, path, len(data))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ascas:", err)
+	os.Exit(1)
+}

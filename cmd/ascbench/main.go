@@ -1,0 +1,43 @@
+// ascbench regenerates the paper's evaluation tables.
+//
+// Usage: ascbench [-table 1|2|3|4|6|andrew|compare|all] [-scale N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"asc/internal/bench"
+	"asc/internal/workload"
+)
+
+func main() {
+	table := flag.String("table", "all", "which artifact to regenerate: 1, 2, 3, 4, 6, andrew, compare, all")
+	scale := flag.Int("scale", 1, "divide macro-benchmark iteration counts by N (faster, less precise)")
+	flag.Parse()
+
+	run := func(name string, f func() (interface{ Render() string }, error)) {
+		if *table != "all" && *table != name {
+			return
+		}
+		data, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ascbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(data.Render())
+	}
+
+	run("1", func() (interface{ Render() string }, error) { return bench.Table1() })
+	run("2", func() (interface{ Render() string }, error) { return bench.Table2() })
+	run("3", func() (interface{ Render() string }, error) { return bench.Table3() })
+	run("4", func() (interface{ Render() string }, error) { return bench.Table4(bench.DefaultKey) })
+	run("6", func() (interface{ Render() string }, error) { return bench.Table6(bench.DefaultKey, *scale) })
+	run("andrew", func() (interface{ Render() string }, error) {
+		return bench.Andrew(bench.DefaultKey, workload.AndrewConfig{})
+	})
+	run("compare", func() (interface{ Render() string }, error) {
+		return bench.EnforcementComparison(bench.DefaultKey)
+	})
+}

@@ -1,0 +1,49 @@
+// ascdump prints a human-readable listing of a SELF binary: sections,
+// symbols, disassembly, and (for authenticated executables) the decoded
+// policy attached to each authenticated call site.
+//
+// Usage: ascdump [-sections] [-symbols] [-disasm] [-policies] file
+//
+// With no selection flags, everything is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"asc"
+	"asc/internal/dump"
+)
+
+func main() {
+	sections := flag.Bool("sections", false, "print the section table")
+	symbols := flag.Bool("symbols", false, "print the symbol table")
+	disasm := flag.Bool("disasm", false, "print the disassembly")
+	policies := flag.Bool("policies", false, "annotate authenticated calls with their policies")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ascdump [-sections] [-symbols] [-disasm] [-policies] file")
+		os.Exit(2)
+	}
+	opts := dump.Options{Sections: *sections, Symbols: *symbols, Disasm: *disasm, Policies: *policies}
+	if !*sections && !*symbols && !*disasm && !*policies {
+		opts = dump.All
+	}
+	b, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	f, err := asc.ReadBinary(b)
+	if err != nil {
+		fatal(err)
+	}
+	if err := dump.Dump(os.Stdout, f, opts); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ascdump:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,108 @@
+// ascinstall is the trusted installer CLI: it reads a relocatable
+// executable, generates its system call policy by static analysis, and
+// writes the authenticated executable.
+//
+// Usage: ascinstall -key <passphrase> [-o out] [-id N] [-policy] [-template] exe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"asc"
+	"asc/internal/installer"
+)
+
+func main() {
+	key := flag.String("key", "", "MAC key passphrase (required)")
+	out := flag.String("o", "", "output path (default: input + .auth)")
+	progID := flag.Uint("id", 0, "program ID for unique block identifiers (0 = off)")
+	showPolicy := flag.Bool("policy", false, "print the generated policy")
+	template := flag.Bool("template", false, "check the default metapolicy and print the template")
+	var patterns patternFlags
+	flag.Var(&patterns, "pattern", "pattern constraint call:arg=pattern (repeatable), e.g. open:0=/tmp/*")
+	flag.Parse()
+	if flag.NArg() != 1 || *key == "" {
+		fmt.Fprintln(os.Stderr, "usage: ascinstall -key <passphrase> [-o out] [-id N] [-policy] [-template] exe")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	exe, err := asc.ReadBinary(b)
+	if err != nil {
+		fatal(err)
+	}
+	hardened, pp, rep, err := asc.Install(exe, path, asc.InstallOptions{
+		Key:       asc.NewKey(*key),
+		ProgramID: uint32(*progID),
+		OSName:    "linux",
+		Patterns:  patterns.m,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	dst := *out
+	if dst == "" {
+		dst = path + ".auth"
+	}
+	data, err := hardened.Bytes()
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(dst, data, 0o755); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ascinstall: %s -> %s\n", path, dst)
+	fmt.Printf("  %d sites, %d distinct calls, %d/%d args authenticated\n",
+		rep.Sites, rep.DistinctCalls, rep.AuthArgs, rep.TotalArgs)
+	for _, w := range rep.Warnings {
+		fmt.Printf("  warning: %s\n", w)
+	}
+	if *showPolicy {
+		for _, sp := range pp.Sites {
+			fmt.Print(sp.String())
+		}
+	}
+	if *template {
+		entries := asc.CheckMetapolicy(pp, asc.DefaultMetapolicy())
+		fmt.Print(asc.RenderTemplate(entries))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ascinstall:", err)
+	os.Exit(1)
+}
+
+// patternFlags parses repeated -pattern call:arg=pattern flags.
+type patternFlags struct {
+	m map[string][]installer.ArgPattern
+}
+
+func (p *patternFlags) String() string { return "" }
+
+func (p *patternFlags) Set(v string) error {
+	head, pat, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want call:arg=pattern, got %q", v)
+	}
+	call, argStr, ok := strings.Cut(head, ":")
+	if !ok {
+		return fmt.Errorf("want call:arg=pattern, got %q", v)
+	}
+	arg, err := strconv.Atoi(argStr)
+	if err != nil {
+		return fmt.Errorf("bad argument index in %q", v)
+	}
+	if p.m == nil {
+		p.m = make(map[string][]installer.ArgPattern)
+	}
+	p.m[call] = append(p.m[call], installer.ArgPattern{Arg: arg, Pattern: pat})
+	return nil
+}

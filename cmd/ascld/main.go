@@ -1,0 +1,62 @@
+// ascld links SELF objects against the personality's libc into a
+// relocatable executable suitable for the trusted installer.
+//
+// Usage: ascld [-o a.out] [-os linux|openbsd] file.o...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"asc/internal/binfmt"
+	"asc/internal/libc"
+	"asc/internal/linker"
+)
+
+func main() {
+	out := flag.String("o", "a.out", "output executable path")
+	osName := flag.String("os", "linux", "libc personality: linux or openbsd")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ascld [-o a.out] [-os linux|openbsd] file.o...")
+		os.Exit(2)
+	}
+	personality := libc.Linux
+	if *osName == "openbsd" {
+		personality = libc.OpenBSD
+	}
+	var objs []*binfmt.File
+	for _, path := range flag.Args() {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := binfmt.Read(b)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		objs = append(objs, f)
+	}
+	lib, err := libc.Objects(personality)
+	if err != nil {
+		fatal(err)
+	}
+	exe, err := linker.Link(objs, lib)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := exe.Bytes()
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, data, 0o755); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ascld: %s (%d bytes, entry %#x)\n", *out, len(data), exe.Entry)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ascld:", err)
+	os.Exit(1)
+}

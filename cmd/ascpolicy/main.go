@@ -1,0 +1,95 @@
+// ascpolicy generates and prints system call policies.
+//
+// Usage:
+//
+//	ascpolicy [-os linux|openbsd] exe          print the ASC policy
+//	ascpolicy -corpus [-os ...]                policies for the built-in corpus
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"asc"
+	"asc/internal/libc"
+	"asc/internal/workload"
+)
+
+var jsonOut bool
+
+func main() {
+	osName := flag.String("os", "linux", "personality: linux or openbsd")
+	corpus := flag.Bool("corpus", false, "analyze the built-in policy-study corpus")
+	verbose := flag.Bool("v", false, "print full per-site policies")
+	asJSON := flag.Bool("json", false, "emit the policy as JSON")
+	flag.Parse()
+
+	personality := asc.Linux
+	if *osName == "openbsd" {
+		personality = asc.OpenBSD
+	}
+
+	if *corpus {
+		for _, name := range workload.Names() {
+			exe, err := workload.Build(name, libc.OS(personality))
+			if err != nil {
+				fatal(err)
+			}
+			jsonOut = *asJSON
+			printPolicy(exe, name, personality, *verbose)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ascpolicy [-os linux|openbsd] [-v] (exe | -corpus)")
+		os.Exit(2)
+	}
+	b, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	exe, err := asc.ReadBinary(b)
+	if err != nil {
+		fatal(err)
+	}
+	jsonOut = *asJSON
+	printPolicy(exe, flag.Arg(0), personality, *verbose)
+}
+
+func printPolicy(exe *asc.Binary, name string, personality asc.OS, verbose bool) {
+	if jsonOut {
+		pp, _, err := asc.GeneratePolicy(exe, name, personality)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(pp); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	pp, rep, err := asc.GeneratePolicy(exe, name, personality)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s (%s): %d sites, %d distinct system calls\n", name, personality, rep.Sites, rep.DistinctCalls)
+	fmt.Printf("  calls: %v\n", pp.DistinctNames())
+	fmt.Printf("  args %d, output %d, authenticated %d, multivalue %d, fds %d\n",
+		rep.TotalArgs, rep.OutputArgs, rep.AuthArgs, rep.MultiArgs, rep.FDArgs)
+	for _, w := range rep.Warnings {
+		fmt.Printf("  warning: %s\n", w)
+	}
+	if verbose {
+		for _, sp := range pp.Sites {
+			fmt.Print(sp.String())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ascpolicy:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// ascrun executes a SELF binary on the simulated kernel.
+//
+// Usage: ascrun [-key passphrase] [-permissive] [-stdin file] [-trace] exe
+//
+// With -key, the kernel enforces authenticated system calls (binaries
+// must have been processed by ascinstall with the same key). With
+// -permissive, all calls run unchecked (the baseline mode).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"asc"
+	"asc/internal/kernel"
+	"asc/internal/sys"
+)
+
+func main() {
+	key := flag.String("key", "", "MAC key passphrase (enables enforcement)")
+	permissive := flag.Bool("permissive", false, "run without checking")
+	stdinFile := flag.String("stdin", "", "file supplying standard input")
+	trace := flag.Bool("trace", false, "print the system call trace")
+	flag.Parse()
+	if flag.NArg() != 1 || (*key == "" && !*permissive) {
+		fmt.Fprintln(os.Stderr, "usage: ascrun (-key <passphrase> | -permissive) [-stdin file] [-trace] exe")
+		os.Exit(2)
+	}
+	b, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	exe, err := asc.ReadBinary(b)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := asc.SystemConfig{Permissive: *permissive}
+	if !*permissive {
+		cfg.Key = asc.NewKey(*key)
+	}
+	system, err := asc.NewSystem(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	var stdin string
+	if *stdinFile != "" {
+		sb, err := os.ReadFile(*stdinFile)
+		if err != nil {
+			fatal(err)
+		}
+		stdin = string(sb)
+	}
+	var proc *kernel.Process
+	if *trace {
+		p, err := system.Kernel.Spawn(exe, flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		p.Stdin = []byte(stdin)
+		p.DoTrace = true
+		if err := system.Kernel.Run(p, 4_000_000_000); err != nil {
+			fatal(err)
+		}
+		proc = p
+		os.Stdout.WriteString(p.Output())
+		for _, e := range p.Trace {
+			fmt.Fprintf(os.Stderr, "trace: %-14s site=%#x args=%v ret=%d\n",
+				sys.Name(e.Num), e.Site, e.Args, int32(e.Ret))
+		}
+	} else {
+		res, err := system.Exec(exe, flag.Arg(0), stdin)
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.WriteString(res.Output)
+		if res.Killed {
+			fmt.Fprintf(os.Stderr, "ascrun: process killed by monitor: %s\n", res.Reason)
+		}
+		fmt.Fprintf(os.Stderr, "ascrun: exit %d, %d cycles, %d syscalls (%d verified)\n",
+			res.ExitCode, res.Cycles, res.Syscalls, res.Verified)
+		os.Exit(int(res.ExitCode) & 0x7f)
+	}
+	if proc != nil && proc.Killed {
+		fmt.Fprintf(os.Stderr, "ascrun: process killed by monitor: %s\n", proc.KilledBy)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ascrun:", err)
+	os.Exit(1)
+}

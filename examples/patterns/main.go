@@ -1,0 +1,179 @@
+// Extensions demo: the Section 5 policy improvements.
+//
+//   - §5.1 argument patterns with proof hints: the application matches,
+//     the kernel verifies with a linear scan.
+//   - §5.2 metapolicies: mandatory constraints produce a policy template
+//     for hand completion when static analysis falls short.
+//   - §5.3 capability tracking: an authenticated descriptor set in
+//     application memory, protected by the memory-checker construction.
+//
+// Run with: go run ./examples/patterns
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asc"
+	"asc/internal/captrack"
+	"asc/internal/mac"
+	"asc/internal/pattern"
+	"asc/internal/vm"
+)
+
+func main() {
+	patternsDemo()
+	enforcedPatternDemo()
+	metapolicyDemo()
+	captrackDemo()
+}
+
+// enforcedPatternDemo shows patterns wired all the way through: the
+// administrator fills a policy hole with a pattern at install time, and
+// the kernel enforces it on a path that only arrives at run time.
+func enforcedPatternDemo() {
+	fmt.Println("== §5.1 patterns enforced by the kernel ==")
+	exe, err := asc.BuildProgram("logger", `
+        .text
+        .global main
+main:
+        SUBI sp, sp, 64
+        MOV r1, sp
+        CALL gets               ; log file name from input
+        MOV r1, sp
+        MOVI r2, 0x41
+        MOVI r3, 420
+        CALL open
+        ADDI sp, sp, 64
+        MOVI r0, 0
+        RET
+`, asc.Linux)
+	if err != nil {
+		log.Fatal(err)
+	}
+	system, err := asc.NewSystem(asc.SystemConfig{Key: asc.NewKey("patterns-demo")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hardened, _, _, err := asc.Install(exe, "logger", asc.InstallOptions{
+		Key: asc.NewKey("patterns-demo"),
+		Patterns: map[string][]asc.ArgPattern{
+			"open": {{Arg: 0, Pattern: "/var/log/*"}},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok, err := system.Exec(hardened, "logger", "/var/log/app.log\n")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("open(/var/log/app.log): killed=%v\n", ok.Killed)
+	bad, err := system.Exec(hardened, "logger", "/etc/passwd\n")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("open(/etc/passwd):      killed=%v (%s)\n", bad.Killed, bad.Reason)
+	fmt.Println()
+}
+
+func patternsDemo() {
+	fmt.Println("== §5.1 argument patterns with proof hints ==")
+	p, err := pattern.Parse("/tmp/{foo,bar}*baz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	arg := "/tmp/foofoobaz"
+	hint, err := p.Match(arg) // expensive matching, application side
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pattern %q, argument %q -> hint %v (paper's example)\n", p, arg, hint)
+	scanned, err := p.Verify(arg, hint) // cheap linear scan, kernel side
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kernel verification: linear scan over %d bytes, match proven\n", scanned)
+	if _, err := p.Verify(arg, []int{1, 3}); err != nil {
+		fmt.Printf("forged hint rejected: %v\n", err)
+	}
+	if _, err := p.Match("/etc/passwd"); err != nil {
+		fmt.Printf("non-matching argument rejected: %v\n", err)
+	}
+	fmt.Println()
+}
+
+func metapolicyDemo() {
+	fmt.Println("== §5.2 metapolicies and policy templates ==")
+	// This program opens one statically known path and one read from
+	// input: the metapolicy demands both be constrained.
+	exe, err := asc.BuildProgram("meta", `
+        .text
+        .global main
+main:
+        MOVI r1, conf
+        MOVI r2, 0
+        MOVI r3, 0
+        CALL open
+        SUBI sp, sp, 64
+        MOV r1, sp
+        CALL gets
+        MOV r1, sp
+        MOVI r2, 0
+        MOVI r3, 0
+        CALL open
+        ADDI sp, sp, 64
+        MOVI r0, 0
+        RET
+        .rodata
+conf:   .asciz "/etc/app.conf"
+`, asc.Linux)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pp, _, err := asc.GeneratePolicy(exe, "meta", asc.Linux)
+	if err != nil {
+		log.Fatal(err)
+	}
+	entries := asc.CheckMetapolicy(pp, asc.DefaultMetapolicy())
+	fmt.Print(asc.RenderTemplate(entries))
+	fmt.Println("(the administrator completes these holes with values or patterns)")
+	fmt.Println()
+}
+
+func captrackDemo() {
+	fmt.Println("== §5.3 capability tracking for file descriptors ==")
+	key, err := mac.New(asc.NewKey("captrack-demo"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mem := vm.NewMemory(0x1000, 64<<10)
+	tracker, err := captrack.New(key, mem, 0x2000, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// open returns fd 3: the policy records the capability.
+	must(tracker.Add(mem, 3))
+	fmt.Println("open -> fd 3 recorded in the authenticated set (app memory)")
+	must(tracker.Check(mem, 3))
+	fmt.Println("read(3) capability check: allowed")
+	if err := tracker.Check(mem, 7); err != nil {
+		fmt.Printf("read(7) capability check: %v\n", err)
+	}
+	must(tracker.Remove(mem, 3))
+	if err := tracker.Check(mem, 3); err != nil {
+		fmt.Printf("read(3) after close: %v\n", err)
+	}
+	// Forge an entry directly in application memory: the MAC catches it.
+	_ = mem.KernelStore32(0x2000, 1)
+	_ = mem.KernelStore32(0x2004, 9)
+	if err := tracker.Check(mem, 9); err != nil {
+		fmt.Printf("forged set detected: %v\n", err)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

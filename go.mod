@@ -1,0 +1,3 @@
+module asc
+
+go 1.24

@@ -1,0 +1,771 @@
+// Package asm implements a two-pass assembler for the simulated ISA.
+//
+// The assembler plays the role of the compiler toolchain in the paper's
+// pipeline: it produces *relocatable* SELF objects in which every absolute
+// address reference (MOVI of a label, CALL/JMP/branch targets, .word of a
+// label) carries a relocation entry. The trusted installer depends on this
+// — exactly as PLTO requires relocatable x86 binaries — to move code during
+// stub inlining and authenticated-call insertion and fix addresses up
+// afterwards.
+//
+// Syntax summary (one statement per line, ';' or '#' start comments):
+//
+//	label:  MOVI r1, msg        ; absolute label reference
+//	        LOAD r2, [sp+4]
+//	        BEQ r1, r2, .done   ; labels starting with '.' are local
+//	.done:  RET
+//	        .data
+//	msg:    .asciz "hi\n"
+//	tbl:    .word 1, 2, label
+//	buf:    .space 64
+//	        .global label
+//	        .equ SIZE, 64
+//
+// Labels defined in .text are function symbols unless they start with '.'
+// (local branch targets). Labels in data sections are objects; a label
+// immediately followed by .asciz is a string symbol.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"asc/internal/binfmt"
+	"asc/internal/isa"
+)
+
+// Error describes an assembly failure at a source line.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+type section struct {
+	name  string
+	flags uint8
+	buf   []byte
+	size  uint32 // for .bss, tracked without data
+}
+
+// operand is either a constant or a symbol reference with addend.
+type operand struct {
+	isSym  bool
+	sym    string
+	addend int64
+	val    int64
+}
+
+type assembler struct {
+	file     string
+	secs     []*section
+	secIdx   map[string]int
+	cur      int // current section index
+	labels   map[string]struct{ sec, off uint32 }
+	labelSeq []string // definition order for deterministic symbol table
+	globals  map[string]bool
+	equs     map[string]int64
+	stringAt map[string]bool // labels immediately followed by .asciz
+	relocs   []pendingReloc
+	errs     []error
+}
+
+type pendingReloc struct {
+	sec    int
+	off    uint32
+	sym    string
+	addend int32
+	line   int
+}
+
+func newAssembler(file string) *assembler {
+	a := &assembler{
+		file:     file,
+		secIdx:   make(map[string]int),
+		labels:   make(map[string]struct{ sec, off uint32 }),
+		globals:  make(map[string]bool),
+		equs:     make(map[string]int64),
+		stringAt: make(map[string]bool),
+	}
+	// Standard sections always exist, in canonical order.
+	a.addSection(binfmt.SecText, binfmt.FlagRead|binfmt.FlagExec)
+	a.addSection(binfmt.SecROData, binfmt.FlagRead)
+	a.addSection(binfmt.SecData, binfmt.FlagRead|binfmt.FlagWrite)
+	a.addSection(binfmt.SecBSS, binfmt.FlagRead|binfmt.FlagWrite)
+	a.cur = 0
+	return a
+}
+
+func (a *assembler) addSection(name string, flags uint8) {
+	a.secIdx[name] = len(a.secs)
+	a.secs = append(a.secs, &section{name: name, flags: flags})
+}
+
+func (a *assembler) errorf(line int, format string, args ...any) {
+	a.errs = append(a.errs, &Error{File: a.file, Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Assemble assembles source into a relocatable SELF object. The name is
+// used in error messages.
+func Assemble(name, source string) (*binfmt.File, error) {
+	a := newAssembler(name)
+	a.run(source)
+	if len(a.errs) > 0 {
+		msgs := make([]string, 0, len(a.errs))
+		for _, e := range a.errs {
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("asm: %s", strings.Join(msgs, "; "))
+	}
+	return a.emit()
+}
+
+func (a *assembler) run(source string) {
+	lines := strings.Split(source, "\n")
+	// Pass 1: define labels and .equ constants, compute sizes.
+	for i, raw := range lines {
+		a.scanLine(i+1, raw, false)
+	}
+	// Reset section buffers for pass 2.
+	for _, s := range a.secs {
+		s.buf = s.buf[:0]
+		s.size = 0
+	}
+	a.cur = 0
+	a.relocs = a.relocs[:0]
+	if len(a.errs) > 0 {
+		return
+	}
+	// Pass 2: encode.
+	for i, raw := range lines {
+		a.scanLine(i+1, raw, true)
+	}
+}
+
+// scanLine handles one source line. In pass 1 (encode=false) it sizes
+// everything and defines labels; in pass 2 it emits bytes and relocs.
+func (a *assembler) scanLine(line int, raw string, encode bool) {
+	text := stripComment(raw)
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return
+	}
+	// Labels: "name:" possibly followed by more on the same line.
+	for {
+		idx := labelEnd(text)
+		if idx < 0 {
+			break
+		}
+		name := text[:idx]
+		if !encode {
+			if _, dup := a.labels[name]; dup {
+				a.errorf(line, "label %q redefined", name)
+			}
+			sec := a.secs[a.cur]
+			a.labels[name] = struct{ sec, off uint32 }{uint32(a.cur), sec.size}
+			a.labelSeq = append(a.labelSeq, name)
+		}
+		text = strings.TrimSpace(text[idx+1:])
+		if text == "" {
+			return
+		}
+	}
+	if strings.HasPrefix(text, ".") {
+		a.directive(line, text, encode)
+		return
+	}
+	a.instruction(line, text, encode)
+}
+
+// labelEnd returns the index of the ':' terminating a leading label, or -1.
+func labelEnd(s string) int {
+	for i, c := range s {
+		switch {
+		case c == ':':
+			if i == 0 {
+				return -1
+			}
+			return i
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '.', c == '$':
+			// label character
+		default:
+			return -1
+		}
+	}
+	return -1
+}
+
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case ';', '#':
+			if !inStr {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+func (a *assembler) directive(line int, text string, encode bool) {
+	name, rest, _ := strings.Cut(text, " ")
+	rest = strings.TrimSpace(rest)
+	switch name {
+	case ".text", ".rodata", ".data", ".bss":
+		a.cur = a.secIdx[name]
+	case ".auth":
+		// Reserved for the installer; programs may not define it.
+		a.errorf(line, ".auth section is reserved for the trusted installer")
+	case ".global", ".globl":
+		if rest == "" {
+			a.errorf(line, ".global requires a symbol name")
+			return
+		}
+		for _, n := range splitOperands(rest) {
+			a.globals[strings.TrimSpace(n)] = true
+		}
+	case ".equ":
+		parts := splitOperands(rest)
+		if len(parts) != 2 {
+			a.errorf(line, ".equ requires name, value")
+			return
+		}
+		if !encode {
+			v, err := a.constExpr(strings.TrimSpace(parts[1]))
+			if err != nil {
+				a.errorf(line, ".equ %s: %v", parts[0], err)
+				return
+			}
+			a.equs[strings.TrimSpace(parts[0])] = v
+		}
+	case ".asciz", ".ascii":
+		s, err := parseStringLit(rest)
+		if err != nil {
+			a.errorf(line, "%s: %v", name, err)
+			return
+		}
+		b := []byte(s)
+		if name == ".asciz" {
+			b = append(b, 0)
+		}
+		// Mark the most recent label at this offset as a string symbol.
+		if !encode {
+			sec := a.secs[a.cur]
+			for _, lname := range a.labelSeq {
+				l := a.labels[lname]
+				if l.sec == uint32(a.cur) && l.off == sec.size {
+					a.stringAt[lname] = true
+				}
+			}
+		}
+		a.emitBytes(line, b, encode)
+	case ".byte":
+		for _, p := range splitOperands(rest) {
+			v, err := a.constExpr(strings.TrimSpace(p))
+			if err != nil {
+				a.errorf(line, ".byte: %v", err)
+				return
+			}
+			a.emitBytes(line, []byte{byte(v)}, encode)
+		}
+	case ".word":
+		for _, p := range splitOperands(rest) {
+			op, err := a.operandExpr(strings.TrimSpace(p))
+			if err != nil {
+				a.errorf(line, ".word: %v", err)
+				return
+			}
+			if op.isSym {
+				if encode {
+					a.relocs = append(a.relocs, pendingReloc{
+						sec: a.cur, off: a.secs[a.cur].size,
+						sym: op.sym, addend: int32(op.addend), line: line,
+					})
+				}
+				a.emitBytes(line, []byte{0, 0, 0, 0}, encode)
+			} else {
+				v := uint32(op.val)
+				a.emitBytes(line, []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}, encode)
+			}
+		}
+	case ".space", ".skip":
+		v, err := a.constExpr(rest)
+		if err != nil || v < 0 || v > 1<<24 {
+			a.errorf(line, ".space: bad size %q", rest)
+			return
+		}
+		a.emitBytes(line, make([]byte, v), encode)
+	case ".align":
+		v, err := a.constExpr(rest)
+		if err != nil || v <= 0 || v&(v-1) != 0 {
+			a.errorf(line, ".align: need power of two, got %q", rest)
+			return
+		}
+		sec := a.secs[a.cur]
+		pad := (uint32(v) - sec.size%uint32(v)) % uint32(v)
+		a.emitBytes(line, make([]byte, pad), encode)
+	default:
+		a.errorf(line, "unknown directive %s", name)
+	}
+}
+
+func (a *assembler) emitBytes(line int, b []byte, encode bool) {
+	sec := a.secs[a.cur]
+	if sec.name == binfmt.SecBSS {
+		for _, c := range b {
+			if c != 0 {
+				a.errorf(line, "non-zero data in .bss")
+				return
+			}
+		}
+		sec.size += uint32(len(b))
+		return
+	}
+	if encode {
+		sec.buf = append(sec.buf, b...)
+	}
+	sec.size += uint32(len(b))
+}
+
+func (a *assembler) instruction(line int, text string, encode bool) {
+	if a.secs[a.cur].name != binfmt.SecText {
+		a.errorf(line, "instruction outside .text")
+		return
+	}
+	mn, rest, _ := strings.Cut(text, " ")
+	mn = strings.ToUpper(mn)
+	rest = strings.TrimSpace(rest)
+	ops := splitOperands(rest)
+	for i := range ops {
+		ops[i] = strings.TrimSpace(ops[i])
+	}
+	if rest == "" {
+		ops = nil
+	}
+
+	// Pseudo-instructions.
+	if mn == "SUBI" {
+		if len(ops) != 3 {
+			a.errorf(line, "SUBI needs rd, rs, imm")
+			return
+		}
+		v, err := a.constExpr(ops[2])
+		if err != nil {
+			a.errorf(line, "SUBI: %v", err)
+			return
+		}
+		ops[2] = strconv.FormatInt(-v, 10)
+		mn = "ADDI"
+	}
+
+	op, ok := isa.OpByName(mn)
+	if !ok {
+		a.errorf(line, "unknown mnemonic %q", mn)
+		return
+	}
+	in := isa.Instr{Op: op}
+	var immOp *operand
+
+	need := func(n int) bool {
+		if len(ops) != n {
+			a.errorf(line, "%s needs %d operands, got %d", mn, n, len(ops))
+			return false
+		}
+		return true
+	}
+	reg := func(s string) (isa.Reg, bool) {
+		r, err := parseReg(s)
+		if err != nil {
+			a.errorf(line, "%v", err)
+			return 0, false
+		}
+		return r, true
+	}
+	imm := func(s string) (*operand, bool) {
+		o, err := a.operandExpr(s)
+		if err != nil {
+			a.errorf(line, "%v", err)
+			return nil, false
+		}
+		return &o, true
+	}
+
+	switch op {
+	case isa.OpNOP, isa.OpHALT, isa.OpRET, isa.OpSYSCALL, isa.OpASYSCALL:
+		if !need(0) {
+			return
+		}
+	case isa.OpMOV:
+		if !need(2) {
+			return
+		}
+		var ok1, ok2 bool
+		in.Rd, ok1 = reg(ops[0])
+		in.Rs, ok2 = reg(ops[1])
+		if !ok1 || !ok2 {
+			return
+		}
+	case isa.OpMOVI:
+		if !need(2) {
+			return
+		}
+		var ok1, ok2 bool
+		in.Rd, ok1 = reg(ops[0])
+		immOp, ok2 = imm(ops[1])
+		if !ok1 || !ok2 {
+			return
+		}
+	case isa.OpLOAD, isa.OpLOADB:
+		if !need(2) {
+			return
+		}
+		var ok1 bool
+		in.Rd, ok1 = reg(ops[0])
+		rs, off, err := parseMem(ops[1])
+		if err != nil || !ok1 {
+			if err != nil {
+				a.errorf(line, "%v", err)
+			}
+			return
+		}
+		in.Rs, in.Imm = rs, uint32(off)
+	case isa.OpSTORE, isa.OpSTOREB:
+		if !need(2) {
+			return
+		}
+		rd, off, err := parseMem(ops[0])
+		if err != nil {
+			a.errorf(line, "%v", err)
+			return
+		}
+		var ok1 bool
+		in.Rs, ok1 = reg(ops[1])
+		if !ok1 {
+			return
+		}
+		in.Rd, in.Imm = rd, uint32(off)
+	case isa.OpADD, isa.OpSUB, isa.OpMUL, isa.OpDIV, isa.OpMOD,
+		isa.OpAND, isa.OpOR, isa.OpXOR, isa.OpSHL, isa.OpSHR:
+		if !need(3) {
+			return
+		}
+		var ok1, ok2, ok3 bool
+		in.Rd, ok1 = reg(ops[0])
+		in.Rs, ok2 = reg(ops[1])
+		in.Rt, ok3 = reg(ops[2])
+		if !ok1 || !ok2 || !ok3 {
+			return
+		}
+	case isa.OpADDI, isa.OpMULI, isa.OpANDI, isa.OpORI, isa.OpXORI, isa.OpSHLI, isa.OpSHRI:
+		if !need(3) {
+			return
+		}
+		var ok1, ok2, ok3 bool
+		in.Rd, ok1 = reg(ops[0])
+		in.Rs, ok2 = reg(ops[1])
+		immOp, ok3 = imm(ops[2])
+		if !ok1 || !ok2 || !ok3 {
+			return
+		}
+	case isa.OpJMP, isa.OpCALL:
+		if !need(1) {
+			return
+		}
+		var ok1 bool
+		immOp, ok1 = imm(ops[0])
+		if !ok1 {
+			return
+		}
+	case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU:
+		if !need(3) {
+			return
+		}
+		var ok1, ok2, ok3 bool
+		in.Rs, ok1 = reg(ops[0])
+		in.Rt, ok2 = reg(ops[1])
+		immOp, ok3 = imm(ops[2])
+		if !ok1 || !ok2 || !ok3 {
+			return
+		}
+	case isa.OpCALLR, isa.OpPUSH:
+		if !need(1) {
+			return
+		}
+		var ok1 bool
+		in.Rs, ok1 = reg(ops[0])
+		if !ok1 {
+			return
+		}
+	case isa.OpPOP:
+		if !need(1) {
+			return
+		}
+		var ok1 bool
+		in.Rd, ok1 = reg(ops[0])
+		if !ok1 {
+			return
+		}
+	default:
+		a.errorf(line, "mnemonic %q not assemblable", mn)
+		return
+	}
+
+	if immOp != nil {
+		if immOp.isSym {
+			if encode {
+				a.relocs = append(a.relocs, pendingReloc{
+					sec: a.cur, off: a.secs[a.cur].size + 4,
+					sym: immOp.sym, addend: int32(immOp.addend), line: line,
+				})
+			}
+		} else {
+			in.Imm = uint32(immOp.val)
+		}
+	}
+	var buf [isa.InstrSize]byte
+	in.Encode(buf[:])
+	a.emitBytes(line, buf[:], encode)
+}
+
+// emit builds the final binfmt.File.
+func (a *assembler) emit() (*binfmt.File, error) {
+	f := &binfmt.File{Relocatable: true}
+	for _, s := range a.secs {
+		f.Sections = append(f.Sections, binfmt.Section{
+			Name:  s.name,
+			Size:  s.size,
+			Flags: s.flags,
+			Data:  append([]byte(nil), s.buf...),
+		})
+	}
+	symIdx := make(map[string]int32)
+	for _, name := range a.labelSeq {
+		l := a.labels[name]
+		kind := binfmt.SymObject
+		if a.secs[l.sec].name == binfmt.SecText {
+			if strings.HasPrefix(name, ".") {
+				kind = binfmt.SymLabel
+			} else {
+				kind = binfmt.SymFunc
+			}
+		} else if a.stringAt[name] {
+			kind = binfmt.SymString
+		}
+		symIdx[name] = int32(len(f.Symbols))
+		f.Symbols = append(f.Symbols, binfmt.Symbol{
+			Name:    name,
+			Section: int32(l.sec),
+			Value:   l.off,
+			Kind:    kind,
+			Global:  a.globals[name],
+		})
+	}
+	for _, r := range a.relocs {
+		idx, ok := symIdx[r.sym]
+		if !ok {
+			// Undefined symbol: external reference for the linker.
+			idx = int32(len(f.Symbols))
+			symIdx[r.sym] = idx
+			f.Symbols = append(f.Symbols, binfmt.Symbol{
+				Name: r.sym, Section: -1, Kind: binfmt.SymFunc, Global: true,
+			})
+		}
+		f.Relocs = append(f.Relocs, binfmt.Reloc{
+			Section: int32(r.sec), Offset: r.off, Sym: idx, Addend: r.addend,
+		})
+	}
+	f.SortRelocs()
+	return f, nil
+}
+
+// --- operand parsing ---
+
+func parseReg(s string) (isa.Reg, error) {
+	switch strings.ToLower(s) {
+	case "sp":
+		return isa.SP, nil
+	case "fp":
+		return isa.FP, nil
+	}
+	if len(s) >= 2 && (s[0] == 'r' || s[0] == 'R') {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < isa.NumRegs {
+			return isa.Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+// parseMem parses "[reg]", "[reg+off]", "[reg-off]".
+func parseMem(s string) (isa.Reg, int32, error) {
+	if len(s) < 3 || s[0] != '[' || s[len(s)-1] != ']' {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	sep := strings.IndexAny(inner, "+-")
+	if sep < 0 {
+		r, err := parseReg(strings.TrimSpace(inner))
+		return r, 0, err
+	}
+	r, err := parseReg(strings.TrimSpace(inner[:sep]))
+	if err != nil {
+		return 0, 0, err
+	}
+	off, err := strconv.ParseInt(strings.TrimSpace(inner[sep:]), 0, 33)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad memory offset in %q", s)
+	}
+	return r, int32(off), nil
+}
+
+// constExpr evaluates an expression that must be a constant.
+func (a *assembler) constExpr(s string) (int64, error) {
+	op, err := a.operandExpr(s)
+	if err != nil {
+		return 0, err
+	}
+	if op.isSym {
+		return 0, fmt.Errorf("constant required, got symbol %q", op.sym)
+	}
+	return op.val, nil
+}
+
+// operandExpr parses an immediate: integer, char, .equ constant, or
+// label[+-offset].
+func (a *assembler) operandExpr(s string) (operand, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return operand{}, fmt.Errorf("empty operand")
+	}
+	// Character literal.
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		body := s[1 : len(s)-1]
+		if body == "\\n" {
+			return operand{val: '\n'}, nil
+		}
+		if body == "\\t" {
+			return operand{val: '\t'}, nil
+		}
+		if body == "\\0" {
+			return operand{val: 0}, nil
+		}
+		if len(body) == 1 {
+			return operand{val: int64(body[0])}, nil
+		}
+		return operand{}, fmt.Errorf("bad char literal %s", s)
+	}
+	// Plain integer.
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return operand{val: v}, nil
+	}
+	// name or name+off / name-off.
+	name, addend := s, int64(0)
+	if i := strings.LastIndexAny(s[1:], "+-"); i >= 0 {
+		i++ // adjust for s[1:]
+		v, err := strconv.ParseInt(s[i:], 0, 33)
+		if err == nil {
+			name, addend = strings.TrimSpace(s[:i]), v
+		}
+	}
+	if v, ok := a.equs[name]; ok {
+		return operand{val: v + addend}, nil
+	}
+	if !validSymName(name) {
+		return operand{}, fmt.Errorf("bad operand %q", s)
+	}
+	return operand{isSym: true, sym: name, addend: addend}, nil
+}
+
+func validSymName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.', c == '$':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitOperands splits on commas that are outside brackets and quotes.
+func splitOperands(s string) []string {
+	var out []string
+	depth, inStr, start := 0, false, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case '[':
+			if !inStr {
+				depth++
+			}
+		case ']':
+			if !inStr {
+				depth--
+			}
+		case ',':
+			if depth == 0 && !inStr {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+func parseStringLit(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("string literal required, got %q", s)
+	}
+	body := s[1 : len(s)-1]
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return "", fmt.Errorf("trailing backslash in %q", s)
+		}
+		switch body[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case 'r':
+			b.WriteByte('\r')
+		case '0':
+			b.WriteByte(0)
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		default:
+			return "", fmt.Errorf("unknown escape \\%c", body[i])
+		}
+	}
+	return b.String(), nil
+}

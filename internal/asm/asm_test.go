@@ -1,0 +1,218 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"asc/internal/binfmt"
+	"asc/internal/isa"
+)
+
+const sample = `
+; sample program
+        .text
+        .global main
+main:
+        PUSH fp
+        MOV fp, sp
+        MOVI r1, msg            ; reloc
+        MOVI r2, MSGLEN
+        MOVI r3, 0
+.loop:
+        ADDI r3, r3, 1
+        BLT r3, r2, .loop       ; reloc to local label
+        CALL helper             ; reloc
+        POP fp
+        RET
+helper:
+        MOVI r0, 0
+        RET
+        .rodata
+msg:    .asciz "hi\n"
+        .data
+tbl:    .word 1, 2, main        ; reloc in data
+        .align 8
+buf8:   .space 8
+        .bss
+bss1:   .space 32
+        .equ MSGLEN, 3
+`
+
+func mustAssemble(t *testing.T, src string) *binfmt.File {
+	t.Helper()
+	f, err := Assemble("test.s", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return f
+}
+
+func decodeText(t *testing.T, f *binfmt.File) []isa.Instr {
+	t.Helper()
+	text := f.Section(binfmt.SecText)
+	var out []isa.Instr
+	for off := 0; off < len(text.Data); off += isa.InstrSize {
+		in, err := isa.Decode(text.Data[off:])
+		if err != nil {
+			t.Fatalf("decode at %d: %v", off, err)
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+func TestAssembleSample(t *testing.T) {
+	f := mustAssemble(t, sample)
+	ins := decodeText(t, f)
+	if len(ins) != 12 {
+		t.Fatalf("got %d instructions, want 12", len(ins))
+	}
+	if ins[0].Op != isa.OpPUSH || ins[0].Rs != isa.FP {
+		t.Errorf("ins[0] = %v", ins[0])
+	}
+	if ins[3].Op != isa.OpMOVI || ins[3].Imm != 3 {
+		t.Errorf("MOVI r2, MSGLEN: got %v (.equ not applied)", ins[3])
+	}
+	// Symbols.
+	main := f.Symbol("main")
+	if main == nil || main.Kind != binfmt.SymFunc || !main.Global {
+		t.Errorf("main symbol: %+v", main)
+	}
+	if s := f.Symbol(".loop"); s == nil || s.Kind != binfmt.SymLabel {
+		t.Errorf(".loop symbol: %+v", s)
+	}
+	if s := f.Symbol("msg"); s == nil || s.Kind != binfmt.SymString {
+		t.Errorf("msg symbol: %+v", s)
+	}
+	if s := f.Symbol("tbl"); s == nil || s.Kind != binfmt.SymObject {
+		t.Errorf("tbl symbol: %+v", s)
+	}
+	if s := f.Symbol("bss1"); s == nil || f.Sections[s.Section].Name != binfmt.SecBSS {
+		t.Errorf("bss1 symbol: %+v", s)
+	}
+	// Relocs: MOVI msg, BLT .loop, CALL helper, .word main = 4.
+	if len(f.Relocs) != 4 {
+		t.Fatalf("got %d relocs, want 4: %+v", len(f.Relocs), f.Relocs)
+	}
+	// Data content.
+	ro := f.Section(binfmt.SecROData)
+	if string(ro.Data) != "hi\n\x00" {
+		t.Errorf(".rodata = %q", ro.Data)
+	}
+	data := f.Section(binfmt.SecData)
+	if len(data.Data) != 24 { // 3 words + align pad to 8 + 8 space
+		t.Errorf(".data len = %d, want 24", len(data.Data))
+	}
+	if bss := f.Section(binfmt.SecBSS); bss.Size != 32 || len(bss.Data) != 0 {
+		t.Errorf(".bss size=%d len=%d", bss.Size, len(bss.Data))
+	}
+}
+
+func TestLayoutApplyExecutableImage(t *testing.T) {
+	f := mustAssemble(t, sample)
+	f.Layout()
+	if err := f.ApplyRelocs(); err != nil {
+		t.Fatalf("ApplyRelocs: %v", err)
+	}
+	ins := decodeText(t, f)
+	msgAddr, _ := f.SymbolAddr("msg")
+	if ins[2].Imm != msgAddr {
+		t.Errorf("MOVI r1, msg: imm=%#x want %#x", ins[2].Imm, msgAddr)
+	}
+	loopAddr, _ := f.SymbolAddr(".loop")
+	if ins[6].Imm != loopAddr {
+		t.Errorf("BLT target=%#x want %#x", ins[6].Imm, loopAddr)
+	}
+	helperAddr, _ := f.SymbolAddr("helper")
+	if ins[7].Imm != helperAddr {
+		t.Errorf("CALL target=%#x want %#x", ins[7].Imm, helperAddr)
+	}
+}
+
+func TestUndefinedSymbolBecomesExtern(t *testing.T) {
+	f := mustAssemble(t, ".text\nmain:\nCALL external_fn\nRET\n")
+	s := f.Symbol("external_fn")
+	if s == nil || s.Defined() {
+		t.Fatalf("external_fn: %+v", s)
+	}
+	if len(f.Relocs) != 1 {
+		t.Fatalf("relocs: %+v", f.Relocs)
+	}
+}
+
+func TestSubiPseudo(t *testing.T) {
+	f := mustAssemble(t, ".text\nf:\nSUBI sp, sp, 16\nRET\n")
+	ins := decodeText(t, f)
+	if ins[0].Op != isa.OpADDI || int32(ins[0].Imm) != -16 {
+		t.Errorf("SUBI -> %v", ins[0])
+	}
+}
+
+func TestMemOperands(t *testing.T) {
+	f := mustAssemble(t, ".text\nf:\nLOAD r1, [sp+4]\nSTORE [fp-8], r2\nLOADB r3, [r4]\nRET\n")
+	ins := decodeText(t, f)
+	if ins[0].Rs != isa.SP || int32(ins[0].Imm) != 4 {
+		t.Errorf("LOAD: %v", ins[0])
+	}
+	if ins[1].Rd != isa.FP || int32(ins[1].Imm) != -8 || ins[1].Rs != isa.R2 {
+		t.Errorf("STORE: %v", ins[1])
+	}
+	if ins[2].Rs != isa.R4 || ins[2].Imm != 0 {
+		t.Errorf("LOADB: %v", ins[2])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	tests := []struct {
+		name, src, want string
+	}{
+		{"dup label", ".text\na:\nRET\na:\nRET\n", "redefined"},
+		{"bad reg", ".text\nf:\nMOV r99, r1\nRET\n", "bad register"},
+		{"bad mnemonic", ".text\nf:\nFROB r1\n", "unknown mnemonic"},
+		{"wrong operand count", ".text\nf:\nADD r1, r2\n", "needs 3 operands"},
+		{"instr in data", ".data\nMOVI r1, 2\n", "outside .text"},
+		{"auth reserved", ".auth\n", "reserved"},
+		{"nonzero bss", ".bss\nx: .byte 5\n", "non-zero data in .bss"},
+		{"bad directive", ".text\n.frobnicate 2\n", "unknown directive"},
+		{"bad string", `.data
+s: .asciz hello
+`, "string literal required"},
+		{"bad escape", `.data
+s: .asciz "a\q"
+`, "unknown escape"},
+		{"bad align", ".data\n.align 3\n", "power of two"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Assemble("t.s", tt.src)
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not contain %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestCharLiteralsAndComments(t *testing.T) {
+	f := mustAssemble(t, ".text\nf:\nMOVI r1, 'A' ; comment with ; and , inside\nMOVI r2, '\\n'\nRET\n")
+	ins := decodeText(t, f)
+	if ins[0].Imm != 'A' || ins[1].Imm != '\n' {
+		t.Errorf("char literals: %v %v", ins[0], ins[1])
+	}
+}
+
+func TestStringWithCommaAndSemicolon(t *testing.T) {
+	f := mustAssemble(t, ".data\ns: .asciz \"a,b;c\"\n")
+	if got := string(f.Section(binfmt.SecData).Data); got != "a,b;c\x00" {
+		t.Errorf("data = %q", got)
+	}
+}
+
+func TestLabelWithAddend(t *testing.T) {
+	f := mustAssemble(t, ".text\nf:\nMOVI r1, buf+12\nRET\n.data\nbuf: .space 32\n")
+	if len(f.Relocs) != 1 || f.Relocs[0].Addend != 12 {
+		t.Errorf("relocs: %+v", f.Relocs)
+	}
+}

@@ -1,0 +1,13 @@
+package asm
+
+import "testing"
+
+// BenchmarkAssemble measures two-pass assembly throughput.
+func BenchmarkAssemble(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Assemble("bench.s", sample); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package asm
+
+import "testing"
+
+// FuzzAssemble exercises the assembler with arbitrary source; it must
+// never panic, and anything it accepts must produce a decodable object.
+func FuzzAssemble(f *testing.F) {
+	f.Add(sample)
+	f.Add(".text\nmain:\nRET\n")
+	f.Add(".data\nx: .word 1, y\n")
+	f.Add("garbage ][")
+	f.Fuzz(func(t *testing.T, src string) {
+		obj, err := Assemble("fuzz.s", src)
+		if err != nil {
+			return
+		}
+		if _, err := obj.Bytes(); err != nil {
+			t.Fatalf("accepted object fails to serialize: %v", err)
+		}
+	})
+}

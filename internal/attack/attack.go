@@ -1,0 +1,492 @@
+// Package attack implements the attack experiments of Section 4.1 and the
+// Frankenstein attack of Section 5.5 against the simulated platform.
+//
+// The victim mirrors the paper's: a program that reads a file name into a
+// stack buffer with an unbounded gets (the overflow vector) and then
+// invokes /bin/ls. The stack is executable (2005-era semantics), so
+// injected code runs — and is stopped exactly where system call
+// monitoring promises to stop it: at the kernel boundary.
+//
+//   - Shellcode injection: overwrite the return address, run injected
+//     code that issues a plain SYSCALL to exec /bin/sh. Blocked because
+//     the call is unauthenticated.
+//   - Mimicry with a foreign record: reuse an authenticated call record
+//     harvested from another application. Blocked because the encoded
+//     call (site, state pointer) does not match the MAC.
+//   - Control-flow hijack to a legitimate site: jump to an existing
+//     authenticated call whose policy does not allow the current
+//     predecessor. Blocked by the control-flow check.
+//   - Non-control-data: overwrite the authenticated "/bin/ls" argument
+//     with "/bin/sh". Blocked by the string MAC.
+//   - Descriptor tampering: flip policy descriptor bits in the auth
+//     record. Blocked by the call MAC.
+//   - Frankenstein: splice an authenticated call (code + policy objects)
+//     from a second application into the first. Succeeds when block IDs
+//     are program-local, blocked when the §5.5 unique-ID countermeasure
+//     is enabled.
+package attack
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"asc/internal/asm"
+	"asc/internal/binfmt"
+	"asc/internal/cfg"
+	"asc/internal/installer"
+	"asc/internal/isa"
+	"asc/internal/kernel"
+	"asc/internal/libc"
+	"asc/internal/linker"
+	"asc/internal/policy"
+	"asc/internal/sys"
+	"asc/internal/vfs"
+)
+
+// Outcome is the result of one attack experiment.
+type Outcome struct {
+	Name        string
+	Description string
+	Blocked     bool
+	Reason      kernel.KillReason
+	Detail      string
+}
+
+func (o Outcome) String() string {
+	verdict := "ALLOWED"
+	if o.Blocked {
+		verdict = "BLOCKED (" + string(o.Reason) + ")"
+	}
+	return fmt.Sprintf("%-28s %s", o.Name, verdict)
+}
+
+// victimSource is the paper's overflow victim. The open() of a log file
+// before gets provides a syscall site whose predecessor set excludes the
+// read calls, used by the control-flow hijack experiment.
+const victimSource = `
+        .text
+        .global main
+main:
+        PUSH fp
+        MOV fp, sp
+        ; open("/var/log/app", O_CREAT|O_WRONLY, 0644) -- before any input
+        MOVI r1, logp
+        MOVI r2, 0x41
+        MOVI r3, 420
+        CALL open
+        CALL getpid             ; early call; predecessors = {open} only
+        CALL read_name          ; the vulnerable routine
+        ; run /bin/ls on the requested file
+        MOVI r1, lsp
+        MOVI r2, 0
+        MOVI r3, 0
+        CALL execve
+        POP fp
+        MOVI r0, 0
+        RET
+read_name:
+        PUSH fp
+        MOV fp, sp
+        SUBI sp, sp, 32
+        MOV r1, sp
+        CALL gets               ; unbounded read into a 32-byte buffer
+        ADDI sp, sp, 32
+        POP fp
+        RET                     ; returns through the (smashable) slot
+        .rodata
+logp:   .asciz "/var/log/app"
+lsp:    .asciz "/bin/ls"
+`
+
+// lsSource is the /bin/ls stand-in installed into the VFS.
+const lsSource = `
+        .text
+        .global main
+main:
+        MOVI r1, msg
+        CALL puts
+        MOVI r0, 0
+        RET
+        .rodata
+msg:    .asciz "ls: listing\n"
+`
+
+// shSource is the /bin/sh stand-in; if it ever runs, the attack won.
+const shSource = `
+        .text
+        .global main
+main:
+        MOVI r1, msg
+        CALL puts
+        MOVI r0, 0
+        RET
+        .rodata
+msg:    .asciz "sh: PWNED\n"
+`
+
+// Lab is a prepared attack environment.
+type Lab struct {
+	Key          []byte
+	Victim       *binfmt.File
+	VictimPolicy []*policy.SitePolicy
+}
+
+// buildAuth assembles, links, and installs a program.
+func buildAuth(src, name string, opts installer.Options) (*binfmt.File, []*policy.SitePolicy, error) {
+	obj, err := asm.Assemble(name+".s", src)
+	if err != nil {
+		return nil, nil, err
+	}
+	lib, err := libc.Objects(libc.Linux)
+	if err != nil {
+		return nil, nil, err
+	}
+	exe, err := linker.Link([]*binfmt.File{obj}, lib)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, pp, _, err := installer.Install(exe, name, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, pp.Sites, nil
+}
+
+// NewLab builds the victim and its environment.
+func NewLab(key []byte) (*Lab, error) {
+	victim, sites, err := buildAuth(victimSource, "victim", installer.Options{Key: key})
+	if err != nil {
+		return nil, fmt.Errorf("attack: build victim: %w", err)
+	}
+	return &Lab{Key: key, Victim: victim, VictimPolicy: sites}, nil
+}
+
+// newKernel prepares a fresh enforcing kernel with /bin/ls and /bin/sh
+// installed (authenticated, so that a *successful* exec of either would
+// itself run cleanly).
+func (l *Lab) newKernel() (*kernel.Kernel, error) {
+	fs := vfs.New()
+	for _, d := range []string{"/tmp", "/bin", "/var", "/var/log"} {
+		if err := fs.MkdirAll(d, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	for _, prog := range []struct{ src, path string }{
+		{lsSource, "/bin/ls"},
+		{shSource, "/bin/sh"},
+	} {
+		bin, _, err := buildAuth(prog.src, prog.path, installer.Options{Key: l.Key})
+		if err != nil {
+			return nil, err
+		}
+		b, err := bin.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		if err := fs.WriteFile(prog.path, b, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return kernel.New(fs, l.Key)
+}
+
+// frame layout constants: see libc _start (two pushed words) and the
+// victim prologue (push fp, 32-byte buffer).
+const (
+	bufSize = 32
+)
+
+// stackTop computes the initial stack pointer of a spawned process.
+func stackTop() uint32 { return binfmt.TextBase + kernel.DefaultMemSize }
+
+// bufferAddr is the address of the victim's gets buffer inside
+// read_name's frame.
+func bufferAddr() uint32 {
+	// top -8 (argc/argv) -4 (ret to _start) -4 (main's saved fp)
+	// -4 (ret to main) -4 (read_name's saved fp) -32 (buffer).
+	return stackTop() - 8 - 4 - 4 - 4 - 4 - bufSize
+}
+
+// returnSlotOffset is the payload offset that overwrites main's return
+// address: buffer (32) + saved fp (4).
+const returnSlotOffset = bufSize + 4
+
+// encode appends an instruction's 8 bytes.
+func encode(b []byte, in isa.Instr) []byte {
+	var tmp [isa.InstrSize]byte
+	in.Encode(tmp[:])
+	return append(b, tmp[:]...)
+}
+
+// checkPayload rejects payload bytes that gets cannot deliver.
+func checkPayload(p []byte) error {
+	if i := bytes.IndexByte(p, '\n'); i >= 0 {
+		return fmt.Errorf("attack: payload contains newline at offset %d", i)
+	}
+	return nil
+}
+
+// runWithPayload spawns the victim, applies pre-run pokes, feeds the
+// payload via stdin, and runs to completion.
+func (l *Lab) runWithPayload(payload []byte, poke func(*kernel.Kernel, *kernel.Process) error) (*kernel.Process, *kernel.Kernel, error) {
+	k, err := l.newKernel()
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := k.Spawn(l.Victim, "victim")
+	if err != nil {
+		return nil, nil, err
+	}
+	if poke != nil {
+		if err := poke(k, p); err != nil {
+			return nil, nil, err
+		}
+	}
+	p.Stdin = append(payload, '\n')
+	if err := k.Run(p, 200_000_000); err != nil {
+		return p, k, fmt.Errorf("attack: victim faulted: %w", err)
+	}
+	return p, k, nil
+}
+
+func outcome(name, desc string, p *kernel.Process, wantedOutput string) Outcome {
+	o := Outcome{Name: name, Description: desc}
+	if p.Killed {
+		o.Blocked = true
+		o.Reason = p.KilledBy
+		return o
+	}
+	o.Detail = fmt.Sprintf("process ran to completion; output %q", p.Output())
+	if wantedOutput != "" && bytes.Contains([]byte(p.Output()), []byte(wantedOutput)) {
+		o.Detail += " (attacker goal reached)"
+	}
+	return o
+}
+
+// Baseline runs the victim with a benign input; it must NOT be blocked.
+func (l *Lab) Baseline() (Outcome, error) {
+	p, _, err := l.runWithPayload([]byte("notes.txt"), nil)
+	if err != nil {
+		return Outcome{}, err
+	}
+	o := outcome("baseline (benign input)", "victim on a legitimate file name", p, "")
+	return o, nil
+}
+
+// Shellcode is the classic injected-code attack: the payload overwrites
+// the return address with the buffer address and places code there that
+// issues execve("/bin/sh") via a plain SYSCALL.
+func (l *Lab) Shellcode() (Outcome, error) {
+	buf := bufferAddr()
+	var code []byte
+	code = encode(code, isa.Instr{Op: isa.OpMOVI, Rd: isa.R1, Imm: buf + 24}) // "/bin/sh"
+	code = encode(code, isa.Instr{Op: isa.OpMOVI, Rd: isa.R0, Imm: uint32(sys.SysExecve)})
+	code = encode(code, isa.Instr{Op: isa.OpSYSCALL})
+	code = append(code, []byte("/bin/sh\x00")...)
+	payload := make([]byte, returnSlotOffset+4)
+	copy(payload, code)
+	for i := len(code); i < returnSlotOffset; i++ {
+		payload[i] = 0x41
+	}
+	binary.LittleEndian.PutUint32(payload[returnSlotOffset:], buf)
+	if err := checkPayload(payload); err != nil {
+		return Outcome{}, err
+	}
+	p, _, err := l.runWithPayload(payload, nil)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return outcome("shellcode injection", "plain SYSCALL execve(/bin/sh) from injected code", p, "PWNED"), nil
+}
+
+// donorRecord extracts an authenticated call record (and its site) from a
+// freshly installed donor application.
+func donorRecord(key []byte) (rec []byte, num uint16, err error) {
+	donor, _, err2 := buildAuth(`
+        .text
+        .global main
+main:
+        MOVI r1, msg
+        CALL puts
+        MOVI r0, 0
+        RET
+        .rodata
+msg:    .asciz "donor\n"
+`, "donor", installer.Options{Key: key})
+	if err2 != nil {
+		return nil, 0, err2
+	}
+	prog, err2 := cfg.Analyze(donor)
+	if err2 != nil {
+		return nil, 0, err2
+	}
+	text := donor.Section(binfmt.SecText)
+	auth := donor.Section(binfmt.SecAuth)
+	for _, s := range prog.SyscallSites() {
+		if !s.Authed || s.Num != sys.SysWrite {
+			continue
+		}
+		pre, err3 := isa.Decode(text.Data[s.Addr-isa.InstrSize-text.Addr:])
+		if err3 != nil {
+			return nil, 0, err3
+		}
+		off := pre.Imm - auth.Addr
+		return append([]byte(nil), auth.Data[off:off+policy.AuthRecordSize]...), s.Num, nil
+	}
+	return nil, 0, fmt.Errorf("attack: donor has no write site")
+}
+
+// Mimicry reuses an authenticated record harvested from another
+// application: the attacker plants the donor's write record in the
+// victim's memory and invokes ASYSCALL from injected code.
+func (l *Lab) Mimicry() (Outcome, error) {
+	rec, num, err := donorRecord(l.Key)
+	if err != nil {
+		return Outcome{}, err
+	}
+	// The attacker's write primitive placed the foreign record in a
+	// writable, addressable location: the top of the heap.
+	recAddr := uint32(0)
+	poke := func(k *kernel.Kernel, p *kernel.Process) error {
+		// Place it in the last page of the stack region, far below SP.
+		recAddr = stackTop() - kernel.DefaultStackSize
+		return p.Mem.KernelWrite(recAddr, rec)
+	}
+	buf := bufferAddr()
+	var code []byte
+	code = encode(code, isa.Instr{Op: isa.OpMOVI, Rd: isa.R6, Imm: stackTop() - kernel.DefaultStackSize})
+	code = encode(code, isa.Instr{Op: isa.OpMOVI, Rd: isa.R0, Imm: uint32(num)})
+	code = encode(code, isa.Instr{Op: isa.OpASYSCALL})
+	payload := make([]byte, returnSlotOffset+4)
+	copy(payload, code)
+	for i := len(code); i < returnSlotOffset; i++ {
+		payload[i] = 0x41
+	}
+	binary.LittleEndian.PutUint32(payload[returnSlotOffset:], buf)
+	if err := checkPayload(payload); err != nil {
+		return Outcome{}, err
+	}
+	p, _, err := l.runWithPayload(payload, poke)
+	if err != nil {
+		return Outcome{}, err
+	}
+	_ = recAddr
+	return outcome("mimicry (foreign record)", "replay another application's authenticated call", p, ""), nil
+}
+
+// ControlFlowHijack jumps from the smashed return slot to an existing,
+// legitimate authenticated call site (the victim's early getpid) whose
+// policy only allows the open call as predecessor — but the last system
+// call at hijack time is the read performed by gets.
+func (l *Lab) ControlFlowHijack() (Outcome, error) {
+	prog, err := cfg.Analyze(l.Victim)
+	if err != nil {
+		return Outcome{}, err
+	}
+	var target uint32
+	for _, s := range prog.SyscallSites() {
+		if s.NumKnown && s.Num == sys.SysGetpid {
+			// Jump to the number load + preamble, so the call executes
+			// exactly as installed — only the history is wrong.
+			target = s.Addr - 2*isa.InstrSize
+		}
+	}
+	if target == 0 {
+		return Outcome{}, fmt.Errorf("attack: victim has no getpid site")
+	}
+	buf := bufferAddr()
+	payload := make([]byte, returnSlotOffset+4)
+	for i := 0; i < returnSlotOffset; i++ {
+		payload[i] = 0x41
+	}
+	binary.LittleEndian.PutUint32(payload[returnSlotOffset:], target)
+	if err := checkPayload(payload); err != nil {
+		return Outcome{}, err
+	}
+	_ = buf
+	p, _, err := l.runWithPayload(payload, nil)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return outcome("control-flow hijack", "return into a legitimate call with forbidden history", p, ""), nil
+}
+
+// NonControlData overwrites the authenticated "/bin/ls" string (the §4.1
+// non-control-data experiment): the argument registers and control flow
+// stay legitimate, only data changes.
+func (l *Lab) NonControlData() (Outcome, error) {
+	poke := func(k *kernel.Kernel, p *kernel.Process) error {
+		auth := l.Victim.Section(binfmt.SecAuth)
+		idx := bytes.Index(auth.Data, []byte("/bin/ls\x00"))
+		if idx < 0 {
+			return fmt.Errorf("attack: /bin/ls AS not found")
+		}
+		return p.Mem.KernelWrite(auth.Addr+uint32(idx), []byte("/bin/sh\x00"))
+	}
+	p, _, err := l.runWithPayload([]byte("notes.txt"), poke)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return outcome("non-control-data", "overwrite authenticated execve argument with /bin/sh", p, "PWNED"), nil
+}
+
+// DescriptorTamper clears the control-flow bit in the victim's execve
+// auth record, attempting to disable the predecessor check.
+func (l *Lab) DescriptorTamper() (Outcome, error) {
+	prog, err := cfg.Analyze(l.Victim)
+	if err != nil {
+		return Outcome{}, err
+	}
+	text := l.Victim.Section(binfmt.SecText)
+	var recAddr uint32
+	for _, s := range prog.SyscallSites() {
+		if s.NumKnown && s.Num == sys.SysExecve {
+			pre, err := isa.Decode(text.Data[s.Addr-isa.InstrSize-text.Addr:])
+			if err != nil {
+				return Outcome{}, err
+			}
+			recAddr = pre.Imm
+		}
+	}
+	if recAddr == 0 {
+		return Outcome{}, fmt.Errorf("attack: no execve record")
+	}
+	poke := func(k *kernel.Kernel, p *kernel.Process) error {
+		desc, err := p.Mem.KernelLoad32(recAddr)
+		if err != nil {
+			return err
+		}
+		return p.Mem.KernelStore32(recAddr, desc&^uint32(policy.DescControlFlow))
+	}
+	p, _, err := l.runWithPayload([]byte("notes.txt"), poke)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return outcome("descriptor tampering", "clear the control-flow bit in the auth record", p, ""), nil
+}
+
+// Battery runs the full attack suite against an enforcing kernel.
+func (l *Lab) Battery() ([]Outcome, error) {
+	var out []Outcome
+	for _, f := range []func() (Outcome, error){
+		l.Baseline, l.Shellcode, l.Mimicry, l.ControlFlowHijack, l.NonControlData, l.DescriptorTamper,
+	} {
+		o, err := f()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, o)
+	}
+	fr, err := Frankenstein(l.Key, false)
+	if err != nil {
+		return out, err
+	}
+	out = append(out, fr)
+	frc, err := Frankenstein(l.Key, true)
+	if err != nil {
+		return out, err
+	}
+	out = append(out, frc)
+	return out, nil
+}

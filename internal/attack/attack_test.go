@@ -1,0 +1,131 @@
+package attack
+
+import (
+	"strings"
+	"testing"
+
+	"asc/internal/kernel"
+)
+
+var testKey = []byte("0123456789abcdef")
+
+func newLab(t *testing.T) *Lab {
+	t.Helper()
+	l, err := NewLab(testKey)
+	if err != nil {
+		t.Fatalf("NewLab: %v", err)
+	}
+	return l
+}
+
+func TestBaselineRuns(t *testing.T) {
+	l := newLab(t)
+	o, err := l.Baseline()
+	if err != nil {
+		t.Fatalf("Baseline: %v", err)
+	}
+	if o.Blocked {
+		t.Fatalf("benign run blocked: %v", o)
+	}
+	// The victim execs /bin/ls, which prints its listing marker.
+	if !strings.Contains(o.Detail, "ls: listing") {
+		t.Errorf("benign run did not reach /bin/ls: %s", o.Detail)
+	}
+}
+
+func TestShellcodeBlocked(t *testing.T) {
+	l := newLab(t)
+	o, err := l.Shellcode()
+	if err != nil {
+		t.Fatalf("Shellcode: %v", err)
+	}
+	if !o.Blocked || o.Reason != kernel.KillUnauthenticated {
+		t.Fatalf("shellcode: %+v", o)
+	}
+}
+
+func TestMimicryBlocked(t *testing.T) {
+	l := newLab(t)
+	o, err := l.Mimicry()
+	if err != nil {
+		t.Fatalf("Mimicry: %v", err)
+	}
+	if !o.Blocked || o.Reason != kernel.KillBadCallMAC {
+		t.Fatalf("mimicry: %+v", o)
+	}
+}
+
+func TestControlFlowHijackBlocked(t *testing.T) {
+	l := newLab(t)
+	o, err := l.ControlFlowHijack()
+	if err != nil {
+		t.Fatalf("ControlFlowHijack: %v", err)
+	}
+	if !o.Blocked || o.Reason != kernel.KillBadPredecessor {
+		t.Fatalf("hijack: %+v", o)
+	}
+}
+
+func TestNonControlDataBlocked(t *testing.T) {
+	l := newLab(t)
+	o, err := l.NonControlData()
+	if err != nil {
+		t.Fatalf("NonControlData: %v", err)
+	}
+	if !o.Blocked || o.Reason != kernel.KillBadString {
+		t.Fatalf("non-control-data: %+v", o)
+	}
+}
+
+func TestDescriptorTamperBlocked(t *testing.T) {
+	l := newLab(t)
+	o, err := l.DescriptorTamper()
+	if err != nil {
+		t.Fatalf("DescriptorTamper: %v", err)
+	}
+	if !o.Blocked || o.Reason != kernel.KillBadCallMAC {
+		t.Fatalf("descriptor tamper: %+v", o)
+	}
+}
+
+func TestFrankenstein(t *testing.T) {
+	// Without the countermeasure the splice succeeds (block IDs collide
+	// numerically across programs).
+	o, err := Frankenstein(testKey, false)
+	if err != nil {
+		t.Fatalf("Frankenstein(false): %v", err)
+	}
+	if o.Blocked {
+		t.Fatalf("frankenstein without countermeasure blocked: %+v", o)
+	}
+	// With unique program IDs it is rejected by the control-flow check.
+	oc, err := Frankenstein(testKey, true)
+	if err != nil {
+		t.Fatalf("Frankenstein(true): %v", err)
+	}
+	if !oc.Blocked || oc.Reason != kernel.KillBadPredecessor {
+		t.Fatalf("frankenstein with countermeasure: %+v", oc)
+	}
+}
+
+func TestBattery(t *testing.T) {
+	l := newLab(t)
+	outcomes, err := l.Battery()
+	if err != nil {
+		t.Fatalf("Battery: %v", err)
+	}
+	if len(outcomes) != 8 {
+		t.Fatalf("battery ran %d experiments, want 8", len(outcomes))
+	}
+	// Exactly two are expected to be allowed: the benign baseline and
+	// the frankenstein without countermeasure.
+	var allowed []string
+	for _, o := range outcomes {
+		if !o.Blocked {
+			allowed = append(allowed, o.Name)
+		}
+	}
+	if len(allowed) != 2 {
+		t.Errorf("allowed experiments: %v (want baseline + frankenstein-no-cm)", allowed)
+	}
+}

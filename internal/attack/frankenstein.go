@@ -1,0 +1,171 @@
+// frankenstein.go implements the Section 5.5 Frankenstein attack: a new
+// program assembled from authenticated system calls harvested from other
+// applications on the same machine, together with the unique-block-ID
+// countermeasure that defeats it.
+package attack
+
+import (
+	"fmt"
+
+	"asc/internal/binfmt"
+	"asc/internal/cfg"
+	"asc/internal/installer"
+	"asc/internal/isa"
+	"asc/internal/kernel"
+	"asc/internal/policy"
+	"asc/internal/sys"
+	"asc/internal/vfs"
+)
+
+// The two source applications are structurally identical, so their
+// installed layouts coincide: every call site, every .auth object lands
+// at the same address. That is precisely what lets an attacker splice an
+// authenticated call from B into A with all its embedded absolute
+// addresses still valid.
+const frankASource = `
+        .text
+        .global main
+main:
+        CALL getpid
+        CALL getuid
+        MOVI r0, 0
+        RET
+`
+
+const frankBSource = `
+        .text
+        .global main
+main:
+        CALL getpid
+        CALL getgid
+        MOVI r0, 0
+        RET
+`
+
+// siteInfo locates one authenticated call and its policy objects.
+type siteInfo struct {
+	addr     uint32 // ASYSCALL address
+	recAddr  uint32 // auth record address
+	predAddr uint32 // predecessor-set AS bytes address
+	predLen  uint32
+}
+
+func findSite(f *binfmt.File, num uint16) (siteInfo, error) {
+	prog, err := cfg.Analyze(f)
+	if err != nil {
+		return siteInfo{}, err
+	}
+	text := f.Section(binfmt.SecText)
+	auth := f.Section(binfmt.SecAuth)
+	for _, s := range prog.SyscallSites() {
+		if !s.NumKnown || s.Num != num {
+			continue
+		}
+		pre, err := isa.Decode(text.Data[s.Addr-isa.InstrSize-text.Addr:])
+		if err != nil || pre.Op != isa.OpMOVI || pre.Rd != isa.R6 {
+			return siteInfo{}, fmt.Errorf("attack: no preamble at %#x", s.Addr)
+		}
+		rec, err := policy.DecodeAuthRecord(auth.Data[pre.Imm-auth.Addr:])
+		if err != nil {
+			return siteInfo{}, err
+		}
+		predLen, err2 := readU32(auth, rec.PredSetPtr-policy.ASHeaderSize)
+		if err2 != nil {
+			return siteInfo{}, err2
+		}
+		return siteInfo{addr: s.Addr, recAddr: pre.Imm, predAddr: rec.PredSetPtr, predLen: predLen}, nil
+	}
+	return siteInfo{}, fmt.Errorf("attack: syscall %s not found", sys.Name(num))
+}
+
+func readU32(sec *binfmt.Section, addr uint32) (uint32, error) {
+	off := addr - sec.Addr
+	if off+4 > uint32(len(sec.Data)) {
+		return 0, fmt.Errorf("attack: read outside %s", sec.Name)
+	}
+	return uint32(sec.Data[off]) | uint32(sec.Data[off+1])<<8 |
+		uint32(sec.Data[off+2])<<16 | uint32(sec.Data[off+3])<<24, nil
+}
+
+// spliceRange copies [addr, addr+n) within the named section from src to
+// dst; both files must place the section at the same address.
+func spliceRange(dst, src *binfmt.File, section string, addr, n uint32) error {
+	d := dst.Section(section)
+	s := src.Section(section)
+	if d == nil || s == nil || d.Addr != s.Addr {
+		return fmt.Errorf("attack: %s layouts differ", section)
+	}
+	if addr < d.Addr || addr+n > d.End() || addr+n > s.End() {
+		return fmt.Errorf("attack: splice range %#x+%d outside %s", addr, n, section)
+	}
+	copy(d.Data[addr-d.Addr:], s.Data[addr-s.Addr:addr-s.Addr+n])
+	return nil
+}
+
+// Frankenstein builds the spliced program and runs it under enforcement.
+// With countermeasure=false, both applications are installed with
+// program-local block IDs and the splice executes successfully (the
+// attack works). With countermeasure=true, they are installed with
+// distinct program IDs (unique block identifiers) and the spliced call is
+// rejected by the control-flow check.
+func Frankenstein(key []byte, countermeasure bool) (Outcome, error) {
+	optsA := installer.Options{Key: key}
+	optsB := installer.Options{Key: key}
+	name := "frankenstein (no countermeasure)"
+	if countermeasure {
+		optsA.ProgramID = 1
+		optsB.ProgramID = 2
+		name = "frankenstein (unique IDs)"
+	}
+	a, _, err := buildAuth(frankASource, "prog-a", optsA)
+	if err != nil {
+		return Outcome{}, err
+	}
+	b, _, err := buildAuth(frankBSource, "prog-b", optsB)
+	if err != nil {
+		return Outcome{}, err
+	}
+
+	// Locate the second call in each (getuid in A, getgid in B); their
+	// addresses must coincide for the splice to be possible at all.
+	sa, err := findSite(a, sys.SysGetuid)
+	if err != nil {
+		return Outcome{}, err
+	}
+	sb, err := findSite(b, sys.SysGetgid)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if sa.addr != sb.addr || sa.recAddr != sb.recAddr || sa.predAddr != sb.predAddr {
+		return Outcome{}, fmt.Errorf("attack: frankenstein layouts diverge (%#x/%#x)", sa.addr, sb.addr)
+	}
+
+	// Splice B's call into A: the three instructions (number load,
+	// preamble, ASYSCALL), the auth record, and the predecessor set.
+	franken := a
+	if err := spliceRange(franken, b, binfmt.SecText, sb.addr-2*isa.InstrSize, 3*isa.InstrSize); err != nil {
+		return Outcome{}, err
+	}
+	if err := spliceRange(franken, b, binfmt.SecAuth, sb.recAddr, policy.AuthRecordSize); err != nil {
+		return Outcome{}, err
+	}
+	if err := spliceRange(franken, b, binfmt.SecAuth,
+		sb.predAddr-policy.ASHeaderSize, policy.ASHeaderSize+sb.predLen); err != nil {
+		return Outcome{}, err
+	}
+
+	fs := vfs.New()
+	k, err := kernel.New(fs, key)
+	if err != nil {
+		return Outcome{}, err
+	}
+	p, err := k.Spawn(franken, "frankenstein")
+	if err != nil {
+		return Outcome{}, err
+	}
+	if err := k.Run(p, 10_000_000); err != nil {
+		return Outcome{}, fmt.Errorf("attack: frankenstein faulted: %w", err)
+	}
+	o := outcome(name, "splice an authenticated call from another program", p, "")
+	return o, nil
+}

@@ -1,0 +1,148 @@
+// Package bench regenerates the paper's evaluation artifacts: Tables 1-4
+// and 6, the Andrew-style multiprogram benchmark, and the monitor
+// enforcement comparison of Section 2.3. Each driver returns structured
+// data plus a Render method that prints rows in the paper's format.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"asc/internal/binfmt"
+	"asc/internal/installer"
+	"asc/internal/kernel"
+	"asc/internal/libc"
+	"asc/internal/systrace"
+	"asc/internal/vfs"
+	"asc/internal/workload"
+)
+
+// DefaultKey is the demonstration MAC key used by the benchmark drivers.
+var DefaultKey = []byte("asc-benchmark-k1")
+
+// newBenchKernel builds a kernel with the standard benchmark filesystem:
+// /data inputs for the performance suite and the usual directory tree.
+func newBenchKernel(key []byte, mode kernel.Mode) (*kernel.Kernel, error) {
+	fs := vfs.New()
+	for _, d := range []string{"/tmp", "/etc", "/bin", "/data", "/var/run", "/work"} {
+		if err := fs.MkdirAll(d, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	// Input files for the performance programs.
+	blob := make([]byte, 8192)
+	for i := range blob {
+		blob[i] = byte(i * 31)
+	}
+	for _, s := range workload.PerfSuite() {
+		if err := fs.WriteFile("/data/"+s.Name+".in", blob, 0o644); err != nil {
+			return nil, err
+		}
+	}
+	if err := fs.WriteFile("/data/micro.in", blob, 0o644); err != nil {
+		return nil, err
+	}
+	var k *kernel.Kernel
+	var err error
+	if mode == kernel.Enforce {
+		k, err = kernel.New(fs, key, kernel.WithMode(mode))
+	} else {
+		k, err = kernel.New(fs, nil, kernel.WithMode(mode))
+	}
+	return k, err
+}
+
+// runOnce spawns and runs a binary to completion, returning the process.
+func runOnce(k *kernel.Kernel, exe *binfmt.File, name, stdin string) (*kernel.Process, error) {
+	p, err := k.Spawn(exe, name)
+	if err != nil {
+		return nil, err
+	}
+	p.Stdin = []byte(stdin)
+	if err := k.Run(p, 4_000_000_000); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", name, err)
+	}
+	if p.Killed {
+		return nil, fmt.Errorf("bench: %s killed: %s", name, p.KilledBy)
+	}
+	return p, nil
+}
+
+// buildPair produces the PLTO-optimized baseline and the authenticated
+// binary for one source program.
+func buildPair(name, source string, key []byte) (orig, auth *binfmt.File, err error) {
+	exe, err := workload.BuildSource(name, source, libc.Linux)
+	if err != nil {
+		return nil, nil, err
+	}
+	orig, err = installer.Optimize(exe)
+	if err != nil {
+		return nil, nil, err
+	}
+	auth, _, _, err = installer.Install(exe, name, installer.Options{Key: key})
+	if err != nil {
+		return nil, nil, err
+	}
+	return orig, auth, nil
+}
+
+// pct returns the percentage overhead of b over a.
+func pct(a, b uint64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return 100 * (float64(b) - float64(a)) / float64(a)
+}
+
+// renderTable aligns rows of columns.
+func renderTable(title string, header []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteString("\n")
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cols []string) {
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// trainedPolicy builds the generalized Systrace-style policy for a
+// policy-study program on the OpenBSD personality.
+func trainedPolicy(name string) (*systrace.Policy, error) {
+	exe, err := workload.Build(name, libc.OpenBSD)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := workload.Program(name, libc.OpenBSD)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := systrace.Train(exe, name,
+		[]systrace.Input{{Stdin: spec.TrainingInput()}},
+		systrace.TrainConfig{Personality: kernel.OpenBSD})
+	if err != nil {
+		return nil, err
+	}
+	pol.GeneralizeFS()
+	return pol, nil
+}

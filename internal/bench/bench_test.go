@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"asc/internal/workload"
+)
+
+func TestTable1(t *testing.T) {
+	data, err := Table1()
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	if len(data.Rows) != 3 {
+		t.Fatalf("rows = %d", len(data.Rows))
+	}
+	for _, r := range data.Rows {
+		// Exact reproduction for the ASC columns.
+		if r.ASCLinux != r.PaperASCLnx {
+			t.Errorf("%s ASC/Linux = %d, paper %d", r.Program, r.ASCLinux, r.PaperASCLnx)
+		}
+		if r.ASCOpenBSD != r.PaperASCBSD {
+			t.Errorf("%s ASC/OpenBSD = %d, paper %d", r.Program, r.ASCOpenBSD, r.PaperASCBSD)
+		}
+		// Trained policies must be strictly smaller than ASC (the
+		// paper's central claim for Table 1).
+		if r.SystraceBSD >= r.ASCOpenBSD {
+			t.Errorf("%s systrace %d >= ASC %d", r.Program, r.SystraceBSD, r.ASCOpenBSD)
+		}
+	}
+	if s := data.Render(); !strings.Contains(s, "bison") {
+		t.Errorf("render: %q", s)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	data, err := Table2()
+	if err != nil {
+		t.Fatalf("Table2: %v", err)
+	}
+	got := make(map[string]Table2Row, len(data.Rows))
+	for _, r := range data.Rows {
+		got[r.Name] = r
+	}
+	// The paper's ASC-only rows.
+	ascOnly := []string{"__syscall", "fcntl", "fstatfs", "getdirentries", "getpid",
+		"gettimeofday", "kill", "madvise", "nanosleep", "sendto", "sigaction",
+		"socket", "sysconf", "uname", "writev"}
+	for _, n := range ascOnly {
+		r, ok := got[n]
+		if !ok || !r.ASC || r.Systrace {
+			t.Errorf("%s: want ASC-only, got %+v", n, r)
+		}
+	}
+	// The paper's Systrace-only rows, with alias attribution.
+	sysOnly := map[string]string{
+		"close": "", "mmap": "", "readlink": "fsread",
+		"mkdir": "fswrite", "rmdir": "fswrite", "unlink": "fswrite",
+	}
+	for n, via := range sysOnly {
+		r, ok := got[n]
+		if !ok || r.ASC || !r.Systrace {
+			t.Errorf("%s: want Systrace-only, got %+v", n, r)
+			continue
+		}
+		if r.Via != via {
+			t.Errorf("%s: via = %q, want %q", n, r.Via, via)
+		}
+	}
+	if len(data.Rows) != len(ascOnly)+len(sysOnly) {
+		t.Errorf("table has %d rows, want %d", len(data.Rows), len(ascOnly)+len(sysOnly))
+	}
+}
+
+func TestTable3(t *testing.T) {
+	data, err := Table3()
+	if err != nil {
+		t.Fatalf("Table3: %v", err)
+	}
+	if len(data.Rows) != 4 {
+		t.Fatalf("rows = %d", len(data.Rows))
+	}
+	for _, r := range data.Rows {
+		if r.Sites <= r.Calls {
+			t.Errorf("%s: sites %d <= calls %d", r.Program, r.Sites, r.Calls)
+		}
+		if r.Args == 0 || r.Auth == 0 {
+			t.Errorf("%s: empty coverage %+v", r.Program, r)
+		}
+		// The paper reports 30-40%% of arguments statically protected;
+		// accept a generous band around it.
+		authPct := 100 * float64(r.Auth) / float64(r.Args)
+		if authPct < 20 || authPct > 60 {
+			t.Errorf("%s: auth%% = %.0f, want 20-60", r.Program, authPct)
+		}
+		if r.FDs == 0 {
+			t.Errorf("%s: no fd-trackable arguments", r.Program)
+		}
+	}
+	t.Log("\n" + data.Render())
+}
+
+func TestTable4(t *testing.T) {
+	data, err := Table4(DefaultKey)
+	if err != nil {
+		t.Fatalf("Table4: %v", err)
+	}
+	if len(data.Rows) != 5 {
+		t.Fatalf("rows = %d", len(data.Rows))
+	}
+	for _, r := range data.Rows {
+		// Original costs within 15% of the paper's calibration targets.
+		if rel := math.Abs(r.OrigCycles-r.PaperOrig) / r.PaperOrig; rel > 0.15 {
+			t.Errorf("%s: orig %.0f vs paper %.0f (%.0f%% off)", r.Call, r.OrigCycles, r.PaperOrig, rel*100)
+		}
+		if r.AuthCycles <= r.OrigCycles {
+			t.Errorf("%s: auth %.0f <= orig %.0f", r.Call, r.AuthCycles, r.OrigCycles)
+		}
+	}
+	// Shape: cheap calls see large relative overhead, write(4096) small.
+	byName := map[string]Table4Row{}
+	for _, r := range data.Rows {
+		byName[r.Call] = r
+	}
+	if byName["getpid"].OverheadPct < 100 {
+		t.Errorf("getpid overhead %.1f%%, want large", byName["getpid"].OverheadPct)
+	}
+	if byName["write(4096)"].OverheadPct > 15 {
+		t.Errorf("write overhead %.1f%%, want small", byName["write(4096)"].OverheadPct)
+	}
+	if byName["getpid"].OverheadPct <= byName["read(4096)"].OverheadPct ||
+		byName["read(4096)"].OverheadPct <= byName["write(4096)"].OverheadPct {
+		t.Error("overhead ordering getpid > read > write violated")
+	}
+	t.Log("\n" + data.Render())
+}
+
+func TestTable6Scaled(t *testing.T) {
+	data, err := Table6(DefaultKey, 5) // scaled down for unit tests
+	if err != nil {
+		t.Fatalf("Table6: %v", err)
+	}
+	if len(data.Rows) != 9 {
+		t.Fatalf("rows = %d", len(data.Rows))
+	}
+	var maxCPU, pyramid float64
+	for _, r := range data.Rows {
+		if r.OverheadPct <= 0 {
+			t.Errorf("%s: overhead %.2f <= 0", r.Program, r.OverheadPct)
+		}
+		// Within 2 percentage points of the paper's number.
+		if d := math.Abs(r.OverheadPct - r.PaperOverhead); d > 2.0 {
+			t.Errorf("%s: overhead %.2f vs paper %.2f", r.Program, r.OverheadPct, r.PaperOverhead)
+		}
+		if r.Class == "CPU" && r.OverheadPct > maxCPU {
+			maxCPU = r.OverheadPct
+		}
+		if r.Program == "pyramid" {
+			pyramid = r.OverheadPct
+		}
+	}
+	// Crossover shape: the syscall-bound pyramid dominates every
+	// CPU-bound program.
+	if pyramid <= maxCPU {
+		t.Errorf("pyramid %.2f%% <= max CPU-bound %.2f%%", pyramid, maxCPU)
+	}
+	t.Log("\n" + data.Render())
+}
+
+func TestAndrewBench(t *testing.T) {
+	data, err := Andrew(DefaultKey, workload.AndrewConfig{Files: 4, FileSize: 16 << 10})
+	if err != nil {
+		t.Fatalf("Andrew: %v", err)
+	}
+	if data.OverheadPct <= 0 || data.OverheadPct > 8 {
+		t.Errorf("overhead = %.2f%%, want low single digits", data.OverheadPct)
+	}
+	t.Log("\n" + data.Render())
+}
+
+func TestEnforcementComparison(t *testing.T) {
+	data, err := EnforcementComparison(DefaultKey)
+	if err != nil {
+		t.Fatalf("EnforcementComparison: %v", err)
+	}
+	cost := map[string]float64{}
+	for _, r := range data.Rows {
+		cost[r.Mechanism] = r.CyclesPerCall
+	}
+	if !(cost["no monitoring"] < cost["in-kernel policy table"] &&
+		cost["in-kernel policy table"] < cost["authenticated system calls"] &&
+		cost["authenticated system calls"] < cost["user-space policy daemon"]) {
+		t.Errorf("ordering violated: %+v", cost)
+	}
+	t.Log("\n" + data.Render())
+}

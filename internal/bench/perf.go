@@ -1,0 +1,382 @@
+// perf.go regenerates the performance tables: the per-call microbenchmark
+// (Table 4), the macrobenchmark suite (Table 6), the Andrew-style
+// multiprogram benchmark (Section 4.3), and the enforcement-mechanism
+// comparison of Section 2.3.
+package bench
+
+import (
+	"fmt"
+
+	"asc/internal/kernel"
+	"asc/internal/libc"
+	"asc/internal/systrace"
+	"asc/internal/workload"
+)
+
+// --- Table 4: microbenchmark ---
+
+// Table4Row is one system call's per-call cost.
+type Table4Row struct {
+	Call          string
+	OrigCycles    float64
+	AuthCycles    float64
+	OverheadPct   float64
+	PaperOrig     float64
+	PaperAuth     float64
+	PaperOverhead float64
+}
+
+// Table4Data is the microbenchmark table.
+type Table4Data struct {
+	Rows []Table4Row
+	// LoopCost is the measured per-iteration loop overhead that was
+	// subtracted (the paper's "loop cost" row).
+	LoopCost float64
+}
+
+// microSource builds a loop executing one call n times. The pread/pwrite
+// forms keep the file offset fixed so every iteration costs the same.
+func microSource(call string, n int) string {
+	body := map[string]string{
+		"getpid": "        CALL getpid\n",
+		"gettimeofday": `        MOVI r1, buf
+        CALL gettimeofday
+`,
+		"brk": `        MOVI r1, 0
+        CALL brk
+`,
+		"read(4096)": `        MOV r1, r10
+        MOVI r2, buf
+        MOVI r3, 4096
+        MOVI r4, 0
+        CALL pread
+`,
+		"write(4096)": `        MOV r1, r11
+        MOVI r2, buf
+        MOVI r3, 4096
+        MOVI r4, 0
+        CALL pwrite
+`,
+		"empty": "",
+	}[call]
+	return fmt.Sprintf(`        .text
+        .global main
+main:
+        PUSH fp
+        MOV fp, sp
+        MOVI r1, inpath
+        MOVI r2, 0
+        MOVI r3, 0
+        CALL open
+        MOV r10, r0
+        MOVI r1, outpath
+        MOVI r2, 0x41
+        MOVI r3, 420
+        CALL open
+        MOV r11, r0
+        MOVI r12, %d
+.loop:
+%s        ADDI r12, r12, -1
+        MOVI r9, 0
+        BNE r12, r9, .loop
+        POP fp
+        MOVI r0, 0
+        RET
+        .rodata
+inpath: .asciz "/data/micro.in"
+outpath: .asciz "/tmp/micro.out"
+        .bss
+buf:    .space 4096
+`, n, body)
+}
+
+// measureMicro returns per-iteration cycles for a call by differencing
+// two loop lengths (startup and I/O setup cancel out).
+func measureMicro(call string, key []byte, authenticated bool) (float64, error) {
+	const n1, n2 = 100, 1100
+	run := func(n int) (uint64, error) {
+		name := fmt.Sprintf("micro-%s-%d", call, n)
+		orig, auth, err := buildPair(name, microSource(call, n), key)
+		if err != nil {
+			return 0, err
+		}
+		exe := orig
+		mode := kernel.Permissive
+		if authenticated {
+			exe, mode = auth, kernel.Enforce
+		}
+		k, err := newBenchKernel(key, mode)
+		if err != nil {
+			return 0, err
+		}
+		p, err := runOnce(k, exe, name, "")
+		if err != nil {
+			return 0, err
+		}
+		return p.CPU.Cycles, nil
+	}
+	c1, err := run(n1)
+	if err != nil {
+		return 0, err
+	}
+	c2, err := run(n2)
+	if err != nil {
+		return 0, err
+	}
+	return float64(c2-c1) / float64(n2-n1), nil
+}
+
+var table4Paper = map[string][3]float64{
+	"getpid":       {1141, 5045, 342.2},
+	"gettimeofday": {1395, 5703, 308.8},
+	"read(4096)":   {7324, 10013, 36.7},
+	"write(4096)":  {39479, 40396, 2.3},
+	"brk":          {1155, 5083, 340.1},
+}
+
+// Table4 regenerates "Effect of Authentication".
+func Table4(key []byte) (*Table4Data, error) {
+	out := &Table4Data{}
+	loop, err := measureMicro("empty", key, false)
+	if err != nil {
+		return nil, err
+	}
+	out.LoopCost = loop
+	for _, call := range []string{"getpid", "gettimeofday", "read(4096)", "write(4096)", "brk"} {
+		orig, err := measureMicro(call, key, false)
+		if err != nil {
+			return nil, err
+		}
+		auth, err := measureMicro(call, key, true)
+		if err != nil {
+			return nil, err
+		}
+		paper := table4Paper[call]
+		out.Rows = append(out.Rows, Table4Row{
+			Call:        call,
+			OrigCycles:  orig - loop,
+			AuthCycles:  auth - loop,
+			OverheadPct: 100 * (auth - orig) / (orig - loop),
+			PaperOrig:   paper[0], PaperAuth: paper[1], PaperOverhead: paper[2],
+		})
+	}
+	return out, nil
+}
+
+// Render prints the table in the paper's layout.
+func (t *Table4Data) Render() string {
+	header := []string{"System Call", "Orig (cycles)", "Auth (cycles)", "Overhead (%)", "(paper orig/auth/%)"}
+	var rows [][]string
+	for _, r := range t.Rows {
+		rows = append(rows, []string{
+			r.Call,
+			fmt.Sprintf("%.0f", r.OrigCycles),
+			fmt.Sprintf("%.0f", r.AuthCycles),
+			fmt.Sprintf("%.1f", r.OverheadPct),
+			fmt.Sprintf("%.0f/%.0f/%.1f", r.PaperOrig, r.PaperAuth, r.PaperOverhead),
+		})
+	}
+	rows = append(rows, []string{"loop cost", fmt.Sprintf("%.0f", t.LoopCost), "", "", "4"})
+	return renderTable("Table 4: Effect of Authentication (per-call cycles)", header, rows)
+}
+
+// --- Table 6: macrobenchmarks ---
+
+// Table6Row is one program's end-to-end overhead.
+type Table6Row struct {
+	Program       string
+	Class         string
+	OrigCycles    uint64
+	AuthCycles    uint64
+	OverheadPct   float64
+	PaperOverhead float64
+	Syscalls      uint64
+}
+
+// Table6Data is the macrobenchmark table.
+type Table6Data struct{ Rows []Table6Row }
+
+// Table6 regenerates "Performance Overhead" over the Table 5 suite.
+// scale divides the iteration counts (use 1 for full fidelity).
+func Table6(key []byte, scale int) (*Table6Data, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	out := &Table6Data{}
+	for _, spec := range workload.PerfSuite() {
+		iters := spec.Iters / scale
+		if iters < 2 {
+			iters = 2
+		}
+		src := spec.Source(iters)
+		orig, auth, err := buildPair(spec.Name, src, key)
+		if err != nil {
+			return nil, err
+		}
+		kOrig, err := newBenchKernel(key, kernel.Permissive)
+		if err != nil {
+			return nil, err
+		}
+		pOrig, err := runOnce(kOrig, orig, spec.Name, "")
+		if err != nil {
+			return nil, err
+		}
+		kAuth, err := newBenchKernel(key, kernel.Enforce)
+		if err != nil {
+			return nil, err
+		}
+		pAuth, err := runOnce(kAuth, auth, spec.Name, "")
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, Table6Row{
+			Program:       spec.Name,
+			Class:         spec.Class,
+			OrigCycles:    pOrig.CPU.Cycles,
+			AuthCycles:    pAuth.CPU.Cycles,
+			OverheadPct:   pct(pOrig.CPU.Cycles, pAuth.CPU.Cycles),
+			PaperOverhead: spec.PaperOverhead,
+			Syscalls:      pOrig.SyscallCount,
+		})
+	}
+	return out, nil
+}
+
+// Render prints the macro table.
+func (t *Table6Data) Render() string {
+	header := []string{"Program", "Class", "Orig (cycles)", "Auth (cycles)", "Overhead (%)", "(paper %)"}
+	var rows [][]string
+	for _, r := range t.Rows {
+		rows = append(rows, []string{
+			r.Program, r.Class,
+			fmt.Sprint(r.OrigCycles), fmt.Sprint(r.AuthCycles),
+			fmt.Sprintf("%.2f", r.OverheadPct),
+			fmt.Sprintf("%.2f", r.PaperOverhead),
+		})
+	}
+	return renderTable("Table 6: Performance Overhead", header, rows)
+}
+
+// --- Andrew-style multiprogram benchmark ---
+
+// AndrewData is the multiprogram benchmark result.
+type AndrewData struct {
+	OrigCycles  uint64
+	AuthCycles  uint64
+	OverheadPct float64
+	Syscalls    uint64
+	Runs        int
+}
+
+// Andrew regenerates the Section 4.3 multiprogram benchmark.
+func Andrew(key []byte, cfg workload.AndrewConfig) (*AndrewData, error) {
+	tools, err := workload.BuildTools(libc.Linux)
+	if err != nil {
+		return nil, err
+	}
+	orig, err := workload.RunAndrew(tools, nil, cfg)
+	if err != nil {
+		return nil, err
+	}
+	installed, err := workload.InstallTools(tools, key)
+	if err != nil {
+		return nil, err
+	}
+	auth, err := workload.RunAndrew(installed, key, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &AndrewData{
+		OrigCycles:  orig.Cycles,
+		AuthCycles:  auth.Cycles,
+		OverheadPct: pct(orig.Cycles, auth.Cycles),
+		Syscalls:    orig.Syscalls,
+		Runs:        orig.Runs,
+	}, nil
+}
+
+// Render prints the result.
+func (a *AndrewData) Render() string {
+	return fmt.Sprintf(
+		"Andrew-style multiprogram benchmark\n"+
+			"tool runs %d, system calls %d\n"+
+			"original     %d cycles\n"+
+			"authenticated %d cycles\n"+
+			"overhead      %.2f%%   (paper: 0.96%%)\n",
+		a.Runs, a.Syscalls, a.OrigCycles, a.AuthCycles, a.OverheadPct)
+}
+
+// --- enforcement mechanism comparison (Section 2.3) ---
+
+// ComparisonRow is one enforcement mechanism's per-call cost.
+type ComparisonRow struct {
+	Mechanism     string
+	CyclesPerCall float64
+}
+
+// ComparisonData contrasts monitor architectures on a syscall-heavy run.
+type ComparisonData struct{ Rows []ComparisonRow }
+
+// EnforcementComparison measures per-call cost under: no monitoring, ASC
+// (in-kernel MAC verification), an in-kernel policy table, and a
+// user-space policy daemon (Systrace-style, two context switches).
+func EnforcementComparison(key []byte) (*ComparisonData, error) {
+	const iters = 2000
+	src := microSource("getpid", iters)
+	orig, auth, err := buildPair("compare", src, key)
+	if err != nil {
+		return nil, err
+	}
+	measure := func(mode kernel.Mode, useAuth bool,
+		mon func(*kernel.Process, uint16, uint32) (uint64, bool)) (float64, error) {
+		k, err := newBenchKernel(key, mode)
+		if err != nil {
+			return 0, err
+		}
+		k.MonitorOverhead = mon
+		exe := orig
+		if useAuth {
+			exe = auth
+		}
+		p, err := runOnce(k, exe, "compare", "")
+		if err != nil {
+			return 0, err
+		}
+		return float64(p.CPU.Cycles) / iters, nil
+	}
+
+	none, err := measure(kernel.Permissive, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	asc, err := measure(kernel.Enforce, true, nil)
+	if err != nil {
+		return nil, err
+	}
+	allow := map[string]bool{"getpid": true, "open": true, "exit": true, "read": true, "write": true}
+	pol := &systrace.Policy{Program: "compare", Allowed: allow}
+	inKernel, err := measure(kernel.Permissive, false, pol.InKernelMonitor())
+	if err != nil {
+		return nil, err
+	}
+	daemon, err := measure(kernel.Permissive, false, pol.DaemonMonitor(kernel.DefaultCosts))
+	if err != nil {
+		return nil, err
+	}
+	return &ComparisonData{Rows: []ComparisonRow{
+		{"no monitoring", none},
+		{"authenticated system calls", asc},
+		{"in-kernel policy table", inKernel},
+		{"user-space policy daemon", daemon},
+	}}, nil
+}
+
+// Render prints the comparison.
+func (c *ComparisonData) Render() string {
+	header := []string{"Mechanism", "cycles/call (getpid loop)"}
+	var rows [][]string
+	for _, r := range c.Rows {
+		rows = append(rows, []string{r.Mechanism, fmt.Sprintf("%.0f", r.CyclesPerCall)})
+	}
+	return renderTable("Enforcement mechanism comparison (Section 2.3)", header, rows)
+}

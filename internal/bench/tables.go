@@ -1,0 +1,232 @@
+// tables.go regenerates the policy tables (1-3) of Section 4.2.
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"asc/internal/installer"
+	"asc/internal/libc"
+	"asc/internal/workload"
+)
+
+// Table1Row is one program's policy sizes.
+type Table1Row struct {
+	Program     string
+	ASCLinux    int // distinct calls, ASC policy on Linux
+	ASCOpenBSD  int // distinct calls, ASC policy on OpenBSD
+	SystraceBSD int // distinct calls, trained+generalized policy
+	PaperASCLnx int
+	PaperASCBSD int
+	PaperSysBSD int
+}
+
+// Table1Data is the full table.
+type Table1Data struct{ Rows []Table1Row }
+
+var table1Paper = map[string][3]int{
+	"bison":  {31, 31, 24},
+	"calc":   {54, 51, 24},
+	"screen": {67, 63, 55},
+}
+
+// Table1 regenerates "Number of System Calls in Policies".
+func Table1() (*Table1Data, error) {
+	out := &Table1Data{}
+	for _, name := range []string{"bison", "calc", "screen"} {
+		row := Table1Row{Program: name}
+		paper := table1Paper[name]
+		row.PaperASCLnx, row.PaperASCBSD, row.PaperSysBSD = paper[0], paper[1], paper[2]
+		for _, os := range []libc.OS{libc.Linux, libc.OpenBSD} {
+			exe, err := workload.Build(name, os)
+			if err != nil {
+				return nil, err
+			}
+			pp, _, err := installer.GeneratePolicy(exe, name, os.String())
+			if err != nil {
+				return nil, err
+			}
+			n := len(pp.DistinctSyscalls())
+			if os == libc.Linux {
+				row.ASCLinux = n
+			} else {
+				row.ASCOpenBSD = n
+			}
+		}
+		pol, err := trainedPolicy(name)
+		if err != nil {
+			return nil, err
+		}
+		row.SystraceBSD = len(pol.ExpandedNames())
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render prints the table with the paper's values alongside.
+func (t *Table1Data) Render() string {
+	header := []string{"Program", "ASC/Linux", "ASC/OpenBSD", "Systrace/OpenBSD", "(paper)"}
+	var rows [][]string
+	for _, r := range t.Rows {
+		rows = append(rows, []string{
+			r.Program,
+			fmt.Sprint(r.ASCLinux), fmt.Sprint(r.ASCOpenBSD), fmt.Sprint(r.SystraceBSD),
+			fmt.Sprintf("%d/%d/%d", r.PaperASCLnx, r.PaperASCBSD, r.PaperSysBSD),
+		})
+	}
+	return renderTable("Table 1: Number of System Calls in Policies", header, rows)
+}
+
+// Table2Row is one differing system call in the bison policies.
+type Table2Row struct {
+	Name     string
+	ASC      bool
+	Systrace bool
+	Via      string // "fsread"/"fswrite" when permitted via an alias
+}
+
+// Table2Data is the bison policy comparison.
+type Table2Data struct{ Rows []Table2Row }
+
+// Table2 regenerates "Comparison of Policies for Bison" on OpenBSD.
+func Table2() (*Table2Data, error) {
+	exe, err := workload.Build("bison", libc.OpenBSD)
+	if err != nil {
+		return nil, err
+	}
+	pp, _, err := installer.GeneratePolicy(exe, "bison", "openbsd")
+	if err != nil {
+		return nil, err
+	}
+	ascSet := make(map[string]bool)
+	for _, n := range pp.DistinctNames() {
+		ascSet[n] = true
+	}
+	pol, err := trainedPolicy("bison")
+	if err != nil {
+		return nil, err
+	}
+	sysSet := make(map[string]bool)
+	for _, n := range pol.ExpandedNames() {
+		sysSet[n] = true
+	}
+	concrete := make(map[string]bool)
+	for _, n := range pol.Names() {
+		concrete[n] = true
+	}
+
+	all := make(map[string]bool)
+	for n := range ascSet {
+		all[n] = true
+	}
+	for n := range sysSet {
+		all[n] = true
+	}
+	var names []string
+	for n := range all {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	out := &Table2Data{}
+	for _, n := range names {
+		if ascSet[n] == sysSet[n] {
+			continue // only differences are listed
+		}
+		row := Table2Row{Name: n, ASC: ascSet[n], Systrace: sysSet[n]}
+		if sysSet[n] && !concrete[n] {
+			for _, f := range fsreadNames() {
+				if f == n {
+					row.Via = "fsread"
+				}
+			}
+			if row.Via == "" {
+				row.Via = "fswrite"
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func fsreadNames() []string {
+	return []string{"open", "read", "stat", "access", "readlink"}
+}
+
+// Render prints the diff in the paper's yes/NO format.
+func (t *Table2Data) Render() string {
+	header := []string{"System call", "ASC", "Systrace"}
+	var rows [][]string
+	mark := func(b bool, via string) string {
+		if !b {
+			return "NO"
+		}
+		if via != "" {
+			return "yes (" + via + ")"
+		}
+		return "yes"
+	}
+	for _, r := range t.Rows {
+		rows = append(rows, []string{r.Name, mark(r.ASC, ""), mark(r.Systrace, r.Via)})
+	}
+	return renderTable("Table 2: Comparison of Policies for Bison (OpenBSD)", header, rows)
+}
+
+// Table3Row is one program's argument coverage.
+type Table3Row struct {
+	Program string
+	Sites   int
+	Calls   int
+	Args    int
+	Output  int // o/p
+	Auth    int
+	Multi   int // mv
+	FDs     int
+}
+
+// Table3Data is the argument coverage table.
+type Table3Data struct{ Rows []Table3Row }
+
+// Table3 regenerates "Argument Coverage" for bison, calc, screen, tar.
+func Table3() (*Table3Data, error) {
+	out := &Table3Data{}
+	for _, name := range workload.Names() {
+		exe, err := workload.Build(name, libc.Linux)
+		if err != nil {
+			return nil, err
+		}
+		_, rep, err := installer.GeneratePolicy(exe, name, "linux")
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, Table3Row{
+			Program: name,
+			Sites:   rep.Sites,
+			Calls:   rep.DistinctCalls,
+			Args:    rep.TotalArgs,
+			Output:  rep.OutputArgs,
+			Auth:    rep.AuthArgs,
+			Multi:   rep.MultiArgs,
+			FDs:     rep.FDArgs,
+		})
+	}
+	return out, nil
+}
+
+// Render prints the table with the paper's column layout.
+func (t *Table3Data) Render() string {
+	header := []string{"prog", "sites", "calls", "args", "o/p", "auth", "mv", "fds", "auth%"}
+	var rows [][]string
+	for _, r := range t.Rows {
+		authPct := 0.0
+		if r.Args > 0 {
+			authPct = 100 * float64(r.Auth) / float64(r.Args)
+		}
+		rows = append(rows, []string{
+			r.Program, fmt.Sprint(r.Sites), fmt.Sprint(r.Calls), fmt.Sprint(r.Args),
+			fmt.Sprint(r.Output), fmt.Sprint(r.Auth), fmt.Sprint(r.Multi), fmt.Sprint(r.FDs),
+			fmt.Sprintf("%.0f%%", authPct),
+		})
+	}
+	return renderTable("Table 3: Argument Coverage", header, rows)
+}

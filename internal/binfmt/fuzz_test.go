@@ -1,0 +1,26 @@
+package binfmt
+
+import "testing"
+
+// FuzzRead exercises the SELF reader with arbitrary bytes; it must never
+// panic, and any file it accepts must re-serialize.
+func FuzzRead(f *testing.F) {
+	sample := sampleFile()
+	sample.Layout()
+	b, err := sample.Bytes()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(b)
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, err := Read(data)
+		if err != nil {
+			return
+		}
+		if _, err := parsed.Bytes(); err != nil {
+			t.Fatalf("accepted file fails to serialize: %v", err)
+		}
+	})
+}

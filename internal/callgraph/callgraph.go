@@ -1,0 +1,355 @@
+// Package callgraph builds the program call graph and derives the
+// system-call graph: for every system call site, the set of system call
+// sites that can immediately precede it at run time.
+//
+// Following Section 3.3 of the paper, "the graph giving all possible
+// system call orderings is calculated from the full call graph, which
+// gives all possible orderings of all basic blocks". We build an
+// interprocedural supergraph over basic blocks — call blocks edge into
+// callee entries, return blocks edge back to each call site's fallthrough
+// — and solve a forward dataflow problem whose value at a block is the set
+// of system call blocks that may have executed most recently. Indirect
+// calls conservatively target every address-taken function.
+//
+// The distinguished predecessor ID 0 (Entry) means "no system call has
+// executed yet"; it appears in the predecessor set of any site reachable
+// from program entry without crossing another system call.
+package callgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"asc/internal/binfmt"
+	"asc/internal/cfg"
+	"asc/internal/sys"
+)
+
+// Entry is the distinguished predecessor ID meaning "program start".
+const Entry = 0
+
+// Graph is the call graph plus system-call-order analysis results.
+type Graph struct {
+	Prog *cfg.Program
+
+	// Callees maps each function to the functions it may call
+	// (including indirect targets).
+	Callees map[*cfg.Func][]*cfg.Func
+
+	// AddressTaken lists functions whose address escapes into data or
+	// non-call immediates; they are candidate targets of every CALLR.
+	AddressTaken []*cfg.Func
+
+	// predSets maps each syscall block to the sorted set of block IDs of
+	// possibly-immediately-preceding syscall blocks (Entry for "none").
+	predSets map[*cfg.Block][]int
+
+	// Reachable is the set of functions reachable from _start.
+	Reachable map[*cfg.Func]bool
+}
+
+// PredSet returns the predecessor block IDs for a system call site's
+// block: the control-flow policy of the paper. The slice is shared; do
+// not mutate.
+func (g *Graph) PredSet(b *cfg.Block) []int {
+	return g.predSets[b]
+}
+
+// Build analyzes the program.
+func Build(p *cfg.Program) (*Graph, error) {
+	g := &Graph{
+		Prog:      p,
+		Callees:   make(map[*cfg.Func][]*cfg.Func),
+		predSets:  make(map[*cfg.Block][]int),
+		Reachable: make(map[*cfg.Func]bool),
+	}
+	g.findAddressTaken()
+	g.buildCallEdges()
+	g.markReachable()
+	if err := g.solveOrder(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// findAddressTaken scans relocations: any relocation against a function
+// symbol that is not the target immediate of a direct CALL/JMP/branch
+// means the address escapes.
+func (g *Graph) findAddressTaken() {
+	p := g.Prog
+	f := p.File
+	textIdx := f.SectionIndex(binfmt.SecText)
+	text := f.Section(binfmt.SecText)
+
+	// Direct-control-transfer immediates: set of .text offsets whose
+	// relocation feeds a CALL/JMP/branch target.
+	directImm := make(map[uint32]bool)
+	for _, fun := range p.Funcs {
+		for _, b := range fun.Blocks {
+			for _, in := range b.Insns {
+				if in.Instr.HasImmTarget() {
+					directImm[in.Addr+4] = true
+				}
+			}
+		}
+	}
+	seen := make(map[*cfg.Func]bool)
+	for _, r := range f.Relocs {
+		sym := &f.Symbols[r.Sym]
+		if sym.Kind != binfmt.SymFunc || !sym.Defined() {
+			continue
+		}
+		if r.Section == textIdx && directImm[text.Addr+r.Offset] {
+			continue
+		}
+		addr := f.Sections[sym.Section].Addr + sym.Value + uint32(r.Addend)
+		fun := p.FuncAt(addr)
+		if fun != nil && !seen[fun] {
+			seen[fun] = true
+			g.AddressTaken = append(g.AddressTaken, fun)
+		}
+	}
+	sort.Slice(g.AddressTaken, func(i, j int) bool {
+		return g.AddressTaken[i].Entry < g.AddressTaken[j].Entry
+	})
+}
+
+func (g *Graph) buildCallEdges() {
+	p := g.Prog
+	for _, fun := range p.Funcs {
+		seen := make(map[*cfg.Func]bool)
+		add := func(callee *cfg.Func) {
+			if callee != nil && !seen[callee] {
+				seen[callee] = true
+				g.Callees[fun] = append(g.Callees[fun], callee)
+			}
+		}
+		for _, b := range fun.Blocks {
+			for _, target := range b.CallTo {
+				add(p.FuncAt(target))
+			}
+			if b.Indirect {
+				for _, at := range g.AddressTaken {
+					add(at)
+				}
+			}
+		}
+		sort.Slice(g.Callees[fun], func(i, j int) bool {
+			return g.Callees[fun][i].Entry < g.Callees[fun][j].Entry
+		})
+	}
+}
+
+func (g *Graph) markReachable() {
+	start := g.Prog.FuncNamed("_start")
+	if start == nil && len(g.Prog.Funcs) > 0 {
+		start = g.Prog.Funcs[0]
+	}
+	var visit func(*cfg.Func)
+	visit = func(f *cfg.Func) {
+		if f == nil || g.Reachable[f] {
+			return
+		}
+		g.Reachable[f] = true
+		for _, c := range g.Callees[f] {
+			visit(c)
+		}
+	}
+	visit(start)
+}
+
+// superEdges computes interprocedural successor lists over blocks.
+func (g *Graph) superEdges() map[*cfg.Block][]*cfg.Block {
+	p := g.Prog
+	succs := make(map[*cfg.Block][]*cfg.Block, len(p.Blocks))
+
+	// callSites[f] = fallthrough blocks of every call to f.
+	callSites := make(map[*cfg.Func][]*cfg.Block)
+
+	callTargets := func(b *cfg.Block) []*cfg.Func {
+		var out []*cfg.Func
+		for _, t := range b.CallTo {
+			if f := p.FuncAt(t); f != nil {
+				out = append(out, f)
+			}
+		}
+		if b.Indirect {
+			out = append(out, g.AddressTaken...)
+		}
+		return out
+	}
+
+	for _, fun := range p.Funcs {
+		for _, b := range fun.Blocks {
+			// exit never returns: its block has no runtime successors,
+			// so edges out of it would only add infeasible orderings.
+			if b.Syscall != nil && b.Syscall.NumKnown && b.Syscall.Num == sys.SysExit {
+				continue
+			}
+			targets := callTargets(b)
+			if len(targets) == 0 {
+				succs[b] = append(succs[b], b.Succs...)
+				continue
+			}
+			// Call block: edge into each callee entry; the fallthrough
+			// is reached via the callee's return blocks.
+			var fallthru *cfg.Block
+			if len(b.Succs) > 0 {
+				fallthru = b.Succs[0]
+			}
+			linked := false
+			for _, callee := range targets {
+				entry := callee.EntryBlock()
+				if entry == nil {
+					continue
+				}
+				succs[b] = append(succs[b], entry)
+				linked = true
+				if fallthru != nil {
+					callSites[callee] = append(callSites[callee], fallthru)
+				}
+			}
+			if !linked && fallthru != nil {
+				// Callee body unknown (e.g. undecodable): stay
+				// conservative by keeping the fallthrough edge.
+				succs[b] = append(succs[b], fallthru)
+			}
+		}
+	}
+	// Return edges.
+	for _, fun := range p.Funcs {
+		sites := callSites[fun]
+		if len(sites) == 0 {
+			continue
+		}
+		for _, b := range fun.Blocks {
+			if b.IsRet {
+				succs[b] = append(succs[b], sites...)
+			}
+		}
+	}
+	return succs
+}
+
+// solveOrder runs the last-system-call dataflow over the supergraph.
+func (g *Graph) solveOrder() error {
+	p := g.Prog
+
+	// Index syscall blocks densely for bitset representation. Lattice
+	// element index 0 is Entry.
+	var sysBlocks []*cfg.Block
+	idxOf := make(map[*cfg.Block]int)
+	for _, b := range p.Blocks {
+		if b.Syscall != nil {
+			idxOf[b] = len(sysBlocks) + 1
+			sysBlocks = append(sysBlocks, b)
+		}
+	}
+	nbits := len(sysBlocks) + 1
+	words := (nbits + 63) / 64
+
+	in := make(map[*cfg.Block][]uint64, len(p.Blocks))
+	getIn := func(b *cfg.Block) []uint64 {
+		s := in[b]
+		if s == nil {
+			s = make([]uint64, words)
+			in[b] = s
+		}
+		return s
+	}
+
+	succs := g.superEdges()
+
+	// out(b): if b is a syscall block, {b}; else in(b).
+	outOf := func(b *cfg.Block, inSet []uint64) []uint64 {
+		if i, ok := idxOf[b]; ok {
+			o := make([]uint64, words)
+			o[i/64] |= 1 << (i % 64)
+			return o
+		}
+		return inSet
+	}
+
+	// Seed: entry block of _start holds the Entry bit.
+	start := p.FuncNamed("_start")
+	if start == nil && len(p.Funcs) > 0 {
+		start = p.Funcs[0]
+	}
+	if start == nil {
+		return fmt.Errorf("callgraph: no functions")
+	}
+	work := make([]*cfg.Block, 0, len(p.Blocks))
+	inWork := make(map[*cfg.Block]bool)
+	push := func(b *cfg.Block) {
+		if !inWork[b] {
+			inWork[b] = true
+			work = append(work, b)
+		}
+	}
+	if eb := start.EntryBlock(); eb != nil {
+		getIn(eb)[Entry/64] |= 1 << (Entry % 64)
+		push(eb)
+	}
+
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[b] = false
+		o := outOf(b, getIn(b))
+		for _, s := range succs[b] {
+			si := getIn(s)
+			changed := false
+			for w := 0; w < words; w++ {
+				if o[w]&^si[w] != 0 {
+					si[w] |= o[w]
+					changed = true
+				}
+			}
+			if changed {
+				push(s)
+			}
+		}
+	}
+
+	// Materialize predecessor sets for syscall blocks.
+	for _, b := range sysBlocks {
+		set := getIn(b)
+		var ids []int
+		for w := 0; w < words; w++ {
+			word := set[w]
+			for bit := 0; bit < 64; bit++ {
+				if word&(1<<bit) == 0 {
+					continue
+				}
+				i := w*64 + bit
+				if i == Entry {
+					ids = append(ids, Entry)
+				} else {
+					ids = append(ids, sysBlocks[i-1].ID)
+				}
+			}
+		}
+		sort.Ints(ids)
+		g.predSets[b] = ids
+	}
+	return nil
+}
+
+// SyscallNumbers returns the sorted set of distinct system call numbers
+// appearing at sites with statically known numbers, plus a list of sites
+// whose numbers are unknown. This is the raw material of Table 1.
+func (g *Graph) SyscallNumbers() (known []uint16, unknown []*cfg.SyscallSite) {
+	seen := make(map[uint16]bool)
+	for _, s := range g.Prog.SyscallSites() {
+		if s.NumKnown {
+			if !seen[s.Num] {
+				seen[s.Num] = true
+				known = append(known, s.Num)
+			}
+		} else {
+			unknown = append(unknown, s)
+		}
+	}
+	sort.Slice(known, func(i, j int) bool { return known[i] < known[j] })
+	return known, unknown
+}

@@ -1,0 +1,273 @@
+package callgraph
+
+import (
+	"testing"
+
+	"asc/internal/asm"
+	"asc/internal/binfmt"
+	"asc/internal/cfg"
+	"asc/internal/libc"
+	"asc/internal/linker"
+	"asc/internal/sys"
+)
+
+func build(t *testing.T, src string) (*cfg.Program, *Graph) {
+	t.Helper()
+	main, err := asm.Assemble("main.s", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	lib, err := libc.Objects(libc.Linux)
+	if err != nil {
+		t.Fatalf("libc: %v", err)
+	}
+	exe, err := linker.Link([]*binfmt.File{main}, lib)
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	p, err := cfg.Analyze(exe)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	g, err := Build(p)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p, g
+}
+
+// siteByNum finds the unique syscall block with the given number.
+func siteByNum(t *testing.T, p *cfg.Program, num uint16) *cfg.Block {
+	t.Helper()
+	var found *cfg.Block
+	for _, s := range p.SyscallSites() {
+		if s.NumKnown && s.Num == num {
+			if found != nil {
+				t.Fatalf("multiple sites for syscall %d", num)
+			}
+			found = s.Block
+		}
+	}
+	if found == nil {
+		t.Fatalf("no site for syscall %d", num)
+	}
+	return found
+}
+
+func TestStraightLineOrder(t *testing.T) {
+	// getpid; getuid; exit — a strict chain.
+	p, g := build(t, `
+        .text
+        .global main
+main:
+        CALL getpid
+        CALL getuid
+        MOVI r0, 0
+        RET
+`)
+	pidBlk := siteByNum(t, p, sys.SysGetpid)
+	uidBlk := siteByNum(t, p, sys.SysGetuid)
+	exitBlk := siteByNum(t, p, sys.SysExit)
+
+	if ps := g.PredSet(pidBlk); len(ps) != 1 || ps[0] != Entry {
+		t.Errorf("getpid preds = %v, want [Entry]", ps)
+	}
+	if ps := g.PredSet(uidBlk); len(ps) != 1 || ps[0] != pidBlk.ID {
+		t.Errorf("getuid preds = %v, want [%d]", ps, pidBlk.ID)
+	}
+	if ps := g.PredSet(exitBlk); len(ps) != 1 || ps[0] != uidBlk.ID {
+		t.Errorf("exit preds = %v, want [%d]", ps, uidBlk.ID)
+	}
+}
+
+func TestBranchMergesPreds(t *testing.T) {
+	// if (...) getpid else getuid; then getgid: getgid's preds = both.
+	p, g := build(t, `
+        .text
+        .global main
+main:
+        LOAD r7, [sp+0]
+        MOVI r8, 0
+        BEQ r7, r8, .else
+        CALL getpid
+        JMP .join
+.else:
+        CALL getuid
+.join:
+        CALL getgid
+        MOVI r0, 0
+        RET
+`)
+	pidBlk := siteByNum(t, p, sys.SysGetpid)
+	uidBlk := siteByNum(t, p, sys.SysGetuid)
+	gidBlk := siteByNum(t, p, sys.SysGetgid)
+	ps := g.PredSet(gidBlk)
+	want := map[int]bool{pidBlk.ID: true, uidBlk.ID: true}
+	if len(ps) != 2 || !want[ps[0]] || !want[ps[1]] {
+		t.Errorf("getgid preds = %v, want {%d,%d}", ps, pidBlk.ID, uidBlk.ID)
+	}
+}
+
+func TestLoopSelfPredecessor(t *testing.T) {
+	// for(...) getpid(): getpid can follow itself or Entry.
+	p, g := build(t, `
+        .text
+        .global main
+main:
+        MOVI r10, 5
+.loop:
+        CALL getpid
+        ADDI r10, r10, -1
+        MOVI r7, 0
+        BNE r10, r7, .loop
+        MOVI r0, 0
+        RET
+`)
+	pidBlk := siteByNum(t, p, sys.SysGetpid)
+	ps := g.PredSet(pidBlk)
+	if len(ps) != 2 || ps[0] != Entry || ps[1] != pidBlk.ID {
+		t.Errorf("loop getpid preds = %v, want [Entry %d]", ps, pidBlk.ID)
+	}
+}
+
+func TestInterproceduralOrder(t *testing.T) {
+	// helper does getuid; main: getpid, helper(), getgid.
+	// getuid's pred = getpid; getgid's pred = getuid (via return edge).
+	p, g := build(t, `
+        .text
+        .global main
+main:
+        CALL getpid
+        CALL helper
+        CALL getgid
+        MOVI r0, 0
+        RET
+helper:
+        CALL getuid
+        RET
+`)
+	pidBlk := siteByNum(t, p, sys.SysGetpid)
+	uidBlk := siteByNum(t, p, sys.SysGetuid)
+	gidBlk := siteByNum(t, p, sys.SysGetgid)
+	if ps := g.PredSet(uidBlk); len(ps) != 1 || ps[0] != pidBlk.ID {
+		t.Errorf("getuid preds = %v, want [%d] (interproc in-edge)", ps, pidBlk.ID)
+	}
+	if ps := g.PredSet(gidBlk); len(ps) != 1 || ps[0] != uidBlk.ID {
+		t.Errorf("getgid preds = %v, want [%d] (return edge)", ps, uidBlk.ID)
+	}
+}
+
+func TestCallDoesNotBypassCallee(t *testing.T) {
+	// The fallthrough of a call must flow THROUGH the callee: getgid's
+	// predecessor set must not contain getpid directly when helper
+	// unconditionally performs getuid.
+	p, g := build(t, `
+        .text
+        .global main
+main:
+        CALL getpid
+        CALL helper
+        CALL getgid
+        MOVI r0, 0
+        RET
+helper:
+        CALL getuid
+        RET
+`)
+	pidBlk := siteByNum(t, p, sys.SysGetpid)
+	gidBlk := siteByNum(t, p, sys.SysGetgid)
+	for _, id := range g.PredSet(gidBlk) {
+		if id == pidBlk.ID {
+			t.Errorf("getgid preds contain getpid %d: call edge bypassed callee", pidBlk.ID)
+		}
+	}
+}
+
+func TestIndirectCallConservative(t *testing.T) {
+	// A function pointer to either of two helpers: the following syscall
+	// may be preceded by either helper's syscall.
+	p, g := build(t, `
+        .text
+        .global main
+main:
+        MOVI r2, h1
+        LOAD r7, [sp+0]
+        MOVI r8, 0
+        BEQ r7, r8, .go
+        MOVI r2, h2
+.go:
+        CALLR r2
+        CALL getgid
+        MOVI r0, 0
+        RET
+h1:
+        CALL getpid
+        RET
+h2:
+        CALL getuid
+        RET
+`)
+	pidBlk := siteByNum(t, p, sys.SysGetpid)
+	uidBlk := siteByNum(t, p, sys.SysGetuid)
+	gidBlk := siteByNum(t, p, sys.SysGetgid)
+	ps := g.PredSet(gidBlk)
+	has := func(id int) bool {
+		for _, x := range ps {
+			if x == id {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(pidBlk.ID) || !has(uidBlk.ID) {
+		t.Errorf("getgid preds = %v, want both %d and %d", ps, pidBlk.ID, uidBlk.ID)
+	}
+	if len(g.AddressTaken) < 2 {
+		t.Errorf("address-taken = %d funcs, want >= 2", len(g.AddressTaken))
+	}
+}
+
+func TestUnreachableFunctionEmptyPreds(t *testing.T) {
+	p, g := build(t, `
+        .text
+        .global main
+main:
+        MOVI r0, 0
+        RET
+deadcode:
+        CALL getpid
+        RET
+`)
+	pidBlk := siteByNum(t, p, sys.SysGetpid)
+	if ps := g.PredSet(pidBlk); len(ps) != 0 {
+		t.Errorf("unreachable getpid preds = %v, want empty", ps)
+	}
+	dead := p.FuncNamed("deadcode")
+	if g.Reachable[dead] {
+		t.Error("deadcode marked reachable")
+	}
+	if !g.Reachable[p.FuncNamed("main")] {
+		t.Error("main not reachable")
+	}
+}
+
+func TestSyscallNumbers(t *testing.T) {
+	_, g := build(t, `
+        .text
+        .global main
+main:
+        CALL getpid
+        CALL getpid
+        CALL getuid
+        MOVI r0, 0
+        RET
+`)
+	known, unknown := g.SyscallNumbers()
+	// getpid, getuid, exit = 3 distinct.
+	if len(known) != 3 {
+		t.Errorf("known = %v, want 3 distinct", known)
+	}
+	if len(unknown) != 0 {
+		t.Errorf("unknown sites = %d", len(unknown))
+	}
+}

@@ -1,0 +1,136 @@
+package captrack
+
+import (
+	"errors"
+	"testing"
+
+	"asc/internal/mac"
+	"asc/internal/vm"
+)
+
+func setup(t *testing.T, capacity int) (*Tracker, *vm.Memory) {
+	t.Helper()
+	key, err := mac.New([]byte("0123456789abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := vm.NewMemory(0x1000, 64<<10)
+	tr, err := New(key, mem, 0x2000, capacity)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return tr, mem
+}
+
+func TestTrackLifecycle(t *testing.T) {
+	tr, mem := setup(t, 8)
+	// Nothing tracked initially.
+	if err := tr.Check(mem, 3); !errors.Is(err, ErrNotTracked) {
+		t.Errorf("Check(3) on empty set = %v", err)
+	}
+	// open -> add; read's policy check passes.
+	if err := tr.Add(mem, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Check(mem, 3); err != nil {
+		t.Errorf("Check(3) = %v", err)
+	}
+	// Multiple active descriptors (the paper's point against the naive
+	// single-slot design).
+	if err := tr.Add(mem, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Add(mem, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Check(mem, 4); err != nil {
+		t.Errorf("Check(4) = %v", err)
+	}
+	// close -> remove; further use is rejected.
+	if err := tr.Remove(mem, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Check(mem, 4); !errors.Is(err, ErrNotTracked) {
+		t.Errorf("Check(closed 4) = %v", err)
+	}
+	// Reuse after close (dup/open can return the same number again).
+	if err := tr.Add(mem, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Check(mem, 4); err != nil {
+		t.Errorf("Check(reused 4) = %v", err)
+	}
+	if err := tr.Remove(mem, 99); !errors.Is(err, ErrNotTracked) {
+		t.Errorf("Remove(untracked) = %v", err)
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	tr, mem := setup(t, 2)
+	if err := tr.Add(mem, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Add(mem, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Add(mem, 3); !errors.Is(err, ErrFull) {
+		t.Errorf("Add beyond capacity = %v", err)
+	}
+	// Idempotent add of an existing fd is fine even at capacity.
+	if err := tr.Add(mem, 1); err != nil {
+		t.Errorf("re-Add(1) = %v", err)
+	}
+	if _, err := New(nil, nil, 0, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestTamperDetected(t *testing.T) {
+	tr, mem := setup(t, 4)
+	if err := tr.Add(mem, 3); err != nil {
+		t.Fatal(err)
+	}
+	// The application forges an entry: sets fds[1]=7 and count=2.
+	if err := mem.KernelStore32(0x2000, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.KernelStore32(0x2000+8, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Check(mem, 7); !errors.Is(err, ErrTampered) {
+		t.Errorf("forged set = %v, want ErrTampered", err)
+	}
+}
+
+func TestReplayDetected(t *testing.T) {
+	tr, mem := setup(t, 4)
+	if err := tr.Add(mem, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot state while fd 3 is tracked.
+	snapshot, err := mem.KernelRead(0x2000, StateSize(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := append([]byte(nil), snapshot...)
+	// Close fd 3, then replay the old state.
+	if err := tr.Remove(mem, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.KernelWrite(0x2000, saved); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Check(mem, 3); !errors.Is(err, ErrTampered) {
+		t.Errorf("replayed set = %v, want ErrTampered (nonce)", err)
+	}
+}
+
+func TestHugeCountRejected(t *testing.T) {
+	tr, mem := setup(t, 4)
+	if err := mem.KernelStore32(0x2000, 0xffffffff); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Check(mem, 1); !errors.Is(err, ErrTampered) {
+		t.Errorf("huge count = %v", err)
+	}
+}

@@ -1,0 +1,239 @@
+package cfg
+
+import (
+	"testing"
+
+	"asc/internal/asm"
+	"asc/internal/binfmt"
+	"asc/internal/libc"
+	"asc/internal/linker"
+	"asc/internal/sys"
+)
+
+func analyzeSource(t *testing.T, src string, os libc.OS) *Program {
+	t.Helper()
+	main, err := asm.Assemble("main.s", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	lib, err := libc.Objects(os)
+	if err != nil {
+		t.Fatalf("libc: %v", err)
+	}
+	exe, err := linker.Link([]*binfmt.File{main}, lib)
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	p, err := Analyze(exe)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return p
+}
+
+const branchy = `
+        .text
+        .global main
+main:
+        MOVI r1, 10
+        MOVI r2, 0
+.loop:
+        ADD r2, r2, r1
+        ADDI r1, r1, -1
+        MOVI r7, 0
+        BNE r1, r7, .loop
+        MOVI r1, msg
+        CALL puts
+        MOVI r0, 0
+        RET
+        .rodata
+msg:    .asciz "done\n"
+`
+
+func TestFunctionsAndBlocks(t *testing.T) {
+	p := analyzeSource(t, branchy, libc.Linux)
+	for _, want := range []string{"_start", "main", "puts", "strlen", "write"} {
+		if p.FuncNamed(want) == nil {
+			t.Errorf("function %q not found", want)
+		}
+	}
+	main := p.FuncNamed("main")
+	// main: [entry..BNE] [MOVI msg..CALL] [MOVI 0, RET] plus loop split:
+	// leaders: entry, .loop, after BNE, after CALL => 4 blocks.
+	if len(main.Blocks) != 4 {
+		t.Errorf("main has %d blocks, want 4", len(main.Blocks))
+		for _, b := range main.Blocks {
+			t.Logf("  block %d: %#x..%#x", b.ID, b.Start, b.End)
+		}
+	}
+	entry := main.EntryBlock()
+	if entry == nil {
+		t.Fatal("no entry block")
+	}
+	// Loop block branches to itself and falls through.
+	loop := entry.Succs[0]
+	if len(loop.Succs) != 2 {
+		t.Errorf("loop block has %d succs, want 2", len(loop.Succs))
+	}
+	found := false
+	for _, s := range loop.Succs {
+		if s == loop {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("loop block does not branch to itself")
+	}
+	if main.Incomplete {
+		t.Error("main marked incomplete")
+	}
+}
+
+func TestSyscallSites(t *testing.T) {
+	p := analyzeSource(t, branchy, libc.Linux)
+	sites := p.SyscallSites()
+	// write stub + _start's inline exit syscall = 2 sites.
+	if len(sites) != 2 {
+		t.Fatalf("got %d syscall sites, want 2", len(sites))
+	}
+	nums := map[uint16]bool{}
+	for _, s := range sites {
+		if !s.NumKnown {
+			t.Errorf("site at %#x: number unknown", s.Addr)
+		}
+		nums[s.Num] = true
+		if s.Authed {
+			t.Errorf("site at %#x marked authenticated in unrewritten binary", s.Addr)
+		}
+		if s.Block.Syscall != s {
+			t.Error("site/block linkage broken")
+		}
+		if s.Block.Last().Addr != s.Addr {
+			t.Error("syscall does not terminate its block")
+		}
+	}
+	if !nums[sys.SysWrite] || !nums[sys.SysExit] {
+		t.Errorf("expected write and exit sites, got %v", nums)
+	}
+}
+
+func TestCallEdges(t *testing.T) {
+	p := analyzeSource(t, branchy, libc.Linux)
+	main := p.FuncNamed("main")
+	puts := p.FuncNamed("puts")
+	var callBlock *Block
+	for _, b := range main.Blocks {
+		for _, target := range b.CallTo {
+			if target == puts.Entry {
+				callBlock = b
+			}
+		}
+	}
+	if callBlock == nil {
+		t.Fatal("no block in main calls puts")
+	}
+	// Fallthrough successor exists (the block after the call).
+	if len(callBlock.Succs) != 1 {
+		t.Errorf("call block succs = %d, want 1 fallthrough", len(callBlock.Succs))
+	}
+}
+
+func TestOpenBSDCloseGap(t *testing.T) {
+	p := analyzeSource(t, `
+        .text
+        .global main
+main:
+        MOVI r1, 3
+        CALL close
+        MOVI r0, 0
+        RET
+`, libc.OpenBSD)
+	cl := p.FuncNamed("close")
+	if cl == nil {
+		t.Fatal("close not linked")
+	}
+	if !cl.Incomplete {
+		t.Error("close should be incomplete (hidden syscall)")
+	}
+	if len(p.Gaps) == 0 {
+		t.Error("no gaps recorded")
+	}
+	// The hidden SYSCALL must NOT appear as a site in close.
+	for _, s := range p.SyscallSites() {
+		if s.Addr >= cl.Entry && s.Addr < cl.End {
+			t.Errorf("hidden syscall at %#x was discovered; gap simulation broken", s.Addr)
+		}
+	}
+}
+
+func TestUnknownSyscallNumber(t *testing.T) {
+	p := analyzeSource(t, `
+        .text
+        .global main
+main:
+        LOAD r0, [sp+0]
+        SYSCALL
+        MOVI r0, 0
+        RET
+`, libc.Linux)
+	main := p.FuncNamed("main")
+	var site *SyscallSite
+	for _, b := range main.Blocks {
+		if b.Syscall != nil {
+			site = b.Syscall
+		}
+	}
+	if site == nil {
+		t.Fatal("no syscall site in main")
+	}
+	if site.NumKnown {
+		t.Error("number should be unknown (set by LOAD)")
+	}
+}
+
+func TestIndirectCallAndHalt(t *testing.T) {
+	p := analyzeSource(t, `
+        .text
+        .global main
+main:
+        MOVI r2, helper
+        CALLR r2
+        HALT
+helper:
+        RET
+`, libc.Linux)
+	main := p.FuncNamed("main")
+	var sawIndirect, sawExit bool
+	for _, b := range main.Blocks {
+		if b.Indirect {
+			sawIndirect = true
+		}
+		if b.IsExit {
+			sawExit = true
+		}
+	}
+	if !sawIndirect || !sawExit {
+		t.Errorf("indirect=%v exit=%v, want both", sawIndirect, sawExit)
+	}
+	helper := p.FuncNamed("helper")
+	if hb := helper.EntryBlock(); hb == nil || !hb.IsRet {
+		t.Error("helper entry block should be a ret block")
+	}
+}
+
+func TestBlockIDsUniqueAndDense(t *testing.T) {
+	p := analyzeSource(t, branchy, libc.Linux)
+	seen := map[int]bool{}
+	for i, b := range p.Blocks {
+		if b.ID != i+1 {
+			t.Errorf("block %d has ID %d", i, b.ID)
+		}
+		if seen[b.ID] {
+			t.Errorf("duplicate block ID %d", b.ID)
+		}
+		seen[b.ID] = true
+	}
+	if p.BlockContaining(p.Blocks[0].Start+4) != p.Blocks[0] {
+		t.Error("BlockContaining broken")
+	}
+}

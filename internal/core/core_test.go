@@ -1,0 +1,241 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"asc/internal/asm"
+	"asc/internal/binfmt"
+	"asc/internal/kernel"
+	"asc/internal/libc"
+	"asc/internal/linker"
+)
+
+var testKey = []byte("0123456789abcdef")
+
+func buildExe(t *testing.T, src string) *binfmt.File {
+	t.Helper()
+	obj, err := asm.Assemble("t.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := libc.Objects(libc.Linux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := linker.Link([]*binfmt.File{obj}, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exe
+}
+
+const echoSrc = `
+        .text
+        .global main
+main:
+        SUBI sp, sp, 64
+        MOV r1, sp
+        CALL gets
+        MOV r1, sp
+        CALL puts
+        ADDI sp, sp, 64
+        MOVI r0, 0
+        RET
+`
+
+func TestSystemLifecycle(t *testing.T) {
+	s, err := NewSystem(Config{Key: testKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe := buildExe(t, echoSrc)
+	hardened, pp, rep, err := s.Install(exe, "echo")
+	if err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	if !hardened.Authenticated || len(pp.Sites) == 0 || rep.Sites == 0 {
+		t.Fatalf("install products: auth=%v sites=%d", hardened.Authenticated, rep.Sites)
+	}
+	// Direct exec.
+	res, err := s.Exec(hardened, "echo", "ping\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Killed || res.Output != "ping" {
+		t.Errorf("result %+v", res)
+	}
+	// Via the filesystem (Install registered /bin/echo).
+	res2, err := s.ExecPath("/bin/echo", "pong\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Output != "pong" {
+		t.Errorf("ExecPath output %q", res2.Output)
+	}
+	if res2.Verified == 0 || res2.Syscalls == 0 || res2.Cycles == 0 {
+		t.Errorf("stats empty: %+v", res2)
+	}
+}
+
+func TestSystemRequiresKey(t *testing.T) {
+	if _, err := NewSystem(Config{}); err == nil {
+		t.Error("enforcing system without key accepted")
+	}
+	if _, err := NewSystem(Config{Permissive: true}); err != nil {
+		t.Errorf("permissive system: %v", err)
+	}
+}
+
+func TestSystemUniqueIDs(t *testing.T) {
+	s, err := NewSystem(Config{Key: testKey, UniqueBlockIDs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pp1, _, err := s.Install(buildExe(t, echoSrc), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pp2, _, err := s.Install(buildExe(t, echoSrc), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical programs, distinct program IDs: block IDs must differ.
+	if pp1.Sites[0].BlockID == pp2.Sites[0].BlockID {
+		t.Errorf("block IDs collide across programs: %#x", pp1.Sites[0].BlockID)
+	}
+	if pp1.Sites[0].BlockID>>16 == 0 || pp2.Sites[0].BlockID>>16 == 0 {
+		t.Error("program tags missing")
+	}
+}
+
+func TestSystemAudit(t *testing.T) {
+	s, err := NewSystem(Config{Key: testKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unauthenticated binary on an enforcing system: killed at its
+	// first call, audited.
+	exe := buildExe(t, echoSrc)
+	// Mark it authenticated without installing — every call is an
+	// unverifiable ASYSCALL-less SYSCALL.
+	exe.Authenticated = true
+	res, err := s.Exec(exe, "rogue", "x\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Killed || res.Reason != kernel.KillUnauthenticated {
+		t.Fatalf("rogue: %+v", res)
+	}
+	audit := s.Audit()
+	if len(audit) != 1 || !strings.Contains(audit[0].String(), "rogue") {
+		t.Errorf("audit: %v", audit)
+	}
+}
+
+func TestExecPathMissing(t *testing.T) {
+	s, err := NewSystem(Config{Permissive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExecPath("/bin/nothere", ""); err == nil {
+		t.Error("missing path accepted")
+	}
+	if err := s.FS.WriteFile("/bin/garbage", []byte("not a binary"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExecPath("/bin/garbage", ""); err == nil {
+		t.Error("garbage binary accepted")
+	}
+}
+
+func TestOpenBSDPersonality(t *testing.T) {
+	s, err := NewSystem(Config{Permissive: true, Personality: kernel.OpenBSD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := asm.Assemble("t.s", `
+        .text
+        .global main
+main:
+        MOVI r1, 0
+        MOVI r2, 4096
+        MOVI r3, 3
+        MOVI r4, 0
+        MOVI r5, 0
+        CALL mmap
+        MOVI r7, 0
+        BGE r0, r7, .ok
+        MOVI r0, 1
+        RET
+.ok:
+        MOVI r0, 0
+        RET
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := libc.Objects(libc.OpenBSD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := linker.Link([]*binfmt.File{obj}, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Exec(exe, "m", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 0 {
+		t.Errorf("mmap via __syscall failed: exit %d", res.ExitCode)
+	}
+}
+
+func TestStrictMode(t *testing.T) {
+	s, err := NewSystem(Config{Key: testKey, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An untransformed binary on a strict system dies at its first call.
+	res, err := s.Exec(buildExe(t, echoSrc), "plain", "x\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Killed || res.Reason != kernel.KillUnauthenticated {
+		t.Fatalf("plain binary on strict system: %+v", res)
+	}
+	// An installed binary runs normally.
+	hardened, _, _, err := s.Install(buildExe(t, echoSrc), "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := s.Exec(hardened, "echo", "ok\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Killed || res2.Output != "ok" {
+		t.Fatalf("installed binary on strict system: %+v", res2)
+	}
+}
+
+func TestExecFaultingBinary(t *testing.T) {
+	// A program that dereferences a wild pointer faults in the VM; Exec
+	// must surface the error rather than fabricate a Result.
+	s, err := NewSystem(Config{Permissive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe := buildExe(t, `
+        .text
+        .global main
+main:
+        MOVI r1, 0x10
+        LOAD r2, [r1+0]
+        MOVI r0, 0
+        RET
+`)
+	if _, err := s.Exec(exe, "wild", ""); err == nil {
+		t.Error("faulting binary produced a Result")
+	}
+}

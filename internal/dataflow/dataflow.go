@@ -1,0 +1,312 @@
+// Package dataflow implements the reaching-definitions / constant-
+// propagation analysis the trusted installer uses to determine system call
+// argument values (paper Section 4.1: "each system call site is analyzed
+// to determine the arguments of the call ... applying a standard reaching
+// definitions analysis").
+//
+// The lattice is a small-set constant lattice: bottom (never defined on
+// this path), a set of up to four known constants, or top (not statically
+// known). Sets with more than one element feed the "mv" (multi-value)
+// column of Table 3; singletons are candidates for authentication.
+//
+// Values also carry their defining MOVI instruction addresses, so the
+// installer can redirect a string argument's pointer to its authenticated
+// string copy by patching the defining instruction.
+package dataflow
+
+import (
+	"sort"
+
+	"asc/internal/cfg"
+	"asc/internal/isa"
+	"asc/internal/sys"
+)
+
+// maxConsts caps the constant-set size before widening to top.
+const maxConsts = 4
+
+// maxDefs caps tracked defining instructions.
+const maxDefs = 8
+
+// Kind classifies a lattice value.
+type Kind uint8
+
+// Value kinds.
+const (
+	Bottom Kind = iota // no definition reaches (unreachable or undefined)
+	Consts             // a small set of known constant values
+	Top                // statically unknown
+)
+
+// Value is one lattice element.
+type Value struct {
+	Kind Kind
+	// Vals holds the constant set (sorted), meaningful when Kind==Consts.
+	Vals []uint32
+	// Defs holds addresses of defining instructions, when all of them
+	// are MOVI instructions (so the installer may patch them). Empty
+	// otherwise.
+	Defs []uint32
+	// FromReloc reports whether every constant was produced by a MOVI
+	// whose immediate carries a relocation (i.e. is a symbol address).
+	FromReloc bool
+}
+
+// Single reports whether the value is exactly one known constant.
+func (v Value) Single() (uint32, bool) {
+	if v.Kind == Consts && len(v.Vals) == 1 {
+		return v.Vals[0], true
+	}
+	return 0, false
+}
+
+// top is the canonical unknown value.
+var top = Value{Kind: Top}
+
+func constVal(c uint32, def uint32, reloc bool) Value {
+	return Value{Kind: Consts, Vals: []uint32{c}, Defs: []uint32{def}, FromReloc: reloc}
+}
+
+// join merges two lattice values.
+func join(a, b Value) Value {
+	switch {
+	case a.Kind == Bottom:
+		return b
+	case b.Kind == Bottom:
+		return a
+	case a.Kind == Top || b.Kind == Top:
+		return top
+	}
+	vals := mergeSorted(a.Vals, b.Vals, maxConsts+1)
+	if len(vals) > maxConsts {
+		return top
+	}
+	defs := mergeSorted(a.Defs, b.Defs, maxDefs+1)
+	if len(defs) > maxDefs {
+		defs = nil
+	}
+	return Value{Kind: Consts, Vals: vals, Defs: defs, FromReloc: a.FromReloc && b.FromReloc}
+}
+
+func mergeSorted(a, b []uint32, cap int) []uint32 {
+	out := make([]uint32, 0, len(a)+len(b))
+	out = append(out, a...)
+	for _, v := range b {
+		found := false
+		for _, x := range out {
+			if x == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, v)
+		}
+		if len(out) >= cap {
+			break
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equal(a, b Value) bool {
+	if a.Kind != b.Kind || len(a.Vals) != len(b.Vals) || a.FromReloc != b.FromReloc || len(a.Defs) != len(b.Defs) {
+		return false
+	}
+	for i := range a.Vals {
+		if a.Vals[i] != b.Vals[i] {
+			return false
+		}
+	}
+	for i := range a.Defs {
+		if a.Defs[i] != b.Defs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// state is the lattice value of each register.
+type state [isa.NumRegs]Value
+
+func joinState(a, b *state) (state, bool) {
+	var out state
+	changed := false
+	for i := range out {
+		out[i] = join(a[i], b[i])
+		if !equal(out[i], a[i]) {
+			changed = true
+		}
+	}
+	return out, changed
+}
+
+// Result holds per-site argument values.
+type Result struct {
+	// AtSyscall maps each syscall block to the lattice values of
+	// registers R1..R5 immediately before the trap.
+	AtSyscall map[*cfg.Block][sys.MaxArgs]Value
+	// R0At maps each syscall block to the lattice value of R0 (the
+	// system call number register) before the trap.
+	R0At map[*cfg.Block]Value
+}
+
+// Analyze runs constant propagation over every function.
+func Analyze(p *cfg.Program) *Result {
+	res := &Result{
+		AtSyscall: make(map[*cfg.Block][sys.MaxArgs]Value),
+		R0At:      make(map[*cfg.Block]Value),
+	}
+	for _, fun := range p.Funcs {
+		analyzeFunc(fun, res)
+	}
+	return res
+}
+
+func analyzeFunc(fun *cfg.Func, res *Result) {
+	if len(fun.Blocks) == 0 {
+		return
+	}
+	in := make(map[*cfg.Block]*state, len(fun.Blocks))
+	entry := fun.EntryBlock()
+	for _, b := range fun.Blocks {
+		s := &state{}
+		if b == entry {
+			// Arguments and everything else arrive unknown from callers.
+			for i := range s {
+				s[i] = top
+			}
+		}
+		in[b] = s
+	}
+
+	work := append([]*cfg.Block(nil), fun.Blocks...)
+	inWork := make(map[*cfg.Block]bool, len(work))
+	for _, b := range work {
+		inWork[b] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+		out := *in[b]
+		for _, insn := range b.Insns {
+			transfer(&out, insn)
+		}
+		for _, s := range b.Succs {
+			merged, changed := joinState(in[s], &out)
+			if changed {
+				*in[s] = merged
+				if !inWork[s] {
+					inWork[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+
+	// Record values at each syscall.
+	for _, b := range fun.Blocks {
+		if b.Syscall == nil {
+			continue
+		}
+		st := *in[b]
+		for _, insn := range b.Insns {
+			if insn.Instr.IsSyscall() {
+				break
+			}
+			transfer(&st, insn)
+		}
+		var args [sys.MaxArgs]Value
+		for i := 0; i < sys.MaxArgs; i++ {
+			args[i] = st[isa.R1+isa.Reg(i)]
+		}
+		res.AtSyscall[b.Syscall.Block] = args
+		res.R0At[b.Syscall.Block] = st[isa.R0]
+	}
+}
+
+// transfer applies one instruction to the register state.
+func transfer(s *state, insn cfg.Instruction) {
+	in := insn.Instr
+	switch in.Op {
+	case isa.OpMOVI:
+		s[in.Rd] = constVal(in.Imm, insn.Addr, insn.Reloc)
+	case isa.OpMOV:
+		s[in.Rd] = s[in.Rs]
+	case isa.OpADD, isa.OpSUB, isa.OpMUL, isa.OpAND, isa.OpOR, isa.OpXOR, isa.OpSHL, isa.OpSHR:
+		s[in.Rd] = fold2(in.Op, s[in.Rs], s[in.Rt])
+	case isa.OpADDI, isa.OpMULI, isa.OpANDI, isa.OpORI, isa.OpXORI, isa.OpSHLI, isa.OpSHRI:
+		s[in.Rd] = foldImm(in.Op, s[in.Rs], in.Imm)
+	case isa.OpDIV, isa.OpMOD:
+		s[in.Rd] = top // folding division is not worth the edge cases
+	case isa.OpLOAD, isa.OpLOADB, isa.OpPOP:
+		s[in.Rd] = top
+	case isa.OpCALL, isa.OpCALLR:
+		// Calls clobber the caller-saved registers R0..R9.
+		for r := isa.R0; r <= isa.R9; r++ {
+			s[r] = top
+		}
+	case isa.OpSYSCALL, isa.OpASYSCALL:
+		s[isa.R0] = top
+	}
+}
+
+func fold2(op isa.Op, a, b Value) Value {
+	av, aok := a.Single()
+	bv, bok := b.Single()
+	if !aok || !bok {
+		return top
+	}
+	var r uint32
+	switch op {
+	case isa.OpADD:
+		r = av + bv
+	case isa.OpSUB:
+		r = av - bv
+	case isa.OpMUL:
+		r = av * bv
+	case isa.OpAND:
+		r = av & bv
+	case isa.OpOR:
+		r = av | bv
+	case isa.OpXOR:
+		r = av ^ bv
+	case isa.OpSHL:
+		r = av << (bv & 31)
+	case isa.OpSHR:
+		r = av >> (bv & 31)
+	default:
+		return top
+	}
+	// Folded values are constants but no longer patchable MOVIs.
+	return Value{Kind: Consts, Vals: []uint32{r}}
+}
+
+func foldImm(op isa.Op, a Value, imm uint32) Value {
+	av, ok := a.Single()
+	if !ok {
+		return top
+	}
+	var r uint32
+	switch op {
+	case isa.OpADDI:
+		r = av + imm
+	case isa.OpMULI:
+		r = av * imm
+	case isa.OpANDI:
+		r = av & imm
+	case isa.OpORI:
+		r = av | imm
+	case isa.OpXORI:
+		r = av ^ imm
+	case isa.OpSHLI:
+		r = av << (imm & 31)
+	case isa.OpSHRI:
+		r = av >> (imm & 31)
+	default:
+		return top
+	}
+	return Value{Kind: Consts, Vals: []uint32{r}}
+}

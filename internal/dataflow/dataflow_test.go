@@ -1,0 +1,259 @@
+package dataflow
+
+import (
+	"testing"
+
+	"asc/internal/asm"
+	"asc/internal/cfg"
+	"asc/internal/sys"
+)
+
+// analyzeRaw assembles a standalone program (no libc) and analyzes it.
+func analyzeRaw(t *testing.T, src string) (*cfg.Program, *Result) {
+	t.Helper()
+	f, err := asm.Assemble("t.s", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	f.Layout()
+	if err := f.ApplyRelocs(); err != nil {
+		t.Fatalf("ApplyRelocs: %v", err)
+	}
+	p, err := cfg.Analyze(f)
+	if err != nil {
+		t.Fatalf("cfg.Analyze: %v", err)
+	}
+	return p, Analyze(p)
+}
+
+func onlySyscallBlock(t *testing.T, p *cfg.Program, num uint16) *cfg.Block {
+	t.Helper()
+	for _, s := range p.SyscallSites() {
+		if s.NumKnown && s.Num == num {
+			return s.Block
+		}
+	}
+	t.Fatalf("no syscall %d found", num)
+	return nil
+}
+
+func TestConstantArgs(t *testing.T) {
+	p, r := analyzeRaw(t, `
+        .text
+        .global _start
+_start:
+        MOVI r1, path
+        MOVI r2, 5
+        MOVI r3, 0
+        MOVI r0, 4      ; open
+        SYSCALL
+        MOVI r0, 1
+        MOVI r1, 0
+        SYSCALL
+        .rodata
+path:   .asciz "/dev/console"
+`)
+	b := onlySyscallBlock(t, p, sys.SysOpen)
+	args := r.AtSyscall[b]
+	pathAddr, _ := p.File.SymbolAddr("path")
+	if v, ok := args[0].Single(); !ok || v != pathAddr {
+		t.Errorf("arg1 = %+v, want const %#x", args[0], pathAddr)
+	}
+	if !args[0].FromReloc {
+		t.Error("arg1 should be marked FromReloc (symbol address)")
+	}
+	if len(args[0].Defs) != 1 {
+		t.Errorf("arg1 defs = %v, want the single MOVI", args[0].Defs)
+	}
+	if v, ok := args[1].Single(); !ok || v != 5 {
+		t.Errorf("arg2 = %+v, want const 5", args[1])
+	}
+	if args[1].FromReloc {
+		t.Error("plain integer should not be FromReloc")
+	}
+	// R0 (number) is also const.
+	if v, ok := r.R0At[b].Single(); !ok || v != uint32(sys.SysOpen) {
+		t.Errorf("R0 = %+v", r.R0At[b])
+	}
+}
+
+func TestUnknownArgAfterLoad(t *testing.T) {
+	p, r := analyzeRaw(t, `
+        .text
+        .global _start
+_start:
+        LOAD r1, [sp+0]
+        MOVI r0, 12     ; getpid (ignores args, but analysis is generic)
+        SYSCALL
+        MOVI r0, 1
+        SYSCALL
+`)
+	b := onlySyscallBlock(t, p, sys.SysGetpid)
+	args := r.AtSyscall[b]
+	if args[0].Kind != Top {
+		t.Errorf("arg1 = %+v, want Top", args[0])
+	}
+}
+
+func TestMultiValueMerge(t *testing.T) {
+	p, r := analyzeRaw(t, `
+        .text
+        .global _start
+_start:
+        LOAD r7, [sp+0]
+        MOVI r8, 0
+        BEQ r7, r8, .a
+        MOVI r2, 1
+        JMP .go
+.a:
+        MOVI r2, 2
+.go:
+        MOVI r1, 3
+        MOVI r0, 33     ; fcntl(fd=3, cmd = 1 or 2)
+        SYSCALL
+        MOVI r0, 1
+        SYSCALL
+`)
+	b := onlySyscallBlock(t, p, sys.SysFcntl)
+	args := r.AtSyscall[b]
+	if args[1].Kind != Consts || len(args[1].Vals) != 2 {
+		t.Fatalf("arg2 = %+v, want two-value set", args[1])
+	}
+	if args[1].Vals[0] != 1 || args[1].Vals[1] != 2 {
+		t.Errorf("arg2 vals = %v, want [1 2]", args[1].Vals)
+	}
+	if len(args[1].Defs) != 2 {
+		t.Errorf("arg2 defs = %v, want both MOVIs", args[1].Defs)
+	}
+	// arg1 is a plain const through the merge.
+	if v, ok := args[0].Single(); !ok || v != 3 {
+		t.Errorf("arg1 = %+v, want const 3", args[0])
+	}
+}
+
+func TestWideningToTop(t *testing.T) {
+	p, r := analyzeRaw(t, `
+        .text
+        .global _start
+_start:
+        LOAD r7, [sp+0]
+        MOVI r8, 1
+        BEQ r7, r8, .v1
+        MOVI r8, 2
+        BEQ r7, r8, .v2
+        MOVI r8, 3
+        BEQ r7, r8, .v3
+        MOVI r8, 4
+        BEQ r7, r8, .v4
+        MOVI r1, 5
+        JMP .go
+.v1:
+        MOVI r1, 1
+        JMP .go
+.v2:
+        MOVI r1, 2
+        JMP .go
+.v3:
+        MOVI r1, 3
+        JMP .go
+.v4:
+        MOVI r1, 4
+.go:
+        MOVI r0, 37     ; sysconf
+        SYSCALL
+        MOVI r0, 1
+        SYSCALL
+`)
+	b := onlySyscallBlock(t, p, sys.SysSysconf)
+	args := r.AtSyscall[b]
+	if args[0].Kind != Top {
+		t.Errorf("arg1 = %+v, want Top (5 values exceed cap)", args[0])
+	}
+}
+
+func TestFolding(t *testing.T) {
+	p, r := analyzeRaw(t, `
+        .text
+        .global _start
+_start:
+        MOVI r7, 10
+        ADDI r7, r7, 5
+        MULI r7, r7, 2
+        MOV r1, r7
+        MOVI r0, 59     ; alarm(30)
+        SYSCALL
+        MOVI r0, 1
+        SYSCALL
+`)
+	b := onlySyscallBlock(t, p, sys.SysAlarm)
+	args := r.AtSyscall[b]
+	if v, ok := args[0].Single(); !ok || v != 30 {
+		t.Errorf("arg1 = %+v, want folded const 30", args[0])
+	}
+	// Folded constants are not patchable MOVIs.
+	if len(args[0].Defs) != 0 {
+		t.Errorf("folded value has defs %v", args[0].Defs)
+	}
+}
+
+func TestCallClobbersCallerSaved(t *testing.T) {
+	p, r := analyzeRaw(t, `
+        .text
+        .global _start
+_start:
+        MOVI r1, 7
+        CALL helper
+        MOVI r0, 59     ; alarm: r1 set before a call is clobbered
+        SYSCALL
+        MOVI r0, 1
+        SYSCALL
+helper:
+        RET
+`)
+	b := onlySyscallBlock(t, p, sys.SysAlarm)
+	args := r.AtSyscall[b]
+	if args[0].Kind != Top {
+		t.Errorf("arg1 = %+v, want Top (clobbered by CALL)", args[0])
+	}
+}
+
+func TestCalleeSavedSurvivesCall(t *testing.T) {
+	p, r := analyzeRaw(t, `
+        .text
+        .global _start
+_start:
+        MOVI r10, 7
+        CALL helper
+        MOV r1, r10
+        MOVI r0, 59
+        SYSCALL
+        MOVI r0, 1
+        SYSCALL
+helper:
+        RET
+`)
+	b := onlySyscallBlock(t, p, sys.SysAlarm)
+	args := r.AtSyscall[b]
+	if v, ok := args[0].Single(); !ok || v != 7 {
+		t.Errorf("arg1 = %+v, want const 7 via callee-saved r10", args[0])
+	}
+}
+
+func TestJoinLattice(t *testing.T) {
+	c1 := constVal(1, 100, false)
+	c2 := constVal(2, 200, false)
+	j := join(c1, c2)
+	if j.Kind != Consts || len(j.Vals) != 2 {
+		t.Errorf("join(c1,c2) = %+v", j)
+	}
+	if j2 := join(j, top); j2.Kind != Top {
+		t.Errorf("join with top = %+v", j2)
+	}
+	if j3 := join(Value{}, c1); !equal(j3, c1) {
+		t.Errorf("join(bottom, c1) = %+v", j3)
+	}
+	// Idempotent.
+	if j4 := join(c1, c1); j4.Kind != Consts || len(j4.Vals) != 1 {
+		t.Errorf("join(c1,c1) = %+v", j4)
+	}
+}

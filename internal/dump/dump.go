@@ -1,0 +1,202 @@
+// Package dump renders human-readable listings of SELF binaries:
+// sections, symbols, disassembly, and — for authenticated executables —
+// the decoded policy objects (auth records, authenticated strings,
+// predecessor sets) attached to each call site.
+package dump
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"asc/internal/binfmt"
+	"asc/internal/cfg"
+	"asc/internal/isa"
+	"asc/internal/policy"
+	"asc/internal/sys"
+)
+
+// Options selects what to print.
+type Options struct {
+	Sections bool // section table
+	Symbols  bool // symbol table
+	Disasm   bool // instruction listing
+	Policies bool // decoded auth records at each authenticated site
+}
+
+// All enables everything.
+var All = Options{Sections: true, Symbols: true, Disasm: true, Policies: true}
+
+// Dump writes the listing to w.
+func Dump(w io.Writer, f *binfmt.File, opts Options) error {
+	fmt.Fprintf(w, "SELF %s entry=%#x", kind(f), f.Entry)
+	if f.ProgramID != 0 {
+		fmt.Fprintf(w, " program-id=%d", f.ProgramID)
+	}
+	fmt.Fprintln(w)
+
+	if opts.Sections {
+		fmt.Fprintln(w, "\nsections:")
+		for _, s := range f.Sections {
+			fmt.Fprintf(w, "  %-8s %#08x..%#08x %s (%d bytes)\n",
+				s.Name, s.Addr, s.End(), flagString(s.Flags), s.Size)
+		}
+	}
+	if opts.Symbols {
+		fmt.Fprintln(w, "\nsymbols:")
+		syms := append([]binfmt.Symbol(nil), f.Symbols...)
+		sort.Slice(syms, func(i, j int) bool {
+			ai, _ := addrOf(f, syms[i])
+			aj, _ := addrOf(f, syms[j])
+			return ai < aj
+		})
+		for _, s := range syms {
+			if s.Kind == binfmt.SymLabel {
+				continue
+			}
+			a, ok := addrOf(f, s)
+			if !ok {
+				fmt.Fprintf(w, "  %-24s UNDEFINED\n", s.Name)
+				continue
+			}
+			vis := "local "
+			if s.Global {
+				vis = "global"
+			}
+			fmt.Fprintf(w, "  %#08x %s %-7s %s\n", a, vis, s.Kind, s.Name)
+		}
+	}
+	if opts.Disasm {
+		if err := disasm(w, f, opts.Policies); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func kind(f *binfmt.File) string {
+	switch {
+	case f.Authenticated:
+		return "authenticated executable"
+	case f.Relocatable && f.Entry != 0:
+		return "relocatable executable"
+	case f.Relocatable:
+		return "relocatable object"
+	default:
+		return "executable"
+	}
+}
+
+func addrOf(f *binfmt.File, s binfmt.Symbol) (uint32, bool) {
+	if !s.Defined() {
+		return 0, false
+	}
+	return f.Sections[s.Section].Addr + s.Value, true
+}
+
+func flagString(fl uint8) string {
+	out := []byte("---")
+	if fl&binfmt.FlagRead != 0 {
+		out[0] = 'r'
+	}
+	if fl&binfmt.FlagWrite != 0 {
+		out[1] = 'w'
+	}
+	if fl&binfmt.FlagExec != 0 {
+		out[2] = 'x'
+	}
+	return string(out)
+}
+
+func disasm(w io.Writer, f *binfmt.File, withPolicies bool) error {
+	prog, err := cfg.Analyze(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\ndisassembly:")
+	for _, fun := range prog.Funcs {
+		fmt.Fprintf(w, "\n%#08x <%s>:\n", fun.Entry, fun.Name)
+		if fun.Incomplete {
+			fmt.Fprintf(w, "  ; WARNING: region contains undecodable bytes\n")
+		}
+		for _, b := range fun.Blocks {
+			for _, in := range b.Insns {
+				fmt.Fprintf(w, "  %#08x  %s", in.Addr, in.Instr)
+				if name, off := f.SymbolAt(in.Instr.Imm); in.Instr.HasImmTarget() && name != "" && off == 0 {
+					fmt.Fprintf(w, "    ; -> %s", name)
+				}
+				fmt.Fprintln(w)
+				if withPolicies && in.Instr.IsSyscall() && in.Instr.Op == isa.OpASYSCALL {
+					printPolicy(w, f, prog, b)
+				}
+			}
+		}
+	}
+	for _, g := range prog.Gaps {
+		fmt.Fprintf(w, "\n; gap: %#x..%#x in %s (not disassembled)\n", g.Start, g.End, g.Func)
+	}
+	return nil
+}
+
+// printPolicy decodes the auth record referenced by the preamble before
+// the site and renders its policy.
+func printPolicy(w io.Writer, f *binfmt.File, prog *cfg.Program, b *cfg.Block) {
+	site := b.Syscall
+	if site == nil {
+		return
+	}
+	text := f.Section(binfmt.SecText)
+	auth := f.Section(binfmt.SecAuth)
+	if text == nil || auth == nil || site.Addr < text.Addr+isa.InstrSize {
+		return
+	}
+	pre, err := isa.Decode(text.Data[site.Addr-isa.InstrSize-text.Addr:])
+	if err != nil || pre.Op != isa.OpMOVI || pre.Rd != isa.R6 {
+		return
+	}
+	if !auth.Contains(pre.Imm) {
+		return
+	}
+	rec, err := policy.DecodeAuthRecord(auth.Data[pre.Imm-auth.Addr:])
+	if err != nil {
+		fmt.Fprintf(w, "      ; bad auth record: %v\n", err)
+		return
+	}
+	name := "?"
+	if site.NumKnown {
+		name = sys.Name(site.Num)
+	}
+	fmt.Fprintf(w, "      ; policy: %s  block=%d  desc=%#x\n", name, rec.BlockID, uint32(rec.Desc))
+	for i := 0; i < sys.MaxArgs; i++ {
+		if !rec.Desc.ArgConstrained(i) {
+			continue
+		}
+		if rec.Desc.ArgString(i) {
+			fmt.Fprintf(w, "      ;   arg%d = authenticated string\n", i+1)
+		} else {
+			fmt.Fprintf(w, "      ;   arg%d = constant (MACed)\n", i+1)
+		}
+	}
+	if rec.Desc.ControlFlow() && auth.Contains(rec.PredSetPtr) && rec.PredSetPtr >= auth.Addr+policy.ASHeaderSize {
+		lenOff := rec.PredSetPtr - policy.ASHeaderSize - auth.Addr
+		n := binary.LittleEndian.Uint32(auth.Data[lenOff:])
+		if int(rec.PredSetPtr-auth.Addr+n) <= len(auth.Data) {
+			ids, err := policy.DecodePredSet(auth.Data[rec.PredSetPtr-auth.Addr : rec.PredSetPtr-auth.Addr+n])
+			if err == nil {
+				fmt.Fprintf(w, "      ;   predecessors %v\n", ids)
+			}
+		}
+	}
+	fmt.Fprintf(w, "      ;   callMAC %x...\n", rec.CallMAC[:4])
+}
+
+// Render returns the listing as a string.
+func Render(f *binfmt.File, opts Options) (string, error) {
+	var b strings.Builder
+	if err := Dump(&b, f, opts); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,94 @@
+package dump
+
+import (
+	"strings"
+	"testing"
+
+	"asc/internal/asm"
+	"asc/internal/binfmt"
+	"asc/internal/installer"
+	"asc/internal/libc"
+	"asc/internal/linker"
+)
+
+func buildAuth(t *testing.T) *binfmt.File {
+	t.Helper()
+	obj, err := asm.Assemble("t.s", `
+        .text
+        .global main
+main:
+        MOVI r1, path
+        MOVI r2, 0
+        MOVI r3, 0
+        CALL open
+        MOVI r0, 0
+        RET
+        .rodata
+path:   .asciz "/etc/passwd"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := libc.Objects(libc.Linux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := linker.Link([]*binfmt.File{obj}, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, _, err := installer.Install(exe, "t", installer.Options{Key: []byte("0123456789abcdef")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestDumpAuthenticated(t *testing.T) {
+	f := buildAuth(t)
+	s, err := Render(f, All)
+	if err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	for _, want := range []string{
+		"authenticated executable",
+		".auth",
+		"<main>:",
+		"ASYSCALL",
+		"; policy: open",
+		"authenticated string",
+		"predecessors",
+		"callMAC",
+		"global func",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("listing missing %q", want)
+		}
+	}
+}
+
+func TestDumpSelective(t *testing.T) {
+	f := buildAuth(t)
+	s, err := Render(f, Options{Sections: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, ".text") || strings.Contains(s, "disassembly") {
+		t.Errorf("selective dump wrong: %q", s[:120])
+	}
+}
+
+func TestDumpPlainObject(t *testing.T) {
+	obj, err := asm.Assemble("t.s", ".text\n.global main\nmain:\nRET\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj.Layout()
+	s, err := Render(obj, All)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "relocatable") {
+		t.Errorf("kind line: %q", strings.SplitN(s, "\n", 2)[0])
+	}
+}

@@ -1,0 +1,58 @@
+package installer
+
+import (
+	"testing"
+
+	"asc/internal/binfmt"
+	"asc/internal/libc"
+	"asc/internal/linker"
+
+	"asc/internal/asm"
+)
+
+// BenchmarkInstall measures trusted-installer throughput on a small
+// program (the paper reports 3.5-86 s per program with PLTO).
+func BenchmarkInstall(b *testing.B) {
+	obj, err := asm.Assemble("m.s", openSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib, err := libc.Objects(libc.Linux)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exe, err := linker.Link([]*binfmt.File{obj}, lib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := Install(exe, "bench", Options{Key: testKey}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGeneratePolicy measures analysis-only throughput.
+func BenchmarkGeneratePolicy(b *testing.B) {
+	obj, err := asm.Assemble("m.s", openSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib, err := libc.Objects(libc.Linux)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exe, err := linker.Link([]*binfmt.File{obj}, lib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := GeneratePolicy(exe, "bench", "linux"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

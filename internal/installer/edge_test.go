@@ -1,0 +1,133 @@
+package installer
+
+import (
+	"strings"
+	"testing"
+
+	"asc/internal/binfmt"
+	"asc/internal/isa"
+	"asc/internal/libc"
+)
+
+func TestInstallRejectsBadKey(t *testing.T) {
+	exe := linkProgram(t, openSrc, libc.Linux)
+	for _, key := range [][]byte{nil, {1, 2, 3}, make([]byte, 32)} {
+		if _, _, _, err := Install(exe, "x", Options{Key: key}); err == nil {
+			t.Errorf("key %v accepted", key)
+		}
+	}
+}
+
+func TestBuildIRRejectsUnrelocatableControlFlow(t *testing.T) {
+	// Hand-craft text containing a CALL with a raw immediate and no
+	// relocation entry: the rewriter must refuse.
+	text := make([]byte, 2*isa.InstrSize)
+	isa.Instr{Op: isa.OpCALL, Imm: 0x1008}.Encode(text)
+	isa.Instr{Op: isa.OpRET}.Encode(text[isa.InstrSize:])
+	f := &binfmt.File{
+		Relocatable: true,
+		Sections: []binfmt.Section{
+			{Name: binfmt.SecText, Size: uint32(len(text)), Flags: binfmt.FlagRead | binfmt.FlagExec, Data: text},
+		},
+		Symbols: []binfmt.Symbol{
+			{Name: "_start", Section: 0, Value: 0, Kind: binfmt.SymFunc, Global: true},
+		},
+	}
+	f.Layout()
+	if _, err := buildIR(f); err == nil || !strings.Contains(err.Error(), "no relocation") {
+		t.Errorf("buildIR = %v, want relocation error", err)
+	}
+}
+
+func TestBuildIRRequiresRelocatable(t *testing.T) {
+	out, _, _ := install(t, openSrc, Options{})
+	if _, err := buildIR(out); err == nil {
+		t.Error("buildIR accepted a non-relocatable binary")
+	}
+	if _, err := Optimize(out); err == nil {
+		t.Error("Optimize accepted a non-relocatable binary")
+	}
+	if _, _, err := GeneratePolicy(out, "x", "linux"); err == nil {
+		t.Error("GeneratePolicy accepted a non-relocatable binary")
+	}
+}
+
+func TestOptimizeNoText(t *testing.T) {
+	f := &binfmt.File{Relocatable: true}
+	if _, err := Optimize(f); err == nil {
+		t.Error("Optimize accepted a binary without .text")
+	}
+}
+
+func TestInstallRejectsPreexistingASYSCALL(t *testing.T) {
+	// A binary that already contains ASYSCALL did not come from a
+	// compiler; the installer refuses rather than producing a broken
+	// policy (the ASYSCALL has no preamble to patch).
+	src := `
+        .text
+        .global main
+main:
+        MOVI r0, 12
+        ASYSCALL
+        MOVI r0, 0
+        RET
+`
+	exe := linkProgram(t, src, libc.Linux)
+	if _, _, _, err := Install(exe, "x", Options{Key: testKey}); err == nil {
+		t.Error("binary with pre-existing ASYSCALL accepted")
+	}
+}
+
+func TestPolicyStringOutput(t *testing.T) {
+	_, pp, _ := install(t, openSrc, Options{})
+	var openPol string
+	for _, sp := range pp.Sites {
+		if sp.Name == "open" {
+			openPol = sp.String()
+		}
+	}
+	// Matches the paper's policy rendering style (§3.1 example).
+	for _, want := range []string{
+		"Permit open from location",
+		"in basic block",
+		`Parameter 0 equals "/dev/console"`,
+		"Parameter 1 equals 5",
+		"Possible predecessors",
+	} {
+		if !strings.Contains(openPol, want) {
+			t.Errorf("policy missing %q:\n%s", want, openPol)
+		}
+	}
+}
+
+func TestInstalledAuthSectionLast(t *testing.T) {
+	out, _, _ := install(t, openSrc, Options{})
+	last := out.Sections[len(out.Sections)-1]
+	if last.Name != binfmt.SecAuth {
+		t.Errorf("last section is %s, want .auth", last.Name)
+	}
+	// .auth must start at or after every other section's end so growth
+	// never overlaps.
+	for _, s := range out.Sections[:len(out.Sections)-1] {
+		if s.End() > last.Addr {
+			t.Errorf("section %s (%#x..%#x) overlaps .auth at %#x", s.Name, s.Addr, s.End(), last.Addr)
+		}
+	}
+}
+
+func TestDoubleOptimizeStable(t *testing.T) {
+	exe := linkProgram(t, helloSrc, libc.Linux)
+	opt1, err := Optimize(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt2, err := Optimize(opt1)
+	if err != nil {
+		t.Fatalf("second Optimize: %v", err)
+	}
+	t1 := opt1.Section(binfmt.SecText)
+	t2 := opt2.Section(binfmt.SecText)
+	if t1.Size != t2.Size {
+		t.Errorf("Optimize not idempotent: %d -> %d bytes", t1.Size, t2.Size)
+	}
+}

@@ -1,0 +1,279 @@
+// ir.go implements the installer's rewriting intermediate representation:
+// the decoded, symbol-relative form of the .text section that supports
+// moving code (stub inlining, authenticated-call insertion) with
+// relocation fixup, in the manner of PLTO.
+package installer
+
+import (
+	"fmt"
+
+	"asc/internal/binfmt"
+	"asc/internal/isa"
+)
+
+// irEntry is one unit of the text stream: either a decoded instruction
+// (8 bytes) or a raw byte run (padding or an undecodable region that is
+// preserved verbatim).
+type irEntry struct {
+	raw     []byte // non-nil for raw runs
+	in      isa.Instr
+	sym     int32 // relocation symbol for the Imm field; -1 if none
+	addend  int32
+	oldAddr uint32 // original address (0 for inserted entries)
+}
+
+func (e *irEntry) size() uint32 {
+	if e.raw != nil {
+		return uint32(len(e.raw))
+	}
+	return isa.InstrSize
+}
+
+func (e *irEntry) isRaw() bool { return e.raw != nil }
+
+// ir is the decoded program text plus the original file's tables.
+type ir struct {
+	file    *binfmt.File
+	entries []*irEntry
+	// textSyms maps symbol table indices (of symbols defined in .text)
+	// to their original absolute address.
+	textSyms map[int32]uint32
+}
+
+// buildIR decodes .text into IR entries. Every instruction whose Imm has
+// a relocation records the target symbol; any control-transfer immediate
+// without a relocation is an error (the binary is not relocatable enough
+// to rewrite, matching PLTO's requirement).
+func buildIR(f *binfmt.File) (*ir, error) {
+	if !f.Relocatable {
+		return nil, fmt.Errorf("installer: binary is not relocatable")
+	}
+	text := f.Section(binfmt.SecText)
+	if text == nil {
+		return nil, fmt.Errorf("installer: no .text")
+	}
+	textIdx := f.SectionIndex(binfmt.SecText)
+
+	// Relocation lookup: .text offset of the patched word -> reloc.
+	relocAt := make(map[uint32]binfmt.Reloc)
+	for _, r := range f.Relocs {
+		if r.Section == textIdx {
+			relocAt[r.Offset] = r
+		}
+	}
+
+	out := &ir{file: f, textSyms: make(map[int32]uint32)}
+	for i := range f.Symbols {
+		s := &f.Symbols[i]
+		if s.Defined() && s.Section == textIdx {
+			out.textSyms[int32(i)] = text.Addr + s.Value
+		}
+	}
+
+	data := text.Data
+	var off uint32
+	flushRaw := func(start, end uint32) {
+		if end > start {
+			out.entries = append(out.entries, &irEntry{
+				raw:     append([]byte(nil), data[start:end]...),
+				oldAddr: text.Addr + start,
+			})
+		}
+	}
+	for off+isa.InstrSize <= uint32(len(data)) {
+		chunk := data[off : off+isa.InstrSize]
+		in, err := isa.Decode(chunk)
+		if err != nil {
+			// Raw run: zero padding or undecodable region. Extend until
+			// the next decodable chunk.
+			start := off
+			for off+isa.InstrSize <= uint32(len(data)) {
+				if _, err := isa.Decode(data[off : off+isa.InstrSize]); err == nil {
+					break
+				}
+				off += isa.InstrSize
+			}
+			flushRaw(start, off)
+			continue
+		}
+		e := &irEntry{in: in, sym: -1, oldAddr: text.Addr + off}
+		if r, ok := relocAt[off+4]; ok {
+			e.sym = r.Sym
+			e.addend = r.Addend
+		} else if in.HasImmTarget() && in.Imm != 0 {
+			return nil, fmt.Errorf("installer: control transfer at %#x has no relocation", text.Addr+off)
+		}
+		out.entries = append(out.entries, e)
+		off += isa.InstrSize
+	}
+	flushRaw(off, uint32(len(data)))
+	return out, nil
+}
+
+// entryAt returns the index of the entry whose original address range
+// covers addr, or -1.
+func (r *ir) entryAt(addr uint32) int {
+	for i, e := range r.entries {
+		if e.oldAddr != 0 && addr >= e.oldAddr && addr < e.oldAddr+e.size() {
+			return i
+		}
+	}
+	return -1
+}
+
+// emit rebuilds a binfmt.File with the (possibly rewritten) text. The
+// returned file is laid out and has relocations applied, and keeps its
+// relocation tables so further passes can re-apply after symbol updates.
+// An empty .auth section is appended after .bss, so later growth never
+// moves other sections.
+//
+// Text symbols are remapped to the new location of the entry (plus
+// intra-entry offset) they originally pointed at. Symbols pointing at
+// removed entries cause an error if any relocation still references them.
+func (r *ir) emit() (*binfmt.File, error) {
+	old := r.file
+	textIdx := old.SectionIndex(binfmt.SecText)
+	oldText := old.Section(binfmt.SecText)
+
+	// Assign new offsets.
+	newOff := make([]uint32, len(r.entries))
+	var off uint32
+	for i, e := range r.entries {
+		newOff[i] = off
+		off += e.size()
+	}
+	textSize := off
+
+	// Remap text symbols: original address -> new offset.
+	// Build a map from oldAddr to entry index for translation.
+	type span struct {
+		oldStart uint32
+		size     uint32
+		idx      int
+	}
+	var spans []span
+	for i, e := range r.entries {
+		if e.oldAddr != 0 {
+			spans = append(spans, span{e.oldAddr, e.size(), i})
+		}
+	}
+	translate := func(oldAddr uint32) (uint32, bool) {
+		for _, s := range spans {
+			if oldAddr >= s.oldStart && oldAddr < s.oldStart+s.size {
+				return newOff[s.idx] + (oldAddr - s.oldStart), true
+			}
+			// A symbol may point one past the last byte (end labels).
+			if oldAddr == s.oldStart+s.size && oldAddr == oldText.End() {
+				return newOff[s.idx] + s.size, true
+			}
+		}
+		return 0, false
+	}
+
+	nf := &binfmt.File{
+		Relocatable:   true,
+		Authenticated: old.Authenticated,
+		ProgramID:     old.ProgramID,
+	}
+	// Sections: text rebuilt, others copied, .auth appended last (after
+	// .bss) so that growing it never moves other sections.
+	newText := binfmt.Section{
+		Name:  binfmt.SecText,
+		Size:  textSize,
+		Flags: binfmt.FlagRead | binfmt.FlagExec,
+		Data:  make([]byte, textSize),
+	}
+	for i, e := range r.entries {
+		if e.isRaw() {
+			copy(newText.Data[newOff[i]:], e.raw)
+		} else {
+			e.in.Encode(newText.Data[newOff[i]:])
+		}
+	}
+	nf.Sections = append(nf.Sections, newText)
+	secMap := make(map[int32]int32) // old section index -> new
+	secMap[textIdx] = 0
+	for i := range old.Sections {
+		s := &old.Sections[i]
+		if s.Name == binfmt.SecText || s.Name == binfmt.SecAuth {
+			continue
+		}
+		secMap[int32(i)] = int32(len(nf.Sections))
+		nf.Sections = append(nf.Sections, binfmt.Section{
+			Name:  s.Name,
+			Size:  s.Size,
+			Flags: s.Flags,
+			Data:  append([]byte(nil), s.Data...),
+		})
+	}
+	nf.Sections = append(nf.Sections, binfmt.Section{
+		Name:  binfmt.SecAuth,
+		Flags: binfmt.FlagRead | binfmt.FlagWrite,
+	})
+
+	// Symbols.
+	symMap := make(map[int32]int32, len(old.Symbols))
+	removed := make(map[int32]bool)
+	for i := range old.Symbols {
+		s := old.Symbols[i]
+		if s.Defined() {
+			if s.Section == textIdx {
+				oldAddr := oldText.Addr + s.Value
+				v, ok := translate(oldAddr)
+				if !ok {
+					removed[int32(i)] = true
+					continue
+				}
+				s.Value = v
+				s.Section = 0
+			} else {
+				ns, ok := secMap[s.Section]
+				if !ok {
+					removed[int32(i)] = true
+					continue
+				}
+				s.Section = ns
+			}
+		}
+		symMap[int32(i)] = int32(len(nf.Symbols))
+		nf.Symbols = append(nf.Symbols, s)
+	}
+	// Relocations from text entries.
+	for i, e := range r.entries {
+		if e.isRaw() || e.sym < 0 {
+			continue
+		}
+		ns, ok := symMap[e.sym]
+		if !ok {
+			return nil, fmt.Errorf("installer: instruction at new offset %#x references removed symbol %q",
+				newOff[i], old.Symbols[e.sym].Name)
+		}
+		nf.Relocs = append(nf.Relocs, binfmt.Reloc{
+			Section: 0, Offset: newOff[i] + 4, Sym: ns, Addend: e.addend,
+		})
+	}
+	// Relocations from other sections (data words holding addresses).
+	for _, rel := range old.Relocs {
+		if rel.Section == textIdx {
+			continue // rebuilt above
+		}
+		ns, ok := secMap[rel.Section]
+		if !ok {
+			continue
+		}
+		nsym, ok := symMap[rel.Sym]
+		if !ok {
+			return nil, fmt.Errorf("installer: data relocation references removed symbol %q",
+				old.Symbols[rel.Sym].Name)
+		}
+		nf.Relocs = append(nf.Relocs, binfmt.Reloc{
+			Section: ns, Offset: rel.Offset, Sym: nsym, Addend: rel.Addend,
+		})
+	}
+	nf.SortRelocs()
+	nf.Layout()
+	if err := nf.ApplyRelocs(); err != nil {
+		return nil, fmt.Errorf("installer: emit: %w", err)
+	}
+	return nf, nil
+}

@@ -1,0 +1,113 @@
+// metapolicy.go implements the Section 5.2 extension: metapolicies and
+// policy templates. A metapolicy states what *must be* protected for each
+// system call — as opposed to what the static analysis *can* protect —
+// and the installer reports every site whose generated policy falls short
+// as a template entry for the security administrator to complete by hand
+// (with a value or a pattern).
+package installer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"asc/internal/policy"
+	"asc/internal/sys"
+)
+
+// Requirement states the mandatory constraints for one system call.
+type Requirement struct {
+	// Args lists the argument indices (0-based) whose values must be
+	// constrained by the policy.
+	Args []int
+	// CallSite requires the call site to be constrained (the basic
+	// installer always constrains it; a metapolicy may demand it for
+	// dynamic-library scenarios where it cannot be).
+	CallSite bool
+}
+
+// Metapolicy maps system call names to their requirements. Calls not
+// present have no mandatory constraints.
+type Metapolicy map[string]Requirement
+
+// DefaultMetapolicy reflects the threat-level guidance the paper cites:
+// calls that create or destroy filesystem objects or execute programs
+// must have their path arguments pinned.
+func DefaultMetapolicy() Metapolicy {
+	return Metapolicy{
+		"execve": {Args: []int{0}, CallSite: true},
+		"open":   {Args: []int{0}, CallSite: true},
+		"unlink": {Args: []int{0}, CallSite: true},
+		"rename": {Args: []int{0, 1}, CallSite: true},
+		"chmod":  {Args: []int{0}, CallSite: true},
+		"socket": {Args: []int{0, 1}, CallSite: true},
+	}
+}
+
+// TemplateEntry is one unmet requirement: a hole the administrator must
+// fill with a hand-specified value or pattern.
+type TemplateEntry struct {
+	Program  string
+	Name     string // system call
+	Site     uint32
+	Arg      int    // argument index; -1 for a call-site requirement
+	ArgClass string // signature class of the argument, as a filling aid
+}
+
+func (e TemplateEntry) String() string {
+	if e.Arg < 0 {
+		return fmt.Sprintf("%s: %s at %#x: call site must be constrained", e.Program, e.Name, e.Site)
+	}
+	return fmt.Sprintf("%s: %s at %#x: parameter %d (%s) requires a value or pattern",
+		e.Program, e.Name, e.Site, e.Arg, e.ArgClass)
+}
+
+// CheckMetapolicy evaluates a generated program policy against a
+// metapolicy and returns the policy template: the ordered list of holes
+// that static analysis could not fill.
+func CheckMetapolicy(pp *policy.ProgramPolicy, mp Metapolicy) []TemplateEntry {
+	var out []TemplateEntry
+	for _, sp := range pp.Sites {
+		req, ok := mp[sp.Name]
+		if !ok {
+			continue
+		}
+		sig, _ := sys.LookupName(sp.Name)
+		for _, ai := range req.Args {
+			if ai < 0 || ai >= len(sp.Args) {
+				continue
+			}
+			switch sp.Args[ai].Class {
+			case policy.ClassImmediate, policy.ClassString:
+				continue // satisfied by static analysis
+			}
+			class := "unknown"
+			if ai < sig.NArgs() {
+				class = sig.Args[ai].String()
+			}
+			out = append(out, TemplateEntry{
+				Program: pp.Program, Name: sp.Name, Site: sp.Site, Arg: ai, ArgClass: class,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Site != out[j].Site {
+			return out[i].Site < out[j].Site
+		}
+		return out[i].Arg < out[j].Arg
+	})
+	return out
+}
+
+// RenderTemplate prints the policy template for the administrator.
+func RenderTemplate(entries []TemplateEntry) string {
+	if len(entries) == 0 {
+		return "metapolicy satisfied: no template entries\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy template: %d entr(ies) require hand completion\n", len(entries))
+	for _, e := range entries {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	return b.String()
+}

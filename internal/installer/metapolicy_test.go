@@ -1,0 +1,62 @@
+package installer
+
+import (
+	"strings"
+	"testing"
+
+	"asc/internal/policy"
+)
+
+func TestCheckMetapolicy(t *testing.T) {
+	// One open with a static path (satisfied), one with a dynamic path
+	// (template hole), plus an unrelated getpid.
+	src := `
+        .text
+        .global main
+main:
+        MOVI r1, path
+        MOVI r2, 0
+        MOVI r3, 0
+        CALL open
+        MOVI r7, dynp
+        LOAD r1, [r7+0]
+        MOVI r2, 0
+        MOVI r3, 0
+        CALL open
+        CALL getpid
+        MOVI r0, 0
+        RET
+        .rodata
+path:   .asciz "/etc/app.conf"
+        .data
+dynp:   .word 0
+`
+	_, pp, _ := install(t, src, Options{})
+	entries := CheckMetapolicy(pp, DefaultMetapolicy())
+	if len(entries) != 1 {
+		t.Fatalf("entries = %+v, want exactly the dynamic open", entries)
+	}
+	e := entries[0]
+	if e.Name != "open" || e.Arg != 0 || e.ArgClass != "path" {
+		t.Errorf("entry = %+v", e)
+	}
+	rendered := RenderTemplate(entries)
+	if !strings.Contains(rendered, "requires a value or pattern") {
+		t.Errorf("render: %q", rendered)
+	}
+	if got := RenderTemplate(nil); !strings.Contains(got, "satisfied") {
+		t.Errorf("empty render: %q", got)
+	}
+}
+
+func TestMetapolicyIgnoresUnlistedCalls(t *testing.T) {
+	pp := &policy.ProgramPolicy{
+		Program: "x",
+		Sites: []*policy.SitePolicy{
+			{Num: 12, Name: "getpid", Site: 0x1000},
+		},
+	}
+	if entries := CheckMetapolicy(pp, DefaultMetapolicy()); len(entries) != 0 {
+		t.Errorf("entries = %+v", entries)
+	}
+}

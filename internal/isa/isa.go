@@ -1,0 +1,322 @@
+// Package isa defines the instruction set architecture of the simulated
+// machine used throughout the ASC reproduction.
+//
+// The original paper operates on x86 binaries, where system calls are
+// `int 0x80` instructions and the system call number lives in EAX. A
+// reproduction in pure Go cannot rewrite and execute x86, so we substitute a
+// small 32-bit RISC-like ISA with the same essential properties:
+//
+//   - a dedicated SYSCALL instruction (and its rewritten form, ASYSCALL),
+//   - the system call number placed in a well-known register (R0),
+//   - instructions at identifiable code addresses (the call site),
+//   - a fixed 8-byte encoding so the trusted installer can disassemble,
+//     analyze, and rewrite binaries exactly as PLTO does for x86.
+//
+// Calling convention: arguments in R1..R5, return value in R0, R6 reserved
+// for the authenticated-call record pointer, R14 is the stack pointer, R12
+// the frame pointer. CALL pushes the return address; RET pops it.
+package isa
+
+import "fmt"
+
+// Reg identifies one of the 16 general-purpose registers.
+type Reg uint8
+
+// Register assignments with architectural roles.
+const (
+	R0  Reg = iota // syscall number / return value
+	R1             // argument 1
+	R2             // argument 2
+	R3             // argument 3
+	R4             // argument 4
+	R5             // argument 5
+	R6             // authenticated-call record pointer
+	R7             // caller-saved temporary
+	R8             // caller-saved temporary
+	R9             // caller-saved temporary
+	R10            // callee-saved
+	R11            // callee-saved
+	R12            // frame pointer (FP)
+	R13            // callee-saved
+	R14            // stack pointer (SP)
+	R15            // callee-saved
+
+	// NumRegs is the number of general-purpose registers.
+	NumRegs = 16
+)
+
+// Convenience aliases for registers with an architectural role.
+const (
+	FP = R12
+	SP = R14
+)
+
+func (r Reg) String() string {
+	switch r {
+	case FP:
+		return "fp"
+	case SP:
+		return "sp"
+	default:
+		return fmt.Sprintf("r%d", uint8(r))
+	}
+}
+
+// Op is an instruction opcode. Opcode 0 is invalid so that zeroed memory
+// never decodes as a meaningful instruction.
+type Op uint8
+
+// The instruction set.
+const (
+	opInvalid Op = iota
+
+	OpNOP  // no operation
+	OpHALT // stop the machine (used only by the idle loop; programs exit(2))
+
+	OpMOV  // MOV rd, rs            rd = rs
+	OpMOVI // MOVI rd, imm          rd = imm (absolute addresses use this)
+
+	OpLOAD   // LOAD rd, [rs+imm]   rd = mem32[rs+imm]
+	OpSTORE  // STORE [rd+imm], rs  mem32[rd+imm] = rs
+	OpLOADB  // LOADB rd, [rs+imm]  rd = zext(mem8[rs+imm])
+	OpSTOREB // STOREB [rd+imm], rs mem8[rd+imm] = low8(rs)
+
+	OpADD // ADD rd, rs, rt
+	OpSUB // SUB rd, rs, rt
+	OpMUL // MUL rd, rs, rt
+	OpDIV // DIV rd, rs, rt (unsigned; divide by zero traps)
+	OpMOD // MOD rd, rs, rt (unsigned)
+	OpAND // AND rd, rs, rt
+	OpOR  // OR  rd, rs, rt
+	OpXOR // XOR rd, rs, rt
+	OpSHL // SHL rd, rs, rt
+	OpSHR // SHR rd, rs, rt (logical)
+
+	OpADDI // ADDI rd, rs, imm
+	OpMULI // MULI rd, rs, imm
+	OpANDI // ANDI rd, rs, imm
+	OpORI  // ORI  rd, rs, imm
+	OpXORI // XORI rd, rs, imm
+	OpSHLI // SHLI rd, rs, imm
+	OpSHRI // SHRI rd, rs, imm
+
+	OpJMP   // JMP imm              absolute jump
+	OpBEQ   // BEQ rs, rt, imm      branch if rs == rt
+	OpBNE   // BNE rs, rt, imm
+	OpBLT   // BLT rs, rt, imm      signed <
+	OpBGE   // BGE rs, rt, imm      signed >=
+	OpBLTU  // BLTU rs, rt, imm     unsigned <
+	OpBGEU  // BGEU rs, rt, imm     unsigned >=
+	OpCALL  // CALL imm             push PC+8; jump imm
+	OpCALLR // CALLR rs             push PC+8; jump rs (indirect)
+	OpRET   // RET                  pop PC
+
+	OpPUSH // PUSH rs               SP -= 4; mem32[SP] = rs
+	OpPOP  // POP rd                rd = mem32[SP]; SP += 4
+
+	OpSYSCALL  // SYSCALL            trap to kernel (number in R0, args R1..R5)
+	OpASYSCALL // ASYSCALL           authenticated trap (auth record in R6)
+
+	opMax // sentinel; not a real opcode
+)
+
+var opNames = map[Op]string{
+	OpNOP: "NOP", OpHALT: "HALT",
+	OpMOV: "MOV", OpMOVI: "MOVI",
+	OpLOAD: "LOAD", OpSTORE: "STORE", OpLOADB: "LOADB", OpSTOREB: "STOREB",
+	OpADD: "ADD", OpSUB: "SUB", OpMUL: "MUL", OpDIV: "DIV", OpMOD: "MOD",
+	OpAND: "AND", OpOR: "OR", OpXOR: "XOR", OpSHL: "SHL", OpSHR: "SHR",
+	OpADDI: "ADDI", OpMULI: "MULI", OpANDI: "ANDI", OpORI: "ORI",
+	OpXORI: "XORI", OpSHLI: "SHLI", OpSHRI: "SHRI",
+	OpJMP: "JMP", OpBEQ: "BEQ", OpBNE: "BNE", OpBLT: "BLT", OpBGE: "BGE",
+	OpBLTU: "BLTU", OpBGEU: "BGEU",
+	OpCALL: "CALL", OpCALLR: "CALLR", OpRET: "RET",
+	OpPUSH: "PUSH", OpPOP: "POP",
+	OpSYSCALL: "SYSCALL", OpASYSCALL: "ASYSCALL",
+}
+
+// opByName is the inverse of opNames, used by the assembler.
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, name := range opNames {
+		m[name] = op
+	}
+	return m
+}()
+
+// OpByName looks up an opcode by its mnemonic (upper case). It reports
+// whether the mnemonic is known.
+func OpByName(name string) (Op, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}
+
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool {
+	_, ok := opNames[o]
+	return ok
+}
+
+// InstrSize is the fixed encoded size of every instruction in bytes.
+const InstrSize = 8
+
+// Instr is a decoded instruction. Not every field is meaningful for every
+// opcode; unused fields are zero.
+type Instr struct {
+	Op  Op
+	Rd  Reg
+	Rs  Reg
+	Rt  Reg
+	Imm uint32
+}
+
+// Encode writes the 8-byte encoding of the instruction into b, which must
+// be at least InstrSize long.
+func (in Instr) Encode(b []byte) {
+	_ = b[7]
+	b[0] = byte(in.Op)
+	b[1] = byte(in.Rd)
+	b[2] = byte(in.Rs)
+	b[3] = byte(in.Rt)
+	b[4] = byte(in.Imm)
+	b[5] = byte(in.Imm >> 8)
+	b[6] = byte(in.Imm >> 16)
+	b[7] = byte(in.Imm >> 24)
+}
+
+// Decode reads an instruction from b, which must be at least InstrSize
+// long. It returns an error if the opcode or register fields are invalid.
+func Decode(b []byte) (Instr, error) {
+	if len(b) < InstrSize {
+		return Instr{}, fmt.Errorf("isa: decode: need %d bytes, have %d", InstrSize, len(b))
+	}
+	in := Instr{
+		Op:  Op(b[0]),
+		Rd:  Reg(b[1]),
+		Rs:  Reg(b[2]),
+		Rt:  Reg(b[3]),
+		Imm: uint32(b[4]) | uint32(b[5])<<8 | uint32(b[6])<<16 | uint32(b[7])<<24,
+	}
+	if !in.Op.Valid() {
+		return in, fmt.Errorf("isa: decode: invalid opcode %d", b[0])
+	}
+	if in.Rd >= NumRegs || in.Rs >= NumRegs || in.Rt >= NumRegs {
+		return in, fmt.Errorf("isa: decode: register out of range in %v", in)
+	}
+	return in, nil
+}
+
+// String renders the instruction in assembler syntax.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpNOP, OpHALT, OpRET, OpSYSCALL, OpASYSCALL:
+		return in.Op.String()
+	case OpMOV:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.Rs)
+	case OpMOVI:
+		return fmt.Sprintf("%s %s, 0x%x", in.Op, in.Rd, in.Imm)
+	case OpLOAD, OpLOADB:
+		return fmt.Sprintf("%s %s, [%s+%d]", in.Op, in.Rd, in.Rs, int32(in.Imm))
+	case OpSTORE, OpSTOREB:
+		return fmt.Sprintf("%s [%s+%d], %s", in.Op, in.Rd, int32(in.Imm), in.Rs)
+	case OpADD, OpSUB, OpMUL, OpDIV, OpMOD, OpAND, OpOR, OpXOR, OpSHL, OpSHR:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs, in.Rt)
+	case OpADDI, OpMULI, OpANDI, OpORI, OpXORI, OpSHLI, OpSHRI:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs, int32(in.Imm))
+	case OpJMP, OpCALL:
+		return fmt.Sprintf("%s 0x%x", in.Op, in.Imm)
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU:
+		return fmt.Sprintf("%s %s, %s, 0x%x", in.Op, in.Rs, in.Rt, in.Imm)
+	case OpCALLR:
+		return fmt.Sprintf("%s %s", in.Op, in.Rs)
+	case OpPUSH:
+		return fmt.Sprintf("%s %s", in.Op, in.Rs)
+	case OpPOP:
+		return fmt.Sprintf("%s %s", in.Op, in.Rd)
+	default:
+		return fmt.Sprintf("%s rd=%s rs=%s rt=%s imm=0x%x", in.Op, in.Rd, in.Rs, in.Rt, in.Imm)
+	}
+}
+
+// IsBranch reports whether the instruction can transfer control somewhere
+// other than the next instruction (excluding traps).
+func (in Instr) IsBranch() bool {
+	switch in.Op {
+	case OpJMP, OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU, OpCALL, OpCALLR, OpRET, OpHALT:
+		return true
+	}
+	return false
+}
+
+// IsCondBranch reports whether the instruction is a conditional branch
+// (falls through when the condition is false).
+func (in Instr) IsCondBranch() bool {
+	switch in.Op {
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU:
+		return true
+	}
+	return false
+}
+
+// IsSyscall reports whether the instruction traps to the kernel.
+func (in Instr) IsSyscall() bool {
+	return in.Op == OpSYSCALL || in.Op == OpASYSCALL
+}
+
+// HasImmTarget reports whether Imm is a code address target (jump or call).
+func (in Instr) HasImmTarget() bool {
+	switch in.Op {
+	case OpJMP, OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU, OpCALL:
+		return true
+	}
+	return false
+}
+
+// Def returns the register defined (written) by the instruction and whether
+// one is defined. SYSCALL/ASYSCALL define R0 (the return value).
+func (in Instr) Def() (Reg, bool) {
+	switch in.Op {
+	case OpMOV, OpMOVI, OpLOAD, OpLOADB,
+		OpADD, OpSUB, OpMUL, OpDIV, OpMOD, OpAND, OpOR, OpXOR, OpSHL, OpSHR,
+		OpADDI, OpMULI, OpANDI, OpORI, OpXORI, OpSHLI, OpSHRI, OpPOP:
+		return in.Rd, true
+	case OpSYSCALL, OpASYSCALL:
+		return R0, true
+	}
+	return 0, false
+}
+
+// Uses returns the registers read by the instruction, appended to dst.
+// SYSCALL reads R0..R5; ASYSCALL additionally reads R6.
+func (in Instr) Uses(dst []Reg) []Reg {
+	switch in.Op {
+	case OpMOV:
+		return append(dst, in.Rs)
+	case OpLOAD, OpLOADB:
+		return append(dst, in.Rs)
+	case OpSTORE, OpSTOREB:
+		return append(dst, in.Rd, in.Rs)
+	case OpADD, OpSUB, OpMUL, OpDIV, OpMOD, OpAND, OpOR, OpXOR, OpSHL, OpSHR:
+		return append(dst, in.Rs, in.Rt)
+	case OpADDI, OpMULI, OpANDI, OpORI, OpXORI, OpSHLI, OpSHRI:
+		return append(dst, in.Rs)
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU:
+		return append(dst, in.Rs, in.Rt)
+	case OpCALLR:
+		return append(dst, in.Rs)
+	case OpPUSH:
+		return append(dst, in.Rs)
+	case OpSYSCALL:
+		return append(dst, R0, R1, R2, R3, R4, R5)
+	case OpASYSCALL:
+		return append(dst, R0, R1, R2, R3, R4, R5, R6)
+	}
+	return dst
+}

@@ -1,0 +1,186 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tests := []Instr{
+		{Op: OpNOP},
+		{Op: OpMOVI, Rd: R3, Imm: 0xdeadbeef},
+		{Op: OpLOAD, Rd: R1, Rs: SP, Imm: 0xfffffffc}, // -4 offset
+		{Op: OpSTORE, Rd: FP, Rs: R2, Imm: 8},
+		{Op: OpADD, Rd: R1, Rs: R2, Rt: R3},
+		{Op: OpBEQ, Rs: R1, Rt: R2, Imm: 0x1040},
+		{Op: OpCALL, Imm: 0x2000},
+		{Op: OpSYSCALL},
+		{Op: OpASYSCALL},
+		{Op: OpRET},
+	}
+	var buf [InstrSize]byte
+	for _, in := range tests {
+		in.Encode(buf[:])
+		got, err := Decode(buf[:])
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", in, err)
+		}
+		if got != in {
+			t.Errorf("round trip: got %v, want %v", got, in)
+		}
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	var buf [InstrSize]byte
+	if _, err := Decode(buf[:]); err == nil {
+		t.Error("Decode of zero bytes: want error (opcode 0 invalid)")
+	}
+	buf[0] = byte(opMax)
+	if _, err := Decode(buf[:]); err == nil {
+		t.Error("Decode of opMax: want error")
+	}
+	buf[0] = byte(OpMOV)
+	buf[1] = NumRegs // register out of range
+	if _, err := Decode(buf[:]); err == nil {
+		t.Error("Decode with register 16: want error")
+	}
+	if _, err := Decode(buf[:4]); err == nil {
+		t.Error("Decode of short buffer: want error")
+	}
+}
+
+func TestPropertyEncodeDecode(t *testing.T) {
+	f := func(op, rd, rs, rt uint8, imm uint32) bool {
+		in := Instr{
+			Op:  Op(op%uint8(opMax-1) + 1),
+			Rd:  Reg(rd % NumRegs),
+			Rs:  Reg(rs % NumRegs),
+			Rt:  Reg(rt % NumRegs),
+			Imm: imm,
+		}
+		var buf [InstrSize]byte
+		in.Encode(buf[:])
+		got, err := Decode(buf[:])
+		return err == nil && got == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpByName(t *testing.T) {
+	for op, name := range opNames {
+		got, ok := OpByName(name)
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v, %v; want %v, true", name, got, ok, op)
+		}
+	}
+	if _, ok := OpByName("BOGUS"); ok {
+		t.Error("OpByName(BOGUS) should fail")
+	}
+}
+
+func TestClassifiers(t *testing.T) {
+	tests := []struct {
+		in               Instr
+		branch, cond, sc bool
+	}{
+		{Instr{Op: OpJMP}, true, false, false},
+		{Instr{Op: OpBNE}, true, true, false},
+		{Instr{Op: OpCALL}, true, false, false},
+		{Instr{Op: OpRET}, true, false, false},
+		{Instr{Op: OpSYSCALL}, false, false, true},
+		{Instr{Op: OpASYSCALL}, false, false, true},
+		{Instr{Op: OpADD}, false, false, false},
+	}
+	for _, tt := range tests {
+		if got := tt.in.IsBranch(); got != tt.branch {
+			t.Errorf("%v.IsBranch() = %v, want %v", tt.in.Op, got, tt.branch)
+		}
+		if got := tt.in.IsCondBranch(); got != tt.cond {
+			t.Errorf("%v.IsCondBranch() = %v, want %v", tt.in.Op, got, tt.cond)
+		}
+		if got := tt.in.IsSyscall(); got != tt.sc {
+			t.Errorf("%v.IsSyscall() = %v, want %v", tt.in.Op, got, tt.sc)
+		}
+	}
+}
+
+func TestDefUses(t *testing.T) {
+	in := Instr{Op: OpADD, Rd: R1, Rs: R2, Rt: R3}
+	if d, ok := in.Def(); !ok || d != R1 {
+		t.Errorf("ADD Def = %v, %v", d, ok)
+	}
+	uses := in.Uses(nil)
+	if len(uses) != 2 || uses[0] != R2 || uses[1] != R3 {
+		t.Errorf("ADD Uses = %v", uses)
+	}
+	sc := Instr{Op: OpSYSCALL}
+	if d, ok := sc.Def(); !ok || d != R0 {
+		t.Errorf("SYSCALL Def = %v, %v; want R0", d, ok)
+	}
+	if got := len(sc.Uses(nil)); got != 6 {
+		t.Errorf("SYSCALL uses %d regs, want 6", got)
+	}
+	asc := Instr{Op: OpASYSCALL}
+	if got := len(asc.Uses(nil)); got != 7 {
+		t.Errorf("ASYSCALL uses %d regs, want 7", got)
+	}
+	st := Instr{Op: OpSTORE, Rd: R4, Rs: R5}
+	if _, ok := st.Def(); ok {
+		t.Error("STORE should not define a register")
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if SP.String() != "sp" || FP.String() != "fp" || R3.String() != "r3" {
+		t.Errorf("register names wrong: %s %s %s", SP, FP, R3)
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	tests := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpNOP}, "NOP"},
+		{Instr{Op: OpMOV, Rd: R1, Rs: R2}, "MOV r1, r2"},
+		{Instr{Op: OpMOVI, Rd: R3, Imm: 0x10}, "MOVI r3, 0x10"},
+		{Instr{Op: OpLOAD, Rd: R1, Rs: SP, Imm: 4}, "LOAD r1, [sp+4]"},
+		{Instr{Op: OpSTORE, Rd: FP, Rs: R2, Imm: 0xfffffff8}, "STORE [fp+-8], r2"},
+		{Instr{Op: OpADD, Rd: R1, Rs: R2, Rt: R3}, "ADD r1, r2, r3"},
+		{Instr{Op: OpADDI, Rd: R1, Rs: R2, Imm: 0xffffffff}, "ADDI r1, r2, -1"},
+		{Instr{Op: OpJMP, Imm: 0x1000}, "JMP 0x1000"},
+		{Instr{Op: OpBEQ, Rs: R1, Rt: R2, Imm: 0x2000}, "BEQ r1, r2, 0x2000"},
+		{Instr{Op: OpCALL, Imm: 0x3000}, "CALL 0x3000"},
+		{Instr{Op: OpCALLR, Rs: R4}, "CALLR r4"},
+		{Instr{Op: OpPUSH, Rs: R5}, "PUSH r5"},
+		{Instr{Op: OpPOP, Rd: R6}, "POP r6"},
+		{Instr{Op: OpRET}, "RET"},
+		{Instr{Op: OpSYSCALL}, "SYSCALL"},
+		{Instr{Op: OpASYSCALL}, "ASYSCALL"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String(%v) = %q, want %q", tt.in.Op, got, tt.want)
+		}
+	}
+	// Unknown opcode renders without panicking.
+	if got := Op(200).String(); got == "" {
+		t.Error("unknown opcode String empty")
+	}
+}
+
+func TestHasImmTarget(t *testing.T) {
+	for _, op := range []Op{OpJMP, OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU, OpCALL} {
+		if !(Instr{Op: op}).HasImmTarget() {
+			t.Errorf("%v should have an immediate target", op)
+		}
+	}
+	for _, op := range []Op{OpCALLR, OpRET, OpMOVI, OpSYSCALL} {
+		if (Instr{Op: op}).HasImmTarget() {
+			t.Errorf("%v should not have an immediate target", op)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package kernel
+
+import (
+	"testing"
+
+	"asc/internal/asm"
+	"asc/internal/binfmt"
+	"asc/internal/installer"
+	"asc/internal/libc"
+	"asc/internal/linker"
+	"asc/internal/vfs"
+)
+
+// benchLoopSrc executes getpid in a tight loop; the per-iteration work is
+// dominated by the trap handler (and, for the authenticated variant, the
+// verification path).
+const benchLoopSrc = `
+        .text
+        .global main
+main:
+        MOVI r12, 1000
+.loop:
+        CALL getpid
+        ADDI r12, r12, -1
+        MOVI r9, 0
+        BNE r12, r9, .loop
+        MOVI r0, 0
+        RET
+`
+
+func buildBenchExe(b *testing.B, authenticated bool) *binfmt.File {
+	b.Helper()
+	obj, err := asm.Assemble("b.s", benchLoopSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib, err := libc.Objects(libc.Linux)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exe, err := linker.Link([]*binfmt.File{obj}, lib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !authenticated {
+		return exe
+	}
+	out, _, _, err := installer.Install(exe, "bench", installer.Options{Key: testKey})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return out
+}
+
+func benchRun(b *testing.B, authenticated bool) {
+	b.Helper()
+	bin := buildBenchExe(b, authenticated)
+	mode := Permissive
+	var key []byte
+	if authenticated {
+		mode, key = Enforce, testKey
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k, err := New(vfs.New(), key, WithMode(mode))
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := k.Spawn(bin, "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := k.Run(p, 1_000_000_000); err != nil {
+			b.Fatal(err)
+		}
+		if p.Killed {
+			b.Fatalf("killed: %v", p.KilledBy)
+		}
+	}
+	b.ReportMetric(1000, "syscalls/op")
+}
+
+// BenchmarkSyscallPlain measures 1,000 unverified traps per op.
+func BenchmarkSyscallPlain(b *testing.B) { benchRun(b, false) }
+
+// BenchmarkSyscallVerified measures 1,000 fully verified authenticated
+// calls per op (call MAC + predecessor AS + memory-checker update).
+func BenchmarkSyscallVerified(b *testing.B) { benchRun(b, true) }

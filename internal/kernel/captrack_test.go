@@ -1,0 +1,201 @@
+package kernel
+
+import (
+	"testing"
+
+	"asc/internal/binfmt"
+	"asc/internal/installer"
+)
+
+// fdVictimSrc reads a descriptor number from input and reads from it —
+// the §5.3 scenario: without capability tracking, a compromised program
+// could use any descriptor number; with it, only live descriptors from
+// its own opens pass.
+const fdVictimSrc = `
+        .text
+        .global main
+main:
+        PUSH fp
+        MOV fp, sp
+        ; open the legitimate data file
+        MOVI r1, datap
+        MOVI r2, 0
+        MOVI r3, 0
+        CALL open
+        MOV r10, r0
+        ; read the fd to use from stdin (attacker-controlled)
+        SUBI sp, sp, 32
+        MOV r1, sp
+        CALL gets
+        MOV r1, sp
+        CALL atoi
+        MOV r11, r0
+        ADDI sp, sp, 32
+        ; 0 means "use the fd open returned"
+        MOVI r7, 0
+        BNE r11, r7, .useinput
+        MOV r11, r10
+.useinput:
+        ; read(fd, buf, 8)
+        MOV r1, r11
+        MOVI r2, buf
+        MOVI r3, 8
+        CALL read
+        MOVI r1, buf
+        CALL puts
+        ; close and exit
+        MOV r1, r10
+        CALL close
+        POP fp
+        MOVI r0, 0
+        RET
+        .rodata
+datap:  .asciz "/data/file"
+        .bss
+buf:    .space 16
+`
+
+func buildFDVictim(t *testing.T) *binfmt.File {
+	t.Helper()
+	exe := buildExe(t, fdVictimSrc)
+	out, pp, rep, err := installer.Install(exe, "fdvictim", installer.Options{
+		Key:      testKey,
+		TrackFDs: true,
+	})
+	if err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	if rep.FDArgs == 0 {
+		t.Fatalf("no fd args in report: %+v", rep)
+	}
+	tracked := false
+	for _, sp := range pp.Sites {
+		for _, a := range sp.Args {
+			if a.Tracked {
+				tracked = true
+			}
+		}
+	}
+	if !tracked {
+		t.Fatal("no tracked arguments in policy")
+	}
+	if _, ok := out.SymbolAddr("__asc_fdset"); !ok {
+		t.Fatal("__asc_fdset symbol missing")
+	}
+	return out
+}
+
+func newFDKernel(t *testing.T) *Kernel {
+	t.Helper()
+	k := newKernel(t)
+	if err := k.FS.MkdirAll("/data", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.FS.WriteFile("/data/file", []byte("CONTENTS"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestCapTrackingAllowsLegitimateFD(t *testing.T) {
+	k := newFDKernel(t)
+	p, err := k.Spawn(buildFDVictim(t), "fdvictim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Stdin = []byte("0\n") // use the fd returned by open
+	if err := k.Run(p, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Killed {
+		t.Fatalf("legitimate fd killed: %v (audit %v)", p.KilledBy, k.Audit)
+	}
+	if p.Output() != "CONTENTS" {
+		t.Errorf("output %q", p.Output())
+	}
+}
+
+func TestCapTrackingBlocksForgedFD(t *testing.T) {
+	k := newFDKernel(t)
+	p, err := k.Spawn(buildFDVictim(t), "fdvictim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The attacker supplies a descriptor number that was never opened.
+	p.Stdin = []byte("7\n")
+	if err := k.Run(p, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Killed || p.KilledBy != KillBadCapability {
+		t.Fatalf("killed=%v by=%q (audit %v)", p.Killed, p.KilledBy, k.Audit)
+	}
+}
+
+func TestCapTrackingClosedFDRejected(t *testing.T) {
+	// A program that closes its fd and then reads from it: use-after-
+	// close is rejected by the capability check.
+	src := `
+        .text
+        .global main
+main:
+        MOVI r1, datap
+        MOVI r2, 0
+        MOVI r3, 0
+        CALL open
+        MOV r10, r0
+        MOV r1, r10
+        CALL close
+        MOV r1, r10
+        MOVI r2, buf
+        MOVI r3, 8
+        CALL read
+        MOVI r0, 0
+        RET
+        .rodata
+datap:  .asciz "/data/file"
+        .bss
+buf:    .space 16
+`
+	exe := buildExe(t, src)
+	out, _, _, err := installer.Install(exe, "uac", installer.Options{Key: testKey, TrackFDs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := newFDKernel(t)
+	p, err := k.Spawn(out, "uac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(p, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Killed || p.KilledBy != KillBadCapability {
+		t.Fatalf("use-after-close: killed=%v by=%q", p.Killed, p.KilledBy)
+	}
+}
+
+func TestCapTrackingSetTamperKilled(t *testing.T) {
+	// Forging an entry in the in-application capability set is caught by
+	// the memory checker.
+	exe := buildFDVictim(t)
+	fdAddr, _ := exe.SymbolAddr("__asc_fdset")
+	k := newFDKernel(t)
+	p, err := k.Spawn(exe, "fdvictim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-poke: count=4, extra fd 7 at slot 3.
+	if err := p.Mem.KernelStore32(fdAddr, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Mem.KernelStore32(fdAddr+4+3*4, 7); err != nil {
+		t.Fatal(err)
+	}
+	p.Stdin = []byte("7\n")
+	if err := k.Run(p, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Killed || p.KilledBy != KillBadState {
+		t.Fatalf("forged set: killed=%v by=%q", p.Killed, p.KilledBy)
+	}
+}

@@ -1,0 +1,724 @@
+// Package kernel implements the operating system of the simulated
+// platform: processes, a system call table over the in-memory VFS, and —
+// the paper's kernel-side contribution — the authenticated system call
+// verification path in the trap handler (Section 3.4).
+//
+// The verification path mirrors the paper exactly:
+//
+//  1. Reconstruct the encoded call from the actual trap state and check
+//     the call MAC.
+//  2. Check the integrity of each authenticated string argument.
+//  3. Check the control-flow policy using the online memory checker:
+//     the {lastBlock, lbMAC} state lives in application memory and is
+//     validated against an in-kernel per-process counter nonce, then
+//     updated.
+//
+// Any failure terminates the process, logs the call, and records an audit
+// entry. Unauthenticated calls from authenticated binaries are also
+// blocked (the paper's shellcode defense).
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"asc/internal/binfmt"
+	"asc/internal/captrack"
+	"asc/internal/isa"
+	"asc/internal/mac"
+	"asc/internal/pattern"
+	"asc/internal/policy"
+	"asc/internal/sys"
+	"asc/internal/vfs"
+	"asc/internal/vm"
+)
+
+// Mode selects the enforcement behaviour.
+type Mode int
+
+// Enforcement modes.
+const (
+	// Permissive executes all system calls without checking. Used for
+	// baselines and for tracing training runs.
+	Permissive Mode = iota + 1
+	// Enforce verifies authenticated calls and kills processes on any
+	// violation, including plain SYSCALLs from authenticated binaries.
+	Enforce
+)
+
+// Personality selects OS-specific syscall behaviour.
+type Personality int
+
+// Personalities.
+const (
+	// Linux rejects the generic indirect syscall.
+	Linux Personality = iota + 1
+	// OpenBSD dispatches __syscall(n, ...) to syscall n.
+	OpenBSD
+)
+
+// Defaults for process construction.
+const (
+	DefaultMemSize   = 4 << 20
+	DefaultStackSize = 256 << 10
+	maxFDs           = 256
+)
+
+// KillReason classifies why the monitor terminated a process.
+type KillReason string
+
+// Kill reasons recorded in the audit log.
+const (
+	KillUnauthenticated KillReason = "unauthenticated system call"
+	KillBadRecord       KillReason = "malformed auth record"
+	KillBadCallMAC      KillReason = "call MAC mismatch"
+	KillBadString       KillReason = "authenticated string MAC mismatch"
+	KillBadState        KillReason = "policy state MAC mismatch (memory checker)"
+	KillBadPredecessor  KillReason = "control flow violation (predecessor not allowed)"
+	KillBadPattern      KillReason = "argument does not match authenticated pattern"
+	KillBadCapability   KillReason = "file descriptor is not a live capability"
+	KillSymlinkRace     KillReason = "path argument resolves outside its policy name (symlink race)"
+)
+
+// AuditEntry records a monitor decision.
+type AuditEntry struct {
+	PID     int
+	Program string
+	Num     uint16
+	Name    string
+	Site    uint32
+	Reason  KillReason
+}
+
+func (a AuditEntry) String() string {
+	return fmt.Sprintf("pid %d (%s): %s at %#x: %s", a.PID, a.Program, a.Name, a.Site, string(a.Reason))
+}
+
+// TraceEntry records one executed system call (used for Systrace-style
+// training and for debugging).
+type TraceEntry struct {
+	Num  uint16
+	Site uint32
+	Args [sys.MaxArgs]uint32
+	Ret  uint32
+}
+
+// Kernel is one simulated machine.
+type Kernel struct {
+	FS          *vfs.FS
+	Mode        Mode
+	Personality Personality
+	Costs       CostModel
+
+	// NormalizePaths enables the §5.4 defense: a policy-constrained path
+	// argument must normalize (all symbolic links resolved) to itself.
+	// An attacker who plants a symlink at a policy-approved name — e.g.
+	// /tmp/foo -> /etc/passwd — is caught before the call proceeds.
+	NormalizePaths bool
+
+	// RequireAuthenticated extends enforcement to every process: system
+	// calls from binaries the installer has not transformed are also
+	// killed. This is the paper's full-system deployment ("the system
+	// as a whole is protected once all binaries that run in user space
+	// have been transformed", §3.3); without it, enforcement applies
+	// per-binary.
+	RequireAuthenticated bool
+
+	// MonitorOverhead, when non-nil, is consulted on every system call
+	// of a *non-authenticated* binary to model alternative monitors
+	// (e.g. a user-space policy daemon); it returns extra cycles and
+	// whether the call is allowed.
+	MonitorOverhead func(p *Process, num uint16, site uint32) (extra uint64, allow bool)
+
+	key      *mac.Keyed
+	nextPID  int
+	Audit    []AuditEntry
+	procs    map[int]*Process
+	timeBase uint64
+}
+
+// Option configures a Kernel.
+type Option func(*Kernel)
+
+// WithMode sets the enforcement mode.
+func WithMode(m Mode) Option { return func(k *Kernel) { k.Mode = m } }
+
+// WithPersonality sets the OS personality.
+func WithPersonality(p Personality) Option { return func(k *Kernel) { k.Personality = p } }
+
+// WithCosts overrides the cycle model.
+func WithCosts(c CostModel) Option { return func(k *Kernel) { k.Costs = c } }
+
+// WithRequireAuthenticated enables full-system enforcement: only
+// installer-transformed binaries may make system calls.
+func WithRequireAuthenticated() Option {
+	return func(k *Kernel) { k.RequireAuthenticated = true }
+}
+
+// WithNormalizePaths enables the §5.4 symlink-race defense on
+// policy-constrained path arguments.
+func WithNormalizePaths() Option {
+	return func(k *Kernel) { k.NormalizePaths = true }
+}
+
+// New creates a kernel. The key is the MAC key shared with the trusted
+// installer; it may be nil when the kernel never enforces.
+func New(fs *vfs.FS, key []byte, opts ...Option) (*Kernel, error) {
+	k := &Kernel{
+		FS:          fs,
+		Mode:        Enforce,
+		Personality: Linux,
+		Costs:       DefaultCosts,
+		nextPID:     1,
+		procs:       make(map[int]*Process),
+	}
+	if key != nil {
+		mk, err := mac.New(key)
+		if err != nil {
+			return nil, fmt.Errorf("kernel: %w", err)
+		}
+		k.key = mk
+	}
+	for _, o := range opts {
+		o(k)
+	}
+	if k.Mode == Enforce && k.key == nil {
+		return nil, errors.New("kernel: enforcement requires a MAC key")
+	}
+	return k, nil
+}
+
+// fdKind distinguishes file descriptor flavours.
+type fdKind int
+
+const (
+	fdFile fdKind = iota + 1
+	fdConsole
+	fdPipeR
+	fdPipeW
+	fdSocket
+)
+
+type fdEntry struct {
+	kind   fdKind
+	node   *vfs.Node
+	path   string
+	offset uint32
+	pipe   *pipeBuf
+	sock   *socket
+}
+
+type pipeBuf struct {
+	data   []byte
+	closed bool
+}
+
+type socket struct {
+	domain, typ, proto uint32
+	sent               [][]byte
+	bound              bool
+}
+
+// Process is one running program.
+type Process struct {
+	PID      int
+	Name     string
+	CPU      *vm.CPU
+	Mem      *vm.Memory
+	Exited   bool
+	Code     uint32
+	Killed   bool
+	KilledBy KillReason
+
+	kern *Kernel
+	file *binfmt.File
+
+	fds   []*fdEntry
+	cwd   string
+	brk   uint32
+	umask uint32
+
+	authenticated bool
+	counter       uint64            // memory-checker nonce
+	fdTracker     *captrack.Tracker // §5.3 capability set, nil unless installed
+
+	// Console I/O.
+	Stdin    []byte
+	stdinPos int
+	Stdout   []byte
+
+	// Statistics.
+	SyscallCount    uint64
+	VerifyCount     uint64
+	VerifyAESBlocks uint64
+
+	// Tracing (Permissive mode training runs).
+	Trace   []TraceEntry
+	DoTrace bool
+
+	sigHandlers map[uint32]uint32
+}
+
+// Spawn loads an executable into a new process.
+func (k *Kernel) Spawn(f *binfmt.File, name string) (*Process, error) {
+	p := &Process{
+		PID:         k.nextPID,
+		Name:        name,
+		kern:        k,
+		cwd:         "/",
+		umask:       0o22,
+		sigHandlers: make(map[uint32]uint32),
+	}
+	k.nextPID++
+	if err := p.loadImage(f); err != nil {
+		return nil, err
+	}
+	// Standard descriptors.
+	p.fds = make([]*fdEntry, 3, 16)
+	p.fds[0] = &fdEntry{kind: fdConsole}
+	p.fds[1] = &fdEntry{kind: fdConsole}
+	p.fds[2] = &fdEntry{kind: fdConsole}
+	k.procs[p.PID] = p
+	return p, nil
+}
+
+// loadImage (re)initializes the process address space from a binary.
+func (p *Process) loadImage(f *binfmt.File) error {
+	base, img, err := f.Image()
+	if err != nil {
+		return fmt.Errorf("kernel: load %s: %w", p.Name, err)
+	}
+	mem := vm.NewMemory(binfmt.TextBase, DefaultMemSize)
+	if err := mem.KernelWrite(base, img); err != nil {
+		return fmt.Errorf("kernel: load %s: %w", p.Name, err)
+	}
+	var end uint32 = binfmt.TextBase
+	for _, s := range f.Sections {
+		if s.Size == 0 {
+			continue
+		}
+		mem.Map(vm.Segment{Name: s.Name, Start: s.Addr, End: s.End(), Perms: s.Flags})
+		if s.End() > end {
+			end = s.End()
+		}
+	}
+	// Heap begins after the image; brk grows it.
+	heapStart := (end + 0xfff) &^ 0xfff
+	p.brk = heapStart
+	mem.Map(vm.Segment{Name: "heap", Start: heapStart, End: heapStart, Perms: vm.PermRead | vm.PermWrite})
+	// Stack at the top, executable (2005-era semantics; see internal/vm).
+	top := mem.Limit()
+	mem.Map(vm.Segment{
+		Name: "stack", Start: top - DefaultStackSize, End: top,
+		Perms: vm.PermRead | vm.PermWrite | vm.PermExec,
+	})
+
+	cpu := p.CPU
+	if cpu == nil {
+		cpu = vm.New(mem, &trapAdapter{p})
+		cpu.PC = f.Entry
+		cpu.Regs[isa.SP] = top
+	} else {
+		// execve: replace the image in place, keeping the cycle counter.
+		cpu.Reset(mem, f.Entry, top)
+	}
+	text := f.Section(binfmt.SecText)
+	if text != nil {
+		cpu.PrimeICache(text.Addr, text.End())
+	}
+
+	p.CPU = cpu
+	p.Mem = mem
+	p.file = f
+	p.authenticated = f.Authenticated
+	p.counter = 0
+	p.fdTracker = nil
+	if addr, ok := f.SymbolAddr("__asc_fdset"); ok && p.kern.key != nil {
+		tr, err := captrack.Attach(p.kern.key, addr, captrack.DefaultCapacity)
+		if err != nil {
+			return fmt.Errorf("kernel: attach fd tracker: %w", err)
+		}
+		p.fdTracker = tr
+	}
+	return nil
+}
+
+// trapAdapter delivers VM traps to the kernel with the owning process.
+type trapAdapter struct{ p *Process }
+
+func (t *trapAdapter) Trap(c *vm.CPU, site uint32, authed bool) (uint32, bool, error) {
+	return t.p.kern.trap(t.p, site, authed)
+}
+
+// Run executes the process until exit, kill, fault, or cycle budget
+// exhaustion.
+func (k *Kernel) Run(p *Process, maxCycles uint64) error {
+	err := p.CPU.Run(maxCycles)
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// kill terminates the process and records the audit entry.
+func (k *Kernel) kill(p *Process, num uint16, site uint32, reason KillReason) {
+	p.Killed = true
+	p.KilledBy = reason
+	p.Exited = true
+	p.Code = 0xff
+	k.Audit = append(k.Audit, AuditEntry{
+		PID: p.PID, Program: p.Name, Num: num, Name: sys.Name(num), Site: site, Reason: reason,
+	})
+}
+
+// trap is the software trap handler.
+func (k *Kernel) trap(p *Process, site uint32, authed bool) (uint32, bool, error) {
+	p.CPU.Cycles += k.Costs.Trap
+	p.SyscallCount++
+	num := uint16(p.CPU.Regs[isa.R0])
+
+	if k.Mode == Enforce && (p.authenticated || k.RequireAuthenticated) {
+		if !authed || !p.authenticated {
+			k.kill(p, num, site, KillUnauthenticated)
+			return 0, true, nil
+		}
+		if reason, ok := k.verify(p, num, site); !ok {
+			k.kill(p, num, site, reason)
+			return 0, true, nil
+		}
+	} else if k.MonitorOverhead != nil {
+		extra, allow := k.MonitorOverhead(p, num, site)
+		p.CPU.Cycles += extra
+		if !allow {
+			k.kill(p, num, site, "blocked by external monitor policy")
+			return 0, true, nil
+		}
+	}
+
+	var args [sys.MaxArgs]uint32
+	for i := 0; i < sys.MaxArgs; i++ {
+		args[i] = p.CPU.Regs[isa.R1+isa.Reg(i)]
+	}
+	ret, exit := k.dispatch(p, num, site, args)
+	if !exit && p.fdTracker != nil && k.Mode == Enforce && p.authenticated {
+		if err := k.updateFDSet(p, num, args, ret); err != nil {
+			k.kill(p, num, site, KillBadState)
+			return 0, true, nil
+		}
+	}
+	if p.DoTrace && !exit {
+		p.Trace = append(p.Trace, TraceEntry{Num: num, Site: site, Args: args, Ret: ret})
+	}
+	if p.DoTrace && exit {
+		p.Trace = append(p.Trace, TraceEntry{Num: num, Site: site, Args: args})
+	}
+	return ret, exit, nil
+}
+
+// sumCycles charges the cycle cost of aes block operations.
+func (k *Kernel) chargeAES(p *Process, blocks int) {
+	p.CPU.Cycles += uint64(blocks) * k.Costs.PerAESBlock
+	p.VerifyAESBlocks += uint64(blocks)
+}
+
+// readAS reads an authenticated-string view {addr,len,mac} whose bytes
+// pointer is addr. Returns the view and the string bytes.
+func (k *Kernel) readAS(p *Process, addr uint32) (policy.ASView, []byte, bool) {
+	if addr < policy.ASHeaderSize {
+		return policy.ASView{}, nil, false
+	}
+	length, err := p.Mem.KernelLoad32(addr - 20)
+	if err != nil || length > policy.MaxASLen {
+		return policy.ASView{}, nil, false
+	}
+	tagBytes, err := p.Mem.KernelRead(addr-16, mac.Size)
+	if err != nil {
+		return policy.ASView{}, nil, false
+	}
+	var tag mac.Tag
+	copy(tag[:], tagBytes)
+	contents, err := p.Mem.KernelRead(addr, length)
+	if err != nil {
+		return policy.ASView{}, nil, false
+	}
+	return policy.ASView{Addr: addr, Len: length, MAC: tag}, contents, true
+}
+
+// verify implements the three-step check of Section 3.4.
+func (k *Kernel) verify(p *Process, num uint16, site uint32) (KillReason, bool) {
+	p.VerifyCount++
+	p.CPU.Cycles += k.Costs.AuthFixed
+
+	// The auth record address arrives in R6. The descriptor (its first
+	// word) determines whether a pattern extension follows the fixed
+	// part.
+	recAddr := p.CPU.Regs[isa.R6]
+	descWord, err := p.Mem.KernelLoad32(recAddr)
+	if err != nil {
+		return KillBadRecord, false
+	}
+	recSize := uint32(policy.AuthRecordSize + 4*policy.Descriptor(descWord).NumPatterns())
+	recBytes, err := p.Mem.KernelRead(recAddr, recSize)
+	if err != nil {
+		return KillBadRecord, false
+	}
+	rec, err := policy.DecodeAuthRecord(recBytes)
+	if err != nil {
+		return KillBadRecord, false
+	}
+
+	// Reconstruct the encoded call from actual behaviour.
+	enc := policy.CallEncoding{
+		Num:     num,
+		Site:    site,
+		Desc:    rec.Desc,
+		BlockID: rec.BlockID,
+		LbPtr:   rec.LbPtr,
+	}
+	type pendingString struct {
+		contents []byte
+		tag      mac.Tag
+	}
+	type pendingPattern struct {
+		argIndex int
+		source   []byte // pattern AS contents (NUL-terminated)
+	}
+	var strChecks []pendingString
+	var patChecks []pendingPattern
+	patIdx := 0
+	for i := 0; i < sys.MaxArgs; i++ {
+		val := p.CPU.Regs[isa.R1+isa.Reg(i)]
+		switch {
+		case rec.Desc.ArgConstrained(i) && rec.Desc.ArgString(i):
+			view, contents, ok := k.readAS(p, val)
+			if !ok {
+				return KillBadString, false
+			}
+			enc.Args = append(enc.Args, policy.EncodedArg{
+				Index: i, IsString: true, Value: view.Addr, Len: view.Len, MAC: view.MAC,
+			})
+			strChecks = append(strChecks, pendingString{contents, view.MAC})
+		case rec.Desc.ArgConstrained(i):
+			enc.Args = append(enc.Args, policy.EncodedArg{Index: i, Value: val})
+		case rec.Desc.ArgPattern(i):
+			if patIdx >= len(rec.PatternPtrs) {
+				return KillBadRecord, false
+			}
+			view, contents, ok := k.readAS(p, rec.PatternPtrs[patIdx])
+			patIdx++
+			if !ok {
+				return KillBadString, false
+			}
+			enc.Args = append(enc.Args, policy.EncodedArg{
+				Index: i, IsPattern: true, Value: view.Addr, Len: view.Len, MAC: view.MAC,
+			})
+			strChecks = append(strChecks, pendingString{contents, view.MAC})
+			patChecks = append(patChecks, pendingPattern{argIndex: i, source: contents})
+		}
+	}
+	var predView policy.ASView
+	var predBytes []byte
+	if rec.Desc.ControlFlow() {
+		view, contents, ok := k.readAS(p, rec.PredSetPtr)
+		if !ok {
+			return KillBadRecord, false
+		}
+		predView, predBytes = view, contents
+		enc.PredSet = &predView
+		strChecks = append(strChecks, pendingString{contents, view.MAC})
+	}
+
+	// Step 1: call MAC.
+	got, blocks := enc.Sum(k.key)
+	k.chargeAES(p, blocks)
+	if !got.Equal(rec.CallMAC) {
+		return KillBadCallMAC, false
+	}
+
+	// Step 2: authenticated string contents.
+	for _, sc := range strChecks {
+		ok, blocks := k.key.Verify(sc.contents, sc.tag)
+		k.chargeAES(p, blocks)
+		if !ok {
+			return KillBadString, false
+		}
+	}
+
+	// Step 2a (§5.4 extension): policy-constrained path arguments must
+	// normalize to themselves — a symlink planted at the approved name
+	// redirects the resolution and is rejected.
+	if k.NormalizePaths {
+		sig, sigOK := sys.Lookup(num)
+		for i := 0; sigOK && i < sig.NArgs(); i++ {
+			if !rec.Desc.ArgString(i) || sig.Args[i] != sys.ArgPath {
+				continue
+			}
+			raw, err := p.Mem.CString(p.CPU.Regs[isa.R1+isa.Reg(i)], 4096)
+			if err != nil {
+				return KillBadString, false
+			}
+			want := p.resolvePath(raw)
+			got, err := k.FS.Normalize(want)
+			if err != nil {
+				continue // target does not exist yet (e.g. O_CREAT): nothing to race
+			}
+			p.CPU.Cycles += uint64(len(want)) * 2 // modeled path-walk cost
+			if got != want {
+				return KillSymlinkRace, false
+			}
+		}
+	}
+
+	// Step 2b (§5.1 extension): pattern-constrained arguments. The
+	// pattern source is now MAC-verified; match the actual argument
+	// against it. (Without application-supplied hints the kernel pays
+	// for the full match; see internal/pattern for the hint protocol.)
+	for _, pc := range patChecks {
+		src := strings.TrimRight(string(pc.source), "\x00")
+		pat, err := pattern.Parse(src)
+		if err != nil {
+			return KillBadRecord, false
+		}
+		argAddr := p.CPU.Regs[isa.R1+isa.Reg(pc.argIndex)]
+		arg, err := p.Mem.CString(argAddr, 4096)
+		if err != nil {
+			return KillBadPattern, false
+		}
+		p.CPU.Cycles += uint64(len(arg)+len(src)) * 3
+		if _, err := pat.Match(arg); err != nil {
+			return KillBadPattern, false
+		}
+	}
+
+	// Step 2c (§5.3 extension): tracked descriptor capabilities. The
+	// argument must be a member of the MAC-protected live-descriptor set.
+	for i := 0; i < sys.MaxArgs; i++ {
+		if !rec.Desc.ArgFD(i) {
+			continue
+		}
+		if p.fdTracker == nil {
+			return KillBadCapability, false
+		}
+		before := p.fdTracker.AESBlocks
+		err := p.fdTracker.Check(p.Mem, p.CPU.Regs[isa.R1+isa.Reg(i)])
+		k.chargeAES(p, p.fdTracker.AESBlocks-before)
+		switch {
+		case err == nil:
+		case errors.Is(err, captrack.ErrNotTracked):
+			return KillBadCapability, false
+		default:
+			return KillBadState, false
+		}
+	}
+
+	// Step 3: control flow policy via the online memory checker.
+	if rec.Desc.ControlFlow() {
+		lastBlock, err := p.Mem.KernelLoad32(rec.LbPtr)
+		if err != nil {
+			return KillBadState, false
+		}
+		lbMACBytes, err := p.Mem.KernelRead(rec.LbPtr+4, mac.Size)
+		if err != nil {
+			return KillBadState, false
+		}
+		var lbMAC mac.Tag
+		copy(lbMAC[:], lbMACBytes)
+		want, blocks := policy.StateMAC(k.key, lastBlock, p.counter)
+		k.chargeAES(p, blocks)
+		if !want.Equal(lbMAC) {
+			return KillBadState, false
+		}
+		ids, err := policy.DecodePredSet(predBytes)
+		if err != nil {
+			return KillBadPredecessor, false
+		}
+		if !policy.PredSetContains(ids, lastBlock) {
+			return KillBadPredecessor, false
+		}
+		// Update: counter++, lastBlock = blockID, new state MAC.
+		p.counter++
+		newMAC, blocks := policy.StateMAC(k.key, rec.BlockID, p.counter)
+		k.chargeAES(p, blocks)
+		if err := p.Mem.KernelStore32(rec.LbPtr, rec.BlockID); err != nil {
+			return KillBadState, false
+		}
+		if err := p.Mem.KernelWrite(rec.LbPtr+4, newMAC[:]); err != nil {
+			return KillBadState, false
+		}
+	}
+	return "", true
+}
+
+// updateFDSet maintains the §5.3 capability set across calls that create
+// or destroy descriptors.
+func (k *Kernel) updateFDSet(p *Process, num uint16, args [sys.MaxArgs]uint32, ret uint32) error {
+	sig, ok := sys.Lookup(num)
+	if !ok {
+		return nil
+	}
+	before := p.fdTracker.AESBlocks
+	defer func() { k.chargeAES(p, p.fdTracker.AESBlocks-before) }()
+	switch {
+	case sig.ReturnFD && int32(ret) >= 0:
+		if err := p.fdTracker.Add(p.Mem, ret); err != nil && !errors.Is(err, captrack.ErrFull) {
+			return err
+		}
+	case num == sys.SysClose && ret == 0:
+		if err := p.fdTracker.Remove(p.Mem, args[0]); err != nil && !errors.Is(err, captrack.ErrNotTracked) {
+			return err
+		}
+	}
+	return nil
+}
+
+// resolvePath joins a process-relative path against the cwd.
+func (p *Process) resolvePath(path string) string {
+	if path == "" {
+		return p.cwd
+	}
+	if path[0] == '/' {
+		return path
+	}
+	if p.cwd == "/" {
+		return "/" + path
+	}
+	return p.cwd + "/" + path
+}
+
+// readPath reads a path argument from process memory.
+func (p *Process) readPath(addr uint32) (string, bool) {
+	s, err := p.Mem.CString(addr, 4096)
+	if err != nil {
+		return "", false
+	}
+	if strings.ContainsRune(s, 0) {
+		return "", false
+	}
+	return p.resolvePath(s), true
+}
+
+// allocFD installs an fd entry at the lowest free slot.
+func (p *Process) allocFD(e *fdEntry) (int, bool) {
+	for i, f := range p.fds {
+		if f == nil {
+			p.fds[i] = e
+			return i, true
+		}
+	}
+	if len(p.fds) >= maxFDs {
+		return 0, false
+	}
+	p.fds = append(p.fds, e)
+	return len(p.fds) - 1, true
+}
+
+func (p *Process) fd(n uint32) *fdEntry {
+	if int(n) >= len(p.fds) {
+		return nil
+	}
+	return p.fds[n]
+}
+
+// Output returns everything the process wrote to the console.
+func (p *Process) Output() string { return string(p.Stdout) }

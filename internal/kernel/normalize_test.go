@@ -1,0 +1,113 @@
+package kernel
+
+import (
+	"testing"
+
+	"asc/internal/installer"
+)
+
+// normVictimSrc opens the policy-approved temporary file /tmp/foo.
+const normVictimSrc = `
+        .text
+        .global main
+main:
+        MOVI r1, path
+        MOVI r2, 1              ; O_WRONLY, no O_CREAT
+        MOVI r3, 0
+        CALL open
+        MOVI r7, 0
+        BLT r0, r7, .fail
+        MOV r10, r0
+        MOV r1, r10
+        MOVI r2, msg
+        MOVI r3, 5
+        CALL write
+        MOVI r0, 0
+        RET
+.fail:
+        MOVI r0, 1
+        RET
+        .rodata
+path:   .asciz "/tmp/foo"
+msg:    .asciz "owned"
+`
+
+func TestNormalizationBlocksSymlinkRace(t *testing.T) {
+	exe := buildExe(t, normVictimSrc)
+	out, _, _, err := installer.Install(exe, "norm", installer.Options{Key: testKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §5.4 attack: the policy approves /tmp/foo; the attacker plants
+	// /tmp/foo -> /etc/passwd before the program runs.
+	k := newKernel(t, WithNormalizePaths())
+	if err := k.FS.Symlink("/etc/passwd", "/tmp/foo"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := k.Spawn(out, "norm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(p, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Killed || p.KilledBy != KillSymlinkRace {
+		t.Fatalf("killed=%v by=%q (audit %v)", p.Killed, p.KilledBy, k.Audit)
+	}
+	if b, _ := k.FS.ReadFile("/etc/passwd"); string(b) != "root:0:0\n" {
+		t.Errorf("password file was modified: %q", b)
+	}
+}
+
+func TestNormalizationAllowsRealFile(t *testing.T) {
+	exe := buildExe(t, normVictimSrc)
+	out, _, _, err := installer.Install(exe, "norm", installer.Options{Key: testKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := newKernel(t, WithNormalizePaths())
+	if err := k.FS.WriteFile("/tmp/foo", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := k.Spawn(out, "norm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(p, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Killed {
+		t.Fatalf("legitimate file killed: %v", p.KilledBy)
+	}
+	if b, _ := k.FS.ReadFile("/tmp/foo"); string(b) != "owned" {
+		t.Errorf("file content %q", b)
+	}
+}
+
+func TestWithoutNormalizationRaceSucceeds(t *testing.T) {
+	// Without the §5.4 defense the attack works — the string policy is
+	// satisfied ("/tmp/foo" is exactly the approved name) while the VFS
+	// resolution follows the planted link. This is the gap §5.4 closes.
+	exe := buildExe(t, normVictimSrc)
+	out, _, _, err := installer.Install(exe, "norm", installer.Options{Key: testKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := newKernel(t)
+	if err := k.FS.Symlink("/etc/passwd", "/tmp/foo"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := k.Spawn(out, "norm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(p, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Killed {
+		t.Fatalf("unexpected kill: %v", p.KilledBy)
+	}
+	if b, _ := k.FS.ReadFile("/etc/passwd"); string(b) == "root:0:0\n" {
+		t.Error("attack did not modify the target; scenario broken")
+	}
+}

@@ -1,0 +1,178 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"asc/internal/binfmt"
+	"asc/internal/installer"
+)
+
+// patternVictimSrc opens a file whose name arrives on stdin — static
+// analysis cannot constrain the path, so without a pattern the argument
+// is unprotected.
+const patternVictimSrc = `
+        .text
+        .global main
+main:
+        SUBI sp, sp, 64
+        MOV r1, sp
+        CALL gets
+        MOV r1, sp
+        MOVI r2, 0x41
+        MOVI r3, 420
+        CALL open
+        MOVI r7, 0
+        BLT r0, r7, .fail
+        MOVI r1, ok
+        CALL puts
+        ADDI sp, sp, 64
+        MOVI r0, 0
+        RET
+.fail:
+        ADDI sp, sp, 64
+        MOVI r0, 1
+        RET
+        .rodata
+ok:     .asciz "opened\n"
+`
+
+func installWithPattern(t *testing.T, pat string) *binfmt.File {
+	t.Helper()
+	exe := buildExe(t, patternVictimSrc)
+	opts := installer.Options{Key: testKey}
+	if pat != "" {
+		opts.Patterns = map[string][]installer.ArgPattern{
+			"open": {{Arg: 0, Pattern: pat}},
+		}
+	}
+	out, pp, rep, err := installer.Install(exe, "patvictim", opts)
+	if err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	if pat != "" {
+		if rep.PatternArgs == 0 {
+			t.Fatalf("no pattern args recorded: %+v", rep)
+		}
+		found := false
+		for _, sp := range pp.Sites {
+			if sp.Name == "open" && strings.Contains(sp.String(), "matches pattern") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("open policy lacks the pattern constraint")
+		}
+	}
+	return out
+}
+
+func TestPatternEnforcementAllowsMatching(t *testing.T) {
+	k := newKernel(t)
+	exe := installWithPattern(t, "/tmp/*.txt")
+	p, err := k.Spawn(exe, "patvictim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Stdin = []byte("/tmp/notes.txt\n")
+	if err := k.Run(p, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Killed {
+		t.Fatalf("matching path killed: %v (audit %v)", p.KilledBy, k.Audit)
+	}
+	if p.Output() != "opened\n" {
+		t.Errorf("output %q", p.Output())
+	}
+	if !k.FS.Exists("/tmp/notes.txt") {
+		t.Error("file not created")
+	}
+}
+
+func TestPatternEnforcementBlocksNonMatching(t *testing.T) {
+	k := newKernel(t)
+	exe := installWithPattern(t, "/tmp/*.txt")
+	p, err := k.Spawn(exe, "patvictim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The classic escape attempt: open /etc/passwd instead.
+	p.Stdin = []byte("/etc/passwd\n")
+	if err := k.Run(p, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Killed || p.KilledBy != KillBadPattern {
+		t.Fatalf("killed=%v by=%q (audit %v)", p.Killed, p.KilledBy, k.Audit)
+	}
+}
+
+func TestPatternAlternation(t *testing.T) {
+	k := newKernel(t)
+	exe := installWithPattern(t, "/{tmp,data}/app-*")
+	for _, tc := range []struct {
+		path string
+		ok   bool
+	}{
+		{"/tmp/app-1", true},
+		{"/data/app-xyz", true},
+		{"/etc/app-1", false},
+		{"/tmp/other", false},
+	} {
+		p, err := k.Spawn(exe, "patvictim")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Stdin = []byte(tc.path + "\n")
+		if err := k.Run(p, 100_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if tc.ok && p.Killed {
+			t.Errorf("%s: killed (%v)", tc.path, p.KilledBy)
+		}
+		if !tc.ok && (!p.Killed || p.KilledBy != KillBadPattern) {
+			t.Errorf("%s: killed=%v by=%q", tc.path, p.Killed, p.KilledBy)
+		}
+	}
+}
+
+func TestPatternTamperedSourceKilled(t *testing.T) {
+	// An attacker rewrites the pattern bytes in .auth to permit /etc/*:
+	// the pattern is an authenticated string, so the MAC check fires.
+	exe := installWithPattern(t, "/tmp/*.txt")
+	auth := exe.Section(binfmt.SecAuth)
+	idx := strings.Index(string(auth.Data), "/tmp/*.txt")
+	if idx < 0 {
+		t.Fatal("pattern AS not found")
+	}
+	copy(auth.Data[idx:], "/etc/*\x00\x00\x00\x00")
+	k := newKernel(t)
+	p, err := k.Spawn(exe, "patvictim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Stdin = []byte("/etc/passwd\n")
+	if err := k.Run(p, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Killed || p.KilledBy != KillBadString {
+		t.Fatalf("killed=%v by=%q", p.Killed, p.KilledBy)
+	}
+}
+
+func TestPatternInstallRejectsBadSpecs(t *testing.T) {
+	exe := buildExe(t, patternVictimSrc)
+	_, _, _, err := installer.Install(exe, "x", installer.Options{
+		Key:      testKey,
+		Patterns: map[string][]installer.ArgPattern{"open": {{Arg: 0, Pattern: "{unclosed"}}},
+	})
+	if err == nil {
+		t.Error("malformed pattern accepted")
+	}
+	_, _, _, err = installer.Install(exe, "x", installer.Options{
+		Key:      testKey,
+		Patterns: map[string][]installer.ArgPattern{"open": {{Arg: 9, Pattern: "/tmp/*"}}},
+	})
+	if err == nil {
+		t.Error("out-of-range pattern arg accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package libc
+
+import (
+	"strings"
+	"testing"
+
+	"asc/internal/sys"
+)
+
+func TestSourcesCoverSyscallTable(t *testing.T) {
+	for _, os := range []OS{Linux, OpenBSD} {
+		srcs, err := Sources(os)
+		if err != nil {
+			t.Fatalf("Sources(%v): %v", os, err)
+		}
+		byName := make(map[string]bool, len(srcs))
+		for _, s := range srcs {
+			byName[s.Name] = true
+		}
+		for _, sig := range sys.All() {
+			if sig.Num == sys.SysIndirect && os != OpenBSD {
+				if byName["__syscall"] {
+					t.Error("__syscall stub present on Linux")
+				}
+				continue
+			}
+			if !byName[sig.Name] {
+				t.Errorf("%v: no stub for %s", os, sig.Name)
+			}
+		}
+		if !byName["_start"] || !byName["gets"] || !byName["puts"] || !byName["malloc"] {
+			t.Errorf("%v: runtime helpers missing", os)
+		}
+	}
+}
+
+func TestObjectsAssemble(t *testing.T) {
+	for _, os := range []OS{Linux, OpenBSD} {
+		objs, err := Objects(os)
+		if err != nil {
+			t.Fatalf("Objects(%v): %v", os, err)
+		}
+		if len(objs) < int(sys.MaxSyscall) {
+			t.Errorf("%v: only %d objects", os, len(objs))
+		}
+	}
+	if _, err := Objects(OS(99)); err == nil {
+		t.Error("unknown personality accepted")
+	}
+	if _, err := Sources(OS(0)); err == nil {
+		t.Error("zero personality accepted")
+	}
+}
+
+func TestPersonalityDifferences(t *testing.T) {
+	find := func(os OS, name string) string {
+		srcs, err := Sources(os)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range srcs {
+			if s.Name == name {
+				return s.Source
+			}
+		}
+		t.Fatalf("%v: %s not found", os, name)
+		return ""
+	}
+	// Linux mmap is a direct stub; OpenBSD routes through __syscall.
+	if src := find(Linux, "mmap"); !strings.Contains(src, "SYSCALL") || strings.Contains(src, "MOV r5, r4") {
+		t.Error("linux mmap is not a direct stub")
+	}
+	if src := find(OpenBSD, "mmap"); !strings.Contains(src, "__syscall") {
+		t.Error("openbsd mmap does not mention __syscall")
+	}
+	// OpenBSD close hides its SYSCALL behind in-text data.
+	if src := find(OpenBSD, "close"); !strings.Contains(src, ".word 1") {
+		t.Error("openbsd close lacks the disassembly-breaking blob")
+	}
+	if src := find(Linux, "close"); strings.Contains(src, ".word") {
+		t.Error("linux close should be a plain stub")
+	}
+}
+
+func TestStubNames(t *testing.T) {
+	linux := StubNames(Linux)
+	obsd := StubNames(OpenBSD)
+	if len(obsd) != len(linux)+1 {
+		t.Errorf("stub counts: linux %d, openbsd %d", len(linux), len(obsd))
+	}
+	for _, n := range linux {
+		if n == "__syscall" {
+			t.Error("__syscall in linux stubs")
+		}
+	}
+}
+
+func TestOSString(t *testing.T) {
+	if Linux.String() != "linux" || OpenBSD.String() != "openbsd" {
+		t.Error("OS names wrong")
+	}
+	if !strings.Contains(OS(9).String(), "9") {
+		t.Error("unknown OS string")
+	}
+}

@@ -1,0 +1,243 @@
+// Package linker combines relocatable SELF objects into a relocatable
+// executable.
+//
+// Library objects are resolved with archive semantics: a library member is
+// linked in only if it defines a symbol that is still undefined, applied
+// transitively. This matters for the paper's evaluation — a program's
+// policy must contain exactly the system call stubs it actually links, not
+// the whole libc (Table 1 counts distinct calls per program).
+//
+// The linker's output is laid out and has its relocations applied, but the
+// relocation and symbol tables are retained (Relocatable=true) so the
+// trusted installer can rewrite the binary, exactly as PLTO requires
+// relocatable inputs.
+package linker
+
+import (
+	"errors"
+	"fmt"
+
+	"asc/internal/binfmt"
+)
+
+// ErrUndefined indicates unresolved symbols after library search.
+var ErrUndefined = errors.New("linker: undefined symbols")
+
+// canonical section order in the output.
+var sectionOrder = []string{binfmt.SecText, binfmt.SecROData, binfmt.SecData, binfmt.SecBSS}
+
+// Link combines the given objects (all mandatory) and any library members
+// needed to satisfy undefined references, and returns a laid-out
+// relocatable executable. Exactly one object must define _start.
+func Link(objects []*binfmt.File, library []*binfmt.File) (*binfmt.File, error) {
+	if len(objects) == 0 {
+		return nil, errors.New("linker: no input objects")
+	}
+	// Index library members by the global symbols they define.
+	libDefs := make(map[string]int) // symbol name -> library index
+	for li, lib := range library {
+		for i := range lib.Symbols {
+			s := &lib.Symbols[i]
+			if s.Global && s.Defined() {
+				if _, dup := libDefs[s.Name]; !dup {
+					libDefs[s.Name] = li
+				}
+			}
+		}
+	}
+
+	// Select the final set of objects: mandatory ones plus any library
+	// members defining still-undefined globals, transitively.
+	selected := append([]*binfmt.File(nil), objects...)
+	inSet := make(map[*binfmt.File]bool, len(selected))
+	for _, o := range selected {
+		inSet[o] = true
+	}
+	// The entry symbol is a root: pull the library's _start if no
+	// mandatory object defines one.
+	definesStart := false
+	for _, o := range selected {
+		if s := o.Symbol("_start"); s != nil && s.Defined() {
+			definesStart = true
+			break
+		}
+	}
+	if !definesStart {
+		if li, ok := libDefs["_start"]; ok {
+			selected = append(selected, library[li])
+			inSet[library[li]] = true
+		}
+	}
+	for {
+		defined := make(map[string]bool)
+		for _, o := range selected {
+			for i := range o.Symbols {
+				s := &o.Symbols[i]
+				if s.Global && s.Defined() {
+					defined[s.Name] = true
+				}
+			}
+		}
+		added := false
+		for _, o := range selected {
+			for i := range o.Symbols {
+				s := &o.Symbols[i]
+				if s.Defined() || defined[s.Name] {
+					continue
+				}
+				li, ok := libDefs[s.Name]
+				if !ok {
+					continue
+				}
+				member := library[li]
+				if !inSet[member] {
+					selected = append(selected, member)
+					inSet[member] = true
+					added = true
+				}
+			}
+		}
+		if !added {
+			break
+		}
+	}
+
+	return merge(selected)
+}
+
+// merge concatenates the selected objects section by section, resolving
+// symbols and rebasing relocations.
+func merge(objs []*binfmt.File) (*binfmt.File, error) {
+	out := &binfmt.File{Relocatable: true}
+	outSecIdx := make(map[string]int32, len(sectionOrder))
+	for _, name := range sectionOrder {
+		outSecIdx[name] = int32(len(out.Sections))
+		out.Sections = append(out.Sections, binfmt.Section{Name: name, Flags: sectionFlags(name)})
+	}
+
+	// chunkBase[obj][origSecIdx] = offset of that object's section chunk
+	// within the output section.
+	chunkBase := make([]map[int32]uint32, len(objs))
+	for oi, o := range objs {
+		chunkBase[oi] = make(map[int32]uint32, len(o.Sections))
+		for si := range o.Sections {
+			src := &o.Sections[si]
+			dstIdx, ok := outSecIdx[src.Name]
+			if !ok {
+				if src.Size == 0 {
+					continue
+				}
+				return nil, fmt.Errorf("linker: object %d has unexpected section %q", oi, src.Name)
+			}
+			dst := &out.Sections[dstIdx]
+			// Align each chunk so code stays instruction-aligned.
+			pad := (binfmt.SectionAlign - dst.Size%binfmt.SectionAlign) % binfmt.SectionAlign
+			dst.Size += pad
+			if src.Name != binfmt.SecBSS {
+				dst.Data = append(dst.Data, make([]byte, pad)...)
+			}
+			chunkBase[oi][int32(si)] = dst.Size
+			dst.Size += src.Size
+			if src.Name != binfmt.SecBSS {
+				dst.Data = append(dst.Data, src.Data...)
+			}
+		}
+	}
+
+	// Symbols: global definitions are unified; locals are copied per
+	// object. symMap[obj][origIdx] = output symbol index.
+	globalIdx := make(map[string]int32)
+	symMap := make([]map[int32]int32, len(objs))
+	addSym := func(s binfmt.Symbol) int32 {
+		idx := int32(len(out.Symbols))
+		out.Symbols = append(out.Symbols, s)
+		return idx
+	}
+	// First pass: global definitions.
+	for oi, o := range objs {
+		symMap[oi] = make(map[int32]int32, len(o.Symbols))
+		for i := range o.Symbols {
+			s := o.Symbols[i]
+			if !s.Global || !s.Defined() {
+				continue
+			}
+			if prev, dup := globalIdx[s.Name]; dup {
+				if out.Symbols[prev].Defined() {
+					return nil, fmt.Errorf("linker: multiple definitions of %q", s.Name)
+				}
+			}
+			s.Value += chunkBase[oi][s.Section]
+			s.Section = outSecIdx[o.Sections[s.Section].Name]
+			idx := addSym(s)
+			globalIdx[s.Name] = idx
+			symMap[oi][int32(i)] = idx
+		}
+	}
+	// Second pass: locals and references.
+	var undefined []string
+	for oi, o := range objs {
+		for i := range o.Symbols {
+			if _, done := symMap[oi][int32(i)]; done {
+				continue
+			}
+			s := o.Symbols[i]
+			switch {
+			case s.Defined() && !s.Global:
+				s.Value += chunkBase[oi][s.Section]
+				s.Section = outSecIdx[o.Sections[s.Section].Name]
+				symMap[oi][int32(i)] = addSym(s)
+			case !s.Defined():
+				if idx, ok := globalIdx[s.Name]; ok {
+					symMap[oi][int32(i)] = idx
+				} else {
+					undefined = append(undefined, s.Name)
+				}
+			}
+		}
+	}
+	if len(undefined) > 0 {
+		return nil, fmt.Errorf("%w: %v", ErrUndefined, undefined)
+	}
+
+	// Relocations.
+	for oi, o := range objs {
+		for _, r := range o.Relocs {
+			srcSec := o.Sections[r.Section].Name
+			dstIdx, ok := outSecIdx[srcSec]
+			if !ok {
+				return nil, fmt.Errorf("linker: reloc in unexpected section %q", srcSec)
+			}
+			newSym, ok := symMap[oi][r.Sym]
+			if !ok {
+				return nil, fmt.Errorf("linker: reloc references unmapped symbol %d in object %d", r.Sym, oi)
+			}
+			out.Relocs = append(out.Relocs, binfmt.Reloc{
+				Section: dstIdx,
+				Offset:  r.Offset + chunkBase[oi][r.Section],
+				Sym:     newSym,
+				Addend:  r.Addend,
+			})
+		}
+	}
+	out.SortRelocs()
+
+	if _, ok := globalIdx["_start"]; !ok {
+		return nil, errors.New("linker: no _start symbol")
+	}
+	out.Layout()
+	if err := out.ApplyRelocs(); err != nil {
+		return nil, fmt.Errorf("linker: %w", err)
+	}
+	return out, nil
+}
+
+func sectionFlags(name string) uint8 {
+	switch name {
+	case binfmt.SecText:
+		return binfmt.FlagRead | binfmt.FlagExec
+	case binfmt.SecROData:
+		return binfmt.FlagRead
+	default:
+		return binfmt.FlagRead | binfmt.FlagWrite
+	}
+}

@@ -1,0 +1,149 @@
+package mac
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+// RFC 4493 test vectors for AES-128 CMAC.
+func TestRFC4493Vectors(t *testing.T) {
+	key := "2b7e151628aed2a6abf7158809cf4f3c"
+	full := "6bc1bee22e409f96e93d7e117393172a" +
+		"ae2d8a571e03ac9c9eb76fac45af8e51" +
+		"30c81c46a35ce411e5fbc1191a0a52ef" +
+		"f69f2445df4f9b17ad2b417be66c3710"
+	tests := []struct {
+		name   string
+		msgLen int
+		want   string
+	}{
+		{"empty", 0, "bb1d6929e95937287fa37d129b756746"},
+		{"one block", 16, "070a16b46b4d4144f79bdd9dd04a287c"},
+		{"40 bytes", 40, "dfa66747de9ae63030ca32611497c827"},
+		{"64 bytes", 64, "51f0bebf7e3b9d92fc49741779363cfe"},
+	}
+	k, err := New(mustHex(t, key))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	msg := mustHex(t, full)
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, _ := k.Sum(msg[:tt.msgLen])
+			if want := mustHex(t, tt.want); !bytes.Equal(got[:], want) {
+				t.Errorf("Sum = %x, want %x", got[:], want)
+			}
+		})
+	}
+}
+
+func TestNewRejectsBadKey(t *testing.T) {
+	for _, n := range []int{0, 1, 15, 17, 24, 32} {
+		if _, err := New(make([]byte, n)); err == nil {
+			t.Errorf("New with %d-byte key: want error, got nil", n)
+		}
+	}
+}
+
+func TestVerify(t *testing.T) {
+	k, err := New(make([]byte, KeySize))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	msg := []byte("authenticated system calls")
+	tag, _ := k.Sum(msg)
+	if ok, _ := k.Verify(msg, tag); !ok {
+		t.Error("Verify of valid tag failed")
+	}
+	bad := tag
+	bad[0] ^= 1
+	if ok, _ := k.Verify(msg, bad); ok {
+		t.Error("Verify accepted corrupted tag")
+	}
+	if ok, _ := k.Verify(append(msg, 'x'), tag); ok {
+		t.Error("Verify accepted extended message")
+	}
+}
+
+func TestBlocksMatchesSum(t *testing.T) {
+	k, err := New(make([]byte, KeySize))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for n := 0; n <= 4*Size+3; n++ {
+		_, got := k.Sum(make([]byte, n))
+		if want := Blocks(n); got != want {
+			t.Errorf("len %d: Sum did %d block ops, Blocks predicts %d", n, got, want)
+		}
+	}
+}
+
+func TestTagEqualConstantTimeSemantics(t *testing.T) {
+	var a, b Tag
+	if !a.Equal(b) {
+		t.Error("zero tags should be equal")
+	}
+	b[15] = 1
+	if a.Equal(b) {
+		t.Error("distinct tags reported equal")
+	}
+}
+
+// Property: any single-bit flip in the message changes the tag.
+func TestPropertyBitFlipChangesTag(t *testing.T) {
+	k, err := New([]byte("0123456789abcdef"))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	f := func(msg []byte, pos uint16, bit uint8) bool {
+		if len(msg) == 0 {
+			return true
+		}
+		orig, _ := k.Sum(msg)
+		flipped := append([]byte(nil), msg...)
+		flipped[int(pos)%len(flipped)] ^= 1 << (bit % 8)
+		if bytes.Equal(flipped, msg) {
+			return true
+		}
+		mutated, _ := k.Sum(flipped)
+		return !orig.Equal(mutated)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tags are deterministic and key-dependent.
+func TestPropertyKeySeparation(t *testing.T) {
+	k1, _ := New([]byte("0123456789abcdef"))
+	k2, _ := New([]byte("fedcba9876543210"))
+	f := func(msg []byte) bool {
+		a1, _ := k1.Sum(msg)
+		a2, _ := k1.Sum(msg)
+		b, _ := k2.Sum(msg)
+		return a1.Equal(a2) && !a1.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSum64(b *testing.B) {
+	k, _ := New(make([]byte, KeySize))
+	msg := make([]byte, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.Sum(msg)
+	}
+}

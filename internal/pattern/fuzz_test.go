@@ -1,0 +1,25 @@
+package pattern
+
+import "testing"
+
+// FuzzMatchVerify checks the core §5.1 contract on arbitrary inputs:
+// whenever the application-side Match succeeds, the kernel-side Verify
+// accepts the produced hint; and neither side ever panics.
+func FuzzMatchVerify(f *testing.F) {
+	f.Add("/tmp/{foo,bar}*baz", "/tmp/foofoobaz")
+	f.Add("*", "")
+	f.Add("/a/{b,c}/*", "/a/b/xyz")
+	f.Fuzz(func(t *testing.T, pat, arg string) {
+		p, err := Parse(pat)
+		if err != nil {
+			return
+		}
+		hint, err := p.Match(arg)
+		if err != nil {
+			return
+		}
+		if _, err := p.Verify(arg, hint); err != nil {
+			t.Fatalf("Match produced hint %v for %q vs %q but Verify rejects: %v", hint, arg, pat, err)
+		}
+	})
+}

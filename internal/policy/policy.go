@@ -1,0 +1,442 @@
+// Package policy defines the system call policy model shared by the
+// trusted installer (which generates and encodes policies) and the kernel
+// (which reconstructs and verifies them).
+//
+// The three wire-level artifacts follow Section 3 of the paper:
+//
+//   - The authenticated string (AS): {length, MAC, bytes}, with pointers
+//     aimed at the bytes so the 20 bytes preceding the pointer hold the
+//     length and MAC.
+//
+//   - The auth record: the block of policy arguments added to each call —
+//     policy descriptor, block ID, predecessor-set pointer, policy-state
+//     pointer, and the call MAC. The rewritten call passes its address in
+//     register R6.
+//
+//   - The encoded policy / encoded call: the byte string over which the
+//     call MAC is computed. The installer builds it from the policy; the
+//     kernel rebuilds it from the actual runtime behaviour of the call.
+//     They match iff the call complies with its policy.
+package policy
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"asc/internal/mac"
+	"asc/internal/sys"
+)
+
+// Descriptor is the 32-bit policy descriptor: it encodes which properties
+// of the system call are constrained by the policy.
+type Descriptor uint32
+
+// Descriptor bit assignments.
+const (
+	// DescCallSite: the call site address is constrained (always set by
+	// the installer).
+	DescCallSite Descriptor = 1 << 0
+	// Bits 1..5: argument i's value is constrained.
+	descArgBase = 1
+	// Bits 6..10: argument i is an authenticated string.
+	descStrBase = 6
+	// DescControlFlow: the predecessor set is constrained.
+	DescControlFlow Descriptor = 1 << 11
+	// Bits 12..16: argument i must match an authenticated pattern (§5.1
+	// extension).
+	descPatBase = 12
+	// Bits 17..21: argument i is a tracked file-descriptor capability
+	// (§5.3 extension).
+	descFDBase = 17
+)
+
+// WithArg returns d with argument i (0-based) marked value-constrained.
+func (d Descriptor) WithArg(i int) Descriptor { return d | 1<<(descArgBase+i) }
+
+// WithString returns d with argument i marked as an authenticated string
+// (implies value-constrained).
+func (d Descriptor) WithString(i int) Descriptor {
+	return d.WithArg(i) | 1<<(descStrBase+i)
+}
+
+// WithPattern returns d with argument i marked pattern-constrained.
+func (d Descriptor) WithPattern(i int) Descriptor { return d | 1<<(descPatBase+i) }
+
+// WithFD returns d with argument i marked as a tracked fd capability.
+func (d Descriptor) WithFD(i int) Descriptor { return d | 1<<(descFDBase+i) }
+
+// ArgConstrained reports whether argument i's value is constrained.
+func (d Descriptor) ArgConstrained(i int) bool { return d&(1<<(descArgBase+i)) != 0 }
+
+// ArgString reports whether argument i is an authenticated string.
+func (d Descriptor) ArgString(i int) bool { return d&(1<<(descStrBase+i)) != 0 }
+
+// ArgPattern reports whether argument i is pattern-constrained.
+func (d Descriptor) ArgPattern(i int) bool { return d&(1<<(descPatBase+i)) != 0 }
+
+// ArgFD reports whether argument i is a tracked fd capability.
+func (d Descriptor) ArgFD(i int) bool { return d&(1<<(descFDBase+i)) != 0 }
+
+// CallSite reports whether the call site is constrained.
+func (d Descriptor) CallSite() bool { return d&DescCallSite != 0 }
+
+// ControlFlow reports whether the predecessor set is constrained.
+func (d Descriptor) ControlFlow() bool { return d&DescControlFlow != 0 }
+
+// --- authenticated strings ---
+
+// ASHeaderSize is the number of bytes preceding the string pointer:
+// 4 bytes of length plus a 16-byte MAC.
+const ASHeaderSize = 4 + mac.Size
+
+// MaxASLen bounds authenticated string lengths, protecting the kernel
+// checker from attacker-supplied giant lengths (the DoS the paper warns
+// about when authenticating string contents).
+const MaxASLen = 1 << 20
+
+// EncodeAS renders the authenticated-string representation of contents:
+// {length, MAC, bytes}. The pointer stored in the binary must aim at
+// offset ASHeaderSize of the returned slice.
+func EncodeAS(k *mac.Keyed, contents []byte) []byte {
+	out := make([]byte, ASHeaderSize+len(contents))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(contents)))
+	tag, _ := k.Sum(contents)
+	copy(out[4:4+mac.Size], tag[:])
+	copy(out[ASHeaderSize:], contents)
+	return out
+}
+
+// ASView is a parsed view of an authenticated string in memory.
+type ASView struct {
+	Addr uint32 // address of the string bytes (as passed in arguments)
+	Len  uint32
+	MAC  mac.Tag
+}
+
+// EncodePredSet renders the predecessor block-ID set as the byte contents
+// of an authenticated string: little-endian uint32 IDs in ascending order.
+func EncodePredSet(ids []uint32) []byte {
+	sorted := append([]uint32(nil), ids...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := make([]byte, 4*len(sorted))
+	for i, id := range sorted {
+		binary.LittleEndian.PutUint32(out[4*i:], id)
+	}
+	return out
+}
+
+// DecodePredSet parses predecessor-set bytes.
+func DecodePredSet(b []byte) ([]uint32, error) {
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("policy: predecessor set length %d not a multiple of 4", len(b))
+	}
+	out := make([]uint32, len(b)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	return out, nil
+}
+
+// PredSetContains reports whether the sorted ID set contains id.
+func PredSetContains(ids []uint32, id uint32) bool {
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(ids) && ids[lo] == id
+}
+
+// --- auth record ---
+
+// AuthRecord is the per-call-site record stored in the .auth section; the
+// rewritten call passes its address in R6.
+//
+// When the descriptor carries pattern bits (§5.1), the fixed record is
+// followed by one pattern-AS pointer per pattern-constrained argument, in
+// ascending argument order. The pointers are covered by the call MAC (as
+// part of the encoded call), so patterns cannot be substituted.
+type AuthRecord struct {
+	Desc       Descriptor
+	BlockID    uint32
+	PredSetPtr uint32 // address of predecessor-set AS bytes (0 if no CF policy)
+	LbPtr      uint32 // address of the {lastBlock, lbMAC} policy state
+	CallMAC    mac.Tag
+	// PatternPtrs holds the pattern AS bytes addresses for each argument
+	// whose Desc pattern bit is set, ascending by argument index.
+	PatternPtrs []uint32
+}
+
+// AuthRecordSize is the encoded size of the fixed part of an AuthRecord.
+const AuthRecordSize = 16 + mac.Size
+
+// NumPatterns returns the number of pattern-constrained arguments.
+func (d Descriptor) NumPatterns() int {
+	n := 0
+	for i := 0; i < 5; i++ {
+		if d.ArgPattern(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// EncodedSize returns the full encoded size including the pattern
+// extension.
+func (r *AuthRecord) EncodedSize() int {
+	return AuthRecordSize + 4*r.Desc.NumPatterns()
+}
+
+// Encode serializes the record (fixed part plus pattern extension).
+func (r *AuthRecord) Encode() []byte {
+	out := make([]byte, r.EncodedSize())
+	binary.LittleEndian.PutUint32(out[0:], uint32(r.Desc))
+	binary.LittleEndian.PutUint32(out[4:], r.BlockID)
+	binary.LittleEndian.PutUint32(out[8:], r.PredSetPtr)
+	binary.LittleEndian.PutUint32(out[12:], r.LbPtr)
+	copy(out[16:], r.CallMAC[:])
+	for i, p := range r.PatternPtrs {
+		binary.LittleEndian.PutUint32(out[AuthRecordSize+4*i:], p)
+	}
+	return out
+}
+
+// DecodeAuthRecord parses an auth record, including the pattern extension
+// implied by the descriptor bits.
+func DecodeAuthRecord(b []byte) (AuthRecord, error) {
+	if len(b) < AuthRecordSize {
+		return AuthRecord{}, fmt.Errorf("policy: auth record needs %d bytes, have %d", AuthRecordSize, len(b))
+	}
+	var r AuthRecord
+	r.Desc = Descriptor(binary.LittleEndian.Uint32(b[0:]))
+	r.BlockID = binary.LittleEndian.Uint32(b[4:])
+	r.PredSetPtr = binary.LittleEndian.Uint32(b[8:])
+	r.LbPtr = binary.LittleEndian.Uint32(b[12:])
+	copy(r.CallMAC[:], b[16:])
+	if n := r.Desc.NumPatterns(); n > 0 {
+		if len(b) < AuthRecordSize+4*n {
+			return AuthRecord{}, fmt.Errorf("policy: auth record pattern extension truncated")
+		}
+		r.PatternPtrs = make([]uint32, n)
+		for i := range r.PatternPtrs {
+			r.PatternPtrs[i] = binary.LittleEndian.Uint32(b[AuthRecordSize+4*i:])
+		}
+	}
+	return r, nil
+}
+
+// --- policy state (online memory checker) ---
+
+// PolicyStateSize is the size of the in-application policy state:
+// {lastBlock uint32, lbMAC [16]byte}.
+const PolicyStateSize = 4 + mac.Size
+
+// StateMAC computes the memory-checker MAC over the policy state value
+// and the in-kernel counter nonce.
+func StateMAC(k *mac.Keyed, lastBlock uint32, counter uint64) (mac.Tag, int) {
+	var msg [12]byte
+	binary.LittleEndian.PutUint32(msg[0:], lastBlock)
+	binary.LittleEndian.PutUint64(msg[4:], counter)
+	return k.Sum(msg[:])
+}
+
+// --- encoded policy / encoded call ---
+
+// EncodedArg is one constrained argument in the call encoding.
+type EncodedArg struct {
+	Index     int    // argument index 0..4
+	IsString  bool   // authenticated string: encode {addr, len, mac}
+	IsPattern bool   // pattern constraint: encode the pattern AS {addr, len, mac}
+	Value     uint32 // numeric value, or AS bytes address for strings/patterns
+	Len       uint32 // AS length (strings and patterns only)
+	MAC       mac.Tag
+}
+
+// CallEncoding is the canonical byte-string structure over which the call
+// MAC is computed. The installer fills it from the generated policy; the
+// kernel fills it from the actual trap state. Any divergence in any field
+// changes the bytes and therefore the MAC.
+type CallEncoding struct {
+	Num     uint16
+	Site    uint32
+	Desc    Descriptor
+	BlockID uint32
+	Args    []EncodedArg // ascending Index order; only constrained args
+	PredSet *ASView      // nil when control flow is unconstrained
+	LbPtr   uint32
+}
+
+// Bytes renders the canonical encoding.
+func (e *CallEncoding) Bytes() []byte {
+	var b []byte
+	b = le16(b, e.Num)
+	b = le32(b, e.Site)
+	b = le32(b, uint32(e.Desc))
+	b = le32(b, e.BlockID)
+	for _, a := range e.Args {
+		if a.IsString || a.IsPattern {
+			b = le32(b, a.Value)
+			b = le32(b, a.Len)
+			b = append(b, a.MAC[:]...)
+		} else {
+			b = le32(b, a.Value)
+		}
+	}
+	if e.PredSet != nil {
+		b = le32(b, e.PredSet.Addr)
+		b = le32(b, e.PredSet.Len)
+		b = append(b, e.PredSet.MAC[:]...)
+	}
+	b = le32(b, e.LbPtr)
+	return b
+}
+
+// Sum computes the call MAC over the encoding.
+func (e *CallEncoding) Sum(k *mac.Keyed) (mac.Tag, int) {
+	return k.Sum(e.Bytes())
+}
+
+func le16(b []byte, v uint16) []byte { return append(b, byte(v), byte(v>>8)) }
+func le32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// --- installer-side logical policy ---
+
+// ArgClassification is the Table 3 classification of one argument.
+type ArgClassification uint8
+
+// Argument classifications.
+const (
+	ClassUnknown   ArgClassification = iota + 1 // not statically determined
+	ClassImmediate                              // single known constant
+	ClassString                                 // known constant string
+	ClassMulti                                  // small set of known constants (mv)
+	ClassOutput                                 // output-only argument (o/p)
+	ClassPattern                                // must match an administrator-supplied pattern (§5.1)
+)
+
+func (c ArgClassification) String() string {
+	switch c {
+	case ClassUnknown:
+		return "unknown"
+	case ClassImmediate:
+		return "immediate"
+	case ClassString:
+		return "string"
+	case ClassMulti:
+		return "multivalue"
+	case ClassOutput:
+		return "output"
+	case ClassPattern:
+		return "pattern"
+	default:
+		return fmt.Sprintf("ArgClassification(%d)", uint8(c))
+	}
+}
+
+// ArgPolicy is the logical policy of one argument.
+type ArgPolicy struct {
+	Class   ArgClassification
+	Values  []uint32 // known constant(s)
+	Str     string   // string contents for ClassString
+	Pattern string   // pattern source for ClassPattern
+	IsFD    bool     // signature says this argument is a file descriptor
+	Tracked bool     // fd must be a live capability from open/socket/dup (§5.3)
+}
+
+// SitePolicy is the logical policy of one system call site, before wire
+// encoding.
+type SitePolicy struct {
+	Num      uint16
+	Name     string
+	Site     uint32 // address of the call instruction
+	BlockID  uint32
+	FuncName string
+	Args     []ArgPolicy // one per declared argument
+	Preds    []uint32    // predecessor block IDs (0 = entry)
+}
+
+// Descriptor derives the wire descriptor from the logical policy.
+func (sp *SitePolicy) Descriptor() Descriptor {
+	d := DescCallSite | DescControlFlow
+	for i, a := range sp.Args {
+		switch a.Class {
+		case ClassString:
+			d = d.WithString(i)
+		case ClassImmediate:
+			d = d.WithArg(i)
+		case ClassPattern:
+			d = d.WithPattern(i)
+		}
+		if a.Tracked {
+			d = d.WithFD(i)
+		}
+	}
+	return d
+}
+
+// String renders the policy in the style of the paper's examples.
+func (sp *SitePolicy) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Permit %s from location 0x%x in basic block %d\n", sp.Name, sp.Site, sp.BlockID)
+	for i, a := range sp.Args {
+		switch a.Class {
+		case ClassString:
+			fmt.Fprintf(&b, "  Parameter %d equals %q\n", i, a.Str)
+		case ClassImmediate:
+			fmt.Fprintf(&b, "  Parameter %d equals %d\n", i, a.Values[0])
+		case ClassMulti:
+			fmt.Fprintf(&b, "  Parameter %d in %v\n", i, a.Values)
+		case ClassOutput:
+			fmt.Fprintf(&b, "  Parameter %d is output-only\n", i)
+		case ClassPattern:
+			fmt.Fprintf(&b, "  Parameter %d matches pattern %q\n", i, a.Pattern)
+		default:
+			fmt.Fprintf(&b, "  Parameter %d equals ANY\n", i)
+		}
+	}
+	fmt.Fprintf(&b, "  Possible predecessors %v\n", sp.Preds)
+	return b.String()
+}
+
+// ProgramPolicy is the overall policy of one program: the collection of
+// its system call policies plus analysis warnings.
+type ProgramPolicy struct {
+	Program  string
+	OS       string
+	Sites    []*SitePolicy
+	Warnings []string // e.g. undecodable regions (PLTO-style reports)
+}
+
+// DistinctSyscalls returns the sorted distinct system call numbers
+// permitted by the policy.
+func (pp *ProgramPolicy) DistinctSyscalls() []uint16 {
+	seen := make(map[uint16]bool)
+	var out []uint16
+	for _, s := range pp.Sites {
+		if !seen[s.Num] {
+			seen[s.Num] = true
+			out = append(out, s.Num)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DistinctNames returns the sorted distinct system call names.
+func (pp *ProgramPolicy) DistinctNames() []string {
+	nums := pp.DistinctSyscalls()
+	out := make([]string, 0, len(nums))
+	for _, n := range nums {
+		out = append(out, sys.Name(n))
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,316 @@
+package policy
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"asc/internal/mac"
+)
+
+func testKey(t *testing.T) *mac.Keyed {
+	t.Helper()
+	k, err := mac.New([]byte("0123456789abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestDescriptorBits(t *testing.T) {
+	d := DescCallSite | DescControlFlow
+	d = d.WithArg(0).WithString(2).WithPattern(3).WithFD(4)
+	if !d.CallSite() || !d.ControlFlow() {
+		t.Error("callsite/controlflow bits lost")
+	}
+	if !d.ArgConstrained(0) || d.ArgString(0) {
+		t.Error("arg0 should be constrained, not string")
+	}
+	if !d.ArgConstrained(2) || !d.ArgString(2) {
+		t.Error("arg2 should be a constrained string")
+	}
+	if !d.ArgPattern(3) || d.ArgPattern(2) {
+		t.Error("pattern bits wrong")
+	}
+	if !d.ArgFD(4) || d.ArgFD(0) {
+		t.Error("fd bits wrong")
+	}
+	if d.ArgConstrained(1) {
+		t.Error("arg1 should be unconstrained")
+	}
+}
+
+func TestDescriptorBitsDisjoint(t *testing.T) {
+	// Every bit position must be distinct.
+	var ds []Descriptor
+	ds = append(ds, DescCallSite, DescControlFlow)
+	for i := 0; i < 5; i++ {
+		ds = append(ds, Descriptor(0).WithArg(i))
+		ds = append(ds, Descriptor(0).WithString(i)&^Descriptor(0).WithArg(i))
+		ds = append(ds, Descriptor(0).WithPattern(i))
+		ds = append(ds, Descriptor(0).WithFD(i))
+	}
+	var acc Descriptor
+	for _, d := range ds {
+		if acc&d != 0 {
+			t.Fatalf("descriptor bit collision: %#x already in %#x", d, acc)
+		}
+		acc |= d
+	}
+}
+
+func TestEncodeAS(t *testing.T) {
+	k := testKey(t)
+	contents := []byte("/dev/console")
+	as := EncodeAS(k, contents)
+	if len(as) != ASHeaderSize+len(contents) {
+		t.Fatalf("AS len = %d", len(as))
+	}
+	if got := binary.LittleEndian.Uint32(as[0:4]); got != uint32(len(contents)) {
+		t.Errorf("AS length field = %d", got)
+	}
+	if !bytes.Equal(as[ASHeaderSize:], contents) {
+		t.Error("AS bytes mismatch")
+	}
+	var tag mac.Tag
+	copy(tag[:], as[4:4+mac.Size])
+	if ok, _ := k.Verify(contents, tag); !ok {
+		t.Error("AS MAC does not verify")
+	}
+}
+
+func TestPredSetRoundTrip(t *testing.T) {
+	ids := []uint32{7, 0, 42, 3}
+	b := EncodePredSet(ids)
+	got, err := DecodePredSet(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{0, 3, 7, 42}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("decoded[%d] = %d, want %d (sorted)", i, got[i], want[i])
+		}
+	}
+	for _, id := range want {
+		if !PredSetContains(got, id) {
+			t.Errorf("PredSetContains(%d) = false", id)
+		}
+	}
+	for _, id := range []uint32{1, 8, 100} {
+		if PredSetContains(got, id) {
+			t.Errorf("PredSetContains(%d) = true", id)
+		}
+	}
+	if _, err := DecodePredSet([]byte{1, 2, 3}); err == nil {
+		t.Error("odd-length pred set accepted")
+	}
+}
+
+func TestPropertyPredSetContains(t *testing.T) {
+	f := func(ids []uint32, probe uint32) bool {
+		enc := EncodePredSet(ids)
+		dec, err := DecodePredSet(enc)
+		if err != nil {
+			return false
+		}
+		want := false
+		for _, id := range ids {
+			if id == probe {
+				want = true
+			}
+		}
+		return PredSetContains(dec, probe) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAuthRecordRoundTrip(t *testing.T) {
+	r := AuthRecord{
+		Desc:       DescCallSite.WithString(0).WithArg(1) | DescControlFlow,
+		BlockID:    1234,
+		PredSetPtr: 0x80a1c04,
+		LbPtr:      0x810c4ab,
+	}
+	copy(r.CallMAC[:], bytes.Repeat([]byte{0xaa}, mac.Size))
+	b := r.Encode()
+	if len(b) != AuthRecordSize {
+		t.Fatalf("encoded size %d", len(b))
+	}
+	got, err := DecodeAuthRecord(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Desc != r.Desc || got.BlockID != r.BlockID || got.PredSetPtr != r.PredSetPtr ||
+		got.LbPtr != r.LbPtr || got.CallMAC != r.CallMAC {
+		t.Errorf("round trip: %+v != %+v", got, r)
+	}
+	if _, err := DecodeAuthRecord(b[:10]); err == nil {
+		t.Error("short record accepted")
+	}
+}
+
+func TestAuthRecordPatternExtension(t *testing.T) {
+	r := AuthRecord{
+		Desc:        (DescCallSite | DescControlFlow).WithPattern(0).WithPattern(2),
+		BlockID:     9,
+		PredSetPtr:  0x5000,
+		LbPtr:       0x5100,
+		PatternPtrs: []uint32{0x6000, 0x6100},
+	}
+	if r.Desc.NumPatterns() != 2 {
+		t.Fatalf("NumPatterns = %d", r.Desc.NumPatterns())
+	}
+	b := r.Encode()
+	if len(b) != AuthRecordSize+8 {
+		t.Fatalf("encoded size %d", len(b))
+	}
+	got, err := DecodeAuthRecord(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.PatternPtrs) != 2 || got.PatternPtrs[0] != 0x6000 || got.PatternPtrs[1] != 0x6100 {
+		t.Errorf("pattern ptrs = %v", got.PatternPtrs)
+	}
+	// Truncated extension rejected.
+	if _, err := DecodeAuthRecord(b[:AuthRecordSize+2]); err == nil {
+		t.Error("truncated pattern extension accepted")
+	}
+}
+
+func TestCallEncodingSensitivity(t *testing.T) {
+	k := testKey(t)
+	base := CallEncoding{
+		Num:     0x5c,
+		Site:    0x806c57b,
+		Desc:    DescCallSite.WithArg(1) | DescControlFlow,
+		BlockID: 1234,
+		Args:    []EncodedArg{{Index: 1, Value: 2}},
+		PredSet: &ASView{Addr: 0x81adcde, Len: 0x12},
+		LbPtr:   0x810c4ab,
+	}
+	tag0, _ := base.Sum(k)
+
+	mutate := []func(*CallEncoding){
+		func(e *CallEncoding) { e.Num++ },
+		func(e *CallEncoding) { e.Site++ },
+		func(e *CallEncoding) { e.Desc ^= DescControlFlow },
+		func(e *CallEncoding) { e.BlockID++ },
+		func(e *CallEncoding) { e.Args[0].Value++ },
+		func(e *CallEncoding) { e.PredSet.Addr++ },
+		func(e *CallEncoding) { e.PredSet.Len++ },
+		func(e *CallEncoding) { e.PredSet.MAC[3] ^= 1 },
+		func(e *CallEncoding) { e.LbPtr++ },
+	}
+	for i, m := range mutate {
+		e := base
+		e.Args = append([]EncodedArg(nil), base.Args...)
+		ps := *base.PredSet
+		e.PredSet = &ps
+		m(&e)
+		tag, _ := e.Sum(k)
+		if tag.Equal(tag0) {
+			t.Errorf("mutation %d did not change the call MAC", i)
+		}
+	}
+}
+
+func TestCallEncodingStringArg(t *testing.T) {
+	k := testKey(t)
+	var strMAC mac.Tag
+	copy(strMAC[:], bytes.Repeat([]byte{5}, mac.Size))
+	e := CallEncoding{
+		Num:  4,
+		Site: 0x1000,
+		Desc: DescCallSite.WithString(0),
+		Args: []EncodedArg{{Index: 0, IsString: true, Value: 0x3000, Len: 12, MAC: strMAC}},
+	}
+	b := e.Bytes()
+	// 2 + 4 + 4 + 4 + (4+4+16) + 4 = 42 bytes.
+	if len(b) != 42 {
+		t.Errorf("encoding length = %d, want 42", len(b))
+	}
+	tag1, _ := e.Sum(k)
+	e.Args[0].Len = 13
+	tag2, _ := e.Sum(k)
+	if tag1.Equal(tag2) {
+		t.Error("AS length not covered by call MAC")
+	}
+}
+
+func TestStateMAC(t *testing.T) {
+	k := testKey(t)
+	t1, _ := StateMAC(k, 10, 1)
+	t2, _ := StateMAC(k, 10, 2)
+	t3, _ := StateMAC(k, 11, 1)
+	t1b, _ := StateMAC(k, 10, 1)
+	if t1.Equal(t2) {
+		t.Error("counter not covered (replay possible)")
+	}
+	if t1.Equal(t3) {
+		t.Error("lastBlock not covered")
+	}
+	if !t1.Equal(t1b) {
+		t.Error("StateMAC not deterministic")
+	}
+}
+
+func TestSitePolicyDescriptorAndString(t *testing.T) {
+	sp := &SitePolicy{
+		Num:     0x5c,
+		Name:    "fcntl",
+		Site:    0x806c57b,
+		BlockID: 1234,
+		Args: []ArgPolicy{
+			{Class: ClassUnknown},
+			{Class: ClassImmediate, Values: []uint32{2}},
+			{Class: ClassString, Str: "/tmp/x"},
+		},
+		Preds: []uint32{1235, 2010, 3012},
+	}
+	d := sp.Descriptor()
+	if !d.CallSite() || !d.ControlFlow() {
+		t.Error("descriptor missing base bits")
+	}
+	if d.ArgConstrained(0) {
+		t.Error("unknown arg constrained")
+	}
+	if !d.ArgConstrained(1) || d.ArgString(1) {
+		t.Error("immediate arg bits wrong")
+	}
+	if !d.ArgString(2) {
+		t.Error("string arg bits wrong")
+	}
+	s := sp.String()
+	for _, want := range []string{"Permit fcntl", "basic block 1234", "Parameter 1 equals 2", "Parameter 0 equals ANY", "predecessors"} {
+		if !bytes.Contains([]byte(s), []byte(want)) {
+			t.Errorf("policy string missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestProgramPolicyDistinct(t *testing.T) {
+	pp := &ProgramPolicy{
+		Program: "bison",
+		Sites: []*SitePolicy{
+			{Num: 4, Name: "open"},
+			{Num: 2, Name: "read"},
+			{Num: 4, Name: "open"},
+			{Num: 1, Name: "exit"},
+		},
+	}
+	nums := pp.DistinctSyscalls()
+	if len(nums) != 3 || nums[0] != 1 || nums[1] != 2 || nums[2] != 4 {
+		t.Errorf("DistinctSyscalls = %v", nums)
+	}
+	names := pp.DistinctNames()
+	if len(names) != 3 || names[0] != "exit" {
+		t.Errorf("DistinctNames = %v", names)
+	}
+}

@@ -1,0 +1,364 @@
+// Package sys defines the system call ABI of the simulated platform: the
+// system call numbers, names, and signatures shared by the libc stubs, the
+// kernel's dispatch table, the installer's static analysis, and the policy
+// machinery.
+//
+// Signature metadata records, for each argument slot, whether the argument
+// is a plain integer, a file descriptor, a NUL-terminated string, or an
+// output-only pointer the kernel fills in. The installer uses this to
+// classify arguments for Table 3 of the paper (args / o/p / auth / mv /
+// fds) and to decide which constant string arguments become authenticated
+// strings.
+package sys
+
+import "fmt"
+
+// MaxArgs is the maximum number of system call arguments (registers R1..R5).
+const MaxArgs = 5
+
+// ArgClass describes the role of one argument slot in a syscall signature.
+type ArgClass uint8
+
+// Argument classes.
+const (
+	ArgNone      ArgClass = iota // slot unused
+	ArgInt                       // integer input
+	ArgFD                        // file descriptor input
+	ArgPath                      // NUL-terminated path string
+	ArgStr                       // NUL-terminated non-path string
+	ArgBufIn                     // pointer to input buffer (paired length arg)
+	ArgBufOut                    // pointer to output buffer (kernel writes)
+	ArgStructOut                 // pointer to output struct (kernel writes)
+	ArgPtr                       // other input pointer
+)
+
+// IsOutput reports whether the argument is output-only: the kernel writes
+// through the pointer and the caller supplies no meaningful input value
+// beyond the buffer address. These are the "o/p" column of Table 3.
+func (c ArgClass) IsOutput() bool { return c == ArgBufOut || c == ArgStructOut }
+
+// IsString reports whether the argument is a NUL-terminated string whose
+// contents (not just address) are policy-relevant.
+func (c ArgClass) IsString() bool { return c == ArgPath || c == ArgStr }
+
+func (c ArgClass) String() string {
+	switch c {
+	case ArgNone:
+		return "none"
+	case ArgInt:
+		return "int"
+	case ArgFD:
+		return "fd"
+	case ArgPath:
+		return "path"
+	case ArgStr:
+		return "str"
+	case ArgBufIn:
+		return "bufin"
+	case ArgBufOut:
+		return "bufout"
+	case ArgStructOut:
+		return "structout"
+	case ArgPtr:
+		return "ptr"
+	default:
+		return fmt.Sprintf("ArgClass(%d)", uint8(c))
+	}
+}
+
+// Sig is the signature of one system call.
+type Sig struct {
+	Num      uint16
+	Name     string
+	Args     []ArgClass // len <= MaxArgs
+	ReturnFD bool       // returns a fresh file descriptor (open, dup, socket, accept)
+}
+
+// NArgs returns the number of declared arguments.
+func (s Sig) NArgs() int { return len(s.Args) }
+
+// System call numbers. The numbering is specific to the simulated
+// platform; it deliberately does not match Linux or OpenBSD, reinforcing
+// the paper's point that policies are not portable across operating
+// systems.
+const (
+	SysExit          uint16 = 1
+	SysRead          uint16 = 2
+	SysWrite         uint16 = 3
+	SysOpen          uint16 = 4
+	SysClose         uint16 = 5
+	SysStat          uint16 = 6
+	SysFstat         uint16 = 7
+	SysLseek         uint16 = 8
+	SysBrk           uint16 = 9
+	SysMmap          uint16 = 10
+	SysMunmap        uint16 = 11
+	SysGetpid        uint16 = 12
+	SysGettimeofday  uint16 = 13
+	SysMkdir         uint16 = 14
+	SysRmdir         uint16 = 15
+	SysUnlink        uint16 = 16
+	SysReadlink      uint16 = 17
+	SysSymlink       uint16 = 18
+	SysChdir         uint16 = 19
+	SysGetcwd        uint16 = 20
+	SysDup           uint16 = 21
+	SysDup2          uint16 = 22
+	SysPipe          uint16 = 23
+	SysExecve        uint16 = 24
+	SysKill          uint16 = 25
+	SysSocket        uint16 = 26
+	SysSendto        uint16 = 27
+	SysRecvfrom      uint16 = 28
+	SysBind          uint16 = 29
+	SysConnect       uint16 = 30
+	SysSigaction     uint16 = 31
+	SysNanosleep     uint16 = 32
+	SysFcntl         uint16 = 33
+	SysGetdirentries uint16 = 34
+	SysFstatfs       uint16 = 35
+	SysUname         uint16 = 36
+	SysSysconf       uint16 = 37
+	SysMadvise       uint16 = 38
+	SysWritev        uint16 = 39
+	SysUmask         uint16 = 40
+	SysChmod         uint16 = 41
+	SysGetuid        uint16 = 42
+	SysGeteuid       uint16 = 43
+	SysGetgid        uint16 = 44
+	SysGetegid       uint16 = 45
+	SysTime          uint16 = 46
+	SysRename        uint16 = 47
+	SysLink          uint16 = 48
+	SysAccess        uint16 = 49
+	SysFtruncate     uint16 = 50
+	SysTruncate      uint16 = 51
+	SysSync          uint16 = 52
+	SysFsync         uint16 = 53
+	SysIoctl         uint16 = 54
+	SysGetppid       uint16 = 55
+	SysGetpgrp       uint16 = 56
+	SysSetsid        uint16 = 57
+	SysSigprocmask   uint16 = 58
+	SysAlarm         uint16 = 59
+	SysPause         uint16 = 60
+	SysUtime         uint16 = 61
+	SysStatfs        uint16 = 62
+	SysGetrlimit     uint16 = 63
+	SysSetrlimit     uint16 = 64
+	SysGetrusage     uint16 = 65
+	SysTimes         uint16 = 66
+	SysGethostname   uint16 = 67
+	SysSelect        uint16 = 68
+	SysPoll          uint16 = 69
+	SysReadv         uint16 = 70
+	SysPread         uint16 = 71
+	SysPwrite        uint16 = 72
+	SysFlock         uint16 = 73
+	SysFchmod        uint16 = 74
+	SysFchown        uint16 = 75
+	SysChown         uint16 = 76
+	SysListen        uint16 = 77
+	SysAccept        uint16 = 78
+	SysShutdown      uint16 = 79
+	SysGetsockname   uint16 = 80
+	SysGetpeername   uint16 = 81
+	SysSetsockopt    uint16 = 82
+	SysGetsockopt    uint16 = 83
+	SysSocketpair    uint16 = 84
+	SysWait4         uint16 = 85
+	SysGetgroups     uint16 = 86
+	SysMprotect      uint16 = 87
+	SysMsync         uint16 = 88
+
+	// SysIndirect is the generic indirect system call (__syscall) present
+	// only in the OpenBSD kernel personality: argument 1 is the real
+	// system call number, arguments shift right by one. The OpenBSD libc
+	// implements mmap through it, reproducing the Table 2 discrepancy
+	// where the ASC policy lists __syscall while Systrace lists mmap.
+	SysIndirect uint16 = 89
+
+	// MaxSyscall is the highest valid system call number.
+	MaxSyscall uint16 = 89
+)
+
+// Errno values returned (negated) by failing system calls.
+const (
+	EPERM        = 1
+	ENOENT       = 2
+	EBADF        = 9
+	EACCES       = 13
+	EFAULT       = 14
+	EEXIST       = 17
+	ENOTDIR      = 20
+	EISDIR       = 21
+	EINVAL       = 22
+	ENFILE       = 23
+	ENOSPC       = 28
+	ENOSYS       = 38
+	ENOTEMPTY    = 39
+	ELOOP        = 40
+	ENAMETOOLONG = 36
+)
+
+var sigs = []Sig{
+	{SysExit, "exit", []ArgClass{ArgInt}, false},
+	{SysRead, "read", []ArgClass{ArgFD, ArgBufOut, ArgInt}, false},
+	{SysWrite, "write", []ArgClass{ArgFD, ArgBufIn, ArgInt}, false},
+	{SysOpen, "open", []ArgClass{ArgPath, ArgInt, ArgInt}, true},
+	{SysClose, "close", []ArgClass{ArgFD}, false},
+	{SysStat, "stat", []ArgClass{ArgPath, ArgStructOut}, false},
+	{SysFstat, "fstat", []ArgClass{ArgFD, ArgStructOut}, false},
+	{SysLseek, "lseek", []ArgClass{ArgFD, ArgInt, ArgInt}, false},
+	{SysBrk, "brk", []ArgClass{ArgInt}, false},
+	{SysMmap, "mmap", []ArgClass{ArgInt, ArgInt, ArgInt, ArgInt, ArgFD}, false},
+	{SysMunmap, "munmap", []ArgClass{ArgPtr, ArgInt}, false},
+	{SysGetpid, "getpid", nil, false},
+	{SysGettimeofday, "gettimeofday", []ArgClass{ArgStructOut}, false},
+	{SysMkdir, "mkdir", []ArgClass{ArgPath, ArgInt}, false},
+	{SysRmdir, "rmdir", []ArgClass{ArgPath}, false},
+	{SysUnlink, "unlink", []ArgClass{ArgPath}, false},
+	{SysReadlink, "readlink", []ArgClass{ArgPath, ArgBufOut, ArgInt}, false},
+	{SysSymlink, "symlink", []ArgClass{ArgPath, ArgPath}, false},
+	{SysChdir, "chdir", []ArgClass{ArgPath}, false},
+	{SysGetcwd, "getcwd", []ArgClass{ArgBufOut, ArgInt}, false},
+	{SysDup, "dup", []ArgClass{ArgFD}, true},
+	{SysDup2, "dup2", []ArgClass{ArgFD, ArgInt}, true},
+	{SysPipe, "pipe", []ArgClass{ArgStructOut}, false},
+	{SysExecve, "execve", []ArgClass{ArgPath, ArgPtr, ArgPtr}, false},
+	{SysKill, "kill", []ArgClass{ArgInt, ArgInt}, false},
+	{SysSocket, "socket", []ArgClass{ArgInt, ArgInt, ArgInt}, true},
+	{SysSendto, "sendto", []ArgClass{ArgFD, ArgBufIn, ArgInt, ArgInt, ArgPtr}, false},
+	{SysRecvfrom, "recvfrom", []ArgClass{ArgFD, ArgBufOut, ArgInt, ArgInt, ArgPtr}, false},
+	{SysBind, "bind", []ArgClass{ArgFD, ArgPtr, ArgInt}, false},
+	{SysConnect, "connect", []ArgClass{ArgFD, ArgPtr, ArgInt}, false},
+	{SysSigaction, "sigaction", []ArgClass{ArgInt, ArgPtr, ArgStructOut}, false},
+	{SysNanosleep, "nanosleep", []ArgClass{ArgPtr, ArgStructOut}, false},
+	{SysFcntl, "fcntl", []ArgClass{ArgFD, ArgInt, ArgInt}, false},
+	{SysGetdirentries, "getdirentries", []ArgClass{ArgFD, ArgBufOut, ArgInt}, false},
+	{SysFstatfs, "fstatfs", []ArgClass{ArgFD, ArgStructOut}, false},
+	{SysUname, "uname", []ArgClass{ArgStructOut}, false},
+	{SysSysconf, "sysconf", []ArgClass{ArgInt}, false},
+	{SysMadvise, "madvise", []ArgClass{ArgPtr, ArgInt, ArgInt}, false},
+	{SysWritev, "writev", []ArgClass{ArgFD, ArgPtr, ArgInt}, false},
+	{SysUmask, "umask", []ArgClass{ArgInt}, false},
+	{SysChmod, "chmod", []ArgClass{ArgPath, ArgInt}, false},
+	{SysGetuid, "getuid", nil, false},
+	{SysGeteuid, "geteuid", nil, false},
+	{SysGetgid, "getgid", nil, false},
+	{SysGetegid, "getegid", nil, false},
+	{SysTime, "time", []ArgClass{ArgStructOut}, false},
+	{SysRename, "rename", []ArgClass{ArgPath, ArgPath}, false},
+	{SysLink, "link", []ArgClass{ArgPath, ArgPath}, false},
+	{SysAccess, "access", []ArgClass{ArgPath, ArgInt}, false},
+	{SysFtruncate, "ftruncate", []ArgClass{ArgFD, ArgInt}, false},
+	{SysTruncate, "truncate", []ArgClass{ArgPath, ArgInt}, false},
+	{SysSync, "sync", nil, false},
+	{SysFsync, "fsync", []ArgClass{ArgFD}, false},
+	{SysIoctl, "ioctl", []ArgClass{ArgFD, ArgInt, ArgPtr}, false},
+	{SysGetppid, "getppid", nil, false},
+	{SysGetpgrp, "getpgrp", nil, false},
+	{SysSetsid, "setsid", nil, false},
+	{SysSigprocmask, "sigprocmask", []ArgClass{ArgInt, ArgPtr, ArgStructOut}, false},
+	{SysAlarm, "alarm", []ArgClass{ArgInt}, false},
+	{SysPause, "pause", nil, false},
+	{SysUtime, "utime", []ArgClass{ArgPath, ArgPtr}, false},
+	{SysStatfs, "statfs", []ArgClass{ArgPath, ArgStructOut}, false},
+	{SysGetrlimit, "getrlimit", []ArgClass{ArgInt, ArgStructOut}, false},
+	{SysSetrlimit, "setrlimit", []ArgClass{ArgInt, ArgPtr}, false},
+	{SysGetrusage, "getrusage", []ArgClass{ArgInt, ArgStructOut}, false},
+	{SysTimes, "times", []ArgClass{ArgStructOut}, false},
+	{SysGethostname, "gethostname", []ArgClass{ArgBufOut, ArgInt}, false},
+	{SysSelect, "select", []ArgClass{ArgInt, ArgPtr, ArgPtr, ArgPtr, ArgPtr}, false},
+	{SysPoll, "poll", []ArgClass{ArgPtr, ArgInt, ArgInt}, false},
+	{SysReadv, "readv", []ArgClass{ArgFD, ArgPtr, ArgInt}, false},
+	{SysPread, "pread", []ArgClass{ArgFD, ArgBufOut, ArgInt, ArgInt}, false},
+	{SysPwrite, "pwrite", []ArgClass{ArgFD, ArgBufIn, ArgInt, ArgInt}, false},
+	{SysFlock, "flock", []ArgClass{ArgFD, ArgInt}, false},
+	{SysFchmod, "fchmod", []ArgClass{ArgFD, ArgInt}, false},
+	{SysFchown, "fchown", []ArgClass{ArgFD, ArgInt, ArgInt}, false},
+	{SysChown, "chown", []ArgClass{ArgPath, ArgInt, ArgInt}, false},
+	{SysListen, "listen", []ArgClass{ArgFD, ArgInt}, false},
+	{SysAccept, "accept", []ArgClass{ArgFD, ArgPtr, ArgStructOut}, true},
+	{SysShutdown, "shutdown", []ArgClass{ArgFD, ArgInt}, false},
+	{SysGetsockname, "getsockname", []ArgClass{ArgFD, ArgStructOut, ArgPtr}, false},
+	{SysGetpeername, "getpeername", []ArgClass{ArgFD, ArgStructOut, ArgPtr}, false},
+	{SysSetsockopt, "setsockopt", []ArgClass{ArgFD, ArgInt, ArgInt, ArgPtr, ArgInt}, false},
+	{SysGetsockopt, "getsockopt", []ArgClass{ArgFD, ArgInt, ArgInt, ArgStructOut, ArgPtr}, false},
+	{SysSocketpair, "socketpair", []ArgClass{ArgInt, ArgInt, ArgInt, ArgStructOut}, false},
+	{SysWait4, "wait4", []ArgClass{ArgInt, ArgStructOut, ArgInt, ArgStructOut}, false},
+	{SysGetgroups, "getgroups", []ArgClass{ArgInt, ArgStructOut}, false},
+	{SysMprotect, "mprotect", []ArgClass{ArgPtr, ArgInt, ArgInt}, false},
+	{SysMsync, "msync", []ArgClass{ArgPtr, ArgInt, ArgInt}, false},
+	{SysIndirect, "__syscall", []ArgClass{ArgInt, ArgInt, ArgInt, ArgInt, ArgInt}, false},
+}
+
+var (
+	byNum  map[uint16]*Sig
+	byName map[string]*Sig
+)
+
+func init() {
+	byNum = make(map[uint16]*Sig, len(sigs))
+	byName = make(map[string]*Sig, len(sigs))
+	for i := range sigs {
+		s := &sigs[i]
+		if _, dup := byNum[s.Num]; dup {
+			panic(fmt.Sprintf("sys: duplicate syscall number %d", s.Num))
+		}
+		if _, dup := byName[s.Name]; dup {
+			panic(fmt.Sprintf("sys: duplicate syscall name %q", s.Name))
+		}
+		byNum[s.Num] = s
+		byName[s.Name] = s
+	}
+}
+
+// Lookup returns the signature for a syscall number. It reports whether
+// the number is defined.
+func Lookup(num uint16) (Sig, bool) {
+	s, ok := byNum[num]
+	if !ok {
+		return Sig{}, false
+	}
+	return *s, true
+}
+
+// LookupName returns the signature for a syscall name.
+func LookupName(name string) (Sig, bool) {
+	s, ok := byName[name]
+	if !ok {
+		return Sig{}, false
+	}
+	return *s, true
+}
+
+// Name returns the name of a syscall number, or "sys_<num>" if unknown.
+func Name(num uint16) string {
+	if s, ok := byNum[num]; ok {
+		return s.Name
+	}
+	return fmt.Sprintf("sys_%d", num)
+}
+
+// All returns all signatures in ascending syscall-number order. The
+// returned slice is a copy.
+func All() []Sig {
+	out := make([]Sig, len(sigs))
+	copy(out, sigs)
+	return out
+}
+
+// Count is the number of defined system calls.
+func Count() int { return len(sigs) }
+
+// FSRead is the set of read-related syscall names that the Systrace
+// baseline's "fsread" policy alias expands to. The membership mirrors the
+// effect visible in the paper's Table 2, where readlink enters the
+// Systrace policy only through fsread.
+var FSRead = []string{"open", "read", "stat", "access", "readlink"}
+
+// FSWrite is the set of write-related syscall names the "fswrite" alias
+// expands to; mkdir, rmdir, and unlink enter trained policies only
+// through it (Table 2).
+var FSWrite = []string{"write", "mkdir", "rmdir", "unlink"}

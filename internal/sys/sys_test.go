@@ -1,0 +1,88 @@
+package sys
+
+import "testing"
+
+func TestTableConsistency(t *testing.T) {
+	all := All()
+	if len(all) != Count() {
+		t.Fatalf("All() returned %d, Count() = %d", len(all), Count())
+	}
+	seen := make(map[uint16]bool)
+	for _, s := range all {
+		if s.Num == 0 || s.Num > MaxSyscall {
+			t.Errorf("%s: number %d out of range", s.Name, s.Num)
+		}
+		if seen[s.Num] {
+			t.Errorf("duplicate number %d", s.Num)
+		}
+		seen[s.Num] = true
+		if len(s.Args) > MaxArgs {
+			t.Errorf("%s: %d args exceeds MaxArgs", s.Name, len(s.Args))
+		}
+		if s.Name == "" {
+			t.Errorf("syscall %d has no name", s.Num)
+		}
+	}
+	// The evaluation requires enough distinct syscalls for the `screen`
+	// policy (67 distinct calls in Table 1).
+	if Count() < 68 {
+		t.Errorf("only %d syscalls defined; Table 1 needs at least 68", Count())
+	}
+}
+
+func TestLookup(t *testing.T) {
+	s, ok := Lookup(SysOpen)
+	if !ok || s.Name != "open" || !s.ReturnFD {
+		t.Errorf("Lookup(open) = %+v, %v", s, ok)
+	}
+	if s.Args[0] != ArgPath {
+		t.Errorf("open arg0 = %v, want path", s.Args[0])
+	}
+	if _, ok := Lookup(0); ok {
+		t.Error("Lookup(0) should fail")
+	}
+	if _, ok := Lookup(MaxSyscall + 1); ok {
+		t.Error("Lookup(MaxSyscall+1) should fail")
+	}
+	byName, ok := LookupName("write")
+	if !ok || byName.Num != SysWrite {
+		t.Errorf("LookupName(write) = %+v, %v", byName, ok)
+	}
+	if _, ok := LookupName("bogus"); ok {
+		t.Error("LookupName(bogus) should fail")
+	}
+}
+
+func TestName(t *testing.T) {
+	if Name(SysGetpid) != "getpid" {
+		t.Errorf("Name(getpid) = %q", Name(SysGetpid))
+	}
+	if Name(999) != "sys_999" {
+		t.Errorf("Name(999) = %q", Name(999))
+	}
+}
+
+func TestArgClass(t *testing.T) {
+	if !ArgBufOut.IsOutput() || !ArgStructOut.IsOutput() || ArgBufIn.IsOutput() {
+		t.Error("IsOutput misclassifies")
+	}
+	if !ArgPath.IsString() || !ArgStr.IsString() || ArgInt.IsString() {
+		t.Error("IsString misclassifies")
+	}
+}
+
+func TestAliasesResolve(t *testing.T) {
+	for _, n := range append(append([]string(nil), FSRead...), FSWrite...) {
+		if _, ok := LookupName(n); !ok {
+			t.Errorf("alias member %q is not a defined syscall", n)
+		}
+	}
+}
+
+func TestAllReturnsCopy(t *testing.T) {
+	a := All()
+	a[0].Name = "mutated"
+	if b := All(); b[0].Name == "mutated" {
+		t.Error("All() exposes internal state")
+	}
+}

@@ -1,0 +1,205 @@
+// Package systrace implements the Systrace-style baseline monitor the
+// paper compares against (Section 4.2): policies are produced by
+// *training* — tracing sample runs of the program — optionally generalized
+// with the fsread/fswrite aliases used by the published Project Hairy
+// Eyeball policies, and enforced by a user-space policy daemon whose
+// per-call cost includes two context switches (Section 2.3).
+//
+// Training, unlike the installer's conservative static analysis, only
+// observes the paths the sample inputs exercise: system calls on rarely
+// taken paths are missing from the policy and cause false alarms — the
+// effect Tables 1 and 2 quantify.
+package systrace
+
+import (
+	"fmt"
+	"sort"
+
+	"asc/internal/binfmt"
+	"asc/internal/kernel"
+	"asc/internal/sys"
+	"asc/internal/vfs"
+)
+
+// Policy is a trained Systrace-style policy.
+type Policy struct {
+	Program string
+	// Allowed is the set of concrete system call names permitted.
+	Allowed map[string]bool
+	// Aliases holds generic permissions ("fsread", "fswrite") that each
+	// expand to a family of calls.
+	Aliases []string
+}
+
+// Permits reports whether the policy allows the named call, expanding
+// aliases.
+func (p *Policy) Permits(name string) bool {
+	if p.Allowed[name] {
+		return true
+	}
+	for _, a := range p.Aliases {
+		var family []string
+		switch a {
+		case "fsread":
+			family = sys.FSRead
+		case "fswrite":
+			family = sys.FSWrite
+		}
+		for _, f := range family {
+			if f == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Names returns the sorted concrete names in the policy (aliases not
+// expanded).
+func (p *Policy) Names() []string {
+	out := make([]string, 0, len(p.Allowed))
+	for n := range p.Allowed {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExpandedNames returns the sorted set of all permitted call names,
+// including alias expansions.
+func (p *Policy) ExpandedNames() []string {
+	seen := make(map[string]bool, len(p.Allowed))
+	for n := range p.Allowed {
+		seen[n] = true
+	}
+	for _, a := range p.Aliases {
+		var family []string
+		switch a {
+		case "fsread":
+			family = sys.FSRead
+		case "fswrite":
+			family = sys.FSWrite
+		}
+		for _, f := range family {
+			seen[f] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Input is one training run: stdin contents plus optional filesystem
+// preparation.
+type Input struct {
+	Stdin string
+	Setup func(*vfs.FS) error
+}
+
+// TrainConfig configures training runs.
+type TrainConfig struct {
+	Personality kernel.Personality
+	MaxCycles   uint64
+}
+
+// Train executes the program on each input under a permissive tracing
+// kernel and returns the observed-call policy.
+func Train(exe *binfmt.File, program string, inputs []Input, cfg TrainConfig) (*Policy, error) {
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 500_000_000
+	}
+	if cfg.Personality == 0 {
+		cfg.Personality = kernel.Linux
+	}
+	pol := &Policy{Program: program, Allowed: make(map[string]bool)}
+	if len(inputs) == 0 {
+		inputs = []Input{{}}
+	}
+	for i, in := range inputs {
+		fs := vfs.New()
+		for _, d := range []string{"/tmp", "/etc", "/bin", "/data"} {
+			if err := fs.MkdirAll(d, 0o755); err != nil {
+				return nil, fmt.Errorf("systrace: setup: %w", err)
+			}
+		}
+		if in.Setup != nil {
+			if err := in.Setup(fs); err != nil {
+				return nil, fmt.Errorf("systrace: input %d setup: %w", i, err)
+			}
+		}
+		k, err := kernel.New(fs, nil, kernel.WithMode(kernel.Permissive), kernel.WithPersonality(cfg.Personality))
+		if err != nil {
+			return nil, err
+		}
+		p, err := k.Spawn(exe, program)
+		if err != nil {
+			return nil, err
+		}
+		p.Stdin = []byte(in.Stdin)
+		p.DoTrace = true
+		if err := k.Run(p, cfg.MaxCycles); err != nil {
+			return nil, fmt.Errorf("systrace: training run %d: %w", i, err)
+		}
+		for _, e := range p.Trace {
+			name := sys.Name(e.Num)
+			// The tracer, like Systrace, records the call actually
+			// dispatched: an OpenBSD __syscall(mmap, ...) is logged as
+			// mmap (the Table 2 mmap row).
+			if e.Num == sys.SysIndirect && cfg.Personality == kernel.OpenBSD {
+				name = sys.Name(uint16(e.Args[0]))
+			}
+			pol.Allowed[name] = true
+		}
+	}
+	return pol, nil
+}
+
+// GeneralizeFS rewrites the policy in the style of the published Project
+// Hairy Eyeball policies: concrete file system calls are replaced by the
+// generic fsread/fswrite permissions (which is how unneeded calls such as
+// mkdir/rmdir/unlink enter trained policies — the Table 2 fswrite rows).
+func (p *Policy) GeneralizeFS() {
+	replaced := false
+	for _, n := range sys.FSRead {
+		if p.Allowed[n] {
+			delete(p.Allowed, n)
+			replaced = true
+		}
+	}
+	if replaced {
+		p.Aliases = append(p.Aliases, "fsread")
+	}
+	replaced = false
+	for _, n := range sys.FSWrite {
+		if p.Allowed[n] {
+			delete(p.Allowed, n)
+			replaced = true
+		}
+	}
+	if replaced {
+		p.Aliases = append(p.Aliases, "fswrite")
+	}
+}
+
+// DaemonMonitor returns a kernel monitor hook modeling Systrace's
+// user-space policy daemon: every checked call pays two context switches
+// plus a policy lookup (Section 2.3), and calls outside the policy are
+// denied.
+func (p *Policy) DaemonMonitor(costs kernel.CostModel) func(*kernel.Process, uint16, uint32) (uint64, bool) {
+	return func(_ *kernel.Process, num uint16, _ uint32) (uint64, bool) {
+		name := sys.Name(num)
+		return 2*costs.DaemonSwitch + 200, p.Permits(name)
+	}
+}
+
+// InKernelMonitor returns a monitor hook modeling a fully in-kernel
+// policy table (the heavyweight-kernel alternative of Section 1): a
+// cheap hash lookup per call, no context switches.
+func (p *Policy) InKernelMonitor() func(*kernel.Process, uint16, uint32) (uint64, bool) {
+	return func(_ *kernel.Process, num uint16, _ uint32) (uint64, bool) {
+		return 120, p.Permits(sys.Name(num))
+	}
+}

@@ -1,0 +1,365 @@
+package vfs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func newTestFS(t *testing.T) *FS {
+	t.Helper()
+	fs := New()
+	for _, d := range []string{"/tmp", "/etc", "/bin", "/home", "/home/user"} {
+		if err := fs.Mkdir(d, 0o755); err != nil {
+			t.Fatalf("Mkdir(%s): %v", d, err)
+		}
+	}
+	if err := fs.WriteFile("/etc/passwd", []byte("root:0:0\n"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	return fs
+}
+
+func TestCreateReadWrite(t *testing.T) {
+	fs := newTestFS(t)
+	n, err := fs.Create("/tmp/a.txt", 0o644, false)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := fs.WriteAt(n, 0, []byte("hello world")); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	if _, err := fs.WriteAt(n, 6, []byte("VFS")); err != nil {
+		t.Fatalf("WriteAt overwrite: %v", err)
+	}
+	buf := make([]byte, 32)
+	got, err := fs.ReadAt(n, 0, buf)
+	if err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if string(buf[:got]) != "hello VFSld" {
+		t.Errorf("content = %q", buf[:got])
+	}
+	// Read past EOF.
+	if got, _ := fs.ReadAt(n, 100, buf); got != 0 {
+		t.Errorf("read past EOF returned %d bytes", got)
+	}
+	// Sparse write grows the file.
+	if _, err := fs.WriteAt(n, 20, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if n.Size() != 21 {
+		t.Errorf("size after sparse write = %d, want 21", n.Size())
+	}
+}
+
+func TestCreateTruncates(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.WriteFile("/tmp/f", []byte("old content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := fs.Create("/tmp/f", 0o644, true)
+	if err != nil {
+		t.Fatalf("Create trunc: %v", err)
+	}
+	if n.Size() != 0 {
+		t.Errorf("size after truncating create = %d", n.Size())
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	fs := newTestFS(t)
+	tests := []struct {
+		path string
+		want error
+	}{
+		{"/nope", ErrNotExist},
+		{"/nope/deeper", ErrNotExist},
+		{"/etc/passwd/x", ErrNotDir},
+		{"relative", ErrInvalid},
+		{"", ErrInvalid},
+		{"/" + strings.Repeat("a", 300), ErrNameLong},
+	}
+	for _, tt := range tests {
+		if _, err := fs.Lookup(tt.path); !errors.Is(err, tt.want) {
+			t.Errorf("Lookup(%q) = %v, want %v", tt.path, err, tt.want)
+		}
+	}
+}
+
+func TestSymlinks(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.Symlink("/etc/passwd", "/tmp/pw"); err != nil {
+		t.Fatalf("Symlink: %v", err)
+	}
+	b, err := fs.ReadFile("/tmp/pw")
+	if err != nil || string(b) != "root:0:0\n" {
+		t.Fatalf("ReadFile through symlink: %q, %v", b, err)
+	}
+	// Lstat does not follow.
+	n, err := fs.Lstat("/tmp/pw")
+	if err != nil || n.Kind != KindSymlink {
+		t.Errorf("Lstat = %v, %v", n.Kind, err)
+	}
+	// Readlink.
+	target, err := fs.Readlink("/tmp/pw")
+	if err != nil || target != "/etc/passwd" {
+		t.Errorf("Readlink = %q, %v", target, err)
+	}
+	if _, err := fs.Readlink("/etc/passwd"); !errors.Is(err, ErrInvalid) {
+		t.Errorf("Readlink on file = %v", err)
+	}
+	// Relative symlink.
+	if err := fs.Symlink("passwd", "/etc/pw2"); err != nil {
+		t.Fatal(err)
+	}
+	if b, err := fs.ReadFile("/etc/pw2"); err != nil || string(b) != "root:0:0\n" {
+		t.Errorf("relative symlink read: %q, %v", b, err)
+	}
+	// Symlink to directory used mid-path.
+	if err := fs.Symlink("/etc", "/tmp/etclink"); err != nil {
+		t.Fatal(err)
+	}
+	if b, err := fs.ReadFile("/tmp/etclink/passwd"); err != nil || string(b) != "root:0:0\n" {
+		t.Errorf("dir symlink traversal: %q, %v", b, err)
+	}
+}
+
+func TestSymlinkLoop(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.Symlink("/tmp/b", "/tmp/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Symlink("/tmp/a", "/tmp/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Lookup("/tmp/a"); !errors.Is(err, ErrLoop) {
+		t.Errorf("loop lookup = %v, want ErrLoop", err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.Symlink("/etc/passwd", "/tmp/foo"); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		in, want string
+	}{
+		{"/tmp/foo", "/etc/passwd"}, // the §5.4 attack scenario
+		{"/etc/./passwd", "/etc/passwd"},
+		{"/etc/../etc/passwd", "/etc/passwd"},
+		{"/", "/"},
+		{"//etc///passwd", "/etc/passwd"},
+		{"/tmp/..", "/"},
+	}
+	for _, tt := range tests {
+		got, err := fs.Normalize(tt.in)
+		if err != nil || got != tt.want {
+			t.Errorf("Normalize(%q) = %q, %v; want %q", tt.in, got, err, tt.want)
+		}
+	}
+	if _, err := fs.Normalize("/no/such"); err == nil {
+		t.Error("Normalize of missing path should fail")
+	}
+}
+
+func TestMkdirRmdir(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.Mkdir("/tmp/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/tmp/d", 0o755); !errors.Is(err, ErrExist) {
+		t.Errorf("duplicate mkdir = %v", err)
+	}
+	if err := fs.WriteFile("/tmp/d/f", nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rmdir("/tmp/d"); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("rmdir non-empty = %v", err)
+	}
+	if err := fs.Unlink("/tmp/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rmdir("/tmp/d"); err != nil {
+		t.Errorf("rmdir empty = %v", err)
+	}
+	if err := fs.Rmdir("/etc/passwd"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("rmdir file = %v", err)
+	}
+	if err := fs.Rmdir("/"); err == nil {
+		t.Error("rmdir / should fail")
+	}
+}
+
+func TestMkdirAll(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.MkdirAll("/a/b/c/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	n, err := fs.Lookup("/a/b/c/d")
+	if err != nil || n.Kind != KindDir {
+		t.Errorf("MkdirAll result: %v, %v", n, err)
+	}
+	// Idempotent.
+	if err := fs.MkdirAll("/a/b/c/d", 0o755); err != nil {
+		t.Errorf("second MkdirAll: %v", err)
+	}
+}
+
+func TestUnlinkSemantics(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.Unlink("/etc"); !errors.Is(err, ErrIsDir) {
+		t.Errorf("unlink dir = %v", err)
+	}
+	if err := fs.Unlink("/etc/passwd"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/etc/passwd") {
+		t.Error("file still exists after unlink")
+	}
+	// Unlink a symlink removes the link, not the target.
+	if err := fs.WriteFile("/tmp/t", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Symlink("/tmp/t", "/tmp/l"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unlink("/tmp/l"); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("/tmp/t") {
+		t.Error("unlinking symlink removed target")
+	}
+}
+
+func TestHardLinks(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.WriteFile("/tmp/orig", []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Link("/tmp/orig", "/tmp/alias"); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := fs.Lookup("/tmp/orig")
+	if n.Nlink() != 2 {
+		t.Errorf("nlink = %d, want 2", n.Nlink())
+	}
+	// Write through one name is visible through the other.
+	if _, err := fs.WriteAt(n, 0, []byte("DATA")); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := fs.ReadFile("/tmp/alias"); string(b) != "DATA" {
+		t.Errorf("alias content = %q", b)
+	}
+	if err := fs.Unlink("/tmp/orig"); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := fs.ReadFile("/tmp/alias"); string(b) != "DATA" {
+		t.Errorf("alias content after unlink = %q", b)
+	}
+	if err := fs.Link("/etc", "/tmp/dirlink"); !errors.Is(err, ErrPermitted) {
+		t.Errorf("hard link to dir = %v", err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.WriteFile("/tmp/a", []byte("A"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/tmp/b", []byte("B"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/tmp/a", "/tmp/b"); err != nil {
+		t.Fatalf("Rename replace: %v", err)
+	}
+	if b, _ := fs.ReadFile("/tmp/b"); string(b) != "A" {
+		t.Errorf("renamed content = %q", b)
+	}
+	if fs.Exists("/tmp/a") {
+		t.Error("source still exists")
+	}
+	if err := fs.Rename("/tmp/missing", "/tmp/x"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("rename missing = %v", err)
+	}
+}
+
+func TestReadDir(t *testing.T) {
+	fs := newTestFS(t)
+	names, err := fs.ReadDir("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"bin", "etc", "home", "tmp"}
+	if len(names) != len(want) {
+		t.Fatalf("ReadDir(/) = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("ReadDir[%d] = %q, want %q (sorted)", i, names[i], want[i])
+		}
+	}
+	if _, err := fs.ReadDir("/etc/passwd"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("ReadDir(file) = %v", err)
+	}
+}
+
+func TestTruncateAndChmod(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.WriteFile("/tmp/f", []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Truncate("/tmp/f", 4); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := fs.ReadFile("/tmp/f"); string(b) != "0123" {
+		t.Errorf("after shrink: %q", b)
+	}
+	if err := fs.Truncate("/tmp/f", 8); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := fs.ReadFile("/tmp/f"); string(b) != "0123\x00\x00\x00\x00" {
+		t.Errorf("after grow: %q", b)
+	}
+	if err := fs.Chmod("/tmp/f", 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := fs.Lookup("/tmp/f"); n.Mode != 0o600 {
+		t.Errorf("mode = %o", n.Mode)
+	}
+}
+
+// Property: Normalize is idempotent for any path that resolves.
+func TestPropertyNormalizeIdempotent(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.Symlink("/etc", "/tmp/e"); err != nil {
+		t.Fatal(err)
+	}
+	paths := []string{"/", "/etc", "/etc/passwd", "/tmp/e/passwd", "/tmp/../etc", "/home/user"}
+	for _, p := range paths {
+		n1, err := fs.Normalize(p)
+		if err != nil {
+			t.Fatalf("Normalize(%q): %v", p, err)
+		}
+		n2, err := fs.Normalize(n1)
+		if err != nil || n1 != n2 {
+			t.Errorf("Normalize not idempotent: %q -> %q -> %q (%v)", p, n1, n2, err)
+		}
+	}
+}
+
+// Property: random path strings never panic the walker.
+func TestPropertyRandomPathsSafe(t *testing.T) {
+	fs := newTestFS(t)
+	f := func(s string) bool {
+		_, _ = fs.Lookup(s)
+		_, _ = fs.Normalize(s)
+		_ = fs.Exists(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,42 @@
+package vm
+
+import (
+	"testing"
+
+	"asc/internal/isa"
+)
+
+// BenchmarkInterpreter measures raw interpreter speed on a tight ALU
+// loop (simulated instructions per second drive every macro result).
+func BenchmarkInterpreter(b *testing.B) {
+	mem := NewMemory(0x1000, 64<<10)
+	ins := []isa.Instr{
+		{Op: isa.OpMOVI, Rd: isa.R1, Imm: 100000},
+		{Op: isa.OpMOVI, Rd: isa.R2, Imm: 0},
+		{Op: isa.OpADD, Rd: isa.R3, Rs: isa.R3, Rt: isa.R1}, // loop body
+		{Op: isa.OpADDI, Rd: isa.R1, Rs: isa.R1, Imm: 0xffffffff},
+		{Op: isa.OpBNE, Rs: isa.R1, Rt: isa.R2, Imm: 0x1000 + 2*isa.InstrSize},
+		{Op: isa.OpHALT},
+	}
+	code := make([]byte, len(ins)*isa.InstrSize)
+	for i, in := range ins {
+		in.Encode(code[i*isa.InstrSize:])
+	}
+	if err := mem.KernelWrite(0x1000, code); err != nil {
+		b.Fatal(err)
+	}
+	mem.Map(Segment{Name: "text", Start: 0x1000, End: 0x1000 + uint32(len(code)), Perms: PermRead | PermExec})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := New(mem, nil)
+		c.PrimeICache(0x1000, 0x1000+uint32(len(code)))
+		c.PC = 0x1000
+		if err := c.Run(10_000_000); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(c.Cycles), "cycles/op")
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package vm
+
+import (
+	"fmt"
+	"testing"
+
+	"asc/internal/isa"
+)
+
+// execOps runs a hand-built instruction sequence on a bare CPU and
+// returns it for register inspection. The sequence must end with HALT.
+func execOps(t *testing.T, ins []isa.Instr, setup func(*CPU)) *CPU {
+	t.Helper()
+	mem := NewMemory(0x1000, 64<<10)
+	code := make([]byte, len(ins)*isa.InstrSize)
+	for i, in := range ins {
+		in.Encode(code[i*isa.InstrSize:])
+	}
+	if err := mem.KernelWrite(0x1000, code); err != nil {
+		t.Fatal(err)
+	}
+	mem.Map(Segment{Name: "text", Start: 0x1000, End: 0x1000 + uint32(len(code)), Perms: PermRead | PermExec})
+	mem.Map(Segment{Name: "data", Start: 0x8000, End: 0x9000, Perms: PermRead | PermWrite})
+	c := New(mem, nil)
+	c.PC = 0x1000
+	c.Regs[isa.SP] = 0x9000
+	// SP needs a writable region for PUSH/POP; data covers it.
+	if setup != nil {
+		setup(c)
+	}
+	if err := c.Run(10000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return c
+}
+
+func TestALUOps(t *testing.T) {
+	type tc struct {
+		op   isa.Op
+		a, b uint32
+		want uint32
+	}
+	tests := []tc{
+		{isa.OpADD, 7, 5, 12},
+		{isa.OpSUB, 7, 5, 2},
+		{isa.OpSUB, 5, 7, 0xfffffffe},
+		{isa.OpMUL, 7, 5, 35},
+		{isa.OpDIV, 35, 5, 7},
+		{isa.OpMOD, 37, 5, 2},
+		{isa.OpAND, 0b1100, 0b1010, 0b1000},
+		{isa.OpOR, 0b1100, 0b1010, 0b1110},
+		{isa.OpXOR, 0b1100, 0b1010, 0b0110},
+		{isa.OpSHL, 1, 4, 16},
+		{isa.OpSHR, 0x80000000, 31, 1},
+		{isa.OpSHL, 1, 33, 2},               // shift amounts mask to 5 bits
+		{isa.OpSHR, 0xff, 0xffffffe1, 0x7f}, // 0xffffffe1 & 31 == 1
+	}
+	for _, tt := range tests {
+		t.Run(fmt.Sprintf("%v_%d_%d", tt.op, tt.a, tt.b), func(t *testing.T) {
+			c := execOps(t, []isa.Instr{
+				{Op: isa.OpMOVI, Rd: isa.R1, Imm: tt.a},
+				{Op: isa.OpMOVI, Rd: isa.R2, Imm: tt.b},
+				{Op: tt.op, Rd: isa.R3, Rs: isa.R1, Rt: isa.R2},
+				{Op: isa.OpHALT},
+			}, nil)
+			if c.Regs[isa.R3] != tt.want {
+				t.Errorf("= %#x, want %#x", c.Regs[isa.R3], tt.want)
+			}
+		})
+	}
+}
+
+func TestALUImmediateOps(t *testing.T) {
+	tests := []struct {
+		op   isa.Op
+		a    uint32
+		imm  uint32
+		want uint32
+	}{
+		{isa.OpADDI, 10, 0xffffffff, 9}, // += -1
+		{isa.OpMULI, 6, 7, 42},
+		{isa.OpANDI, 0xff, 0x0f, 0x0f},
+		{isa.OpORI, 0xf0, 0x0f, 0xff},
+		{isa.OpXORI, 0xff, 0xff, 0},
+		{isa.OpSHLI, 3, 2, 12},
+		{isa.OpSHRI, 12, 2, 3},
+	}
+	for _, tt := range tests {
+		c := execOps(t, []isa.Instr{
+			{Op: isa.OpMOVI, Rd: isa.R1, Imm: tt.a},
+			{Op: tt.op, Rd: isa.R3, Rs: isa.R1, Imm: tt.imm},
+			{Op: isa.OpHALT},
+		}, nil)
+		if c.Regs[isa.R3] != tt.want {
+			t.Errorf("%v: = %#x, want %#x", tt.op, c.Regs[isa.R3], tt.want)
+		}
+	}
+}
+
+func TestBranchOps(t *testing.T) {
+	// Each test: branch over a MOVI r3,1; r3 stays 0 iff branch taken.
+	tests := []struct {
+		op    isa.Op
+		a, b  uint32
+		taken bool
+	}{
+		{isa.OpBEQ, 5, 5, true},
+		{isa.OpBEQ, 5, 6, false},
+		{isa.OpBNE, 5, 6, true},
+		{isa.OpBNE, 5, 5, false},
+		{isa.OpBLT, 0xffffffff, 0, true},  // -1 < 0 signed
+		{isa.OpBLT, 0, 0xffffffff, false}, // 0 < -1 signed is false
+		{isa.OpBGE, 0, 0xffffffff, true},
+		{isa.OpBGE, 0xffffffff, 0, false},
+		{isa.OpBLTU, 0, 0xffffffff, true}, // unsigned
+		{isa.OpBLTU, 0xffffffff, 0, false},
+		{isa.OpBGEU, 0xffffffff, 0, true},
+		{isa.OpBGEU, 0, 1, false},
+	}
+	for _, tt := range tests {
+		t.Run(fmt.Sprintf("%v_%x_%x", tt.op, tt.a, tt.b), func(t *testing.T) {
+			c := execOps(t, []isa.Instr{
+				{Op: isa.OpMOVI, Rd: isa.R1, Imm: tt.a},
+				{Op: isa.OpMOVI, Rd: isa.R2, Imm: tt.b},
+				{Op: tt.op, Rs: isa.R1, Rt: isa.R2, Imm: 0x1000 + 4*isa.InstrSize},
+				{Op: isa.OpMOVI, Rd: isa.R3, Imm: 1},
+				{Op: isa.OpHALT},
+			}, nil)
+			if got := c.Regs[isa.R3] == 0; got != tt.taken {
+				t.Errorf("taken = %v, want %v", got, tt.taken)
+			}
+		})
+	}
+}
+
+func TestModByZeroFaults(t *testing.T) {
+	mem := NewMemory(0x1000, 4096)
+	in := isa.Instr{Op: isa.OpMOD, Rd: isa.R3, Rs: isa.R1, Rt: isa.R2}
+	var buf [8]byte
+	in.Encode(buf[:])
+	if err := mem.KernelWrite(0x1000, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	mem.Map(Segment{Name: "text", Start: 0x1000, End: 0x1008, Perms: PermRead | PermExec})
+	c := New(mem, nil)
+	c.PC = 0x1000
+	if err := c.Step(); err == nil {
+		t.Error("MOD by zero did not fault")
+	}
+}
+
+func TestStoreByteAndLoadByte(t *testing.T) {
+	c := execOps(t, []isa.Instr{
+		{Op: isa.OpMOVI, Rd: isa.R1, Imm: 0x8000},
+		{Op: isa.OpMOVI, Rd: isa.R2, Imm: 0x1234ABCD},
+		{Op: isa.OpSTOREB, Rd: isa.R1, Rs: isa.R2, Imm: 2},
+		{Op: isa.OpLOADB, Rd: isa.R3, Rs: isa.R1, Imm: 2},
+		{Op: isa.OpHALT},
+	}, nil)
+	if c.Regs[isa.R3] != 0xCD {
+		t.Errorf("byte round trip = %#x", c.Regs[isa.R3])
+	}
+}
+
+func TestStepAfterHalt(t *testing.T) {
+	c := execOps(t, []isa.Instr{{Op: isa.OpHALT}}, nil)
+	if err := c.Step(); err == nil {
+		t.Error("Step on halted CPU succeeded")
+	}
+}
+
+func TestMemorySegmentReplace(t *testing.T) {
+	mem := NewMemory(0x1000, 8192)
+	mem.Map(Segment{Name: "heap", Start: 0x2000, End: 0x2000, Perms: PermRead | PermWrite})
+	mem.Map(Segment{Name: "heap", Start: 0x2000, End: 0x2100, Perms: PermRead | PermWrite})
+	if len(mem.Segments()) != 1 {
+		t.Errorf("segments = %d, want replacement", len(mem.Segments()))
+	}
+	if s := mem.FindSegment(0x2050); s == nil || s.End != 0x2100 {
+		t.Errorf("FindSegment = %+v", s)
+	}
+	if s := mem.FindSegment(0x2100); s != nil {
+		t.Error("FindSegment at End should miss")
+	}
+}
+
+func TestResetPreservesCycles(t *testing.T) {
+	c := execOps(t, []isa.Instr{
+		{Op: isa.OpNOP}, {Op: isa.OpNOP}, {Op: isa.OpHALT},
+	}, nil)
+	before := c.Cycles
+	if before == 0 {
+		t.Fatal("no cycles counted")
+	}
+	mem2 := NewMemory(0x1000, 4096)
+	c.Reset(mem2, 0x1000, 0x2000)
+	if c.Cycles != before {
+		t.Errorf("Reset cleared cycles: %d -> %d", before, c.Cycles)
+	}
+	if c.PC != 0x1000 || c.Regs[isa.SP] != 0x2000 || c.Regs[isa.R1] != 0 {
+		t.Errorf("Reset state: pc=%#x sp=%#x", c.PC, c.Regs[isa.SP])
+	}
+}

@@ -1,0 +1,528 @@
+// Package vm implements the CPU of the simulated platform: an interpreter
+// for the ISA defined in internal/isa with deterministic cycle accounting
+// and segment-based memory protection.
+//
+// The cycle model replaces the Pentium rdtsc counter the paper uses for
+// its microbenchmarks (Table 4): every instruction has a fixed cost and
+// the kernel adds trap and verification costs on system calls, so
+// measured overheads are deterministic and noise-free.
+//
+// The stack segment is mapped read-write-execute, as was typical of the
+// 2005-era x86 systems the paper targets: code injected via a buffer
+// overflow can run, and is stopped only when it attempts a system call —
+// exactly the boundary system call monitoring defends.
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"asc/internal/isa"
+)
+
+// Instruction cycle costs.
+const (
+	CycleALU    = 1 // arithmetic, moves, NOP
+	CycleMem    = 3 // loads, stores, push, pop
+	CycleBranch = 2 // jumps and conditional branches
+	CycleCall   = 4 // call, indirect call, return
+)
+
+// Fault describes a CPU fault (memory violation, illegal instruction...).
+type Fault struct {
+	PC   uint32
+	Addr uint32
+	Msg  string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("vm: fault at pc=%#x addr=%#x: %s", f.PC, f.Addr, f.Msg)
+}
+
+// ErrCycleLimit is returned by Run when the cycle budget is exhausted.
+var ErrCycleLimit = errors.New("vm: cycle limit exceeded")
+
+// Memory permission flags (match binfmt section flags).
+const (
+	PermRead uint8 = 1 << iota
+	PermWrite
+	PermExec
+)
+
+// Segment is a protected address range.
+type Segment struct {
+	Name  string
+	Start uint32
+	End   uint32 // exclusive
+	Perms uint8
+}
+
+// Memory is a flat, segment-protected address space.
+type Memory struct {
+	base uint32
+	data []byte
+	segs []Segment
+}
+
+// NewMemory creates an address space covering [base, base+size).
+func NewMemory(base, size uint32) *Memory {
+	return &Memory{base: base, data: make([]byte, size)}
+}
+
+// Base returns the lowest mapped address.
+func (m *Memory) Base() uint32 { return m.base }
+
+// Limit returns the address one past the highest mapped byte.
+func (m *Memory) Limit() uint32 { return m.base + uint32(len(m.data)) }
+
+// Map adds (or replaces, by name) a protection segment.
+func (m *Memory) Map(seg Segment) {
+	for i := range m.segs {
+		if m.segs[i].Name == seg.Name {
+			m.segs[i] = seg
+			return
+		}
+	}
+	m.segs = append(m.segs, seg)
+}
+
+// Segments returns a copy of the protection map.
+func (m *Memory) Segments() []Segment {
+	return append([]Segment(nil), m.segs...)
+}
+
+// FindSegment returns the segment covering addr, or nil.
+func (m *Memory) FindSegment(addr uint32) *Segment {
+	for i := range m.segs {
+		if addr >= m.segs[i].Start && addr < m.segs[i].End {
+			return &m.segs[i]
+		}
+	}
+	return nil
+}
+
+func (m *Memory) check(addr, n uint32, perm uint8) bool {
+	if n == 0 {
+		return true
+	}
+	end := addr + n
+	if end < addr { // wraparound
+		return false
+	}
+	// The whole range must be inside one permission segment; ranges are
+	// small (<= 4 bytes for CPU accesses).
+	seg := m.FindSegment(addr)
+	return seg != nil && end <= seg.End && seg.Perms&perm == perm
+}
+
+func (m *Memory) inBounds(addr, n uint32) bool {
+	return addr >= m.base && addr+n >= addr && addr+n <= m.Limit()
+}
+
+// load32 reads without permission checks (kernel privilege).
+func (m *Memory) load32(addr uint32) (uint32, bool) {
+	if !m.inBounds(addr, 4) {
+		return 0, false
+	}
+	off := addr - m.base
+	b := m.data[off : off+4]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, true
+}
+
+func (m *Memory) store32(addr, v uint32) bool {
+	if !m.inBounds(addr, 4) {
+		return false
+	}
+	off := addr - m.base
+	m.data[off] = byte(v)
+	m.data[off+1] = byte(v >> 8)
+	m.data[off+2] = byte(v >> 16)
+	m.data[off+3] = byte(v >> 24)
+	return true
+}
+
+// KernelRead copies n bytes at addr with kernel privilege (bounds check
+// only). The returned slice aliases VM memory; callers must not hold it
+// across mutations.
+func (m *Memory) KernelRead(addr, n uint32) ([]byte, error) {
+	if !m.inBounds(addr, n) {
+		return nil, &Fault{Addr: addr, Msg: fmt.Sprintf("kernel read of %d bytes out of bounds", n)}
+	}
+	off := addr - m.base
+	return m.data[off : off+n], nil
+}
+
+// KernelWrite copies b into memory at addr with kernel privilege.
+func (m *Memory) KernelWrite(addr uint32, b []byte) error {
+	if !m.inBounds(addr, uint32(len(b))) {
+		return &Fault{Addr: addr, Msg: fmt.Sprintf("kernel write of %d bytes out of bounds", len(b))}
+	}
+	copy(m.data[addr-m.base:], b)
+	return nil
+}
+
+// KernelLoad32 reads a 32-bit word with kernel privilege.
+func (m *Memory) KernelLoad32(addr uint32) (uint32, error) {
+	v, ok := m.load32(addr)
+	if !ok {
+		return 0, &Fault{Addr: addr, Msg: "kernel load out of bounds"}
+	}
+	return v, nil
+}
+
+// KernelStore32 writes a 32-bit word with kernel privilege.
+func (m *Memory) KernelStore32(addr, v uint32) error {
+	if !m.store32(addr, v) {
+		return &Fault{Addr: addr, Msg: "kernel store out of bounds"}
+	}
+	return nil
+}
+
+// CString reads a NUL-terminated string at addr with kernel privilege,
+// failing if no NUL appears within max bytes.
+func (m *Memory) CString(addr, max uint32) (string, error) {
+	if !m.inBounds(addr, 1) {
+		return "", &Fault{Addr: addr, Msg: "string read out of bounds"}
+	}
+	off := addr - m.base
+	limit := uint32(len(m.data)) - off
+	if limit > max {
+		limit = max
+	}
+	for i := uint32(0); i < limit; i++ {
+		if m.data[off+i] == 0 {
+			return string(m.data[off : off+i]), nil
+		}
+	}
+	return "", &Fault{Addr: addr, Msg: "unterminated string"}
+}
+
+// TrapHandler receives system call traps from the CPU.
+type TrapHandler interface {
+	// Trap handles a SYSCALL or ASYSCALL executed at address site.
+	// It returns the value placed in R0. If halt is true the CPU stops
+	// (the process exited or was killed by the monitor).
+	Trap(c *CPU, site uint32, authenticated bool) (ret uint32, halt bool, err error)
+}
+
+// CPU is one simulated hardware thread.
+type CPU struct {
+	Regs   [isa.NumRegs]uint32
+	PC     uint32
+	Mem    *Memory
+	Cycles uint64
+	Halted bool
+
+	handler TrapHandler
+
+	// icache holds predecoded instructions for the static text range.
+	icacheBase uint32
+	icache     []isa.Instr
+	icacheOK   []bool
+}
+
+// New creates a CPU over mem that delivers traps to handler.
+func New(mem *Memory, handler TrapHandler) *CPU {
+	return &CPU{Mem: mem, handler: handler}
+}
+
+// PrimeICache predecodes the instruction stream in [start, end) so that
+// Step avoids re-decoding hot loops. Faulty encodings are left to fault
+// lazily at execution time.
+func (c *CPU) PrimeICache(start, end uint32) {
+	if end <= start {
+		return
+	}
+	n := (end - start) / isa.InstrSize
+	c.icacheBase = start
+	c.icache = make([]isa.Instr, n)
+	c.icacheOK = make([]bool, n)
+	for i := uint32(0); i < n; i++ {
+		addr := start + i*isa.InstrSize
+		b, err := c.Mem.KernelRead(addr, isa.InstrSize)
+		if err != nil {
+			continue
+		}
+		in, err := isa.Decode(b)
+		if err != nil {
+			continue
+		}
+		c.icache[i] = in
+		c.icacheOK[i] = true
+	}
+}
+
+func (c *CPU) fetch() (isa.Instr, error) {
+	pc := c.PC
+	if pc >= c.icacheBase && pc-c.icacheBase < uint32(len(c.icache))*isa.InstrSize && (pc-c.icacheBase)%isa.InstrSize == 0 {
+		idx := (pc - c.icacheBase) / isa.InstrSize
+		if c.icacheOK[idx] {
+			return c.icache[idx], nil
+		}
+	}
+	if !c.Mem.check(pc, isa.InstrSize, PermRead|PermExec) {
+		return isa.Instr{}, &Fault{PC: pc, Addr: pc, Msg: "instruction fetch protection violation"}
+	}
+	b, err := c.Mem.KernelRead(pc, isa.InstrSize)
+	if err != nil {
+		return isa.Instr{}, &Fault{PC: pc, Addr: pc, Msg: "instruction fetch out of bounds"}
+	}
+	in, err := isa.Decode(b)
+	if err != nil {
+		return isa.Instr{}, &Fault{PC: pc, Addr: pc, Msg: fmt.Sprintf("illegal instruction: %v", err)}
+	}
+	return in, nil
+}
+
+func (c *CPU) load(addr uint32, size uint32) (uint32, error) {
+	if !c.Mem.check(addr, size, PermRead) {
+		return 0, &Fault{PC: c.PC, Addr: addr, Msg: "read protection violation"}
+	}
+	if size == 1 {
+		b, err := c.Mem.KernelRead(addr, 1)
+		if err != nil {
+			return 0, err
+		}
+		return uint32(b[0]), nil
+	}
+	v, ok := c.Mem.load32(addr)
+	if !ok {
+		return 0, &Fault{PC: c.PC, Addr: addr, Msg: "read out of bounds"}
+	}
+	return v, nil
+}
+
+func (c *CPU) store(addr, v uint32, size uint32) error {
+	if !c.Mem.check(addr, size, PermWrite) {
+		return &Fault{PC: c.PC, Addr: addr, Msg: "write protection violation"}
+	}
+	if size == 1 {
+		return c.Mem.KernelWrite(addr, []byte{byte(v)})
+	}
+	if !c.Mem.store32(addr, v) {
+		return &Fault{PC: c.PC, Addr: addr, Msg: "write out of bounds"}
+	}
+	return nil
+}
+
+// Step executes a single instruction.
+func (c *CPU) Step() error {
+	if c.Halted {
+		return errors.New("vm: cpu halted")
+	}
+	in, err := c.fetch()
+	if err != nil {
+		return err
+	}
+	next := c.PC + isa.InstrSize
+	r := &c.Regs
+
+	switch in.Op {
+	case isa.OpNOP:
+		c.Cycles += CycleALU
+	case isa.OpHALT:
+		c.Cycles += CycleALU
+		c.Halted = true
+	case isa.OpMOV:
+		r[in.Rd] = r[in.Rs]
+		c.Cycles += CycleALU
+	case isa.OpMOVI:
+		r[in.Rd] = in.Imm
+		c.Cycles += CycleALU
+	case isa.OpLOAD:
+		v, err := c.load(r[in.Rs]+in.Imm, 4)
+		if err != nil {
+			return err
+		}
+		r[in.Rd] = v
+		c.Cycles += CycleMem
+	case isa.OpLOADB:
+		v, err := c.load(r[in.Rs]+in.Imm, 1)
+		if err != nil {
+			return err
+		}
+		r[in.Rd] = v
+		c.Cycles += CycleMem
+	case isa.OpSTORE:
+		if err := c.store(r[in.Rd]+in.Imm, r[in.Rs], 4); err != nil {
+			return err
+		}
+		c.Cycles += CycleMem
+	case isa.OpSTOREB:
+		if err := c.store(r[in.Rd]+in.Imm, r[in.Rs], 1); err != nil {
+			return err
+		}
+		c.Cycles += CycleMem
+	case isa.OpADD:
+		r[in.Rd] = r[in.Rs] + r[in.Rt]
+		c.Cycles += CycleALU
+	case isa.OpSUB:
+		r[in.Rd] = r[in.Rs] - r[in.Rt]
+		c.Cycles += CycleALU
+	case isa.OpMUL:
+		r[in.Rd] = r[in.Rs] * r[in.Rt]
+		c.Cycles += CycleALU
+	case isa.OpDIV:
+		if r[in.Rt] == 0 {
+			return &Fault{PC: c.PC, Msg: "division by zero"}
+		}
+		r[in.Rd] = r[in.Rs] / r[in.Rt]
+		c.Cycles += CycleALU
+	case isa.OpMOD:
+		if r[in.Rt] == 0 {
+			return &Fault{PC: c.PC, Msg: "division by zero"}
+		}
+		r[in.Rd] = r[in.Rs] % r[in.Rt]
+		c.Cycles += CycleALU
+	case isa.OpAND:
+		r[in.Rd] = r[in.Rs] & r[in.Rt]
+		c.Cycles += CycleALU
+	case isa.OpOR:
+		r[in.Rd] = r[in.Rs] | r[in.Rt]
+		c.Cycles += CycleALU
+	case isa.OpXOR:
+		r[in.Rd] = r[in.Rs] ^ r[in.Rt]
+		c.Cycles += CycleALU
+	case isa.OpSHL:
+		r[in.Rd] = r[in.Rs] << (r[in.Rt] & 31)
+		c.Cycles += CycleALU
+	case isa.OpSHR:
+		r[in.Rd] = r[in.Rs] >> (r[in.Rt] & 31)
+		c.Cycles += CycleALU
+	case isa.OpADDI:
+		r[in.Rd] = r[in.Rs] + in.Imm
+		c.Cycles += CycleALU
+	case isa.OpMULI:
+		r[in.Rd] = r[in.Rs] * in.Imm
+		c.Cycles += CycleALU
+	case isa.OpANDI:
+		r[in.Rd] = r[in.Rs] & in.Imm
+		c.Cycles += CycleALU
+	case isa.OpORI:
+		r[in.Rd] = r[in.Rs] | in.Imm
+		c.Cycles += CycleALU
+	case isa.OpXORI:
+		r[in.Rd] = r[in.Rs] ^ in.Imm
+		c.Cycles += CycleALU
+	case isa.OpSHLI:
+		r[in.Rd] = r[in.Rs] << (in.Imm & 31)
+		c.Cycles += CycleALU
+	case isa.OpSHRI:
+		r[in.Rd] = r[in.Rs] >> (in.Imm & 31)
+		c.Cycles += CycleALU
+	case isa.OpJMP:
+		next = in.Imm
+		c.Cycles += CycleBranch
+	case isa.OpBEQ:
+		if r[in.Rs] == r[in.Rt] {
+			next = in.Imm
+		}
+		c.Cycles += CycleBranch
+	case isa.OpBNE:
+		if r[in.Rs] != r[in.Rt] {
+			next = in.Imm
+		}
+		c.Cycles += CycleBranch
+	case isa.OpBLT:
+		if int32(r[in.Rs]) < int32(r[in.Rt]) {
+			next = in.Imm
+		}
+		c.Cycles += CycleBranch
+	case isa.OpBGE:
+		if int32(r[in.Rs]) >= int32(r[in.Rt]) {
+			next = in.Imm
+		}
+		c.Cycles += CycleBranch
+	case isa.OpBLTU:
+		if r[in.Rs] < r[in.Rt] {
+			next = in.Imm
+		}
+		c.Cycles += CycleBranch
+	case isa.OpBGEU:
+		if r[in.Rs] >= r[in.Rt] {
+			next = in.Imm
+		}
+		c.Cycles += CycleBranch
+	case isa.OpCALL, isa.OpCALLR:
+		r[isa.SP] -= 4
+		if err := c.store(r[isa.SP], next, 4); err != nil {
+			return err
+		}
+		if in.Op == isa.OpCALL {
+			next = in.Imm
+		} else {
+			next = r[in.Rs]
+		}
+		c.Cycles += CycleCall
+	case isa.OpRET:
+		v, err := c.load(r[isa.SP], 4)
+		if err != nil {
+			return err
+		}
+		r[isa.SP] += 4
+		next = v
+		c.Cycles += CycleCall
+	case isa.OpPUSH:
+		r[isa.SP] -= 4
+		if err := c.store(r[isa.SP], r[in.Rs], 4); err != nil {
+			return err
+		}
+		c.Cycles += CycleMem
+	case isa.OpPOP:
+		v, err := c.load(r[isa.SP], 4)
+		if err != nil {
+			return err
+		}
+		r[isa.SP] += 4
+		r[in.Rd] = v
+		c.Cycles += CycleMem
+	case isa.OpSYSCALL, isa.OpASYSCALL:
+		pcBefore := c.PC
+		ret, halt, err := c.handler.Trap(c, c.PC, in.Op == isa.OpASYSCALL)
+		if err != nil {
+			return err
+		}
+		if halt {
+			c.Halted = true
+			return nil
+		}
+		r[isa.R0] = ret
+		if c.PC != pcBefore {
+			// The handler replaced the program image (execve): resume at
+			// the address it installed rather than the next instruction.
+			next = c.PC
+		}
+	default:
+		return &Fault{PC: c.PC, Msg: fmt.Sprintf("unimplemented opcode %v", in.Op)}
+	}
+	if !c.Halted {
+		c.PC = next
+	}
+	return nil
+}
+
+// Reset points the CPU at a fresh address space and entry state,
+// preserving the cycle counter. Used by execve to replace the program
+// image in place.
+func (c *CPU) Reset(mem *Memory, pc, sp uint32) {
+	c.Mem = mem
+	c.Regs = [isa.NumRegs]uint32{}
+	c.Regs[isa.SP] = sp
+	c.PC = pc
+	c.icache = nil
+	c.icacheOK = nil
+	c.icacheBase = 0
+}
+
+// Run executes until the CPU halts, faults, or exceeds maxCycles.
+func (c *CPU) Run(maxCycles uint64) error {
+	for !c.Halted {
+		if c.Cycles >= maxCycles {
+			return fmt.Errorf("%w (%d cycles)", ErrCycleLimit, c.Cycles)
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

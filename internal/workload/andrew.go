@@ -1,0 +1,189 @@
+// andrew.go drives the Andrew-style multiprogram benchmark of Section
+// 4.3: a series of routine tasks (directory creation, copying, catting,
+// permission changes, archiving, compression, moving, deleting) performed
+// by the general-purpose tools of tools.go, each invocation about 12,000
+// system calls per iteration.
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"asc/internal/binfmt"
+	"asc/internal/installer"
+	"asc/internal/kernel"
+	"asc/internal/libc"
+	"asc/internal/vfs"
+)
+
+// AndrewConfig sizes the benchmark.
+type AndrewConfig struct {
+	Files      int // number of data files (default 10)
+	FileSize   int // bytes per file (default 32 KiB)
+	Iterations int // benchmark iterations (default 1)
+}
+
+func (c *AndrewConfig) defaults() {
+	if c.Files == 0 {
+		c.Files = 10
+	}
+	if c.FileSize == 0 {
+		c.FileSize = 32 << 10
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 1
+	}
+}
+
+// AndrewResult aggregates one benchmark run.
+type AndrewResult struct {
+	Cycles   uint64
+	Syscalls uint64
+	Runs     int // tool invocations
+}
+
+// BuildTools assembles and links every benchmark tool.
+func BuildTools(os libc.OS) (map[string]*binfmt.File, error) {
+	out := make(map[string]*binfmt.File, len(ToolNames()))
+	for _, name := range ToolNames() {
+		src, ok := ToolSource(name)
+		if !ok {
+			return nil, fmt.Errorf("workload: no source for tool %q", name)
+		}
+		exe, err := BuildSource(name, src, os)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = exe
+	}
+	return out, nil
+}
+
+// InstallTools runs the trusted installer over every tool.
+func InstallTools(tools map[string]*binfmt.File, key []byte) (map[string]*binfmt.File, error) {
+	out := make(map[string]*binfmt.File, len(tools))
+	pid := uint32(1)
+	for _, name := range ToolNames() {
+		exe, ok := tools[name]
+		if !ok {
+			continue
+		}
+		installed, _, _, err := installer.Install(exe, name, installer.Options{Key: key, ProgramID: pid})
+		if err != nil {
+			return nil, fmt.Errorf("workload: install %s: %w", name, err)
+		}
+		out[name] = installed
+		pid++
+	}
+	return out, nil
+}
+
+// RunAndrew executes the benchmark with the given tool binaries. When key
+// is non-nil the kernel enforces authenticated calls (the binaries must
+// have been installed); otherwise it runs permissively.
+func RunAndrew(tools map[string]*binfmt.File, key []byte, cfg AndrewConfig) (AndrewResult, error) {
+	cfg.defaults()
+	fs := vfs.New()
+	for _, d := range []string{"/tmp", "/data", "/work"} {
+		if err := fs.MkdirAll(d, 0o755); err != nil {
+			return AndrewResult{}, err
+		}
+	}
+	// Deterministic data files.
+	for i := 0; i < cfg.Files; i++ {
+		data := make([]byte, cfg.FileSize)
+		for j := range data {
+			data[j] = byte('a' + (i+j)%26)
+		}
+		if err := fs.WriteFile(fmt.Sprintf("/data/f%d.txt", i), data, 0o644); err != nil {
+			return AndrewResult{}, err
+		}
+	}
+
+	mode := kernel.Enforce
+	if key == nil {
+		mode = kernel.Permissive
+	}
+	k, err := kernel.New(fs, key, kernel.WithMode(mode))
+	if err != nil {
+		return AndrewResult{}, err
+	}
+
+	var res AndrewResult
+	runTool := func(name, stdin string) error {
+		exe, ok := tools[name]
+		if !ok {
+			return fmt.Errorf("workload: missing tool %q", name)
+		}
+		p, err := k.Spawn(exe, name)
+		if err != nil {
+			return err
+		}
+		p.Stdin = []byte(stdin)
+		if err := k.Run(p, 2_000_000_000); err != nil {
+			return fmt.Errorf("workload: %s: %w", name, err)
+		}
+		if p.Killed {
+			return fmt.Errorf("workload: %s killed by monitor: %s", name, p.KilledBy)
+		}
+		res.Cycles += p.CPU.Cycles
+		res.Syscalls += p.SyscallCount
+		res.Runs++
+		return nil
+	}
+
+	lines := func(ss ...string) string { return strings.Join(append(ss, "", ""), "\n") }
+	var names, copies, moved []string
+	for i := 0; i < cfg.Files; i++ {
+		names = append(names, fmt.Sprintf("/data/f%d.txt", i))
+		copies = append(copies, fmt.Sprintf("/work/f%d.txt", i))
+		moved = append(moved, fmt.Sprintf("/work/sub1/f%d.txt", i))
+	}
+
+	for it := 0; it < cfg.Iterations; it++ {
+		// Directory creation.
+		if err := runTool("mkdir", lines("/work/sub1", "/work/sub2")); err != nil {
+			return res, err
+		}
+		// File copying.
+		var cpScript []string
+		for i := range names {
+			cpScript = append(cpScript, names[i], copies[i])
+		}
+		if err := runTool("cp", lines(cpScript...)); err != nil {
+			return res, err
+		}
+		// Read everything back.
+		if err := runTool("cat", lines(copies...)); err != nil {
+			return res, err
+		}
+		// Permission checking.
+		if err := runTool("chmod", lines(append([]string{"384"}, copies...)...)); err != nil {
+			return res, err
+		}
+		// Archival.
+		if err := runTool("tar", lines(append([]string{"/work/arch.tar"}, copies...)...)); err != nil {
+			return res, err
+		}
+		// Compression and decompression.
+		if err := runTool("gzip", lines("/work/arch.tar")); err != nil {
+			return res, err
+		}
+		if err := runTool("gunzip", lines("/work/arch.tar.gz")); err != nil {
+			return res, err
+		}
+		// Moving files.
+		var mvScript []string
+		for i := range copies {
+			mvScript = append(mvScript, copies[i], moved[i])
+		}
+		if err := runTool("mv", lines(mvScript...)); err != nil {
+			return res, err
+		}
+		// Deleting files.
+		if err := runTool("rm", lines(append(append([]string{}, moved...), "/work/arch.tar")...)); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"testing"
+
+	"asc/internal/libc"
+)
+
+var andrewTestCfg = AndrewConfig{Files: 3, FileSize: 4 << 10, Iterations: 1}
+
+func TestAndrewPermissive(t *testing.T) {
+	tools, err := BuildTools(libc.Linux)
+	if err != nil {
+		t.Fatalf("BuildTools: %v", err)
+	}
+	res, err := RunAndrew(tools, nil, andrewTestCfg)
+	if err != nil {
+		t.Fatalf("RunAndrew: %v", err)
+	}
+	if res.Runs != 9 {
+		t.Errorf("runs = %d, want 9 tool invocations", res.Runs)
+	}
+	if res.Syscalls < 100 {
+		t.Errorf("only %d syscalls; benchmark not exercising I/O", res.Syscalls)
+	}
+}
+
+func TestAndrewAuthenticatedMatchesAndCosts(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	tools, err := BuildTools(libc.Linux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := RunAndrew(tools, nil, andrewTestCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	installed, err := InstallTools(tools, key)
+	if err != nil {
+		t.Fatalf("InstallTools: %v", err)
+	}
+	auth, err := RunAndrew(installed, key, andrewTestCfg)
+	if err != nil {
+		t.Fatalf("RunAndrew(auth): %v", err)
+	}
+	if auth.Syscalls != orig.Syscalls {
+		t.Errorf("syscall counts differ: auth %d vs orig %d", auth.Syscalls, orig.Syscalls)
+	}
+	if auth.Cycles <= orig.Cycles {
+		t.Errorf("authenticated cycles %d <= original %d", auth.Cycles, orig.Cycles)
+	}
+	overhead := 100 * float64(auth.Cycles-orig.Cycles) / float64(orig.Cycles)
+	// The paper reports 0.96%; the shape requirement is "around a
+	// percent", certainly under 10.
+	if overhead <= 0 || overhead > 10 {
+		t.Errorf("overhead = %.2f%%, want ~1%%", overhead)
+	}
+	t.Logf("andrew: %d syscalls, overhead %.2f%%", orig.Syscalls, overhead)
+}
+
+func TestPerfProgramsRun(t *testing.T) {
+	for _, spec := range PerfSuite() {
+		src := spec.Source(2) // tiny iteration count for the unit test
+		exe, err := BuildSource(spec.Name, src, libc.Linux)
+		if err != nil {
+			t.Fatalf("build %s: %v", spec.Name, err)
+		}
+		if exe == nil {
+			t.Fatal("nil exe")
+		}
+	}
+	if len(PerfSuite()) != 9 {
+		t.Errorf("suite has %d programs, want 9 (Table 5)", len(PerfSuite()))
+	}
+	if _, ok := PerfSpecByName("pyramid"); !ok {
+		t.Error("PerfSpecByName(pyramid) failed")
+	}
+	if _, ok := PerfSpecByName("nope"); ok {
+		t.Error("PerfSpecByName(nope) succeeded")
+	}
+}
+
+func TestAndrewMultipleIterations(t *testing.T) {
+	// The task sequence must be repeatable on the same filesystem
+	// (mkdir hits EEXIST, files are recreated, the archive is rebuilt).
+	tools, err := BuildTools(libc.Linux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := AndrewConfig{Files: 2, FileSize: 2 << 10, Iterations: 3}
+	res, err := RunAndrew(tools, nil, cfg)
+	if err != nil {
+		t.Fatalf("RunAndrew x3: %v", err)
+	}
+	if res.Runs != 27 {
+		t.Errorf("runs = %d, want 27 (9 tools x 3 iterations)", res.Runs)
+	}
+	// Each iteration performs the same work, so syscalls scale ~linearly.
+	single, err := RunAndrew(tools, nil, AndrewConfig{Files: 2, FileSize: 2 << 10, Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Syscalls < 2*single.Syscalls {
+		t.Errorf("3 iterations made %d syscalls vs %d for 1", res.Syscalls, single.Syscalls)
+	}
+}

@@ -1,0 +1,197 @@
+// programs.go defines the policy-study corpus: bison, calc, screen, and
+// tar, with per-OS system call surfaces sized to reproduce Tables 1-3.
+package workload
+
+import (
+	"fmt"
+
+	"asc/internal/binfmt"
+	"asc/internal/libc"
+	"asc/internal/linker"
+
+	"asc/internal/asm"
+)
+
+// progDef is the declarative description of one policy-study program.
+type progDef struct {
+	common     []string // distinct calls on the always-taken path
+	rare       []string // distinct calls reachable only via rare handlers
+	siteFactor int      // how many sites repeat each common call
+	// OpenBSD surface adjustments (OS-specific behaviour, Table 1).
+	obsdCommonAdd []string
+	obsdRareDrop  []string
+}
+
+// defs holds the corpus. exit and read are implicit (startup and the
+// command loop) and are part of every program's surface.
+var defs = map[string]progDef{
+	// bison: 31 distinct calls on Linux and OpenBSD; trained Systrace
+	// policies observe only the common path (Tables 1-2).
+	"bison": {
+		common: []string{
+			"open", "close", "mmap", "stat", "fstat", "lseek", "brk",
+			"access", "getuid", "geteuid", "getgid", "getegid", "dup",
+			"getcwd", "write",
+		},
+		rare: []string{
+			"fcntl", "fstatfs", "getdirentries", "getpid", "gettimeofday",
+			"kill", "madvise", "nanosleep", "sendto", "sigaction",
+			"socket", "sysconf", "uname", "writev",
+		},
+		siteFactor:    9,
+		obsdCommonAdd: []string{"sigprocmask"},
+	},
+	// calc: 54 distinct calls on Linux, 51 on OpenBSD.
+	"calc": {
+		common: []string{
+			"open", "close", "mmap", "write", "stat", "access", "unlink",
+			"brk", "lseek", "fstat", "getuid", "time", "umask", "chdir",
+			"getcwd", "dup", "pipe", "ioctl", "alarm",
+		},
+		rare: []string{
+			"fcntl", "fstatfs", "getdirentries", "getpid", "getppid",
+			"gettimeofday", "kill", "madvise", "nanosleep", "sendto",
+			"recvfrom", "sigaction", "sigprocmask", "socket", "bind",
+			"connect", "sysconf", "uname", "writev", "readv", "dup2",
+			"rename", "link", "symlink", "readlink", "rmdir", "mkdir",
+			"chmod", "ftruncate", "truncate", "getrlimit", "getrusage",
+			"times",
+		},
+		siteFactor:   12,
+		obsdRareDrop: []string{"getrlimit", "getrusage"},
+	},
+	// screen: 67 distinct calls on Linux, 63 on OpenBSD; its trained
+	// policy is comparatively complete (55) because a terminal manager's
+	// common path touches most of its surface.
+	"screen": {
+		common: []string{
+			"write", "open", "close", "mmap", "stat", "fstat", "lseek",
+			"brk", "access", "readlink", "mkdir", "rmdir", "unlink",
+			"getuid", "geteuid", "getgid", "getegid", "getpid", "getppid",
+			"getpgrp", "setsid", "dup", "dup2", "pipe", "getcwd", "chdir",
+			"chmod", "chown", "umask", "time", "gettimeofday", "times",
+			"uname", "gethostname", "sysconf", "ioctl", "fcntl", "select",
+			"poll", "sigaction", "sigprocmask", "alarm", "pause", "kill",
+			"nanosleep", "utime", "rename", "link", "symlink", "truncate",
+			"ftruncate", "flock", "fsync",
+		},
+		rare: []string{
+			"socket", "bind", "connect", "listen", "accept", "sendto",
+			"recvfrom", "shutdown", "getsockname", "setsockopt", "writev",
+			"madvise",
+		},
+		siteFactor:   12,
+		obsdRareDrop: []string{"getsockname", "setsockopt", "shutdown"},
+	},
+	// tar: 58 distinct calls (Table 3 row).
+	"tar": {
+		common: []string{
+			"write", "open", "close", "stat", "fstat", "lseek", "brk",
+			"access", "mkdir", "unlink", "chmod", "chown", "utime",
+			"getuid", "getgid", "umask", "readlink", "symlink", "link",
+			"rename", "dup", "getcwd", "time",
+		},
+		rare: []string{
+			"mmap", "fcntl", "fstatfs", "getdirentries", "getpid",
+			"geteuid", "getegid", "getppid", "gettimeofday", "times",
+			"uname", "sysconf", "ioctl", "sigaction", "sigprocmask",
+			"kill", "alarm", "nanosleep", "select", "poll", "writev",
+			"readv", "pread", "pwrite", "ftruncate", "truncate", "rmdir",
+			"chdir", "dup2", "pipe", "socket", "sendto", "madvise",
+		},
+		siteFactor: 15,
+	},
+}
+
+// Names returns the policy-study program names in deterministic order.
+func Names() []string { return []string{"bison", "calc", "screen", "tar"} }
+
+// Program builds the Spec for a program under the given OS personality.
+func Program(name string, os libc.OS) (*Spec, error) {
+	def, ok := defs[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown program %q", name)
+	}
+	common := append([]string(nil), def.common...)
+	rare := append([]string(nil), def.rare...)
+	if os == libc.OpenBSD {
+		common = append(common, def.obsdCommonAdd...)
+		rare = without(rare, def.obsdRareDrop)
+	}
+	s := &Spec{Name: name, SiteFactor: def.siteFactor, Rare: map[byte][]Call{}}
+	for _, n := range common {
+		s.Common = append(s.Common, callFor(n))
+	}
+	// Distribute rare calls over handlers of ~6 calls each, commands
+	// 'b', 'c', 'd', ...
+	cmd := byte('b')
+	for len(rare) > 0 {
+		n := 6
+		if n > len(rare) {
+			n = len(rare)
+		}
+		var calls []Call
+		for _, name := range rare[:n] {
+			calls = append(calls, callFor(name))
+		}
+		s.Rare[cmd] = calls
+		rare = rare[n:]
+		cmd++
+	}
+	return s, nil
+}
+
+// callFor applies per-call argument-mode tweaks. fcntl's command argument
+// is two-valued (the "mv" column of Table 3, mirroring the paper's fcntl
+// example policy).
+func callFor(name string) Call {
+	if name == "fcntl" {
+		return Call{Name: name, Modes: []ArgMode{ArgSavedFD, ArgTwoValued, ArgConst}}
+	}
+	return Call{Name: name}
+}
+
+func without(xs []string, drop []string) []string {
+	out := xs[:0]
+	for _, x := range xs {
+		skip := false
+		for _, d := range drop {
+			if x == d {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Build assembles and links the named program against the personality's
+// libc, returning the relocatable executable.
+func Build(name string, os libc.OS) (*binfmt.File, error) {
+	spec, err := Program(name, os)
+	if err != nil {
+		return nil, err
+	}
+	return BuildSource(name, spec.Source(os), os)
+}
+
+// BuildSource assembles and links arbitrary source against a personality
+// libc.
+func BuildSource(name, source string, os libc.OS) (*binfmt.File, error) {
+	obj, err := asm.Assemble(name+".s", source)
+	if err != nil {
+		return nil, fmt.Errorf("workload: assemble %s: %w", name, err)
+	}
+	lib, err := libc.Objects(os)
+	if err != nil {
+		return nil, err
+	}
+	exe, err := linker.Link([]*binfmt.File{obj}, lib)
+	if err != nil {
+		return nil, fmt.Errorf("workload: link %s: %w", name, err)
+	}
+	return exe, nil
+}

@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"testing"
+
+	"asc/internal/installer"
+	"asc/internal/kernel"
+	"asc/internal/libc"
+	"asc/internal/systrace"
+	"asc/internal/vfs"
+)
+
+// Table 1 targets: distinct system calls per program and OS.
+var table1Targets = map[string]struct{ linux, openbsd int }{
+	"bison":  {31, 31},
+	"calc":   {54, 51},
+	"screen": {67, 63},
+	"tar":    {58, 57},
+}
+
+func TestDistinctCallCounts(t *testing.T) {
+	for _, name := range Names() {
+		for _, os := range []libc.OS{libc.Linux, libc.OpenBSD} {
+			exe, err := Build(name, os)
+			if err != nil {
+				t.Fatalf("Build(%s, %v): %v", name, os, err)
+			}
+			pp, _, err := installer.GeneratePolicy(exe, name, os.String())
+			if err != nil {
+				t.Fatalf("GeneratePolicy(%s, %v): %v", name, os, err)
+			}
+			got := len(pp.DistinctSyscalls())
+			want := table1Targets[name].linux
+			if os == libc.OpenBSD {
+				want = table1Targets[name].openbsd
+			}
+			if got != want {
+				t.Errorf("%s/%v: %d distinct calls, want %d: %v",
+					name, os, got, want, pp.DistinctNames())
+			}
+		}
+	}
+}
+
+func TestProgramsRunToCompletion(t *testing.T) {
+	for _, name := range Names() {
+		exe, err := Build(name, libc.Linux)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", name, err)
+		}
+		spec, err := Program(name, libc.Linux)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := vfs.New()
+		for _, d := range []string{"/tmp", "/etc", "/data", "/var/run"} {
+			if err := fs.MkdirAll(d, 0o755); err != nil {
+				t.Fatal(err)
+			}
+		}
+		k, err := kernel.New(fs, nil, kernel.WithMode(kernel.Permissive))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := k.Spawn(exe, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Stdin = []byte(spec.AllRareCommands())
+		if err := k.Run(p, 500_000_000); err != nil {
+			t.Fatalf("%s run: %v", name, err)
+		}
+		if !p.Exited || p.Code != 0 {
+			t.Errorf("%s: exited=%v code=%d", name, p.Exited, p.Code)
+		}
+	}
+}
+
+func TestAuthenticatedProgramsRunClean(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	for _, name := range Names() {
+		exe, err := Build(name, libc.Linux)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _, _, err := installer.Install(exe, name, installer.Options{Key: key})
+		if err != nil {
+			t.Fatalf("Install(%s): %v", name, err)
+		}
+		spec, _ := Program(name, libc.Linux)
+		fs := vfs.New()
+		for _, d := range []string{"/tmp", "/etc", "/data", "/var/run"} {
+			if err := fs.MkdirAll(d, 0o755); err != nil {
+				t.Fatal(err)
+			}
+		}
+		k, err := kernel.New(fs, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := k.Spawn(out, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Stdin = []byte(spec.AllRareCommands())
+		if err := k.Run(p, 500_000_000); err != nil {
+			t.Fatalf("%s run: %v", name, err)
+		}
+		if p.Killed {
+			t.Errorf("%s: killed by monitor: %v (audit %v)", name, p.KilledBy, k.Audit)
+		}
+	}
+}
+
+func TestTrainedPolicySmallerThanASC(t *testing.T) {
+	// Reproduce the Table 1 Systrace effect on OpenBSD: training on the
+	// common path only yields far fewer calls than static analysis.
+	targets := map[string]int{"bison": 22, "calc": 24, "screen": 55}
+	for name, want := range targets {
+		exe, err := Build(name, libc.OpenBSD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, _ := Program(name, libc.OpenBSD)
+		pol, err := systrace.Train(exe, name, []systrace.Input{{Stdin: spec.TrainingInput()}},
+			systrace.TrainConfig{Personality: kernel.OpenBSD})
+		if err != nil {
+			t.Fatalf("Train(%s): %v", name, err)
+		}
+		pol.GeneralizeFS()
+		got := len(pol.ExpandedNames())
+		if got != want {
+			t.Errorf("%s: trained policy has %d calls, want %d: %v",
+				name, got, want, pol.ExpandedNames())
+		}
+	}
+}

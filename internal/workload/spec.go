@@ -1,0 +1,279 @@
+// Package workload synthesizes the program corpus of the paper's
+// evaluation: the policy-study programs (bison, calc, screen, tar), the
+// performance suite of Table 5 (gzip-spec, crafty, mcf, vpr, twolf, gcc,
+// vortex, pyramid, gzip), the Andrew-style multiprogram benchmark and the
+// Unix tools it drives.
+//
+// The paper's originals are real Unix programs; what its evaluation
+// measures, however, is their *system call surface*: which distinct calls
+// appear (Tables 1-2), how arguments classify statically (Table 3), and
+// the compute-to-syscall ratio (Table 6). The synthesizer reproduces
+// those surfaces: each program makes the same distinct calls as its
+// namesake (per OS personality), routes rarely-used calls through
+// conditional handlers that training inputs do not exercise, mixes
+// constant and dynamically-computed arguments, and interleaves calibrated
+// compute loops.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"asc/internal/libc"
+	"asc/internal/sys"
+)
+
+// ArgMode selects how one argument of a generated call site is produced.
+type ArgMode int
+
+// Argument modes.
+const (
+	// ArgConst emits a MOVI of a constant (authenticatable).
+	ArgConst ArgMode = iota + 1
+	// ArgDynamic computes the value at run time (not authenticatable).
+	ArgDynamic
+	// ArgSavedFD uses the fd saved from the program's earlier open.
+	ArgSavedFD
+	// ArgTwoValued picks between two constants on a runtime condition
+	// (the "mv" column of Table 3).
+	ArgTwoValued
+)
+
+// Call is one generated call site.
+type Call struct {
+	Name  string    // libc stub name
+	Modes []ArgMode // per-argument mode; defaults derived when empty
+}
+
+// Spec describes one policy-study program.
+type Spec struct {
+	Name string
+	// Common calls run on every execution, in order (training sees them).
+	Common []Call
+	// Rare maps a command byte to the calls of a conditional handler;
+	// training inputs that omit the byte never exercise them.
+	Rare map[byte][]Call
+	// SiteFactor repeats each common call at this many distinct sites
+	// (site counts in Table 3 exceed distinct-call counts several-fold).
+	SiteFactor int
+}
+
+// builder accumulates assembly source.
+type builder struct {
+	text    strings.Builder
+	rodata  strings.Builder
+	bss     strings.Builder
+	strings map[string]string // literal -> label
+	nstr    int
+	prog    string
+}
+
+func newBuilder(prog string) *builder {
+	b := &builder{strings: make(map[string]string), prog: prog}
+	b.bss.WriteString("iobuf: .space 256\nfdslot: .space 4\nscratch: .space 64\n")
+	return b
+}
+
+func (b *builder) strLabel(lit string) string {
+	if l, ok := b.strings[lit]; ok {
+		return l
+	}
+	l := fmt.Sprintf("s%d", b.nstr)
+	b.nstr++
+	b.strings[lit] = l
+	fmt.Fprintf(&b.rodata, "%s: .asciz %q\n", l, lit)
+	return l
+}
+
+// hash is a small deterministic mixer for reproducible arg variety.
+func hash(parts ...string) uint32 {
+	var h uint32 = 2166136261
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint32(p[i])
+			h *= 16777619
+		}
+	}
+	return h
+}
+
+// emitCall renders one call site. siteTag diversifies constants across
+// repeated sites of the same call.
+func (b *builder) emitCall(c Call, siteTag string) {
+	sig, ok := sys.LookupName(c.Name)
+	if !ok {
+		// Helper routines (puts, gets, malloc...) take one pointer arg.
+		fmt.Fprintf(&b.text, "        MOVI r1, iobuf\n        CALL %s\n", c.Name)
+		return
+	}
+	modes := c.Modes
+	for i := 0; i < sig.NArgs(); i++ {
+		var mode ArgMode
+		if i < len(modes) && modes[i] != 0 {
+			mode = modes[i]
+		} else {
+			mode = defaultMode(b.prog, c.Name, siteTag, i, sig.Args[i])
+		}
+		b.emitArg(i+1, sig.Args[i], mode, c.Name, siteTag)
+	}
+	fmt.Fprintf(&b.text, "        CALL %s\n", c.Name)
+	if sig.ReturnFD {
+		// Remember the most recent fd for ArgSavedFD users.
+		fmt.Fprintf(&b.text, "        MOVI r7, fdslot\n        STORE [r7+0], r0\n")
+	}
+}
+
+// defaultMode mirrors the argument-variety mix of real programs: paths
+// are usually constants, file descriptors usually flow from earlier
+// calls, and roughly 40%% of integer arguments are computed.
+func defaultMode(prog, call, site string, idx int, class sys.ArgClass) ArgMode {
+	h := hash(prog, call, site, fmt.Sprint(idx))
+	switch {
+	case class.IsString():
+		if h%10 < 7 {
+			return ArgConst
+		}
+		return ArgDynamic
+	case class == sys.ArgFD:
+		if h%10 < 8 {
+			return ArgSavedFD
+		}
+		return ArgConst
+	case class.IsOutput(), class == sys.ArgPtr, class == sys.ArgBufIn:
+		// Real programs pass a mix of static and heap buffers.
+		if h%10 < 5 {
+			return ArgConst
+		}
+		return ArgDynamic
+	default: // plain integers
+		if h%10 < 6 {
+			return ArgDynamic
+		}
+		return ArgConst
+	}
+}
+
+func (b *builder) emitArg(reg int, class sys.ArgClass, mode ArgMode, call, site string) {
+	h := hash(b.prog, call, site, fmt.Sprint(reg))
+	switch mode {
+	case ArgSavedFD:
+		fmt.Fprintf(&b.text, "        MOVI r7, fdslot\n        LOAD r%d, [r7+0]\n", reg)
+		return
+	case ArgDynamic:
+		// Value depends on memory contents: statically unknown.
+		fmt.Fprintf(&b.text, "        MOVI r7, scratch\n        LOAD r%d, [r7+0]\n", reg)
+		return
+	case ArgTwoValued:
+		fmt.Fprintf(&b.text, `        MOVI r7, scratch
+        LOAD r7, [r7+0]
+        MOVI r8, 0
+        MOVI r%d, %d
+        BEQ r7, r8, .tv%x
+        MOVI r%d, %d
+.tv%x:
+`, reg, h%7+1, h, reg, h%7+2, h)
+		return
+	}
+	// ArgConst by class.
+	switch {
+	case class.IsString():
+		lit := constPath(b.prog, call, h)
+		fmt.Fprintf(&b.text, "        MOVI r%d, %s\n", reg, b.strLabel(lit))
+	case class.IsOutput(), class == sys.ArgPtr, class == sys.ArgBufIn:
+		fmt.Fprintf(&b.text, "        MOVI r%d, iobuf\n", reg)
+	case class == sys.ArgFD:
+		fmt.Fprintf(&b.text, "        MOVI r%d, %d\n", reg, h%3)
+	default:
+		fmt.Fprintf(&b.text, "        MOVI r%d, %d\n", reg, h%64)
+	}
+}
+
+// constPath invents a plausible constant path/string for the program.
+func constPath(prog, call string, h uint32) string {
+	pool := []string{
+		"/etc/" + prog + ".conf",
+		"/tmp/" + prog + ".tmp",
+		"/data/" + prog + ".in",
+		"/tmp/" + prog + ".out",
+		"/var/run/" + prog + ".pid",
+	}
+	return pool[h%uint32(len(pool))]
+}
+
+// Source renders the program for the given personality.
+func (s *Spec) Source(os libc.OS) string {
+	b := newBuilder(s.Name)
+	factor := s.SiteFactor
+	if factor < 1 {
+		factor = 1
+	}
+
+	b.text.WriteString("        .text\n        .global main\nmain:\n        PUSH fp\n        MOV fp, sp\n")
+	// Seed the scratch word from input so "dynamic" really is dynamic.
+	b.text.WriteString(`        MOVI r1, 0
+        MOVI r2, scratch
+        MOVI r3, 4
+        CALL read
+`)
+	for rep := 0; rep < factor; rep++ {
+		for _, c := range s.Common {
+			b.emitCall(c, fmt.Sprintf("common%d", rep))
+		}
+	}
+	// Command loop: read a byte; dispatch to rare handlers.
+	b.text.WriteString(`.cmdloop:
+        MOVI r1, 0
+        MOVI r2, cmdbuf
+        MOVI r3, 1
+        CALL read
+        MOVI r7, 1
+        BNE r0, r7, .alldone
+        MOVI r7, cmdbuf
+        LOADB r7, [r7+0]
+`)
+	// Deterministic handler order.
+	var cmds []byte
+	for c := range s.Rare {
+		cmds = append(cmds, c)
+	}
+	sort.Slice(cmds, func(i, j int) bool { return cmds[i] < cmds[j] })
+	for _, c := range cmds {
+		fmt.Fprintf(&b.text, "        MOVI r8, %d\n        BEQ r7, r8, .do_%c\n", c, c)
+	}
+	b.text.WriteString("        JMP .cmdloop\n")
+	for _, c := range cmds {
+		fmt.Fprintf(&b.text, ".do_%c:\n        CALL handler_%c\n        JMP .cmdloop\n", c, c)
+	}
+	b.text.WriteString(".alldone:\n        POP fp\n        MOVI r0, 0\n        RET\n")
+	for _, c := range cmds {
+		fmt.Fprintf(&b.text, "handler_%c:\n        PUSH fp\n        MOV fp, sp\n", c)
+		for _, call := range s.Rare[c] {
+			b.emitCall(call, "rare"+string(c))
+		}
+		b.text.WriteString("        POP fp\n        RET\n")
+	}
+
+	var out strings.Builder
+	out.WriteString(b.text.String())
+	out.WriteString("        .rodata\n")
+	out.WriteString(b.rodata.String())
+	out.WriteString("        .bss\ncmdbuf: .space 4\n")
+	out.WriteString(b.bss.String())
+	return out.String()
+}
+
+// AllRareCommands returns the input string that exercises every rare
+// handler once (the "complete behaviour" input).
+func (s *Spec) AllRareCommands() string {
+	var cmds []byte
+	for c := range s.Rare {
+		cmds = append(cmds, c)
+	}
+	sort.Slice(cmds, func(i, j int) bool { return cmds[i] < cmds[j] })
+	return "XXXX" + string(cmds) // 4 bytes consumed by the scratch seed read
+}
+
+// TrainingInput is the input used for Systrace training runs: it seeds
+// scratch but triggers no rare handler.
+func (s *Spec) TrainingInput() string { return "XXXX" }

@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"asc/internal/libc"
+)
+
+// Determinism matters: policies, MACs, and benchmark numbers must be
+// bit-identical across runs.
+func TestSourceDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		for _, os := range []libc.OS{libc.Linux, libc.OpenBSD} {
+			s1, err := Program(name, os)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s2, err := Program(name, os)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s1.Source(os) != s2.Source(os) {
+				t.Errorf("%s/%v: source not deterministic", name, os)
+			}
+		}
+	}
+	for _, spec := range PerfSuite() {
+		if spec.Source(5) != spec.Source(5) {
+			t.Errorf("%s: perf source not deterministic", spec.Name)
+		}
+	}
+}
+
+func TestProgramUnknown(t *testing.T) {
+	if _, err := Program("nonesuch", libc.Linux); err == nil {
+		t.Error("unknown program accepted")
+	}
+}
+
+func TestSpecInputs(t *testing.T) {
+	s, err := Program("bison", libc.Linux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := s.TrainingInput()
+	all := s.AllRareCommands()
+	if !strings.HasPrefix(all, tr) {
+		t.Errorf("AllRareCommands %q does not extend TrainingInput %q", all, tr)
+	}
+	if len(all) <= len(tr) {
+		t.Error("no rare commands present")
+	}
+}
+
+func TestToolSourcesComplete(t *testing.T) {
+	for _, n := range ToolNames() {
+		src, ok := ToolSource(n)
+		if !ok || !strings.Contains(src, ".global main") {
+			t.Errorf("tool %s: missing or malformed source", n)
+		}
+	}
+	if _, ok := ToolSource("nonesuch"); ok {
+		t.Error("unknown tool found")
+	}
+}

@@ -1,0 +1,472 @@
+// tools.go contains the general-purpose Unix tools of the Andrew-style
+// multiprogram benchmark (Section 4.3), written in the platform's
+// assembly. Tools take their arguments as newline-terminated lines on
+// standard input (the platform has no argv); an empty line ends a list.
+package workload
+
+// ToolNames lists the benchmark tools.
+func ToolNames() []string {
+	return []string{"mkdir", "rm", "mv", "cp", "cat", "chmod", "gzip", "gunzip", "tar"}
+}
+
+// ToolSource returns the assembly source of the named tool.
+func ToolSource(name string) (string, bool) {
+	s, ok := toolSources[name]
+	return s, ok
+}
+
+var toolSources = map[string]string{
+	// mkdir: one directory per line.
+	"mkdir": `
+        .text
+        .global main
+main:
+.loop:
+        MOVI r1, buf
+        CALL nextline
+        MOVI r7, 0
+        BEQ r0, r7, .done
+        MOVI r1, buf
+        MOVI r2, 493
+        CALL mkdir
+        JMP .loop
+.done:
+        MOVI r0, 0
+        RET
+        .bss
+buf:    .space 256
+`,
+
+	// rm: unlink each line.
+	"rm": `
+        .text
+        .global main
+main:
+.loop:
+        MOVI r1, buf
+        CALL nextline
+        MOVI r7, 0
+        BEQ r0, r7, .done
+        MOVI r1, buf
+        CALL unlink
+        JMP .loop
+.done:
+        MOVI r0, 0
+        RET
+        .bss
+buf:    .space 256
+`,
+
+	// mv: pairs of lines (src, dst) until an empty line.
+	"mv": `
+        .text
+        .global main
+main:
+.loop:
+        MOVI r1, src
+        CALL nextline
+        MOVI r7, 0
+        BEQ r0, r7, .done
+        MOVI r1, dst
+        CALL nextline
+        MOVI r1, src
+        MOVI r2, dst
+        CALL rename
+        JMP .loop
+.done:
+        MOVI r0, 0
+        RET
+        .bss
+src:    .space 256
+dst:    .space 256
+`,
+
+	// chmod: first line is the numeric mode, then one path per line.
+	"chmod": `
+        .text
+        .global main
+main:
+        MOVI r1, modebuf
+        CALL nextline
+        MOVI r1, modebuf
+        CALL atoi
+        MOV r10, r0
+.loop:
+        MOVI r1, path
+        CALL nextline
+        MOVI r7, 0
+        BEQ r0, r7, .done
+        MOVI r1, path
+        MOV r2, r10
+        CALL chmod
+        JMP .loop
+.done:
+        MOVI r0, 0
+        RET
+        .bss
+modebuf: .space 32
+path:   .space 256
+`,
+
+	// cat: each line is a file; contents go to stdout in 256-byte reads.
+	"cat": `
+        .text
+        .global main
+main:
+.loop:
+        MOVI r1, path
+        CALL nextline
+        MOVI r7, 0
+        BEQ r0, r7, .done
+        MOVI r1, path
+        MOVI r2, 0
+        MOVI r3, 0
+        CALL open
+        MOVI r7, 0
+        BLT r0, r7, .loop       ; open failed; next file
+        MOV r10, r0
+.rd:
+        MOV r1, r10
+        MOVI r2, buf
+        MOVI r3, 4096
+        CALL read
+        MOVI r7, 1
+        BLT r0, r7, .closeit
+        MOVI r1, 1
+        MOVI r2, buf
+        MOV r3, r0
+        CALL write
+        JMP .rd
+.closeit:
+        MOV r1, r10
+        CALL close
+        JMP .loop
+.done:
+        MOVI r0, 0
+        RET
+        .bss
+path:   .space 256
+buf:    .space 4096
+`,
+
+	// cp: pairs of lines (src, dst); 256-byte copy loop.
+	"cp": `
+        .text
+        .global main
+main:
+.loop:
+        MOVI r1, src
+        CALL nextline
+        MOVI r7, 0
+        BEQ r0, r7, .done
+        MOVI r1, dst
+        CALL nextline
+        MOVI r1, src
+        MOVI r2, dst
+        CALL copyfile
+        JMP .loop
+.done:
+        MOVI r0, 0
+        RET
+copyfile:
+        PUSH r10
+        PUSH r11
+        MOV r8, r2
+        MOVI r2, 0
+        MOVI r3, 0
+        CALL open               ; open(src, O_RDONLY)
+        MOV r10, r0
+        MOV r1, r8
+        MOVI r2, 0x241          ; O_CREAT|O_TRUNC|O_WRONLY
+        MOVI r3, 420
+        CALL open
+        MOV r11, r0
+.cpl:
+        MOV r1, r10
+        MOVI r2, cbuf
+        MOVI r3, 4096
+        CALL read
+        MOVI r7, 1
+        BLT r0, r7, .cpd
+        MOV r1, r11
+        MOVI r2, cbuf
+        MOV r3, r0
+        CALL write
+        JMP .cpl
+.cpd:
+        MOV r1, r10
+        CALL close
+        MOV r1, r11
+        CALL close
+        POP r11
+        POP r10
+        RET
+        .bss
+src:    .space 256
+dst:    .space 256
+cbuf:   .space 4096
+`,
+
+	// gzip: each line names a file; it is "compressed" into <name>.gz
+	// (a byte-for-byte copy with a 4-byte magic header — the benchmark
+	// measures the system call load, not entropy coding) and the
+	// original is removed, like the real tool.
+	"gzip": `
+        .text
+        .global main
+main:
+.loop:
+        MOVI r1, path
+        CALL nextline
+        MOVI r7, 0
+        BEQ r0, r7, .done
+        ; build "<path>.gz" in dst
+        MOVI r1, dst
+        MOVI r2, path
+        CALL strcopy
+        MOVI r2, suffix
+        CALL strappend
+        ; copy with header
+        MOVI r1, path
+        MOVI r2, 0
+        MOVI r3, 0
+        CALL open
+        MOV r10, r0
+        MOVI r1, dst
+        MOVI r2, 0x241
+        MOVI r3, 420
+        CALL open
+        MOV r11, r0
+        MOV r1, r11
+        MOVI r2, magic
+        MOVI r3, 4
+        CALL write
+.zl:
+        MOV r1, r10
+        MOVI r2, zbuf
+        MOVI r3, 4096
+        CALL read
+        MOVI r7, 1
+        BLT r0, r7, .zd
+        ; model deflate: ~384 cycles per input byte
+        MOV r7, r0
+        SHLI r7, r7, 7
+        MOVI r9, 0
+.zc:
+        ADDI r7, r7, -1
+        BNE r7, r9, .zc
+        MOV r1, r11
+        MOVI r2, zbuf
+        MOV r3, r0
+        CALL write
+        JMP .zl
+.zd:
+        MOV r1, r10
+        CALL close
+        MOV r1, r11
+        CALL close
+        MOVI r1, path
+        CALL unlink
+        JMP .loop
+.done:
+        MOVI r0, 0
+        RET
+; strcopy(dst=r1, src=r2): copy including NUL
+strcopy:
+        PUSH r10
+        MOV r10, r1
+.scl:
+        LOADB r7, [r2]
+        STOREB [r10+0], r7
+        ADDI r2, r2, 1
+        ADDI r10, r10, 1
+        MOVI r8, 0
+        BNE r7, r8, .scl
+        POP r10
+        RET
+; strappend(dst=r1, src=r2): append src at dst's NUL
+strappend:
+        PUSH r10
+        MOV r10, r1
+.fe:
+        LOADB r7, [r10]
+        MOVI r8, 0
+        BEQ r7, r8, .ap
+        ADDI r10, r10, 1
+        JMP .fe
+.ap:
+        LOADB r7, [r2]
+        STOREB [r10+0], r7
+        ADDI r2, r2, 1
+        ADDI r10, r10, 1
+        MOVI r8, 0
+        BNE r7, r8, .ap
+        POP r10
+        RET
+        .rodata
+suffix: .asciz ".gz"
+magic:  .byte 31, 139, 8, 0
+        .bss
+path:   .space 256
+dst:    .space 260
+zbuf:   .space 4096
+`,
+
+	// gunzip: each line names a .gz file; the 4-byte header is dropped
+	// and the contents restored to the name without .gz.
+	"gunzip": `
+        .text
+        .global main
+main:
+.loop:
+        MOVI r1, path
+        CALL nextline
+        MOVI r7, 0
+        BEQ r0, r7, .done
+        ; strip ".gz": dst = path; dst[strlen-3] = 0
+        MOVI r1, dst
+        MOVI r2, path
+        CALL gzcopy
+        MOVI r1, dst
+        CALL strlen
+        MOVI r7, dst
+        ADD r7, r7, r0
+        ADDI r7, r7, -3
+        MOVI r8, 0
+        STOREB [r7+0], r8
+        ; copy, skipping the 4-byte header
+        MOVI r1, path
+        MOVI r2, 0
+        MOVI r3, 0
+        CALL open
+        MOV r10, r0
+        MOV r1, r10
+        MOVI r2, hdr
+        MOVI r3, 4
+        CALL read
+        MOVI r1, dst
+        MOVI r2, 0x241
+        MOVI r3, 420
+        CALL open
+        MOV r11, r0
+.gl:
+        MOV r1, r10
+        MOVI r2, gbuf
+        MOVI r3, 4096
+        CALL read
+        MOVI r7, 1
+        BLT r0, r7, .gd
+        ; model inflate: ~192 cycles per input byte
+        MOV r7, r0
+        SHLI r7, r7, 6
+        MOVI r9, 0
+.gc2:
+        ADDI r7, r7, -1
+        BNE r7, r9, .gc2
+        MOV r1, r11
+        MOVI r2, gbuf
+        MOV r3, r0
+        CALL write
+        JMP .gl
+.gd:
+        MOV r1, r10
+        CALL close
+        MOV r1, r11
+        CALL close
+        MOVI r1, path
+        CALL unlink
+        JMP .loop
+.done:
+        MOVI r0, 0
+        RET
+gzcopy:
+        PUSH r10
+        MOV r10, r1
+.gc:
+        LOADB r7, [r2]
+        STOREB [r10+0], r7
+        ADDI r2, r2, 1
+        ADDI r10, r10, 1
+        MOVI r8, 0
+        BNE r7, r8, .gc
+        POP r10
+        RET
+        .bss
+path:   .space 260
+dst:    .space 260
+gbuf:   .space 4096
+hdr:    .space 8
+`,
+
+	// tar: first line is the archive, then one member per line. Format:
+	// for each member, a length word then the bytes.
+	"tar": `
+        .text
+        .global main
+main:
+        MOVI r1, arch
+        CALL nextline
+        MOVI r1, arch
+        MOVI r2, 0x241
+        MOVI r3, 420
+        CALL open
+        MOV r12, r0             ; archive fd
+.mloop:
+        MOVI r1, member
+        CALL nextline
+        MOVI r7, 0
+        BEQ r0, r7, .done
+        ; stat the member for its size
+        MOVI r1, member
+        MOVI r2, stbuf
+        CALL stat
+        MOVI r7, stbuf
+        LOAD r7, [r7+4]         ; size field
+        MOVI r8, lenw
+        STORE [r8+0], r7
+        MOV r1, r12
+        MOVI r2, lenw
+        MOVI r3, 4
+        CALL write
+        ; append the contents
+        MOVI r1, member
+        MOVI r2, 0
+        MOVI r3, 0
+        CALL open
+        MOV r10, r0
+.tl:
+        MOV r1, r10
+        MOVI r2, tbuf
+        MOVI r3, 4096
+        CALL read
+        MOVI r7, 1
+        BLT r0, r7, .td
+        ; model header/checksum work: ~12 cycles per byte
+        MOV r7, r0
+        SHLI r7, r7, 2
+        MOVI r9, 0
+.tc:
+        ADDI r7, r7, -1
+        BNE r7, r9, .tc
+        MOV r1, r12
+        MOVI r2, tbuf
+        MOV r3, r0
+        CALL write
+        JMP .tl
+.td:
+        MOV r1, r10
+        CALL close
+        JMP .mloop
+.done:
+        MOV r1, r12
+        CALL close
+        MOVI r0, 0
+        RET
+        .bss
+arch:   .space 256
+member: .space 256
+tbuf:   .space 4096
+stbuf:  .space 32
+lenw:   .space 4
+`,
+}

@@ -1,0 +1,249 @@
+// invariants_test.go property-tests the two guarantees the paper's design
+// rests on (DESIGN.md §6):
+//
+//  1. No false alarms: the installer's static analysis is conservative,
+//     so a legitimate (uncompromised) execution of any installed program
+//     is never killed by the monitor — on any input.
+//  2. Tamper fail-stop: any mutation of the policy data carried in the
+//     binary (.auth: records, MACs, authenticated strings, predecessor
+//     sets, policy state) either leaves behaviour completely unchanged
+//     (the byte was padding or unused) or results in the process being
+//     killed. Tampering never yields a third outcome.
+package asc_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"asc"
+	"asc/internal/binfmt"
+	"asc/internal/sys"
+	"asc/internal/workload"
+)
+
+// randomSpec builds a random program over the full system call table.
+func randomSpec(rng *rand.Rand, name string) *workload.Spec {
+	all := sys.All()
+	spec := &workload.Spec{Name: name, SiteFactor: 1 + rng.Intn(3), Rare: map[byte][]workload.Call{}}
+	nCommon := 3 + rng.Intn(10)
+	for i := 0; i < nCommon; i++ {
+		sig := all[rng.Intn(len(all))]
+		if sig.Num == sys.SysExit || sig.Num == sys.SysExecve || sig.Num == sys.SysKill ||
+			sig.Num == sys.SysIndirect || sig.Num == sys.SysPause {
+			continue
+		}
+		spec.Common = append(spec.Common, workload.Call{Name: sig.Name})
+	}
+	nHandlers := rng.Intn(3)
+	for h := 0; h < nHandlers; h++ {
+		var calls []workload.Call
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			sig := all[rng.Intn(len(all))]
+			if sig.Num == sys.SysExit || sig.Num == sys.SysExecve || sig.Num == sys.SysKill ||
+				sig.Num == sys.SysIndirect || sig.Num == sys.SysPause {
+				continue
+			}
+			calls = append(calls, workload.Call{Name: sig.Name})
+		}
+		if len(calls) > 0 {
+			spec.Rare[byte('b'+h)] = calls
+		}
+	}
+	return spec
+}
+
+// TestInvariantNoFalseAlarms: random programs, random inputs, always
+// enforced, never killed.
+func TestInvariantNoFalseAlarms(t *testing.T) {
+	key := asc.NewKey("invariant")
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			spec := randomSpec(rng, fmt.Sprintf("rand%d", seed))
+			exe, err := workload.BuildSource(spec.Name, spec.Source(asc.Linux), asc.Linux)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			system, err := asc.NewSystem(asc.SystemConfig{Key: key})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hardened, _, _, err := system.Install(exe, spec.Name)
+			if err != nil {
+				t.Fatalf("install: %v", err)
+			}
+			// Random inputs: some trigger rare handlers, some do not,
+			// some contain garbage commands.
+			inputs := []string{
+				spec.TrainingInput(),
+				spec.AllRareCommands(),
+				"XXXXzzzzqq",
+				"ABCDbcdbcdbcd",
+			}
+			for _, in := range inputs {
+				res, err := system.Exec(hardened, spec.Name, in)
+				if err != nil {
+					t.Fatalf("exec: %v", err)
+				}
+				if res.Killed {
+					t.Fatalf("false alarm on input %q: %s (audit %v)",
+						in, res.Reason, system.Audit())
+				}
+			}
+		})
+	}
+}
+
+// TestInvariantCorpusNoFalseAlarms runs the full corpus programs (far
+// larger than the random ones) under enforcement on their complete
+// behaviour.
+func TestInvariantCorpusNoFalseAlarms(t *testing.T) {
+	key := asc.NewKey("invariant")
+	for _, name := range workload.Names() {
+		exe, err := workload.Build(name, asc.Linux)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := workload.Program(name, asc.Linux)
+		if err != nil {
+			t.Fatal(err)
+		}
+		system, err := asc.NewSystem(asc.SystemConfig{Key: key})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hardened, _, _, err := system.Install(exe, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := system.Exec(hardened, name, spec.AllRareCommands())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Killed {
+			t.Errorf("%s: false alarm: %s", name, res.Reason)
+		}
+	}
+}
+
+// TestInvariantAuthTamperFailStop: flipping any byte of the carried
+// policy data either changes nothing observable or fail-stops.
+func TestInvariantAuthTamperFailStop(t *testing.T) {
+	key := asc.NewKey("invariant")
+	exe, err := workload.Build("bison", asc.Linux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	system, err := asc.NewSystem(asc.SystemConfig{Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hardened, _, _, err := system.Install(exe, "bison")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := workload.Program("bison", asc.Linux)
+	input := spec.AllRareCommands()
+	baseline, err := system.Exec(hardened, "bison", input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.Killed {
+		t.Fatal("baseline killed")
+	}
+	serialized, err := hardened.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth := hardened.Section(binfmt.SecAuth)
+	if auth == nil || auth.Size == 0 {
+		t.Fatal("no .auth")
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	killed, harmless := 0, 0
+	for trial := 0; trial < 60; trial++ {
+		clone, err := asc.ReadBinary(serialized)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ca := clone.Section(binfmt.SecAuth)
+		off := rng.Intn(int(ca.Size))
+		bit := byte(1) << rng.Intn(8)
+		ca.Data[off] ^= bit
+
+		sys2, err := asc.NewSystem(asc.SystemConfig{Key: key})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys2.Exec(clone, "bison-tampered", input)
+		if err != nil {
+			t.Fatalf("trial %d (off %d): %v", trial, off, err)
+		}
+		switch {
+		case res.Killed:
+			killed++
+		case res.Output == baseline.Output && res.ExitCode == baseline.ExitCode:
+			harmless++ // padding or unreached data
+		default:
+			t.Fatalf("trial %d: flip at .auth+%d changed behaviour without being caught (output %q vs %q)",
+				trial, off, res.Output, baseline.Output)
+		}
+	}
+	if killed == 0 {
+		t.Error("no tampering trial was caught; flips are not reaching live data")
+	}
+	t.Logf("60 flips: %d killed, %d harmless", killed, harmless)
+}
+
+// TestInvariantStateReplayFailStop: replaying stale policy state mid-run
+// is caught by the counter nonce. Simulate: snapshot {lastBlock, lbMAC}
+// at start (counter=0 state), execute a few system calls, restore the
+// snapshot, continue — the next verified call must die.
+func TestInvariantStateReplayFailStop(t *testing.T) {
+	key := asc.NewKey("invariant")
+	exe, err := workload.Build("bison", asc.Linux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	system, err := asc.NewSystem(asc.SystemConfig{Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hardened, _, _, err := system.Install(exe, "bison")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := system.Kernel.Spawn(hardened, "bison")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Stdin = []byte("XXXX")
+	stateAddr, ok := hardened.SymbolAddr("__asc_state")
+	if !ok {
+		t.Fatal("no __asc_state symbol")
+	}
+	snapshot, err := p.Mem.KernelRead(stateAddr, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := append([]byte(nil), snapshot...)
+	// Execute until a few syscalls have happened.
+	for p.SyscallCount < 3 && !p.CPU.Halted {
+		if err := p.CPU.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Replay the initial state and continue: next verified call dies.
+	if err := p.Mem.KernelWrite(stateAddr, saved); err != nil {
+		t.Fatal(err)
+	}
+	if err := system.Kernel.Run(p, 1_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Killed || p.KilledBy != asc.KillBadState {
+		t.Errorf("replay not caught: killed=%v by=%q", p.Killed, p.KilledBy)
+	}
+}
