@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test bench check clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -run '^$$' -bench 'SyscallPlain|SyscallVerified|VerifyAllocs' \
+		-benchtime 2x ./internal/kernel
+
+# check is the full gate: gofmt, vet, build, race tests, the kernel
+# benchmarks, and BENCH_kernel.json emission.
+check:
+	sh scripts/check.sh
+
+clean:
+	rm -f BENCH_kernel.json

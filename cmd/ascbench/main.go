@@ -1,9 +1,14 @@
 // ascbench regenerates the paper's evaluation tables.
 //
-// Usage: ascbench [-table 1|2|3|4|6|andrew|compare|all] [-scale N]
+// Usage: ascbench [-table 1|2|3|4|6|andrew|compare|all] [-scale N] [-json FILE]
+//
+// With -json FILE, the Table 4 microbenchmark rows (plain, verified, and
+// cache-enabled cycles per call) are additionally written to FILE as a
+// machine-readable summary.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -12,9 +17,42 @@ import (
 	"asc/internal/workload"
 )
 
+// benchJSON is the machine-readable kernel benchmark summary.
+type benchJSON struct {
+	LoopCost float64        `json:"loop_cost_cycles"`
+	Rows     []benchJSONRow `json:"rows"`
+}
+
+// benchJSONRow is one system call's modeled cycles per call in each of
+// the three kernel configurations.
+type benchJSONRow struct {
+	Call     string  `json:"call"`
+	Plain    float64 `json:"plain_cycles"`
+	Verified float64 `json:"verified_cycles"`
+	Cached   float64 `json:"cached_cycles"`
+}
+
+func writeJSON(path string, t4 *bench.Table4Data) error {
+	out := benchJSON{LoopCost: t4.LoopCost}
+	for _, r := range t4.Rows {
+		out.Rows = append(out.Rows, benchJSONRow{
+			Call:     r.Call,
+			Plain:    r.OrigCycles,
+			Verified: r.AuthCycles,
+			Cached:   r.CachedCycles,
+		})
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
 func main() {
 	table := flag.String("table", "all", "which artifact to regenerate: 1, 2, 3, 4, 6, andrew, compare, all")
 	scale := flag.Int("scale", 1, "divide macro-benchmark iteration counts by N (faster, less precise)")
+	jsonPath := flag.String("json", "", "write the Table 4 kernel benchmark summary to FILE as JSON")
 	flag.Parse()
 
 	run := func(name string, f func() (interface{ Render() string }, error)) {
@@ -32,7 +70,18 @@ func main() {
 	run("1", func() (interface{ Render() string }, error) { return bench.Table1() })
 	run("2", func() (interface{ Render() string }, error) { return bench.Table2() })
 	run("3", func() (interface{ Render() string }, error) { return bench.Table3() })
-	run("4", func() (interface{ Render() string }, error) { return bench.Table4(bench.DefaultKey) })
+	run("4", func() (interface{ Render() string }, error) {
+		t4, err := bench.Table4(bench.DefaultKey)
+		if err != nil {
+			return nil, err
+		}
+		if *jsonPath != "" {
+			if err := writeJSON(*jsonPath, t4); err != nil {
+				return nil, fmt.Errorf("write %s: %w", *jsonPath, err)
+			}
+		}
+		return t4, nil
+	})
 	run("6", func() (interface{ Render() string }, error) { return bench.Table6(bench.DefaultKey, *scale) })
 	run("andrew", func() (interface{ Render() string }, error) {
 		return bench.Andrew(bench.DefaultKey, workload.AndrewConfig{})

@@ -130,6 +130,11 @@ type Lab struct {
 	Key          []byte
 	Victim       *binfmt.File
 	VictimPolicy []*policy.SitePolicy
+
+	// KernelOpts is applied to every kernel the lab builds; it lets the
+	// battery run against non-default configurations (e.g. the
+	// verification cache) to confirm outcomes do not change.
+	KernelOpts []kernel.Option
 }
 
 // buildAuth assembles, links, and installs a program.
@@ -188,7 +193,7 @@ func (l *Lab) newKernel() (*kernel.Kernel, error) {
 			return nil, err
 		}
 	}
-	return kernel.New(fs, l.Key)
+	return kernel.New(fs, l.Key, l.KernelOpts...)
 }
 
 // frame layout constants: see libc _start (two pushed words) and the

@@ -129,3 +129,31 @@ func TestBattery(t *testing.T) {
 		t.Errorf("allowed experiments: %v (want baseline + frankenstein-no-cm)", allowed)
 	}
 }
+
+// TestBatteryWithVerifyCache runs the full battery against a kernel with
+// the verification cache enabled and checks every outcome — name,
+// blocked/allowed, and kill reason — is identical to the default kernel.
+// The cache may only skip AES work it can prove redundant; it must never
+// change what is blocked or why.
+func TestBatteryWithVerifyCache(t *testing.T) {
+	base := newLab(t)
+	baseline, err := base.Battery()
+	if err != nil {
+		t.Fatalf("Battery: %v", err)
+	}
+	cached := newLab(t)
+	cached.KernelOpts = []kernel.Option{kernel.WithVerifyCache()}
+	got, err := cached.Battery()
+	if err != nil {
+		t.Fatalf("Battery (cached): %v", err)
+	}
+	if len(got) != len(baseline) {
+		t.Fatalf("cached battery ran %d experiments, baseline %d", len(got), len(baseline))
+	}
+	for i := range baseline {
+		b, c := baseline[i], got[i]
+		if c.Name != b.Name || c.Blocked != b.Blocked || c.Reason != b.Reason {
+			t.Errorf("outcome %d diverged:\n  baseline: %v\n  cached:   %v", i, b, c)
+		}
+	}
+}

@@ -22,7 +22,8 @@ var DefaultKey = []byte("asc-benchmark-k1")
 
 // newBenchKernel builds a kernel with the standard benchmark filesystem:
 // /data inputs for the performance suite and the usual directory tree.
-func newBenchKernel(key []byte, mode kernel.Mode) (*kernel.Kernel, error) {
+// Extra options (e.g. kernel.WithVerifyCache) apply on top of the mode.
+func newBenchKernel(key []byte, mode kernel.Mode, opts ...kernel.Option) (*kernel.Kernel, error) {
 	fs := vfs.New()
 	for _, d := range []string{"/tmp", "/etc", "/bin", "/data", "/var/run", "/work"} {
 		if err := fs.MkdirAll(d, 0o755); err != nil {
@@ -42,14 +43,10 @@ func newBenchKernel(key []byte, mode kernel.Mode) (*kernel.Kernel, error) {
 	if err := fs.WriteFile("/data/micro.in", blob, 0o644); err != nil {
 		return nil, err
 	}
-	var k *kernel.Kernel
-	var err error
-	if mode == kernel.Enforce {
-		k, err = kernel.New(fs, key, kernel.WithMode(mode))
-	} else {
-		k, err = kernel.New(fs, nil, kernel.WithMode(mode))
+	if mode != kernel.Enforce {
+		key = nil
 	}
-	return k, err
+	return kernel.New(fs, key, append([]kernel.Option{kernel.WithMode(mode)}, opts...)...)
 }
 
 // runOnce spawns and runs a binary to completion, returning the process.

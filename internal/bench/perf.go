@@ -17,13 +17,19 @@ import (
 
 // Table4Row is one system call's per-call cost.
 type Table4Row struct {
-	Call          string
-	OrigCycles    float64
-	AuthCycles    float64
-	OverheadPct   float64
-	PaperOrig     float64
-	PaperAuth     float64
-	PaperOverhead float64
+	Call        string
+	OrigCycles  float64
+	AuthCycles  float64
+	OverheadPct float64
+	// CachedCycles and CachedOverheadPct measure the same authenticated
+	// call with the per-site verification cache enabled; the loop body
+	// traps from a single site, so after the first call every
+	// verification is a hit.
+	CachedCycles      float64
+	CachedOverheadPct float64
+	PaperOrig         float64
+	PaperAuth         float64
+	PaperOverhead     float64
 }
 
 // Table4Data is the microbenchmark table.
@@ -92,7 +98,7 @@ buf:    .space 4096
 
 // measureMicro returns per-iteration cycles for a call by differencing
 // two loop lengths (startup and I/O setup cancel out).
-func measureMicro(call string, key []byte, authenticated bool) (float64, error) {
+func measureMicro(call string, key []byte, authenticated bool, opts ...kernel.Option) (float64, error) {
 	const n1, n2 = 100, 1100
 	run := func(n int) (uint64, error) {
 		name := fmt.Sprintf("micro-%s-%d", call, n)
@@ -105,7 +111,7 @@ func measureMicro(call string, key []byte, authenticated bool) (float64, error) 
 		if authenticated {
 			exe, mode = auth, kernel.Enforce
 		}
-		k, err := newBenchKernel(key, mode)
+		k, err := newBenchKernel(key, mode, opts...)
 		if err != nil {
 			return 0, err
 		}
@@ -151,13 +157,19 @@ func Table4(key []byte) (*Table4Data, error) {
 		if err != nil {
 			return nil, err
 		}
+		cached, err := measureMicro(call, key, true, kernel.WithVerifyCache())
+		if err != nil {
+			return nil, err
+		}
 		paper := table4Paper[call]
 		out.Rows = append(out.Rows, Table4Row{
-			Call:        call,
-			OrigCycles:  orig - loop,
-			AuthCycles:  auth - loop,
-			OverheadPct: 100 * (auth - orig) / (orig - loop),
-			PaperOrig:   paper[0], PaperAuth: paper[1], PaperOverhead: paper[2],
+			Call:              call,
+			OrigCycles:        orig - loop,
+			AuthCycles:        auth - loop,
+			OverheadPct:       100 * (auth - orig) / (orig - loop),
+			CachedCycles:      cached - loop,
+			CachedOverheadPct: 100 * (cached - orig) / (orig - loop),
+			PaperOrig:         paper[0], PaperAuth: paper[1], PaperOverhead: paper[2],
 		})
 	}
 	return out, nil
@@ -165,7 +177,7 @@ func Table4(key []byte) (*Table4Data, error) {
 
 // Render prints the table in the paper's layout.
 func (t *Table4Data) Render() string {
-	header := []string{"System Call", "Orig (cycles)", "Auth (cycles)", "Overhead (%)", "(paper orig/auth/%)"}
+	header := []string{"System Call", "Orig (cycles)", "Auth (cycles)", "Overhead (%)", "Cached (cycles)", "Overhead (%)", "(paper orig/auth/%)"}
 	var rows [][]string
 	for _, r := range t.Rows {
 		rows = append(rows, []string{
@@ -173,10 +185,12 @@ func (t *Table4Data) Render() string {
 			fmt.Sprintf("%.0f", r.OrigCycles),
 			fmt.Sprintf("%.0f", r.AuthCycles),
 			fmt.Sprintf("%.1f", r.OverheadPct),
+			fmt.Sprintf("%.0f", r.CachedCycles),
+			fmt.Sprintf("%.1f", r.CachedOverheadPct),
 			fmt.Sprintf("%.0f/%.0f/%.1f", r.PaperOrig, r.PaperAuth, r.PaperOverhead),
 		})
 	}
-	rows = append(rows, []string{"loop cost", fmt.Sprintf("%.0f", t.LoopCost), "", "", "4"})
+	rows = append(rows, []string{"loop cost", fmt.Sprintf("%.0f", t.LoopCost), "", "", "", "", "4"})
 	return renderTable("Table 4: Effect of Authentication (per-call cycles)", header, rows)
 }
 
@@ -184,13 +198,19 @@ func (t *Table4Data) Render() string {
 
 // Table6Row is one program's end-to-end overhead.
 type Table6Row struct {
-	Program       string
-	Class         string
-	OrigCycles    uint64
-	AuthCycles    uint64
-	OverheadPct   float64
-	PaperOverhead float64
-	Syscalls      uint64
+	Program     string
+	Class       string
+	OrigCycles  uint64
+	AuthCycles  uint64
+	OverheadPct float64
+	// CachedCycles and CachedOverheadPct re-run the authenticated binary
+	// with the verification cache; CacheHitRate is hits over total
+	// verifications in that run.
+	CachedCycles      uint64
+	CachedOverheadPct float64
+	CacheHitRate      float64
+	PaperOverhead     float64
+	Syscalls          uint64
 }
 
 // Table6Data is the macrobenchmark table.
@@ -229,14 +249,29 @@ func Table6(key []byte, scale int) (*Table6Data, error) {
 		if err != nil {
 			return nil, err
 		}
+		kCached, err := newBenchKernel(key, kernel.Enforce, kernel.WithVerifyCache())
+		if err != nil {
+			return nil, err
+		}
+		pCached, err := runOnce(kCached, auth, spec.Name, "")
+		if err != nil {
+			return nil, err
+		}
+		hitRate := 0.0
+		if total := pCached.CacheHits + pCached.CacheMisses; total > 0 {
+			hitRate = 100 * float64(pCached.CacheHits) / float64(total)
+		}
 		out.Rows = append(out.Rows, Table6Row{
-			Program:       spec.Name,
-			Class:         spec.Class,
-			OrigCycles:    pOrig.CPU.Cycles,
-			AuthCycles:    pAuth.CPU.Cycles,
-			OverheadPct:   pct(pOrig.CPU.Cycles, pAuth.CPU.Cycles),
-			PaperOverhead: spec.PaperOverhead,
-			Syscalls:      pOrig.SyscallCount,
+			Program:           spec.Name,
+			Class:             spec.Class,
+			OrigCycles:        pOrig.CPU.Cycles,
+			AuthCycles:        pAuth.CPU.Cycles,
+			OverheadPct:       pct(pOrig.CPU.Cycles, pAuth.CPU.Cycles),
+			CachedCycles:      pCached.CPU.Cycles,
+			CachedOverheadPct: pct(pOrig.CPU.Cycles, pCached.CPU.Cycles),
+			CacheHitRate:      hitRate,
+			PaperOverhead:     spec.PaperOverhead,
+			Syscalls:          pOrig.SyscallCount,
 		})
 	}
 	return out, nil
@@ -244,13 +279,16 @@ func Table6(key []byte, scale int) (*Table6Data, error) {
 
 // Render prints the macro table.
 func (t *Table6Data) Render() string {
-	header := []string{"Program", "Class", "Orig (cycles)", "Auth (cycles)", "Overhead (%)", "(paper %)"}
+	header := []string{"Program", "Class", "Orig (cycles)", "Auth (cycles)", "Overhead (%)", "Cached (cycles)", "Overhead (%)", "Hit rate (%)", "(paper %)"}
 	var rows [][]string
 	for _, r := range t.Rows {
 		rows = append(rows, []string{
 			r.Program, r.Class,
 			fmt.Sprint(r.OrigCycles), fmt.Sprint(r.AuthCycles),
 			fmt.Sprintf("%.2f", r.OverheadPct),
+			fmt.Sprint(r.CachedCycles),
+			fmt.Sprintf("%.2f", r.CachedOverheadPct),
+			fmt.Sprintf("%.1f", r.CacheHitRate),
 			fmt.Sprintf("%.2f", r.PaperOverhead),
 		})
 	}
@@ -328,8 +366,8 @@ func EnforcementComparison(key []byte) (*ComparisonData, error) {
 		return nil, err
 	}
 	measure := func(mode kernel.Mode, useAuth bool,
-		mon func(*kernel.Process, uint16, uint32) (uint64, bool)) (float64, error) {
-		k, err := newBenchKernel(key, mode)
+		mon func(*kernel.Process, uint16, uint32) (uint64, bool), opts ...kernel.Option) (float64, error) {
+		k, err := newBenchKernel(key, mode, opts...)
 		if err != nil {
 			return 0, err
 		}
@@ -353,6 +391,10 @@ func EnforcementComparison(key []byte) (*ComparisonData, error) {
 	if err != nil {
 		return nil, err
 	}
+	ascCached, err := measure(kernel.Enforce, true, nil, kernel.WithVerifyCache())
+	if err != nil {
+		return nil, err
+	}
 	allow := map[string]bool{"getpid": true, "open": true, "exit": true, "read": true, "write": true}
 	pol := &systrace.Policy{Program: "compare", Allowed: allow}
 	inKernel, err := measure(kernel.Permissive, false, pol.InKernelMonitor())
@@ -366,6 +408,7 @@ func EnforcementComparison(key []byte) (*ComparisonData, error) {
 	return &ComparisonData{Rows: []ComparisonRow{
 		{"no monitoring", none},
 		{"authenticated system calls", asc},
+		{"authenticated system calls (cached)", ascCached},
 		{"in-kernel policy table", inKernel},
 		{"user-space policy daemon", daemon},
 	}}, nil

@@ -6,8 +6,11 @@ import (
 	"asc/internal/asm"
 	"asc/internal/binfmt"
 	"asc/internal/installer"
+	"asc/internal/isa"
 	"asc/internal/libc"
 	"asc/internal/linker"
+	"asc/internal/policy"
+	"asc/internal/sys"
 	"asc/internal/vfs"
 )
 
@@ -52,7 +55,7 @@ func buildBenchExe(b *testing.B, authenticated bool) *binfmt.File {
 	return out
 }
 
-func benchRun(b *testing.B, authenticated bool) {
+func benchRun(b *testing.B, authenticated bool, opts ...Option) {
 	b.Helper()
 	bin := buildBenchExe(b, authenticated)
 	mode := Permissive
@@ -60,10 +63,11 @@ func benchRun(b *testing.B, authenticated bool) {
 	if authenticated {
 		mode, key = Enforce, testKey
 	}
+	var cycles uint64
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		k, err := New(vfs.New(), key, WithMode(mode))
+		k, err := New(vfs.New(), key, append([]Option{WithMode(mode)}, opts...)...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -77,8 +81,10 @@ func benchRun(b *testing.B, authenticated bool) {
 		if p.Killed {
 			b.Fatalf("killed: %v", p.KilledBy)
 		}
+		cycles = p.CPU.Cycles
 	}
 	b.ReportMetric(1000, "syscalls/op")
+	b.ReportMetric(float64(cycles)/1000, "cycles/call")
 }
 
 // BenchmarkSyscallPlain measures 1,000 unverified traps per op.
@@ -87,3 +93,115 @@ func BenchmarkSyscallPlain(b *testing.B) { benchRun(b, false) }
 // BenchmarkSyscallVerified measures 1,000 fully verified authenticated
 // calls per op (call MAC + predecessor AS + memory-checker update).
 func BenchmarkSyscallVerified(b *testing.B) { benchRun(b, true) }
+
+// BenchmarkSyscallVerifiedCached measures the same workload with the
+// verification cache: after the first trap per site, every call is a
+// cache hit (generation compares + byte compares) plus the uncacheable
+// memory-checker update.
+func BenchmarkSyscallVerifiedCached(b *testing.B) { benchRun(b, true, WithVerifyCache()) }
+
+// benchVerifySetup loads the authenticated benchmark binary and steps the
+// CPU to the first ASYSCALL, leaving the registers exactly as the trap
+// handler would see them. It returns everything needed to invoke verify
+// repeatedly: the kernel, process, call number, site, and a restore
+// function that rewinds the control-flow state between invocations.
+func benchVerifySetup(t testing.TB, opts ...Option) (*Kernel, *Process, uint16, uint32, func()) {
+	t.Helper()
+	var bin *binfmt.File
+	if b, ok := t.(*testing.B); ok {
+		bin = buildBenchExe(b, true)
+	} else {
+		bin = buildAuthExe(t.(*testing.T), benchLoopSrc)
+	}
+	k, err := New(vfs.New(), testKey, append([]Option{WithMode(Enforce)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := k.Spawn(bin, "bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		raw, err := p.Mem.KernelRead(p.CPU.PC, isa.InstrSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := isa.Decode(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.Op == isa.OpASYSCALL {
+			break
+		}
+		if err := p.CPU.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	num := uint16(p.CPU.Regs[isa.R0])
+	site := p.CPU.PC
+	// Snapshot the memory-checker state so repeated verifications replay
+	// the same transition.
+	recAddr := p.CPU.Regs[isa.R6]
+	recBytes, err := p.Mem.KernelRead(recAddr, policy.AuthRecordSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := policy.DecodeAuthRecord(recBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter0 := p.counter
+	state0 := []byte(nil)
+	if rec.Desc.ControlFlow() {
+		raw, err := p.Mem.KernelRead(rec.LbPtr, 4+16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		state0 = append(state0, raw...)
+	}
+	restore := func() {
+		p.counter = counter0
+		if state0 != nil {
+			if err := p.Mem.KernelWrite(rec.LbPtr, state0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return k, p, num, site, restore
+}
+
+// verifyAllocs measures steady-state heap allocations of one full
+// (uncached) verification.
+func verifyAllocs(t testing.TB) float64 {
+	k, p, num, site, restore := benchVerifySetup(t)
+	sig, sigOK := sys.Lookup(num)
+	return testing.AllocsPerRun(200, func() {
+		if reason, ok := k.verify(p, num, site, sig, sigOK); !ok {
+			t.Fatalf("verify failed: %v", reason)
+		}
+		restore()
+	})
+}
+
+// TestVerifyAllocs pins the per-trap heap budget of the verification
+// path: at most 2 allocations per fully verified call in steady state.
+func TestVerifyAllocs(t *testing.T) {
+	if allocs := verifyAllocs(t); allocs > 2 {
+		t.Fatalf("verify allocates %.1f times per call, budget is 2", allocs)
+	}
+}
+
+// BenchmarkVerifyAllocs reports the allocation count of the verification
+// path itself (no VM execution around it).
+func BenchmarkVerifyAllocs(b *testing.B) {
+	k, p, num, site, restore := benchVerifySetup(b)
+	sig, sigOK := sys.Lookup(num)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if reason, ok := k.verify(p, num, site, sig, sigOK); !ok {
+			b.Fatalf("verify failed: %v", reason)
+		}
+		restore()
+	}
+}

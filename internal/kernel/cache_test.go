@@ -1,0 +1,273 @@
+package kernel
+
+import (
+	"testing"
+
+	"asc/internal/binfmt"
+	"asc/internal/installer"
+	"asc/internal/isa"
+	"asc/internal/policy"
+	"asc/internal/sys"
+)
+
+// cacheLoopSrc opens and closes the same file repeatedly from the same
+// call sites; iteration count arrives in r12 before the loop.
+const cacheLoopSrc = `
+        .text
+        .global main
+main:
+        MOVI r12, 4
+.loop:
+        MOVI r1, path
+        MOVI r2, 0x41
+        MOVI r3, 420
+        CALL open
+        MOV r1, r0
+        CALL close
+        ADDI r12, r12, -1
+        MOVI r9, 0
+        BNE r12, r9, .loop
+        MOVI r0, 0
+        RET
+        .rodata
+path:   .asciz "/tmp/out"
+`
+
+// cacheLoopPatternSrc is the pattern-test victim in a two-iteration loop:
+// each pass reads a path from stdin and opens it at the same site.
+const cacheLoopPatternSrc = `
+        .text
+        .global main
+main:
+        SUBI sp, sp, 64
+        MOVI r12, 2
+.loop:
+        MOV r1, sp
+        CALL gets
+        MOV r1, sp
+        MOVI r2, 0x41
+        MOVI r3, 420
+        CALL open
+        MOV r1, r0
+        CALL close
+        ADDI r12, r12, -1
+        MOVI r9, 0
+        BNE r12, r9, .loop
+        ADDI sp, sp, 64
+        MOVI r0, 0
+        RET
+`
+
+// stepToOpen advances the CPU to the ASYSCALL instruction of the first
+// open(2) trap and returns the decoded auth record plus the record and
+// first-argument addresses, without executing the trap.
+func stepToOpen(t *testing.T, p *Process) (policy.AuthRecord, uint32, uint32) {
+	t.Helper()
+	for {
+		raw, err := p.Mem.KernelRead(p.CPU.PC, isa.InstrSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := isa.Decode(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.Op == isa.OpASYSCALL && uint16(p.CPU.Regs[isa.R0]) == sys.SysOpen {
+			break
+		}
+		if err := p.CPU.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recAddr := p.CPU.Regs[isa.R6]
+	descWord, err := p.Mem.KernelLoad32(recAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := uint32(policy.AuthRecordSize + 4*policy.Descriptor(descWord).NumPatterns())
+	recBytes, err := p.Mem.KernelRead(recAddr, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := policy.DecodeAuthRecord(recBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, recAddr, p.arg(0)
+}
+
+// corruptTarget picks the address an attacker store will flip, given the
+// state captured at the first open trap.
+type corruptTarget func(rec policy.AuthRecord, recAddr, strAddr uint32) uint32
+
+// runCorrupted executes the given binary until the first open trap
+// completes (filling the cache when enabled), then flips one byte at the
+// chosen address via an application-visible store, and runs to the end.
+func runCorrupted(t *testing.T, exe *binfmt.File, stdin string, cached bool, pick corruptTarget) *Process {
+	t.Helper()
+	var opts []Option
+	if cached {
+		opts = append(opts, WithVerifyCache())
+	}
+	k := newKernel(t, opts...)
+	p, err := k.Spawn(exe, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Stdin = []byte(stdin)
+	rec, recAddr, strAddr := stepToOpen(t, p)
+	// Execute the open trap itself: a cache fill when caching is on.
+	if err := p.CPU.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Killed {
+		t.Fatalf("killed before corruption: %v", p.KilledBy)
+	}
+	addr := pick(rec, recAddr, strAddr)
+	old, err := p.Mem.KernelRead(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The attacker's store: application-visible, so it bumps the
+	// segment's store-generation exactly like a STORE instruction.
+	if err := p.Mem.UserWrite(addr, []byte{old[0] ^ 0xff}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(p, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCacheSoundness corrupts each MAC-protected input after the cache
+// has been filled and checks that the cached kernel kills the process for
+// exactly the same reason as the uncached one.
+func TestCacheSoundness(t *testing.T) {
+	plainExe := buildAuthExe(t, cacheLoopSrc)
+	cases := []struct {
+		name string
+		pick corruptTarget
+		want KillReason
+	}{
+		{
+			name: "call MAC byte",
+			pick: func(rec policy.AuthRecord, recAddr, strAddr uint32) uint32 { return recAddr + 16 },
+			want: KillBadCallMAC,
+		},
+		{
+			name: "record block ID",
+			pick: func(rec policy.AuthRecord, recAddr, strAddr uint32) uint32 { return recAddr + 4 },
+			want: KillBadCallMAC,
+		},
+		{
+			name: "pred-set contents",
+			pick: func(rec policy.AuthRecord, recAddr, strAddr uint32) uint32 { return rec.PredSetPtr },
+			want: KillBadString,
+		},
+		{
+			name: "string AS contents",
+			pick: func(rec policy.AuthRecord, recAddr, strAddr uint32) uint32 { return strAddr },
+			want: KillBadString,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			uncached := runCorrupted(t, plainExe, "", false, tc.pick)
+			cached := runCorrupted(t, plainExe, "", true, tc.pick)
+			if !uncached.Killed || uncached.KilledBy != tc.want {
+				t.Fatalf("uncached: killed=%v by=%q want %q", uncached.Killed, uncached.KilledBy, tc.want)
+			}
+			if !cached.Killed || cached.KilledBy != uncached.KilledBy {
+				t.Fatalf("cached: killed=%v by=%q, uncached by=%q", cached.Killed, cached.KilledBy, uncached.KilledBy)
+			}
+			if cached.CacheInvalidations == 0 {
+				t.Error("cached run recorded no invalidation")
+			}
+		})
+	}
+}
+
+// buildPatternLoopExe installs cacheLoopPatternSrc with a pattern
+// constraint on open's path argument.
+func buildPatternLoopExe(t *testing.T, pat string) *binfmt.File {
+	t.Helper()
+	exe := buildExe(t, cacheLoopPatternSrc)
+	out, _, _, err := installer.Install(exe, "patloop", installer.Options{
+		Key: testKey,
+		Patterns: map[string][]installer.ArgPattern{
+			"open": {{Arg: 0, Pattern: pat}},
+		},
+	})
+	if err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	return out
+}
+
+// TestCacheSoundnessPattern corrupts the pattern AS after the cache fill:
+// the cached kernel must re-verify and kill exactly like the uncached one.
+func TestCacheSoundnessPattern(t *testing.T) {
+	exe := buildPatternLoopExe(t, "/tmp/*.txt")
+	stdin := "/tmp/a.txt\n/tmp/b.txt\n"
+	pick := corruptTarget(func(rec policy.AuthRecord, recAddr, strAddr uint32) uint32 {
+		if len(rec.PatternPtrs) == 0 {
+			t.Fatal("open record has no pattern")
+		}
+		return rec.PatternPtrs[0]
+	})
+	uncached := runCorrupted(t, exe, stdin, false, pick)
+	cached := runCorrupted(t, exe, stdin, true, pick)
+	if !uncached.Killed || uncached.KilledBy != KillBadString {
+		t.Fatalf("uncached: killed=%v by=%q", uncached.Killed, uncached.KilledBy)
+	}
+	if !cached.Killed || cached.KilledBy != uncached.KilledBy {
+		t.Fatalf("cached: killed=%v by=%q, uncached by=%q", cached.Killed, cached.KilledBy, uncached.KilledBy)
+	}
+}
+
+// TestCacheBenignHits runs the untampered loop under the cache and checks
+// the hit accounting: every site verifies fully once and hits thereafter.
+func TestCacheBenignHits(t *testing.T) {
+	k := newKernel(t, WithVerifyCache())
+	p := runProc(t, k, buildAuthExe(t, cacheLoopSrc), "")
+	if p.Killed {
+		t.Fatalf("killed: %v (audit %v)", p.KilledBy, k.Audit)
+	}
+	if !p.Exited || p.Code != 0 {
+		t.Fatalf("exit=%v code=%d", p.Exited, p.Code)
+	}
+	// Sites: open, close (4 iterations each) and exit. Each misses once.
+	if want := uint64(3); p.CacheMisses != want {
+		t.Errorf("CacheMisses = %d, want %d", p.CacheMisses, want)
+	}
+	if want := uint64(6); p.CacheHits != want {
+		t.Errorf("CacheHits = %d, want %d", p.CacheHits, want)
+	}
+	if p.CacheInvalidations != 0 {
+		t.Errorf("CacheInvalidations = %d, want 0", p.CacheInvalidations)
+	}
+	// The cached kernel must agree with the uncached one on observable
+	// behaviour.
+	ku := newKernel(t)
+	pu := runProc(t, ku, buildAuthExe(t, cacheLoopSrc), "")
+	if pu.Killed || pu.Code != p.Code {
+		t.Fatalf("uncached run diverged: killed=%v code=%d", pu.Killed, pu.Code)
+	}
+	if p.VerifyCount != pu.VerifyCount {
+		t.Errorf("VerifyCount diverged: cached=%d uncached=%d", p.VerifyCount, pu.VerifyCount)
+	}
+	if p.CPU.Cycles >= pu.CPU.Cycles {
+		t.Errorf("cached run not cheaper: %d >= %d cycles", p.CPU.Cycles, pu.CPU.Cycles)
+	}
+}
+
+// TestCacheDisabledByDefault double-checks the default configuration has
+// no cache: every verification is a full one.
+func TestCacheDisabledByDefault(t *testing.T) {
+	k := newKernel(t)
+	p := runProc(t, k, buildAuthExe(t, cacheLoopSrc), "")
+	if p.CacheHits != 0 || p.CacheMisses != 0 || p.CacheInvalidations != 0 {
+		t.Fatalf("cache counters nonzero without WithVerifyCache: hits=%d misses=%d inv=%d",
+			p.CacheHits, p.CacheMisses, p.CacheInvalidations)
+	}
+}

@@ -20,6 +20,12 @@ type CostModel struct {
 	// logic (argument unpacking, record parsing, table checks),
 	// excluding MAC computation.
 	AuthFixed uint64
+	// CacheHit is the fixed cost of a verification-cache hit: the
+	// store-generation compares, the auth-record byte compare, and the
+	// rebuild-and-compare of the canonical call encoding. It replaces
+	// AuthFixed plus the Step 1/2 AES work on a hit; the control-flow
+	// memory-checker MACs are still charged per AES block.
+	CacheHit uint64
 	// PerAESBlock is the cost of one AES block operation during MAC
 	// computation and verification.
 	PerAESBlock uint64
@@ -38,6 +44,7 @@ type CostModel struct {
 var DefaultCosts = CostModel{
 	Trap:         1000,
 	AuthFixed:    2400,
+	CacheHit:     700, // ~60B record compare + ~40B encoding rebuild + counter checks
 	PerAESBlock:  250,
 	ReadPerByte:  1420, // read(4096) ≈ 1000 + 500 + 4096*1.42 ≈ 7,300 cycles
 	WritePerByte: 9350, // write(4096) ≈ 1000 + 500 + 4096*9.35 ≈ 39,800 cycles

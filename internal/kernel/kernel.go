@@ -19,6 +19,7 @@
 package kernel
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"strings"
@@ -131,11 +132,26 @@ type Kernel struct {
 	// whether the call is allowed.
 	MonitorOverhead func(p *Process, num uint16, site uint32) (extra uint64, allow bool)
 
+	// VerifyCache enables the per-process, site-keyed verification cache:
+	// once a call site passes the call MAC and string MAC checks, later
+	// traps at the same site skip the AES work when the record bytes and
+	// every MAC-checked buffer are provably unchanged (store-generation
+	// counters in internal/vm; any application store to a covering
+	// segment forces full re-verification). The control-flow memory
+	// checker and the capability-set check stay exact on every call.
+	VerifyCache bool
+
 	key      *mac.Keyed
 	nextPID  int
 	Audit    []AuditEntry
 	procs    map[int]*Process
 	timeBase uint64
+
+	// patterns caches compiled patterns by the MAC tag of their source
+	// bytes. A tag is only used as a key after the contents were verified
+	// against it, so equal tags imply equal (already-authenticated)
+	// sources; pattern.Parse then runs once per distinct pattern.
+	patterns map[mac.Tag]*pattern.Pattern
 }
 
 // Option configures a Kernel.
@@ -162,6 +178,11 @@ func WithNormalizePaths() Option {
 	return func(k *Kernel) { k.NormalizePaths = true }
 }
 
+// WithVerifyCache enables the site-keyed verification cache.
+func WithVerifyCache() Option {
+	return func(k *Kernel) { k.VerifyCache = true }
+}
+
 // New creates a kernel. The key is the MAC key shared with the trusted
 // installer; it may be nil when the kernel never enforces.
 func New(fs *vfs.FS, key []byte, opts ...Option) (*Kernel, error) {
@@ -172,6 +193,7 @@ func New(fs *vfs.FS, key []byte, opts ...Option) (*Kernel, error) {
 		Costs:       DefaultCosts,
 		nextPID:     1,
 		procs:       make(map[int]*Process),
+		patterns:    make(map[mac.Tag]*pattern.Pattern),
 	}
 	if key != nil {
 		mk, err := mac.New(key)
@@ -253,11 +275,84 @@ type Process struct {
 	VerifyCount     uint64
 	VerifyAESBlocks uint64
 
+	// Verification-cache statistics (all zero unless the kernel runs
+	// with WithVerifyCache).
+	CacheHits          uint64
+	CacheMisses        uint64
+	CacheInvalidations uint64
+
 	// Tracing (Permissive mode training runs).
 	Trace   []TraceEntry
 	DoTrace bool
 
 	sigHandlers map[uint32]uint32
+
+	// vcache is the site-keyed verification cache (nil until first fill).
+	vcache map[uint32]*verifyEntry
+
+	// Reusable trap-handler scratch. The verification path is the
+	// hottest kernel code; all of its per-call slices live here so a
+	// steady-state verify performs no heap allocation (guarded by
+	// TestVerifyAllocs / BenchmarkVerifyAllocs).
+	scratchArgs  []policy.EncodedArg
+	scratchStr   []pendingString
+	scratchPat   []pendingPattern
+	scratchSpans []genSpan
+	scratchPats  []sitePattern
+	scratchPred  []uint32
+	scratchEnc   []byte
+	scratchEntry verifyEntry
+}
+
+// arg returns system call argument i from its register (R1..R5).
+func (p *Process) arg(i int) uint32 { return p.CPU.Regs[isa.R1+isa.Reg(i)] }
+
+// pendingString is one MAC-checked buffer awaiting verification.
+type pendingString struct {
+	contents []byte
+	tag      mac.Tag
+}
+
+// pendingPattern is one pattern-constrained argument awaiting compilation.
+type pendingPattern struct {
+	argIndex int
+	tag      mac.Tag // content MAC of the pattern source (compile-cache key)
+	source   []byte  // pattern AS contents (NUL-terminated)
+}
+
+// genSpan records the store-generation of one MAC-checked byte range.
+type genSpan struct {
+	addr uint32
+	n    uint32
+	gen  uint64
+}
+
+// sitePattern is a compiled pattern bound to its argument index.
+type sitePattern struct {
+	argIndex int
+	pat      *pattern.Pattern
+}
+
+// verifyEntry caches the outcome of the AES-heavy verification steps for
+// one call site. A later trap at the site may skip the call MAC and
+// string MAC computations iff
+//
+//   - the auth record address and bytes are unchanged,
+//   - the store-generation of every MAC-checked buffer is unchanged
+//     (no application store could have touched it), and
+//   - the canonical call encoding rebuilt from the *current* registers
+//     and AS headers equals the verified one.
+//
+// The entry also carries the derived artifacts (decoded record,
+// predecessor IDs, compiled patterns) so a hit re-parses nothing.
+type verifyEntry struct {
+	recAddr  uint32
+	recBytes []byte
+	encBytes []byte
+	rec      policy.AuthRecord
+	spans    []genSpan
+	predIDs  []uint32
+	pats     []sitePattern
 }
 
 // Spawn loads an executable into a new process.
@@ -334,6 +429,7 @@ func (p *Process) loadImage(f *binfmt.File) error {
 	p.authenticated = f.Authenticated
 	p.counter = 0
 	p.fdTracker = nil
+	p.vcache = nil // execve: cached sites refer to the old image
 	if addr, ok := f.SymbolAddr("__asc_fdset"); ok && p.kern.key != nil {
 		tr, err := captrack.Attach(p.kern.key, addr, captrack.DefaultCapacity)
 		if err != nil {
@@ -377,13 +473,16 @@ func (k *Kernel) trap(p *Process, site uint32, authed bool) (uint32, bool, error
 	p.CPU.Cycles += k.Costs.Trap
 	p.SyscallCount++
 	num := uint16(p.CPU.Regs[isa.R0])
+	// One signature lookup per trap, shared by the verification path
+	// (path normalization) and the capability-set maintenance.
+	sig, sigOK := sys.Lookup(num)
 
 	if k.Mode == Enforce && (p.authenticated || k.RequireAuthenticated) {
 		if !authed || !p.authenticated {
 			k.kill(p, num, site, KillUnauthenticated)
 			return 0, true, nil
 		}
-		if reason, ok := k.verify(p, num, site); !ok {
+		if reason, ok := k.verify(p, num, site, sig, sigOK); !ok {
 			k.kill(p, num, site, reason)
 			return 0, true, nil
 		}
@@ -398,11 +497,11 @@ func (k *Kernel) trap(p *Process, site uint32, authed bool) (uint32, bool, error
 
 	var args [sys.MaxArgs]uint32
 	for i := 0; i < sys.MaxArgs; i++ {
-		args[i] = p.CPU.Regs[isa.R1+isa.Reg(i)]
+		args[i] = p.arg(i)
 	}
 	ret, exit := k.dispatch(p, num, site, args)
 	if !exit && p.fdTracker != nil && k.Mode == Enforce && p.authenticated {
-		if err := k.updateFDSet(p, num, args, ret); err != nil {
+		if err := k.updateFDSet(p, num, sig, sigOK, args, ret); err != nil {
 			k.kill(p, num, site, KillBadState)
 			return 0, true, nil
 		}
@@ -422,50 +521,177 @@ func (k *Kernel) chargeAES(p *Process, blocks int) {
 	p.VerifyAESBlocks += uint64(blocks)
 }
 
-// readAS reads an authenticated-string view {addr,len,mac} whose bytes
-// pointer is addr. Returns the view and the string bytes.
-func (k *Kernel) readAS(p *Process, addr uint32) (policy.ASView, []byte, bool) {
+// readASView reads the {length, MAC} header of an authenticated string
+// whose bytes pointer is addr, without touching the contents.
+func (k *Kernel) readASView(p *Process, addr uint32) (policy.ASView, bool) {
 	if addr < policy.ASHeaderSize {
-		return policy.ASView{}, nil, false
+		return policy.ASView{}, false
 	}
 	length, err := p.Mem.KernelLoad32(addr - 20)
 	if err != nil || length > policy.MaxASLen {
-		return policy.ASView{}, nil, false
+		return policy.ASView{}, false
 	}
 	tagBytes, err := p.Mem.KernelRead(addr-16, mac.Size)
 	if err != nil {
-		return policy.ASView{}, nil, false
+		return policy.ASView{}, false
 	}
 	var tag mac.Tag
 	copy(tag[:], tagBytes)
-	contents, err := p.Mem.KernelRead(addr, length)
+	return policy.ASView{Addr: addr, Len: length, MAC: tag}, true
+}
+
+// readAS reads an authenticated-string view {addr,len,mac} whose bytes
+// pointer is addr. Returns the view and the string bytes.
+func (k *Kernel) readAS(p *Process, addr uint32) (policy.ASView, []byte, bool) {
+	view, ok := k.readASView(p, addr)
+	if !ok {
+		return policy.ASView{}, nil, false
+	}
+	contents, err := p.Mem.KernelRead(addr, view.Len)
 	if err != nil {
 		return policy.ASView{}, nil, false
 	}
-	return policy.ASView{Addr: addr, Len: length, MAC: tag}, contents, true
+	return view, contents, true
 }
 
-// verify implements the three-step check of Section 3.4.
-func (k *Kernel) verify(p *Process, num uint16, site uint32) (KillReason, bool) {
+// asSpan is the byte range an authenticated string occupies in memory:
+// the {length, MAC} header plus the contents.
+func asSpan(view policy.ASView) genSpan {
+	return genSpan{addr: view.Addr - policy.ASHeaderSize, n: policy.ASHeaderSize + view.Len}
+}
+
+// verify implements the three-step check of Section 3.4, with an optional
+// site-keyed cache in front of the AES-heavy Steps 1 and 2.
+func (k *Kernel) verify(p *Process, num uint16, site uint32, sig sys.Sig, sigOK bool) (KillReason, bool) {
 	p.VerifyCount++
+
+	// The auth record address arrives in R6.
+	recAddr := p.CPU.Regs[isa.R6]
+
+	var entry *verifyEntry
+	if k.VerifyCache {
+		entry = p.vcache[site]
+	}
+	if entry != nil && k.cachedHit(p, entry, num, site, recAddr) {
+		p.CacheHits++
+		p.CPU.Cycles += k.Costs.CacheHit
+		return k.verifyDynamic(p, &entry.rec, entry.predIDs, entry.pats, sig, sigOK)
+	}
+	if entry != nil {
+		// The site was cached but a MAC-checked buffer (or the record,
+		// or the register state) changed: fall back to full AES
+		// verification, which preserves every kill path.
+		p.CacheInvalidations++
+		delete(p.vcache, site)
+	}
+	if k.VerifyCache {
+		p.CacheMisses++
+	}
+	e, cacheable, reason, ok := k.verifyMACs(p, num, site, recAddr, k.VerifyCache)
+	if !ok {
+		return reason, false
+	}
+	if cacheable {
+		if p.vcache == nil {
+			p.vcache = make(map[uint32]*verifyEntry)
+		}
+		p.vcache[site] = e
+	}
+	return k.verifyDynamic(p, &e.rec, e.predIDs, e.pats, sig, sigOK)
+}
+
+// cachedHit decides whether the cached verification of a site still
+// covers the current trap. It is AES-free: store-generation compares, a
+// record byte compare, and a rebuild of the canonical encoding from the
+// live register and AS-header state.
+func (k *Kernel) cachedHit(p *Process, e *verifyEntry, num uint16, site, recAddr uint32) bool {
+	if recAddr != e.recAddr {
+		return false
+	}
+	// No application store may have touched any MAC-checked buffer.
+	for i := range e.spans {
+		g, ok := p.Mem.SpanGeneration(e.spans[i].addr, e.spans[i].n)
+		if !ok || g != e.spans[i].gen {
+			return false
+		}
+	}
+	// The auth record bytes must be exactly the verified ones.
+	recBytes, err := p.Mem.KernelRead(recAddr, uint32(len(e.recBytes)))
+	if err != nil || !bytes.Equal(recBytes, e.recBytes) {
+		return false
+	}
+	// Rebuild the canonical encoding from the actual trap state; equality
+	// with the verified encoding proves the call MAC would match again,
+	// and the generation checks above prove the string MACs would too.
+	enc := policy.CallEncoding{
+		Num: num, Site: site, Desc: e.rec.Desc, BlockID: e.rec.BlockID, LbPtr: e.rec.LbPtr,
+	}
+	enc.Args = p.scratchArgs[:0]
+	patIdx := 0
+	for i := 0; i < sys.MaxArgs; i++ {
+		val := p.arg(i)
+		switch {
+		case e.rec.Desc.ArgConstrained(i) && e.rec.Desc.ArgString(i):
+			view, ok := k.readASView(p, val)
+			if !ok {
+				return false
+			}
+			enc.Args = append(enc.Args, policy.EncodedArg{
+				Index: i, IsString: true, Value: view.Addr, Len: view.Len, MAC: view.MAC,
+			})
+		case e.rec.Desc.ArgConstrained(i):
+			enc.Args = append(enc.Args, policy.EncodedArg{Index: i, Value: val})
+		case e.rec.Desc.ArgPattern(i):
+			if patIdx >= len(e.rec.PatternPtrs) {
+				return false
+			}
+			view, ok := k.readASView(p, e.rec.PatternPtrs[patIdx])
+			patIdx++
+			if !ok {
+				return false
+			}
+			enc.Args = append(enc.Args, policy.EncodedArg{
+				Index: i, IsPattern: true, Value: view.Addr, Len: view.Len, MAC: view.MAC,
+			})
+		}
+	}
+	var predView policy.ASView
+	if e.rec.Desc.ControlFlow() {
+		view, ok := k.readASView(p, e.rec.PredSetPtr)
+		if !ok {
+			return false
+		}
+		predView = view
+		enc.PredSet = &predView
+	}
+	p.scratchEnc = enc.AppendBytes(p.scratchEnc[:0])
+	p.scratchArgs = enc.Args[:0]
+	return bytes.Equal(p.scratchEnc, e.encBytes)
+}
+
+// verifyMACs performs Steps 1 and 2: reconstruct the encoded call from the
+// actual trap state, check the call MAC, and check the integrity of every
+// authenticated string. When fill is set (and every checked buffer maps to
+// a single segment) it returns a heap-allocated entry ready for the cache;
+// otherwise it returns a per-process scratch entry carrying the decoded
+// artifacts the dynamic steps need.
+func (k *Kernel) verifyMACs(p *Process, num uint16, site, recAddr uint32, fill bool) (*verifyEntry, bool, KillReason, bool) {
 	p.CPU.Cycles += k.Costs.AuthFixed
 
-	// The auth record address arrives in R6. The descriptor (its first
-	// word) determines whether a pattern extension follows the fixed
-	// part.
-	recAddr := p.CPU.Regs[isa.R6]
+	// The descriptor (the record's first word) determines whether a
+	// pattern extension follows the fixed part.
 	descWord, err := p.Mem.KernelLoad32(recAddr)
 	if err != nil {
-		return KillBadRecord, false
+		return nil, false, KillBadRecord, false
 	}
 	recSize := uint32(policy.AuthRecordSize + 4*policy.Descriptor(descWord).NumPatterns())
 	recBytes, err := p.Mem.KernelRead(recAddr, recSize)
 	if err != nil {
-		return KillBadRecord, false
+		return nil, false, KillBadRecord, false
 	}
 	rec, err := policy.DecodeAuthRecord(recBytes)
 	if err != nil {
-		return KillBadRecord, false
+		return nil, false, KillBadRecord, false
 	}
 
 	// Reconstruct the encoded call from actual behaviour.
@@ -476,45 +702,41 @@ func (k *Kernel) verify(p *Process, num uint16, site uint32) (KillReason, bool) 
 		BlockID: rec.BlockID,
 		LbPtr:   rec.LbPtr,
 	}
-	type pendingString struct {
-		contents []byte
-		tag      mac.Tag
-	}
-	type pendingPattern struct {
-		argIndex int
-		source   []byte // pattern AS contents (NUL-terminated)
-	}
-	var strChecks []pendingString
-	var patChecks []pendingPattern
+	enc.Args = p.scratchArgs[:0]
+	strChecks := p.scratchStr[:0]
+	patChecks := p.scratchPat[:0]
+	spans := p.scratchSpans[:0]
 	patIdx := 0
 	for i := 0; i < sys.MaxArgs; i++ {
-		val := p.CPU.Regs[isa.R1+isa.Reg(i)]
+		val := p.arg(i)
 		switch {
 		case rec.Desc.ArgConstrained(i) && rec.Desc.ArgString(i):
 			view, contents, ok := k.readAS(p, val)
 			if !ok {
-				return KillBadString, false
+				return nil, false, KillBadString, false
 			}
 			enc.Args = append(enc.Args, policy.EncodedArg{
 				Index: i, IsString: true, Value: view.Addr, Len: view.Len, MAC: view.MAC,
 			})
 			strChecks = append(strChecks, pendingString{contents, view.MAC})
+			spans = append(spans, asSpan(view))
 		case rec.Desc.ArgConstrained(i):
 			enc.Args = append(enc.Args, policy.EncodedArg{Index: i, Value: val})
 		case rec.Desc.ArgPattern(i):
 			if patIdx >= len(rec.PatternPtrs) {
-				return KillBadRecord, false
+				return nil, false, KillBadRecord, false
 			}
 			view, contents, ok := k.readAS(p, rec.PatternPtrs[patIdx])
 			patIdx++
 			if !ok {
-				return KillBadString, false
+				return nil, false, KillBadString, false
 			}
 			enc.Args = append(enc.Args, policy.EncodedArg{
 				Index: i, IsPattern: true, Value: view.Addr, Len: view.Len, MAC: view.MAC,
 			})
 			strChecks = append(strChecks, pendingString{contents, view.MAC})
-			patChecks = append(patChecks, pendingPattern{argIndex: i, source: contents})
+			patChecks = append(patChecks, pendingPattern{argIndex: i, tag: view.MAC, source: contents})
+			spans = append(spans, asSpan(view))
 		}
 	}
 	var predView policy.ASView
@@ -522,18 +744,21 @@ func (k *Kernel) verify(p *Process, num uint16, site uint32) (KillReason, bool) 
 	if rec.Desc.ControlFlow() {
 		view, contents, ok := k.readAS(p, rec.PredSetPtr)
 		if !ok {
-			return KillBadRecord, false
+			return nil, false, KillBadRecord, false
 		}
 		predView, predBytes = view, contents
 		enc.PredSet = &predView
 		strChecks = append(strChecks, pendingString{contents, view.MAC})
+		spans = append(spans, asSpan(view))
 	}
 
 	// Step 1: call MAC.
-	got, blocks := enc.Sum(k.key)
+	p.scratchEnc = enc.AppendBytes(p.scratchEnc[:0])
+	got, blocks := k.key.Sum(p.scratchEnc)
 	k.chargeAES(p, blocks)
 	if !got.Equal(rec.CallMAC) {
-		return KillBadCallMAC, false
+		p.keepScratch(enc.Args, strChecks, patChecks, spans)
+		return nil, false, KillBadCallMAC, false
 	}
 
 	// Step 2: authenticated string contents.
@@ -541,20 +766,108 @@ func (k *Kernel) verify(p *Process, num uint16, site uint32) (KillReason, bool) 
 		ok, blocks := k.key.Verify(sc.contents, sc.tag)
 		k.chargeAES(p, blocks)
 		if !ok {
-			return KillBadString, false
+			p.keepScratch(enc.Args, strChecks, patChecks, spans)
+			return nil, false, KillBadString, false
 		}
 	}
 
+	// Compile the (now MAC-verified) pattern sources; compilation is
+	// cached per distinct content tag, so pattern.Parse runs once per
+	// distinct pattern across all processes of this kernel.
+	pats := p.scratchPats[:0]
+	for _, pc := range patChecks {
+		pat, err := k.compilePattern(pc.tag, pc.source)
+		if err != nil {
+			p.keepScratch(enc.Args, strChecks, patChecks, spans)
+			return nil, false, KillBadRecord, false
+		}
+		pats = append(pats, sitePattern{argIndex: pc.argIndex, pat: pat})
+	}
+
+	// Decode the (MAC-verified) predecessor set.
+	var predIDs []uint32
+	if rec.Desc.ControlFlow() {
+		ids, err := policy.AppendPredSet(p.scratchPred[:0], predBytes)
+		p.scratchPred = ids
+		if err != nil {
+			p.keepScratch(enc.Args, strChecks, patChecks, spans)
+			return nil, false, KillBadPredecessor, false
+		}
+		predIDs = ids
+	}
+
+	e := &p.scratchEntry
+	cacheable := false
+	if fill {
+		filled := &verifyEntry{
+			recAddr:  recAddr,
+			recBytes: append([]byte(nil), recBytes...),
+			encBytes: append([]byte(nil), p.scratchEnc...),
+			rec:      rec,
+			spans:    append([]genSpan(nil), spans...),
+			predIDs:  append([]uint32(nil), predIDs...),
+			pats:     append([]sitePattern(nil), pats...),
+		}
+		cacheable = true
+		for i := range filled.spans {
+			g, ok := p.Mem.SpanGeneration(filled.spans[i].addr, filled.spans[i].n)
+			if !ok {
+				// A buffer straddles segments: immutability is not
+				// provable, so this site is not cacheable.
+				cacheable = false
+				break
+			}
+			filled.spans[i].gen = g
+		}
+		if cacheable {
+			e = filled
+		}
+	}
+	if e == &p.scratchEntry {
+		*e = verifyEntry{rec: rec, predIDs: predIDs, pats: pats}
+	}
+	p.keepScratch(enc.Args, strChecks, patChecks, spans)
+	p.scratchPats = pats
+	return e, cacheable, "", true
+}
+
+// keepScratch hands the (possibly grown) per-call slices back to the
+// process so the next verification reuses their capacity.
+func (p *Process) keepScratch(args []policy.EncodedArg, str []pendingString, pat []pendingPattern, spans []genSpan) {
+	p.scratchArgs = args[:0]
+	p.scratchStr = str[:0]
+	p.scratchPat = pat[:0]
+	p.scratchSpans = spans[:0]
+}
+
+// compilePattern returns the compiled pattern for MAC-verified source
+// bytes, caching by content tag.
+func (k *Kernel) compilePattern(tag mac.Tag, source []byte) (*pattern.Pattern, error) {
+	if pat, ok := k.patterns[tag]; ok {
+		return pat, nil
+	}
+	src := strings.TrimRight(string(source), "\x00")
+	pat, err := pattern.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	k.patterns[tag] = pat
+	return pat, nil
+}
+
+// verifyDynamic performs the per-call checks that are never cached: path
+// normalization, pattern matching of the live arguments, capability
+// membership, and the control-flow policy via the online memory checker.
+func (k *Kernel) verifyDynamic(p *Process, rec *policy.AuthRecord, predIDs []uint32, pats []sitePattern, sig sys.Sig, sigOK bool) (KillReason, bool) {
 	// Step 2a (§5.4 extension): policy-constrained path arguments must
 	// normalize to themselves — a symlink planted at the approved name
 	// redirects the resolution and is rejected.
-	if k.NormalizePaths {
-		sig, sigOK := sys.Lookup(num)
-		for i := 0; sigOK && i < sig.NArgs(); i++ {
+	if k.NormalizePaths && sigOK {
+		for i := 0; i < sig.NArgs(); i++ {
 			if !rec.Desc.ArgString(i) || sig.Args[i] != sys.ArgPath {
 				continue
 			}
-			raw, err := p.Mem.CString(p.CPU.Regs[isa.R1+isa.Reg(i)], 4096)
+			raw, err := p.Mem.CString(p.arg(i), 4096)
 			if err != nil {
 				return KillBadString, false
 			}
@@ -571,22 +884,17 @@ func (k *Kernel) verify(p *Process, num uint16, site uint32) (KillReason, bool) 
 	}
 
 	// Step 2b (§5.1 extension): pattern-constrained arguments. The
-	// pattern source is now MAC-verified; match the actual argument
-	// against it. (Without application-supplied hints the kernel pays
-	// for the full match; see internal/pattern for the hint protocol.)
-	for _, pc := range patChecks {
-		src := strings.TrimRight(string(pc.source), "\x00")
-		pat, err := pattern.Parse(src)
-		if err != nil {
-			return KillBadRecord, false
-		}
-		argAddr := p.CPU.Regs[isa.R1+isa.Reg(pc.argIndex)]
-		arg, err := p.Mem.CString(argAddr, 4096)
+	// pattern source is MAC-verified (or cache-proven unchanged); match
+	// the actual argument against it. (Without application-supplied
+	// hints the kernel pays for the full match; see internal/pattern for
+	// the hint protocol.)
+	for _, sp := range pats {
+		arg, err := p.Mem.CString(p.arg(sp.argIndex), 4096)
 		if err != nil {
 			return KillBadPattern, false
 		}
-		p.CPU.Cycles += uint64(len(arg)+len(src)) * 3
-		if _, err := pat.Match(arg); err != nil {
+		p.CPU.Cycles += uint64(len(arg)+len(sp.pat.String())) * 3
+		if _, err := sp.pat.Match(arg); err != nil {
 			return KillBadPattern, false
 		}
 	}
@@ -601,7 +909,7 @@ func (k *Kernel) verify(p *Process, num uint16, site uint32) (KillReason, bool) 
 			return KillBadCapability, false
 		}
 		before := p.fdTracker.AESBlocks
-		err := p.fdTracker.Check(p.Mem, p.CPU.Regs[isa.R1+isa.Reg(i)])
+		err := p.fdTracker.Check(p.Mem, p.arg(i))
 		k.chargeAES(p, p.fdTracker.AESBlocks-before)
 		switch {
 		case err == nil:
@@ -612,7 +920,9 @@ func (k *Kernel) verify(p *Process, num uint16, site uint32) (KillReason, bool) 
 		}
 	}
 
-	// Step 3: control flow policy via the online memory checker.
+	// Step 3: control flow policy via the online memory checker. Never
+	// cached: the state MAC is bound to the in-kernel counter nonce and
+	// must be checked and advanced on every call.
 	if rec.Desc.ControlFlow() {
 		lastBlock, err := p.Mem.KernelLoad32(rec.LbPtr)
 		if err != nil {
@@ -629,11 +939,7 @@ func (k *Kernel) verify(p *Process, num uint16, site uint32) (KillReason, bool) 
 		if !want.Equal(lbMAC) {
 			return KillBadState, false
 		}
-		ids, err := policy.DecodePredSet(predBytes)
-		if err != nil {
-			return KillBadPredecessor, false
-		}
-		if !policy.PredSetContains(ids, lastBlock) {
+		if !policy.PredSetContains(predIDs, lastBlock) {
 			return KillBadPredecessor, false
 		}
 		// Update: counter++, lastBlock = blockID, new state MAC.
@@ -652,9 +958,8 @@ func (k *Kernel) verify(p *Process, num uint16, site uint32) (KillReason, bool) 
 
 // updateFDSet maintains the §5.3 capability set across calls that create
 // or destroy descriptors.
-func (k *Kernel) updateFDSet(p *Process, num uint16, args [sys.MaxArgs]uint32, ret uint32) error {
-	sig, ok := sys.Lookup(num)
-	if !ok {
+func (k *Kernel) updateFDSet(p *Process, num uint16, sig sys.Sig, sigOK bool, args [sys.MaxArgs]uint32, ret uint32) error {
+	if !sigOK {
 		return nil
 	}
 	before := p.fdTracker.AESBlocks

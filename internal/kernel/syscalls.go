@@ -238,7 +238,7 @@ func (k *Kernel) writeZeros(p *Process, addr, n uint32) {
 	if addr == 0 {
 		return
 	}
-	_ = p.Mem.KernelWrite(addr, make([]byte, n))
+	_ = p.Mem.UserWrite(addr, make([]byte, n))
 }
 
 func (k *Kernel) pathCall1(p *Process, pathAddr uint32, f func(string) error) uint32 {
@@ -341,7 +341,7 @@ func (k *Kernel) sysRead(p *Process, fd, buf, n uint32) uint32 {
 		return errno(sys.EINVAL)
 	}
 	if got > 0 {
-		if err := p.Mem.KernelWrite(buf, tmp[:got]); err != nil {
+		if err := p.Mem.UserWrite(buf, tmp[:got]); err != nil {
 			return errno(sys.EFAULT)
 		}
 	}
@@ -406,7 +406,7 @@ func (k *Kernel) sysStat(p *Process, pathAddr, buf uint32, follow bool) uint32 {
 	if err != nil {
 		return vfsErrno(err)
 	}
-	if err := p.Mem.KernelWrite(buf, statBuf(node)); err != nil {
+	if err := p.Mem.UserWrite(buf, statBuf(node)); err != nil {
 		return errno(sys.EFAULT)
 	}
 	return 0
@@ -421,7 +421,7 @@ func (k *Kernel) sysFstat(p *Process, fd, buf uint32) uint32 {
 		k.writeZeros(p, buf, 24)
 		return 0
 	}
-	if err := p.Mem.KernelWrite(buf, statBuf(e.node)); err != nil {
+	if err := p.Mem.UserWrite(buf, statBuf(e.node)); err != nil {
 		return errno(sys.EFAULT)
 	}
 	return 0
@@ -484,7 +484,7 @@ func (k *Kernel) sysGettimeofday(p *Process, buf uint32) uint32 {
 	out := make([]byte, 8)
 	binary.LittleEndian.PutUint32(out[0:], uint32(p.CPU.Cycles/1_000_000))
 	binary.LittleEndian.PutUint32(out[4:], uint32(p.CPU.Cycles%1_000_000))
-	if err := p.Mem.KernelWrite(buf, out); err != nil {
+	if err := p.Mem.UserWrite(buf, out); err != nil {
 		return errno(sys.EFAULT)
 	}
 	return 0
@@ -495,7 +495,7 @@ func (k *Kernel) sysTime(p *Process, buf uint32) uint32 {
 	if buf != 0 {
 		out := make([]byte, 4)
 		binary.LittleEndian.PutUint32(out, secs)
-		if err := p.Mem.KernelWrite(buf, out); err != nil {
+		if err := p.Mem.UserWrite(buf, out); err != nil {
 			return errno(sys.EFAULT)
 		}
 	}
@@ -515,7 +515,7 @@ func (k *Kernel) sysReadlink(p *Process, pathAddr, buf, n uint32) uint32 {
 	if uint32(len(b)) > n {
 		b = b[:n]
 	}
-	if err := p.Mem.KernelWrite(buf, b); err != nil {
+	if err := p.Mem.UserWrite(buf, b); err != nil {
 		return errno(sys.EFAULT)
 	}
 	return uint32(len(b))
@@ -561,7 +561,7 @@ func (k *Kernel) sysGetcwd(p *Process, buf, n uint32) uint32 {
 	if uint32(len(b)) > n {
 		return errno(sys.EINVAL)
 	}
-	if err := p.Mem.KernelWrite(buf, b); err != nil {
+	if err := p.Mem.UserWrite(buf, b); err != nil {
 		return errno(sys.EFAULT)
 	}
 	return uint32(len(b))
@@ -603,7 +603,7 @@ func (k *Kernel) sysPipe(p *Process, buf uint32) uint32 {
 	out := make([]byte, 8)
 	binary.LittleEndian.PutUint32(out[0:], uint32(r))
 	binary.LittleEndian.PutUint32(out[4:], uint32(w))
-	if err := p.Mem.KernelWrite(buf, out); err != nil {
+	if err := p.Mem.UserWrite(buf, out); err != nil {
 		return errno(sys.EFAULT)
 	}
 	return 0
@@ -689,7 +689,7 @@ func (k *Kernel) sysSocketpair(p *Process, buf uint32) uint32 {
 	out := make([]byte, 8)
 	binary.LittleEndian.PutUint32(out[0:], uint32(a))
 	binary.LittleEndian.PutUint32(out[4:], uint32(b))
-	if err := p.Mem.KernelWrite(buf, out); err != nil {
+	if err := p.Mem.UserWrite(buf, out); err != nil {
 		return errno(sys.EFAULT)
 	}
 	return 0
@@ -699,7 +699,7 @@ func (k *Kernel) sysSigaction(p *Process, sig, act, oldact uint32) uint32 {
 	if oldact != 0 {
 		old := make([]byte, 4)
 		binary.LittleEndian.PutUint32(old, p.sigHandlers[sig])
-		if err := p.Mem.KernelWrite(oldact, old); err != nil {
+		if err := p.Mem.UserWrite(oldact, old); err != nil {
 			return errno(sys.EFAULT)
 		}
 	}
@@ -744,7 +744,7 @@ func (k *Kernel) sysGetdirentries(p *Process, fd, buf, n uint32) uint32 {
 	if len(out) == 0 {
 		return 0
 	}
-	if err := p.Mem.KernelWrite(buf, out); err != nil {
+	if err := p.Mem.UserWrite(buf, out); err != nil {
 		return errno(sys.EFAULT)
 	}
 	return uint32(len(out))
@@ -756,7 +756,7 @@ func (k *Kernel) sysStatfs(p *Process, buf uint32) uint32 {
 	binary.LittleEndian.PutUint32(out[4:], 1<<20)       // blocks
 	binary.LittleEndian.PutUint32(out[8:], 1<<19)       // free
 	binary.LittleEndian.PutUint32(out[12:], 0x53454c46) // fs type "SELF"
-	if err := p.Mem.KernelWrite(buf, out); err != nil {
+	if err := p.Mem.UserWrite(buf, out); err != nil {
 		return errno(sys.EFAULT)
 	}
 	return 0
@@ -770,7 +770,7 @@ func (k *Kernel) sysUname(p *Process, buf uint32) uint32 {
 	}
 	copy(out, name)
 	copy(out[16:], "1.0")
-	if err := p.Mem.KernelWrite(buf, out); err != nil {
+	if err := p.Mem.UserWrite(buf, out); err != nil {
 		return errno(sys.EFAULT)
 	}
 	return 0
@@ -781,7 +781,7 @@ func (k *Kernel) sysGethostname(p *Process, buf, n uint32) uint32 {
 	if uint32(len(b)) > n {
 		b = b[:n]
 	}
-	if err := p.Mem.KernelWrite(buf, b); err != nil {
+	if err := p.Mem.UserWrite(buf, b); err != nil {
 		return errno(sys.EFAULT)
 	}
 	return 0

@@ -13,6 +13,7 @@ import (
 	"crypto/subtle"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Size is the length of a MAC tag in bytes (128 bits).
@@ -40,11 +41,24 @@ func (t Tag) Equal(o Tag) bool {
 // Keyed computes CMAC tags under a fixed key. It precomputes the AES key
 // schedule and the two CMAC subkeys, so repeated Sum calls are cheap. A
 // Keyed value is safe for concurrent use by multiple goroutines: Sum does
-// not mutate shared state.
+// not mutate shared state (the internal scratch blocks are taken from a
+// pool, never shared between in-flight computations).
 type Keyed struct {
 	block cipher.Block
 	k1    [Size]byte
 	k2    [Size]byte
+
+	// scratch recycles the two working blocks of Sum. Passing stack
+	// arrays through the cipher.Block interface forces them to the heap,
+	// so without the pool every Sum costs two allocations — measurable in
+	// the kernel trap handler, which computes several MACs per call.
+	scratch sync.Pool
+}
+
+// cmacScratch holds the working state of one CMAC computation.
+type cmacScratch struct {
+	x    [Size]byte
+	last [Size]byte
 }
 
 // New returns a Keyed MAC for the given AES-128 key.
@@ -84,39 +98,44 @@ func dbl(dst, src *[Size]byte) {
 // simulated kernel uses for deterministic cycle accounting (the cycle model
 // charges a fixed cost per block operation; see internal/kernel).
 func (k *Keyed) Sum(msg []byte) (Tag, int) {
-	var x [Size]byte
+	s, _ := k.scratch.Get().(*cmacScratch)
+	if s == nil {
+		s = new(cmacScratch)
+	}
+	s.x = [Size]byte{}
+	s.last = [Size]byte{}
 	blocks := 0
 	n := len(msg)
 	// Process all complete blocks except the final one.
 	for n > Size {
 		for i := 0; i < Size; i++ {
-			x[i] ^= msg[i]
+			s.x[i] ^= msg[i]
 		}
-		k.block.Encrypt(x[:], x[:])
+		k.block.Encrypt(s.x[:], s.x[:])
 		blocks++
 		msg = msg[Size:]
 		n -= Size
 	}
-	var last [Size]byte
 	if n == Size {
-		copy(last[:], msg)
+		copy(s.last[:], msg)
 		for i := 0; i < Size; i++ {
-			last[i] ^= k.k1[i]
+			s.last[i] ^= k.k1[i]
 		}
 	} else {
-		copy(last[:], msg)
-		last[n] = 0x80
+		copy(s.last[:], msg)
+		s.last[n] = 0x80
 		for i := 0; i < Size; i++ {
-			last[i] ^= k.k2[i]
+			s.last[i] ^= k.k2[i]
 		}
 	}
 	for i := 0; i < Size; i++ {
-		x[i] ^= last[i]
+		s.x[i] ^= s.last[i]
 	}
-	k.block.Encrypt(x[:], x[:])
+	k.block.Encrypt(s.x[:], s.x[:])
 	blocks++
 	var tag Tag
-	copy(tag[:], x[:])
+	copy(tag[:], s.x[:])
+	k.scratch.Put(s)
 	return tag, blocks
 }
 

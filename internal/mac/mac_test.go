@@ -3,6 +3,7 @@ package mac
 import (
 	"bytes"
 	"encoding/hex"
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -145,5 +146,66 @@ func BenchmarkSum64(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		k.Sum(msg)
+	}
+}
+
+// TestConcurrentSum hammers one Keyed from many goroutines, checking every
+// tag against a per-goroutine precomputed answer. The scratch-block pool
+// inside Sum must not leak state between concurrent computations; run with
+// -race to check the documented concurrency contract.
+func TestConcurrentSum(t *testing.T) {
+	k, err := New(mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const iters = 2000
+	// Distinct message per goroutine, lengths straddling block bounds.
+	msgs := make([][]byte, goroutines)
+	want := make([]Tag, goroutines)
+	for g := range msgs {
+		msg := make([]byte, 5+g*7)
+		for i := range msg {
+			msg[i] = byte(g*31 + i)
+		}
+		msgs[g] = msg
+		want[g], _ = k.Sum(msg)
+	}
+	done := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			for i := 0; i < iters; i++ {
+				got, _ := k.Sum(msgs[g])
+				if !got.Equal(want[g]) {
+					done <- fmt.Errorf("goroutine %d iter %d: Sum corrupted", g, i)
+					return
+				}
+				if ok, _ := k.Verify(msgs[g], want[g]); !ok {
+					done <- fmt.Errorf("goroutine %d iter %d: Verify corrupted", g, i)
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSumAllocs pins the scratch-pool win: a warm Keyed computes tags
+// without heap allocation.
+func TestSumAllocs(t *testing.T) {
+	k, err := New(mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, 80)
+	k.Sum(msg) // warm the pool
+	allocs := testing.AllocsPerRun(200, func() { k.Sum(msg) })
+	if allocs > 0 {
+		t.Errorf("Sum allocates %.1f times per call, want 0", allocs)
 	}
 }

@@ -132,11 +132,20 @@ func DecodePredSet(b []byte) ([]uint32, error) {
 	if len(b)%4 != 0 {
 		return nil, fmt.Errorf("policy: predecessor set length %d not a multiple of 4", len(b))
 	}
-	out := make([]uint32, len(b)/4)
-	for i := range out {
-		out[i] = binary.LittleEndian.Uint32(b[4*i:])
+	return AppendPredSet(make([]uint32, 0, len(b)/4), b)
+}
+
+// AppendPredSet decodes predecessor-set bytes, appending the IDs to dst.
+// The kernel trap handler passes a reusable scratch slice so the decode
+// does not allocate per call.
+func AppendPredSet(dst []uint32, b []byte) ([]uint32, error) {
+	if len(b)%4 != 0 {
+		return dst, fmt.Errorf("policy: predecessor set length %d not a multiple of 4", len(b))
 	}
-	return out, nil
+	for i := 0; i < len(b); i += 4 {
+		dst = append(dst, binary.LittleEndian.Uint32(b[i:]))
+	}
+	return dst, nil
 }
 
 // PredSetContains reports whether the sorted ID set contains id.
@@ -273,8 +282,13 @@ type CallEncoding struct {
 }
 
 // Bytes renders the canonical encoding.
-func (e *CallEncoding) Bytes() []byte {
-	var b []byte
+func (e *CallEncoding) Bytes() []byte { return e.AppendBytes(nil) }
+
+// AppendBytes appends the canonical encoding to dst and returns the
+// extended slice. The kernel trap handler passes a reusable scratch
+// buffer so the per-call encoding does not allocate.
+func (e *CallEncoding) AppendBytes(dst []byte) []byte {
+	b := dst
 	b = le16(b, e.Num)
 	b = le32(b, e.Site)
 	b = le32(b, uint32(e.Desc))

@@ -58,10 +58,20 @@ type Segment struct {
 }
 
 // Memory is a flat, segment-protected address space.
+//
+// Each segment carries a store-generation counter that is bumped whenever
+// the *application* writes into it: CPU store instructions and kernel
+// writes performed on the application's behalf (UserWrite, e.g. read()
+// filling a user buffer). Privileged kernel bookkeeping (KernelWrite,
+// KernelStore32 — the loader, the memory-checker state update, the
+// capability-set maintenance) does not bump generations. The kernel's
+// verification cache uses the counters to prove that MAC-checked bytes
+// are unchanged since they were last verified.
 type Memory struct {
 	base uint32
 	data []byte
 	segs []Segment
+	gens []uint64 // store-generation counters, parallel to segs
 }
 
 // NewMemory creates an address space covering [base, base+size).
@@ -75,7 +85,9 @@ func (m *Memory) Base() uint32 { return m.base }
 // Limit returns the address one past the highest mapped byte.
 func (m *Memory) Limit() uint32 { return m.base + uint32(len(m.data)) }
 
-// Map adds (or replaces, by name) a protection segment.
+// Map adds (or replaces, by name) a protection segment. Replacing a
+// segment keeps its store-generation counter: remapping (e.g. brk growing
+// the heap) does not make previously verified bytes look unchanged.
 func (m *Memory) Map(seg Segment) {
 	for i := range m.segs {
 		if m.segs[i].Name == seg.Name {
@@ -84,6 +96,59 @@ func (m *Memory) Map(seg Segment) {
 		}
 	}
 	m.segs = append(m.segs, seg)
+	m.gens = append(m.gens, 0)
+}
+
+// SpanGeneration returns the store-generation counter of the segment
+// wholly containing [addr, addr+n). It reports false when no single
+// segment covers the span; callers treating the counter as a proof of
+// immutability must then assume the bytes changed.
+func (m *Memory) SpanGeneration(addr, n uint32) (uint64, bool) {
+	end := addr + n
+	if end < addr {
+		return 0, false
+	}
+	for i := range m.segs {
+		if addr >= m.segs[i].Start && addr < m.segs[i].End {
+			if end <= m.segs[i].End {
+				return m.gens[i], true
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// BumpGeneration marks [addr, addr+n) as modified by the application,
+// bumping the counter of every overlapping segment.
+func (m *Memory) BumpGeneration(addr, n uint32) {
+	end := addr + n
+	if end < addr {
+		end = ^uint32(0)
+	}
+	for i := range m.segs {
+		if m.segs[i].Start < end && addr < m.segs[i].End {
+			m.gens[i]++
+		}
+	}
+}
+
+// storeIndex returns the index of the writable segment wholly containing
+// [addr, addr+n), or -1 on a protection violation.
+func (m *Memory) storeIndex(addr, n uint32) int {
+	end := addr + n
+	if end < addr {
+		return -1
+	}
+	for i := range m.segs {
+		if addr >= m.segs[i].Start && addr < m.segs[i].End {
+			if end <= m.segs[i].End && m.segs[i].Perms&PermWrite != 0 {
+				return i
+			}
+			return -1
+		}
+	}
+	return -1
 }
 
 // Segments returns a copy of the protection map.
@@ -158,6 +223,18 @@ func (m *Memory) KernelWrite(addr uint32, b []byte) error {
 		return &Fault{Addr: addr, Msg: fmt.Sprintf("kernel write of %d bytes out of bounds", len(b))}
 	}
 	copy(m.data[addr-m.base:], b)
+	return nil
+}
+
+// UserWrite copies b into memory at addr on behalf of the application
+// (system call results delivered into user buffers). It has kernel
+// privilege like KernelWrite but bumps the store-generation counters, so
+// data the application could have influenced never looks immutable.
+func (m *Memory) UserWrite(addr uint32, b []byte) error {
+	if err := m.KernelWrite(addr, b); err != nil {
+		return err
+	}
+	m.BumpGeneration(addr, uint32(len(b)))
 	return nil
 }
 
@@ -293,11 +370,17 @@ func (c *CPU) load(addr uint32, size uint32) (uint32, error) {
 }
 
 func (c *CPU) store(addr, v uint32, size uint32) error {
-	if !c.Mem.check(addr, size, PermWrite) {
+	idx := c.Mem.storeIndex(addr, size)
+	if idx < 0 {
 		return &Fault{PC: c.PC, Addr: addr, Msg: "write protection violation"}
 	}
+	c.Mem.gens[idx]++
 	if size == 1 {
-		return c.Mem.KernelWrite(addr, []byte{byte(v)})
+		if !c.Mem.inBounds(addr, 1) {
+			return &Fault{PC: c.PC, Addr: addr, Msg: "write out of bounds"}
+		}
+		c.Mem.data[addr-c.Mem.base] = byte(v)
+		return nil
 	}
 	if !c.Mem.store32(addr, v) {
 		return &Fault{PC: c.PC, Addr: addr, Msg: "write out of bounds"}

@@ -1,0 +1,32 @@
+#!/bin/sh
+# check.sh — the repository's full verification gate: formatting, vet,
+# build, race-enabled tests, the kernel syscall benchmarks, and the
+# machine-readable benchmark summary (BENCH_kernel.json).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== kernel syscall benchmarks =="
+go test -run '^$' -bench 'SyscallPlain|SyscallVerified|VerifyAllocs' \
+    -benchtime 2x ./internal/kernel
+
+echo "== BENCH_kernel.json =="
+go run ./cmd/ascbench -table 4 -json BENCH_kernel.json
+echo "wrote BENCH_kernel.json"
