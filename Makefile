@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check clean
+.PHONY: build test bench fault check clean
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,16 @@ bench:
 	$(GO) test -run '^$$' -bench 'SyscallPlain|SyscallVerified|VerifyAllocs' \
 		-benchtime 2x ./internal/kernel
 
-# check is the full gate: gofmt, vet, build, race tests, the kernel
-# benchmarks, and BENCH_kernel.json emission.
+# fault runs the deterministic fault-injection campaign and emits the
+# machine-readable matrix (same seed -> byte-identical JSON).
+fault:
+	$(GO) run ./cmd/ascfault -seed 1 -trials 3 -json BENCH_fault.json
+
+# check is the full gate: gofmt, vet, build, race tests, the fuzz smoke,
+# the kernel benchmarks, the fault campaign, and the machine-readable
+# summaries (BENCH_kernel.json, BENCH_fault.json).
 check:
 	sh scripts/check.sh
 
 clean:
-	rm -f BENCH_kernel.json
+	rm -f BENCH_kernel.json BENCH_fault.json

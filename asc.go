@@ -69,6 +69,12 @@ type (
 	SystemConfig = core.Config
 	// Result summarizes one process execution.
 	Result = core.Result
+	// SuperviseConfig parameterizes the supervised-restart runner.
+	SuperviseConfig = core.SuperviseConfig
+	// SuperviseStats summarizes a supervised run.
+	SuperviseStats = core.SuperviseStats
+	// Enforcement selects the kernel's response to a violating call.
+	Enforcement = kernel.Enforcement
 	// OS selects a libc/kernel personality.
 	OS = libc.OS
 )
@@ -77,6 +83,13 @@ type (
 const (
 	Linux   = libc.Linux
 	OpenBSD = libc.OpenBSD
+)
+
+// Enforcement modes: what the kernel does with a violating system call.
+const (
+	EnforceKill  = kernel.EnforceKill
+	EnforceDeny  = kernel.EnforceDeny
+	EnforceAudit = kernel.EnforceAudit
 )
 
 // KeySize is the MAC key length in bytes (AES-128).

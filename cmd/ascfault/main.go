@@ -1,0 +1,78 @@
+// ascfault runs the deterministic fault-injection campaign against the
+// simulated platform: N seeded trials per fault class per victim
+// workload, each executed under Kill and Deny enforcement with the
+// verify cache off and on. It prints an aligned result matrix, optionally
+// writes the byte-stable JSON form (same seed → identical bytes), and
+// exits nonzero if any trial violated the detection contract.
+//
+// Usage: ascfault [-seed N] [-trials N] [-classes a,b,...] [-cycles N]
+//
+//	[-json file] [-q]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"asc/internal/fault"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "campaign seed (same seed → identical JSON)")
+	trials := flag.Int("trials", 4, "trials per (class, victim) pair")
+	classesFlag := flag.String("classes", "", "comma-separated fault classes (default: all)")
+	cycles := flag.Uint64("cycles", 0, "per-run cycle budget (default 4,000,000)")
+	jsonPath := flag.String("json", "", "write the JSON matrix to this file")
+	quiet := flag.Bool("q", false, "suppress the result table")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: ascfault [-seed N] [-trials N] [-classes a,b,...] [-cycles N] [-json file] [-q]")
+		os.Exit(2)
+	}
+
+	cfg := fault.Config{Seed: *seed, Trials: *trials, MaxCycles: *cycles}
+	if *classesFlag != "" {
+		known := make(map[string]bool)
+		for _, c := range fault.Classes() {
+			known[string(c)] = true
+		}
+		for _, s := range strings.Split(*classesFlag, ",") {
+			s = strings.TrimSpace(s)
+			if !known[s] {
+				fmt.Fprintf(os.Stderr, "ascfault: unknown fault class %q (known: %v)\n", s, fault.Classes())
+				os.Exit(2)
+			}
+			cfg.Classes = append(cfg.Classes, fault.Class(s))
+		}
+	}
+
+	m, err := fault.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ascfault:", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Print(m.Render())
+	}
+	if *jsonPath != "" {
+		b, err := m.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ascfault:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "ascfault:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ascfault: wrote %s\n", *jsonPath)
+	}
+	if fails := m.Failures(); len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "ascfault: FAIL:", f)
+		}
+		fmt.Fprintf(os.Stderr, "ascfault: %d contract violations\n", len(fails))
+		os.Exit(1)
+	}
+}

@@ -1,20 +1,39 @@
 // ascrun executes a SELF binary on the simulated kernel.
 //
-// Usage: ascrun [-key passphrase] [-permissive] [-stdin file] [-trace] exe
+// Usage: ascrun (-key passphrase | -permissive) [-stdin file] [-trace]
+//
+//	[-enforcement kill|deny|audit] [-supervise N] [-backoff N] exe
 //
 // With -key, the kernel enforces authenticated system calls (binaries
 // must have been processed by ascinstall with the same key). With
 // -permissive, all calls run unchecked (the baseline mode).
+// -enforcement selects the kernel's response to a violating call: kill
+// the process (default), deny the call with EPERM, or audit and
+// continue. -supervise N restarts a killed or runaway process up to N
+// times with capped exponential backoff.
+//
+// Exit codes: the process's own exit status (masked to 0..127) on a
+// voluntary exit; 125 when the monitor kills the process; 124 when it
+// overruns its cycle budget (runaway); 2 on usage errors; 1 on platform
+// errors.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"asc"
-	"asc/internal/kernel"
 	"asc/internal/sys"
+	"asc/internal/vm"
+)
+
+const (
+	exitKilled  = 125
+	exitRunaway = 124
+	exitCrashed = 139 // 128 + SIGSEGV, the shell convention for a memory fault
 )
 
 func main() {
@@ -22,11 +41,26 @@ func main() {
 	permissive := flag.Bool("permissive", false, "run without checking")
 	stdinFile := flag.String("stdin", "", "file supplying standard input")
 	trace := flag.Bool("trace", false, "print the system call trace")
+	enfFlag := flag.String("enforcement", "kill", "violation response: kill, deny, or audit")
+	superviseN := flag.Int("supervise", -1, "restart a failing process up to N times (negative: no supervision)")
+	backoff := flag.Uint64("backoff", 0, "base virtual backoff (cycles) between supervised restarts")
 	flag.Parse()
 	if flag.NArg() != 1 || (*key == "" && !*permissive) {
-		fmt.Fprintln(os.Stderr, "usage: ascrun (-key <passphrase> | -permissive) [-stdin file] [-trace] exe")
-		os.Exit(2)
+		usage()
 	}
+	var enf asc.Enforcement
+	switch *enfFlag {
+	case "kill":
+		enf = asc.EnforceKill
+	case "deny":
+		enf = asc.EnforceDeny
+	case "audit":
+		enf = asc.EnforceAudit
+	default:
+		fmt.Fprintf(os.Stderr, "ascrun: unknown -enforcement %q\n", *enfFlag)
+		usage()
+	}
+
 	b, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
@@ -35,7 +69,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := asc.SystemConfig{Permissive: *permissive}
+	cfg := asc.SystemConfig{Permissive: *permissive, Enforcement: enf}
 	if !*permissive {
 		cfg.Key = asc.NewKey(*key)
 	}
@@ -51,40 +85,136 @@ func main() {
 		}
 		stdin = string(sb)
 	}
-	var proc *kernel.Process
-	if *trace {
-		p, err := system.Kernel.Spawn(exe, flag.Arg(0))
-		if err != nil {
-			fatal(err)
-		}
-		p.Stdin = []byte(stdin)
-		p.DoTrace = true
-		if err := system.Kernel.Run(p, 4_000_000_000); err != nil {
-			fatal(err)
-		}
-		proc = p
-		os.Stdout.WriteString(p.Output())
-		for _, e := range p.Trace {
-			fmt.Fprintf(os.Stderr, "trace: %-14s site=%#x args=%v ret=%d\n",
-				sys.Name(e.Num), e.Site, e.Args, int32(e.Ret))
-		}
-	} else {
-		res, err := system.Exec(exe, flag.Arg(0), stdin)
-		if err != nil {
-			fatal(err)
-		}
-		os.Stdout.WriteString(res.Output)
-		if res.Killed {
-			fmt.Fprintf(os.Stderr, "ascrun: process killed by monitor: %s\n", res.Reason)
-		}
-		fmt.Fprintf(os.Stderr, "ascrun: exit %d, %d cycles, %d syscalls (%d verified)\n",
-			res.ExitCode, res.Cycles, res.Syscalls, res.Verified)
-		os.Exit(int(res.ExitCode) & 0x7f)
+
+	switch {
+	case *superviseN >= 0:
+		runSupervised(system, exe, flag.Arg(0), stdin, *superviseN, *backoff)
+	case *trace:
+		runTraced(system, exe, flag.Arg(0), stdin)
+	default:
+		runOnce(system, exe, flag.Arg(0), stdin)
 	}
-	if proc != nil && proc.Killed {
-		fmt.Fprintf(os.Stderr, "ascrun: process killed by monitor: %s\n", proc.KilledBy)
-		os.Exit(1)
+}
+
+// runOnce executes the binary a single time and maps the outcome to the
+// documented exit codes.
+func runOnce(system *asc.System, exe *asc.Binary, name, stdin string) {
+	res, err := system.Exec(exe, name, stdin)
+	if err != nil {
+		exitRunError(err)
 	}
+	os.Stdout.WriteString(res.Output)
+	reportAudit(system)
+	if res.Killed {
+		fmt.Fprintf(os.Stderr, "ascrun: process killed by monitor: %s\n", res.Reason)
+		os.Exit(exitKilled)
+	}
+	fmt.Fprintf(os.Stderr, "ascrun: exit %d, %d cycles, %d syscalls (%d verified)\n",
+		res.ExitCode, res.Cycles, res.Syscalls, res.Verified)
+	os.Exit(int(res.ExitCode) & 0x7f)
+}
+
+// runTraced executes once with the system call trace enabled.
+func runTraced(system *asc.System, exe *asc.Binary, name, stdin string) {
+	p, err := system.Kernel.Spawn(exe, name)
+	if err != nil {
+		fatal(err)
+	}
+	p.Stdin = []byte(stdin)
+	p.DoTrace = true
+	runErr := system.Kernel.Run(p, 4_000_000_000)
+	os.Stdout.WriteString(p.Output())
+	for _, e := range p.Trace {
+		fmt.Fprintf(os.Stderr, "trace: %-14s site=%#x args=%v ret=%d\n",
+			sys.Name(e.Num), e.Site, e.Args, int32(e.Ret))
+	}
+	reportAudit(system)
+	if runErr != nil {
+		exitRunError(runErr)
+	}
+	if p.Killed {
+		fmt.Fprintf(os.Stderr, "ascrun: process killed by monitor: %s\n", p.KilledBy)
+		os.Exit(exitKilled)
+	}
+	os.Exit(int(p.Code) & 0x7f)
+}
+
+// runSupervised runs the binary under the restart policy and reports the
+// restart statistics.
+func runSupervised(system *asc.System, exe *asc.Binary, name, stdin string, maxRestarts int, backoff uint64) {
+	scfg := asc.SuperviseConfig{MaxRestarts: maxRestarts, BackoffBase: backoff}
+	if maxRestarts == 0 {
+		scfg.MaxRestarts = -1 // "0" means run once, not the library default
+	}
+	stats, err := system.Supervise(exe, name, stdin, scfg)
+	if err != nil {
+		fatal(err)
+	}
+	if stats.Final != nil {
+		os.Stdout.WriteString(stats.Final.Output)
+	}
+	reportAudit(system)
+	fmt.Fprintf(os.Stderr, "ascrun: supervise: %d attempts, %d restarts, %d cycles total backoff\n",
+		stats.Attempts, stats.Restarts, stats.TotalBackoff)
+	causes := make([]string, 0, len(stats.Causes))
+	for c := range stats.Causes {
+		causes = append(causes, c)
+	}
+	sort.Strings(causes)
+	for _, c := range causes {
+		fmt.Fprintf(os.Stderr, "ascrun: supervise: cause %q × %d\n", c, stats.Causes[c])
+	}
+	if stats.GaveUp {
+		fmt.Fprintln(os.Stderr, "ascrun: supervise: gave up")
+		switch {
+		case stats.Final != nil && stats.Final.Killed:
+			fmt.Fprintf(os.Stderr, "ascrun: process killed by monitor: %s\n", stats.Final.Reason)
+			os.Exit(exitKilled)
+		case stats.FinalCause == "crash":
+			os.Exit(exitCrashed)
+		default:
+			os.Exit(exitRunaway)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "ascrun: exit %d, %d cycles, %d syscalls (%d verified)\n",
+		stats.Final.ExitCode, stats.Final.Cycles, stats.Final.Syscalls, stats.Final.Verified)
+	os.Exit(int(stats.Final.ExitCode) & 0x7f)
+}
+
+// reportAudit prints the kernel's held violation records (Deny and Audit
+// modes leave the process running, so the ring is the only evidence).
+func reportAudit(system *asc.System) {
+	const maxShown = 16
+	ents := system.Audit()
+	for i, e := range ents {
+		if i == maxShown {
+			fmt.Fprintf(os.Stderr, "ascrun: ... %d more violations held in the ring\n", len(ents)-i)
+			break
+		}
+		fmt.Fprintf(os.Stderr, "ascrun: violation: %s\n", e)
+	}
+	if d := system.Kernel.Audit.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "ascrun: audit ring dropped %d older records\n", d)
+	}
+}
+
+// exitRunError maps an execution error to its documented exit code.
+func exitRunError(err error) {
+	var fault *vm.Fault
+	switch {
+	case errors.Is(err, vm.ErrCycleLimit):
+		fmt.Fprintln(os.Stderr, "ascrun: cycle budget exhausted (runaway)")
+		os.Exit(exitRunaway)
+	case errors.As(err, &fault):
+		fmt.Fprintln(os.Stderr, "ascrun: process crashed:", fault)
+		os.Exit(exitCrashed)
+	}
+	fatal(err)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ascrun (-key <passphrase> | -permissive) [-stdin file] [-trace] [-enforcement kill|deny|audit] [-supervise N] [-backoff N] exe")
+	os.Exit(2)
 }
 
 func fatal(err error) {

@@ -1,0 +1,75 @@
+package attack
+
+import (
+	"testing"
+
+	"asc/internal/fault"
+	"asc/internal/kernel"
+)
+
+// freshInjector returns a kernel option that installs a NEW engine of
+// the given class into each kernel the lab builds, so every experiment
+// sees the same deterministic fault regardless of battery order.
+func freshInjector(class fault.Class, seed uint64) kernel.Option {
+	return func(k *kernel.Kernel) {
+		kernel.WithInjector(fault.NewEngine(class, seed))(k)
+	}
+}
+
+// TestBatteryFaultParity runs the full attack battery inside a fault
+// campaign, with the verify cache disabled and enabled: every experiment
+// must produce the identical outcome (blocked/allowed AND reason) in
+// both configurations. This is the cache-soundness claim of PR 1
+// extended to a platform under active fault injection.
+func TestBatteryFaultParity(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	run := func(class fault.Class, seed uint64, cached bool) []Outcome {
+		t.Helper()
+		lab, err := NewLab(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if class != "" {
+			lab.KernelOpts = append(lab.KernelOpts, freshInjector(class, seed))
+		}
+		if cached {
+			lab.KernelOpts = append(lab.KernelOpts, kernel.WithVerifyCache())
+		}
+		outs, err := lab.Battery()
+		if err != nil {
+			t.Fatalf("%s battery: %v", class, err)
+		}
+		return outs
+	}
+
+	// Control arm: the unperturbed battery fixes which experiments are
+	// expected to be blocked (the baseline run and the
+	// no-countermeasure Frankenstein arm legitimately succeed).
+	control := run("", 0, false)
+
+	classes := append(fault.Classes(), fault.Class("")) // "" = no-injector arm
+	for _, class := range classes {
+		for _, seed := range []uint64{1, 99} {
+			name := "no-fault"
+			if class != "" {
+				name = string(class)
+			}
+			plain := run(class, seed, false)
+			cached := run(class, seed, true)
+			if len(plain) != len(cached) || len(plain) != len(control) {
+				t.Fatalf("%s seed %d: battery sizes differ", name, seed)
+			}
+			for i := range plain {
+				if plain[i].Blocked != cached[i].Blocked || plain[i].Reason != cached[i].Reason {
+					t.Errorf("%s seed %d: %s diverges: uncached %+v, cached %+v",
+						name, seed, plain[i].Name, plain[i], cached[i])
+				}
+				// An injected fault may only tighten the platform: an
+				// attack blocked without faults must stay blocked.
+				if control[i].Blocked && !plain[i].Blocked {
+					t.Errorf("%s seed %d: fault unblocked attack %s", name, seed, plain[i].Name)
+				}
+			}
+		}
+	}
+}

@@ -194,5 +194,11 @@ func TestEnforcementComparison(t *testing.T) {
 		cost["authenticated system calls"] < cost["user-space policy daemon"]) {
 		t.Errorf("ordering violated: %+v", cost)
 	}
+	// The enforcement action only differs on violation, so a compliant
+	// workload pays identical per-call cost in Kill and Deny modes.
+	if cost["authenticated system calls (deny mode)"] != cost["authenticated system calls"] {
+		t.Errorf("deny mode cost %v != kill mode cost %v",
+			cost["authenticated system calls (deny mode)"], cost["authenticated system calls"])
+	}
 	t.Log("\n" + data.Render())
 }

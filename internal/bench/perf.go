@@ -395,6 +395,13 @@ func EnforcementComparison(key []byte) (*ComparisonData, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Deny mode verifies exactly like Kill mode (the enforcement action
+	// only differs on violation), so a compliant workload should pay the
+	// same per-call cost; the row documents that equivalence.
+	ascDeny, err := measure(kernel.Enforce, true, nil, kernel.WithEnforcement(kernel.EnforceDeny))
+	if err != nil {
+		return nil, err
+	}
 	allow := map[string]bool{"getpid": true, "open": true, "exit": true, "read": true, "write": true}
 	pol := &systrace.Policy{Program: "compare", Allowed: allow}
 	inKernel, err := measure(kernel.Permissive, false, pol.InKernelMonitor())
@@ -409,6 +416,7 @@ func EnforcementComparison(key []byte) (*ComparisonData, error) {
 		{"no monitoring", none},
 		{"authenticated system calls", asc},
 		{"authenticated system calls (cached)", ascCached},
+		{"authenticated system calls (deny mode)", ascDeny},
 		{"in-kernel policy table", inKernel},
 		{"user-space policy daemon", daemon},
 	}}, nil

@@ -49,6 +49,13 @@ type Config struct {
 	NormalizePaths bool
 	// Personality selects the OS personality (default Linux).
 	Personality kernel.Personality
+	// Enforcement selects what the kernel does with a violating call:
+	// kill the process (default), deny the call with EPERM, or audit
+	// and continue.
+	Enforcement kernel.Enforcement
+	// KernelOptions are appended to the kernel's construction options
+	// (fault injectors, audit-ring capacity, verify cache, ...).
+	KernelOptions []kernel.Option
 }
 
 // NewSystem builds a machine with a standard directory tree.
@@ -80,6 +87,10 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.NormalizePaths {
 		opts = append(opts, kernel.WithNormalizePaths())
 	}
+	if cfg.Enforcement != kernel.EnforceKill {
+		opts = append(opts, kernel.WithEnforcement(cfg.Enforcement))
+	}
+	opts = append(opts, cfg.KernelOptions...)
 	k, err := kernel.New(fs, key, opts...)
 	if err != nil {
 		return nil, err
@@ -166,7 +177,9 @@ func (s *System) ExecPath(path, stdin string) (*Result, error) {
 	return s.Exec(f, path, stdin)
 }
 
-// Audit returns the kernel's audit log.
+// Audit returns the kernel's held violation records, oldest first. The
+// underlying log is a bounded ring; s.Kernel.Audit.Dropped() reports how
+// many older records were overwritten.
 func (s *System) Audit() []kernel.AuditEntry {
-	return append([]kernel.AuditEntry(nil), s.Kernel.Audit...)
+	return s.Kernel.Audit.Entries()
 }

@@ -1,0 +1,142 @@
+// supervise.go implements the supervised-restart runner: a process
+// killed by the monitor (or denied into a runaway loop) is restarted
+// with capped exponential backoff, the way an init system restarts a
+// crashed service. Backoff is virtual — measured in machine cycles, not
+// wall-clock time — so supervised runs stay deterministic.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"asc/internal/binfmt"
+	"asc/internal/vm"
+)
+
+// SuperviseConfig parameterizes the restart policy.
+type SuperviseConfig struct {
+	// MaxRestarts bounds how many times the process is restarted after
+	// its first attempt (default 3).
+	MaxRestarts int
+	// BackoffBase is the virtual backoff (cycles) before the first
+	// restart; each further restart doubles it (default 1000).
+	BackoffBase uint64
+	// BackoffCap caps the doubling (default 16 × BackoffBase).
+	BackoffCap uint64
+	// MaxCycles is the per-attempt execution budget (default 4e9). A
+	// budget overrun counts as a restartable failure ("runaway"), which
+	// Deny-mode processes can produce when their control-flow chain is
+	// unrecoverable.
+	MaxCycles uint64
+}
+
+// RestartEvent records one supervised restart.
+type RestartEvent struct {
+	Attempt int    // 1-based attempt that failed
+	Cause   string // kill reason, or "runaway"
+	Backoff uint64 // virtual cycles waited before the next attempt
+}
+
+// SuperviseStats summarizes a supervised run.
+type SuperviseStats struct {
+	Attempts     int
+	Restarts     int
+	GaveUp       bool
+	TotalBackoff uint64
+	Causes       map[string]int
+	Events       []RestartEvent
+	Final        *Result // the last attempt's result
+	FinalCause   string  // cause of the last failed attempt ("" on a clean exit)
+}
+
+// Supervise runs a binary under the restart policy. It returns an error
+// only for platform failures; monitor kills and runaways are absorbed
+// into the stats.
+func (s *System) Supervise(exe *binfmt.File, name, stdin string, cfg SuperviseConfig) (*SuperviseStats, error) {
+	if cfg.MaxRestarts < 0 {
+		cfg.MaxRestarts = 0
+	} else if cfg.MaxRestarts == 0 {
+		cfg.MaxRestarts = 3
+	}
+	if cfg.BackoffBase == 0 {
+		cfg.BackoffBase = 1000
+	}
+	if cfg.BackoffCap == 0 {
+		cfg.BackoffCap = 16 * cfg.BackoffBase
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 4_000_000_000
+	}
+
+	stats := &SuperviseStats{Causes: map[string]int{}}
+	backoff := cfg.BackoffBase
+	for {
+		stats.Attempts++
+		res, cause, err := s.execBounded(exe, name, stdin, cfg.MaxCycles)
+		if err != nil {
+			return stats, err
+		}
+		stats.Final = res
+		if cause == "" {
+			// Clean (or at least voluntary) exit: supervision ends.
+			if len(stats.Causes) == 0 {
+				stats.Causes = nil
+			}
+			return stats, nil
+		}
+		stats.Causes[cause]++
+		stats.FinalCause = cause
+		if stats.Restarts >= cfg.MaxRestarts {
+			stats.GaveUp = true
+			return stats, nil
+		}
+		stats.Events = append(stats.Events, RestartEvent{
+			Attempt: stats.Attempts, Cause: cause, Backoff: backoff,
+		})
+		stats.TotalBackoff += backoff
+		stats.Restarts++
+		if backoff < cfg.BackoffCap {
+			backoff *= 2
+			if backoff > cfg.BackoffCap {
+				backoff = cfg.BackoffCap
+			}
+		}
+	}
+}
+
+// execBounded runs one attempt with a cycle budget. The returned cause
+// is "" on a voluntary exit, the kill reason for a monitor kill,
+// "runaway" for budget exhaustion, or "crash" for a CPU fault (all
+// restartable failures, like an init system restarting a segfaulting
+// service); only platform failures surface as errors.
+func (s *System) execBounded(exe *binfmt.File, name, stdin string, maxCycles uint64) (*Result, string, error) {
+	p, err := s.Kernel.Spawn(exe, name)
+	if err != nil {
+		return nil, "", err
+	}
+	p.Stdin = []byte(stdin)
+	runErr := s.Kernel.Run(p, maxCycles)
+	var cause string
+	var fault *vm.Fault
+	switch {
+	case runErr == nil:
+		if p.Killed {
+			cause = string(p.KilledBy)
+		}
+	case errors.Is(runErr, vm.ErrCycleLimit):
+		cause = "runaway"
+	case errors.As(runErr, &fault):
+		cause = "crash"
+	default:
+		return nil, "", fmt.Errorf("core: run %s: %w", name, runErr)
+	}
+	return &Result{
+		Output:   p.Output(),
+		ExitCode: p.Code,
+		Killed:   p.Killed,
+		Reason:   p.KilledBy,
+		Cycles:   p.CPU.Cycles,
+		Syscalls: p.SyscallCount,
+		Verified: p.VerifyCount,
+	}, cause, nil
+}

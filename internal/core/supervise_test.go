@@ -1,0 +1,156 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"asc/internal/asm"
+	"asc/internal/binfmt"
+	"asc/internal/kernel"
+	"asc/internal/libc"
+	"asc/internal/linker"
+)
+
+var superviseKey = []byte("0123456789abcdef")
+
+func buildRaw(t *testing.T, src string) *binfmt.File {
+	t.Helper()
+	obj, err := asm.Assemble("main.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := libc.Objects(libc.Linux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := linker.Link([]*binfmt.File{obj}, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exe
+}
+
+const superviseCleanSrc = `
+        .text
+        .global main
+main:
+        MOVI r1, msg
+        CALL puts
+        MOVI r0, 0
+        RET
+        .rodata
+msg:    .asciz "ok"
+`
+
+// superviseKilledSrc issues a SYSCALL whose number is computed at run
+// time; the installer cannot authenticate the site, so it stays a raw
+// SYSCALL that an enforcing kernel refuses on every attempt.
+const superviseKilledSrc = `
+        .text
+        .global main
+main:
+        LOAD r0, [sp+0]
+        SYSCALL
+        MOVI r0, 0
+        RET
+`
+
+func newSystem(t *testing.T, cfg Config) *System {
+	t.Helper()
+	if cfg.Key == nil && !cfg.Permissive {
+		cfg.Key = superviseKey
+	}
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSuperviseCleanExit: a healthy program runs once, no restarts.
+func TestSuperviseCleanExit(t *testing.T) {
+	s := newSystem(t, Config{})
+	exe, _, _, err := s.Install(buildRaw(t, superviseCleanSrc), "clean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := s.Supervise(exe, "clean", "", SuperviseConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Attempts != 1 || stats.Restarts != 0 || stats.GaveUp {
+		t.Errorf("stats = %+v, want single clean attempt", stats)
+	}
+	if !strings.Contains(stats.Final.Output, "ok") {
+		t.Errorf("output %q", stats.Final.Output)
+	}
+}
+
+// TestSuperviseRestartsAndBackoff: a persistently-killed program is
+// restarted with doubling, capped backoff until the budget is spent.
+func TestSuperviseRestartsAndBackoff(t *testing.T) {
+	s := newSystem(t, Config{})
+	exe, _, _, err := s.Install(buildRaw(t, superviseKilledSrc), "bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := s.Supervise(exe, "bad", "", SuperviseConfig{
+		MaxRestarts: 4,
+		BackoffBase: 100,
+		BackoffCap:  400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.GaveUp {
+		t.Error("supervisor did not give up on a persistent failure")
+	}
+	if stats.Attempts != 5 || stats.Restarts != 4 {
+		t.Errorf("attempts=%d restarts=%d, want 5/4", stats.Attempts, stats.Restarts)
+	}
+	if stats.Causes[string(kernel.KillUnauthenticated)] != 5 {
+		t.Errorf("causes = %v", stats.Causes)
+	}
+	// Backoffs: 100, 200, 400, 400 (capped).
+	want := []uint64{100, 200, 400, 400}
+	if len(stats.Events) != len(want) {
+		t.Fatalf("events = %+v", stats.Events)
+	}
+	var total uint64
+	for i, ev := range stats.Events {
+		if ev.Backoff != want[i] {
+			t.Errorf("backoff[%d] = %d, want %d", i, ev.Backoff, want[i])
+		}
+		total += ev.Backoff
+	}
+	if stats.TotalBackoff != total {
+		t.Errorf("TotalBackoff = %d, want %d", stats.TotalBackoff, total)
+	}
+	if !stats.Final.Killed {
+		t.Error("final result not killed")
+	}
+}
+
+// TestSuperviseRunaway: a Deny-mode process whose chain is unrecoverable
+// overruns its cycle budget; the supervisor classifies it as a runaway
+// and restarts it.
+func TestSuperviseRunaway(t *testing.T) {
+	s := newSystem(t, Config{Enforcement: kernel.EnforceDeny})
+	exe, _, _, err := s.Install(buildRaw(t, superviseKilledSrc), "bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := s.Supervise(exe, "bad", "", SuperviseConfig{
+		MaxRestarts: 1,
+		MaxCycles:   300_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.GaveUp || stats.Attempts != 2 {
+		t.Errorf("stats = %+v, want 2 runaway attempts", stats)
+	}
+	if stats.Causes["runaway"] != 2 {
+		t.Errorf("causes = %v", stats.Causes)
+	}
+}

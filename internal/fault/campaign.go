@@ -1,0 +1,415 @@
+// campaign.go drives the deterministic fault-injection campaign: N
+// seeded trials per fault class per victim workload, each trial executed
+// under Kill and Deny enforcement with the verify cache off and on. The
+// driver checks the platform's contract — every fault inside the
+// MAC-protected surface is detected with an expected reason, faults
+// outside it are survived cleanly, and outcomes are identical across
+// cache and enforcement configurations — and aggregates the results into
+// a JSON-stable matrix.
+package fault
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"asc/internal/binfmt"
+	"asc/internal/core"
+	"asc/internal/kernel"
+	"asc/internal/vfs"
+	"asc/internal/vm"
+	"asc/internal/workload"
+)
+
+// Config parameterizes a campaign.
+type Config struct {
+	Seed   uint64
+	Trials int
+	// Key is the MAC key; defaults to a fixed campaign key.
+	Key []byte
+	// Classes defaults to Classes().
+	Classes []Class
+	// Victims defaults to workload.FaultVictims().
+	Victims []workload.FaultVictim
+	// MaxCycles bounds each run; Deny-mode processes whose control-flow
+	// chain is unrecoverable run away until this budget expires.
+	// Defaults to 4,000,000.
+	MaxCycles uint64
+}
+
+// DefaultKey is the campaign MAC key used when Config.Key is nil.
+var DefaultKey = []byte("fault-campaign-k")
+
+// Outcome classifies one process run under one configuration.
+type Outcome struct {
+	Fired    bool   `json:"fired"`
+	Detected bool   `json:"detected"`
+	Reason   string `json:"reason,omitempty"` // first violation reason
+	Result   string `json:"result"`           // clean | killed | denied | runaway | exit:N
+}
+
+// Cell aggregates the trials of one (class, victim) pair.
+type Cell struct {
+	Class    string         `json:"class"`
+	Victim   string         `json:"victim"`
+	Trials   int            `json:"trials"`
+	Fired    int            `json:"fired"`
+	Detected int            `json:"detected"`
+	Clean    int            `json:"clean"`
+	Runaways int            `json:"runaways"` // deny-mode unrecoverable chains
+	Reasons  map[string]int `json:"reasons,omitempty"`
+	Failures []string       `json:"failures,omitempty"`
+}
+
+// RestartCell records the supervised-restart demonstration for one
+// victim: a transient record flip kills the first attempt, and the
+// supervisor's restart recovers the workload.
+type RestartCell struct {
+	Victim    string         `json:"victim"`
+	Class     string         `json:"class"`
+	Attempts  int            `json:"attempts"`
+	Restarts  int            `json:"restarts"`
+	GaveUp    bool           `json:"gave_up"`
+	Recovered bool           `json:"recovered"`
+	Causes    map[string]int `json:"causes,omitempty"`
+	Failure   string         `json:"failure,omitempty"`
+}
+
+// Matrix is the campaign result; its JSON encoding is byte-stable for a
+// given Config.
+type Matrix struct {
+	Seed      uint64        `json:"seed"`
+	Trials    int           `json:"trials"`
+	MaxCycles uint64        `json:"max_cycles"`
+	Cells     []Cell        `json:"cells"`
+	Restarts  []RestartCell `json:"restarts"`
+}
+
+// Run executes the campaign.
+func Run(cfg Config) (*Matrix, error) {
+	if cfg.Trials <= 0 {
+		cfg.Trials = 4
+	}
+	if cfg.Key == nil {
+		cfg.Key = DefaultKey
+	}
+	if cfg.Classes == nil {
+		cfg.Classes = Classes()
+	}
+	if cfg.Victims == nil {
+		cfg.Victims = workload.FaultVictims()
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 4_000_000
+	}
+
+	m := &Matrix{Seed: cfg.Seed, Trials: cfg.Trials, MaxCycles: cfg.MaxCycles}
+	for vi := range cfg.Victims {
+		v := &cfg.Victims[vi]
+		exe, err := v.Build(cfg.Key)
+		if err != nil {
+			return nil, fmt.Errorf("fault: build victim %s: %w", v.Name, err)
+		}
+		for _, class := range cfg.Classes {
+			cell, err := runCell(cfg, class, v, exe, uint64(vi))
+			if err != nil {
+				return nil, err
+			}
+			m.Cells = append(m.Cells, cell)
+		}
+		rc, err := runRestart(cfg, v, exe, uint64(vi))
+		if err != nil {
+			return nil, err
+		}
+		m.Restarts = append(m.Restarts, rc)
+	}
+	sort.SliceStable(m.Cells, func(i, j int) bool {
+		if m.Cells[i].Class != m.Cells[j].Class {
+			return m.Cells[i].Class < m.Cells[j].Class
+		}
+		return m.Cells[i].Victim < m.Cells[j].Victim
+	})
+	sort.SliceStable(m.Restarts, func(i, j int) bool {
+		return m.Restarts[i].Victim < m.Restarts[j].Victim
+	})
+	return m, nil
+}
+
+// runRestart runs one victim under the restart supervisor with a
+// transient record flip: the fault fires once, the killed attempt is
+// restarted, and the fresh process (the flip is spent) runs clean.
+func runRestart(cfg Config, v *workload.FaultVictim, exe *binfmt.File, vi uint64) (RestartCell, error) {
+	s := cfg.Seed
+	_ = splitmix(&s)
+	subseed := s ^ vi<<40 ^ 1<<63 // distinct from every trial subseed
+	eng := NewEngine(FlipRecord, subseed)
+	sys, err := core.NewSystem(core.Config{
+		Key:           cfg.Key,
+		KernelOptions: []kernel.Option{kernel.WithInjector(eng)},
+	})
+	if err != nil {
+		return RestartCell{}, err
+	}
+	stats, err := sys.Supervise(exe, v.Name, v.Stdin, core.SuperviseConfig{
+		MaxRestarts: 3,
+		BackoffBase: 100,
+		MaxCycles:   cfg.MaxCycles,
+	})
+	if err != nil {
+		return RestartCell{}, fmt.Errorf("fault: supervise %s: %w", v.Name, err)
+	}
+	rc := RestartCell{
+		Victim:    v.Name,
+		Class:     string(FlipRecord),
+		Attempts:  stats.Attempts,
+		Restarts:  stats.Restarts,
+		GaveUp:    stats.GaveUp,
+		Recovered: !stats.GaveUp && stats.Restarts > 0,
+		Causes:    stats.Causes,
+	}
+	switch {
+	case !eng.Fired():
+		rc.Failure = "fault never fired"
+	case stats.GaveUp:
+		rc.Failure = "supervisor gave up on a transient fault"
+	case stats.Restarts != 1:
+		rc.Failure = fmt.Sprintf("%d restarts for one transient fault, want 1", stats.Restarts)
+	}
+	return rc, nil
+}
+
+// runCell runs every trial of one (class, victim) pair.
+func runCell(cfg Config, class Class, v *workload.FaultVictim, exe *binfmt.File, vi uint64) (Cell, error) {
+	cell := Cell{
+		Class: string(class), Victim: v.Name, Trials: cfg.Trials,
+		Reasons: map[string]int{},
+	}
+	exp := Expectation(class)
+	for trial := 0; trial < cfg.Trials; trial++ {
+		s := cfg.Seed
+		_ = splitmix(&s)
+		subseed := s ^ vi<<40 ^ uint64(trial)<<8
+		var outs [4]Outcome
+		i := 0
+		for _, mode := range []kernel.Enforcement{kernel.EnforceKill, kernel.EnforceDeny} {
+			for _, cache := range []bool{false, true} {
+				out, err := runOne(cfg, class, exe, v.Stdin, subseed, mode, cache)
+				if err != nil {
+					return cell, fmt.Errorf("fault: %s/%s trial %d: %w", class, v.Name, trial, err)
+				}
+				outs[i] = out
+				i++
+			}
+		}
+		cell.note(checkTrial(exp, outs, trial))
+
+		// Aggregate the Kill/cache-off run (the canonical configuration).
+		k := outs[0]
+		if k.Fired {
+			cell.Fired++
+		}
+		if k.Detected {
+			cell.Detected++
+			cell.Reasons[k.Reason]++
+		}
+		if k.Result == "clean" {
+			cell.Clean++
+		}
+		for _, o := range outs[2:] { // the two Deny runs
+			if o.Result == "runaway" {
+				cell.Runaways++
+			}
+		}
+	}
+	if len(cell.Reasons) == 0 {
+		cell.Reasons = nil
+	}
+	return cell, nil
+}
+
+// note appends non-empty failure messages.
+func (c *Cell) note(msgs []string) {
+	c.Failures = append(c.Failures, msgs...)
+}
+
+// checkTrial validates one trial's four outcomes against the class
+// contract and the cross-configuration parity requirements.
+func checkTrial(exp Expect, outs [4]Outcome, trial int) []string {
+	var fails []string
+	badf := func(format string, args ...any) {
+		fails = append(fails, fmt.Sprintf("trial %d: ", trial)+fmt.Sprintf(format, args...))
+	}
+	names := [4]string{"kill", "kill+cache", "deny", "deny+cache"}
+
+	// Parity: the fault either fires in every configuration or in none,
+	// and cache on/off must agree exactly within each mode.
+	for i := 1; i < 4; i++ {
+		if outs[i].Fired != outs[0].Fired {
+			badf("fired mismatch: %s=%v, kill=%v", names[i], outs[i].Fired, outs[0].Fired)
+		}
+	}
+	if outs[0] != outs[1] {
+		badf("cache parity (kill): %+v vs %+v", outs[0], outs[1])
+	}
+	if outs[2] != outs[3] {
+		badf("cache parity (deny): %+v vs %+v", outs[2], outs[3])
+	}
+	// Kill and Deny must agree on detection and on the first reason.
+	if outs[2].Detected != outs[0].Detected {
+		badf("mode parity: deny detected=%v, kill detected=%v", outs[2].Detected, outs[0].Detected)
+	}
+	if outs[0].Detected && outs[2].Detected && outs[2].Reason != outs[0].Reason {
+		badf("mode parity: deny reason %q, kill reason %q", outs[2].Reason, outs[0].Reason)
+	}
+
+	for i, o := range outs {
+		switch {
+		case !o.Fired:
+			// The fault never triggered (no eligible site): the victim
+			// must run to a clean exit.
+			if o.Result != "clean" {
+				badf("%s: unfired run ended %q, want clean", names[i], o.Result)
+			}
+		case !exp.Detected:
+			// Outside the protection boundary: clean survival required.
+			if o.Detected || o.Result != "clean" {
+				badf("%s: out-of-boundary fault not survived: %+v", names[i], o)
+			}
+		default:
+			if !o.Detected {
+				badf("%s: fault not detected: %+v", names[i], o)
+			} else if !exp.ReasonAllowed(kernel.KillReason(o.Reason)) {
+				badf("%s: unexpected reason %q", names[i], o.Reason)
+			}
+			if i < 2 && o.Detected && o.Result != "killed" {
+				badf("%s: detected but result %q, want killed", names[i], o.Result)
+			}
+			if i >= 2 && o.Result == "killed" {
+				badf("%s: deny-mode process was killed", names[i])
+			}
+		}
+	}
+	return fails
+}
+
+// runOne executes one victim run under one configuration.
+func runOne(cfg Config, class Class, exe *binfmt.File, stdin string, subseed uint64, mode kernel.Enforcement, cache bool) (Outcome, error) {
+	fs := vfs.New()
+	for _, d := range []string{"/bin", "/etc", "/tmp", "/data"} {
+		if err := fs.MkdirAll(d, 0o755); err != nil {
+			return Outcome{}, err
+		}
+	}
+	eng := NewEngine(class, subseed)
+	// The campaign probes the FIRST violation, so the audit ring must
+	// never wrap: every violating trap costs at least the trap cycles,
+	// which bounds how many violations fit in the cycle budget. (The
+	// default 1024-entry ring can wrap differently across cache
+	// configurations — cache hits are cheaper, so the cached arm packs
+	// more denied loop iterations into the same budget.)
+	ringCap := int(cfg.MaxCycles/kernel.DefaultCosts.Trap) + 16
+	opts := []kernel.Option{
+		kernel.WithEnforcement(mode),
+		kernel.WithInjector(eng),
+		kernel.WithAuditCapacity(ringCap),
+	}
+	if cache {
+		opts = append(opts, kernel.WithVerifyCache())
+	}
+	k, err := kernel.New(fs, cfg.Key, opts...)
+	if err != nil {
+		return Outcome{}, err
+	}
+	p, err := k.Spawn(exe, "victim")
+	if err != nil {
+		return Outcome{}, err
+	}
+	p.Stdin = []byte(stdin)
+	runErr := k.Run(p, cfg.MaxCycles)
+
+	out := Outcome{Fired: eng.Fired()}
+	if first, ok := firstViolation(k); ok {
+		out.Detected = true
+		out.Reason = string(first.Reason)
+	}
+	switch {
+	case p.Killed:
+		out.Result = "killed"
+	case errors.Is(runErr, vm.ErrCycleLimit):
+		out.Result = "runaway"
+	case runErr != nil:
+		return Outcome{}, runErr
+	case p.Exited && p.Code == 0 && !out.Detected:
+		out.Result = "clean"
+	case p.Exited && p.Code == 0:
+		out.Result = "denied"
+	default:
+		out.Result = fmt.Sprintf("exit:%d", p.Code)
+	}
+	return out, nil
+}
+
+// firstViolation returns the oldest violation in the kernel's ring.
+func firstViolation(k *kernel.Kernel) (kernel.Violation, bool) {
+	ents := k.Audit.Entries()
+	if len(ents) == 0 {
+		return kernel.Violation{}, false
+	}
+	return ents[0], true
+}
+
+// JSON renders the matrix with stable formatting.
+func (m *Matrix) JSON() ([]byte, error) {
+	return json.MarshalIndent(m, "", "  ")
+}
+
+// Failures returns every accumulated contract violation.
+func (m *Matrix) Failures() []string {
+	var all []string
+	for _, c := range m.Cells {
+		for _, f := range c.Failures {
+			all = append(all, fmt.Sprintf("%s/%s: %s", c.Class, c.Victim, f))
+		}
+	}
+	for _, r := range m.Restarts {
+		if r.Failure != "" {
+			all = append(all, fmt.Sprintf("restart/%s: %s", r.Victim, r.Failure))
+		}
+	}
+	return all
+}
+
+// Render formats the matrix as an aligned text table.
+func (m *Matrix) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault campaign: seed=%d trials=%d\n", m.Seed, m.Trials)
+	fmt.Fprintf(&b, "%-18s %-8s %6s %6s %9s %6s %9s  %s\n",
+		"class", "victim", "trials", "fired", "detected", "clean", "runaways", "reasons")
+	for _, c := range m.Cells {
+		reasons := make([]string, 0, len(c.Reasons))
+		for r, n := range c.Reasons {
+			reasons = append(reasons, fmt.Sprintf("%s×%d", r, n))
+		}
+		sort.Strings(reasons)
+		status := strings.Join(reasons, ", ")
+		if len(c.Failures) > 0 {
+			status = fmt.Sprintf("FAILURES=%d %s", len(c.Failures), status)
+		}
+		fmt.Fprintf(&b, "%-18s %-8s %6d %6d %9d %6d %9d  %s\n",
+			c.Class, c.Victim, c.Trials, c.Fired, c.Detected, c.Clean, c.Runaways, status)
+	}
+	for _, r := range m.Restarts {
+		verdict := "recovered"
+		if !r.Recovered {
+			verdict = "NOT recovered"
+		}
+		if r.Failure != "" {
+			verdict += " (FAILURE: " + r.Failure + ")"
+		}
+		fmt.Fprintf(&b, "supervised restart %-8s transient %s: %d attempts, %d restarts, %s\n",
+			r.Victim, r.Class, r.Attempts, r.Restarts, verdict)
+	}
+	return b.String()
+}

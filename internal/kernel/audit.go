@@ -1,0 +1,131 @@
+// audit.go implements the kernel's bounded violation log: structured
+// Violation records in a fixed-capacity ring. Long fault-injection
+// campaigns and Deny/Audit-mode processes can generate violations at
+// system-call rate; the ring bounds kernel memory while counting every
+// record it had to drop.
+package kernel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Action is the enforcement decision recorded with a violation.
+type Action string
+
+// Enforcement actions.
+const (
+	ActionKill  Action = "kill"
+	ActionDeny  Action = "deny"
+	ActionAudit Action = "audit"
+)
+
+// Violation is one structured monitor decision: a system call that failed
+// verification, together with the action the kernel took.
+type Violation struct {
+	Seq     uint64 // global sequence number (monotonic per kernel)
+	PID     int
+	Program string
+	Num     uint16
+	Name    string
+	Site    uint32
+	Reason  KillReason
+	Action  Action
+}
+
+// AuditEntry is the historical name for a Violation record.
+type AuditEntry = Violation
+
+func (a Violation) String() string {
+	act := a.Action
+	if act == "" {
+		act = ActionKill
+	}
+	return fmt.Sprintf("pid %d (%s): %s at %#x: %s [%s]", a.PID, a.Program, a.Name, a.Site, string(a.Reason), act)
+}
+
+// DefaultAuditCapacity is the violation ring's capacity unless overridden
+// with WithAuditCapacity.
+const DefaultAuditCapacity = 1024
+
+// AuditRing is a fixed-capacity ring of Violation records. Appends past
+// capacity overwrite the oldest entry and bump the dropped counter.
+type AuditRing struct {
+	entries []Violation
+	start   int    // index of the oldest entry
+	seq     uint64 // total records ever appended
+	dropped uint64
+	cap     int
+}
+
+// init lazily sizes the ring (the zero value uses DefaultAuditCapacity).
+func (r *AuditRing) init() {
+	if r.cap == 0 {
+		r.cap = DefaultAuditCapacity
+	}
+}
+
+// SetCapacity sizes an empty ring. It panics if records were already
+// appended (capacity is a construction-time property).
+func (r *AuditRing) SetCapacity(n int) {
+	if r.seq != 0 {
+		panic("kernel: AuditRing.SetCapacity after append")
+	}
+	if n < 1 {
+		n = 1
+	}
+	r.cap = n
+}
+
+// Append records a violation, assigning its sequence number.
+func (r *AuditRing) Append(v Violation) {
+	r.init()
+	v.Seq = r.seq
+	r.seq++
+	if len(r.entries) < r.cap {
+		r.entries = append(r.entries, v)
+		return
+	}
+	r.entries[r.start] = v
+	r.start = (r.start + 1) % len(r.entries)
+	r.dropped++
+}
+
+// Len returns the number of records currently held.
+func (r *AuditRing) Len() int { return len(r.entries) }
+
+// Total returns the number of records ever appended.
+func (r *AuditRing) Total() uint64 { return r.seq }
+
+// Dropped returns the number of records overwritten by later appends.
+func (r *AuditRing) Dropped() uint64 { return r.dropped }
+
+// Entries returns the held records, oldest first.
+func (r *AuditRing) Entries() []Violation {
+	out := make([]Violation, 0, len(r.entries))
+	out = append(out, r.entries[r.start:]...)
+	out = append(out, r.entries[:r.start]...)
+	return out
+}
+
+// Last returns the most recent record, if any.
+func (r *AuditRing) Last() (Violation, bool) {
+	if len(r.entries) == 0 {
+		return Violation{}, false
+	}
+	idx := r.start - 1
+	if idx < 0 {
+		idx += len(r.entries)
+	}
+	return r.entries[idx], true
+}
+
+func (r AuditRing) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit ring (%d held, %d total, %d dropped):", len(r.entries), r.seq, r.dropped)
+	for _, v := range r.Entries() {
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,223 @@
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"asc/internal/binfmt"
+	"asc/internal/vm"
+)
+
+// corruptAuthString flips one byte of the victim's "/tmp/out"
+// authenticated string in process memory (an application-visible store),
+// so every open at that site fails its string MAC check.
+func corruptAuthString(t *testing.T, exe *binfmt.File, p *Process) {
+	t.Helper()
+	auth := exe.Section(binfmt.SecAuth)
+	if auth == nil {
+		t.Fatal("no auth section")
+	}
+	idx := bytes.Index(auth.Data, []byte("/tmp/out\x00"))
+	if idx < 0 {
+		t.Fatal("AS not found")
+	}
+	addr := auth.Addr + uint32(idx)
+	old, err := p.Mem.KernelRead(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Mem.UserWrite(addr, []byte{old[0] ^ 0x01}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDenyModeContinues checks seccomp-style Deny: the violating call
+// returns -EPERM, the process survives to a clean exit, and every denial
+// is recorded in the ring.
+func TestDenyModeContinues(t *testing.T) {
+	exe := buildAuthExe(t, cacheLoopSrc)
+	k := newKernel(t, WithEnforcement(EnforceDeny))
+	p, err := k.Spawn(exe, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Enforcement != EnforceDeny {
+		t.Fatalf("Enforcement = %v, want deny", p.Enforcement)
+	}
+	corruptAuthString(t, exe, p)
+	if err := k.Run(p, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Killed {
+		t.Fatalf("deny-mode process killed: %v", p.KilledBy)
+	}
+	if !p.Exited || p.Code != 0 {
+		t.Fatalf("exited=%v code=%d, want clean exit", p.Exited, p.Code)
+	}
+	// The loop opens 4 times; each open is denied.
+	if p.DeniedCount != 4 {
+		t.Errorf("DeniedCount = %d, want 4", p.DeniedCount)
+	}
+	// The denied open must not have created the file.
+	if _, err := k.FS.ReadFile("/tmp/out"); err == nil {
+		t.Error("denied open still created /tmp/out")
+	}
+	for _, v := range k.Audit.Entries() {
+		if v.Action != ActionDeny || v.Reason != KillBadString {
+			t.Errorf("violation %+v, want deny/%s", v, KillBadString)
+		}
+	}
+	if k.Audit.Len() != 4 {
+		t.Errorf("ring holds %d, want 4", k.Audit.Len())
+	}
+}
+
+// TestAuditModeExecutes checks observe-only mode: the violation is
+// recorded but the call executes normally.
+func TestAuditModeExecutes(t *testing.T) {
+	exe := buildAuthExe(t, cacheLoopSrc)
+	k := newKernel(t, WithEnforcement(EnforceAudit))
+	p, err := k.Spawn(exe, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptAuthString(t, exe, p)
+	if err := k.Run(p, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Killed {
+		t.Fatalf("audit-mode process killed: %v", p.KilledBy)
+	}
+	if p.AuditedCount != 4 {
+		t.Errorf("AuditedCount = %d, want 4", p.AuditedCount)
+	}
+	// Audit mode executes the call: the open succeeds despite the
+	// violation, so the file exists. (The path argument register still
+	// points at the — corrupted — string bytes.)
+	if !k.FS.Exists("/tmp") {
+		t.Fatal("fs missing /tmp")
+	}
+	if v, ok := k.Audit.Last(); !ok || v.Action != ActionAudit {
+		t.Errorf("last violation %+v, want audit action", v)
+	}
+}
+
+// TestDenyUnauthenticatedCall checks Deny mode on the shellcode path: a
+// plain SYSCALL from an authenticated binary is refused, not fatal. An
+// unauthenticated call carries no record, so the monitor cannot resync
+// the control-flow chain through it; later authenticated calls (here
+// libc's exit) are denied too and the process runs away until its cycle
+// budget expires — the supervisor's problem, not the kernel's.
+func TestDenyUnauthenticatedCall(t *testing.T) {
+	src := `
+        .text
+        .global main
+main:
+        LOAD r0, [sp+0]
+        SYSCALL
+        MOVI r0, 0
+        RET
+`
+	k := newKernel(t, WithEnforcement(EnforceDeny))
+	p, err := k.Spawn(buildAuthExe(t, src), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = k.Run(p, 200_000)
+	if !errors.Is(err, vm.ErrCycleLimit) {
+		t.Fatalf("Run err = %v, want cycle-limit runaway", err)
+	}
+	if p.Killed {
+		t.Fatalf("killed: %v", p.KilledBy)
+	}
+	if p.DeniedCount == 0 {
+		t.Error("DeniedCount = 0, want > 0")
+	}
+	ents := k.Audit.Entries()
+	if len(ents) == 0 || ents[0].Reason != KillUnauthenticated || ents[0].Action != ActionDeny {
+		t.Errorf("first violation %+v, want denied %s", ents, KillUnauthenticated)
+	}
+}
+
+// TestPerProcessEnforcement runs a kill-default kernel with one process
+// switched to Deny: only the overridden process survives its violation.
+func TestPerProcessEnforcement(t *testing.T) {
+	exe := buildAuthExe(t, cacheLoopSrc)
+	k := newKernel(t)
+
+	pd, err := k.Spawn(exe, "deny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd.Enforcement = EnforceDeny
+	corruptAuthString(t, exe, pd)
+	if err := k.Run(pd, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if pd.Killed {
+		t.Fatalf("deny process killed: %v", pd.KilledBy)
+	}
+
+	pk, err := k.Spawn(exe, "kill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptAuthString(t, exe, pk)
+	if err := k.Run(pk, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !pk.Killed || pk.KilledBy != KillBadString {
+		t.Fatalf("kill process: killed=%v by=%q", pk.Killed, pk.KilledBy)
+	}
+}
+
+// TestAuditRingBounded floods the ring past its capacity and checks the
+// drop accounting.
+func TestAuditRingBounded(t *testing.T) {
+	exe := buildAuthExe(t, cacheLoopSrc)
+	k := newKernel(t, WithEnforcement(EnforceDeny), WithAuditCapacity(2))
+	p, err := k.Spawn(exe, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptAuthString(t, exe, p)
+	if err := k.Run(p, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if k.Audit.Len() != 2 {
+		t.Errorf("ring holds %d, want capacity 2", k.Audit.Len())
+	}
+	if k.Audit.Total() != 4 {
+		t.Errorf("Total = %d, want 4", k.Audit.Total())
+	}
+	if k.Audit.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", k.Audit.Dropped())
+	}
+	ents := k.Audit.Entries()
+	if len(ents) != 2 || ents[0].Seq != 2 || ents[1].Seq != 3 {
+		t.Errorf("entries out of order: %+v", ents)
+	}
+}
+
+// TestRingSeqAndString sanity-checks the ring's direct API.
+func TestRingSeqAndString(t *testing.T) {
+	var r AuditRing
+	r.SetCapacity(3)
+	for i := 0; i < 5; i++ {
+		r.Append(Violation{PID: i, Reason: KillBadCallMAC, Action: ActionKill})
+	}
+	if r.Len() != 3 || r.Total() != 5 || r.Dropped() != 2 {
+		t.Fatalf("len=%d total=%d dropped=%d", r.Len(), r.Total(), r.Dropped())
+	}
+	ents := r.Entries()
+	if ents[0].PID != 2 || ents[2].PID != 4 {
+		t.Errorf("entries: %+v", ents)
+	}
+	if last, ok := r.Last(); !ok || last.PID != 4 {
+		t.Errorf("last: %+v ok=%v", last, ok)
+	}
+	if s := r.String(); s == "" {
+		t.Error("empty String()")
+	}
+}

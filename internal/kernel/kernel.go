@@ -82,18 +82,65 @@ const (
 	KillSymlinkRace     KillReason = "path argument resolves outside its policy name (symlink race)"
 )
 
-// AuditEntry records a monitor decision.
-type AuditEntry struct {
-	PID     int
-	Program string
-	Num     uint16
-	Name    string
-	Site    uint32
-	Reason  KillReason
+// Enforcement selects the kernel's response to a verification failure,
+// seccomp-style. It is a per-process property (initialized from the
+// kernel default at Spawn) so one machine can run kill-on-violation
+// daemons next to audit-mode workloads being ramped in.
+type Enforcement int
+
+// Enforcement modes.
+const (
+	// EnforceKill terminates the process (the paper's behaviour, and the
+	// default).
+	EnforceKill Enforcement = iota
+	// EnforceDeny refuses the violating call with -EPERM and lets the
+	// process continue. The call does not execute.
+	EnforceDeny
+	// EnforceAudit records the violation and executes the call anyway
+	// (observe-only ramp-in mode).
+	EnforceAudit
+)
+
+func (e Enforcement) String() string {
+	switch e {
+	case EnforceDeny:
+		return "deny"
+	case EnforceAudit:
+		return "audit"
+	default:
+		return "kill"
+	}
 }
 
-func (a AuditEntry) String() string {
-	return fmt.Sprintf("pid %d (%s): %s at %#x: %s", a.PID, a.Program, a.Name, a.Site, string(a.Reason))
+// Action returns the audit-record action for this mode.
+func (e Enforcement) Action() Action {
+	switch e {
+	case EnforceDeny:
+		return ActionDeny
+	case EnforceAudit:
+		return ActionAudit
+	default:
+		return ActionKill
+	}
+}
+
+// Injector is the fault-injection hook interface (internal/fault). A
+// kernel with no injector behaves exactly as before; the hooks exist so
+// a deterministic campaign can perturb the platform at well-defined
+// points of the verification path.
+type Injector interface {
+	// BeforeVerify runs at every authenticated trap before verification,
+	// with kernel-privileged access to the process. recAddr is the auth
+	// record address the call passed in R6.
+	BeforeVerify(p *Process, num uint16, site uint32, recAddr uint32)
+	// NonceUpdate is consulted when the memory checker advances the
+	// per-process counter after a successful control-flow check. It
+	// returns the number of increments actually applied to the in-kernel
+	// counter: 1 is a faithful update, 0 a dropped update, 2 a
+	// duplicated one. The state MAC written to application memory is
+	// always computed for the intended (single-increment) counter, so a
+	// perturbed return desynchronizes kernel and application state.
+	NonceUpdate(p *Process) int
 }
 
 // TraceEntry records one executed system call (used for Systrace-style
@@ -143,9 +190,14 @@ type Kernel struct {
 
 	key      *mac.Keyed
 	nextPID  int
-	Audit    []AuditEntry
+	Audit    AuditRing
 	procs    map[int]*Process
 	timeBase uint64
+
+	// enforcement is the default Enforcement given to spawned processes.
+	enforcement Enforcement
+	// injector, when non-nil, receives the fault-injection hooks.
+	injector Injector
 
 	// patterns caches compiled patterns by the MAC tag of their source
 	// bytes. A tag is only used as a key after the contents were verified
@@ -181,6 +233,23 @@ func WithNormalizePaths() Option {
 // WithVerifyCache enables the site-keyed verification cache.
 func WithVerifyCache() Option {
 	return func(k *Kernel) { k.VerifyCache = true }
+}
+
+// WithEnforcement sets the default violation response for spawned
+// processes (overridable per process via Process.Enforcement).
+func WithEnforcement(e Enforcement) Option {
+	return func(k *Kernel) { k.enforcement = e }
+}
+
+// WithAuditCapacity sizes the violation ring (default
+// DefaultAuditCapacity).
+func WithAuditCapacity(n int) Option {
+	return func(k *Kernel) { k.Audit.SetCapacity(n) }
+}
+
+// WithInjector installs a fault injector on the verification path.
+func WithInjector(i Injector) Option {
+	return func(k *Kernel) { k.injector = i }
 }
 
 // New creates a kernel. The key is the MAC key shared with the trusted
@@ -252,6 +321,16 @@ type Process struct {
 	Code     uint32
 	Killed   bool
 	KilledBy KillReason
+
+	// Enforcement selects this process's violation response; it is
+	// initialized from the kernel default at Spawn and may be changed
+	// between runs (per-process graded enforcement).
+	Enforcement Enforcement
+
+	// DeniedCount and AuditedCount tally violations that did not kill
+	// the process (Deny and Audit modes).
+	DeniedCount  uint64
+	AuditedCount uint64
 
 	kern *Kernel
 	file *binfmt.File
@@ -364,6 +443,7 @@ func (k *Kernel) Spawn(f *binfmt.File, name string) (*Process, error) {
 		cwd:         "/",
 		umask:       0o22,
 		sigHandlers: make(map[uint32]uint32),
+		Enforcement: k.enforcement,
 	}
 	k.nextPID++
 	if err := p.loadImage(f); err != nil {
@@ -425,6 +505,11 @@ func (p *Process) loadImage(f *binfmt.File) error {
 
 	p.CPU = cpu
 	p.Mem = mem
+	// A fault injector that also models torn kernel stores hooks the
+	// write path of every address space it observes.
+	if wf, ok := p.kern.injector.(vm.WriteFaulter); ok {
+		mem.SetWriteFaulter(wf)
+	}
 	p.file = f
 	p.authenticated = f.Authenticated
 	p.counter = 0
@@ -463,9 +548,68 @@ func (k *Kernel) kill(p *Process, num uint16, site uint32, reason KillReason) {
 	p.KilledBy = reason
 	p.Exited = true
 	p.Code = 0xff
-	k.Audit = append(k.Audit, AuditEntry{
-		PID: p.PID, Program: p.Name, Num: num, Name: sys.Name(num), Site: site, Reason: reason,
+	k.record(p, num, site, reason, ActionKill)
+}
+
+// record appends a structured violation to the bounded audit ring.
+func (k *Kernel) record(p *Process, num uint16, site uint32, reason KillReason, act Action) {
+	k.Audit.Append(Violation{
+		PID: p.PID, Program: p.Name, Num: num, Name: sys.Name(num), Site: site,
+		Reason: reason, Action: act,
 	})
+}
+
+// violate applies the process's enforcement mode to a verification
+// failure. handled=true means the trap is finished (the returned value
+// and halt flag go back to the CPU); handled=false means audit-only:
+// the caller proceeds to execute the call.
+func (k *Kernel) violate(p *Process, num uint16, site uint32, reason KillReason) (ret uint32, halt, handled bool) {
+	switch p.Enforcement {
+	case EnforceDeny:
+		p.DeniedCount++
+		k.record(p, num, site, reason, ActionDeny)
+		return errno(sys.EPERM), false, true
+	case EnforceAudit:
+		p.AuditedCount++
+		k.record(p, num, site, reason, ActionAudit)
+		return 0, false, false
+	default:
+		k.kill(p, num, site, reason)
+		return 0, true, true
+	}
+}
+
+// resyncCF re-establishes the memory checker's invariant after a
+// non-fatal (Deny/Audit) violation of an authenticated call. Verification
+// aborted somewhere in the three-step check, so the control-flow state in
+// application memory may no longer match the in-kernel counter, and the
+// chain no longer records the denied site's block. Advancing
+// {lastBlock, lbMAC, counter} to the record's block keeps exactly one
+// violation per bad call; without it the first denial would cascade into
+// a predecessor violation at every later site. This is a deliberate
+// availability/strictness trade: Deny and Audit accept the record's
+// unverified BlockID into the chain (the call itself was still refused
+// or flagged), where Kill mode never reaches this point.
+func (k *Kernel) resyncCF(p *Process) {
+	recAddr := p.CPU.Regs[isa.R6]
+	recBytes, err := p.Mem.KernelRead(recAddr, policy.AuthRecordSize)
+	if err != nil {
+		return
+	}
+	rec, err := policy.DecodeAuthRecord(recBytes)
+	if err != nil || !rec.Desc.ControlFlow() {
+		return
+	}
+	next := p.counter + 1
+	newMAC, blocks := policy.StateMAC(k.key, rec.BlockID, next)
+	k.chargeAES(p, blocks)
+	if err := p.Mem.KernelStore32(rec.LbPtr, rec.BlockID); err != nil {
+		return
+	}
+	if err := p.Mem.KernelWrite(rec.LbPtr+4, newMAC[:]); err != nil {
+		return
+	}
+	p.counter = next
 }
 
 // trap is the software trap handler.
@@ -479,12 +623,20 @@ func (k *Kernel) trap(p *Process, site uint32, authed bool) (uint32, bool, error
 
 	if k.Mode == Enforce && (p.authenticated || k.RequireAuthenticated) {
 		if !authed || !p.authenticated {
-			k.kill(p, num, site, KillUnauthenticated)
-			return 0, true, nil
-		}
-		if reason, ok := k.verify(p, num, site, sig, sigOK); !ok {
-			k.kill(p, num, site, reason)
-			return 0, true, nil
+			if ret, halt, handled := k.violate(p, num, site, KillUnauthenticated); handled {
+				return ret, halt, nil
+			}
+		} else if reason, ok := k.verify(p, num, site, sig, sigOK); !ok {
+			ret, halt, handled := k.violate(p, num, site, reason)
+			if !halt {
+				// Deny or Audit: the process lives on — restore the
+				// monitor's control-flow invariant so only this call is
+				// flagged (see resyncCF).
+				k.resyncCF(p)
+			}
+			if handled {
+				return ret, halt, nil
+			}
 		}
 	} else if k.MonitorOverhead != nil {
 		extra, allow := k.MonitorOverhead(p, num, site)
@@ -567,6 +719,12 @@ func (k *Kernel) verify(p *Process, num uint16, site uint32, sig sys.Sig, sigOK 
 
 	// The auth record address arrives in R6.
 	recAddr := p.CPU.Regs[isa.R6]
+
+	// Fault-injection hook: a campaign may perturb the platform here,
+	// before this trap's verification reads any state.
+	if k.injector != nil {
+		k.injector.BeforeVerify(p, num, site, recAddr)
+	}
 
 	var entry *verifyEntry
 	if k.VerifyCache {
@@ -942,15 +1100,24 @@ func (k *Kernel) verifyDynamic(p *Process, rec *policy.AuthRecord, predIDs []uin
 		if !policy.PredSetContains(predIDs, lastBlock) {
 			return KillBadPredecessor, false
 		}
-		// Update: counter++, lastBlock = blockID, new state MAC.
-		p.counter++
-		newMAC, blocks := policy.StateMAC(k.key, rec.BlockID, p.counter)
+		// Update: counter++, lastBlock = blockID, new state MAC. The MAC
+		// written to application memory is always the intended
+		// single-increment one; the injector's NonceUpdate hook may
+		// desynchronize the in-kernel counter (dropped or duplicated
+		// update), which the next control-flow check then detects.
+		next := p.counter + 1
+		newMAC, blocks := policy.StateMAC(k.key, rec.BlockID, next)
 		k.chargeAES(p, blocks)
 		if err := p.Mem.KernelStore32(rec.LbPtr, rec.BlockID); err != nil {
 			return KillBadState, false
 		}
 		if err := p.Mem.KernelWrite(rec.LbPtr+4, newMAC[:]); err != nil {
 			return KillBadState, false
+		}
+		if k.injector != nil {
+			p.counter += uint64(k.injector.NonceUpdate(p))
+		} else {
+			p.counter = next
 		}
 	}
 	return "", true

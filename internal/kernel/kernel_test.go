@@ -15,7 +15,7 @@ import (
 
 var testKey = []byte("0123456789abcdef")
 
-func buildExe(t *testing.T, src string) *binfmt.File {
+func buildExe(t testing.TB, src string) *binfmt.File {
 	t.Helper()
 	main, err := asm.Assemble("main.s", src)
 	if err != nil {
@@ -32,7 +32,7 @@ func buildExe(t *testing.T, src string) *binfmt.File {
 	return exe
 }
 
-func buildAuthExe(t *testing.T, src string) *binfmt.File {
+func buildAuthExe(t testing.TB, src string) *binfmt.File {
 	t.Helper()
 	exe := buildExe(t, src)
 	out, _, _, err := installer.Install(exe, "test", installer.Options{Key: testKey})
@@ -42,7 +42,7 @@ func buildAuthExe(t *testing.T, src string) *binfmt.File {
 	return out
 }
 
-func newKernel(t *testing.T, opts ...Option) *Kernel {
+func newKernel(t testing.TB, opts ...Option) *Kernel {
 	t.Helper()
 	fs := vfs.New()
 	for _, d := range []string{"/tmp", "/etc", "/bin", "/data"} {
@@ -60,7 +60,7 @@ func newKernel(t *testing.T, opts ...Option) *Kernel {
 	return k
 }
 
-func runProc(t *testing.T, k *Kernel, f *binfmt.File, stdin string) *Process {
+func runProc(t testing.TB, k *Kernel, f *binfmt.File, stdin string) *Process {
 	t.Helper()
 	p, err := k.Spawn(f, "test")
 	if err != nil {
@@ -134,7 +134,7 @@ func TestAuthenticatedBinaryEnforced(t *testing.T) {
 	if p.VerifyCount < 5 {
 		t.Errorf("VerifyCount = %d, want >= 5 (open,write,close,write,exit)", p.VerifyCount)
 	}
-	if len(k.Audit) != 0 {
+	if k.Audit.Len() != 0 {
 		t.Errorf("audit log not empty: %v", k.Audit)
 	}
 }
@@ -179,7 +179,7 @@ main:
 	if !p.Killed || p.KilledBy != KillUnauthenticated {
 		t.Fatalf("killed=%v by=%q", p.Killed, p.KilledBy)
 	}
-	if len(k.Audit) != 1 {
+	if k.Audit.Len() != 1 {
 		t.Fatalf("audit: %v", k.Audit)
 	}
 }

@@ -52,6 +52,13 @@ const (
 	descFDBase = 17
 )
 
+// NumDescriptorBits is the count of meaningful descriptor bits: the call
+// site bit, five value bits, five string bits, the control-flow bit,
+// five pattern bits, and five fd-capability bits. Higher bits are
+// reserved-zero; fault campaigns flipping descriptor state draw from
+// this range so every flip lands on policy-bearing state.
+const NumDescriptorBits = 22
+
 // WithArg returns d with argument i (0-based) marked value-constrained.
 func (d Descriptor) WithArg(i int) Descriptor { return d | 1<<(descArgBase+i) }
 

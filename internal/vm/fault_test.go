@@ -1,0 +1,105 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// tornAt tears every kernel write covering addr down to keep bytes.
+type tornAt struct {
+	addr  uint32
+	keep  int
+	fires int
+}
+
+func (t *tornAt) TornWrite(addr uint32, n int) int {
+	if addr != t.addr {
+		return n
+	}
+	t.fires++
+	return t.keep
+}
+
+func TestTornKernelWrite(t *testing.T) {
+	m := NewMemory(0x1000, 0x100)
+	m.Map(Segment{Name: "d", Start: 0x1000, End: 0x1100, Perms: PermRead | PermWrite})
+	f := &tornAt{addr: 0x1010, keep: 3}
+	m.SetWriteFaulter(f)
+
+	if err := m.KernelWrite(0x1010, []byte{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.KernelRead(0x1010, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []byte{1, 2, 3, 0, 0, 0, 0, 0}; !bytes.Equal(got, want) {
+		t.Errorf("torn write landed %v, want %v", got, want)
+	}
+	if f.fires != 1 {
+		t.Errorf("faulter fired %d times, want 1", f.fires)
+	}
+	// Writes at other addresses are untouched.
+	if err := m.KernelWrite(0x1020, []byte{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = m.KernelRead(0x1020, 2)
+	if !bytes.Equal(got, []byte{9, 9}) {
+		t.Errorf("unrelated write perturbed: %v", got)
+	}
+}
+
+func TestTornKernelStore32(t *testing.T) {
+	m := NewMemory(0x1000, 0x100)
+	m.Map(Segment{Name: "d", Start: 0x1000, End: 0x1100, Perms: PermRead | PermWrite})
+	m.SetWriteFaulter(&tornAt{addr: 0x1004, keep: 2})
+	if err := m.KernelStore32(0x1004, 0xaabbccdd); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.KernelRead(0x1004, 4)
+	if want := []byte{0xdd, 0xcc, 0, 0}; !bytes.Equal(got, want) {
+		t.Errorf("torn store32 landed %v, want %v", got, want)
+	}
+}
+
+// TestNoFaulterUnchanged pins the no-injector contract: with no faulter
+// installed the write path behaves exactly as before.
+func TestNoFaulterUnchanged(t *testing.T) {
+	m := NewMemory(0x1000, 0x100)
+	m.Map(Segment{Name: "d", Start: 0x1000, End: 0x1100, Perms: PermRead | PermWrite})
+	if err := m.KernelWrite(0x1010, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.KernelRead(0x1010, 4)
+	if !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Errorf("write landed %v", got)
+	}
+	if err := m.KernelStore32(0x1020, 0x01020304); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.KernelLoad32(0x1020); v != 0x01020304 {
+		t.Errorf("store32 landed %#x", v)
+	}
+}
+
+func TestFlipGenerationBit(t *testing.T) {
+	m := NewMemory(0x1000, 0x100)
+	m.Map(Segment{Name: "d", Start: 0x1000, End: 0x1100, Perms: PermRead | PermWrite})
+	g0, ok := m.SpanGeneration(0x1000, 4)
+	if !ok {
+		t.Fatal("span not covered")
+	}
+	if !m.FlipGenerationBit(0, 0) {
+		t.Fatal("flip refused")
+	}
+	g1, _ := m.SpanGeneration(0x1000, 4)
+	if g1 != g0^1 {
+		t.Errorf("generation = %d, want %d", g1, g0^1)
+	}
+	if m.FlipGenerationBit(99, 0) {
+		t.Error("flip of missing segment succeeded")
+	}
+	if m.NumSegments() != 1 {
+		t.Errorf("NumSegments = %d, want 1", m.NumSegments())
+	}
+}

@@ -57,6 +57,15 @@ type Segment struct {
 	Perms uint8
 }
 
+// WriteFaulter is the fault-injection hook for privileged stores
+// (internal/fault). TornWrite is consulted before every KernelWrite; it
+// returns how many leading bytes of the n-byte write actually land,
+// modeling a torn multi-word store interrupted by a fault. Returning n
+// leaves the write untouched.
+type WriteFaulter interface {
+	TornWrite(addr uint32, n int) int
+}
+
 // Memory is a flat, segment-protected address space.
 //
 // Each segment carries a store-generation counter that is bumped whenever
@@ -68,10 +77,29 @@ type Segment struct {
 // verification cache uses the counters to prove that MAC-checked bytes
 // are unchanged since they were last verified.
 type Memory struct {
-	base uint32
-	data []byte
-	segs []Segment
-	gens []uint64 // store-generation counters, parallel to segs
+	base   uint32
+	data   []byte
+	segs   []Segment
+	gens   []uint64 // store-generation counters, parallel to segs
+	wfault WriteFaulter
+}
+
+// SetWriteFaulter installs (or, with nil, removes) the torn-store
+// injector. With no faulter installed every write lands in full.
+func (m *Memory) SetWriteFaulter(f WriteFaulter) { m.wfault = f }
+
+// NumSegments returns the number of protection segments.
+func (m *Memory) NumSegments() int { return len(m.segs) }
+
+// FlipGenerationBit XORs one bit of segment seg's store-generation
+// counter, modeling a fault in the verification cache's coherence
+// metadata. It reports whether the segment exists.
+func (m *Memory) FlipGenerationBit(seg int, bit uint) bool {
+	if seg < 0 || seg >= len(m.gens) {
+		return false
+	}
+	m.gens[seg] ^= 1 << (bit & 63)
+	return true
 }
 
 // NewMemory creates an address space covering [base, base+size).
@@ -217,10 +245,17 @@ func (m *Memory) KernelRead(addr, n uint32) ([]byte, error) {
 	return m.data[off : off+n], nil
 }
 
-// KernelWrite copies b into memory at addr with kernel privilege.
+// KernelWrite copies b into memory at addr with kernel privilege. An
+// installed WriteFaulter may tear the store: only a prefix of b lands.
+// Bounds are checked against the full intended write either way.
 func (m *Memory) KernelWrite(addr uint32, b []byte) error {
 	if !m.inBounds(addr, uint32(len(b))) {
 		return &Fault{Addr: addr, Msg: fmt.Sprintf("kernel write of %d bytes out of bounds", len(b))}
+	}
+	if m.wfault != nil {
+		if n := m.wfault.TornWrite(addr, len(b)); n >= 0 && n < len(b) {
+			b = b[:n]
+		}
 	}
 	copy(m.data[addr-m.base:], b)
 	return nil
@@ -247,8 +282,14 @@ func (m *Memory) KernelLoad32(addr uint32) (uint32, error) {
 	return v, nil
 }
 
-// KernelStore32 writes a 32-bit word with kernel privilege.
+// KernelStore32 writes a 32-bit word with kernel privilege. Like
+// KernelWrite it is subject to an installed WriteFaulter.
 func (m *Memory) KernelStore32(addr, v uint32) error {
+	if m.wfault != nil {
+		var b [4]byte
+		b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		return m.KernelWrite(addr, b[:])
+	}
 	if !m.store32(addr, v) {
 		return &Fault{Addr: addr, Msg: "kernel store out of bounds"}
 	}

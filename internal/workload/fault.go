@@ -1,0 +1,140 @@
+// fault.go defines the victim corpus of the fault-injection campaign:
+// small programs whose system-call surfaces cover the protection
+// mechanisms a fault can target — authenticated strings, control-flow
+// predecessor sets across function chains, pattern-constrained dynamic
+// arguments — so each fault class has sites where it is (and is not)
+// applicable.
+package workload
+
+import (
+	"asc/internal/installer"
+	"asc/internal/libc"
+
+	"asc/internal/binfmt"
+)
+
+// FaultVictim is one campaign victim: assembly source plus the install
+// options and input it runs with.
+type FaultVictim struct {
+	Name   string
+	Source string
+	Stdin  string
+	// Patterns are administrator pattern constraints passed to the
+	// installer (exercised by the "dynamic" victim).
+	Patterns map[string][]installer.ArgPattern
+}
+
+// Build assembles, links, and installs the victim with the given key,
+// returning the authenticated binary.
+func (v *FaultVictim) Build(key []byte) (*binfmt.File, error) {
+	exe, err := BuildSource(v.Name, v.Source, libc.Linux)
+	if err != nil {
+		return nil, err
+	}
+	out, _, _, err := installer.Install(exe, v.Name, installer.Options{
+		Key:      key,
+		OSName:   "linux",
+		Patterns: v.Patterns,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// faultLoopSrc opens, writes, and closes a constant path three times:
+// authenticated string arguments plus a tight control-flow loop.
+const faultLoopSrc = `
+        .text
+        .global main
+main:
+        MOVI r12, 3
+.loop:
+        MOVI r1, path
+        MOVI r2, 0x41
+        MOVI r3, 420
+        CALL open
+        MOV r11, r0
+        MOV r1, r11
+        MOVI r2, msg
+        MOVI r3, 6
+        CALL write
+        MOV r1, r11
+        CALL close
+        ADDI r12, r12, -1
+        MOVI r9, 0
+        BNE r12, r9, .loop
+        MOVI r0, 0
+        RET
+        .rodata
+path:   .asciz "/tmp/fault.out"
+msg:    .asciz "hello\n"
+`
+
+// faultChainSrc spreads system calls across a function chain so that
+// predecessor sets link sites in different functions.
+const faultChainSrc = `
+        .text
+        .global main
+main:
+        CALL fa
+        CALL fb
+        CALL fa
+        MOVI r0, 0
+        RET
+fa:
+        MOVI r1, patha
+        MOVI r2, 0x41
+        MOVI r3, 420
+        CALL open
+        MOV r1, r0
+        CALL close
+        RET
+fb:
+        CALL getpid
+        CALL fa
+        RET
+        .rodata
+patha:  .asciz "/tmp/chain.out"
+`
+
+// faultDynamicSrc reads each path from stdin and opens it: a dynamic,
+// pattern-constrained argument with no authenticated string at the open.
+const faultDynamicSrc = `
+        .text
+        .global main
+main:
+        SUBI sp, sp, 64
+        MOVI r12, 2
+.loop:
+        MOV r1, sp
+        CALL gets
+        MOV r1, sp
+        MOVI r2, 0x41
+        MOVI r3, 420
+        CALL open
+        MOV r1, r0
+        CALL close
+        ADDI r12, r12, -1
+        MOVI r9, 0
+        BNE r12, r9, .loop
+        ADDI sp, sp, 64
+        MOVI r0, 0
+        RET
+`
+
+// FaultVictims returns the campaign corpus in canonical order.
+func FaultVictims() []FaultVictim {
+	return []FaultVictim{
+		{Name: "loop", Source: faultLoopSrc},
+		{Name: "chain", Source: faultChainSrc},
+		{
+			Name:   "dynamic",
+			Source: faultDynamicSrc,
+			Stdin:  "/data/a.txt\n/data/b.txt\n",
+			Patterns: map[string][]installer.ArgPattern{
+				"open": {{Arg: 0, Pattern: "/data/*.txt"}},
+			},
+		},
+	}
+}

@@ -1,7 +1,9 @@
 #!/bin/sh
 # check.sh — the repository's full verification gate: formatting, vet,
-# build, race-enabled tests, the kernel syscall benchmarks, and the
-# machine-readable benchmark summary (BENCH_kernel.json).
+# build, race-enabled tests, a short fuzz smoke over auth-record
+# decoding, the kernel syscall benchmarks, the fault-injection campaign,
+# and the machine-readable summaries (BENCH_kernel.json,
+# BENCH_fault.json).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -23,6 +25,9 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== fuzz smoke (auth-record decoding) =="
+go test -run '^$' -fuzz FuzzAuthRecord -fuzztime 5s ./internal/kernel
+
 echo "== kernel syscall benchmarks =="
 go test -run '^$' -bench 'SyscallPlain|SyscallVerified|VerifyAllocs' \
     -benchtime 2x ./internal/kernel
@@ -30,3 +35,6 @@ go test -run '^$' -bench 'SyscallPlain|SyscallVerified|VerifyAllocs' \
 echo "== BENCH_kernel.json =="
 go run ./cmd/ascbench -table 4 -json BENCH_kernel.json
 echo "wrote BENCH_kernel.json"
+
+echo "== fault-injection campaign =="
+go run ./cmd/ascfault -seed 1 -trials 3 -json BENCH_fault.json
