@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench fault check clean
+.PHONY: build test race bench smp fault check clean
 
 build:
 	$(GO) build ./...
@@ -8,20 +8,31 @@ build:
 test:
 	$(GO) test ./...
 
+# race is the SMP gate: the packages that share kernel state across
+# goroutines must be clean under the race detector.
+race:
+	$(GO) test -race ./internal/sched/... ./internal/kernel/... ./internal/core/... \
+		./internal/fault/... ./internal/bench/...
+
 bench:
 	$(GO) test -run '^$$' -bench 'SyscallPlain|SyscallVerified|VerifyAllocs' \
 		-benchtime 2x ./internal/kernel
 
+# smp regenerates BENCH_smp.json (the 1/2/4/8-worker throughput sweep).
+# The script refuses to overwrite a dirty BENCH_smp.json unless FORCE=1.
+smp:
+	sh scripts/smp.sh
+
 # fault runs the deterministic fault-injection campaign and emits the
 # machine-readable matrix (same seed -> byte-identical JSON).
 fault:
-	$(GO) run ./cmd/ascfault -seed 1 -trials 3 -json BENCH_fault.json
+	$(GO) run ./cmd/ascfault -seed 1 -trials 3 -workers 4 -json BENCH_fault.json
 
-# check is the full gate: gofmt, vet, build, race tests, the fuzz smoke,
-# the kernel benchmarks, the fault campaign, and the machine-readable
-# summaries (BENCH_kernel.json, BENCH_fault.json).
+# check is the full gate: gofmt, vet, build, tier-1 tests, the SMP race
+# gate, the fuzz smoke, the kernel benchmarks, the fault campaign, and
+# the machine-readable summaries (BENCH_kernel.json, BENCH_fault.json).
 check:
 	sh scripts/check.sh
 
 clean:
-	rm -f BENCH_kernel.json BENCH_fault.json
+	rm -f BENCH_kernel.json BENCH_fault.json BENCH_smp.json

@@ -1,10 +1,13 @@
 // ascbench regenerates the paper's evaluation tables.
 //
-// Usage: ascbench [-table 1|2|3|4|6|andrew|compare|all] [-scale N] [-json FILE]
+// Usage: ascbench [-table 1|2|3|4|6|andrew|compare|smp|all] [-scale N]
+// [-procs N] [-json FILE]
 //
 // With -json FILE, the Table 4 microbenchmark rows (plain, verified, and
 // cache-enabled cycles per call) are additionally written to FILE as a
-// machine-readable summary.
+// machine-readable summary; with -table smp the same flag writes the SMP
+// scaling sweep (BENCH_smp.json). SMP figures are modeled makespans from
+// deterministic per-process cycle counts, so the JSON is byte-stable.
 package main
 
 import (
@@ -49,10 +52,55 @@ func writeJSON(path string, t4 *bench.Table4Data) error {
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
+// smpJSON is the machine-readable SMP scaling summary.
+type smpJSON struct {
+	Procs int          `json:"procs"`
+	Iters int          `json:"iters"`
+	Rows  []smpJSONRow `json:"rows"`
+}
+
+type smpJSONRow struct {
+	Call          string         `json:"call"`
+	CyclesPerProc uint64         `json:"cycles_per_proc"`
+	CallsPerProc  uint64         `json:"calls_per_proc"`
+	Points        []smpJSONPoint `json:"points"`
+}
+
+type smpJSONPoint struct {
+	Workers           int     `json:"workers"`
+	MakespanCycles    uint64  `json:"makespan_cycles"`
+	Speedup           float64 `json:"speedup"`
+	EfficiencyPct     float64 `json:"efficiency_pct"`
+	VerifiedPerMCycle float64 `json:"verified_per_mcycle"`
+}
+
+func writeSMPJSON(path string, t *bench.SMPData) error {
+	out := smpJSON{Procs: t.Procs, Iters: t.Iters}
+	for _, r := range t.Rows {
+		row := smpJSONRow{Call: r.Call, CyclesPerProc: r.CyclesPerProc, CallsPerProc: r.CallsPerProc}
+		for _, p := range r.Points {
+			row.Points = append(row.Points, smpJSONPoint{
+				Workers:           p.Workers,
+				MakespanCycles:    p.MakespanCycles,
+				Speedup:           p.Speedup,
+				EfficiencyPct:     p.EfficiencyPct,
+				VerifiedPerMCycle: p.VerifiedPerMCycle,
+			})
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
 func main() {
-	table := flag.String("table", "all", "which artifact to regenerate: 1, 2, 3, 4, 6, andrew, compare, all")
+	table := flag.String("table", "all", "which artifact to regenerate: 1, 2, 3, 4, 6, andrew, compare, smp, all")
 	scale := flag.Int("scale", 1, "divide macro-benchmark iteration counts by N (faster, less precise)")
-	jsonPath := flag.String("json", "", "write the Table 4 kernel benchmark summary to FILE as JSON")
+	jsonPath := flag.String("json", "", "write the Table 4 (or -table smp) benchmark summary to FILE as JSON")
+	procs := flag.Int("procs", 8, "SMP sweep: processes per fleet")
 	flag.Parse()
 
 	run := func(name string, f func() (interface{ Render() string }, error)) {
@@ -88,5 +136,17 @@ func main() {
 	})
 	run("compare", func() (interface{ Render() string }, error) {
 		return bench.EnforcementComparison(bench.DefaultKey)
+	})
+	run("smp", func() (interface{ Render() string }, error) {
+		data, err := bench.SMP(bench.DefaultKey, *procs, 200)
+		if err != nil {
+			return nil, err
+		}
+		if *jsonPath != "" {
+			if err := writeSMPJSON(*jsonPath, data); err != nil {
+				return nil, fmt.Errorf("write %s: %w", *jsonPath, err)
+			}
+		}
+		return data, nil
 	})
 }

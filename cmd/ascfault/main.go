@@ -7,7 +7,10 @@
 //
 // Usage: ascfault [-seed N] [-trials N] [-classes a,b,...] [-cycles N]
 //
-//	[-json file] [-q]
+//	[-workers N] [-json file] [-q]
+//
+// -workers runs (class, victim) cells concurrently; the matrix is
+// byte-identical at any worker count.
 package main
 
 import (
@@ -24,15 +27,16 @@ func main() {
 	trials := flag.Int("trials", 4, "trials per (class, victim) pair")
 	classesFlag := flag.String("classes", "", "comma-separated fault classes (default: all)")
 	cycles := flag.Uint64("cycles", 0, "per-run cycle budget (default 4,000,000)")
+	workers := flag.Int("workers", 1, "run (class, victim) cells on N workers (matrix is identical at any width)")
 	jsonPath := flag.String("json", "", "write the JSON matrix to this file")
 	quiet := flag.Bool("q", false, "suppress the result table")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: ascfault [-seed N] [-trials N] [-classes a,b,...] [-cycles N] [-json file] [-q]")
+		fmt.Fprintln(os.Stderr, "usage: ascfault [-seed N] [-trials N] [-classes a,b,...] [-cycles N] [-workers N] [-json file] [-q]")
 		os.Exit(2)
 	}
 
-	cfg := fault.Config{Seed: *seed, Trials: *trials, MaxCycles: *cycles}
+	cfg := fault.Config{Seed: *seed, Trials: *trials, MaxCycles: *cycles, Workers: *workers}
 	if *classesFlag != "" {
 		known := make(map[string]bool)
 		for _, c := range fault.Classes() {

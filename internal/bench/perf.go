@@ -258,8 +258,8 @@ func Table6(key []byte, scale int) (*Table6Data, error) {
 			return nil, err
 		}
 		hitRate := 0.0
-		if total := pCached.CacheHits + pCached.CacheMisses; total > 0 {
-			hitRate = 100 * float64(pCached.CacheHits) / float64(total)
+		if total := pCached.CacheHits.Load() + pCached.CacheMisses.Load(); total > 0 {
+			hitRate = 100 * float64(pCached.CacheHits.Load()) / float64(total)
 		}
 		out.Rows = append(out.Rows, Table6Row{
 			Program:           spec.Name,

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"asc/internal/kernel"
+	"asc/internal/sched"
+)
+
+// TestSMPScaling is the acceptance gate for the SMP sweep: on the
+// getpid-loop workload the modeled verified-throughput at 4 workers
+// must be at least 3× the 1-worker figure, and per-process cycle
+// counts must be identical at every worker count (the determinism
+// contract).
+func TestSMPScaling(t *testing.T) {
+	data, err := SMP(DefaultKey, 8, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range data.Rows {
+		byWorkers := map[int]SMPPoint{}
+		for _, p := range row.Points {
+			byWorkers[p.Workers] = p
+		}
+		p1, ok1 := byWorkers[1]
+		p4, ok4 := byWorkers[4]
+		if !ok1 || !ok4 {
+			t.Fatalf("%s: sweep missing w=1 or w=4: %+v", row.Call, row.Points)
+		}
+		if ratio := p4.VerifiedPerMCycle / p1.VerifiedPerMCycle; ratio < 3 {
+			t.Errorf("%s: verified throughput at 4 workers only %.2fx the serial figure, want >= 3x",
+				row.Call, ratio)
+		}
+		if p4.Speedup < 3 {
+			t.Errorf("%s: speedup at 4 workers %.2f, want >= 3", row.Call, p4.Speedup)
+		}
+	}
+}
+
+// smpFleet spawns n copies of the getpid micro loop on one enforcing
+// kernel and returns the jobs.
+func smpFleet(tb testing.TB, n, iters int) []sched.Job {
+	tb.Helper()
+	name := "tput-getpid"
+	_, auth, err := buildPair(name, microSource("getpid", iters), DefaultKey)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	k, err := newBenchKernel(DefaultKey, kernel.Enforce)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	jobs := make([]sched.Job, n)
+	for i := range jobs {
+		p, err := k.Spawn(auth, name)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		jobs[i] = sched.Job{Kern: k, Proc: p, MaxCycles: 4_000_000_000}
+	}
+	return jobs
+}
+
+// BenchmarkThroughputParallel drives a fleet of 8 verified getpid-loop
+// processes at 1/2/4/8 workers. Wall-clock op time depends on host
+// core count; the stable figure is the reported verified-calls/mcycle
+// metric, computed from the deterministic modeled makespan (speedup is
+// exactly the worker count for this homogeneous fleet).
+func BenchmarkThroughputParallel(b *testing.B) {
+	for _, w := range SMPWorkers {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			var calls, makespan uint64
+			for i := 0; i < b.N; i++ {
+				jobs := smpFleet(b, 8, 200)
+				pool := sched.Pool{Workers: w}
+				b.ResetTimer() // exclude build/install/spawn
+				for j, r := range pool.Run(jobs) {
+					if r.Err != nil || jobs[j].Proc.Killed {
+						b.Fatalf("proc %d: err=%v killed=%v", j, r.Err, jobs[j].Proc.Killed)
+					}
+				}
+				b.StopTimer()
+				cycles := make([]uint64, len(jobs))
+				calls, makespan = 0, 0
+				for j := range jobs {
+					cycles[j] = jobs[j].Proc.CPU.Cycles
+					calls += jobs[j].Proc.VerifyCount
+				}
+				makespan = sched.Makespan(cycles, w)
+				b.StartTimer()
+			}
+			b.ReportMetric(1e6*float64(calls)/float64(makespan), "verified-calls/mcycle")
+		})
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"asc/internal/installer"
 	"asc/internal/kernel"
 	"asc/internal/policy"
+	"asc/internal/sched"
 	"asc/internal/vfs"
 )
 
@@ -162,6 +163,66 @@ func (s *System) Exec(exe *binfmt.File, name, stdin string) (*Result, error) {
 		Syscalls: p.SyscallCount,
 		Verified: p.VerifyCount,
 	}, nil
+}
+
+// RunRequest describes one process for RunAll.
+type RunRequest struct {
+	Exe   *binfmt.File
+	Name  string
+	Stdin string
+	// MaxCycles bounds the process; zero means the Exec default.
+	MaxCycles uint64
+}
+
+// ProcResult is one process's outcome from RunAll. Err is the
+// driver-level failure (cycle-limit exhaustion, VM fault); when Err is
+// non-nil the embedded Result reflects the process state at failure.
+type ProcResult struct {
+	Result
+	Err error
+}
+
+// RunAll spawns every requested process on this system's kernel and
+// drives the fleet to completion across a sched.Pool of the given
+// width (≤ 0 means GOMAXPROCS). Results are index-aligned with reqs.
+// One process failing — killed by the monitor, out of cycles — does
+// not abort its siblings; each ProcResult carries its own error.
+//
+// Per-process results are deterministic regardless of worker count;
+// only cross-process interleaving (audit-ring order) varies. See the
+// sched package's determinism contract.
+func (s *System) RunAll(reqs []RunRequest, workers int) ([]ProcResult, error) {
+	jobs := make([]sched.Job, len(reqs))
+	for i, r := range reqs {
+		p, err := s.Kernel.Spawn(r.Exe, r.Name)
+		if err != nil {
+			return nil, fmt.Errorf("core: spawn %s: %w", r.Name, err)
+		}
+		p.Stdin = []byte(r.Stdin)
+		max := r.MaxCycles
+		if max == 0 {
+			max = 4_000_000_000
+		}
+		jobs[i] = sched.Job{Kern: s.Kernel, Proc: p, MaxCycles: max}
+	}
+	raw := sched.Pool{Workers: workers}.Run(jobs)
+	out := make([]ProcResult, len(jobs))
+	for i, r := range raw {
+		p := jobs[i].Proc
+		out[i] = ProcResult{
+			Result: Result{
+				Output:   p.Output(),
+				ExitCode: p.Code,
+				Killed:   p.Killed,
+				Reason:   p.KilledBy,
+				Cycles:   p.CPU.Cycles,
+				Syscalls: p.SyscallCount,
+				Verified: p.VerifyCount,
+			},
+			Err: r.Err,
+		}
+	}
+	return out, nil
 }
 
 // ExecPath runs a binary previously installed into the filesystem.

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// runAllLoopSrc traps from the same sites repeatedly: a getpid loop
+// with the iteration count fixed in the source, so per-process cycle
+// counts are deterministic.
+const runAllLoopSrc = `
+        .text
+        .global main
+main:
+        MOVI r12, 50
+.loop:
+        CALL getpid
+        ADDI r12, r12, -1
+        MOVI r9, 0
+        BNE r12, r9, .loop
+        MOVI r1, msg
+        CALL puts
+        MOVI r0, 0
+        RET
+        .rodata
+msg:    .asciz "done"
+`
+
+// TestRunAll runs a homogeneous fleet at several worker counts and
+// checks the determinism contract: identical per-process results
+// regardless of pool width.
+func TestRunAll(t *testing.T) {
+	const procs = 8
+	s := newSystem(t, Config{})
+	exe, _, _, err := s.Install(buildRaw(t, runAllLoopSrc), "loop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]RunRequest, procs)
+	for i := range reqs {
+		reqs[i] = RunRequest{Exe: exe, Name: "loop"}
+	}
+	var baseline []ProcResult
+	for _, w := range []int{1, 2, 4, 8} {
+		res, err := s.RunAll(reqs, w)
+		if err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		if len(res) != procs {
+			t.Fatalf("w=%d: %d results, want %d", w, len(res), procs)
+		}
+		for i, r := range res {
+			if r.Err != nil || r.Killed {
+				t.Fatalf("w=%d proc %d: err=%v killed=%v reason=%v", w, i, r.Err, r.Killed, r.Reason)
+			}
+			if r.Output != "done" {
+				t.Errorf("w=%d proc %d: output %q", w, i, r.Output)
+			}
+			if r.Verified == 0 {
+				t.Errorf("w=%d proc %d: no verified calls", w, i)
+			}
+		}
+		if baseline == nil {
+			baseline = res
+			continue
+		}
+		for i, r := range res {
+			if r.Cycles != baseline[i].Cycles || r.Verified != baseline[i].Verified ||
+				r.Syscalls != baseline[i].Syscalls {
+				t.Errorf("w=%d proc %d diverged from w=1: %+v vs %+v", w, i, r.Result, baseline[i].Result)
+			}
+		}
+	}
+}
+
+// TestRunAllMixedFailure: one process in the fleet is killed at its
+// first system call (an installed binary with a raw, unauthenticatable
+// SYSCALL site) without perturbing its siblings.
+func TestRunAllMixedFailure(t *testing.T) {
+	s := newSystem(t, Config{})
+	good, _, _, err := s.Install(buildRaw(t, runAllLoopSrc), "good")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, _, _, err := s.Install(buildRaw(t, superviseKilledSrc), "bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []RunRequest{
+		{Exe: good, Name: "good-0"},
+		{Exe: bad, Name: "bad"},
+		{Exe: good, Name: "good-1"},
+	}
+	res, err := s.RunAll(reqs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[1].Killed {
+		t.Error("unauthenticated process not killed")
+	}
+	for _, i := range []int{0, 2} {
+		if res[i].Err != nil || res[i].Killed || res[i].Output != "done" {
+			t.Errorf("sibling %d perturbed: %+v", i, res[i])
+		}
+	}
+	if res[0].Cycles != res[2].Cycles {
+		t.Errorf("sibling cycles diverged: %d vs %d", res[0].Cycles, res[2].Cycles)
+	}
+}
+
+// TestSuperviseWithSiblings restarts a monitor-killed process while
+// sibling processes run concurrently on the same kernel. The kills and
+// restarts must not perturb the siblings' control-flow verification,
+// cache accounting, or cycle counts: every figure must match a sibling
+// run on a quiet system.
+func TestSuperviseWithSiblings(t *testing.T) {
+	// Quiet-system baseline for the sibling workload.
+	quiet := newSystem(t, Config{KernelOptions: nil})
+	quietExe, _, _, err := quiet.Install(buildRaw(t, runAllLoopSrc), "sib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := quiet.Exec(quietExe, "sib", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Killed {
+		t.Fatalf("baseline killed: %v", base.Reason)
+	}
+
+	// Noisy system: a supervised process is killed and restarted while
+	// 4 siblings run.
+	s := newSystem(t, Config{})
+	sibExe, _, _, err := s.Install(buildRaw(t, runAllLoopSrc), "sib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	badExe, _, _, err := s.Install(buildRaw(t, superviseKilledSrc), "bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const siblings = 4
+	var wg sync.WaitGroup
+	sibRes := make([]*Result, siblings)
+	sibErr := make([]error, siblings)
+	wg.Add(siblings + 1)
+	var stats *SuperviseStats
+	var supErr error
+	go func() {
+		defer wg.Done()
+		stats, supErr = s.Supervise(badExe, "bad", "", SuperviseConfig{MaxRestarts: 3})
+	}()
+	for i := 0; i < siblings; i++ {
+		go func(i int) {
+			defer wg.Done()
+			sibRes[i], sibErr[i] = s.Exec(sibExe, "sib", "")
+		}(i)
+	}
+	wg.Wait()
+
+	if supErr != nil {
+		t.Fatalf("Supervise: %v", supErr)
+	}
+	if stats.Restarts == 0 || !stats.GaveUp {
+		t.Fatalf("supervised process did not restart to exhaustion: %+v", stats)
+	}
+	for i := 0; i < siblings; i++ {
+		if sibErr[i] != nil {
+			t.Fatalf("sibling %d: %v", i, sibErr[i])
+		}
+		r := sibRes[i]
+		if r.Killed || r.Output != "done" {
+			t.Errorf("sibling %d perturbed: killed=%v output=%q", i, r.Killed, r.Output)
+		}
+		if r.Cycles != base.Cycles || r.Verified != base.Verified || r.Syscalls != base.Syscalls {
+			t.Errorf("sibling %d diverged from quiet baseline: cycles %d/%d verified %d/%d syscalls %d/%d",
+				i, r.Cycles, base.Cycles, r.Verified, base.Verified, r.Syscalls, base.Syscalls)
+		}
+	}
+	// The supervised kills were recorded; the siblings contributed no
+	// violations.
+	if got := s.Kernel.Audit.Total(); got != uint64(stats.Attempts) {
+		t.Errorf("audit total %d, want %d (one kill per supervised attempt)", got, stats.Attempts)
+	}
+}

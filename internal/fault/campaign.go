@@ -18,6 +18,7 @@ import (
 	"asc/internal/binfmt"
 	"asc/internal/core"
 	"asc/internal/kernel"
+	"asc/internal/sched"
 	"asc/internal/vfs"
 	"asc/internal/vm"
 	"asc/internal/workload"
@@ -37,6 +38,12 @@ type Config struct {
 	// chain is unrecoverable run away until this budget expires.
 	// Defaults to 4,000,000.
 	MaxCycles uint64
+	// Workers runs (class, victim) cells on a sched.Pool of this width.
+	// Zero or one means serial. Every cell builds its own kernels and
+	// fault engine (engines are stateful and not shared), and subseeds
+	// depend only on (seed, victim, trial), so the matrix is
+	// byte-identical at any worker count.
+	Workers int
 }
 
 // DefaultKey is the campaign MAC key used when Config.Key is nil.
@@ -106,24 +113,60 @@ func Run(cfg Config) (*Matrix, error) {
 	}
 
 	m := &Matrix{Seed: cfg.Seed, Trials: cfg.Trials, MaxCycles: cfg.MaxCycles}
+
+	// Victim binaries are built once, serially, and shared read-only by
+	// every cell.
+	exes := make([]*binfmt.File, len(cfg.Victims))
 	for vi := range cfg.Victims {
-		v := &cfg.Victims[vi]
-		exe, err := v.Build(cfg.Key)
+		exe, err := cfg.Victims[vi].Build(cfg.Key)
 		if err != nil {
-			return nil, fmt.Errorf("fault: build victim %s: %w", v.Name, err)
+			return nil, fmt.Errorf("fault: build victim %s: %w", cfg.Victims[vi].Name, err)
 		}
+		exes[vi] = exe
+	}
+
+	// One task per (victim, class) cell plus one restart demonstration
+	// per victim. Each task owns its kernels and fault engines, so cells
+	// run concurrently when cfg.Workers > 1; subseeds depend only on
+	// (seed, victim index, trial), never on scheduling.
+	type task struct {
+		vi    int
+		class Class // zero for the restart task
+	}
+	var tasks []task
+	for vi := range cfg.Victims {
 		for _, class := range cfg.Classes {
-			cell, err := runCell(cfg, class, v, exe, uint64(vi))
-			if err != nil {
-				return nil, err
-			}
-			m.Cells = append(m.Cells, cell)
+			tasks = append(tasks, task{vi: vi, class: class})
 		}
-		rc, err := runRestart(cfg, v, exe, uint64(vi))
+		tasks = append(tasks, task{vi: vi})
+	}
+	cells := make([]*Cell, len(tasks))
+	restarts := make([]*RestartCell, len(tasks))
+	errs := make([]error, len(tasks))
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	sched.Pool{Workers: workers}.Do(len(tasks), func(i int) {
+		tk := tasks[i]
+		v := &cfg.Victims[tk.vi]
+		if tk.class == "" {
+			rc, err := runRestart(cfg, v, exes[tk.vi], uint64(tk.vi))
+			restarts[i], errs[i] = &rc, err
+			return
+		}
+		cell, err := runCell(cfg, tk.class, v, exes[tk.vi], uint64(tk.vi))
+		cells[i], errs[i] = &cell, err
+	})
+	for i, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		m.Restarts = append(m.Restarts, rc)
+		if cells[i] != nil {
+			m.Cells = append(m.Cells, *cells[i])
+		} else {
+			m.Restarts = append(m.Restarts, *restarts[i])
+		}
 	}
 	sort.SliceStable(m.Cells, func(i, j int) bool {
 		if m.Cells[i].Class != m.Cells[j].Class {

@@ -1,0 +1,36 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCampaignParallelParity runs the same campaign serially and on an
+// 8-wide pool: the matrices must be byte-identical — in-boundary
+// detection stays 100% and every reason matches the serial run for the
+// same seeds — because subseeds depend only on (seed, victim, trial)
+// and every cell owns its kernels and fault engines.
+func TestCampaignParallelParity(t *testing.T) {
+	run := func(workers int) []byte {
+		t.Helper()
+		m, err := Run(Config{Seed: 42, Trials: 2, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fails := m.Failures(); len(fails) > 0 {
+			for _, f := range fails {
+				t.Errorf("workers=%d: %s", workers, f)
+			}
+		}
+		j, err := m.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Error("parallel campaign matrix differs from serial run")
+	}
+}

@@ -8,6 +8,8 @@ package kernel
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Action is the enforcement decision recorded with a violation.
@@ -50,15 +52,25 @@ const DefaultAuditCapacity = 1024
 
 // AuditRing is a fixed-capacity ring of Violation records. Appends past
 // capacity overwrite the oldest entry and bump the dropped counter.
+//
+// The ring is a multi-producer structure: under the SMP scheduler every
+// worker goroutine may record violations against one kernel. Appends
+// take a short mutex over the slot array (violations are orders of
+// magnitude rarer than system calls, so the lock is never hot), while
+// the monotone counters — total appended and dropped — are atomics that
+// monitors can read lock-free while the fleet runs.
 type AuditRing struct {
+	mu      sync.Mutex
 	entries []Violation
-	start   int    // index of the oldest entry
-	seq     uint64 // total records ever appended
-	dropped uint64
+	start   int // index of the oldest entry
 	cap     int
+
+	seq     atomic.Uint64 // total records ever appended
+	dropped atomic.Uint64
 }
 
-// init lazily sizes the ring (the zero value uses DefaultAuditCapacity).
+// init lazily sizes the ring (the zero value uses DefaultAuditCapacity);
+// the caller must hold mu.
 func (r *AuditRing) init() {
 	if r.cap == 0 {
 		r.cap = DefaultAuditCapacity
@@ -68,7 +80,9 @@ func (r *AuditRing) init() {
 // SetCapacity sizes an empty ring. It panics if records were already
 // appended (capacity is a construction-time property).
 func (r *AuditRing) SetCapacity(n int) {
-	if r.seq != 0 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seq.Load() != 0 {
 		panic("kernel: AuditRing.SetCapacity after append")
 	}
 	if n < 1 {
@@ -77,31 +91,40 @@ func (r *AuditRing) SetCapacity(n int) {
 	r.cap = n
 }
 
-// Append records a violation, assigning its sequence number.
+// Append records a violation, assigning its sequence number. Safe for
+// concurrent use.
 func (r *AuditRing) Append(v Violation) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.init()
-	v.Seq = r.seq
-	r.seq++
+	v.Seq = r.seq.Add(1) - 1
 	if len(r.entries) < r.cap {
 		r.entries = append(r.entries, v)
 		return
 	}
 	r.entries[r.start] = v
 	r.start = (r.start + 1) % len(r.entries)
-	r.dropped++
+	r.dropped.Add(1)
 }
 
 // Len returns the number of records currently held.
-func (r *AuditRing) Len() int { return len(r.entries) }
+func (r *AuditRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
 
-// Total returns the number of records ever appended.
-func (r *AuditRing) Total() uint64 { return r.seq }
+// Total returns the number of records ever appended (lock-free).
+func (r *AuditRing) Total() uint64 { return r.seq.Load() }
 
-// Dropped returns the number of records overwritten by later appends.
-func (r *AuditRing) Dropped() uint64 { return r.dropped }
+// Dropped returns the number of records overwritten by later appends
+// (lock-free).
+func (r *AuditRing) Dropped() uint64 { return r.dropped.Load() }
 
 // Entries returns the held records, oldest first.
 func (r *AuditRing) Entries() []Violation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make([]Violation, 0, len(r.entries))
 	out = append(out, r.entries[r.start:]...)
 	out = append(out, r.entries[:r.start]...)
@@ -110,6 +133,8 @@ func (r *AuditRing) Entries() []Violation {
 
 // Last returns the most recent record, if any.
 func (r *AuditRing) Last() (Violation, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if len(r.entries) == 0 {
 		return Violation{}, false
 	}
@@ -120,10 +145,11 @@ func (r *AuditRing) Last() (Violation, bool) {
 	return r.entries[idx], true
 }
 
-func (r AuditRing) String() string {
+func (r *AuditRing) String() string {
+	ents := r.Entries()
 	var b strings.Builder
-	fmt.Fprintf(&b, "audit ring (%d held, %d total, %d dropped):", len(r.entries), r.seq, r.dropped)
-	for _, v := range r.Entries() {
+	fmt.Fprintf(&b, "audit ring (%d held, %d total, %d dropped):", len(ents), r.Total(), r.Dropped())
+	for _, v := range ents {
 		b.WriteString("\n  ")
 		b.WriteString(v.String())
 	}

@@ -180,7 +180,7 @@ func TestCacheSoundness(t *testing.T) {
 			if !cached.Killed || cached.KilledBy != uncached.KilledBy {
 				t.Fatalf("cached: killed=%v by=%q, uncached by=%q", cached.Killed, cached.KilledBy, uncached.KilledBy)
 			}
-			if cached.CacheInvalidations == 0 {
+			if cached.CacheInvalidations.Load() == 0 {
 				t.Error("cached run recorded no invalidation")
 			}
 		})
@@ -231,20 +231,20 @@ func TestCacheBenignHits(t *testing.T) {
 	k := newKernel(t, WithVerifyCache())
 	p := runProc(t, k, buildAuthExe(t, cacheLoopSrc), "")
 	if p.Killed {
-		t.Fatalf("killed: %v (audit %v)", p.KilledBy, k.Audit)
+		t.Fatalf("killed: %v (audit %v)", p.KilledBy, &k.Audit)
 	}
 	if !p.Exited || p.Code != 0 {
 		t.Fatalf("exit=%v code=%d", p.Exited, p.Code)
 	}
 	// Sites: open, close (4 iterations each) and exit. Each misses once.
-	if want := uint64(3); p.CacheMisses != want {
-		t.Errorf("CacheMisses = %d, want %d", p.CacheMisses, want)
+	if want := uint64(3); p.CacheMisses.Load() != want {
+		t.Errorf("CacheMisses = %d, want %d", p.CacheMisses.Load(), want)
 	}
-	if want := uint64(6); p.CacheHits != want {
-		t.Errorf("CacheHits = %d, want %d", p.CacheHits, want)
+	if want := uint64(6); p.CacheHits.Load() != want {
+		t.Errorf("CacheHits = %d, want %d", p.CacheHits.Load(), want)
 	}
-	if p.CacheInvalidations != 0 {
-		t.Errorf("CacheInvalidations = %d, want 0", p.CacheInvalidations)
+	if p.CacheInvalidations.Load() != 0 {
+		t.Errorf("CacheInvalidations = %d, want 0", p.CacheInvalidations.Load())
 	}
 	// The cached kernel must agree with the uncached one on observable
 	// behaviour.
@@ -266,8 +266,8 @@ func TestCacheBenignHits(t *testing.T) {
 func TestCacheDisabledByDefault(t *testing.T) {
 	k := newKernel(t)
 	p := runProc(t, k, buildAuthExe(t, cacheLoopSrc), "")
-	if p.CacheHits != 0 || p.CacheMisses != 0 || p.CacheInvalidations != 0 {
+	if p.CacheHits.Load() != 0 || p.CacheMisses.Load() != 0 || p.CacheInvalidations.Load() != 0 {
 		t.Fatalf("cache counters nonzero without WithVerifyCache: hits=%d misses=%d inv=%d",
-			p.CacheHits, p.CacheMisses, p.CacheInvalidations)
+			p.CacheHits.Load(), p.CacheMisses.Load(), p.CacheInvalidations.Load())
 	}
 }

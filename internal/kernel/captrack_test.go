@@ -108,7 +108,7 @@ func TestCapTrackingAllowsLegitimateFD(t *testing.T) {
 		t.Fatal(err)
 	}
 	if p.Killed {
-		t.Fatalf("legitimate fd killed: %v (audit %v)", p.KilledBy, k.Audit)
+		t.Fatalf("legitimate fd killed: %v (audit %v)", p.KilledBy, &k.Audit)
 	}
 	if p.Output() != "CONTENTS" {
 		t.Errorf("output %q", p.Output())
@@ -127,7 +127,7 @@ func TestCapTrackingBlocksForgedFD(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !p.Killed || p.KilledBy != KillBadCapability {
-		t.Fatalf("killed=%v by=%q (audit %v)", p.Killed, p.KilledBy, k.Audit)
+		t.Fatalf("killed=%v by=%q (audit %v)", p.Killed, p.KilledBy, &k.Audit)
 	}
 }
 

@@ -23,6 +23,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"asc/internal/binfmt"
 	"asc/internal/captrack"
@@ -188,22 +190,33 @@ type Kernel struct {
 	// checker and the capability-set check stay exact on every call.
 	VerifyCache bool
 
-	key      *mac.Keyed
-	nextPID  int
-	Audit    AuditRing
-	procs    map[int]*Process
-	timeBase uint64
+	key   *mac.Keyed
+	Audit AuditRing
+
+	// mu guards the process table and PID allocation; everything else a
+	// concurrent Run needs is either immutable after New, per-process, or
+	// synchronized on its own (the audit ring, the pattern cache, the
+	// VFS). One Kernel may drive many processes from many goroutines, but
+	// each individual Process must be driven by one goroutine at a time.
+	mu      sync.Mutex
+	nextPID int
+	procs   map[int]*Process
 
 	// enforcement is the default Enforcement given to spawned processes.
 	enforcement Enforcement
-	// injector, when non-nil, receives the fault-injection hooks.
+	// injector, when non-nil, receives the fault-injection hooks. Fault
+	// engines are stateful and not synchronized: a kernel with an
+	// injector must run one process at a time (the campaign's parallel
+	// mode runs whole kernels, not processes, in parallel).
 	injector Injector
 
 	// patterns caches compiled patterns by the MAC tag of their source
 	// bytes. A tag is only used as a key after the contents were verified
 	// against it, so equal tags imply equal (already-authenticated)
-	// sources; pattern.Parse then runs once per distinct pattern.
-	patterns map[mac.Tag]*pattern.Pattern
+	// sources; pattern.Parse then runs once per distinct pattern. The
+	// cache is shared by every process of the kernel and is read-mostly,
+	// hence the sync.Map.
+	patterns sync.Map // mac.Tag -> *pattern.Pattern
 }
 
 // Option configures a Kernel.
@@ -262,7 +275,6 @@ func New(fs *vfs.FS, key []byte, opts ...Option) (*Kernel, error) {
 		Costs:       DefaultCosts,
 		nextPID:     1,
 		procs:       make(map[int]*Process),
-		patterns:    make(map[mac.Tag]*pattern.Pattern),
 	}
 	if key != nil {
 		mk, err := mac.New(key)
@@ -355,10 +367,11 @@ type Process struct {
 	VerifyAESBlocks uint64
 
 	// Verification-cache statistics (all zero unless the kernel runs
-	// with WithVerifyCache).
-	CacheHits          uint64
-	CacheMisses        uint64
-	CacheInvalidations uint64
+	// with WithVerifyCache). Atomic so a monitor goroutine may sample a
+	// running fleet's hit rates without stopping the workers.
+	CacheHits          atomic.Uint64
+	CacheMisses        atomic.Uint64
+	CacheInvalidations atomic.Uint64
 
 	// Tracing (Permissive mode training runs).
 	Trace   []TraceEntry
@@ -434,10 +447,16 @@ type verifyEntry struct {
 	pats     []sitePattern
 }
 
-// Spawn loads an executable into a new process.
+// Spawn loads an executable into a new process. It is safe to call
+// concurrently (the SMP scheduler and the supervisor both spawn while
+// sibling processes run).
 func (k *Kernel) Spawn(f *binfmt.File, name string) (*Process, error) {
+	k.mu.Lock()
+	pid := k.nextPID
+	k.nextPID++
+	k.mu.Unlock()
 	p := &Process{
-		PID:         k.nextPID,
+		PID:         pid,
 		Name:        name,
 		kern:        k,
 		cwd:         "/",
@@ -445,7 +464,6 @@ func (k *Kernel) Spawn(f *binfmt.File, name string) (*Process, error) {
 		sigHandlers: make(map[uint32]uint32),
 		Enforcement: k.enforcement,
 	}
-	k.nextPID++
 	if err := p.loadImage(f); err != nil {
 		return nil, err
 	}
@@ -454,7 +472,9 @@ func (k *Kernel) Spawn(f *binfmt.File, name string) (*Process, error) {
 	p.fds[0] = &fdEntry{kind: fdConsole}
 	p.fds[1] = &fdEntry{kind: fdConsole}
 	p.fds[2] = &fdEntry{kind: fdConsole}
+	k.mu.Lock()
 	k.procs[p.PID] = p
+	k.mu.Unlock()
 	return p, nil
 }
 
@@ -533,7 +553,11 @@ func (t *trapAdapter) Trap(c *vm.CPU, site uint32, authed bool) (uint32, bool, e
 }
 
 // Run executes the process until exit, kill, fault, or cycle budget
-// exhaustion.
+// exhaustion. Concurrent Run calls on one kernel are safe as long as
+// each Process is driven by a single goroutine at a time; cross-process
+// kernel state (the VFS, the audit ring, the pattern cache, PID
+// allocation) is synchronized, and all per-call verification scratch is
+// per-Process.
 func (k *Kernel) Run(p *Process, maxCycles uint64) error {
 	err := p.CPU.Run(maxCycles)
 	if err != nil {
@@ -731,7 +755,7 @@ func (k *Kernel) verify(p *Process, num uint16, site uint32, sig sys.Sig, sigOK 
 		entry = p.vcache[site]
 	}
 	if entry != nil && k.cachedHit(p, entry, num, site, recAddr) {
-		p.CacheHits++
+		p.CacheHits.Add(1)
 		p.CPU.Cycles += k.Costs.CacheHit
 		return k.verifyDynamic(p, &entry.rec, entry.predIDs, entry.pats, sig, sigOK)
 	}
@@ -739,11 +763,11 @@ func (k *Kernel) verify(p *Process, num uint16, site uint32, sig sys.Sig, sigOK 
 		// The site was cached but a MAC-checked buffer (or the record,
 		// or the register state) changed: fall back to full AES
 		// verification, which preserves every kill path.
-		p.CacheInvalidations++
+		p.CacheInvalidations.Add(1)
 		delete(p.vcache, site)
 	}
 	if k.VerifyCache {
-		p.CacheMisses++
+		p.CacheMisses.Add(1)
 	}
 	e, cacheable, reason, ok := k.verifyMACs(p, num, site, recAddr, k.VerifyCache)
 	if !ok {
@@ -999,18 +1023,20 @@ func (p *Process) keepScratch(args []policy.EncodedArg, str []pendingString, pat
 }
 
 // compilePattern returns the compiled pattern for MAC-verified source
-// bytes, caching by content tag.
+// bytes, caching by content tag. Concurrent first compilations of the
+// same pattern may race benignly; both produce identical *Pattern values
+// and LoadOrStore keeps exactly one.
 func (k *Kernel) compilePattern(tag mac.Tag, source []byte) (*pattern.Pattern, error) {
-	if pat, ok := k.patterns[tag]; ok {
-		return pat, nil
+	if pat, ok := k.patterns.Load(tag); ok {
+		return pat.(*pattern.Pattern), nil
 	}
 	src := strings.TrimRight(string(source), "\x00")
 	pat, err := pattern.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	k.patterns[tag] = pat
-	return pat, nil
+	got, _ := k.patterns.LoadOrStore(tag, pat)
+	return got.(*pattern.Pattern), nil
 }
 
 // verifyDynamic performs the per-call checks that are never cached: path

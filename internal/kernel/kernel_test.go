@@ -120,7 +120,7 @@ func TestAuthenticatedBinaryEnforced(t *testing.T) {
 	k := newKernel(t)
 	p := runProc(t, k, buildAuthExe(t, fileIOSrc), "")
 	if p.Killed {
-		t.Fatalf("authenticated binary killed: %v (audit: %v)", p.KilledBy, k.Audit)
+		t.Fatalf("authenticated binary killed: %v (audit: %v)", p.KilledBy, &k.Audit)
 	}
 	if !p.Exited || p.Code != 0 {
 		t.Fatalf("exit: %v code=%d", p.Exited, p.Code)
@@ -135,7 +135,7 @@ func TestAuthenticatedBinaryEnforced(t *testing.T) {
 		t.Errorf("VerifyCount = %d, want >= 5 (open,write,close,write,exit)", p.VerifyCount)
 	}
 	if k.Audit.Len() != 0 {
-		t.Errorf("audit log not empty: %v", k.Audit)
+		t.Errorf("audit log not empty: %v", &k.Audit)
 	}
 }
 
@@ -180,7 +180,7 @@ main:
 		t.Fatalf("killed=%v by=%q", p.Killed, p.KilledBy)
 	}
 	if k.Audit.Len() != 1 {
-		t.Fatalf("audit: %v", k.Audit)
+		t.Fatalf("audit: %v", &k.Audit)
 	}
 }
 
@@ -215,7 +215,7 @@ main:
 	k := newKernel(t)
 	p := runProc(t, k, exe, "")
 	if !p.Killed || p.KilledBy != KillBadCallMAC {
-		t.Fatalf("killed=%v by=%q audit=%v", p.Killed, p.KilledBy, k.Audit)
+		t.Fatalf("killed=%v by=%q audit=%v", p.Killed, p.KilledBy, &k.Audit)
 	}
 }
 
@@ -244,7 +244,7 @@ path:   .asciz "/etc/passwd"
 	k := newKernel(t)
 	p := runProc(t, k, exe, "")
 	if !p.Killed || p.KilledBy != KillBadString {
-		t.Fatalf("killed=%v by=%q audit=%v", p.Killed, p.KilledBy, k.Audit)
+		t.Fatalf("killed=%v by=%q audit=%v", p.Killed, p.KilledBy, &k.Audit)
 	}
 }
 
@@ -266,7 +266,7 @@ main:
 	k := newKernel(t)
 	p := runProc(t, k, exe, "")
 	if !p.Killed || p.KilledBy != KillBadState {
-		t.Fatalf("killed=%v by=%q audit=%v", p.Killed, p.KilledBy, k.Audit)
+		t.Fatalf("killed=%v by=%q audit=%v", p.Killed, p.KilledBy, &k.Audit)
 	}
 }
 
@@ -356,7 +356,7 @@ buf2:   .space 64
 	k := newKernel(t)
 	p := runProc(t, k, buildAuthExe(t, src), "")
 	if p.Killed {
-		t.Fatalf("killed: %v (audit %v)", p.KilledBy, k.Audit)
+		t.Fatalf("killed: %v (audit %v)", p.KilledBy, &k.Audit)
 	}
 	if got := p.Output(); got != "abcd" {
 		t.Errorf("output = %q, want abcd", got)
@@ -438,7 +438,7 @@ prog:   .asciz "/bin/child"
 `)
 	p := runProc(t, k, parent, "")
 	if p.Killed {
-		t.Fatalf("killed: %v (audit %v)", p.KilledBy, k.Audit)
+		t.Fatalf("killed: %v (audit %v)", p.KilledBy, &k.Audit)
 	}
 	if p.Output() != "child\n" || p.Code != 42 {
 		t.Errorf("output=%q code=%d, want child/42", p.Output(), p.Code)

@@ -52,7 +52,7 @@ func TestNormalizationBlocksSymlinkRace(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !p.Killed || p.KilledBy != KillSymlinkRace {
-		t.Fatalf("killed=%v by=%q (audit %v)", p.Killed, p.KilledBy, k.Audit)
+		t.Fatalf("killed=%v by=%q (audit %v)", p.Killed, p.KilledBy, &k.Audit)
 	}
 	if b, _ := k.FS.ReadFile("/etc/passwd"); string(b) != "root:0:0\n" {
 		t.Errorf("password file was modified: %q", b)

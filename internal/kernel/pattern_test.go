@@ -79,7 +79,7 @@ func TestPatternEnforcementAllowsMatching(t *testing.T) {
 		t.Fatal(err)
 	}
 	if p.Killed {
-		t.Fatalf("matching path killed: %v (audit %v)", p.KilledBy, k.Audit)
+		t.Fatalf("matching path killed: %v (audit %v)", p.KilledBy, &k.Audit)
 	}
 	if p.Output() != "opened\n" {
 		t.Errorf("output %q", p.Output())
@@ -102,7 +102,7 @@ func TestPatternEnforcementBlocksNonMatching(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !p.Killed || p.KilledBy != KillBadPattern {
-		t.Fatalf("killed=%v by=%q (audit %v)", p.Killed, p.KilledBy, k.Audit)
+		t.Fatalf("killed=%v by=%q (audit %v)", p.Killed, p.KilledBy, &k.Audit)
 	}
 }
 

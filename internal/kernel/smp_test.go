@@ -1,0 +1,172 @@
+// smp_test.go asserts the kernel's SMP concurrency contract: one
+// kernel, many goroutines each driving their own process. Run under
+// -race these tests are the gate for the sharded kernel state — the
+// shared VFS, pattern cache, PID table, audit ring, and the atomic
+// verify-cache counters.
+package kernel
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"asc/internal/vm"
+)
+
+// TestSMPCacheCountersHammer hammers one cache-enabled kernel from 8
+// goroutines, each spawning and running its own copy of the cache loop.
+// Per-process counters must come out exactly as in the serial run:
+// concurrency may not leak hits or misses across processes.
+func TestSMPCacheCountersHammer(t *testing.T) {
+	const procs = 8
+	exe := buildAuthExe(t, cacheLoopSrc)
+	k := newKernel(t, WithVerifyCache())
+	ps := make([]*Process, procs)
+	var wg sync.WaitGroup
+	errs := make([]error, procs)
+	for i := 0; i < procs; i++ {
+		p, err := k.Spawn(exe, "hammer")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps[i] = p
+	}
+	wg.Add(procs)
+	for i := 0; i < procs; i++ {
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = k.Run(ps[i], 100_000_000)
+		}(i)
+	}
+	wg.Wait()
+	for i, p := range ps {
+		if errs[i] != nil {
+			t.Fatalf("proc %d: %v", i, errs[i])
+		}
+		if p.Killed {
+			t.Fatalf("proc %d killed: %v", i, p.KilledBy)
+		}
+		if got := p.CacheMisses.Load(); got != 3 {
+			t.Errorf("proc %d: CacheMisses = %d, want 3", i, got)
+		}
+		if got := p.CacheHits.Load(); got != 6 {
+			t.Errorf("proc %d: CacheHits = %d, want 6", i, got)
+		}
+		if got := p.CacheInvalidations.Load(); got != 0 {
+			t.Errorf("proc %d: CacheInvalidations = %d, want 0", i, got)
+		}
+		// Per-process determinism under concurrency.
+		if p.CPU.Cycles != ps[0].CPU.Cycles {
+			t.Errorf("proc %d: cycles %d != proc 0 cycles %d", i, p.CPU.Cycles, ps[0].CPU.Cycles)
+		}
+	}
+}
+
+// denyHammer runs n unauthenticated copies of the cache loop on a
+// strict Deny-mode kernel with a tiny audit ring: every system call is
+// a violation, so the ring overflows and the dropped counter moves.
+// Returns the kernel after all runs complete.
+func denyHammer(t *testing.T, n, ringCap int) *Kernel {
+	t.Helper()
+	exe := buildExe(t, cacheLoopSrc) // NOT installed: every call violates
+	k := newKernel(t,
+		WithRequireAuthenticated(),
+		WithEnforcement(EnforceDeny),
+		WithAuditCapacity(ringCap))
+	ps := make([]*Process, n)
+	for i := range ps {
+		p, err := k.Spawn(exe, "deny")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps[i] = p
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			// Denied exit means the process never terminates cleanly;
+			// a bounded run ending in the cycle limit is expected.
+			if err := k.Run(ps[i], 200_000); err != nil && !errors.Is(err, vm.ErrCycleLimit) {
+				t.Errorf("proc %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return k
+}
+
+// TestSMPAuditRingHammer drives 8 violating processes into one
+// 16-entry audit ring concurrently and checks the atomic accounting:
+// total appended is exactly 8× the serial per-process figure, the ring
+// holds at most its capacity, and dropped = total - held.
+func TestSMPAuditRingHammer(t *testing.T) {
+	const ringCap = 16
+	serial := denyHammer(t, 1, ringCap)
+	perProc := serial.Audit.Total()
+	if perProc == 0 {
+		t.Fatal("serial run recorded no violations")
+	}
+	k := denyHammer(t, 8, ringCap)
+	total := k.Audit.Total()
+	if want := 8 * perProc; total != want {
+		t.Errorf("Total = %d, want %d (8 × %d per-process violations)", total, want, perProc)
+	}
+	held := k.Audit.Len()
+	if held > ringCap {
+		t.Errorf("ring holds %d entries, capacity %d", held, ringCap)
+	}
+	if got, want := k.Audit.Dropped(), total-uint64(held); got != want {
+		t.Errorf("Dropped = %d, want %d (total %d - held %d)", got, want, total, held)
+	}
+	// Every denied call must have left its process alive and accounted.
+	for _, v := range k.Audit.Entries() {
+		if v.Action != ActionDeny {
+			t.Errorf("entry %d: action %q, want deny", v.Seq, v.Action)
+		}
+		if v.Reason != KillUnauthenticated {
+			t.Errorf("entry %d: reason %q, want %q", v.Seq, v.Reason, KillUnauthenticated)
+		}
+	}
+}
+
+// TestAuditRingConcurrentAppend hammers the ring directly: 8 writers ×
+// 1000 appends into a 16-slot ring. Sequence numbers must be unique
+// and the counters exact.
+func TestAuditRingConcurrentAppend(t *testing.T) {
+	const writers, perWriter, ringCap = 8, 1000, 16
+	var r AuditRing
+	r.SetCapacity(ringCap)
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Append(Violation{PID: w, Num: uint16(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	const total = writers * perWriter
+	if got := r.Total(); got != total {
+		t.Errorf("Total = %d, want %d", got, total)
+	}
+	if got := r.Len(); got != ringCap {
+		t.Errorf("Len = %d, want %d", got, ringCap)
+	}
+	if got := r.Dropped(); got != total-ringCap {
+		t.Errorf("Dropped = %d, want %d", got, total-ringCap)
+	}
+	seen := make(map[uint64]bool)
+	for _, v := range r.Entries() {
+		if seen[v.Seq] {
+			t.Errorf("duplicate sequence number %d", v.Seq)
+		}
+		seen[v.Seq] = true
+		if v.Seq >= total {
+			t.Errorf("sequence number %d out of range", v.Seq)
+		}
+	}
+}

@@ -287,7 +287,7 @@ func (k *Kernel) sysOpen(p *Process, pathAddr, flags, mode uint32) uint32 {
 	}
 	e := &fdEntry{kind: fdFile, node: node, path: path}
 	if flags&OAppend != 0 {
-		e.offset = node.Size()
+		e.offset = k.FS.NodeSize(node)
 	}
 	fd, ok := p.allocFD(e)
 	if !ok {
@@ -380,14 +380,15 @@ func (k *Kernel) sysWrite(p *Process, fd, buf, n uint32) uint32 {
 	return n
 }
 
-// statBuf renders the 24-byte stat structure.
-func statBuf(n *vfs.Node) []byte {
+// statBuf renders the 24-byte stat structure from a locked metadata
+// snapshot.
+func statBuf(info vfs.Info) []byte {
 	out := make([]byte, 24)
-	binary.LittleEndian.PutUint32(out[0:], uint32(n.Kind))
-	binary.LittleEndian.PutUint32(out[4:], n.Size())
-	binary.LittleEndian.PutUint32(out[8:], n.Mode)
-	binary.LittleEndian.PutUint32(out[12:], uint32(n.Nlink()))
-	binary.LittleEndian.PutUint64(out[16:], n.Mtime())
+	binary.LittleEndian.PutUint32(out[0:], uint32(info.Kind))
+	binary.LittleEndian.PutUint32(out[4:], info.Size)
+	binary.LittleEndian.PutUint32(out[8:], info.Mode)
+	binary.LittleEndian.PutUint32(out[12:], uint32(info.Nlink))
+	binary.LittleEndian.PutUint64(out[16:], info.Mtime)
 	return out
 }
 
@@ -396,17 +397,11 @@ func (k *Kernel) sysStat(p *Process, pathAddr, buf uint32, follow bool) uint32 {
 	if !ok {
 		return errno(sys.EFAULT)
 	}
-	var node *vfs.Node
-	var err error
-	if follow {
-		node, err = k.FS.Lookup(path)
-	} else {
-		node, err = k.FS.Lstat(path)
-	}
+	info, err := k.FS.Stat(path, follow)
 	if err != nil {
 		return vfsErrno(err)
 	}
-	if err := p.Mem.UserWrite(buf, statBuf(node)); err != nil {
+	if err := p.Mem.UserWrite(buf, statBuf(info)); err != nil {
 		return errno(sys.EFAULT)
 	}
 	return 0
@@ -421,7 +416,7 @@ func (k *Kernel) sysFstat(p *Process, fd, buf uint32) uint32 {
 		k.writeZeros(p, buf, 24)
 		return 0
 	}
-	if err := p.Mem.UserWrite(buf, statBuf(e.node)); err != nil {
+	if err := p.Mem.UserWrite(buf, statBuf(k.FS.InfoOf(e.node))); err != nil {
 		return errno(sys.EFAULT)
 	}
 	return 0
@@ -439,7 +434,7 @@ func (k *Kernel) sysLseek(p *Process, fd, off, whence uint32) uint32 {
 	case SeekCur:
 		base = e.offset
 	case SeekEnd:
-		base = e.node.Size()
+		base = k.FS.NodeSize(e.node)
 	default:
 		return errno(sys.EINVAL)
 	}

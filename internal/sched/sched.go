@@ -1,0 +1,151 @@
+// Package sched schedules guest processes across a pool of worker
+// goroutines — the SMP execution layer for the authenticated-system-call
+// kernel.
+//
+// The kernel verifies one system call per trap on whatever goroutine
+// drives the process, so running a fleet of N guest processes
+// concurrently needs no kernel-side scheduler: each worker picks the
+// next unstarted process and drives it to completion with
+// kernel.Kernel.Run. Correctness rests on the kernel's concurrency
+// contract (see kernel.Kernel.Run): all cross-process state — VFS,
+// audit ring, pattern cache, PID table, MAC scratch — is synchronized,
+// while per-process verification state lives in kernel.Process and is
+// touched only by the goroutine driving that process.
+//
+// # Determinism contract
+//
+// Per-process results are deterministic: a guest program's cycle count,
+// system-call trace, verification outcome, and output depend only on
+// its binary and input, never on how many workers ran the fleet or how
+// runs interleaved. What is NOT deterministic is the interleaving:
+// audit-ring ordering across processes, and which worker ran which
+// process. Benchmarks that must emit byte-stable artifacts therefore
+// report the modeled makespan (Makespan) computed from the
+// deterministic per-process cycle counts, not wall-clock time.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"asc/internal/kernel"
+)
+
+// Pool runs indexed work items on a bounded number of worker
+// goroutines. The zero value uses GOMAXPROCS workers.
+type Pool struct {
+	// Workers bounds concurrency. Zero or negative means GOMAXPROCS.
+	Workers int
+}
+
+// workers resolves the effective worker count (always ≥ 1).
+func (p Pool) workers() int {
+	w := p.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Do invokes fn(i) for every i in [0, n), distributing indices across
+// the pool's workers. Indices are claimed dynamically (an atomic
+// counter), so uneven item costs balance automatically. Do returns
+// when every invocation has returned. With one worker the loop runs
+// inline on the calling goroutine, byte-for-byte equivalent to a
+// serial for loop.
+func (p Pool) Do(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.workers()
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Job is one guest process to drive to completion.
+type Job struct {
+	Kern      *kernel.Kernel
+	Proc      *kernel.Process
+	MaxCycles uint64
+}
+
+// Result reports the outcome of one Job. The process's own state
+// (exit code, kill reason, cycle count) lives on Job.Proc; Err is the
+// driver-level failure, if any (cycle-limit exhaustion, VM fault).
+type Result struct {
+	Err error
+}
+
+// Run drives every job to completion across the pool and returns one
+// Result per job, index-aligned. A failing job does not abort its
+// siblings: each Result carries its own error. Jobs may share a
+// kernel (the common case: one machine, many processes) or use
+// distinct kernels; each Process must appear in at most one job.
+func (p Pool) Run(jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	p.Do(len(jobs), func(i int) {
+		j := jobs[i]
+		results[i] = Result{Err: j.Kern.Run(j.Proc, j.MaxCycles)}
+	})
+	return results
+}
+
+// Makespan models the completion time, in guest cycles, of running
+// the given per-process cycle counts on w workers under the pool's
+// round-robin static assignment: process i runs on lane i mod w, and
+// the makespan is the busiest lane's total. With w=1 this is the
+// serial sum; with w ≥ len(cycles) it is the largest single count.
+//
+// The model is exact for the artifact benchmarks (homogeneous fleets
+// divide evenly) and is what BENCH_smp.json reports, because wall
+// clock on a loaded or single-core host is noise while per-process
+// cycle counts are deterministic.
+func Makespan(cycles []uint64, w int) uint64 {
+	if len(cycles) == 0 {
+		return 0
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > len(cycles) {
+		w = len(cycles)
+	}
+	lanes := make([]uint64, w)
+	for i, c := range cycles {
+		lanes[i%w] += c
+	}
+	var max uint64
+	for _, l := range lanes {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}

@@ -7,6 +7,17 @@
 // matter because Section 5.4 of the paper discusses file-name
 // normalization as a defense against symlink races, and the kernel's
 // normalization path exercises this package's resolution logic.
+//
+// An FS is safe for concurrent use by multiple goroutines (the SMP
+// scheduler runs many guest processes against one filesystem): a
+// read-write lock serializes tree mutation against lookups, and node
+// contents are only reached through locked FS methods. Per-file handle
+// state (the file offset) lives in the kernel's descriptor table, one
+// per open handle, so concurrent readers of one file never share
+// positions. Callers holding a *Node must treat it as an opaque handle
+// and go through FS methods (ReadAt, WriteAt, InfoOf, NodeSize) for
+// every access; Node.Kind is immutable after creation and may be read
+// directly.
 package vfs
 
 import (
@@ -14,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // NodeKind distinguishes filesystem object types.
@@ -67,7 +79,8 @@ const MaxFileSize = 16 << 20
 var ErrNoSpace = errors.New("vfs: no space left on device")
 
 // Node is a filesystem object. Hard links are represented by the same
-// *Node appearing under several directory entries.
+// *Node appearing under several directory entries. All fields other than
+// Kind (immutable after creation) are guarded by the owning FS's lock.
 type Node struct {
 	Kind   NodeKind
 	Mode   uint32
@@ -79,6 +92,7 @@ type Node struct {
 }
 
 // Size returns the file size in bytes (0 for directories and symlinks).
+// Unsynchronized; use FS.NodeSize under concurrency.
 func (n *Node) Size() uint32 {
 	if n.Kind == KindFile {
 		return uint32(len(n.Data))
@@ -86,14 +100,27 @@ func (n *Node) Size() uint32 {
 	return 0
 }
 
-// Nlink returns the link count.
+// Nlink returns the link count. Unsynchronized; use FS.InfoOf under
+// concurrency.
 func (n *Node) Nlink() int { return n.nlink }
 
 // Mtime returns the logical modification time (a monotone counter).
+// Unsynchronized; use FS.InfoOf under concurrency.
 func (n *Node) Mtime() uint64 { return n.mtime }
+
+// Info is a point-in-time metadata snapshot of one node, taken under the
+// filesystem lock.
+type Info struct {
+	Kind  NodeKind
+	Mode  uint32
+	Size  uint32
+	Nlink int
+	Mtime uint64
+}
 
 // FS is an in-memory filesystem rooted at "/".
 type FS struct {
+	mu    sync.RWMutex
 	root  *Node
 	clock uint64
 }
@@ -137,10 +164,11 @@ type resolved struct {
 	canon  string // canonical path (symlinks resolved, ".." applied)
 }
 
-// walk resolves path. If followLast is true, a symlink as the final
-// component is chased; otherwise it is returned as-is (lstat/unlink
-// semantics). The final component may be absent (node == nil) if and only
-// if its parent exists; any other missing component is an error.
+// walk resolves path; the caller must hold the lock (read or write). If
+// followLast is true, a symlink as the final component is chased;
+// otherwise it is returned as-is (lstat/unlink semantics). The final
+// component may be absent (node == nil) if and only if its parent
+// exists; any other missing component is an error.
 func (fs *FS) walk(path string, followLast bool) (resolved, error) {
 	comps, err := splitPath(path)
 	if err != nil {
@@ -234,6 +262,8 @@ func joinCanon(comps []string) string {
 // canonical absolute path. The named object must exist. This implements
 // the file-name normalization of paper Section 5.4.
 func (fs *FS) Normalize(path string) (string, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	r, err := fs.walk(path, true)
 	if err != nil {
 		return "", err
@@ -244,8 +274,9 @@ func (fs *FS) Normalize(path string) (string, error) {
 	return r.canon, nil
 }
 
-// Lookup returns the node at path, following symlinks.
-func (fs *FS) Lookup(path string) (*Node, error) {
+// lookup resolves path to an existing node, following symlinks; the
+// caller must hold the lock.
+func (fs *FS) lookup(path string) (*Node, error) {
 	r, err := fs.walk(path, true)
 	if err != nil {
 		return nil, err
@@ -256,8 +287,21 @@ func (fs *FS) Lookup(path string) (*Node, error) {
 	return r.node, nil
 }
 
+// Lookup returns the node at path, following symlinks.
+func (fs *FS) Lookup(path string) (*Node, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.lookup(path)
+}
+
 // Lstat returns the node at path without following a final symlink.
 func (fs *FS) Lstat(path string) (*Node, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.lstat(path)
+}
+
+func (fs *FS) lstat(path string) (*Node, error) {
 	r, err := fs.walk(path, false)
 	if err != nil {
 		return nil, err
@@ -268,9 +312,52 @@ func (fs *FS) Lstat(path string) (*Node, error) {
 	return r.node, nil
 }
 
+// infoOf snapshots node metadata; the caller must hold the lock.
+func infoOf(n *Node) Info {
+	return Info{Kind: n.Kind, Mode: n.Mode, Size: n.Size(), Nlink: n.nlink, Mtime: n.mtime}
+}
+
+// InfoOf returns a metadata snapshot of an open node.
+func (fs *FS) InfoOf(n *Node) Info {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return infoOf(n)
+}
+
+// NodeSize returns the current size of an open node.
+func (fs *FS) NodeSize(n *Node) uint32 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return n.Size()
+}
+
+// Stat resolves path and returns a metadata snapshot in one locked
+// operation. With follow false a final symlink is not chased.
+func (fs *FS) Stat(path string, follow bool) (Info, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var n *Node
+	var err error
+	if follow {
+		n, err = fs.lookup(path)
+	} else {
+		n, err = fs.lstat(path)
+	}
+	if err != nil {
+		return Info{}, err
+	}
+	return infoOf(n), nil
+}
+
 // Create creates (or truncates, if trunc) a regular file and returns its
 // node. Parent directories must exist.
 func (fs *FS) Create(path string, mode uint32, trunc bool) (*Node, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.create(path, mode, trunc)
+}
+
+func (fs *FS) create(path string, mode uint32, trunc bool) (*Node, error) {
 	r, err := fs.walk(path, true)
 	if err != nil {
 		return nil, err
@@ -295,6 +382,12 @@ func (fs *FS) Create(path string, mode uint32, trunc bool) (*Node, error) {
 
 // Mkdir creates a directory.
 func (fs *FS) Mkdir(path string, mode uint32) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.mkdir(path, mode)
+}
+
+func (fs *FS) mkdir(path string, mode uint32) error {
 	r, err := fs.walk(path, true)
 	if err != nil {
 		return err
@@ -315,10 +408,12 @@ func (fs *FS) MkdirAll(path string, mode uint32) error {
 	if err != nil {
 		return err
 	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	cur := ""
 	for _, c := range comps {
 		cur += "/" + c
-		if err := fs.Mkdir(cur, mode); err != nil && !errors.Is(err, ErrExist) {
+		if err := fs.mkdir(cur, mode); err != nil && !errors.Is(err, ErrExist) {
 			return err
 		}
 	}
@@ -327,6 +422,8 @@ func (fs *FS) MkdirAll(path string, mode uint32) error {
 
 // Symlink creates a symbolic link at linkPath pointing to target.
 func (fs *FS) Symlink(target, linkPath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	r, err := fs.walk(linkPath, false)
 	if err != nil {
 		return err
@@ -343,7 +440,9 @@ func (fs *FS) Symlink(target, linkPath string) error {
 
 // Readlink returns the target of a symlink.
 func (fs *FS) Readlink(path string) (string, error) {
-	n, err := fs.Lstat(path)
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.lstat(path)
 	if err != nil {
 		return "", err
 	}
@@ -355,7 +454,9 @@ func (fs *FS) Readlink(path string) (string, error) {
 
 // Link creates a hard link newPath referring to the file at oldPath.
 func (fs *FS) Link(oldPath, newPath string) error {
-	n, err := fs.Lookup(oldPath)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, err := fs.lookup(oldPath)
 	if err != nil {
 		return err
 	}
@@ -379,6 +480,8 @@ func (fs *FS) Link(oldPath, newPath string) error {
 
 // Unlink removes a file or symlink (not a directory).
 func (fs *FS) Unlink(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	r, err := fs.walk(path, false)
 	if err != nil {
 		return err
@@ -396,6 +499,8 @@ func (fs *FS) Unlink(path string) error {
 
 // Rmdir removes an empty directory.
 func (fs *FS) Rmdir(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	r, err := fs.walk(path, false)
 	if err != nil {
 		return err
@@ -418,6 +523,8 @@ func (fs *FS) Rmdir(path string) error {
 
 // Rename moves oldPath to newPath, replacing a non-directory target.
 func (fs *FS) Rename(oldPath, newPath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	ro, err := fs.walk(oldPath, false)
 	if err != nil {
 		return err
@@ -446,7 +553,9 @@ func (fs *FS) Rename(oldPath, newPath string) error {
 
 // Chmod sets the mode bits of the node at path.
 func (fs *FS) Chmod(path string, mode uint32) error {
-	n, err := fs.Lookup(path)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, err := fs.lookup(path)
 	if err != nil {
 		return err
 	}
@@ -456,15 +565,23 @@ func (fs *FS) Chmod(path string, mode uint32) error {
 
 // Truncate resizes the file at path.
 func (fs *FS) Truncate(path string, size uint32) error {
-	n, err := fs.Lookup(path)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, err := fs.lookup(path)
 	if err != nil {
 		return err
 	}
-	return fs.TruncateNode(n, size)
+	return fs.truncateNode(n, size)
 }
 
 // TruncateNode resizes an open file node.
 func (fs *FS) TruncateNode(n *Node, size uint32) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.truncateNode(n, size)
+}
+
+func (fs *FS) truncateNode(n *Node, size uint32) error {
 	if n.Kind != KindFile {
 		return ErrIsDir
 	}
@@ -483,6 +600,8 @@ func (fs *FS) TruncateNode(n *Node, size uint32) error {
 // WriteAt writes b into the file node at the given offset, growing it as
 // needed, and returns the number of bytes written.
 func (fs *FS) WriteAt(n *Node, off uint32, b []byte) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	if n.Kind != KindFile {
 		return 0, ErrIsDir
 	}
@@ -500,6 +619,8 @@ func (fs *FS) WriteAt(n *Node, off uint32, b []byte) (int, error) {
 
 // ReadAt reads up to len(b) bytes from the file at offset off.
 func (fs *FS) ReadAt(n *Node, off uint32, b []byte) (int, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	if n.Kind != KindFile {
 		return 0, ErrIsDir
 	}
@@ -511,7 +632,9 @@ func (fs *FS) ReadAt(n *Node, off uint32, b []byte) (int, error) {
 
 // ReadDir returns the sorted names of entries in the directory at path.
 func (fs *FS) ReadDir(path string) ([]string, error) {
-	n, err := fs.Lookup(path)
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.lookup(path)
 	if err != nil {
 		return nil, err
 	}
@@ -528,7 +651,9 @@ func (fs *FS) ReadDir(path string) ([]string, error) {
 
 // WriteFile creates path (truncating any existing file) with contents b.
 func (fs *FS) WriteFile(path string, b []byte, mode uint32) error {
-	n, err := fs.Create(path, mode, true)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, err := fs.create(path, mode, true)
 	if err != nil {
 		return err
 	}
@@ -539,7 +664,9 @@ func (fs *FS) WriteFile(path string, b []byte, mode uint32) error {
 
 // ReadFile returns a copy of the file contents at path.
 func (fs *FS) ReadFile(path string) ([]byte, error) {
-	n, err := fs.Lookup(path)
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.lookup(path)
 	if err != nil {
 		return nil, err
 	}

@@ -107,7 +107,7 @@ func TestAuthenticatedProgramsRunClean(t *testing.T) {
 			t.Fatalf("%s run: %v", name, err)
 		}
 		if p.Killed {
-			t.Errorf("%s: killed by monitor: %v (audit %v)", name, p.KilledBy, k.Audit)
+			t.Errorf("%s: killed by monitor: %v (audit %v)", name, p.KilledBy, &k.Audit)
 		}
 	}
 }

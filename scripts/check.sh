@@ -1,9 +1,9 @@
 #!/bin/sh
 # check.sh — the repository's full verification gate: formatting, vet,
-# build, race-enabled tests, a short fuzz smoke over auth-record
-# decoding, the kernel syscall benchmarks, the fault-injection campaign,
-# and the machine-readable summaries (BENCH_kernel.json,
-# BENCH_fault.json).
+# build, the tier-1 test suite, the SMP race gate, a short fuzz smoke
+# over auth-record decoding, the kernel syscall benchmarks, the fault-
+# injection campaign, and the machine-readable summaries
+# (BENCH_kernel.json, BENCH_fault.json).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -22,8 +22,17 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== go test -race =="
-go test -race ./...
+echo "== go test (tier 1) =="
+go test ./...
+
+# The race gate covers the packages that share kernel state across
+# goroutines under the SMP scheduler: the worker pool itself, the
+# kernel's sharded structures (VFS, audit ring, pattern cache, atomic
+# counters), the fleet API, the parallel fault campaign, and the
+# throughput sweep.
+echo "== go test -race (SMP gate) =="
+go test -race ./internal/sched/... ./internal/kernel/... ./internal/core/... \
+    ./internal/fault/... ./internal/bench/...
 
 echo "== fuzz smoke (auth-record decoding) =="
 go test -run '^$' -fuzz FuzzAuthRecord -fuzztime 5s ./internal/kernel
@@ -37,4 +46,4 @@ go run ./cmd/ascbench -table 4 -json BENCH_kernel.json
 echo "wrote BENCH_kernel.json"
 
 echo "== fault-injection campaign =="
-go run ./cmd/ascfault -seed 1 -trials 3 -json BENCH_fault.json
+go run ./cmd/ascfault -seed 1 -trials 3 -workers 4 -json BENCH_fault.json

@@ -1,0 +1,23 @@
+#!/bin/sh
+# smp.sh — regenerate BENCH_smp.json: the SMP throughput sweep (8
+# verified processes per Table-4 workload at 1/2/4/8 workers, modeled
+# makespan). The figures are computed from deterministic per-process
+# cycle counts, so two consecutive runs produce byte-identical JSON.
+#
+# Refuses to overwrite an uncommitted BENCH_smp.json unless FORCE=1,
+# so a locally modified artifact is never clobbered silently.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if git diff --quiet -- BENCH_smp.json 2>/dev/null; then
+    : # clean (or not yet tracked with changes): safe to regenerate
+elif [ "${FORCE:-0}" = "1" ]; then
+    echo "smp.sh: BENCH_smp.json is dirty; overwriting (FORCE=1)" >&2
+else
+    echo "smp.sh: BENCH_smp.json has uncommitted changes; commit them or rerun with FORCE=1" >&2
+    exit 1
+fi
+
+go run ./cmd/ascbench -table smp -procs 8 -json BENCH_smp.json
+echo "wrote BENCH_smp.json"
