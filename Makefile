@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench smp fault check clean
+.PHONY: build test race bench smp ckpt fault check clean
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,11 @@ bench:
 smp:
 	sh scripts/smp.sh
 
+# ckpt regenerates BENCH_ckpt.json (the crash-recovery cadence sweep).
+# The script refuses to overwrite a dirty BENCH_ckpt.json unless FORCE=1.
+ckpt:
+	sh scripts/ckpt.sh
+
 # fault runs the deterministic fault-injection campaign and emits the
 # machine-readable matrix (same seed -> byte-identical JSON).
 fault:
@@ -35,4 +40,4 @@ check:
 	sh scripts/check.sh
 
 clean:
-	rm -f BENCH_kernel.json BENCH_fault.json BENCH_smp.json
+	rm -f BENCH_kernel.json BENCH_fault.json BENCH_smp.json BENCH_ckpt.json

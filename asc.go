@@ -37,6 +37,7 @@ package asc
 import (
 	"asc/internal/asm"
 	"asc/internal/binfmt"
+	"asc/internal/ckpt"
 	"asc/internal/core"
 	"asc/internal/installer"
 	"asc/internal/kernel"
@@ -73,6 +74,8 @@ type (
 	SuperviseConfig = core.SuperviseConfig
 	// SuperviseStats summarizes a supervised run.
 	SuperviseStats = core.SuperviseStats
+	// CheckpointStore is the supervisor's sealed checkpoint chain.
+	CheckpointStore = ckpt.Store
 	// Enforcement selects the kernel's response to a violating call.
 	Enforcement = kernel.Enforcement
 	// OS selects a libc/kernel personality.
@@ -94,6 +97,19 @@ const (
 
 // KeySize is the MAC key length in bytes (AES-128).
 const KeySize = mac.KeySize
+
+// NoRestarts disables supervised restarts entirely
+// (SuperviseConfig.MaxRestarts's zero value selects the default policy).
+const NoRestarts = core.NoRestarts
+
+// NewCheckpointStore returns an empty sealed-checkpoint store for
+// SuperviseConfig.Checkpoints.
+func NewCheckpointStore() *CheckpointStore { return ckpt.NewStore() }
+
+// SealedEpoch reads the epoch a checkpoint blob claims to be sealed
+// under, without verifying it. Restore still verifies the seal, the
+// epoch, and the program binding.
+func SealedEpoch(blob []byte) (uint64, error) { return ckpt.SealedEpoch(blob) }
 
 // NewKey derives a fixed-size key from a passphrase by truncating or
 // right-padding with '#'. For demonstrations only; production deployments

@@ -1,13 +1,14 @@
 // ascbench regenerates the paper's evaluation tables.
 //
-// Usage: ascbench [-table 1|2|3|4|6|andrew|compare|smp|all] [-scale N]
-// [-procs N] [-json FILE]
+// Usage: ascbench [-table 1|2|3|4|6|andrew|compare|smp|ckpt|all]
+// [-scale N] [-procs N] [-json FILE]
 //
 // With -json FILE, the Table 4 microbenchmark rows (plain, verified, and
 // cache-enabled cycles per call) are additionally written to FILE as a
 // machine-readable summary; with -table smp the same flag writes the SMP
-// scaling sweep (BENCH_smp.json). SMP figures are modeled makespans from
-// deterministic per-process cycle counts, so the JSON is byte-stable.
+// scaling sweep (BENCH_smp.json), and with -table ckpt the crash-recovery
+// cadence sweep (BENCH_ckpt.json). SMP and ckpt figures come from
+// deterministic cycle counts, so the JSON is byte-stable.
 package main
 
 import (
@@ -96,8 +97,50 @@ func writeSMPJSON(path string, t *bench.SMPData) error {
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
+// ckptJSON is the machine-readable crash-recovery summary.
+type ckptJSON struct {
+	Iters        int             `json:"iters"`
+	CleanCycles  uint64          `json:"clean_cycles"`
+	BudgetCycles uint64          `json:"budget_cycles"`
+	Points       []ckptJSONPoint `json:"points"`
+}
+
+type ckptJSONPoint struct {
+	Divisor      int     `json:"divisor"`
+	EveryCycles  uint64  `json:"every_cycles"`
+	Checkpoints  int     `json:"checkpoints"`
+	WarmRestarts int     `json:"warm_restarts"`
+	ColdStarts   int     `json:"cold_starts"`
+	Attempts     int     `json:"attempts"`
+	ReplayCycles uint64  `json:"replay_cycles"`
+	ReplayPct    float64 `json:"replay_pct"`
+	Recovered    bool    `json:"recovered"`
+}
+
+func writeCkptJSON(path string, t *bench.CkptData) error {
+	out := ckptJSON{Iters: t.Iters, CleanCycles: t.CleanCycles, BudgetCycles: t.BudgetCycles}
+	for _, p := range t.Points {
+		out.Points = append(out.Points, ckptJSONPoint{
+			Divisor:      p.Divisor,
+			EveryCycles:  p.EveryCycles,
+			Checkpoints:  p.Checkpoints,
+			WarmRestarts: p.WarmRestarts,
+			ColdStarts:   p.ColdStarts,
+			Attempts:     p.Attempts,
+			ReplayCycles: p.ReplayCycles,
+			ReplayPct:    p.ReplayPct,
+			Recovered:    p.Recovered,
+		})
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
 func main() {
-	table := flag.String("table", "all", "which artifact to regenerate: 1, 2, 3, 4, 6, andrew, compare, smp, all")
+	table := flag.String("table", "all", "which artifact to regenerate: 1, 2, 3, 4, 6, andrew, compare, smp, ckpt, all")
 	scale := flag.Int("scale", 1, "divide macro-benchmark iteration counts by N (faster, less precise)")
 	jsonPath := flag.String("json", "", "write the Table 4 (or -table smp) benchmark summary to FILE as JSON")
 	procs := flag.Int("procs", 8, "SMP sweep: processes per fleet")
@@ -144,6 +187,18 @@ func main() {
 		}
 		if *jsonPath != "" {
 			if err := writeSMPJSON(*jsonPath, data); err != nil {
+				return nil, fmt.Errorf("write %s: %w", *jsonPath, err)
+			}
+		}
+		return data, nil
+	})
+	run("ckpt", func() (interface{ Render() string }, error) {
+		data, err := bench.Ckpt(bench.DefaultKey, 400)
+		if err != nil {
+			return nil, err
+		}
+		if *jsonPath != "" {
+			if err := writeCkptJSON(*jsonPath, data); err != nil {
 				return nil, fmt.Errorf("write %s: %w", *jsonPath, err)
 			}
 		}

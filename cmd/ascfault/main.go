@@ -7,10 +7,13 @@
 //
 // Usage: ascfault [-seed N] [-trials N] [-classes a,b,...] [-cycles N]
 //
-//	[-workers N] [-json file] [-q]
+//	[-workers N] [-ckpt=false] [-json file] [-q]
 //
 // -workers runs (class, victim) cells concurrently; the matrix is
-// byte-identical at any worker count.
+// byte-identical at any worker count. The campaign also tampers with
+// sealed checkpoints (torn write, bit flip, stale replay, wrong
+// process) during supervised warm restarts; -ckpt=false skips those
+// cells.
 package main
 
 import (
@@ -28,15 +31,16 @@ func main() {
 	classesFlag := flag.String("classes", "", "comma-separated fault classes (default: all)")
 	cycles := flag.Uint64("cycles", 0, "per-run cycle budget (default 4,000,000)")
 	workers := flag.Int("workers", 1, "run (class, victim) cells on N workers (matrix is identical at any width)")
+	ckptCells := flag.Bool("ckpt", true, "include the checkpoint-tampering cells")
 	jsonPath := flag.String("json", "", "write the JSON matrix to this file")
 	quiet := flag.Bool("q", false, "suppress the result table")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: ascfault [-seed N] [-trials N] [-classes a,b,...] [-cycles N] [-workers N] [-json file] [-q]")
+		fmt.Fprintln(os.Stderr, "usage: ascfault [-seed N] [-trials N] [-classes a,b,...] [-cycles N] [-workers N] [-ckpt=false] [-json file] [-q]")
 		os.Exit(2)
 	}
 
-	cfg := fault.Config{Seed: *seed, Trials: *trials, MaxCycles: *cycles, Workers: *workers}
+	cfg := fault.Config{Seed: *seed, Trials: *trials, MaxCycles: *cycles, Workers: *workers, SkipCkpt: !*ckptCells}
 	if *classesFlag != "" {
 		known := make(map[string]bool)
 		for _, c := range fault.Classes() {

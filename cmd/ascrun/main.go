@@ -12,6 +12,13 @@
 // continue. -supervise N restarts a killed or runaway process up to N
 // times with capped exponential backoff.
 //
+// With -supervise, -checkpoint-every N seals a cryptographically
+// authenticated checkpoint of the running process every N cycles;
+// restarts resume warm from the newest checkpoint whose seal verifies.
+// -checkpoint-out writes the newest sealed blob at exit, and -restore
+// resumes a previous run from such a file (the seal, program binding,
+// and state MACs are re-verified before the process runs).
+//
 // Exit codes: the process's own exit status (masked to 0..127) on a
 // voluntary exit; 125 when the monitor kills the process; 124 when it
 // overruns its cycle budget (runaway); 2 on usage errors; 1 on platform
@@ -44,6 +51,9 @@ func main() {
 	enfFlag := flag.String("enforcement", "kill", "violation response: kill, deny, or audit")
 	superviseN := flag.Int("supervise", -1, "restart a failing process up to N times (negative: no supervision)")
 	backoff := flag.Uint64("backoff", 0, "base virtual backoff (cycles) between supervised restarts")
+	ckptEvery := flag.Uint64("checkpoint-every", 0, "with -supervise: seal a checkpoint every N cycles (restarts resume warm)")
+	ckptOut := flag.String("checkpoint-out", "", "with -checkpoint-every: write the newest sealed checkpoint to this file")
+	restorePath := flag.String("restore", "", "resume from a sealed checkpoint file instead of starting fresh")
 	flag.Parse()
 	if flag.NArg() != 1 || (*key == "" && !*permissive) {
 		usage()
@@ -87,13 +97,48 @@ func main() {
 	}
 
 	switch {
+	case *restorePath != "":
+		runRestored(system, exe, flag.Arg(0), *restorePath)
 	case *superviseN >= 0:
-		runSupervised(system, exe, flag.Arg(0), stdin, *superviseN, *backoff)
+		runSupervised(system, exe, flag.Arg(0), stdin, *superviseN, *backoff, *ckptEvery, *ckptOut)
 	case *trace:
 		runTraced(system, exe, flag.Arg(0), stdin)
 	default:
 		runOnce(system, exe, flag.Arg(0), stdin)
 	}
+}
+
+// runRestored resumes a process from a sealed checkpoint file. The
+// trusted epoch normally lives in the supervisor's store; for a file
+// restore it is taken from the blob's own header — the seal, the
+// program binding, and the in-memory state MACs are still verified.
+func runRestored(system *asc.System, exe *asc.Binary, name, path string) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	epoch, err := asc.SealedEpoch(blob)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := system.Kernel.Restore(exe, name, blob, epoch)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "ascrun: restored checkpoint epoch %d at %d cycles\n", epoch, p.CPU.Cycles)
+	runErr := system.Kernel.Run(p, 4_000_000_000)
+	os.Stdout.WriteString(p.Output())
+	reportAudit(system)
+	if runErr != nil {
+		exitRunError(runErr)
+	}
+	if p.Killed {
+		fmt.Fprintf(os.Stderr, "ascrun: process killed by monitor: %s\n", p.KilledBy)
+		os.Exit(exitKilled)
+	}
+	fmt.Fprintf(os.Stderr, "ascrun: exit %d, %d cycles, %d syscalls (%d verified)\n",
+		p.Code, p.CPU.Cycles, p.SyscallCount, p.VerifyCount)
+	os.Exit(int(p.Code) & 0x7f)
 }
 
 // runOnce executes the binary a single time and maps the outcome to the
@@ -141,10 +186,16 @@ func runTraced(system *asc.System, exe *asc.Binary, name, stdin string) {
 
 // runSupervised runs the binary under the restart policy and reports the
 // restart statistics.
-func runSupervised(system *asc.System, exe *asc.Binary, name, stdin string, maxRestarts int, backoff uint64) {
+func runSupervised(system *asc.System, exe *asc.Binary, name, stdin string, maxRestarts int, backoff, ckptEvery uint64, ckptOut string) {
 	scfg := asc.SuperviseConfig{MaxRestarts: maxRestarts, BackoffBase: backoff}
 	if maxRestarts == 0 {
-		scfg.MaxRestarts = -1 // "0" means run once, not the library default
+		scfg.MaxRestarts = asc.NoRestarts // "0" means run once, not the library default
+	}
+	var store *asc.CheckpointStore
+	if ckptEvery > 0 {
+		store = asc.NewCheckpointStore()
+		scfg.CheckpointEvery = ckptEvery
+		scfg.Checkpoints = store
 	}
 	stats, err := system.Supervise(exe, name, stdin, scfg)
 	if err != nil {
@@ -156,6 +207,28 @@ func runSupervised(system *asc.System, exe *asc.Binary, name, stdin string, maxR
 	reportAudit(system)
 	fmt.Fprintf(os.Stderr, "ascrun: supervise: %d attempts, %d restarts, %d cycles total backoff\n",
 		stats.Attempts, stats.Restarts, stats.TotalBackoff)
+	if store != nil {
+		fmt.Fprintf(os.Stderr, "ascrun: supervise: %d checkpoints, %d warm restarts, %d cold starts, %d cycles replayed\n",
+			stats.Checkpoints, stats.WarmRestarts, stats.ColdStarts, stats.ReplayCycles)
+		reasons := make([]string, 0, len(stats.CkptRejected))
+		for reason := range stats.CkptRejected {
+			reasons = append(reasons, reason)
+		}
+		sort.Strings(reasons)
+		for _, reason := range reasons {
+			fmt.Fprintf(os.Stderr, "ascrun: supervise: checkpoint rejected (%s) × %d\n", reason, stats.CkptRejected[reason])
+		}
+		if ckptOut != "" {
+			if chain := store.Chain(); len(chain) > 0 {
+				if err := os.WriteFile(ckptOut, chain[0].Blob, 0o644); err != nil {
+					fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "ascrun: wrote checkpoint epoch %d to %s\n", chain[0].Epoch, ckptOut)
+			} else {
+				fmt.Fprintln(os.Stderr, "ascrun: no checkpoint was sealed; nothing written")
+			}
+		}
+	}
 	causes := make([]string, 0, len(stats.Causes))
 	for c := range stats.Causes {
 		causes = append(causes, c)
@@ -213,7 +286,7 @@ func exitRunError(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ascrun (-key <passphrase> | -permissive) [-stdin file] [-trace] [-enforcement kill|deny|audit] [-supervise N] [-backoff N] exe")
+	fmt.Fprintln(os.Stderr, "usage: ascrun (-key <passphrase> | -permissive) [-stdin file] [-trace] [-enforcement kill|deny|audit] [-supervise N] [-backoff N] [-checkpoint-every N] [-checkpoint-out file] [-restore file] exe")
 	os.Exit(2)
 }
 

@@ -182,6 +182,28 @@ func (t *Tracker) Remove(mem *vm.Memory, fd uint32) error {
 	return t.seal(mem, out)
 }
 
+// Counter returns the in-kernel nonce. A checkpoint seals it so restore
+// can resume verification of the in-memory set.
+func (t *Tracker) Counter() uint64 { return t.counter }
+
+// SetCounter overwrites the nonce; used by checkpoint restore before
+// Reseed re-verifies the restored set under it.
+func (t *Tracker) SetCounter(c uint64) { t.counter = c }
+
+// Reseed verifies the in-memory set under the current nonce, then
+// re-seals it under a fresh one. Checkpoint restore calls it so that (a)
+// the restored set is proven authentic before the process runs, and (b)
+// pre-checkpoint copies of the set no longer verify afterwards — the
+// same replay cut the memory checker's counter bump provides.
+func (t *Tracker) Reseed(mem *vm.Memory) error {
+	fds, err := t.load(mem)
+	if err != nil {
+		return err
+	}
+	t.counter++
+	return t.seal(mem, fds)
+}
+
 // Check verifies that fd is a tracked capability (the read-policy check).
 func (t *Tracker) Check(mem *vm.Memory, fd uint32) error {
 	fds, err := t.load(mem)

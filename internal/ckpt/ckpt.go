@@ -1,0 +1,490 @@
+// Package ckpt implements sealed process checkpoints: a deterministic
+// serialization of a running guest's state — VM registers, memory
+// segments with their store-generation counters, the fd/offset table,
+// and the in-kernel memory-checker nonce — authenticated with a CMAC
+// under the platform's policy MAC key.
+//
+// The trust argument mirrors the paper's online memory checker: state
+// that leaves the kernel's hands (here, a checkpoint at rest) is never
+// trusted on the way back in. The seal covers every serialized byte and
+// binds two extra facts:
+//
+//   - a monotonically increasing checkpoint *epoch*, chosen and
+//     remembered by the restorer (never read back from the blob), so a
+//     stale checkpoint replayed into a newer slot fails the epoch check
+//     even though its seal is genuine; and
+//   - a *program tag* (CMAC over the installed executable's serialized
+//     bytes), so a sealed checkpoint of process A cannot be restored
+//     into a process running program B.
+//
+// A bit flip or torn write anywhere in the blob breaks the seal; a
+// replay breaks the epoch; a cross-process swap breaks the program tag.
+// Restore therefore either reproduces exactly the sealed state or fails
+// with a classified error — it never executes unverified state.
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"asc/internal/mac"
+)
+
+// Blob layout: header (magic, version, epoch), the encoded State, and a
+// trailing CMAC over everything before it.
+const (
+	magic      = "ASCK"
+	version    = 1
+	headerSize = 4 + 4 + 8
+	minBlob    = headerSize + mac.Size
+)
+
+// Domain-separation prefixes for the two MAC uses, so a checkpoint seal
+// can never be confused with a program tag (or any policy MAC).
+var (
+	sealPrefix = []byte("asc/ckpt/seal/v1\x00")
+	progPrefix = []byte("asc/ckpt/prog/v1\x00")
+)
+
+// Restore failure classes. Checkpoint consumers classify with Reason.
+var (
+	// ErrTruncated: the blob is too short to hold even a sealed header —
+	// a torn write lost the tail.
+	ErrTruncated = errors.New("ckpt: checkpoint truncated")
+	// ErrSeal: the CMAC over the blob does not verify (bit flip, torn
+	// write, or forgery).
+	ErrSeal = errors.New("ckpt: seal mismatch")
+	// ErrMalformed: the seal verified but the payload does not decode —
+	// an encoder/decoder version skew, never an attack (a sealed blob is
+	// authentic by construction).
+	ErrMalformed = errors.New("ckpt: malformed checkpoint")
+	// ErrEpoch: the sealed epoch is not the one the restorer expected —
+	// a stale checkpoint replayed into a newer slot.
+	ErrEpoch = errors.New("ckpt: epoch mismatch (stale or replayed checkpoint)")
+	// ErrProgram: the sealed program tag belongs to a different
+	// executable — a cross-process checkpoint swap.
+	ErrProgram = errors.New("ckpt: checkpoint sealed for a different program")
+	// ErrState: the blob verified and decoded but the restored state
+	// failed its own re-verification (CF-state MAC, capability set, or
+	// an environment mismatch such as a missing file).
+	ErrState = errors.New("ckpt: restored state failed re-verification")
+	// ErrUnsupported: the live process holds state the checkpoint format
+	// cannot capture (open pipes or sockets).
+	ErrUnsupported = errors.New("ckpt: process state not checkpointable")
+)
+
+// Canonical reason strings for rejection statistics.
+const (
+	ReasonTruncated = "truncated"
+	ReasonSeal      = "seal-mismatch"
+	ReasonMalformed = "malformed"
+	ReasonEpoch     = "epoch-replay"
+	ReasonProgram   = "program-mismatch"
+	ReasonState     = "state-mismatch"
+	ReasonOther     = "other"
+)
+
+// Reason classifies a restore error into a canonical string ("" for nil).
+func Reason(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrTruncated):
+		return ReasonTruncated
+	case errors.Is(err, ErrSeal):
+		return ReasonSeal
+	case errors.Is(err, ErrMalformed):
+		return ReasonMalformed
+	case errors.Is(err, ErrEpoch):
+		return ReasonEpoch
+	case errors.Is(err, ErrProgram):
+		return ReasonProgram
+	case errors.Is(err, ErrState):
+		return ReasonState
+	default:
+		return ReasonOther
+	}
+}
+
+// SegState is one memory segment: its protection range, its
+// store-generation counter, and its contents.
+type SegState struct {
+	Name  string
+	Start uint32
+	End   uint32 // exclusive
+	Perms uint8
+	Gen   uint64
+	Data  []byte // End-Start bytes
+}
+
+// FDState is one open descriptor. Only disk files and console streams
+// are checkpointable; pipes and sockets make Checkpoint fail with
+// ErrUnsupported.
+type FDState struct {
+	Slot   uint32
+	Kind   uint32 // kernel fdKind value
+	Path   string // resolved path (file descriptors only)
+	Offset uint32
+}
+
+// SigState is one installed signal handler.
+type SigState struct {
+	Num     uint32
+	Handler uint32
+}
+
+// State is the complete checkpointable state of one process, quiesced at
+// an instruction boundary (a superset of the trap boundary: the kernel
+// updates CF state and counter atomically within a single trap, so any
+// instruction boundary sees them consistent).
+type State struct {
+	Epoch   uint64
+	ProgTag mac.Tag
+
+	Name          string
+	Authenticated bool
+	Enforcement   uint32
+
+	// CPU.
+	Regs   []uint32
+	PC     uint32
+	Cycles uint64
+	Halted bool
+
+	// Address space.
+	MemBase uint32
+	MemSize uint32
+	Brk     uint32
+	Segs    []SegState
+
+	// Verification state: the memory-checker nonce and the capability-
+	// tracker nonce (the MACed values themselves live in segment data).
+	Counter        uint64
+	FDTrack        bool
+	FDTrackCounter uint64
+
+	// Process environment.
+	Cwd        string
+	Umask      uint32
+	Stdin      []byte
+	StdinPos   uint32
+	Stdout     []byte
+	NumFDSlots uint32
+	FDs        []FDState
+	Sigs       []SigState
+
+	// Statistics (restored so supervision accounting stays continuous).
+	SyscallCount       uint64
+	VerifyCount        uint64
+	VerifyAESBlocks    uint64
+	DeniedCount        uint64
+	AuditedCount       uint64
+	CacheHits          uint64
+	CacheMisses        uint64
+	CacheInvalidations uint64
+}
+
+// ProgramTag computes the program-binding tag over an executable's
+// deterministic serialization.
+func ProgramTag(k *mac.Keyed, exeBytes []byte) mac.Tag {
+	msg := make([]byte, 0, len(progPrefix)+len(exeBytes))
+	msg = append(msg, progPrefix...)
+	msg = append(msg, exeBytes...)
+	tag, _ := k.Sum(msg)
+	return tag
+}
+
+// Seal serializes the state and appends the CMAC seal.
+func Seal(k *mac.Keyed, s *State) []byte {
+	b := encode(s)
+	msg := make([]byte, 0, len(sealPrefix)+len(b))
+	msg = append(msg, sealPrefix...)
+	msg = append(msg, b...)
+	tag, _ := k.Sum(msg)
+	return append(b, tag[:]...)
+}
+
+// Open verifies the seal and decodes the state. The checks run in trust
+// order: length, then seal, then (only over authenticated bytes) the
+// payload decode.
+func Open(k *mac.Keyed, blob []byte) (*State, error) {
+	if len(blob) < minBlob {
+		return nil, fmt.Errorf("%w (%d bytes)", ErrTruncated, len(blob))
+	}
+	body := blob[:len(blob)-mac.Size]
+	var tag mac.Tag
+	copy(tag[:], blob[len(blob)-mac.Size:])
+	msg := make([]byte, 0, len(sealPrefix)+len(body))
+	msg = append(msg, sealPrefix...)
+	msg = append(msg, body...)
+	if ok, _ := k.Verify(msg, tag); !ok {
+		return nil, ErrSeal
+	}
+	return DecodeState(body)
+}
+
+// SealedEpoch reads the epoch from a blob's header without verifying the
+// seal. It exists for tooling (picking a restore slot); trust decisions
+// must go through Open plus the caller's own epoch expectation.
+func SealedEpoch(blob []byte) (uint64, error) {
+	if len(blob) < headerSize {
+		return 0, fmt.Errorf("%w (%d bytes)", ErrTruncated, len(blob))
+	}
+	if string(blob[:4]) != magic {
+		return 0, fmt.Errorf("%w: bad magic", ErrMalformed)
+	}
+	if v := binary.LittleEndian.Uint32(blob[4:]); v != version {
+		return 0, fmt.Errorf("%w: version %d", ErrMalformed, v)
+	}
+	return binary.LittleEndian.Uint64(blob[8:]), nil
+}
+
+// encode serializes the header and payload (everything the seal covers).
+func encode(s *State) []byte {
+	var e enc
+	e.raw(append([]byte(nil), magic...))
+	e.u32(version)
+	e.u64(s.Epoch)
+	e.raw(s.ProgTag[:])
+
+	e.str(s.Name)
+	e.bool(s.Authenticated)
+	e.u32(s.Enforcement)
+
+	e.u32(uint32(len(s.Regs)))
+	for _, r := range s.Regs {
+		e.u32(r)
+	}
+	e.u32(s.PC)
+	e.u64(s.Cycles)
+	e.bool(s.Halted)
+
+	e.u32(s.MemBase)
+	e.u32(s.MemSize)
+	e.u32(s.Brk)
+	e.u32(uint32(len(s.Segs)))
+	for i := range s.Segs {
+		sg := &s.Segs[i]
+		e.str(sg.Name)
+		e.u32(sg.Start)
+		e.u32(sg.End)
+		e.u8(sg.Perms)
+		e.u64(sg.Gen)
+		e.bytes(sg.Data)
+	}
+
+	e.u64(s.Counter)
+	e.bool(s.FDTrack)
+	e.u64(s.FDTrackCounter)
+
+	e.str(s.Cwd)
+	e.u32(s.Umask)
+	e.bytes(s.Stdin)
+	e.u32(s.StdinPos)
+	e.bytes(s.Stdout)
+	e.u32(s.NumFDSlots)
+	e.u32(uint32(len(s.FDs)))
+	for i := range s.FDs {
+		fd := &s.FDs[i]
+		e.u32(fd.Slot)
+		e.u32(fd.Kind)
+		e.str(fd.Path)
+		e.u32(fd.Offset)
+	}
+	e.u32(uint32(len(s.Sigs)))
+	for _, sg := range s.Sigs {
+		e.u32(sg.Num)
+		e.u32(sg.Handler)
+	}
+
+	for _, v := range []uint64{
+		s.SyscallCount, s.VerifyCount, s.VerifyAESBlocks,
+		s.DeniedCount, s.AuditedCount,
+		s.CacheHits, s.CacheMisses, s.CacheInvalidations,
+	} {
+		e.u64(v)
+	}
+	return e.b
+}
+
+// DecodeState parses an *unsealed* header+payload (a blob without its
+// trailing MAC). It performs no authentication — callers must verify the
+// seal first (Open does) — but is safe on arbitrary input: every length
+// is bounds-checked against the remaining bytes before any allocation,
+// so the fuzzer can feed it garbage without panics or memory blowups.
+func DecodeState(b []byte) (*State, error) {
+	d := dec{b: b}
+	var s State
+	if string(d.raw(4)) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrMalformed)
+	}
+	if v := d.u32(); v != version && !d.fail {
+		return nil, fmt.Errorf("%w: version %d", ErrMalformed, v)
+	}
+	s.Epoch = d.u64()
+	copy(s.ProgTag[:], d.raw(mac.Size))
+
+	s.Name = d.str()
+	s.Authenticated = d.bool()
+	s.Enforcement = d.u32()
+
+	nregs := d.count(4)
+	s.Regs = make([]uint32, 0, nregs)
+	for i := 0; i < nregs; i++ {
+		s.Regs = append(s.Regs, d.u32())
+	}
+	s.PC = d.u32()
+	s.Cycles = d.u64()
+	s.Halted = d.bool()
+
+	s.MemBase = d.u32()
+	s.MemSize = d.u32()
+	s.Brk = d.u32()
+	nsegs := d.count(22)
+	for i := 0; i < nsegs && !d.fail; i++ {
+		var sg SegState
+		sg.Name = d.str()
+		sg.Start = d.u32()
+		sg.End = d.u32()
+		sg.Perms = d.u8()
+		sg.Gen = d.u64()
+		sg.Data = d.bytes()
+		s.Segs = append(s.Segs, sg)
+	}
+
+	s.Counter = d.u64()
+	s.FDTrack = d.bool()
+	s.FDTrackCounter = d.u64()
+
+	s.Cwd = d.str()
+	s.Umask = d.u32()
+	s.Stdin = d.bytes()
+	s.StdinPos = d.u32()
+	s.Stdout = d.bytes()
+	s.NumFDSlots = d.u32()
+	nfds := d.count(16)
+	for i := 0; i < nfds && !d.fail; i++ {
+		var fd FDState
+		fd.Slot = d.u32()
+		fd.Kind = d.u32()
+		fd.Path = d.str()
+		fd.Offset = d.u32()
+		s.FDs = append(s.FDs, fd)
+	}
+	nsigs := d.count(8)
+	for i := 0; i < nsigs && !d.fail; i++ {
+		s.Sigs = append(s.Sigs, SigState{Num: d.u32(), Handler: d.u32()})
+	}
+
+	for _, p := range []*uint64{
+		&s.SyscallCount, &s.VerifyCount, &s.VerifyAESBlocks,
+		&s.DeniedCount, &s.AuditedCount,
+		&s.CacheHits, &s.CacheMisses, &s.CacheInvalidations,
+	} {
+		*p = d.u64()
+	}
+	if d.fail {
+		return nil, fmt.Errorf("%w: short payload", ErrMalformed)
+	}
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(d.b)-d.off)
+	}
+	return &s, nil
+}
+
+// enc is a little-endian appender.
+type enc struct{ b []byte }
+
+func (e *enc) raw(b []byte) { e.b = append(e.b, b...) }
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *enc) bytes(b []byte) { e.u32(uint32(len(b))); e.raw(b) }
+func (e *enc) str(s string)   { e.u32(uint32(len(s))); e.b = append(e.b, s...) }
+
+// dec is the matching bounds-checked reader; any overrun latches fail
+// and makes every further read return zeros.
+type dec struct {
+	b    []byte
+	off  int
+	fail bool
+}
+
+func (d *dec) raw(n int) []byte {
+	if d.fail || n < 0 || len(d.b)-d.off < n {
+		d.fail = true
+		return nil
+	}
+	out := d.b[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+func (d *dec) u8() uint8 {
+	b := d.raw(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *dec) u32() uint32 {
+	b := d.raw(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *dec) u64() uint64 {
+	b := d.raw(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// bool accepts only the canonical encodings 0 and 1, so decode stays a
+// strict inverse of encode on everything it accepts.
+func (d *dec) bool() bool {
+	switch d.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail = true
+		return false
+	}
+}
+
+func (d *dec) bytes() []byte {
+	n := int(d.u32())
+	b := d.raw(n)
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+func (d *dec) str() string { return string(d.bytes()) }
+
+// count reads an element count and sanity-checks it against the bytes
+// remaining (each element needs at least minSize bytes), so a forged
+// count cannot drive a huge allocation.
+func (d *dec) count(minSize int) int {
+	n := int(d.u32())
+	if d.fail || n < 0 || n*minSize > len(d.b)-d.off {
+		d.fail = true
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,216 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"asc/internal/mac"
+)
+
+func testKey(t *testing.T) *mac.Keyed {
+	t.Helper()
+	k, err := mac.New([]byte("0123456789abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func sampleState() *State {
+	return &State{
+		Epoch:         7,
+		ProgTag:       mac.Tag{1, 2, 3, 4},
+		Name:          "victim",
+		Authenticated: true,
+		Enforcement:   1,
+		Regs:          []uint32{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
+		PC:            0x1000_0040,
+		Cycles:        123456,
+		MemBase:       0x1000_0000,
+		MemSize:       4 << 20,
+		Brk:           0x1000_3000,
+		Segs: []SegState{
+			{Name: ".text", Start: 0x1000_0000, End: 0x1000_0040, Perms: 5, Gen: 0, Data: bytes.Repeat([]byte{0xaa}, 0x40)},
+			{Name: "heap", Start: 0x1000_3000, End: 0x1000_3000, Perms: 3, Gen: 2},
+		},
+		Counter:        9,
+		FDTrack:        true,
+		FDTrackCounter: 4,
+		Cwd:            "/tmp",
+		Umask:          0o22,
+		Stdin:          []byte("in"),
+		StdinPos:       1,
+		Stdout:         []byte("out"),
+		NumFDSlots:     4,
+		FDs: []FDState{
+			{Slot: 0, Kind: 2},
+			{Slot: 3, Kind: 1, Path: "/tmp/f", Offset: 12},
+		},
+		Sigs:         []SigState{{Num: 2, Handler: 0x1000_0080}},
+		SyscallCount: 42,
+		VerifyCount:  40,
+	}
+}
+
+// TestSealOpenRoundTrip: every field survives a seal/open cycle, and the
+// serialization is deterministic.
+func TestSealOpenRoundTrip(t *testing.T) {
+	k := testKey(t)
+	s := sampleState()
+	blob := Seal(k, s)
+	if !bytes.Equal(blob, Seal(k, s)) {
+		t.Fatal("Seal is not deterministic")
+	}
+	got, err := Open(k, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, s)
+	}
+	if ep, err := SealedEpoch(blob); err != nil || ep != s.Epoch {
+		t.Fatalf("SealedEpoch = %d, %v; want %d", ep, err, s.Epoch)
+	}
+}
+
+// TestOpenRejectsCorruption: every single-bit flip and every truncation
+// is rejected, with truncations below the minimum classified separately.
+func TestOpenRejectsCorruption(t *testing.T) {
+	k := testKey(t)
+	blob := Seal(k, sampleState())
+
+	for bit := 0; bit < len(blob)*8; bit += 7 { // stride keeps the test fast
+		mut := append([]byte(nil), blob...)
+		mut[bit/8] ^= 1 << (bit % 8)
+		if _, err := Open(k, mut); !errors.Is(err, ErrSeal) {
+			t.Fatalf("bit %d: err = %v, want ErrSeal", bit, err)
+		}
+	}
+	for _, n := range []int{0, 4, headerSize, minBlob - 1, minBlob, len(blob) - 1} {
+		_, err := Open(k, blob[:n])
+		switch {
+		case n < minBlob && !errors.Is(err, ErrTruncated):
+			t.Fatalf("truncate to %d: err = %v, want ErrTruncated", n, err)
+		case n >= minBlob && !errors.Is(err, ErrSeal):
+			t.Fatalf("truncate to %d: err = %v, want ErrSeal", n, err)
+		}
+	}
+}
+
+// TestOpenRejectsWrongKey: a blob sealed under one key never opens under
+// another.
+func TestOpenRejectsWrongKey(t *testing.T) {
+	k := testKey(t)
+	k2, err := mac.New([]byte("fedcba9876543210"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := Seal(k, sampleState())
+	if _, err := Open(k2, blob); !errors.Is(err, ErrSeal) {
+		t.Fatalf("err = %v, want ErrSeal", err)
+	}
+}
+
+// TestDecodeTrailingBytes: extra bytes after the payload are malformed,
+// so a seal can never cover undecoded garbage.
+func TestDecodeTrailingBytes(t *testing.T) {
+	body := encode(sampleState())
+	if _, err := DecodeState(append(body, 0)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v, want ErrMalformed", err)
+	}
+	if _, err := DecodeState(body[:len(body)-1]); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("short payload: err = %v, want ErrMalformed", err)
+	}
+}
+
+// TestReason: each error class maps to its canonical string, through
+// wrapping.
+func TestReason(t *testing.T) {
+	cases := map[string]error{
+		"":              nil,
+		ReasonTruncated: ErrTruncated,
+		ReasonSeal:      ErrSeal,
+		ReasonMalformed: ErrMalformed,
+		ReasonEpoch:     ErrEpoch,
+		ReasonProgram:   ErrProgram,
+		ReasonState:     ErrState,
+		ReasonOther:     errors.New("boom"),
+	}
+	for want, err := range cases {
+		if got := Reason(err); got != want {
+			t.Errorf("Reason(%v) = %q, want %q", err, got, want)
+		}
+		if err != nil {
+			wrapped := errors.Join(errors.New("ctx"), err)
+			if got := Reason(wrapped); got != want {
+				t.Errorf("Reason(wrapped %v) = %q, want %q", err, got, want)
+			}
+		}
+	}
+}
+
+// TestProgramTagDistinguishes: different images, different tags; the tag
+// domain is separated from the seal domain.
+func TestProgramTagDistinguishes(t *testing.T) {
+	k := testKey(t)
+	a := ProgramTag(k, []byte("image-a"))
+	b := ProgramTag(k, []byte("image-b"))
+	if a.Equal(b) {
+		t.Fatal("distinct images share a program tag")
+	}
+}
+
+// TestStoreMonotonicEpochs: Put enforces strictly increasing epochs and
+// Chain returns newest first with the trusted epochs.
+func TestStoreMonotonicEpochs(t *testing.T) {
+	s := NewStore()
+	if err := s.Put(1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(2, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(2, []byte("x")); !errors.Is(err, ErrEpochOrder) {
+		t.Fatalf("duplicate epoch: err = %v", err)
+	}
+	if err := s.Put(1, []byte("x")); !errors.Is(err, ErrEpochOrder) {
+		t.Fatalf("regressing epoch: err = %v", err)
+	}
+	if s.Len() != 2 || s.NewestEpoch() != 2 {
+		t.Fatalf("len=%d newest=%d", s.Len(), s.NewestEpoch())
+	}
+	chain := s.Chain()
+	if len(chain) != 2 || chain[0].Epoch != 2 || chain[1].Epoch != 1 {
+		t.Fatalf("chain = %+v, want newest first", chain)
+	}
+	if string(chain[0].Blob) != "b" || string(chain[1].Blob) != "a" {
+		t.Fatalf("chain blobs = %q, %q", chain[0].Blob, chain[1].Blob)
+	}
+}
+
+// TestStoreTamperHook: the hook sees the pristine chain and replaces
+// only what it returns; the stored entries stay intact.
+func TestStoreTamperHook(t *testing.T) {
+	s := NewStore()
+	_ = s.Put(1, []byte("old"))
+	_ = s.Put(2, []byte("new"))
+	s.Tamper = func(chain []Entry, i int) []byte {
+		if i == 0 {
+			return chain[1].Blob // replay the older blob into the newest slot
+		}
+		return chain[i].Blob
+	}
+	chain := s.Chain()
+	if string(chain[0].Blob) != "old" || string(chain[1].Blob) != "old" {
+		t.Fatalf("tampered chain = %q, %q", chain[0].Blob, chain[1].Blob)
+	}
+	if chain[0].Epoch != 2 {
+		t.Fatalf("trusted epoch perturbed: %d", chain[0].Epoch)
+	}
+	s.Tamper = nil
+	if clean := s.Chain(); string(clean[0].Blob) != "new" {
+		t.Fatal("tamper hook modified the stored entries")
+	}
+}

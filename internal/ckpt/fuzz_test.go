@@ -1,0 +1,46 @@
+package ckpt
+
+import (
+	"bytes"
+	"testing"
+
+	"asc/internal/mac"
+)
+
+// FuzzCheckpointDecode hammers the unauthenticated decoder with
+// arbitrary bytes. The decoder sits behind the seal check in production,
+// but it must still be total: no panics, no huge allocations from forged
+// counts, and any input it accepts must re-encode to exactly itself
+// (decode is the inverse of encode on its accepted set).
+func FuzzCheckpointDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("ASCK"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	valid := encode(sampleState())
+	f.Add(valid)
+	for i := 0; i < len(valid); i += 13 {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0x20
+		f.Add(mut)
+	}
+	f.Add(valid[:len(valid)/2])
+
+	key, err := mac.New([]byte("0123456789abcdef"))
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeState(data)
+		if err != nil {
+			return
+		}
+		if got := encode(s); !bytes.Equal(got, data) {
+			t.Fatalf("decode/encode not inverse: %d bytes in, %d out", len(data), len(got))
+		}
+		// A decodable payload still must not open without a valid seal.
+		if _, err := Open(key, data); err == nil {
+			t.Fatal("Open accepted an unsealed payload")
+		}
+	})
+}

@@ -1,0 +1,89 @@
+// store.go holds the supervisor-side checkpoint store. The store is the
+// *trusted* half of the epoch protocol: it remembers, outside the blobs,
+// which epoch each slot was sealed with. Chain() hands the restorer the
+// entries newest-first together with those trusted epochs, so a blob
+// whose sealed epoch disagrees (a replayed older checkpoint) is caught
+// even though its seal verifies.
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Entry pairs a sealed blob with the trusted epoch it was stored under.
+type Entry struct {
+	Epoch uint64
+	Blob  []byte
+}
+
+// Store is a monotonic checkpoint chain. It is safe for concurrent use
+// except for the Tamper hook, which must be installed before the store
+// is shared.
+type Store struct {
+	// Tamper, when non-nil, may replace each entry's blob as Chain()
+	// hands it out (the fault campaign's injection point for at-rest
+	// checkpoint corruption). It receives the pristine chain
+	// (newest-first) and the index being fetched. The stored entries are
+	// never modified.
+	Tamper func(chain []Entry, i int) []byte
+
+	mu      sync.Mutex
+	entries []Entry // ascending epoch
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{} }
+
+// ErrEpochOrder is returned by Put when the epoch does not advance.
+var ErrEpochOrder = errors.New("ckpt: store epoch must increase")
+
+// Put appends a checkpoint under a strictly increasing epoch.
+func (s *Store) Put(epoch uint64, blob []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.entries); n > 0 && epoch <= s.entries[n-1].Epoch {
+		return fmt.Errorf("%w: %d after %d", ErrEpochOrder, epoch, s.entries[n-1].Epoch)
+	}
+	s.entries = append(s.entries, Entry{Epoch: epoch, Blob: blob})
+	return nil
+}
+
+// Len returns the number of stored checkpoints.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// NewestEpoch returns the highest stored epoch (0 when empty).
+func (s *Store) NewestEpoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.entries) == 0 {
+		return 0
+	}
+	return s.entries[len(s.entries)-1].Epoch
+}
+
+// Chain returns the fallback chain, newest first. Epochs come from the
+// store's own bookkeeping, never from the blobs; blobs pass through the
+// Tamper hook when one is installed.
+func (s *Store) Chain() []Entry {
+	s.mu.Lock()
+	pristine := make([]Entry, len(s.entries))
+	for i := range s.entries {
+		pristine[i] = s.entries[len(s.entries)-1-i]
+	}
+	tamper := s.Tamper
+	s.mu.Unlock()
+	out := make([]Entry, len(pristine))
+	copy(out, pristine)
+	if tamper != nil {
+		for i := range out {
+			out[i].Blob = tamper(pristine, i)
+		}
+	}
+	return out
+}

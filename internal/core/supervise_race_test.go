@@ -1,0 +1,74 @@
+//go:build race
+
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSuperviseCheckpointWithSiblings hammers the checkpoint path under
+// the race detector: one supervised process seals checkpoints on a tight
+// cadence (and warm-restarts off them) while seven siblings run through
+// the worker pool on the same kernel. Checkpointing reads process and
+// kernel state that the scheduler also touches; this run must be
+// race-clean and must not perturb the siblings' results.
+func TestSuperviseCheckpointWithSiblings(t *testing.T) {
+	s := newSystem(t, Config{})
+	exe, _, _, err := s.Install(buildRaw(t, runAllLoopSrc), "loop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := s.Exec(exe, "loop", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Killed || ref.Output != "done" {
+		t.Fatalf("clean reference run failed: %+v", ref)
+	}
+	budget := ref.Cycles * 4 / 5
+
+	const siblings = 7
+	reqs := make([]RunRequest, siblings)
+	for i := range reqs {
+		reqs[i] = RunRequest{Exe: exe, Name: "sib"}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var stats *SuperviseStats
+	var supErr error
+	go func() {
+		defer wg.Done()
+		stats, supErr = s.Supervise(exe, "loop", "", SuperviseConfig{
+			MaxRestarts:     8,
+			BackoffBase:     100,
+			MaxCycles:       budget,
+			CheckpointEvery: budget / 8,
+		})
+	}()
+	res, runErr := s.RunAll(reqs, 4)
+	wg.Wait()
+
+	if supErr != nil {
+		t.Fatalf("Supervise: %v", supErr)
+	}
+	if runErr != nil {
+		t.Fatalf("RunAll: %v", runErr)
+	}
+	if stats.GaveUp || stats.Final.Output != "done" {
+		t.Fatalf("supervised process did not recover: %+v", stats)
+	}
+	if stats.Checkpoints == 0 || stats.WarmRestarts == 0 {
+		t.Errorf("checkpoints=%d warm=%d, want both > 0", stats.Checkpoints, stats.WarmRestarts)
+	}
+	for i, r := range res {
+		if r.Err != nil || r.Killed || r.Output != "done" {
+			t.Errorf("sibling %d perturbed: err=%v killed=%v output=%q", i, r.Err, r.Killed, r.Output)
+		}
+		if r.Cycles != ref.Cycles || r.Verified != ref.Verified {
+			t.Errorf("sibling %d diverged from quiet baseline: cycles %d/%d verified %d/%d",
+				i, r.Cycles, ref.Cycles, r.Verified, ref.Verified)
+		}
+	}
+}

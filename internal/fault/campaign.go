@@ -44,6 +44,9 @@ type Config struct {
 	// depend only on (seed, victim, trial), so the matrix is
 	// byte-identical at any worker count.
 	Workers int
+	// SkipCkpt omits the checkpoint fault classes (torn write, bit flip,
+	// epoch replay, wrong-process swap). They run by default.
+	SkipCkpt bool
 }
 
 // DefaultKey is the campaign MAC key used when Config.Key is nil.
@@ -92,6 +95,7 @@ type Matrix struct {
 	MaxCycles uint64        `json:"max_cycles"`
 	Cells     []Cell        `json:"cells"`
 	Restarts  []RestartCell `json:"restarts"`
+	Ckpt      []CkptCell    `json:"ckpt,omitempty"`
 }
 
 // Run executes the campaign.
@@ -125,13 +129,31 @@ func Run(cfg Config) (*Matrix, error) {
 		exes[vi] = exe
 	}
 
-	// One task per (victim, class) cell plus one restart demonstration
-	// per victim. Each task owns its kernels and fault engines, so cells
-	// run concurrently when cfg.Workers > 1; subseeds depend only on
-	// (seed, victim index, trial), never on scheduling.
+	// The checkpoint cells need per-victim measurements (clean cycle
+	// counts and swap-donor chains); those are serial and shared
+	// read-only by the fan-out below.
+	var preps []ckptPrep
+	if !cfg.SkipCkpt {
+		preps = make([]ckptPrep, len(cfg.Victims))
+		for vi := range cfg.Victims {
+			prep, err := prepCkpt(cfg, &cfg.Victims[vi], exes[vi])
+			if err != nil {
+				return nil, err
+			}
+			preps[vi] = prep
+		}
+	}
+
+	// One task per (victim, class) cell, one restart demonstration per
+	// victim, and one (victim, ckpt class, mode) checkpoint cell per
+	// combination. Each task owns its kernels, stores, and fault
+	// engines, so cells run concurrently when cfg.Workers > 1; subseeds
+	// depend only on (seed, victim index, trial), never on scheduling.
 	type task struct {
 		vi    int
 		class Class // zero for the restart task
+		ckpt  bool
+		mode  kernel.Enforcement
 	}
 	var tasks []task
 	for vi := range cfg.Victims {
@@ -139,9 +161,17 @@ func Run(cfg Config) (*Matrix, error) {
 			tasks = append(tasks, task{vi: vi, class: class})
 		}
 		tasks = append(tasks, task{vi: vi})
+		if !cfg.SkipCkpt {
+			for _, class := range CkptClasses() {
+				for _, mode := range []kernel.Enforcement{kernel.EnforceKill, kernel.EnforceDeny} {
+					tasks = append(tasks, task{vi: vi, class: class, ckpt: true, mode: mode})
+				}
+			}
+		}
 	}
 	cells := make([]*Cell, len(tasks))
 	restarts := make([]*RestartCell, len(tasks))
+	ckptCells := make([]*CkptCell, len(tasks))
 	errs := make([]error, len(tasks))
 	workers := cfg.Workers
 	if workers < 1 {
@@ -150,21 +180,31 @@ func Run(cfg Config) (*Matrix, error) {
 	sched.Pool{Workers: workers}.Do(len(tasks), func(i int) {
 		tk := tasks[i]
 		v := &cfg.Victims[tk.vi]
-		if tk.class == "" {
+		switch {
+		case tk.ckpt:
+			// The swap donor is the neighbor victim's pristine chain —
+			// sealed under the same key for a different program.
+			donor := preps[(tk.vi+1)%len(cfg.Victims)].chain
+			cell, err := runCkptCell(cfg, tk.class, v, exes[tk.vi], uint64(tk.vi), preps[tk.vi], donor, tk.mode)
+			ckptCells[i], errs[i] = &cell, err
+		case tk.class == "":
 			rc, err := runRestart(cfg, v, exes[tk.vi], uint64(tk.vi))
 			restarts[i], errs[i] = &rc, err
-			return
+		default:
+			cell, err := runCell(cfg, tk.class, v, exes[tk.vi], uint64(tk.vi))
+			cells[i], errs[i] = &cell, err
 		}
-		cell, err := runCell(cfg, tk.class, v, exes[tk.vi], uint64(tk.vi))
-		cells[i], errs[i] = &cell, err
 	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		if cells[i] != nil {
+		switch {
+		case cells[i] != nil:
 			m.Cells = append(m.Cells, *cells[i])
-		} else {
+		case ckptCells[i] != nil:
+			m.Ckpt = append(m.Ckpt, *ckptCells[i])
+		default:
 			m.Restarts = append(m.Restarts, *restarts[i])
 		}
 	}
@@ -177,7 +217,41 @@ func Run(cfg Config) (*Matrix, error) {
 	sort.SliceStable(m.Restarts, func(i, j int) bool {
 		return m.Restarts[i].Victim < m.Restarts[j].Victim
 	})
+	sort.SliceStable(m.Ckpt, func(i, j int) bool {
+		a, b := m.Ckpt[i], m.Ckpt[j]
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		if a.Victim != b.Victim {
+			return a.Victim < b.Victim
+		}
+		return a.Mode < b.Mode
+	})
+	// Mode parity: a checkpoint fault never touches the enforcement
+	// path, so the Deny cell must mirror its Kill sibling exactly.
+	checkCkptParity(m)
 	return m, nil
+}
+
+// checkCkptParity compares each (class, victim) pair's Deny cell against
+// its Kill sibling; any divergence is recorded as a failure on the Deny
+// cell. With the cells sorted (class, victim, mode), siblings are
+// adjacent with "deny" first.
+func checkCkptParity(m *Matrix) {
+	for i := 0; i+1 < len(m.Ckpt); i += 2 {
+		deny, kill := &m.Ckpt[i], m.Ckpt[i+1]
+		if deny.Class != kill.Class || deny.Victim != kill.Victim {
+			deny.Failures = append(deny.Failures, "unpaired checkpoint cell")
+			continue
+		}
+		a, b := *deny, kill
+		a.Mode, b.Mode = "", ""
+		a.Failures, b.Failures = nil, nil
+		if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+			deny.Failures = append(deny.Failures,
+				fmt.Sprintf("mode parity: deny %+v, kill %+v", a, b))
+		}
+	}
 }
 
 // runRestart runs one victim under the restart supervisor with a
@@ -421,6 +495,11 @@ func (m *Matrix) Failures() []string {
 			all = append(all, fmt.Sprintf("restart/%s: %s", r.Victim, r.Failure))
 		}
 	}
+	for _, c := range m.Ckpt {
+		for _, f := range c.Failures {
+			all = append(all, fmt.Sprintf("%s/%s/%s: %s", c.Class, c.Victim, c.Mode, f))
+		}
+	}
 	return all
 }
 
@@ -453,6 +532,25 @@ func (m *Matrix) Render() string {
 		}
 		fmt.Fprintf(&b, "supervised restart %-8s transient %s: %d attempts, %d restarts, %s\n",
 			r.Victim, r.Class, r.Attempts, r.Restarts, verdict)
+	}
+	if len(m.Ckpt) > 0 {
+		fmt.Fprintf(&b, "checkpoint faults:\n")
+		fmt.Fprintf(&b, "%-18s %-8s %-5s %6s %6s %9s %5s %10s %7s  %s\n",
+			"class", "victim", "mode", "trials", "fired", "rejected", "warm", "recovered", "replay", "reasons")
+		for _, c := range m.Ckpt {
+			reasons := make([]string, 0, len(c.Reasons))
+			for r, n := range c.Reasons {
+				reasons = append(reasons, fmt.Sprintf("%s×%d", r, n))
+			}
+			sort.Strings(reasons)
+			status := strings.Join(reasons, ", ")
+			if len(c.Failures) > 0 {
+				status = fmt.Sprintf("FAILURES=%d %s", len(c.Failures), status)
+			}
+			fmt.Fprintf(&b, "%-18s %-8s %-5s %6d %6d %9d %5d %10d %7d  %s\n",
+				c.Class, c.Victim, c.Mode, c.Trials, c.Fired, c.Rejected,
+				c.WarmRestarts, c.Recovered, c.ReplayCycles, status)
+		}
 	}
 	return b.String()
 }

@@ -1,0 +1,285 @@
+// ckpt.go extends the campaign to the checkpoint surface: faults that
+// corrupt sealed checkpoints *at rest* rather than live process state. A
+// CkptFault is installed as the checkpoint store's Tamper hook and
+// perturbs the newest blob exactly once, as the supervisor fetches the
+// fallback chain for a warm restart; the contract is that the tampered
+// blob is rejected with the class's canonical reason, the restart falls
+// back to the older intact checkpoint, and the workload still recovers.
+package fault
+
+import (
+	"fmt"
+
+	"asc/internal/binfmt"
+	"asc/internal/ckpt"
+	"asc/internal/core"
+	"asc/internal/kernel"
+	"asc/internal/workload"
+)
+
+// The checkpoint fault classes.
+const (
+	// CkptTorn truncates the newest sealed blob to a strict prefix — a
+	// torn write to checkpoint storage.
+	CkptTorn Class = "ckpt-torn-write"
+	// CkptFlip flips one bit of the newest sealed blob.
+	CkptFlip Class = "ckpt-bit-flip"
+	// CkptReplay serves an older sealed blob in the newest slot — a
+	// stale checkpoint replayed against the store's trusted epoch.
+	CkptReplay Class = "ckpt-epoch-replay"
+	// CkptSwap serves a blob sealed (under the same key) for a
+	// *different* program at the same epoch — a cross-process swap.
+	CkptSwap Class = "ckpt-wrong-process"
+)
+
+// CkptClasses returns the checkpoint fault classes in canonical order.
+func CkptClasses() []Class {
+	return []Class{CkptTorn, CkptFlip, CkptReplay, CkptSwap}
+}
+
+// CkptExpectation returns the ckpt.Reason strings a class's rejection
+// may carry. Every class must be rejected: there is no survivable
+// checkpoint corruption, only detected corruption.
+func CkptExpectation(c Class) []string {
+	switch c {
+	case CkptTorn:
+		// A long prefix still covers the 16-byte header (seal fails); a
+		// short one does not even parse.
+		return []string{ckpt.ReasonTruncated, ckpt.ReasonSeal}
+	case CkptFlip:
+		return []string{ckpt.ReasonSeal}
+	case CkptReplay:
+		return []string{ckpt.ReasonEpoch}
+	case CkptSwap:
+		return []string{ckpt.ReasonProgram}
+	}
+	return nil
+}
+
+// CkptFault tampers with the newest entry of a checkpoint chain exactly
+// once. Its decisions are a pure function of (class, seed), like
+// Engine's.
+type CkptFault struct {
+	class Class
+	pick  uint64
+	// donor is a pristine chain sealed for a different program under the
+	// same key; CkptSwap serves its epoch-matching blob.
+	donor []ckpt.Entry
+	fired bool
+}
+
+// NewCkptFault builds the tamper hook for one class. donor is only
+// consulted by CkptSwap.
+func NewCkptFault(class Class, seed uint64, donor []ckpt.Entry) *CkptFault {
+	s := seed ^ uint64(len(class))<<56
+	for _, b := range []byte(class) {
+		s = s*1099511628211 + uint64(b)
+	}
+	_ = splitmix(&s)
+	return &CkptFault{class: class, pick: splitmix(&s), donor: donor}
+}
+
+// Fired reports whether the tamper was applied.
+func (f *CkptFault) Fired() bool { return f.fired }
+
+// Tamper implements ckpt.Store.Tamper: the first fetch of the newest
+// entry is perturbed; everything else (older entries, later walks)
+// passes through pristine, so the fallback chain below the tampered
+// blob stays intact.
+func (f *CkptFault) Tamper(chain []ckpt.Entry, i int) []byte {
+	blob := chain[i].Blob
+	if f.fired || i != 0 || len(blob) == 0 {
+		return blob
+	}
+	switch f.class {
+	case CkptTorn:
+		f.fired = true
+		return blob[:f.pick%uint64(len(blob))]
+	case CkptFlip:
+		f.fired = true
+		mut := append([]byte(nil), blob...)
+		bit := f.pick % uint64(len(mut)*8)
+		mut[bit/8] ^= 1 << (bit % 8)
+		return mut
+	case CkptReplay:
+		if len(chain) < 2 {
+			return blob // nothing older to replay yet
+		}
+		f.fired = true
+		return chain[1].Blob
+	case CkptSwap:
+		for _, d := range f.donor {
+			if d.Epoch == chain[i].Epoch {
+				f.fired = true
+				return d.Blob
+			}
+		}
+		return blob // donor has no blob at this epoch
+	}
+	return blob
+}
+
+// CkptCell aggregates the trials of one (class, victim, mode) triple.
+// The mode is recorded for the parity check: checkpoint faults live
+// entirely outside the enforcement path, so Kill and Deny cells must be
+// identical in every field but Mode.
+type CkptCell struct {
+	Class        string         `json:"class"`
+	Victim       string         `json:"victim"`
+	Mode         string         `json:"mode"`
+	Trials       int            `json:"trials"`
+	Fired        int            `json:"fired"`
+	Rejected     int            `json:"rejected"`
+	Reasons      map[string]int `json:"reasons,omitempty"`
+	WarmRestarts int            `json:"warm_restarts"`
+	ColdStarts   int            `json:"cold_starts"`
+	Recovered    int            `json:"recovered"`
+	ReplayCycles uint64         `json:"replay_cycles"`
+	Failures     []string       `json:"failures,omitempty"`
+}
+
+// ckptReplaySlack bounds how far a checkpoint boundary can overshoot its
+// cadence mark: one trap's worth of verification work.
+const ckptReplaySlack = 8192
+
+// ckptPrep is the per-victim serial precomputation: the clean cycle
+// count (from which the runaway budget is derived) and the victim's own
+// pristine checkpoint chain (the swap donor for its neighbor victim).
+type ckptPrep struct {
+	clean uint64
+	chain []ckpt.Entry
+}
+
+// prepCkpt measures one victim and seals its donor chain.
+func prepCkpt(cfg Config, v *workload.FaultVictim, exe *binfmt.File) (ckptPrep, error) {
+	sys, err := core.NewSystem(core.Config{Key: cfg.Key})
+	if err != nil {
+		return ckptPrep{}, err
+	}
+	res, err := sys.Exec(exe, v.Name, v.Stdin)
+	if err != nil {
+		return ckptPrep{}, fmt.Errorf("fault: ckpt clean run %s: %w", v.Name, err)
+	}
+	if res.Killed {
+		return ckptPrep{}, fmt.Errorf("fault: ckpt clean run %s killed: %s", v.Name, res.Reason)
+	}
+
+	store := ckpt.NewStore()
+	donor, err := core.NewSystem(core.Config{Key: cfg.Key})
+	if err != nil {
+		return ckptPrep{}, err
+	}
+	stats, err := donor.Supervise(exe, v.Name, v.Stdin, core.SuperviseConfig{
+		MaxRestarts:     core.NoRestarts,
+		MaxCycles:       res.Cycles * 2,
+		CheckpointEvery: res.Cycles / 6,
+		Checkpoints:     store,
+	})
+	if err != nil {
+		return ckptPrep{}, fmt.Errorf("fault: ckpt donor run %s: %w", v.Name, err)
+	}
+	if stats.GaveUp || stats.Checkpoints == 0 {
+		return ckptPrep{}, fmt.Errorf("fault: ckpt donor run %s: %d checkpoints, gaveUp=%v",
+			v.Name, stats.Checkpoints, stats.GaveUp)
+	}
+	return ckptPrep{clean: res.Cycles, chain: store.Chain()}, nil
+}
+
+// runCkptCell runs every trial of one (class, victim, mode) triple. The
+// victim is driven into a runaway by a budget smaller than its clean
+// cycle count, so the supervisor must recover it through the (tampered)
+// checkpoint chain.
+func runCkptCell(cfg Config, class Class, v *workload.FaultVictim, exe *binfmt.File, vi uint64, prep ckptPrep, donor []ckpt.Entry, mode kernel.Enforcement) (CkptCell, error) {
+	modeName := "kill"
+	if mode == kernel.EnforceDeny {
+		modeName = "deny"
+	}
+	cell := CkptCell{
+		Class: string(class), Victim: v.Name, Mode: modeName,
+		Trials: cfg.Trials, Reasons: map[string]int{},
+	}
+	budget := prep.clean * 4 / 5
+	every := budget / 3
+	exp := CkptExpectation(class)
+
+	for trial := 0; trial < cfg.Trials; trial++ {
+		s := cfg.Seed
+		_ = splitmix(&s)
+		subseed := s ^ vi<<40 ^ uint64(trial)<<8
+
+		eng := NewCkptFault(class, subseed, donor)
+		store := ckpt.NewStore()
+		store.Tamper = eng.Tamper
+		sys, err := core.NewSystem(core.Config{Key: cfg.Key, Enforcement: mode})
+		if err != nil {
+			return cell, err
+		}
+		stats, err := sys.Supervise(exe, v.Name, v.Stdin, core.SuperviseConfig{
+			MaxRestarts:     8,
+			BackoffBase:     100,
+			MaxCycles:       budget,
+			CheckpointEvery: every,
+			Checkpoints:     store,
+		})
+		if err != nil {
+			return cell, fmt.Errorf("fault: ckpt %s/%s/%s trial %d: %w", class, v.Name, modeName, trial, err)
+		}
+
+		badf := func(format string, args ...any) {
+			cell.Failures = append(cell.Failures,
+				fmt.Sprintf("trial %d: ", trial)+fmt.Sprintf(format, args...))
+		}
+		if eng.Fired() {
+			cell.Fired++
+		} else {
+			badf("checkpoint fault never fired")
+		}
+		if len(stats.CkptRejected) > 0 {
+			cell.Rejected++
+		} else if eng.Fired() {
+			badf("tampered checkpoint was not rejected")
+		}
+		for reason, n := range stats.CkptRejected {
+			cell.Reasons[reason] += n
+			ok := false
+			for _, want := range exp {
+				if reason == want {
+					ok = true
+				}
+			}
+			if !ok {
+				badf("unexpected rejection reason %q (allowed %v)", reason, exp)
+			}
+		}
+		cell.WarmRestarts += stats.WarmRestarts
+		cell.ColdStarts += stats.ColdStarts
+		cell.ReplayCycles += stats.ReplayCycles
+		if stats.WarmRestarts == 0 {
+			badf("no warm restart: fallback chain did not recover")
+		}
+		if stats.ColdStarts != 0 {
+			badf("%d cold starts with an intact older checkpoint", stats.ColdStarts)
+		}
+		recovered := !stats.GaveUp && stats.Final != nil && !stats.Final.Killed && stats.Final.ExitCode == 0
+		if recovered {
+			cell.Recovered++
+		} else {
+			badf("workload did not recover: %+v", stats.Final)
+		}
+		// Replay bound: a warm restart replays the cycles since its
+		// restore point, and every rejected blob pushes that point one
+		// cadence interval older.
+		rejected := 0
+		for _, n := range stats.CkptRejected {
+			rejected += n
+		}
+		if bound := uint64(stats.WarmRestarts+rejected) * (every + ckptReplaySlack); stats.ReplayCycles > bound {
+			badf("replayed %d cycles, bound %d (cadence %d, %d rejections)",
+				stats.ReplayCycles, bound, every, rejected)
+		}
+	}
+	if len(cell.Reasons) == 0 {
+		cell.Reasons = nil
+	}
+	return cell, nil
+}

@@ -1,0 +1,138 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+
+	"asc/internal/ckpt"
+)
+
+// TestCkptCampaignCells: the checkpoint fault classes achieve 100%
+// detection — every trial fires, every tampered blob is rejected with
+// the class's canonical reason, and every workload recovers warm — and
+// the Kill and Deny cells are numerically identical.
+func TestCkptCampaignCells(t *testing.T) {
+	m, err := Run(Config{Seed: 11, Trials: 2, Classes: []Class{FlipCacheGen}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := m.Failures(); len(fails) > 0 {
+		for _, f := range fails {
+			t.Error(f)
+		}
+	}
+
+	const victims = 3
+	if want := len(CkptClasses()) * victims * 2; len(m.Ckpt) != want {
+		t.Fatalf("ckpt cells = %d, want %d", len(m.Ckpt), want)
+	}
+	exp := map[string][]string{}
+	for _, class := range CkptClasses() {
+		exp[string(class)] = CkptExpectation(class)
+	}
+	for _, c := range m.Ckpt {
+		if c.Fired != c.Trials || c.Rejected != c.Trials || c.Recovered != c.Trials {
+			t.Errorf("%s/%s/%s: fired=%d rejected=%d recovered=%d of %d trials",
+				c.Class, c.Victim, c.Mode, c.Fired, c.Rejected, c.Recovered, c.Trials)
+		}
+		if c.WarmRestarts < c.Trials {
+			t.Errorf("%s/%s/%s: %d warm restarts for %d trials", c.Class, c.Victim, c.Mode, c.WarmRestarts, c.Trials)
+		}
+		if c.ColdStarts != 0 {
+			t.Errorf("%s/%s/%s: %d cold starts with an intact fallback", c.Class, c.Victim, c.Mode, c.ColdStarts)
+		}
+		for reason := range c.Reasons {
+			ok := false
+			for _, want := range exp[c.Class] {
+				if reason == want {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Errorf("%s/%s/%s: reason %q outside %v", c.Class, c.Victim, c.Mode, reason, exp[c.Class])
+			}
+		}
+	}
+	// Kill/Deny parity, field for field (cells sort deny before kill).
+	for i := 0; i+1 < len(m.Ckpt); i += 2 {
+		deny, kill := m.Ckpt[i], m.Ckpt[i+1]
+		deny.Mode, kill.Mode = "", ""
+		if deny.Class != kill.Class || deny.Victim != kill.Victim ||
+			deny.Rejected != kill.Rejected || deny.WarmRestarts != kill.WarmRestarts ||
+			deny.ReplayCycles != kill.ReplayCycles {
+			t.Errorf("mode parity broken: %+v vs %+v", deny, kill)
+		}
+	}
+}
+
+// TestCkptCampaignSkip: SkipCkpt omits the checkpoint cells entirely.
+func TestCkptCampaignSkip(t *testing.T) {
+	m, err := Run(Config{Seed: 11, Trials: 1, Classes: []Class{FlipCacheGen}, SkipCkpt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Ckpt) != 0 {
+		t.Errorf("SkipCkpt left %d ckpt cells", len(m.Ckpt))
+	}
+}
+
+// TestCkptFaultTamper: the tamper hook's per-class transformations and
+// its fire-once discipline, without running a campaign.
+func TestCkptFaultTamper(t *testing.T) {
+	chain := []ckpt.Entry{
+		{Epoch: 3, Blob: bytes.Repeat([]byte{0xaa}, 200)},
+		{Epoch: 2, Blob: bytes.Repeat([]byte{0xbb}, 200)},
+		{Epoch: 1, Blob: bytes.Repeat([]byte{0xcc}, 200)},
+	}
+	donor := []ckpt.Entry{
+		{Epoch: 3, Blob: bytes.Repeat([]byte{0xdd}, 150)},
+	}
+
+	torn := NewCkptFault(CkptTorn, 5, nil)
+	out := torn.Tamper(chain, 0)
+	if !torn.Fired() || len(out) >= len(chain[0].Blob) {
+		t.Errorf("torn: fired=%v len=%d, want strict prefix", torn.Fired(), len(out))
+	}
+	if got := torn.Tamper(chain, 0); !bytes.Equal(got, chain[0].Blob) {
+		t.Error("torn tampered twice")
+	}
+
+	flip := NewCkptFault(CkptFlip, 5, nil)
+	out = flip.Tamper(chain, 0)
+	if len(out) != len(chain[0].Blob) {
+		t.Fatalf("flip changed length: %d", len(out))
+	}
+	var bits int
+	for i := range out {
+		b := out[i] ^ chain[0].Blob[i]
+		for ; b != 0; b &= b - 1 {
+			bits++
+		}
+	}
+	if bits != 1 {
+		t.Errorf("flip changed %d bits, want exactly 1", bits)
+	}
+
+	replay := NewCkptFault(CkptReplay, 5, nil)
+	if got := replay.Tamper(chain[:1], 0); !bytes.Equal(got, chain[0].Blob) || replay.Fired() {
+		t.Error("replay fired with nothing older to replay")
+	}
+	if got := replay.Tamper(chain, 0); !bytes.Equal(got, chain[1].Blob) || !replay.Fired() {
+		t.Error("replay did not serve the older blob")
+	}
+
+	swap := NewCkptFault(CkptSwap, 5, donor)
+	if got := swap.Tamper(chain, 0); !bytes.Equal(got, donor[0].Blob) || !swap.Fired() {
+		t.Error("swap did not serve the donor blob")
+	}
+	noMatch := NewCkptFault(CkptSwap, 5, []ckpt.Entry{{Epoch: 9, Blob: donor[0].Blob}})
+	if got := noMatch.Tamper(chain, 0); !bytes.Equal(got, chain[0].Blob) || noMatch.Fired() {
+		t.Error("swap fired without an epoch-matching donor")
+	}
+
+	// Older entries always pass through pristine.
+	fresh := NewCkptFault(CkptFlip, 5, nil)
+	if got := fresh.Tamper(chain, 1); !bytes.Equal(got, chain[1].Blob) {
+		t.Error("non-newest entry tampered")
+	}
+}

@@ -77,16 +77,29 @@ func (r *AuditRing) init() {
 	}
 }
 
-// SetCapacity sizes an empty ring. It panics if records were already
-// appended (capacity is a construction-time property).
+// SetCapacity resizes the ring. Growing preserves every held record;
+// shrinking keeps the newest n and counts the evicted ones as dropped,
+// exactly as if later appends had overwritten them.
 func (r *AuditRing) SetCapacity(n int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.seq.Load() != 0 {
-		panic("kernel: AuditRing.SetCapacity after append")
-	}
 	if n < 1 {
 		n = 1
+	}
+	if len(r.entries) > n {
+		held := make([]Violation, 0, len(r.entries))
+		held = append(held, r.entries[r.start:]...)
+		held = append(held, r.entries[:r.start]...)
+		r.dropped.Add(uint64(len(held) - n))
+		r.entries = held[len(held)-n:]
+		r.start = 0
+	} else if r.start != 0 {
+		// Unwrap so future appends grow contiguously up to the new cap.
+		held := make([]Violation, 0, n)
+		held = append(held, r.entries[r.start:]...)
+		held = append(held, r.entries[:r.start]...)
+		r.entries = held
+		r.start = 0
 	}
 	r.cap = n
 }

@@ -1,0 +1,69 @@
+package kernel
+
+import "testing"
+
+func auditFill(r *AuditRing, n int) {
+	for i := 0; i < n; i++ {
+		r.Append(Violation{PID: i})
+	}
+}
+
+func auditPIDs(r *AuditRing) []int {
+	ents := r.Entries()
+	pids := make([]int, len(ents))
+	for i, v := range ents {
+		pids[i] = v.PID
+	}
+	return pids
+}
+
+// TestAuditRingShrinkWrapped: shrinking a ring that has already wrapped
+// keeps the newest n records in order and counts the evictions as
+// dropped.
+func TestAuditRingShrinkWrapped(t *testing.T) {
+	r := &AuditRing{}
+	r.SetCapacity(4)
+	auditFill(r, 7) // holds 3,4,5,6 wrapped (start mid-array), 3 dropped
+
+	r.SetCapacity(2)
+	if got := auditPIDs(r); len(got) != 2 || got[0] != 5 || got[1] != 6 {
+		t.Errorf("held = %v, want [5 6]", got)
+	}
+	if r.Dropped() != 5 {
+		t.Errorf("dropped = %d, want 5 (3 overwrites + 2 evictions)", r.Dropped())
+	}
+	if r.Total() != 7 {
+		t.Errorf("total = %d, want 7", r.Total())
+	}
+
+	// The shrunk ring keeps ringing correctly.
+	r.Append(Violation{PID: 7})
+	if got := auditPIDs(r); len(got) != 2 || got[0] != 6 || got[1] != 7 {
+		t.Errorf("after append: held = %v, want [6 7]", got)
+	}
+	if last, ok := r.Last(); !ok || last.PID != 7 {
+		t.Errorf("last = %+v, %v", last, ok)
+	}
+}
+
+// TestAuditRingGrowWrapped: growing a wrapped ring preserves every held
+// record and gives appends room before the next overwrite.
+func TestAuditRingGrowWrapped(t *testing.T) {
+	r := &AuditRing{}
+	r.SetCapacity(3)
+	auditFill(r, 5) // holds 2,3,4 wrapped
+
+	r.SetCapacity(5)
+	if got := auditPIDs(r); len(got) != 3 || got[0] != 2 || got[2] != 4 {
+		t.Errorf("held = %v, want [2 3 4]", got)
+	}
+	dropped := r.Dropped()
+	r.Append(Violation{PID: 5})
+	r.Append(Violation{PID: 6})
+	if r.Dropped() != dropped {
+		t.Errorf("appends within the new capacity dropped records: %d -> %d", dropped, r.Dropped())
+	}
+	if got := auditPIDs(r); len(got) != 5 || got[0] != 2 || got[4] != 6 {
+		t.Errorf("held = %v, want [2 3 4 5 6]", got)
+	}
+}

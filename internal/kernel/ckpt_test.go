@@ -1,0 +1,257 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+
+	"asc/internal/binfmt"
+	"asc/internal/ckpt"
+	"asc/internal/vm"
+)
+
+// ckptLoopSrc opens a file, keeps the descriptor across a getpid loop
+// (so a mid-loop checkpoint captures a live fd), then closes it and
+// reports. r11/r12 survive calls.
+const ckptLoopSrc = `
+        .text
+        .global main
+main:
+        MOVI r1, path
+        MOVI r2, 0x41
+        MOVI r3, 420
+        CALL open
+        MOV r11, r0
+        MOVI r12, 20
+.loop:
+        CALL getpid
+        ADDI r12, r12, -1
+        MOVI r9, 0
+        BNE r12, r9, .loop
+        MOV r1, r11
+        CALL close
+        MOVI r1, msg
+        CALL puts
+        MOVI r0, 0
+        RET
+        .rodata
+path:   .asciz "/tmp/out"
+msg:    .asciz "done"
+`
+
+// runToCompletion executes p with a generous budget.
+func runToCompletion(t *testing.T, k *Kernel, p *Process) {
+	t.Helper()
+	if err := k.Run(p, 100_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// sliceAndSeal spawns a process, interrupts it at roughly half of
+// refCycles (mid-loop, descriptor open), and seals it under epoch.
+func sliceAndSeal(t *testing.T, k *Kernel, exe *binfmt.File, refCycles, epoch uint64) (*Process, []byte) {
+	t.Helper()
+	p, err := k.Spawn(exe, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(p, refCycles/2); !errors.Is(err, vm.ErrCycleLimit) {
+		t.Fatalf("slice run: err = %v, want cycle limit", err)
+	}
+	blob, err := k.Checkpoint(p, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, blob
+}
+
+// TestCheckpointRestoreRoundTrip: a process checkpointed mid-run and
+// restored finishes with exactly the output, cycle count, and syscall
+// totals of an uninterrupted run — and the memory-checker nonce is
+// advanced by the restore (the replay cut).
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	exe := buildAuthExe(t, ckptLoopSrc)
+	k := newKernel(t)
+
+	ref, err := k.Spawn(exe, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runToCompletion(t, k, ref)
+	if ref.Killed || !ref.Exited || ref.Code != 0 {
+		t.Fatalf("reference run failed: killed=%v code=%d", ref.Killed, ref.Code)
+	}
+
+	p, err := k.Spawn(exe, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Enforcement = EnforceDeny // restored processes keep their mode
+	if err := k.Run(p, ref.CPU.Cycles/2); !errors.Is(err, vm.ErrCycleLimit) {
+		t.Fatalf("slice run: err = %v, want cycle limit", err)
+	}
+	blob, err := k.Checkpoint(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealedCounter := p.counter
+
+	r, err := k.Restore(exe, "test", blob, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Enforcement != EnforceDeny {
+		t.Errorf("restored enforcement = %v, want deny", r.Enforcement)
+	}
+	if r.CPU.Cycles != p.CPU.Cycles {
+		t.Errorf("restored cycles %d, sealed %d", r.CPU.Cycles, p.CPU.Cycles)
+	}
+	if r.counter != sealedCounter+1 {
+		t.Errorf("restored nonce %d, want sealed+1 = %d (replay cut)", r.counter, sealedCounter+1)
+	}
+	runToCompletion(t, k, r)
+	if r.Killed {
+		t.Fatalf("restored process killed: %v", r.KilledBy)
+	}
+	if r.Output() != ref.Output() {
+		t.Errorf("output %q, want %q", r.Output(), ref.Output())
+	}
+	if r.CPU.Cycles != ref.CPU.Cycles {
+		t.Errorf("final cycles %d, want %d", r.CPU.Cycles, ref.CPU.Cycles)
+	}
+	if r.SyscallCount != ref.SyscallCount || r.VerifyCount != ref.VerifyCount {
+		t.Errorf("syscalls %d/%d verified %d/%d",
+			r.SyscallCount, ref.SyscallCount, r.VerifyCount, ref.VerifyCount)
+	}
+}
+
+// TestCheckpointRestoreWithCache: restore under an enabled verify cache
+// drops the cached sites (conservative full re-verification) and still
+// runs to a clean exit.
+func TestCheckpointRestoreWithCache(t *testing.T) {
+	exe := buildAuthExe(t, ckptLoopSrc)
+	k := newKernel(t, WithVerifyCache())
+
+	ref, err := k.Spawn(exe, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runToCompletion(t, k, ref)
+	_, blob := sliceAndSeal(t, k, exe, ref.CPU.Cycles, 1)
+
+	r, err := k.Restore(exe, "test", blob, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.vcache != nil {
+		t.Error("restore carried a verify cache")
+	}
+	misses := r.CacheMisses.Load()
+	runToCompletion(t, k, r)
+	if r.Killed || r.Code != 0 {
+		t.Fatalf("restored run failed: killed=%v (%v) code=%d", r.Killed, r.KilledBy, r.Code)
+	}
+	if r.CacheMisses.Load() == misses {
+		t.Error("no post-restore cache miss: sites were not re-verified")
+	}
+}
+
+// TestRestoreRejections: every checkpoint attack class is rejected with
+// its classified error, and a failed restore leaves no process behind.
+func TestRestoreRejections(t *testing.T) {
+	exe := buildAuthExe(t, ckptLoopSrc)
+	other := buildAuthExe(t, cacheLoopSrc)
+	k := newKernel(t)
+
+	ref, err := k.Spawn(exe, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runToCompletion(t, k, ref)
+	_, blob := sliceAndSeal(t, k, exe, ref.CPU.Cycles, 5)
+
+	k.mu.Lock()
+	procsBefore := len(k.procs)
+	k.mu.Unlock()
+
+	cases := []struct {
+		name string
+		run  func() error
+		want error
+	}{
+		{"bit flip", func() error {
+			mut := append([]byte(nil), blob...)
+			mut[len(mut)/3] ^= 0x10
+			_, err := k.Restore(exe, "test", mut, 5)
+			return err
+		}, ckpt.ErrSeal},
+		{"torn tail", func() error {
+			_, err := k.Restore(exe, "test", blob[:len(blob)/2], 5)
+			return err
+		}, ckpt.ErrSeal},
+		{"torn to stub", func() error {
+			_, err := k.Restore(exe, "test", blob[:8], 5)
+			return err
+		}, ckpt.ErrTruncated},
+		{"epoch replay", func() error {
+			_, err := k.Restore(exe, "test", blob, 6)
+			return err
+		}, ckpt.ErrEpoch},
+		{"wrong program", func() error {
+			_, err := k.Restore(other, "test", blob, 5)
+			return err
+		}, ckpt.ErrProgram},
+	}
+	for _, tc := range cases {
+		if err := tc.run(); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	k.mu.Lock()
+	procsAfter := len(k.procs)
+	k.mu.Unlock()
+	if procsAfter != procsBefore {
+		t.Errorf("failed restores leaked processes: %d -> %d", procsBefore, procsAfter)
+	}
+
+	// The untampered blob still restores: rejection is a property of the
+	// attack, not of the blob's age.
+	if _, err := k.Restore(exe, "test", blob, 5); err != nil {
+		t.Errorf("genuine blob rejected after attack attempts: %v", err)
+	}
+}
+
+// TestRestoreMissingFile: a checkpoint holding an open descriptor cannot
+// restore on a machine whose filesystem lacks the file — an environment
+// mismatch classified as state, not corruption.
+func TestRestoreMissingFile(t *testing.T) {
+	exe := buildAuthExe(t, ckptLoopSrc)
+	k := newKernel(t)
+	ref, err := k.Spawn(exe, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runToCompletion(t, k, ref)
+	_, blob := sliceAndSeal(t, k, exe, ref.CPU.Cycles, 1)
+
+	fresh := newKernel(t) // same key, no /tmp/out
+	if _, err := fresh.Restore(exe, "test", blob, 1); !errors.Is(err, ckpt.ErrState) {
+		t.Fatalf("err = %v, want ErrState", err)
+	}
+}
+
+// TestCheckpointUnsupportedFDs: live pipes make a process
+// uncheckpointable — the format refuses rather than silently dropping
+// state.
+func TestCheckpointUnsupportedFDs(t *testing.T) {
+	exe := buildAuthExe(t, ckptLoopSrc)
+	k := newKernel(t)
+	p, err := k.Spawn(exe, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.fds = append(p.fds, &fdEntry{kind: fdPipeR, pipe: &pipeBuf{}})
+	if _, err := k.Checkpoint(p, 1); !errors.Is(err, ckpt.ErrUnsupported) {
+		t.Fatalf("err = %v, want ErrUnsupported", err)
+	}
+}

@@ -217,6 +217,10 @@ type Kernel struct {
 	// cache is shared by every process of the kernel and is read-mostly,
 	// hence the sync.Map.
 	patterns sync.Map // mac.Tag -> *pattern.Pattern
+
+	// progTags caches checkpoint program tags by executable identity
+	// (installed executables are immutable; see ckpt.go).
+	progTags sync.Map // *binfmt.File -> mac.Tag
 }
 
 // Option configures a Kernel.

@@ -184,6 +184,31 @@ func (m *Memory) Segments() []Segment {
 	return append([]Segment(nil), m.segs...)
 }
 
+// SnapshotSegments returns copies of the protection map and the
+// index-aligned store-generation counters, for checkpointing.
+func (m *Memory) SnapshotSegments() ([]Segment, []uint64) {
+	return append([]Segment(nil), m.segs...), append([]uint64(nil), m.gens...)
+}
+
+// RestoreSegments replaces the protection map and generation counters
+// wholesale. It is a kernel-privileged operation used by checkpoint
+// restore, where the incoming table was already authenticated; it
+// validates only structural sanity (bounds and ordering of each range).
+func (m *Memory) RestoreSegments(segs []Segment, gens []uint64) error {
+	if len(segs) != len(gens) {
+		return fmt.Errorf("vm: %d segments, %d generation counters", len(segs), len(gens))
+	}
+	for i := range segs {
+		if segs[i].End < segs[i].Start || segs[i].Start < m.base || segs[i].End > m.Limit() {
+			return fmt.Errorf("vm: segment %s [%#x,%#x) outside [%#x,%#x)",
+				segs[i].Name, segs[i].Start, segs[i].End, m.base, m.Limit())
+		}
+	}
+	m.segs = append(m.segs[:0:0], segs...)
+	m.gens = append(m.gens[:0:0], gens...)
+	return nil
+}
+
 // FindSegment returns the segment covering addr, or nil.
 func (m *Memory) FindSegment(addr uint32) *Segment {
 	for i := range m.segs {

@@ -37,6 +37,9 @@ go test -race ./internal/sched/... ./internal/kernel/... ./internal/core/... \
 echo "== fuzz smoke (auth-record decoding) =="
 go test -run '^$' -fuzz FuzzAuthRecord -fuzztime 5s ./internal/kernel
 
+echo "== fuzz smoke (checkpoint decoding) =="
+go test -run '^$' -fuzz FuzzCheckpointDecode -fuzztime 5s ./internal/ckpt
+
 echo "== kernel syscall benchmarks =="
 go test -run '^$' -bench 'SyscallPlain|SyscallVerified|VerifyAllocs' \
     -benchtime 2x ./internal/kernel

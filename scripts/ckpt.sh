@@ -1,0 +1,24 @@
+#!/bin/sh
+# ckpt.sh — regenerate BENCH_ckpt.json: the crash-recovery cadence
+# sweep (a deterministic loop workload forced over its cycle budget,
+# warm-restarted from sealed checkpoints at four checkpoint cadences).
+# The figures are computed from deterministic cycle counts, so two
+# consecutive runs produce byte-identical JSON.
+#
+# Refuses to overwrite an uncommitted BENCH_ckpt.json unless FORCE=1,
+# so a locally modified artifact is never clobbered silently.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if git diff --quiet -- BENCH_ckpt.json 2>/dev/null; then
+    : # clean (or not yet tracked with changes): safe to regenerate
+elif [ "${FORCE:-0}" = "1" ]; then
+    echo "ckpt.sh: BENCH_ckpt.json is dirty; overwriting (FORCE=1)" >&2
+else
+    echo "ckpt.sh: BENCH_ckpt.json has uncommitted changes; commit them or rerun with FORCE=1" >&2
+    exit 1
+fi
+
+go run ./cmd/ascbench -table ckpt -json BENCH_ckpt.json
+echo "wrote BENCH_ckpt.json"
