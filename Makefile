@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench smp ckpt fault check clean
+.PHONY: build test race bench smp ckpt fault net check clean
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,7 @@ test:
 # goroutines must be clean under the race detector.
 race:
 	$(GO) test -race ./internal/sched/... ./internal/kernel/... ./internal/core/... \
-		./internal/fault/... ./internal/bench/...
+		./internal/fault/... ./internal/bench/... ./internal/net/... ./internal/workload/...
 
 bench:
 	$(GO) test -run '^$$' -bench 'SyscallPlain|SyscallVerified|VerifyAllocs' \
@@ -33,6 +33,12 @@ ckpt:
 fault:
 	$(GO) run ./cmd/ascfault -seed 1 -trials 3 -workers 4 -json BENCH_fault.json
 
+# net regenerates BENCH_net.json (the network fleet sweep: clients x
+# workers under enforcement off/on/cached). The script refuses to
+# overwrite a dirty BENCH_net.json unless FORCE=1.
+net:
+	sh scripts/net.sh
+
 # check is the full gate: gofmt, vet, build, tier-1 tests, the SMP race
 # gate, the fuzz smoke, the kernel benchmarks, the fault campaign, and
 # the machine-readable summaries (BENCH_kernel.json, BENCH_fault.json).
@@ -40,4 +46,4 @@ check:
 	sh scripts/check.sh
 
 clean:
-	rm -f BENCH_kernel.json BENCH_fault.json BENCH_smp.json BENCH_ckpt.json
+	rm -f BENCH_kernel.json BENCH_fault.json BENCH_smp.json BENCH_ckpt.json BENCH_net.json

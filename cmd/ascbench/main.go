@@ -1,13 +1,14 @@
 // ascbench regenerates the paper's evaluation tables.
 //
-// Usage: ascbench [-table 1|2|3|4|6|andrew|compare|smp|ckpt|all]
+// Usage: ascbench [-table 1|2|3|4|6|andrew|compare|smp|ckpt|net|all]
 // [-scale N] [-procs N] [-json FILE]
 //
 // With -json FILE, the Table 4 microbenchmark rows (plain, verified, and
 // cache-enabled cycles per call) are additionally written to FILE as a
 // machine-readable summary; with -table smp the same flag writes the SMP
-// scaling sweep (BENCH_smp.json), and with -table ckpt the crash-recovery
-// cadence sweep (BENCH_ckpt.json). SMP and ckpt figures come from
+// scaling sweep (BENCH_smp.json), with -table ckpt the crash-recovery
+// cadence sweep (BENCH_ckpt.json), and with -table net the network fleet
+// sweep (BENCH_net.json). SMP, ckpt, and net figures come from
 // deterministic cycle counts, so the JSON is byte-stable.
 package main
 
@@ -139,8 +140,67 @@ func writeCkptJSON(path string, t *bench.CkptData) error {
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
+// netJSON is the machine-readable network sweep summary.
+type netJSON struct {
+	Iters int          `json:"iters"`
+	Rows  []netJSONRow `json:"rows"`
+}
+
+type netJSONRow struct {
+	Clients           int            `json:"clients"`
+	Requests          uint64         `json:"requests"`
+	Bytes             uint64         `json:"bytes"`
+	CyclesOff         uint64         `json:"cycles_off"`
+	CyclesOn          uint64         `json:"cycles_enforced"`
+	CyclesCached      uint64         `json:"cycles_cached"`
+	OverheadPct       float64        `json:"overhead_pct"`
+	CachedOverheadPct float64        `json:"cached_overhead_pct"`
+	Verified          uint64         `json:"verified_calls"`
+	Points            []netJSONPoint `json:"points"`
+}
+
+type netJSONPoint struct {
+	Workers           int     `json:"workers"`
+	MakespanCycles    uint64  `json:"makespan_cycles"`
+	Speedup           float64 `json:"speedup"`
+	EfficiencyPct     float64 `json:"efficiency_pct"`
+	VerifiedPerMCycle float64 `json:"verified_per_mcycle"`
+}
+
+func writeNetJSON(path string, t *bench.NetData) error {
+	out := netJSON{Iters: t.Iters}
+	for _, r := range t.Rows {
+		row := netJSONRow{
+			Clients:           r.Clients,
+			Requests:          r.Requests,
+			Bytes:             r.Bytes,
+			CyclesOff:         r.CyclesOff,
+			CyclesOn:          r.CyclesOn,
+			CyclesCached:      r.CyclesCached,
+			OverheadPct:       r.OverheadPct,
+			CachedOverheadPct: r.CachedOverheadPct,
+			Verified:          r.Verified,
+		}
+		for _, p := range r.Points {
+			row.Points = append(row.Points, netJSONPoint{
+				Workers:           p.Workers,
+				MakespanCycles:    p.MakespanCycles,
+				Speedup:           p.Speedup,
+				EfficiencyPct:     p.EfficiencyPct,
+				VerifiedPerMCycle: p.VerifiedPerMCycle,
+			})
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
 func main() {
-	table := flag.String("table", "all", "which artifact to regenerate: 1, 2, 3, 4, 6, andrew, compare, smp, ckpt, all")
+	table := flag.String("table", "all", "which artifact to regenerate: 1, 2, 3, 4, 6, andrew, compare, smp, ckpt, net, all")
 	scale := flag.Int("scale", 1, "divide macro-benchmark iteration counts by N (faster, less precise)")
 	jsonPath := flag.String("json", "", "write the Table 4 (or -table smp) benchmark summary to FILE as JSON")
 	procs := flag.Int("procs", 8, "SMP sweep: processes per fleet")
@@ -199,6 +259,18 @@ func main() {
 		}
 		if *jsonPath != "" {
 			if err := writeCkptJSON(*jsonPath, data); err != nil {
+				return nil, fmt.Errorf("write %s: %w", *jsonPath, err)
+			}
+		}
+		return data, nil
+	})
+	run("net", func() (interface{ Render() string }, error) {
+		data, err := bench.Net(bench.DefaultKey, 4)
+		if err != nil {
+			return nil, err
+		}
+		if *jsonPath != "" {
+			if err := writeNetJSON(*jsonPath, data); err != nil {
 				return nil, fmt.Errorf("write %s: %w", *jsonPath, err)
 			}
 		}

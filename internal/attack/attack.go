@@ -169,8 +169,8 @@ func NewLab(key []byte) (*Lab, error) {
 
 // newKernel prepares a fresh enforcing kernel with /bin/ls and /bin/sh
 // installed (authenticated, so that a *successful* exec of either would
-// itself run cleanly).
-func (l *Lab) newKernel() (*kernel.Kernel, error) {
+// itself run cleanly). Extra options apply after the lab-wide ones.
+func (l *Lab) newKernel(extra ...kernel.Option) (*kernel.Kernel, error) {
 	fs := vfs.New()
 	for _, d := range []string{"/tmp", "/bin", "/var", "/var/log"} {
 		if err := fs.MkdirAll(d, 0o755); err != nil {
@@ -193,7 +193,8 @@ func (l *Lab) newKernel() (*kernel.Kernel, error) {
 			return nil, err
 		}
 	}
-	return kernel.New(fs, l.Key, l.KernelOpts...)
+	opts := append(append([]kernel.Option(nil), l.KernelOpts...), extra...)
+	return kernel.New(fs, l.Key, opts...)
 }
 
 // frame layout constants: see libc _start (two pushed words) and the
@@ -476,6 +477,7 @@ func (l *Lab) Battery() ([]Outcome, error) {
 	var out []Outcome
 	for _, f := range []func() (Outcome, error){
 		l.Baseline, l.Shellcode, l.Mimicry, l.ControlFlowHijack, l.NonControlData, l.DescriptorTamper,
+		l.NetForgedSend, l.NetPortTamper, l.NetReplayCF,
 	} {
 		o, err := f()
 		if err != nil {

@@ -88,6 +88,39 @@ func TestDescriptorTamperBlocked(t *testing.T) {
 	}
 }
 
+func TestNetForgedSendBlocked(t *testing.T) {
+	l := newLab(t)
+	o, err := l.NetForgedSend()
+	if err != nil {
+		t.Fatalf("NetForgedSend: %v", err)
+	}
+	if !o.Blocked || o.Reason != kernel.KillBadCallMAC {
+		t.Fatalf("forged send: %+v", o)
+	}
+}
+
+func TestNetPortTamperBlocked(t *testing.T) {
+	l := newLab(t)
+	o, err := l.NetPortTamper()
+	if err != nil {
+		t.Fatalf("NetPortTamper: %v", err)
+	}
+	if !o.Blocked || o.Reason != kernel.KillBadCallMAC {
+		t.Fatalf("port tamper: %+v", o)
+	}
+}
+
+func TestNetReplayCFBlocked(t *testing.T) {
+	l := newLab(t)
+	o, err := l.NetReplayCF()
+	if err != nil {
+		t.Fatalf("NetReplayCF: %v", err)
+	}
+	if !o.Blocked || o.Reason != kernel.KillBadState {
+		t.Fatalf("cf replay: %+v", o)
+	}
+}
+
 func TestFrankenstein(t *testing.T) {
 	// Without the countermeasure the splice succeeds (block IDs collide
 	// numerically across programs).
@@ -114,8 +147,8 @@ func TestBattery(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Battery: %v", err)
 	}
-	if len(outcomes) != 8 {
-		t.Fatalf("battery ran %d experiments, want 8", len(outcomes))
+	if len(outcomes) != 11 {
+		t.Fatalf("battery ran %d experiments, want 11", len(outcomes))
 	}
 	// Exactly two are expected to be allowed: the benign baseline and
 	// the frankenstein without countermeasure.

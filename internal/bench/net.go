@@ -1,0 +1,238 @@
+// net.go measures the virtual network: an echo+KV server and N
+// load-generation clients exchanging verified traffic on the loopback
+// network, swept across client counts, worker counts, and enforcement
+// configurations. The table behind BENCH_net.json.
+package bench
+
+import (
+	"fmt"
+
+	"asc/internal/core"
+	"asc/internal/kernel"
+	anet "asc/internal/net"
+	"asc/internal/sched"
+	"asc/internal/workload"
+)
+
+// NetClients is the client-count sweep measured for BENCH_net.json.
+var NetClients = []int{1, 2, 4, 8}
+
+// NetWorkers is the scheduler-worker sweep for the enforced+cached
+// configuration.
+var NetWorkers = []int{1, 2, 4, 8}
+
+// NetPoint is one (clients, workers) measurement of the enforced,
+// cache-enabled fleet.
+type NetPoint struct {
+	Workers int
+	// MakespanCycles is the modeled fleet completion time
+	// (sched.Makespan over the deterministic per-process counts).
+	MakespanCycles uint64
+	Speedup        float64
+	EfficiencyPct  float64
+	// VerifiedPerMCycle is fleet-wide verified calls per million
+	// makespan cycles.
+	VerifiedPerMCycle float64
+}
+
+// NetRow is one client count's sweep.
+type NetRow struct {
+	Clients  int
+	Requests uint64 // requests served fleet-wide
+	Bytes    uint64 // request payload bytes moved client→server
+	// Fleet cycle totals (sum of per-process counts) under the three
+	// enforcement configurations: plain binaries on a permissive
+	// kernel, authenticated binaries enforced, and enforced with the
+	// verification cache.
+	CyclesOff         uint64
+	CyclesOn          uint64
+	CyclesCached      uint64
+	OverheadPct       float64 // on vs off
+	CachedOverheadPct float64 // cached vs off
+	Verified          uint64  // verified calls fleet-wide (enforced)
+	Points            []NetPoint
+}
+
+// NetData is the full network sweep.
+type NetData struct {
+	Iters int
+	Rows  []NetRow
+}
+
+// netMode selects the enforcement configuration of one fleet run.
+type netMode int
+
+const (
+	netOff    netMode = iota // plain binaries, permissive kernel
+	netOn                    // authenticated, enforcing
+	netCached                // authenticated, enforcing, verify cache
+)
+
+// runNetFleet drives one server + clients fleet to completion and
+// returns the per-process cycle counts (server first) plus the
+// fleet-wide verified-call total. Outputs are checked against the
+// workload's closed-form expectations — a bench run that did not
+// actually move the traffic is an error, not a fast result.
+func runNetFleet(srv, cli *core.RunRequest, key []byte, clients, iters, workers int, mode netMode) ([]uint64, uint64, error) {
+	cfg := core.Config{KernelOptions: []kernel.Option{kernel.WithNetwork(anet.New())}}
+	switch mode {
+	case netOff:
+		cfg.Permissive = true
+	case netCached:
+		cfg.Key = key
+		cfg.KernelOptions = append(cfg.KernelOptions, kernel.WithVerifyCache())
+	default:
+		cfg.Key = key
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	reqs := []core.RunRequest{*srv}
+	for i := 0; i < clients; i++ {
+		reqs = append(reqs, *cli)
+	}
+	res, err := sys.RunAll(reqs, workers)
+	if err != nil {
+		return nil, 0, err
+	}
+	cycles := make([]uint64, len(res))
+	var verified uint64
+	for i, r := range res {
+		if r.Err != nil {
+			return nil, 0, fmt.Errorf("bench: net %s: %w", reqs[i].Name, r.Err)
+		}
+		if r.Killed {
+			return nil, 0, fmt.Errorf("bench: net %s killed: %s", reqs[i].Name, r.Reason)
+		}
+		if r.ExitCode != 0 {
+			return nil, 0, fmt.Errorf("bench: net %s exit=%d", reqs[i].Name, r.ExitCode)
+		}
+		cycles[i] = r.Cycles
+		verified += r.Verified
+	}
+	if got, want := res[0].Output, workload.NetServerOutput(clients, iters); got != want {
+		return nil, 0, fmt.Errorf("bench: net server output %q, want %q", got, want)
+	}
+	for i := 1; i < len(res); i++ {
+		if got, want := res[i].Output, workload.NetClientOutput(iters); got != want {
+			return nil, 0, fmt.Errorf("bench: net client %d output %q, want %q", i, got, want)
+		}
+	}
+	return cycles, verified, nil
+}
+
+// Net runs the client-count × worker-count × enforcement sweep. All
+// reported figures derive from deterministic per-process cycle counts
+// (the workload's outputs are order-independent aggregates), so the
+// resulting JSON is byte-stable run to run; the per-worker runs
+// cross-check that determinism on every sweep.
+func Net(key []byte, iters int) (*NetData, error) {
+	if iters < 1 {
+		iters = 4
+	}
+	out := &NetData{Iters: iters}
+	for _, clients := range NetClients {
+		srvName := fmt.Sprintf("netserver%d", clients)
+		srvOrig, srvAuth, err := buildPair(srvName, workload.NetServerSource(clients), key)
+		if err != nil {
+			return nil, err
+		}
+		cliOrig, cliAuth, err := buildPair("netclient", workload.NetClientSource(iters), key)
+		if err != nil {
+			return nil, err
+		}
+		row := NetRow{
+			Clients:  clients,
+			Requests: uint64(clients) * uint64(iters) * workload.NetRequestsPerIter,
+			Bytes:    uint64(clients) * uint64(iters) * workload.NetBytesPerIter,
+		}
+
+		srvOff := core.RunRequest{Exe: srvOrig, Name: "netserver"}
+		cliOff := core.RunRequest{Exe: cliOrig, Name: "netclient"}
+		cyc, _, err := runNetFleet(&srvOff, &cliOff, key, clients, iters, 4, netOff)
+		if err != nil {
+			return nil, err
+		}
+		row.CyclesOff = sum(cyc)
+
+		srvReq := core.RunRequest{Exe: srvAuth, Name: "netserver"}
+		cliReq := core.RunRequest{Exe: cliAuth, Name: "netclient"}
+		cyc, verified, err := runNetFleet(&srvReq, &cliReq, key, clients, iters, 4, netOn)
+		if err != nil {
+			return nil, err
+		}
+		row.CyclesOn = sum(cyc)
+		row.Verified = verified
+
+		// The enforced+cached configuration is the worker sweep: every
+		// worker count really runs the fleet, and the deterministic
+		// per-process counts must agree across all of them.
+		var ref []uint64
+		var serial uint64
+		for _, w := range NetWorkers {
+			cycC, verC, err := runNetFleet(&srvReq, &cliReq, key, clients, iters, w, netCached)
+			if err != nil {
+				return nil, err
+			}
+			if ref == nil {
+				ref = cycC
+				row.CyclesCached = sum(cycC)
+				serial = sched.Makespan(cycC, 1)
+			} else {
+				for i := range cycC {
+					if cycC[i] != ref[i] {
+						return nil, fmt.Errorf("bench: net clients=%d w=%d: proc %d cycles %d != %d",
+							clients, w, i, cycC[i], ref[i])
+					}
+				}
+			}
+			mk := sched.Makespan(cycC, w)
+			speedup := float64(serial) / float64(mk)
+			row.Points = append(row.Points, NetPoint{
+				Workers:           w,
+				MakespanCycles:    mk,
+				Speedup:           speedup,
+				EfficiencyPct:     100 * speedup / float64(w),
+				VerifiedPerMCycle: 1e6 * float64(verC) / float64(mk),
+			})
+		}
+		row.OverheadPct = pct(row.CyclesOff, row.CyclesOn)
+		row.CachedOverheadPct = pct(row.CyclesOff, row.CyclesCached)
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func sum(v []uint64) uint64 {
+	var t uint64
+	for _, x := range v {
+		t += x
+	}
+	return t
+}
+
+// Render prints the network sweep.
+func (t *NetData) Render() string {
+	header := []string{"Clients", "Requests", "Bytes", "Off cycles", "Enforced (+%)", "Cached (+%)"}
+	for _, w := range NetWorkers {
+		header = append(header, fmt.Sprintf("w=%d speedup", w))
+	}
+	var rows [][]string
+	for _, r := range t.Rows {
+		row := []string{
+			fmt.Sprint(r.Clients),
+			fmt.Sprint(r.Requests),
+			fmt.Sprint(r.Bytes),
+			fmt.Sprint(r.CyclesOff),
+			fmt.Sprintf("%d (+%.1f%%)", r.CyclesOn, r.OverheadPct),
+			fmt.Sprintf("%d (+%.1f%%)", r.CyclesCached, r.CachedOverheadPct),
+		}
+		for _, p := range r.Points {
+			row = append(row, fmt.Sprintf("%.2fx", p.Speedup))
+		}
+		rows = append(rows, row)
+	}
+	title := fmt.Sprintf("Network fleet: echo+KV server + N load-gen clients, %d iterations/client", t.Iters)
+	return renderTable(title, header, rows)
+}

@@ -1,0 +1,44 @@
+package bench
+
+import "testing"
+
+// TestNetSweep runs the full network sweep at a reduced iteration count
+// and checks its structural invariants: every client count present,
+// enforcement strictly more expensive than permissive, the cache
+// strictly cheaper than uncached enforcement, and verified traffic on
+// every row. Determinism across worker counts is cross-checked inside
+// Net itself.
+func TestNetSweep(t *testing.T) {
+	data, err := Net(DefaultKey, 2)
+	if err != nil {
+		t.Fatalf("Net: %v", err)
+	}
+	if len(data.Rows) != len(NetClients) {
+		t.Fatalf("rows = %d, want %d", len(data.Rows), len(NetClients))
+	}
+	for i, r := range data.Rows {
+		if r.Clients != NetClients[i] {
+			t.Errorf("row %d clients = %d, want %d", i, r.Clients, NetClients[i])
+		}
+		if r.CyclesOn <= r.CyclesOff {
+			t.Errorf("clients=%d: enforcement not more expensive: on=%d off=%d", r.Clients, r.CyclesOn, r.CyclesOff)
+		}
+		if r.CyclesCached >= r.CyclesOn {
+			t.Errorf("clients=%d: cache did not help: cached=%d on=%d", r.Clients, r.CyclesCached, r.CyclesOn)
+		}
+		if r.Verified == 0 {
+			t.Errorf("clients=%d: no verified calls", r.Clients)
+		}
+		if len(r.Points) != len(NetWorkers) {
+			t.Errorf("clients=%d: points = %d, want %d", r.Clients, len(r.Points), len(NetWorkers))
+		}
+	}
+	// Client-count scaling: fleet work grows with the client count.
+	for i := 1; i < len(data.Rows); i++ {
+		if data.Rows[i].CyclesOn <= data.Rows[i-1].CyclesOn {
+			t.Errorf("no scaling: clients=%d cycles %d <= clients=%d cycles %d",
+				data.Rows[i].Clients, data.Rows[i].CyclesOn,
+				data.Rows[i-1].Clients, data.Rows[i-1].CyclesOn)
+		}
+	}
+}

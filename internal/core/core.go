@@ -205,7 +205,16 @@ func (s *System) RunAll(reqs []RunRequest, workers int) ([]ProcResult, error) {
 		}
 		jobs[i] = sched.Job{Kern: s.Kernel, Proc: p, MaxCycles: max}
 	}
-	raw := sched.Pool{Workers: workers}.Run(jobs)
+	pool := sched.Pool{Workers: workers}
+	var raw []sched.Result
+	if s.Kernel.Net != nil {
+		// Networked fleets block inside the kernel (accept, recv,
+		// stream backpressure); the gated runner lets a parked process
+		// yield its run slot to the sibling that will unblock it.
+		raw = pool.RunGated(jobs)
+	} else {
+		raw = pool.Run(jobs)
+	}
 	out := make([]ProcResult, len(jobs))
 	for i, r := range raw {
 		p := jobs[i].Proc

@@ -18,6 +18,7 @@ import (
 	"asc/internal/binfmt"
 	"asc/internal/core"
 	"asc/internal/kernel"
+	anet "asc/internal/net"
 	"asc/internal/sched"
 	"asc/internal/vfs"
 	"asc/internal/vm"
@@ -132,10 +133,18 @@ func Run(cfg Config) (*Matrix, error) {
 	// The checkpoint cells need per-victim measurements (clean cycle
 	// counts and swap-donor chains); those are serial and shared
 	// read-only by the fan-out below.
+	// Socket-surface victims sit out the checkpoint sub-campaign: a
+	// process holding live sockets is not checkpointable by design
+	// (kernel.Checkpoint fails with ckpt.ErrUnsupported), so they have
+	// no chain to tamper with.
+	ckptEligible := func(vi int) bool { return !cfg.Victims[vi].Net }
 	var preps []ckptPrep
 	if !cfg.SkipCkpt {
 		preps = make([]ckptPrep, len(cfg.Victims))
 		for vi := range cfg.Victims {
+			if !ckptEligible(vi) {
+				continue
+			}
 			prep, err := prepCkpt(cfg, &cfg.Victims[vi], exes[vi])
 			if err != nil {
 				return nil, err
@@ -161,7 +170,7 @@ func Run(cfg Config) (*Matrix, error) {
 			tasks = append(tasks, task{vi: vi, class: class})
 		}
 		tasks = append(tasks, task{vi: vi})
-		if !cfg.SkipCkpt {
+		if !cfg.SkipCkpt && ckptEligible(vi) {
 			for _, class := range CkptClasses() {
 				for _, mode := range []kernel.Enforcement{kernel.EnforceKill, kernel.EnforceDeny} {
 					tasks = append(tasks, task{vi: vi, class: class, ckpt: true, mode: mode})
@@ -182,9 +191,14 @@ func Run(cfg Config) (*Matrix, error) {
 		v := &cfg.Victims[tk.vi]
 		switch {
 		case tk.ckpt:
-			// The swap donor is the neighbor victim's pristine chain —
-			// sealed under the same key for a different program.
-			donor := preps[(tk.vi+1)%len(cfg.Victims)].chain
+			// The swap donor is the next checkpoint-eligible victim's
+			// pristine chain — sealed under the same key for a
+			// different program.
+			di := (tk.vi + 1) % len(cfg.Victims)
+			for !ckptEligible(di) {
+				di = (di + 1) % len(cfg.Victims)
+			}
+			donor := preps[di].chain
 			cell, err := runCkptCell(cfg, tk.class, v, exes[tk.vi], uint64(tk.vi), preps[tk.vi], donor, tk.mode)
 			ckptCells[i], errs[i] = &cell, err
 		case tk.class == "":
@@ -262,9 +276,13 @@ func runRestart(cfg Config, v *workload.FaultVictim, exe *binfmt.File, vi uint64
 	_ = splitmix(&s)
 	subseed := s ^ vi<<40 ^ 1<<63 // distinct from every trial subseed
 	eng := NewEngine(FlipRecord, subseed)
+	kopts := []kernel.Option{kernel.WithInjector(eng)}
+	if v.Net {
+		kopts = append(kopts, kernel.WithNetwork(anet.New()))
+	}
 	sys, err := core.NewSystem(core.Config{
 		Key:           cfg.Key,
-		KernelOptions: []kernel.Option{kernel.WithInjector(eng)},
+		KernelOptions: kopts,
 	})
 	if err != nil {
 		return RestartCell{}, err
@@ -312,7 +330,7 @@ func runCell(cfg Config, class Class, v *workload.FaultVictim, exe *binfmt.File,
 		i := 0
 		for _, mode := range []kernel.Enforcement{kernel.EnforceKill, kernel.EnforceDeny} {
 			for _, cache := range []bool{false, true} {
-				out, err := runOne(cfg, class, exe, v.Stdin, subseed, mode, cache)
+				out, err := runOne(cfg, class, exe, v.Stdin, subseed, mode, cache, v.Net)
 				if err != nil {
 					return cell, fmt.Errorf("fault: %s/%s trial %d: %w", class, v.Name, trial, err)
 				}
@@ -411,8 +429,10 @@ func checkTrial(exp Expect, outs [4]Outcome, trial int) []string {
 	return fails
 }
 
-// runOne executes one victim run under one configuration.
-func runOne(cfg Config, class Class, exe *binfmt.File, stdin string, subseed uint64, mode kernel.Enforcement, cache bool) (Outcome, error) {
+// runOne executes one victim run under one configuration. withNet
+// attaches a fresh virtual network (socket-surface victims move real
+// bytes; the network is per-run, so runs stay independent).
+func runOne(cfg Config, class Class, exe *binfmt.File, stdin string, subseed uint64, mode kernel.Enforcement, cache, withNet bool) (Outcome, error) {
 	fs := vfs.New()
 	for _, d := range []string{"/bin", "/etc", "/tmp", "/data"} {
 		if err := fs.MkdirAll(d, 0o755); err != nil {
@@ -434,6 +454,9 @@ func runOne(cfg Config, class Class, exe *binfmt.File, stdin string, subseed uin
 	}
 	if cache {
 		opts = append(opts, kernel.WithVerifyCache())
+	}
+	if withNet {
+		opts = append(opts, kernel.WithNetwork(anet.New()))
 	}
 	k, err := kernel.New(fs, cfg.Key, opts...)
 	if err != nil {

@@ -27,6 +27,7 @@ import (
 	"asc/internal/isa"
 	"asc/internal/kernel"
 	"asc/internal/policy"
+	"asc/internal/sys"
 )
 
 // Class is one fault-injection class.
@@ -53,6 +54,20 @@ const (
 	DupNonce Class = "dup-nonce"
 	// TornStore tears the 16-byte state-MAC store, leaving a prefix.
 	TornStore Class = "torn-state-store"
+	// FlipSockPort flips one bit of the packed destination-address
+	// register at a socket-send site. The address is a constrained
+	// immediate in the call encoding, so redirecting traffic to a
+	// different port must surface as a call-MAC mismatch.
+	FlipSockPort Class = "net-flip-port"
+	// FlipSockMsg flips one bit of the authenticated payload bytes at a
+	// socket-send site (content only, not the AS header): a tampered
+	// fixed protocol message must fail the string check.
+	FlipSockMsg Class = "net-flip-msg"
+	// ReplaySockCF snapshots the {lastBlock, lbMAC} policy state at a
+	// blocking-capable socket receive and restores it at the next trap:
+	// a replayed control-flow state must fail the memory checker, whose
+	// in-kernel counter advanced in between.
+	ReplaySockCF Class = "net-replay-cf"
 )
 
 // Classes returns every fault class in canonical order.
@@ -60,6 +75,7 @@ func Classes() []Class {
 	return []Class{
 		FlipRecord, FlipString, FlipCFState, FlipDescriptor,
 		FlipCacheGen, DropNonce, DupNonce, TornStore,
+		FlipSockPort, FlipSockMsg, ReplaySockCF,
 	}
 }
 
@@ -106,6 +122,13 @@ func Expectation(c Class) Expect {
 	case DropNonce, DupNonce, TornStore:
 		return Expect{Detected: true, Deferred: true,
 			Reasons: []kernel.KillReason{kernel.KillBadState}}
+	case FlipSockPort:
+		return Expect{Detected: true, Reasons: []kernel.KillReason{kernel.KillBadCallMAC}}
+	case FlipSockMsg:
+		return Expect{Detected: true, Reasons: []kernel.KillReason{kernel.KillBadString}}
+	case ReplaySockCF:
+		return Expect{Detected: true, Deferred: true,
+			Reasons: []kernel.KillReason{kernel.KillBadState}}
 	}
 	return Expect{}
 }
@@ -134,10 +157,13 @@ type Engine struct {
 	fired bool
 
 	// armed* carry state between BeforeVerify and the deferred hooks.
-	armedNonce bool
-	armedTorn  bool
-	tornAddr   uint32
-	tornKeep   int
+	armedNonce  bool
+	armedTorn   bool
+	tornAddr    uint32
+	tornKeep    int
+	armedReplay bool
+	replayPtr   uint32
+	replayState []byte
 
 	// FiredNum and FiredSite record the trap at which the fault was
 	// injected (valid once Fired() is true).
@@ -186,6 +212,15 @@ func (e *Engine) Fired() bool { return e.fired }
 // authenticated trap before verification and perturbs the platform at
 // the chosen one.
 func (e *Engine) BeforeVerify(p *kernel.Process, num uint16, site uint32, recAddr uint32) {
+	if e.armedReplay && !e.fired {
+		// The replay arms at the socket receive; the stale state is
+		// written back here, just before the next trap's Step-3 check.
+		// FiredNum/FiredSite keep the injection (arm) point.
+		_ = p.Mem.UserWrite(e.replayPtr, e.replayState)
+		e.armedReplay = false
+		e.fired = true
+		return
+	}
 	if e.fired || e.armedNonce || e.armedTorn {
 		return
 	}
@@ -259,6 +294,50 @@ func (e *Engine) BeforeVerify(p *kernel.Process, num uint16, site uint32, recAdd
 			return
 		}
 		e.armedNonce = true
+	case FlipSockPort:
+		if num != sys.SysSendto {
+			return // only send sites carry a packed destination address
+		}
+		if !e.step() {
+			return
+		}
+		// The address argument (index 4) lives in R5; the flip is a
+		// register perturbation — the application computing a different
+		// destination — so there is no memory store to generation-track.
+		// Both the cold path and a cache hit rebuild the call encoding
+		// from live registers, which is exactly what must catch this.
+		p.CPU.Regs[isa.R5] ^= 1 << (e.pick % 32)
+		e.fire(num, site)
+	case FlipSockMsg:
+		if num != sys.SysSendto || !recOK || !rec.Desc.ArgString(1) {
+			return // payload is not an authenticated string: not eligible
+		}
+		if !e.step() {
+			return
+		}
+		ptr := p.CPU.Regs[isa.R2]
+		length, err := p.Mem.KernelLoad32(ptr - policy.ASHeaderSize)
+		if err != nil || length > policy.MaxASLen {
+			return
+		}
+		// Content bytes only — header flips are FlipString territory —
+		// so the detection reason is pinned to the string check.
+		e.flipUserBit(p, ptr, int(length))
+	case ReplaySockCF:
+		if num != sys.SysRecvfrom || !recOK || !rec.Desc.ControlFlow() {
+			return
+		}
+		if !e.step() {
+			return
+		}
+		b, err := p.Mem.KernelRead(rec.LbPtr, policy.PolicyStateSize)
+		if err != nil {
+			return
+		}
+		e.armedReplay = true
+		e.replayPtr = rec.LbPtr
+		e.replayState = append([]byte(nil), b...)
+		e.FiredNum, e.FiredSite = num, site
 	case TornStore:
 		if !recOK || !rec.Desc.ControlFlow() {
 			return

@@ -64,4 +64,17 @@ func init() {
 	handlerCost[9] = 150  // brk -> ~1,150
 	handlerCost[2] = 500  // read base (plus per-byte)
 	handlerCost[3] = 500  // write base (plus per-byte)
+
+	// Socket family. The cost is charged whether or not the call parks
+	// on the network (blocking consumes no modeled cycles), which keeps
+	// per-process cycle counts independent of scheduling interleavings.
+	handlerCost[26] = 300 // socket
+	handlerCost[27] = 500 // sendto base (plus per-byte)
+	handlerCost[28] = 500 // recvfrom base (plus per-byte)
+	handlerCost[29] = 200 // bind
+	handlerCost[30] = 700 // connect (handshake)
+	handlerCost[77] = 250 // listen
+	handlerCost[78] = 700 // accept (handshake)
+	handlerCost[79] = 200 // shutdown
+	handlerCost[84] = 400 // socketpair
 }

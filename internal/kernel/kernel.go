@@ -30,6 +30,7 @@ import (
 	"asc/internal/captrack"
 	"asc/internal/isa"
 	"asc/internal/mac"
+	anet "asc/internal/net"
 	"asc/internal/pattern"
 	"asc/internal/policy"
 	"asc/internal/sys"
@@ -190,6 +191,14 @@ type Kernel struct {
 	// checker and the capability-set check stay exact on every call.
 	VerifyCache bool
 
+	// Net, when non-nil, backs the socket system call family with the
+	// in-memory loopback network (internal/net): ports, listeners, and
+	// message-framed streams with real data movement and blocking
+	// semantics. Without it the socket calls keep their historical
+	// validate-and-succeed stub behaviour, so existing single-process
+	// workloads are unaffected.
+	Net *anet.Network
+
 	key   *mac.Keyed
 	Audit AuditRing
 
@@ -269,6 +278,14 @@ func WithInjector(i Injector) Option {
 	return func(k *Kernel) { k.injector = i }
 }
 
+// WithNetwork attaches a loopback network, switching the socket system
+// call family from validate-and-succeed stubs to real semantics: data
+// movement, bounded buffers, and blocking integrated with the
+// scheduler gate. Kernels sharing one Network share its port namespace.
+func WithNetwork(n *anet.Network) Option {
+	return func(k *Kernel) { k.Net = n }
+}
+
 // New creates a kernel. The key is the MAC key shared with the trusted
 // installer; it may be nil when the kernel never enforces.
 func New(fs *vfs.FS, key []byte, opts ...Option) (*Kernel, error) {
@@ -323,8 +340,13 @@ type pipeBuf struct {
 
 type socket struct {
 	domain, typ, proto uint32
-	sent               [][]byte
-	bound              bool
+	// sent captures payloads when no network is attached (legacy stub
+	// behaviour); with a network, bytes move through conn instead.
+	sent  [][]byte
+	bound bool
+	port  uint16
+	lis   *anet.Listener
+	conn  *anet.Conn
 }
 
 // Process is one running program.
@@ -359,6 +381,11 @@ type Process struct {
 	authenticated bool
 	counter       uint64            // memory-checker nonce
 	fdTracker     *captrack.Tracker // §5.3 capability set, nil unless installed
+
+	// gate is the scheduler's run-slot semaphore; blocking socket calls
+	// release it while parked (see internal/net). Nil outside gated
+	// fleets: socket calls then fail with EAGAIN instead of blocking.
+	gate anet.Gate
 
 	// Console I/O.
 	Stdin    []byte

@@ -1,0 +1,265 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"testing"
+
+	anet "asc/internal/net"
+	"asc/internal/sys"
+)
+
+// netKernel builds a permissive kernel with a fresh loopback network.
+func netKernel(t *testing.T) *Kernel {
+	t.Helper()
+	return newKernel(t, WithMode(Permissive), WithNetwork(anet.New()))
+}
+
+// TestSockCheckFamily covers the multi-syscall validation arm: every
+// fd-only socket call distinguishes EBADF (no such descriptor) from
+// ENOTSOCK (descriptor of another kind) and accepts a real socket.
+func TestSockCheckFamily(t *testing.T) {
+	k := newKernel(t, WithMode(Permissive))
+	p := newProc(t, k)
+	fd := call(k, p, sys.SysSocket, 2, 1, 0)
+	if int32(fd) < 0 {
+		t.Fatalf("socket = %d", int32(fd))
+	}
+	family := []struct {
+		name string
+		num  uint16
+	}{
+		{"bind", sys.SysBind},
+		{"connect", sys.SysConnect},
+		{"listen", sys.SysListen},
+		{"shutdown", sys.SysShutdown},
+		{"getsockname", sys.SysGetsockname},
+		{"getpeername", sys.SysGetpeername},
+		{"setsockopt", sys.SysSetsockopt},
+		{"getsockopt", sys.SysGetsockopt},
+	}
+	for _, c := range family {
+		if r := call(k, p, c.num, fd, 0, 0); r != 0 {
+			t.Errorf("%s on socket = %d, want 0", c.name, int32(r))
+		}
+		if r := call(k, p, c.num, 0, 0, 0); int32(r) != -sys.ENOTSOCK {
+			t.Errorf("%s on console = %d, want -ENOTSOCK", c.name, int32(r))
+		}
+		if r := call(k, p, c.num, 99, 0, 0); int32(r) != -sys.EBADF {
+			t.Errorf("%s on bad fd = %d, want -EBADF", c.name, int32(r))
+		}
+	}
+}
+
+// TestRecvfromValidation is the regression test for the old stub that
+// returned 0 for ANY descriptor: recvfrom must validate the fd first.
+func TestRecvfromValidation(t *testing.T) {
+	k := newKernel(t, WithMode(Permissive))
+	p := newProc(t, k)
+	buf := scratch(p)
+	if r := call(k, p, sys.SysRecvfrom, 99, buf, 16, 0, 0); int32(r) != -sys.EBADF {
+		t.Errorf("recvfrom bad fd = %d, want -EBADF", int32(r))
+	}
+	if r := call(k, p, sys.SysRecvfrom, 1, buf, 16, 0, 0); int32(r) != -sys.ENOTSOCK {
+		t.Errorf("recvfrom on console = %d, want -ENOTSOCK", int32(r))
+	}
+	fd := call(k, p, sys.SysSocket, 2, 1, 0)
+	// Legacy stub (no network): a valid socket reads as end-of-stream.
+	if r := call(k, p, sys.SysRecvfrom, fd, buf, 16, 0, 0); r != 0 {
+		t.Errorf("legacy recvfrom on socket = %d, want 0", int32(r))
+	}
+}
+
+// TestSocketpairLegacy covers the stub socketpair: two fresh
+// descriptors, and EFAULT on an unwritable result slot.
+func TestSocketpairLegacy(t *testing.T) {
+	k := newKernel(t, WithMode(Permissive))
+	p := newProc(t, k)
+	out := scratch(p)
+	if r := call(k, p, sys.SysSocketpair, 1, 1, 0, out); r != 0 {
+		t.Fatalf("socketpair = %d", int32(r))
+	}
+	b, _ := p.Mem.KernelRead(out, 8)
+	a, c := binary.LittleEndian.Uint32(b), binary.LittleEndian.Uint32(b[4:])
+	if a == c || int32(a) < 3 || int32(c) < 3 {
+		t.Errorf("socketpair fds = %d,%d", a, c)
+	}
+	// Both descriptors are sockets as far as the family check goes.
+	if r := call(k, p, sys.SysListen, a, 1); r != 0 {
+		t.Errorf("listen on pair fd = %d", int32(r))
+	}
+	if r := call(k, p, sys.SysSocketpair, 1, 1, 0, 0xffff_0000); int32(r) != -sys.EFAULT {
+		t.Errorf("socketpair bad buf = %d, want -EFAULT", int32(r))
+	}
+}
+
+// TestSocketpairNetwork checks real data flow through a socketpair:
+// bytes sent on one end arrive framed on the other, and closing an end
+// gives the peer end-of-stream then EPIPE.
+func TestSocketpairNetwork(t *testing.T) {
+	k := netKernel(t)
+	p := newProc(t, k)
+	out := scratch(p)
+	if r := call(k, p, sys.SysSocketpair, 1, 1, 0, out); r != 0 {
+		t.Fatalf("socketpair = %d", int32(r))
+	}
+	b, _ := p.Mem.KernelRead(out, 8)
+	a, c := binary.LittleEndian.Uint32(b), binary.LittleEndian.Uint32(b[4:])
+
+	buf := scratch(p) + 64
+	putStr(t, p, buf, "hello")
+	if n := call(k, p, sys.SysSendto, a, buf, 5, 0, 0); n != 5 {
+		t.Fatalf("sendto = %d", int32(n))
+	}
+	recv := scratch(p) + 256
+	if n := call(k, p, sys.SysRecvfrom, c, recv, 16, 0, 0); n != 5 {
+		t.Fatalf("recvfrom = %d", int32(n))
+	}
+	got, _ := p.Mem.KernelRead(recv, 5)
+	if string(got) != "hello" {
+		t.Errorf("payload = %q", got)
+	}
+	// Empty inbox without a gate: EAGAIN, not a hang.
+	if r := call(k, p, sys.SysRecvfrom, c, recv, 16, 0, 0); int32(r) != -sys.EAGAIN {
+		t.Errorf("empty recvfrom = %d, want -EAGAIN", int32(r))
+	}
+	// Unconnected socket: ENOTCONN.
+	lone := call(k, p, sys.SysSocket, 2, 1, 0)
+	if r := call(k, p, sys.SysSendto, lone, buf, 5, 0, 0); int32(r) != -sys.ENOTCONN {
+		t.Errorf("sendto unconnected = %d, want -ENOTCONN", int32(r))
+	}
+	// Close one end: the peer drains EOF, then send fails with EPIPE.
+	if r := call(k, p, sys.SysClose, a); r != 0 {
+		t.Fatalf("close = %d", int32(r))
+	}
+	if r := call(k, p, sys.SysRecvfrom, c, recv, 16, 0, 0); r != 0 {
+		t.Errorf("recvfrom after close = %d, want 0 (EOF)", int32(r))
+	}
+	if r := call(k, p, sys.SysSendto, c, buf, 5, 0, 0); int32(r) != -sys.EPIPE {
+		t.Errorf("sendto to closed peer = %d, want -EPIPE", int32(r))
+	}
+}
+
+// TestListenConnectAccept drives the full stream lifecycle inside one
+// process: bind/listen on a port, connect to it, accept the peer, and
+// exchange data both ways, checking the by-value address results.
+func TestListenConnectAccept(t *testing.T) {
+	k := netKernel(t)
+	p := newProc(t, k)
+
+	srv := call(k, p, sys.SysSocket, 2, 1, 0)
+	if r := call(k, p, sys.SysBind, srv, anet.EncodeAddr(80)); r != 0 {
+		t.Fatalf("bind = %d", int32(r))
+	}
+	if r := call(k, p, sys.SysListen, srv, 4); r != 0 {
+		t.Fatalf("listen = %d", int32(r))
+	}
+	// Rebinding the same port from another socket fails at listen time.
+	dup := call(k, p, sys.SysSocket, 2, 1, 0)
+	if r := call(k, p, sys.SysBind, dup, anet.EncodeAddr(80)); r != 0 {
+		t.Fatalf("bind dup = %d", int32(r))
+	}
+	if r := call(k, p, sys.SysListen, dup, 4); int32(r) != -sys.EADDRINUSE {
+		t.Errorf("listen dup = %d, want -EADDRINUSE", int32(r))
+	}
+
+	cli := call(k, p, sys.SysSocket, 2, 1, 0)
+	if r := call(k, p, sys.SysConnect, cli, anet.EncodeAddr(81)); int32(r) != -sys.ECONNREFUSED {
+		t.Errorf("connect unbound port = %d, want -ECONNREFUSED", int32(r))
+	}
+	if r := call(k, p, sys.SysConnect, cli, 0xdeadbeef); int32(r) != -sys.EINVAL {
+		t.Errorf("connect malformed addr = %d, want -EINVAL", int32(r))
+	}
+	if r := call(k, p, sys.SysConnect, cli, anet.EncodeAddr(80)); r != 0 {
+		t.Fatalf("connect = %d", int32(r))
+	}
+	if r := call(k, p, sys.SysConnect, cli, anet.EncodeAddr(80)); int32(r) != -sys.EISCONN {
+		t.Errorf("reconnect = %d, want -EISCONN", int32(r))
+	}
+
+	addrOut := scratch(p)
+	conn := call(k, p, sys.SysAccept, srv, addrOut)
+	if int32(conn) < 0 {
+		t.Fatalf("accept = %d", int32(conn))
+	}
+	b, _ := p.Mem.KernelRead(addrOut, 4)
+	peer, ok := anet.DecodeAddr(binary.LittleEndian.Uint32(b))
+	if !ok || peer.Port < 49152 {
+		t.Errorf("accept peer addr = %#x", binary.LittleEndian.Uint32(b))
+	}
+	// Accepting again with nothing pending: EAGAIN (no gate).
+	if r := call(k, p, sys.SysAccept, srv, 0); int32(r) != -sys.EAGAIN {
+		t.Errorf("accept empty = %d, want -EAGAIN", int32(r))
+	}
+
+	// getsockname/getpeername report the packed port both ways.
+	if r := call(k, p, sys.SysGetsockname, conn, addrOut); r != 0 {
+		t.Fatalf("getsockname = %d", int32(r))
+	}
+	b, _ = p.Mem.KernelRead(addrOut, 4)
+	if a, _ := anet.DecodeAddr(binary.LittleEndian.Uint32(b)); a.Port != 80 {
+		t.Errorf("server conn local port = %d, want 80", a.Port)
+	}
+	if r := call(k, p, sys.SysGetpeername, cli, addrOut); r != 0 {
+		t.Fatalf("getpeername = %d", int32(r))
+	}
+	b, _ = p.Mem.KernelRead(addrOut, 4)
+	if a, _ := anet.DecodeAddr(binary.LittleEndian.Uint32(b)); a.Port != 80 {
+		t.Errorf("client peer port = %d, want 80", a.Port)
+	}
+
+	// Request/response across the pair, via sendto and plain write.
+	buf := scratch(p) + 64
+	putStr(t, p, buf, "ping")
+	if n := call(k, p, sys.SysSendto, cli, buf, 4, 0, 0); n != 4 {
+		t.Fatalf("client send = %d", int32(n))
+	}
+	recv := scratch(p) + 256
+	srcOut := scratch(p) + 512
+	if n := call(k, p, sys.SysRecvfrom, conn, recv, 16, 0, srcOut); n != 4 {
+		t.Fatalf("server recv = %d", int32(n))
+	}
+	if got, _ := p.Mem.KernelRead(recv, 4); string(got) != "ping" {
+		t.Errorf("server payload = %q", got)
+	}
+	putStr(t, p, buf, "pong")
+	if n := call(k, p, sys.SysWrite, conn, buf, 4); n != 4 {
+		t.Fatalf("server write = %d", int32(n))
+	}
+	if n := call(k, p, sys.SysRead, cli, recv, 16); n != 4 {
+		t.Fatalf("client read = %d", int32(n))
+	}
+	if got, _ := p.Mem.KernelRead(recv, 4); string(got) != "pong" {
+		t.Errorf("client payload = %q", got)
+	}
+
+	// Shutdown tears the stream down for the peer.
+	if r := call(k, p, sys.SysShutdown, conn, 2); r != 0 {
+		t.Fatalf("shutdown = %d", int32(r))
+	}
+	if r := call(k, p, sys.SysRead, cli, recv, 16); r != 0 {
+		t.Errorf("read after peer shutdown = %d, want 0 (EOF)", int32(r))
+	}
+}
+
+// TestReleaseNet checks the death-cleanup hook: endpoints of a finished
+// process are closed so peers observe end-of-stream.
+func TestReleaseNet(t *testing.T) {
+	k := netKernel(t)
+	p := newProc(t, k)
+	lis, err := k.Net.Listen(90, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := call(k, p, sys.SysSocket, 2, 1, 0)
+	if r := call(k, p, sys.SysConnect, fd, anet.EncodeAddr(90)); r != 0 {
+		t.Fatalf("connect = %d", int32(r))
+	}
+	srv, err := lis.Accept(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.ReleaseNet(p)
+	if msg, err := srv.Recv(nil); err != nil || msg != nil {
+		t.Errorf("peer Recv after ReleaseNet = %q, %v, want EOF", msg, err)
+	}
+}

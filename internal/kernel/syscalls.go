@@ -123,16 +123,23 @@ func (k *Kernel) dispatch(p *Process, num uint16, site uint32, args [sys.MaxArgs
 	case sys.SysSocket:
 		return k.sysSocket(p, args[0], args[1], args[2]), false
 	case sys.SysSendto:
-		return k.sysSendto(p, args[0], args[1], args[2]), false
+		return k.sysSendto(p, args[0], args[1], args[2], args[4]), false
 	case sys.SysRecvfrom:
-		return 0, false
-	case sys.SysBind, sys.SysConnect, sys.SysListen, sys.SysShutdown,
-		sys.SysSetsockopt, sys.SysGetsockopt:
+		return k.sysRecvfrom(p, args[0], args[1], args[2], args[4]), false
+	case sys.SysBind:
+		return k.sysBind(p, args[0], args[1]), false
+	case sys.SysConnect:
+		return k.sysConnect(p, args[0], args[1]), false
+	case sys.SysListen:
+		return k.sysListen(p, args[0], args[1]), false
+	case sys.SysShutdown:
+		return k.sysShutdown(p, args[0]), false
+	case sys.SysSetsockopt, sys.SysGetsockopt:
 		return k.sockCheck(p, args[0]), false
 	case sys.SysAccept:
-		return k.sysAccept(p, args[0]), false
+		return k.sysAccept(p, args[0], args[1]), false
 	case sys.SysGetsockname, sys.SysGetpeername:
-		return k.sockCheck(p, args[0]), false
+		return k.sysSockname(p, args[0], args[1], num == sys.SysGetpeername), false
 	case sys.SysSocketpair:
 		return k.sysSocketpair(p, args[3]), false
 	case sys.SysSigaction:
@@ -304,6 +311,14 @@ func (k *Kernel) sysClose(p *Process, fd uint32) uint32 {
 	if e.pipe != nil && e.kind == fdPipeW {
 		e.pipe.closed = true
 	}
+	if e.kind == fdSocket && e.sock != nil {
+		if e.sock.conn != nil {
+			e.sock.conn.Close()
+		}
+		if e.sock.lis != nil {
+			e.sock.lis.Close()
+		}
+	}
 	p.fds[fd] = nil
 	return 0
 }
@@ -337,6 +352,12 @@ func (k *Kernel) sysRead(p *Process, fd, buf, n uint32) uint32 {
 	case fdPipeR:
 		got = copy(tmp, e.pipe.data)
 		e.pipe.data = e.pipe.data[got:]
+	case fdSocket:
+		// read on a connected socket is recvfrom without a source slot.
+		if k.Net != nil {
+			return k.sysRecvfrom(p, fd, buf, n, 0)
+		}
+		return errno(sys.EINVAL)
 	default:
 		return errno(sys.EINVAL)
 	}
@@ -372,6 +393,10 @@ func (k *Kernel) sysWrite(p *Process, fd, buf, n uint32) uint32 {
 	case fdPipeW:
 		e.pipe.data = append(e.pipe.data, b...)
 	case fdSocket:
+		// write on a connected socket is sendto without a destination.
+		if k.Net != nil {
+			return k.sysSendto(p, fd, buf, n, 0)
+		}
 		e.sock.sent = append(e.sock.sent, append([]byte(nil), b...))
 	default:
 		return errno(sys.EINVAL)
@@ -632,62 +657,6 @@ func (k *Kernel) sysKill(p *Process, pid, sig uint32) (uint32, bool) {
 		return 0, true
 	}
 	return 0, false
-}
-
-func (k *Kernel) sysSocket(p *Process, domain, typ, proto uint32) uint32 {
-	fd, ok := p.allocFD(&fdEntry{kind: fdSocket, sock: &socket{domain: domain, typ: typ, proto: proto}})
-	if !ok {
-		return errno(sys.ENFILE)
-	}
-	return uint32(fd)
-}
-
-func (k *Kernel) sockCheck(p *Process, fd uint32) uint32 {
-	e := p.fd(fd)
-	if e == nil || e.kind != fdSocket {
-		return errno(sys.EBADF)
-	}
-	return 0
-}
-
-func (k *Kernel) sysSendto(p *Process, fd, buf, n uint32) uint32 {
-	e := p.fd(fd)
-	if e == nil || e.kind != fdSocket {
-		return errno(sys.EBADF)
-	}
-	b, err := p.Mem.KernelRead(buf, n)
-	if err != nil {
-		return errno(sys.EFAULT)
-	}
-	e.sock.sent = append(e.sock.sent, append([]byte(nil), b...))
-	p.CPU.Cycles += uint64(n) * k.Costs.WritePerByte / 1000
-	return n
-}
-
-func (k *Kernel) sysAccept(p *Process, fd uint32) uint32 {
-	if r := k.sockCheck(p, fd); int32(r) < 0 {
-		return r
-	}
-	nfd, ok := p.allocFD(&fdEntry{kind: fdSocket, sock: &socket{}})
-	if !ok {
-		return errno(sys.ENFILE)
-	}
-	return uint32(nfd)
-}
-
-func (k *Kernel) sysSocketpair(p *Process, buf uint32) uint32 {
-	a, ok1 := p.allocFD(&fdEntry{kind: fdSocket, sock: &socket{}})
-	b, ok2 := p.allocFD(&fdEntry{kind: fdSocket, sock: &socket{}})
-	if !ok1 || !ok2 {
-		return errno(sys.ENFILE)
-	}
-	out := make([]byte, 8)
-	binary.LittleEndian.PutUint32(out[0:], uint32(a))
-	binary.LittleEndian.PutUint32(out[4:], uint32(b))
-	if err := p.Mem.UserWrite(buf, out); err != nil {
-		return errno(sys.EFAULT)
-	}
-	return 0
 }
 
 func (k *Kernel) sysSigaction(p *Process, sig, act, oldact uint32) uint32 {

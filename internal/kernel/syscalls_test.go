@@ -234,9 +234,13 @@ func TestHandlerSockets(t *testing.T) {
 	if r := call(k, p, sys.SysShutdown, conn, 2); r != 0 {
 		t.Errorf("shutdown = %d", int32(r))
 	}
-	// Socket ops on a non-socket fail.
-	if r := call(k, p, sys.SysBind, 1, 0, 0); int32(r) != -sys.EBADF {
+	// Socket ops on a non-socket fail with ENOTSOCK, on a bad fd with
+	// EBADF.
+	if r := call(k, p, sys.SysBind, 1, 0, 0); int32(r) != -sys.ENOTSOCK {
 		t.Errorf("bind on console = %d", int32(r))
+	}
+	if r := call(k, p, sys.SysBind, 200, 0, 0); int32(r) != -sys.EBADF {
+		t.Errorf("bind on bad fd = %d", int32(r))
 	}
 	// socketpair delivers two descriptors.
 	pairBuf := scratch(p) + 1024

@@ -1,0 +1,43 @@
+package net
+
+// Socket addresses cross the system-call boundary by value, packed into
+// one machine word, instead of as a pointer to a sockaddr struct. Two
+// properties of the platform force this shape: the authenticated-string
+// mechanism cannot protect a binary struct (a little-endian AF_INET
+// family field contains interior NUL bytes, which terminate an AS), and
+// the installer's dataflow analysis constrains constant *register*
+// values — so a destination port loaded with MOVI becomes a
+// MAC-protected immediate in the call encoding for free, which is
+// exactly the guarantee the paper wants on the network syscall surface.
+//
+// Layout (32 bits): family byte in bits 24..31, bits 16..23 reserved
+// (must be zero), port in bits 0..15.
+
+// AFInet is the only supported address family.
+const AFInet = 2
+
+// SockAddr is a decoded socket address.
+type SockAddr struct {
+	Family uint8
+	Port   uint16
+}
+
+// EncodeAddr packs an AF_INET address for passing in a register.
+func EncodeAddr(port uint16) uint32 {
+	return uint32(AFInet)<<24 | uint32(port)
+}
+
+// Encode packs the address. Only AF_INET round-trips through
+// DecodeAddr; other families encode but fail to decode.
+func (a SockAddr) Encode() uint32 {
+	return uint32(a.Family)<<24 | uint32(a.Port)
+}
+
+// DecodeAddr unpacks a by-value socket address. It fails (ok=false) on
+// a non-AF_INET family or nonzero reserved bits.
+func DecodeAddr(v uint32) (SockAddr, bool) {
+	if v>>24 != AFInet || v&0x00ff0000 != 0 {
+		return SockAddr{}, false
+	}
+	return SockAddr{Family: AFInet, Port: uint16(v)}, true
+}

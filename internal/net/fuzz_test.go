@@ -1,0 +1,34 @@
+package net
+
+import "testing"
+
+// FuzzSockAddrDecode checks the by-value address codec invariants: a
+// decoded address re-encodes to the same word, and every accepted word
+// is exactly an AF_INET family byte plus a 16-bit port with the
+// reserved bits clear.
+func FuzzSockAddrDecode(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(EncodeAddr(0))
+	f.Add(EncodeAddr(80))
+	f.Add(EncodeAddr(0xffff))
+	f.Add(uint32(0x02010050))
+	f.Add(uint32(0xffffffff))
+	f.Fuzz(func(t *testing.T, v uint32) {
+		a, ok := DecodeAddr(v)
+		if !ok {
+			if v>>24 == AFInet && v&0x00ff0000 == 0 {
+				t.Fatalf("DecodeAddr(%#x) rejected a well-formed address", v)
+			}
+			return
+		}
+		if a.Family != AFInet {
+			t.Fatalf("DecodeAddr(%#x) family = %d", v, a.Family)
+		}
+		if got := a.Encode(); got != v {
+			t.Fatalf("re-encode %#x -> %#x", v, got)
+		}
+		if EncodeAddr(a.Port) != v {
+			t.Fatalf("EncodeAddr(%d) != %#x", a.Port, v)
+		}
+	})
+}

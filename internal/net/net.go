@@ -1,0 +1,359 @@
+// Package net is the deterministic in-memory loopback network behind
+// the kernel's socket system calls: a port namespace, listeners with
+// bounded backlogs, and message-framed stream endpoints with bounded
+// buffers and blocking semantics.
+//
+// # Determinism contract
+//
+// The network is shared mutable state, so *which* connection a listener
+// accepts first, and which ephemeral port a client is assigned, depend
+// on goroutine interleaving. What does NOT depend on interleaving is
+// everything a guest program can observe deterministically by
+// construction of the workloads: streams are message-framed (each Send
+// enqueues exactly one message, each Recv dequeues exactly one), so
+// read boundaries never shift with timing; blocking consumes no modeled
+// cycles (the trap handler charges the same fixed cost whether or not a
+// call waited); and the per-connection protocol is private to the two
+// endpoints. Workloads that must produce byte-stable artifacts keep
+// their outputs order-independent (aggregate counters, not accept-order
+// logs).
+//
+// # Blocking and the scheduler gate
+//
+// Guest processes run to completion on pool workers (internal/sched),
+// so a blocking socket call must not pin its worker: with one worker a
+// parked server would starve the client that could unblock it. Blocking
+// entry points therefore take a Gate — the scheduler's run-slot
+// semaphore. Before parking on the network's condition variable the
+// caller releases its run slot (another runnable process takes the
+// worker), and after waking it re-acquires the slot before returning to
+// guest code. A nil Gate means the caller has no scheduler slot to
+// yield (standalone programs); such callers never park — operations
+// that would block fail with ErrWouldBlock instead, keeping
+// single-process runs hang-free.
+package net
+
+import (
+	"errors"
+	"sync"
+)
+
+// Gate is the scheduler's run-slot semaphore (implemented by
+// sched.Gate). Leave releases the caller's slot and must not block;
+// Enter re-acquires one and may block.
+type Gate interface {
+	Leave()
+	Enter()
+}
+
+// Sentinel errors; the kernel maps them onto errno values.
+var (
+	ErrInUse      = errors.New("net: port in use")           // EADDRINUSE
+	ErrRefused    = errors.New("net: connection refused")    // ECONNREFUSED
+	ErrReset      = errors.New("net: connection reset")      // ECONNRESET
+	ErrNotConn    = errors.New("net: not connected")         // ENOTCONN
+	ErrIsConn     = errors.New("net: already connected")     // EISCONN
+	ErrMsgSize    = errors.New("net: message too long")      // EMSGSIZE
+	ErrWouldBlock = errors.New("net: operation would block") // EAGAIN
+	ErrClosed     = errors.New("net: socket closed")         // EBADF-ish; caller decides
+)
+
+const (
+	// MaxMessage bounds one framed message (one Send).
+	MaxMessage = 4096
+	// connBuffer bounds the bytes queued toward one endpoint; a sender
+	// blocks (or fails with ErrWouldBlock) once the peer's inbox holds
+	// this much.
+	connBuffer = 16384
+	// MaxBacklog caps a listener's pending-connection queue.
+	MaxBacklog = 64
+	// ephemeralBase is the first port auto-assigned to connecting
+	// sockets. Assignment order is interleaving-dependent; ephemeral
+	// ports are never part of deterministic workload output.
+	ephemeralBase = 49152
+)
+
+// Network is one loopback network: a port namespace plus the single
+// lock and condition variable that all blocking socket operations share
+// (one lock sidesteps lock-ordering concerns; broadcasts are cheap at
+// guest-fleet scale).
+type Network struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	ports     map[uint16]*Listener
+	ephemeral uint16
+}
+
+// New creates an empty loopback network.
+func New() *Network {
+	n := &Network{ports: make(map[uint16]*Listener), ephemeral: ephemeralBase}
+	n.cond = sync.NewCond(&n.mu)
+	return n
+}
+
+// wait parks the caller until the next state-change broadcast. With a
+// gate, the caller's scheduler slot is released while parked and
+// re-acquired — without the network lock held — before returning.
+func (n *Network) wait(g Gate) {
+	if g == nil {
+		n.cond.Wait()
+		return
+	}
+	g.Leave()
+	n.cond.Wait()
+	n.mu.Unlock()
+	g.Enter()
+	n.mu.Lock()
+}
+
+// Listener is a bound, listening port with a bounded backlog of
+// connections that completed Dial but have not been Accepted.
+type Listener struct {
+	n        *Network
+	port     uint16
+	capacity int
+	backlog  []*Conn
+	closed   bool
+}
+
+// Listen binds and listens on port with the given backlog capacity
+// (clamped to [1, MaxBacklog]). It fails with ErrInUse if the port has
+// a live listener.
+func (n *Network) Listen(port uint16, backlog int) (*Listener, error) {
+	if backlog < 1 {
+		backlog = 1
+	}
+	if backlog > MaxBacklog {
+		backlog = MaxBacklog
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.ports[port]; ok {
+		return nil, ErrInUse
+	}
+	l := &Listener{n: n, port: port, capacity: backlog}
+	n.ports[port] = l
+	n.cond.Broadcast() // port now bound: unblock dialers waiting for it
+	return l, nil
+}
+
+// Port returns the listener's bound port.
+func (l *Listener) Port() uint16 { return l.port }
+
+// Accept dequeues the oldest pending connection, parking (via g) while
+// the backlog is empty. With a nil gate an empty backlog fails with
+// ErrWouldBlock. A closed listener fails with ErrClosed.
+func (l *Listener) Accept(g Gate) (*Conn, error) {
+	n := l.n
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for {
+		if l.closed {
+			return nil, ErrClosed
+		}
+		if len(l.backlog) > 0 {
+			c := l.backlog[0]
+			copy(l.backlog, l.backlog[1:])
+			l.backlog = l.backlog[:len(l.backlog)-1]
+			n.cond.Broadcast() // backlog space freed: unblock dialers
+			return c, nil
+		}
+		if g == nil {
+			return nil, ErrWouldBlock
+		}
+		n.wait(g)
+	}
+}
+
+// Close unbinds the port. Connections still in the backlog are reset
+// (their dialers see ErrReset on use); already-accepted connections are
+// unaffected.
+func (l *Listener) Close() {
+	n := l.n
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	delete(n.ports, l.port)
+	for _, c := range l.backlog {
+		c.closeLocked()
+	}
+	l.backlog = nil
+	n.cond.Broadcast()
+}
+
+// Dial connects to a listening port, parking (via g) while the port is
+// not yet bound or the listener's backlog is full. It returns the
+// client endpoint; the server endpoint is queued for Accept.
+//
+// A gated dial to an unbound port waits for a listener to appear
+// rather than failing: fleet startup order is interleaving-dependent,
+// so a client racing ahead of its server must rendezvous, not refuse
+// (a fleet whose clients dial a port no process ever binds deadlocks —
+// that is a workload bug, like a lost pipe reader). Without a gate
+// there is no sibling to wait for, so an unbound port fails with
+// ErrRefused immediately; with a nil gate a full backlog means
+// ErrWouldBlock.
+func (n *Network) Dial(port uint16, g Gate) (*Conn, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for {
+		l, ok := n.ports[port]
+		if !ok || l.closed {
+			if g == nil {
+				return nil, ErrRefused
+			}
+			n.wait(g)
+			continue
+		}
+		if len(l.backlog) < l.capacity {
+			client, server := n.pairLocked()
+			client.localPort = n.nextEphemeralLocked()
+			client.remotePort = port
+			server.localPort = port
+			server.remotePort = client.localPort
+			l.backlog = append(l.backlog, server)
+			n.cond.Broadcast() // new pending connection: unblock acceptors
+			return client, nil
+		}
+		if g == nil {
+			return nil, ErrWouldBlock
+		}
+		n.wait(g)
+	}
+}
+
+func (n *Network) nextEphemeralLocked() uint16 {
+	p := n.ephemeral
+	n.ephemeral++
+	if n.ephemeral == 0 {
+		n.ephemeral = ephemeralBase
+	}
+	return p
+}
+
+// Pair creates a connected endpoint pair outside the port namespace
+// (the socketpair system call).
+func (n *Network) Pair() (*Conn, *Conn) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	a, b := n.pairLocked()
+	return a, b
+}
+
+func (n *Network) pairLocked() (*Conn, *Conn) {
+	a := &Conn{n: n}
+	b := &Conn{n: n}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// Conn is one endpoint of a message-framed stream. Each Send enqueues
+// one message into the peer's inbox; each Recv dequeues one.
+type Conn struct {
+	n          *Network
+	peer       *Conn
+	inbox      [][]byte
+	inboxBytes int
+	closed     bool
+	localPort  uint16
+	remotePort uint16
+}
+
+// LocalPort returns the port bound to this endpoint (0 for socketpair
+// endpoints).
+func (c *Conn) LocalPort() uint16 { return c.localPort }
+
+// RemotePort returns the peer's port (0 for socketpair endpoints).
+func (c *Conn) RemotePort() uint16 { return c.remotePort }
+
+// Send enqueues msg toward the peer, parking (via g) while the peer's
+// inbox is full. Oversized messages fail with ErrMsgSize; a closed
+// endpoint fails with ErrClosed, a closed peer with ErrReset (EPIPE at
+// the syscall layer). The bytes are copied.
+func (c *Conn) Send(msg []byte, g Gate) error {
+	if len(msg) > MaxMessage {
+		return ErrMsgSize
+	}
+	n := c.n
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for {
+		if c.closed {
+			return ErrClosed
+		}
+		if c.peer.closed {
+			return ErrReset
+		}
+		if c.peer.inboxBytes+len(msg) <= connBuffer || len(c.peer.inbox) == 0 {
+			c.peer.inbox = append(c.peer.inbox, append([]byte(nil), msg...))
+			c.peer.inboxBytes += len(msg)
+			n.cond.Broadcast() // data available: unblock receivers
+			return nil
+		}
+		if g == nil {
+			return ErrWouldBlock
+		}
+		n.wait(g)
+	}
+}
+
+// Recv dequeues one message, parking (via g) while the inbox is empty
+// and the peer is open. An empty inbox with a closed peer returns
+// (nil, nil): end of stream. With a nil gate an empty inbox fails with
+// ErrWouldBlock.
+func (c *Conn) Recv(g Gate) ([]byte, error) {
+	n := c.n
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for {
+		if c.closed {
+			return nil, ErrClosed
+		}
+		if len(c.inbox) > 0 {
+			msg := c.inbox[0]
+			copy(c.inbox, c.inbox[1:])
+			c.inbox[len(c.inbox)-1] = nil
+			c.inbox = c.inbox[:len(c.inbox)-1]
+			c.inboxBytes -= len(msg)
+			n.cond.Broadcast() // buffer space freed: unblock senders
+			return msg, nil
+		}
+		if c.peer.closed {
+			return nil, nil // end of stream
+		}
+		if g == nil {
+			return nil, ErrWouldBlock
+		}
+		n.wait(g)
+	}
+}
+
+// Close shuts the endpoint down. Pending inbox data is dropped; the
+// peer's next Recv on an empty inbox sees end of stream, its next Send
+// sees ErrReset. Closing twice is a no-op.
+func (c *Conn) Close() {
+	n := c.n
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c.closeLocked()
+	n.cond.Broadcast()
+}
+
+func (c *Conn) closeLocked() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.inbox = nil
+	c.inboxBytes = 0
+}
+
+// Closed reports whether the endpoint has been closed.
+func (c *Conn) Closed() bool {
+	c.n.mu.Lock()
+	defer c.n.mu.Unlock()
+	return c.closed
+}

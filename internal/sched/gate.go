@@ -1,0 +1,77 @@
+package sched
+
+import "sync"
+
+// Gate is a counting run-slot semaphore: it bounds how many guest
+// processes execute concurrently, while letting a process that parks on
+// a blocking socket operation hand its slot to a runnable sibling
+// (internal/net takes the Enter/Leave pair as its blocking hook). This
+// is what makes a networked fleet schedulable on any worker count,
+// including one: a server blocked in accept releases its slot, the
+// client that will unblock it runs, and the slot count — not the
+// goroutine count — is the concurrency bound.
+type Gate struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	slots int
+}
+
+// NewGate creates a gate with n run slots (minimum 1).
+func NewGate(n int) *Gate {
+	if n < 1 {
+		n = 1
+	}
+	g := &Gate{slots: n}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Enter blocks until a run slot is free and claims it.
+func (g *Gate) Enter() {
+	g.mu.Lock()
+	for g.slots == 0 {
+		g.cond.Wait()
+	}
+	g.slots--
+	g.mu.Unlock()
+}
+
+// Leave releases the caller's run slot. It never blocks.
+func (g *Gate) Leave() {
+	g.mu.Lock()
+	g.slots++
+	g.cond.Signal()
+	g.mu.Unlock()
+}
+
+// RunGated drives every job to completion like Run, but bounds
+// concurrency with a Gate instead of a fixed worker-to-job binding:
+// one goroutine per job, at most Workers of them running guest code at
+// a time. Each process gets the gate as its blocking hook, so jobs
+// that park inside the kernel (socket backlog, stream buffer) yield
+// their slot to runnable siblings instead of wedging the fleet. Use
+// this for fleets whose processes communicate; Run remains the
+// lower-overhead path for independent processes.
+//
+// The determinism contract is unchanged: per-process cycle counts,
+// traces, and outputs do not depend on the slot count or on which
+// goroutine ran which job.
+func (p Pool) RunGated(jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	g := NewGate(p.workers())
+	var wg sync.WaitGroup
+	wg.Add(len(jobs))
+	for i := range jobs {
+		go func(i int) {
+			defer wg.Done()
+			j := jobs[i]
+			j.Proc.SetGate(g)
+			g.Enter()
+			results[i] = Result{Err: j.Kern.Run(j.Proc, j.MaxCycles)}
+			j.Kern.ReleaseNet(j.Proc)
+			g.Leave()
+		}(i)
+	}
+	wg.Wait()
+	return results
+}

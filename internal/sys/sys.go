@@ -199,6 +199,15 @@ const (
 	ENOTEMPTY    = 39
 	ELOOP        = 40
 	ENAMETOOLONG = 36
+	EAGAIN       = 11
+	EPIPE        = 32
+	ENOTSOCK     = 88
+	EMSGSIZE     = 90
+	EADDRINUSE   = 98
+	ECONNRESET   = 104
+	EISCONN      = 106
+	ENOTCONN     = 107
+	ECONNREFUSED = 111
 )
 
 var sigs = []Sig{
@@ -228,10 +237,16 @@ var sigs = []Sig{
 	{SysExecve, "execve", []ArgClass{ArgPath, ArgPtr, ArgPtr}, false},
 	{SysKill, "kill", []ArgClass{ArgInt, ArgInt}, false},
 	{SysSocket, "socket", []ArgClass{ArgInt, ArgInt, ArgInt}, true},
-	{SysSendto, "sendto", []ArgClass{ArgFD, ArgBufIn, ArgInt, ArgInt, ArgPtr}, false},
-	{SysRecvfrom, "recvfrom", []ArgClass{ArgFD, ArgBufOut, ArgInt, ArgInt, ArgPtr}, false},
-	{SysBind, "bind", []ArgClass{ArgFD, ArgPtr, ArgInt}, false},
-	{SysConnect, "connect", []ArgClass{ArgFD, ArgPtr, ArgInt}, false},
+	// Socket addresses are passed by value as a packed word (see
+	// internal/net.SockAddr): a constant destination port is therefore a
+	// constrained immediate in the call encoding, not an opaque pointer.
+	// The payload is ArgStr, not ArgBufIn: a constant message becomes a
+	// MAC-covered authenticated string, so static analysis protects
+	// fixed protocol payloads end to end.
+	{SysSendto, "sendto", []ArgClass{ArgFD, ArgStr, ArgInt, ArgInt, ArgInt}, false},
+	{SysRecvfrom, "recvfrom", []ArgClass{ArgFD, ArgBufOut, ArgInt, ArgInt, ArgStructOut}, false},
+	{SysBind, "bind", []ArgClass{ArgFD, ArgInt}, false},
+	{SysConnect, "connect", []ArgClass{ArgFD, ArgInt}, false},
 	{SysSigaction, "sigaction", []ArgClass{ArgInt, ArgPtr, ArgStructOut}, false},
 	{SysNanosleep, "nanosleep", []ArgClass{ArgPtr, ArgStructOut}, false},
 	{SysFcntl, "fcntl", []ArgClass{ArgFD, ArgInt, ArgInt}, false},
@@ -279,10 +294,10 @@ var sigs = []Sig{
 	{SysFchown, "fchown", []ArgClass{ArgFD, ArgInt, ArgInt}, false},
 	{SysChown, "chown", []ArgClass{ArgPath, ArgInt, ArgInt}, false},
 	{SysListen, "listen", []ArgClass{ArgFD, ArgInt}, false},
-	{SysAccept, "accept", []ArgClass{ArgFD, ArgPtr, ArgStructOut}, true},
+	{SysAccept, "accept", []ArgClass{ArgFD, ArgStructOut}, true},
 	{SysShutdown, "shutdown", []ArgClass{ArgFD, ArgInt}, false},
-	{SysGetsockname, "getsockname", []ArgClass{ArgFD, ArgStructOut, ArgPtr}, false},
-	{SysGetpeername, "getpeername", []ArgClass{ArgFD, ArgStructOut, ArgPtr}, false},
+	{SysGetsockname, "getsockname", []ArgClass{ArgFD, ArgStructOut}, false},
+	{SysGetpeername, "getpeername", []ArgClass{ArgFD, ArgStructOut}, false},
 	{SysSetsockopt, "setsockopt", []ArgClass{ArgFD, ArgInt, ArgInt, ArgPtr, ArgInt}, false},
 	{SysGetsockopt, "getsockopt", []ArgClass{ArgFD, ArgInt, ArgInt, ArgStructOut, ArgPtr}, false},
 	{SysSocketpair, "socketpair", []ArgClass{ArgInt, ArgInt, ArgInt, ArgStructOut}, false},

@@ -1,0 +1,75 @@
+package systrace
+
+// Trace rendering. Systrace's ability to express useful socket policy
+// rests on seeing decoded calls ("bind to port 7"), not raw argument
+// words; the same decoding makes kernel traces legible in tests and
+// tooling. Socket-family calls render their packed sockaddr arguments
+// as address:port, everything else falls back to the generic form.
+
+import (
+	"fmt"
+	"strings"
+
+	"asc/internal/kernel"
+	anet "asc/internal/net"
+	"asc/internal/sys"
+)
+
+// formatAddr renders a packed by-value sockaddr (family in the top
+// byte, port in the low half) as loopback address:port; malformed
+// encodings render as raw hex so tampering stays visible in traces.
+func formatAddr(packed uint32) string {
+	sa, ok := anet.DecodeAddr(packed)
+	if !ok {
+		return fmt.Sprintf("addr(%#x)", packed)
+	}
+	return fmt.Sprintf("127.0.0.1:%d", sa.Port)
+}
+
+// FormatCall renders one executed system call. Socket-family calls
+// decode names and address/port arguments; other calls print their
+// declared arguments as numbers.
+func FormatCall(e kernel.TraceEntry) string {
+	name := sys.Name(e.Num)
+	var args string
+	switch e.Num {
+	case sys.SysSocket, sys.SysSocketpair:
+		args = fmt.Sprintf("domain=%d, type=%d, proto=%d", e.Args[0], e.Args[1], e.Args[2])
+	case sys.SysBind, sys.SysConnect:
+		args = fmt.Sprintf("fd=%d, %s", e.Args[0], formatAddr(e.Args[1]))
+	case sys.SysListen:
+		args = fmt.Sprintf("fd=%d, backlog=%d", e.Args[0], e.Args[1])
+	case sys.SysAccept, sys.SysGetsockname, sys.SysGetpeername, sys.SysClose:
+		args = fmt.Sprintf("fd=%d", e.Args[0])
+	case sys.SysShutdown:
+		args = fmt.Sprintf("fd=%d, how=%d", e.Args[0], e.Args[1])
+	case sys.SysSendto:
+		args = fmt.Sprintf("fd=%d, len=%d, %s", e.Args[0], e.Args[2], formatAddr(e.Args[4]))
+	case sys.SysRecvfrom:
+		args = fmt.Sprintf("fd=%d, cap=%d", e.Args[0], e.Args[2])
+	case sys.SysSetsockopt, sys.SysGetsockopt:
+		args = fmt.Sprintf("fd=%d, level=%d, opt=%d", e.Args[0], e.Args[1], e.Args[2])
+	default:
+		sig, ok := sys.Lookup(e.Num)
+		n := sys.MaxArgs
+		if ok {
+			n = sig.NArgs()
+		}
+		parts := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			parts = append(parts, fmt.Sprintf("%d", e.Args[i]))
+		}
+		args = strings.Join(parts, ", ")
+	}
+	return fmt.Sprintf("%s(%s) = %d", name, args, int32(e.Ret))
+}
+
+// FormatTrace renders a full trace, one call per line.
+func FormatTrace(t []kernel.TraceEntry) string {
+	var b strings.Builder
+	for _, e := range t {
+		b.WriteString(FormatCall(e))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package systrace
+
+import (
+	"testing"
+
+	"asc/internal/kernel"
+	"asc/internal/libc"
+	anet "asc/internal/net"
+	"asc/internal/sys"
+	"asc/internal/vfs"
+)
+
+// sockSrc exercises the whole socket family once, with constant
+// arguments, so the rendered trace is byte-stable.
+const sockSrc = `
+        .text
+        .global main
+main:
+        MOVI r1, 1
+        MOVI r2, 1
+        MOVI r3, 0
+        MOVI r4, pairbuf
+        CALL socketpair
+        MOVI r7, pairbuf
+        LOAD r15, [r7+0]
+        LOAD r13, [r7+4]
+        MOV r1, r15
+        MOVI r2, pmsg
+        MOVI r3, 8
+        MOVI r4, 0
+        MOVI r5, 0x02000007     ; packed AF_INET sockaddr, port 7
+        CALL sendto
+        MOV r1, r13
+        MOVI r2, iobuf
+        MOVI r3, 64
+        MOVI r4, 0
+        MOVI r5, 0
+        CALL recvfrom
+        MOVI r1, 1
+        MOVI r2, 1
+        MOVI r3, 0
+        CALL socket
+        MOV r15, r0
+        MOV r1, r15
+        MOVI r2, 0x02000009     ; bind to port 9
+        CALL bind
+        MOV r1, r15
+        MOVI r2, 4
+        CALL listen
+        MOV r1, r15
+        MOVI r2, 2
+        CALL shutdown
+        MOVI r0, 0
+        RET
+        .rodata
+pmsg:   .asciz "payload"
+        .bss
+pairbuf: .space 8
+iobuf:  .space 64
+`
+
+// TestFormatTraceGolden traces the socket program on a permissive
+// networked kernel and pins the decoded rendering: names, fds, lengths,
+// and address:port in place of packed words.
+func TestFormatTraceGolden(t *testing.T) {
+	exe := buildExe(t, sockSrc, libc.Linux)
+	fs := vfs.New()
+	if err := fs.Mkdir("/tmp", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.New(fs, nil, kernel.WithMode(kernel.Permissive), kernel.WithNetwork(anet.New()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := k.Spawn(exe, "sock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.DoTrace = true
+	if err := k.Run(p, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Killed {
+		t.Fatalf("traced run killed: %v", p.KilledBy)
+	}
+	const golden = `socketpair(domain=1, type=1, proto=0) = 0
+sendto(fd=3, len=8, 127.0.0.1:7) = 8
+recvfrom(fd=4, cap=64) = 8
+socket(domain=1, type=1, proto=0) = 5
+bind(fd=5, 127.0.0.1:9) = 0
+listen(fd=5, backlog=4) = 0
+shutdown(fd=5, how=2) = 0
+exit(0) = 0
+`
+	if got := FormatTrace(p.Trace); got != golden {
+		t.Errorf("trace rendering diverged:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+}
+
+// TestFormatCallMalformedAddr pins the fallback for sockaddr words that
+// do not decode: raw hex, so tampered addresses stay visible.
+func TestFormatCallMalformedAddr(t *testing.T) {
+	e := kernel.TraceEntry{Num: sys.SysBind}
+	e.Args[0], e.Args[1] = 3, 0xdead0007 // family byte 0xde is not AF_INET
+	if got, want := FormatCall(e), "bind(fd=3, addr(0xdead0007)) = 0"; got != want {
+		t.Errorf("FormatCall = %q, want %q", got, want)
+	}
+}

@@ -22,6 +22,9 @@ type FaultVictim struct {
 	// Patterns are administrator pattern constraints passed to the
 	// installer (exercised by the "dynamic" victim).
 	Patterns map[string][]installer.ArgPattern
+	// Net asks the campaign to attach a virtual network to the victim's
+	// kernel so socket calls move real bytes (the "netpair" victim).
+	Net bool
 }
 
 // Build assembles, links, and installs the victim with the given key,
@@ -123,6 +126,55 @@ main:
         RET
 `
 
+// faultNetSrc pumps a constant payload across a socketpair three
+// times: the sendto sites carry an authenticated-string payload and a
+// constant packed destination address, and the blocking-capable
+// recvfrom gives control-flow replay faults a socket site to target.
+// A socketpair needs no peer process, so the victim runs single-process
+// inside the campaign like the others.
+const faultNetSrc = `
+        .text
+        .global main
+main:
+        MOVI r1, 1
+        MOVI r2, 1
+        MOVI r3, 0
+        MOVI r4, pairbuf
+        CALL socketpair
+        MOVI r7, pairbuf
+        LOAD r15, [r7+0]
+        LOAD r13, [r7+4]
+        MOVI r11, 3
+.loop:
+        MOVI r7, 0
+        BEQ r11, r7, .done
+        MOV r1, r15
+        MOVI r2, pmsg
+        MOVI r3, 8
+        MOVI r4, 0
+        MOVI r5, 0x02000007     ; packed AF_INET sockaddr, port 7
+        CALL sendto
+        MOV r1, r13
+        MOVI r2, iobuf
+        MOVI r3, 64
+        MOVI r4, 0
+        MOVI r5, 0
+        CALL recvfrom
+        ADDI r11, r11, -1
+        JMP .loop
+.done:
+        MOVI r1, donemsg
+        CALL puts
+        MOVI r0, 0
+        RET
+        .rodata
+pmsg:   .asciz "payload"
+donemsg: .asciz "netpair done\n"
+        .bss
+pairbuf: .space 8
+iobuf:  .space 64
+`
+
 // FaultVictims returns the campaign corpus in canonical order.
 func FaultVictims() []FaultVictim {
 	return []FaultVictim{
@@ -136,5 +188,6 @@ func FaultVictims() []FaultVictim {
 				"open": {{Arg: 0, Pattern: "/data/*.txt"}},
 			},
 		},
+		{Name: "netpair", Source: faultNetSrc, Net: true},
 	}
 }

@@ -1,0 +1,244 @@
+// net.go defines the networked workload corpus: a request/response
+// server (echo plus a small key/value store) and a load-generating
+// client, both speaking over the deterministic in-memory network. Every
+// byte they exchange crosses the authenticated trap handler: listen
+// ports and destination addresses are constant packed sockaddrs (so
+// verification pins them via the call MAC), and the client's fixed
+// protocol payloads are authenticated strings.
+//
+// The programs are written so a fleet of identical clients produces
+// order-independent aggregate output: the server prints only totals
+// (requests served, bytes replied), never per-connection detail, and
+// each client prints only its own byte count. That keeps RunAll output
+// deterministic for any worker count and accept interleaving.
+package workload
+
+import (
+	"fmt"
+
+	"asc/internal/net"
+)
+
+// NetServerPort is the well-known port the workload server listens on.
+const NetServerPort uint16 = 7
+
+// NetRequestsPerIter is how many requests one client iteration issues
+// (SET, GET, echo).
+const NetRequestsPerIter = 3
+
+// NetBytesPerIter is how many reply bytes one client iteration
+// receives: "OK" (2) + stored value "abcdefgh" (8) + echoed
+// "Zechopayload" (12).
+const NetBytesPerIter = 2 + 8 + 12
+
+// NetServerOutput is the exact aggregate line the server prints after
+// serving clients×iters iterations from `clients` connections.
+func NetServerOutput(clients, iters int) string {
+	reqs := clients * iters * NetRequestsPerIter
+	bytes := clients * iters * NetBytesPerIter
+	return fmt.Sprintf("%d requests %d bytes\n", reqs, bytes)
+}
+
+// NetClientOutput is the exact line each client prints.
+func NetClientOutput(iters int) string {
+	return fmt.Sprintf("%d bytes\n", iters*NetBytesPerIter)
+}
+
+// NetServerSource returns the server program: accept `conns`
+// connections in sequence and answer requests on each until the peer
+// shuts down. Requests dispatch on their first byte — 'S' stores
+// payload[2:] in slot payload[1], 'G' fetches a slot, anything else is
+// echoed. The listen address is a MOVI constant, so the bind site's
+// policy pins the port.
+func NetServerSource(conns int) string {
+	return fmt.Sprintf(`
+        .text
+        .global main
+main:
+        MOVI r1, 2
+        MOVI r2, 1
+        MOVI r3, 0
+        CALL socket
+        MOV r15, r0
+        MOV r1, r15
+        MOVI r2, %[1]d          ; packed AF_INET sockaddr, port %[2]d
+        CALL bind
+        MOV r1, r15
+        MOVI r2, 8
+        CALL listen
+        MOVI r13, %[3]d         ; connections to serve
+.accept:
+        MOVI r7, 0
+        BEQ r13, r7, .done
+        MOV r1, r15
+        MOVI r2, 0
+        CALL accept
+        MOV r11, r0
+.serve:
+        MOV r1, r11
+        MOVI r2, iobuf
+        MOVI r3, 256
+        MOVI r4, 0
+        MOVI r5, 0
+        CALL recvfrom
+        MOV r10, r0
+        MOVI r7, 0
+        BEQ r10, r7, .connend   ; peer shut down
+        MOVI r7, nreqs          ; nreqs++
+        LOAD r8, [r7+0]
+        ADDI r8, r8, 1
+        STORE [r7+0], r8
+        MOVI r7, iobuf
+        LOADB r8, [r7+0]
+        MOVI r9, 83             ; 'S'
+        BEQ r8, r9, .set
+        MOVI r9, 71             ; 'G'
+        BEQ r8, r9, .get
+        MOVI r2, iobuf          ; default: echo the request back
+        MOV r3, r10
+        JMP .reply
+.set:
+        LOADB r8, [r7+1]
+        ADDI r8, r8, -48        ; slot = digit - '0'
+        ANDI r8, r8, 7
+        ADDI r9, r10, -2
+        MULI r7, r8, 4
+        MOVI r1, kvlen
+        ADD r1, r1, r7
+        STORE [r1+0], r9        ; kvlen[slot] = n-2
+        MULI r7, r8, 64
+        MOVI r1, kv
+        ADD r1, r1, r7
+        MOVI r2, iobuf
+        ADDI r2, r2, 2
+        ADDI r3, r10, -2
+        CALL memcpy             ; kv[slot] = payload
+        MOVI r2, okmsg
+        MOVI r3, 2
+        JMP .reply
+.get:
+        LOADB r8, [r7+1]
+        ADDI r8, r8, -48
+        ANDI r8, r8, 7
+        MULI r7, r8, 4
+        MOVI r2, kvlen
+        ADD r2, r2, r7
+        LOAD r3, [r2+0]
+        MULI r7, r8, 64
+        MOVI r2, kv
+        ADD r2, r2, r7
+.reply:
+        MOV r1, r11
+        MOVI r4, 0
+        MOVI r5, 0
+        CALL sendto
+        MOVI r7, nbytes         ; nbytes += reply length
+        LOAD r8, [r7+0]
+        ADD r8, r8, r0
+        STORE [r7+0], r8
+        JMP .serve
+.connend:
+        MOV r1, r11
+        CALL close
+        ADDI r13, r13, -1
+        JMP .accept
+.done:
+        MOVI r7, nreqs
+        LOAD r1, [r7+0]
+        CALL print_uint
+        MOVI r1, sep
+        CALL puts
+        MOVI r7, nbytes
+        LOAD r1, [r7+0]
+        CALL print_uint
+        MOVI r1, tail
+        CALL puts
+        MOVI r0, 0
+        RET
+        .rodata
+okmsg:  .asciz "OK"
+sep:    .asciz " requests "
+tail:   .asciz " bytes\n"
+        .bss
+iobuf:  .space 256
+kv:     .space 512
+kvlen:  .space 32
+nreqs:  .space 4
+nbytes: .space 4
+`, net.EncodeAddr(NetServerPort), NetServerPort, conns)
+}
+
+// NetClientSource returns the load-generator client: connect to the
+// server and run `iters` iterations of SET, GET, echo, then print the
+// total reply bytes received. The destination address is a MOVI
+// constant at every sendto site and the three request payloads are
+// authenticated strings, so both the where and the what of each send
+// are covered by verification.
+func NetClientSource(iters int) string {
+	return fmt.Sprintf(`
+        .text
+        .global main
+main:
+        MOVI r1, 2
+        MOVI r2, 1
+        MOVI r3, 0
+        CALL socket
+        MOV r15, r0
+        MOV r1, r15
+        MOVI r2, %[1]d          ; packed AF_INET sockaddr, port %[2]d
+        CALL connect
+        MOVI r13, %[3]d         ; iterations
+        MOVI r11, 0             ; reply bytes received
+.loop:
+        MOVI r7, 0
+        BEQ r13, r7, .done
+        MOV r1, r15
+        MOVI r2, setmsg
+        MOVI r3, 10
+        MOVI r4, 0
+        MOVI r5, %[1]d
+        CALL sendto
+        CALL getreply
+        MOV r1, r15
+        MOVI r2, getmsg
+        MOVI r3, 2
+        MOVI r4, 0
+        MOVI r5, %[1]d
+        CALL sendto
+        CALL getreply
+        MOV r1, r15
+        MOVI r2, echomsg
+        MOVI r3, 12
+        MOVI r4, 0
+        MOVI r5, %[1]d
+        CALL sendto
+        CALL getreply
+        ADDI r13, r13, -1
+        JMP .loop
+.done:
+        MOV r1, r15
+        CALL close
+        MOV r1, r11
+        CALL print_uint
+        MOVI r1, tail
+        CALL puts
+        MOVI r0, 0
+        RET
+getreply:
+        MOV r1, r15
+        MOVI r2, iobuf
+        MOVI r3, 256
+        MOVI r4, 0
+        MOVI r5, 0
+        CALL recvfrom
+        ADD r11, r11, r0
+        RET
+        .rodata
+setmsg: .asciz "S3abcdefgh"
+getmsg: .asciz "G3"
+echomsg: .asciz "Zechopayload"
+tail:   .asciz " bytes\n"
+        .bss
+iobuf:  .space 256
+`, net.EncodeAddr(NetServerPort), NetServerPort, iters)
+}

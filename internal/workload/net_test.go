@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"testing"
+
+	"asc/internal/core"
+	"asc/internal/kernel"
+	"asc/internal/libc"
+	anet "asc/internal/net"
+	"asc/internal/policy"
+)
+
+// buildNetFleet installs the server and `clients` clients on a
+// networked enforcing system and returns the system plus run requests
+// (server first).
+func buildNetFleet(t *testing.T, clients, iters int, opts ...kernel.Option) (*core.System, []core.RunRequest) {
+	t.Helper()
+	key := []byte("net-workload-key")
+	kopts := append([]kernel.Option{kernel.WithNetwork(anet.New())}, opts...)
+	sys, err := core.NewSystem(core.Config{Key: key, KernelOptions: kopts})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	srvRaw, err := BuildSource("netserver", NetServerSource(clients), libc.Linux)
+	if err != nil {
+		t.Fatalf("build server: %v", err)
+	}
+	srv, _, _, err := sys.Install(srvRaw, "netserver")
+	if err != nil {
+		t.Fatalf("install server: %v", err)
+	}
+	cliRaw, err := BuildSource("netclient", NetClientSource(iters), libc.Linux)
+	if err != nil {
+		t.Fatalf("build client: %v", err)
+	}
+	cli, _, _, err := sys.Install(cliRaw, "netclient")
+	if err != nil {
+		t.Fatalf("install client: %v", err)
+	}
+	reqs := []core.RunRequest{{Exe: srv, Name: "netserver"}}
+	for i := 0; i < clients; i++ {
+		reqs = append(reqs, core.RunRequest{Exe: cli, Name: "netclient"})
+	}
+	return sys, reqs
+}
+
+// TestNetFleet runs the server and eight concurrent clients under
+// enforcement Kill with the verify cache on — every request and reply
+// crosses the authenticated trap handler.
+func TestNetFleet(t *testing.T) {
+	const clients, iters = 8, 4
+	sys, reqs := buildNetFleet(t, clients, iters, kernel.WithVerifyCache())
+	res, err := sys.RunAll(reqs, 4)
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("proc %d (%s): %v", i, reqs[i].Name, r.Err)
+		}
+		if r.Killed {
+			t.Fatalf("proc %d (%s) killed: %v", i, reqs[i].Name, r.Reason)
+		}
+		if r.ExitCode != 0 {
+			t.Fatalf("proc %d (%s) exit=%d output=%q", i, reqs[i].Name, r.ExitCode, r.Output)
+		}
+		if r.Verified == 0 {
+			t.Fatalf("proc %d (%s): no verified calls — traffic bypassed the monitor", i, reqs[i].Name)
+		}
+	}
+	if got, want := res[0].Output, NetServerOutput(clients, iters); got != want {
+		t.Fatalf("server output = %q, want %q", got, want)
+	}
+	for i := 1; i < len(res); i++ {
+		if got, want := res[i].Output, NetClientOutput(iters); got != want {
+			t.Fatalf("client %d output = %q, want %q", i, got, want)
+		}
+	}
+}
+
+// TestNetFleetDeterministic checks that per-process results do not
+// depend on the worker count driving the fleet.
+func TestNetFleetDeterministic(t *testing.T) {
+	const clients, iters = 4, 2
+	type snap struct {
+		out    string
+		cycles uint64
+		calls  uint64
+	}
+	var ref []snap
+	for _, workers := range []int{1, 2, 8} {
+		sys, reqs := buildNetFleet(t, clients, iters)
+		res, err := sys.RunAll(reqs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		cur := make([]snap, len(res))
+		for i, r := range res {
+			if r.Err != nil || r.Killed {
+				t.Fatalf("workers=%d proc %d failed: err=%v killed=%v", workers, i, r.Err, r.Killed)
+			}
+			cur[i] = snap{r.Output, r.Cycles, r.Syscalls}
+		}
+		if ref == nil {
+			ref = cur
+			continue
+		}
+		for i := range cur {
+			if cur[i] != ref[i] {
+				t.Fatalf("workers=%d proc %d diverged: %+v vs %+v", workers, i, cur[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestNetFleetHammer is the race-gate stressor: repeated rounds of a
+// wide fleet (server + 12 clients) on a maximally concurrent pool, with
+// the verify cache on so cache fills and hits race against each other.
+// Run under -race (make race / scripts/check.sh) it is the detector's
+// view of the network's lock and gate discipline; the assertions only
+// require that every round completes verified and unkilled.
+func TestNetFleetHammer(t *testing.T) {
+	const clients, iters, rounds = 12, 3, 3
+	for round := 0; round < rounds; round++ {
+		sys, reqs := buildNetFleet(t, clients, iters, kernel.WithVerifyCache())
+		res, err := sys.RunAll(reqs, 8)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for i, r := range res {
+			if r.Err != nil || r.Killed || r.ExitCode != 0 {
+				t.Fatalf("round %d proc %d (%s): err=%v killed=%v exit=%d",
+					round, i, reqs[i].Name, r.Err, r.Killed, r.ExitCode)
+			}
+			if r.Verified == 0 {
+				t.Fatalf("round %d proc %d: no verified calls", round, i)
+			}
+		}
+		if got, want := res[0].Output, NetServerOutput(clients, iters); got != want {
+			t.Fatalf("round %d server output = %q, want %q", round, got, want)
+		}
+	}
+}
+
+// TestNetServerInstallReport sanity-checks that the client's fixed
+// payloads install as authenticated strings and its destination ports
+// as constrained immediates.
+func TestNetClientPolicy(t *testing.T) {
+	cliRaw, err := BuildSource("netclient", NetClientSource(1), libc.Linux)
+	if err != nil {
+		t.Fatalf("build client: %v", err)
+	}
+	sys, err := core.NewSystem(core.Config{Key: []byte("net-policy-key!!"), KernelOptions: []kernel.Option{kernel.WithNetwork(anet.New())}})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	_, pp, _, err := sys.Install(cliRaw, "netclient")
+	if err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	var strArgs, immPorts int
+	for _, sp := range pp.Sites {
+		if sp.Name != "sendto" {
+			continue
+		}
+		for _, a := range sp.Args {
+			switch {
+			case a.Class == policy.ClassString:
+				strArgs++
+			case a.Class == policy.ClassImmediate && len(a.Values) == 1 && a.Values[0] == anet.EncodeAddr(NetServerPort):
+				immPorts++
+			}
+		}
+	}
+	if strArgs < 3 {
+		t.Errorf("want >=3 authenticated-string sendto payloads, got %d", strArgs)
+	}
+	if immPorts < 3 {
+		t.Errorf("want >=3 constrained destination addresses, got %d", immPorts)
+	}
+}

@@ -1,0 +1,24 @@
+#!/bin/sh
+# net.sh — regenerate BENCH_net.json: the network fleet sweep (echo+KV
+# server + 1/2/4/8 load-gen clients, enforcement off/on/cached, worker
+# sweep on the cached configuration). The figures are computed from
+# deterministic per-process cycle counts, so two consecutive runs
+# produce byte-identical JSON.
+#
+# Refuses to overwrite an uncommitted BENCH_net.json unless FORCE=1,
+# so a locally modified artifact is never clobbered silently.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if git diff --quiet -- BENCH_net.json 2>/dev/null; then
+    : # clean (or not yet tracked with changes): safe to regenerate
+elif [ "${FORCE:-0}" = "1" ]; then
+    echo "net.sh: BENCH_net.json is dirty; overwriting (FORCE=1)" >&2
+else
+    echo "net.sh: BENCH_net.json has uncommitted changes; commit them or rerun with FORCE=1" >&2
+    exit 1
+fi
+
+go run ./cmd/ascbench -table net -json BENCH_net.json
+echo "wrote BENCH_net.json"
