@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench smp ckpt fault net check clean
+.PHONY: build test race bench smp ckpt fault net batch check clean
 
 build:
 	$(GO) build ./...
@@ -39,11 +39,19 @@ fault:
 net:
 	sh scripts/net.sh
 
+# batch regenerates BENCH_batch.json (the group-commit sweep: burst
+# size x cache mode on an 8-process getpid fleet). The script refuses
+# to overwrite a dirty BENCH_batch.json unless FORCE=1.
+batch:
+	sh scripts/batch.sh
+
 # check is the full gate: gofmt, vet, build, tier-1 tests, the SMP race
-# gate, the fuzz smoke, the kernel benchmarks, the fault campaign, and
-# the machine-readable summaries (BENCH_kernel.json, BENCH_fault.json).
+# gate, the fuzz smokes, the kernel benchmarks, the fault campaign, the
+# cached-overhead regression guard, and the machine-readable summaries
+# (BENCH_kernel.json, BENCH_batch.json, BENCH_fault.json).
 check:
 	sh scripts/check.sh
 
 clean:
-	rm -f BENCH_kernel.json BENCH_fault.json BENCH_smp.json BENCH_ckpt.json BENCH_net.json
+	rm -f BENCH_kernel.json BENCH_fault.json BENCH_smp.json BENCH_ckpt.json \
+		BENCH_net.json BENCH_batch.json

@@ -1,15 +1,22 @@
 // ascbench regenerates the paper's evaluation tables.
 //
-// Usage: ascbench [-table 1|2|3|4|6|andrew|compare|smp|ckpt|net|all]
-// [-scale N] [-procs N] [-json FILE]
+// Usage: ascbench [-table 1|2|3|4|6|andrew|compare|smp|ckpt|net|batch|all]
+// [-scale N] [-procs N] [-json FILE] [-guard RATIO]
+// [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -json FILE, the Table 4 microbenchmark rows (plain, verified, and
 // cache-enabled cycles per call) are additionally written to FILE as a
 // machine-readable summary; with -table smp the same flag writes the SMP
 // scaling sweep (BENCH_smp.json), with -table ckpt the crash-recovery
-// cadence sweep (BENCH_ckpt.json), and with -table net the network fleet
-// sweep (BENCH_net.json). SMP, ckpt, and net figures come from
-// deterministic cycle counts, so the JSON is byte-stable.
+// cadence sweep (BENCH_ckpt.json), with -table net the network fleet
+// sweep (BENCH_net.json), and with -table batch the group-commit sweep
+// (BENCH_batch.json). All of these come from deterministic cycle counts,
+// so the JSON is byte-stable.
+//
+// -guard RATIO fails the run (exit 1) if the Table 4 cached getpid cost
+// exceeds RATIO times the plain cost — the fast-path perf regression
+// gate. -cpuprofile/-memprofile write pprof profiles of the benchmark
+// run itself, so fast-path work is profiled instead of guessed at.
 package main
 
 import (
@@ -17,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"asc/internal/bench"
 	"asc/internal/workload"
@@ -199,12 +208,94 @@ func writeNetJSON(path string, t *bench.NetData) error {
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
+// batchJSON is the machine-readable group-commit sweep summary.
+type batchJSON struct {
+	Procs int            `json:"procs"`
+	Rows  []batchJSONRow `json:"rows"`
+}
+
+type batchJSONRow struct {
+	Mode   string           `json:"cache_mode"`
+	Hits   uint64           `json:"hits"`
+	Misses uint64           `json:"misses"`
+	Shares uint64           `json:"shares"`
+	Points []batchJSONPoint `json:"points"`
+}
+
+type batchJSONPoint struct {
+	Burst         int     `json:"burst"`
+	CyclesPerCall float64 `json:"cycles_per_call"`
+}
+
+func writeBatchJSON(path string, t *bench.BatchData) error {
+	out := batchJSON{Procs: t.Procs}
+	for _, r := range t.Rows {
+		row := batchJSONRow{Mode: r.Mode, Hits: r.Hits, Misses: r.Misses, Shares: r.Shares}
+		for _, p := range r.Points {
+			row.Points = append(row.Points, batchJSONPoint{Burst: p.Burst, CyclesPerCall: p.CyclesPerCall})
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// checkGuard enforces the fast-path regression gate on the Table 4 rows.
+func checkGuard(t4 *bench.Table4Data, ratio float64) error {
+	for _, r := range t4.Rows {
+		if r.Call != "getpid" {
+			continue
+		}
+		if got := r.CachedCycles / r.OrigCycles; got > ratio {
+			return fmt.Errorf("cached getpid %.0f cycles is %.2fx plain %.0f, guard is %.2fx",
+				r.CachedCycles, got, r.OrigCycles, ratio)
+		}
+		return nil
+	}
+	return fmt.Errorf("guard: no getpid row in Table 4")
+}
+
 func main() {
-	table := flag.String("table", "all", "which artifact to regenerate: 1, 2, 3, 4, 6, andrew, compare, smp, ckpt, net, all")
+	table := flag.String("table", "all", "which artifact to regenerate: 1, 2, 3, 4, 6, andrew, compare, smp, ckpt, net, batch, all")
 	scale := flag.Int("scale", 1, "divide macro-benchmark iteration counts by N (faster, less precise)")
 	jsonPath := flag.String("json", "", "write the Table 4 (or -table smp) benchmark summary to FILE as JSON")
 	procs := flag.Int("procs", 8, "SMP sweep: processes per fleet")
+	guard := flag.Float64("guard", 0, "fail if Table 4 cached getpid exceeds this ratio of plain (0 = off)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to FILE")
+	memprofile := flag.String("memprofile", "", "write an allocation profile of the benchmark run to FILE")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ascbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ascbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ascbench: memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "ascbench: memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	run := func(name string, f func() (interface{ Render() string }, error)) {
 		if *table != "all" && *table != name {
@@ -225,6 +316,11 @@ func main() {
 		t4, err := bench.Table4(bench.DefaultKey)
 		if err != nil {
 			return nil, err
+		}
+		if *guard > 0 {
+			if err := checkGuard(t4, *guard); err != nil {
+				return nil, err
+			}
 		}
 		if *jsonPath != "" {
 			if err := writeJSON(*jsonPath, t4); err != nil {
@@ -271,6 +367,18 @@ func main() {
 		}
 		if *jsonPath != "" {
 			if err := writeNetJSON(*jsonPath, data); err != nil {
+				return nil, fmt.Errorf("write %s: %w", *jsonPath, err)
+			}
+		}
+		return data, nil
+	})
+	run("batch", func() (interface{ Render() string }, error) {
+		data, err := bench.Batch(bench.DefaultKey)
+		if err != nil {
+			return nil, err
+		}
+		if *jsonPath != "" {
+			if err := writeBatchJSON(*jsonPath, data); err != nil {
 				return nil, fmt.Errorf("write %s: %w", *jsonPath, err)
 			}
 		}

@@ -163,30 +163,36 @@ func TestBattery(t *testing.T) {
 	}
 }
 
-// TestBatteryWithVerifyCache runs the full battery against a kernel with
-// the verification cache enabled and checks every outcome — name,
-// blocked/allowed, and kill reason — is identical to the default kernel.
-// The cache may only skip AES work it can prove redundant; it must never
-// change what is blocked or why.
+// TestBatteryWithVerifyCache runs the full battery against kernels with
+// each fast path enabled — the per-process verification cache, and the
+// fleet-shared cache with group-commit batching — and checks every
+// outcome (name, blocked/allowed, kill reason) is identical to the
+// default kernel. The fast paths may only skip work they can prove
+// redundant; they must never change what is blocked or why.
 func TestBatteryWithVerifyCache(t *testing.T) {
 	base := newLab(t)
 	baseline, err := base.Battery()
 	if err != nil {
 		t.Fatalf("Battery: %v", err)
 	}
-	cached := newLab(t)
-	cached.KernelOpts = []kernel.Option{kernel.WithVerifyCache()}
-	got, err := cached.Battery()
-	if err != nil {
-		t.Fatalf("Battery (cached): %v", err)
-	}
-	if len(got) != len(baseline) {
-		t.Fatalf("cached battery ran %d experiments, baseline %d", len(got), len(baseline))
-	}
-	for i := range baseline {
-		b, c := baseline[i], got[i]
-		if c.Name != b.Name || c.Blocked != b.Blocked || c.Reason != b.Reason {
-			t.Errorf("outcome %d diverged:\n  baseline: %v\n  cached:   %v", i, b, c)
+	for arm, opts := range cacheArms {
+		if opts == nil {
+			continue
+		}
+		l := newLab(t)
+		l.KernelOpts = opts
+		got, err := l.Battery()
+		if err != nil {
+			t.Fatalf("Battery (%s): %v", arm, err)
+		}
+		if len(got) != len(baseline) {
+			t.Fatalf("%s battery ran %d experiments, baseline %d", arm, len(got), len(baseline))
+		}
+		for i := range baseline {
+			b, c := baseline[i], got[i]
+			if c.Name != b.Name || c.Blocked != b.Blocked || c.Reason != b.Reason {
+				t.Errorf("%s outcome %d diverged:\n  baseline: %v\n  %s:   %v", arm, i, b, arm, c)
+			}
 		}
 	}
 }

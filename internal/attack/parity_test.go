@@ -16,14 +16,24 @@ func freshInjector(class fault.Class, seed uint64) kernel.Option {
 	}
 }
 
+// cacheArms are the fast-path configurations the battery must agree
+// across: no cache, the per-process cache, and the fleet-shared cache
+// with group-commit batching. Sharing and batching change cost, never
+// detection.
+var cacheArms = map[string][]kernel.Option{
+	"uncached": nil,
+	"cached":   {kernel.WithCacheMode(kernel.CachePerProcess)},
+	"fleet":    {kernel.WithVerifyCache(), kernel.WithBatchVerify(8)},
+}
+
 // TestBatteryFaultParity runs the full attack battery inside a fault
-// campaign, with the verify cache disabled and enabled: every experiment
-// must produce the identical outcome (blocked/allowed AND reason) in
-// both configurations. This is the cache-soundness claim of PR 1
-// extended to a platform under active fault injection.
+// campaign, across every cache arm: every experiment must produce the
+// identical outcome (blocked/allowed AND reason) in all configurations.
+// This is the cache-soundness claim of PR 1 extended to a platform
+// under active fault injection, and now to batched group commit.
 func TestBatteryFaultParity(t *testing.T) {
 	key := []byte("0123456789abcdef")
-	run := func(class fault.Class, seed uint64, cached bool) []Outcome {
+	run := func(class fault.Class, seed uint64, arm string) []Outcome {
 		t.Helper()
 		lab, err := NewLab(key)
 		if err != nil {
@@ -32,9 +42,7 @@ func TestBatteryFaultParity(t *testing.T) {
 		if class != "" {
 			lab.KernelOpts = append(lab.KernelOpts, freshInjector(class, seed))
 		}
-		if cached {
-			lab.KernelOpts = append(lab.KernelOpts, kernel.WithVerifyCache())
-		}
+		lab.KernelOpts = append(lab.KernelOpts, cacheArms[arm]...)
 		outs, err := lab.Battery()
 		if err != nil {
 			t.Fatalf("%s battery: %v", class, err)
@@ -45,7 +53,7 @@ func TestBatteryFaultParity(t *testing.T) {
 	// Control arm: the unperturbed battery fixes which experiments are
 	// expected to be blocked (the baseline run and the
 	// no-countermeasure Frankenstein arm legitimately succeed).
-	control := run("", 0, false)
+	control := run("", 0, "uncached")
 
 	classes := append(fault.Classes(), fault.Class("")) // "" = no-injector arm
 	for _, class := range classes {
@@ -54,16 +62,23 @@ func TestBatteryFaultParity(t *testing.T) {
 			if class != "" {
 				name = string(class)
 			}
-			plain := run(class, seed, false)
-			cached := run(class, seed, true)
-			if len(plain) != len(cached) || len(plain) != len(control) {
+			plain := run(class, seed, "uncached")
+			if len(plain) != len(control) {
 				t.Fatalf("%s seed %d: battery sizes differ", name, seed)
 			}
-			for i := range plain {
-				if plain[i].Blocked != cached[i].Blocked || plain[i].Reason != cached[i].Reason {
-					t.Errorf("%s seed %d: %s diverges: uncached %+v, cached %+v",
-						name, seed, plain[i].Name, plain[i], cached[i])
+			for _, arm := range []string{"cached", "fleet"} {
+				got := run(class, seed, arm)
+				if len(got) != len(plain) {
+					t.Fatalf("%s seed %d: %s battery size differs", name, seed, arm)
 				}
+				for i := range plain {
+					if plain[i].Blocked != got[i].Blocked || plain[i].Reason != got[i].Reason {
+						t.Errorf("%s seed %d: %s diverges under %s: uncached %+v, %s %+v",
+							name, seed, plain[i].Name, arm, plain[i], arm, got[i])
+					}
+				}
+			}
+			for i := range plain {
 				// An injected fault may only tighten the platform: an
 				// attack blocked without faults must stay blocked.
 				if control[i].Blocked && !plain[i].Blocked {

@@ -20,6 +20,11 @@ import (
 // DefaultKey is the demonstration MAC key used by the benchmark drivers.
 var DefaultKey = []byte("asc-benchmark-k1")
 
+// BatchDepth is the group-commit burst size the cached benchmark columns
+// use (kernel.WithBatchVerify). Eight balances the amortization win
+// against flush latency; the Batch sweep explores other depths.
+const BatchDepth = 8
+
 // newBenchKernel builds a kernel with the standard benchmark filesystem:
 // /data inputs for the performance suite and the usual directory tree.
 // Extra options (e.g. kernel.WithVerifyCache) apply on top of the mode.

@@ -79,8 +79,16 @@ func runNetFleet(srv, cli *core.RunRequest, key []byte, clients, iters, workers 
 	case netOff:
 		cfg.Permissive = true
 	case netCached:
+		// Per-process cache scope, not fleet-shared: which client
+		// publishes a shared site first depends on scheduling, and this
+		// sweep's determinism contract (identical per-process cycles at
+		// every worker count) cannot hold if adopt-vs-miss costs migrate
+		// between processes. Fleet sharing is measured by the batch
+		// sweep, which runs its fleet serially for exactly this reason.
 		cfg.Key = key
-		cfg.KernelOptions = append(cfg.KernelOptions, kernel.WithVerifyCache())
+		cfg.KernelOptions = append(cfg.KernelOptions,
+			kernel.WithCacheMode(kernel.CachePerProcess),
+			kernel.WithBatchVerify(BatchDepth))
 	default:
 		cfg.Key = key
 	}

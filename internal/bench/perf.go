@@ -157,7 +157,7 @@ func Table4(key []byte) (*Table4Data, error) {
 		if err != nil {
 			return nil, err
 		}
-		cached, err := measureMicro(call, key, true, kernel.WithVerifyCache())
+		cached, err := measureMicro(call, key, true, kernel.WithVerifyCache(), kernel.WithBatchVerify(BatchDepth))
 		if err != nil {
 			return nil, err
 		}
@@ -249,7 +249,7 @@ func Table6(key []byte, scale int) (*Table6Data, error) {
 		if err != nil {
 			return nil, err
 		}
-		kCached, err := newBenchKernel(key, kernel.Enforce, kernel.WithVerifyCache())
+		kCached, err := newBenchKernel(key, kernel.Enforce, kernel.WithVerifyCache(), kernel.WithBatchVerify(BatchDepth))
 		if err != nil {
 			return nil, err
 		}
@@ -258,8 +258,9 @@ func Table6(key []byte, scale int) (*Table6Data, error) {
 			return nil, err
 		}
 		hitRate := 0.0
-		if total := pCached.CacheHits.Load() + pCached.CacheMisses.Load(); total > 0 {
-			hitRate = 100 * float64(pCached.CacheHits.Load()) / float64(total)
+		cs := pCached.CacheStats()
+		if total := cs.Hits + cs.Misses; total > 0 {
+			hitRate = 100 * float64(cs.Hits) / float64(total)
 		}
 		out.Rows = append(out.Rows, Table6Row{
 			Program:           spec.Name,
@@ -391,7 +392,7 @@ func EnforcementComparison(key []byte) (*ComparisonData, error) {
 	if err != nil {
 		return nil, err
 	}
-	ascCached, err := measure(kernel.Enforce, true, nil, kernel.WithVerifyCache())
+	ascCached, err := measure(kernel.Enforce, true, nil, kernel.WithVerifyCache(), kernel.WithBatchVerify(BatchDepth))
 	if err != nil {
 		return nil, err
 	}

@@ -139,6 +139,9 @@ type Result struct {
 	Cycles   uint64
 	Syscalls uint64
 	Verified uint64 // authenticated calls checked
+	// Cache is the process's verification-cache counter snapshot
+	// (consistent: taken through the seqlock accessor).
+	Cache kernel.CacheStats
 }
 
 // Exec runs a binary to completion with the given standard input. An
@@ -162,6 +165,7 @@ func (s *System) Exec(exe *binfmt.File, name, stdin string) (*Result, error) {
 		Cycles:   p.CPU.Cycles,
 		Syscalls: p.SyscallCount,
 		Verified: p.VerifyCount,
+		Cache:    p.CacheStats(),
 	}, nil
 }
 
@@ -227,6 +231,7 @@ func (s *System) RunAll(reqs []RunRequest, workers int) ([]ProcResult, error) {
 				Cycles:   p.CPU.Cycles,
 				Syscalls: p.SyscallCount,
 				Verified: p.VerifyCount,
+				Cache:    p.CacheStats(),
 			},
 			Err: r.Err,
 		}

@@ -3,6 +3,8 @@ package core
 import (
 	"sync"
 	"testing"
+
+	"asc/internal/kernel"
 )
 
 // runAllLoopSrc traps from the same sites repeatedly: a getpid loop
@@ -69,6 +71,67 @@ func TestRunAll(t *testing.T) {
 				r.Syscalls != baseline[i].Syscalls {
 				t.Errorf("w=%d proc %d diverged from w=1: %+v vs %+v", w, i, r.Result, baseline[i].Result)
 			}
+		}
+	}
+}
+
+// TestRunAllFleetCache runs a homogeneous fleet on one kernel with the
+// fleet-shared verification cache and group commit, at several worker
+// counts (run under -race, this is the gate for the shared cache map and
+// the seqlock counters). Whichever process verifies a site first
+// publishes it and the rest adopt, so per-process counters are not
+// deterministic — but the conservation laws are: every process resolves
+// each site exactly once (miss or share), hit counts match across the
+// fleet, and the kernel-wide aggregate equals the per-process sum.
+func TestRunAllFleetCache(t *testing.T) {
+	const procs = 8
+	for _, w := range []int{1, 4, 8} {
+		s := newSystem(t, Config{KernelOptions: []kernel.Option{
+			kernel.WithVerifyCache(), kernel.WithBatchVerify(8),
+		}})
+		exe, _, _, err := s.Install(buildRaw(t, runAllLoopSrc), "fleet")
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs := make([]RunRequest, procs)
+		for i := range reqs {
+			reqs[i] = RunRequest{Exe: exe, Name: "fleet"}
+		}
+		res, err := s.RunAll(reqs, w)
+		if err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		var sum kernel.CacheStats
+		var resolved, hits uint64
+		for i, r := range res {
+			if r.Err != nil || r.Killed || r.Output != "done" {
+				t.Fatalf("w=%d proc %d: err=%v killed=%v output=%q", w, i, r.Err, r.Killed, r.Output)
+			}
+			cs := r.Cache
+			if cs.Invalidations != 0 {
+				t.Errorf("w=%d proc %d: %d invalidations on a benign run", w, i, cs.Invalidations)
+			}
+			if i == 0 {
+				resolved, hits = cs.Misses+cs.Shares, cs.Hits
+				if resolved == 0 || hits == 0 {
+					t.Fatalf("w=%d: degenerate stats %+v", w, cs)
+				}
+			} else {
+				if cs.Misses+cs.Shares != resolved {
+					t.Errorf("w=%d proc %d: resolved %d sites (misses=%d shares=%d), proc 0 resolved %d",
+						w, i, cs.Misses+cs.Shares, cs.Misses, cs.Shares, resolved)
+				}
+				if cs.Hits != hits {
+					t.Errorf("w=%d proc %d: hits=%d, proc 0 hits=%d", w, i, cs.Hits, hits)
+				}
+			}
+			sum.Hits += cs.Hits
+			sum.Misses += cs.Misses
+			sum.Invalidations += cs.Invalidations
+			sum.Shares += cs.Shares
+		}
+		if total := s.Kernel.CacheStats(); total != sum {
+			t.Errorf("w=%d: kernel aggregate %+v != per-process sum %+v", w, total, sum)
 		}
 	}
 }

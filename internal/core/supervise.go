@@ -248,5 +248,6 @@ func superviseResult(p *kernel.Process) *Result {
 		Cycles:   p.CPU.Cycles,
 		Syscalls: p.SyscallCount,
 		Verified: p.VerifyCount,
+		Cache:    p.CacheStats(),
 	}
 }

@@ -1,6 +1,7 @@
 // campaign.go drives the deterministic fault-injection campaign: N
 // seeded trials per fault class per victim workload, each trial executed
-// under Kill and Deny enforcement with the verify cache off and on. The
+// under Kill and Deny enforcement across three cache arms (no cache,
+// per-process cache, fleet-shared cache with group-commit batching). The
 // driver checks the platform's contract — every fault inside the
 // MAC-protected surface is detected with an expected reason, faults
 // outside it are survived cleanly, and outcomes are identical across
@@ -326,10 +327,10 @@ func runCell(cfg Config, class Class, v *workload.FaultVictim, exe *binfmt.File,
 		s := cfg.Seed
 		_ = splitmix(&s)
 		subseed := s ^ vi<<40 ^ uint64(trial)<<8
-		var outs [4]Outcome
+		var outs [6]Outcome
 		i := 0
 		for _, mode := range []kernel.Enforcement{kernel.EnforceKill, kernel.EnforceDeny} {
-			for _, cache := range []bool{false, true} {
+			for cache := 0; cache < cacheArms; cache++ {
 				out, err := runOne(cfg, class, exe, v.Stdin, subseed, mode, cache, v.Net)
 				if err != nil {
 					return cell, fmt.Errorf("fault: %s/%s trial %d: %w", class, v.Name, trial, err)
@@ -352,7 +353,7 @@ func runCell(cfg Config, class Class, v *workload.FaultVictim, exe *binfmt.File,
 		if k.Result == "clean" {
 			cell.Clean++
 		}
-		for _, o := range outs[2:] { // the two Deny runs
+		for _, o := range outs[cacheArms:] { // the Deny runs
 			if o.Result == "runaway" {
 				cell.Runaways++
 			}
@@ -369,34 +370,36 @@ func (c *Cell) note(msgs []string) {
 	c.Failures = append(c.Failures, msgs...)
 }
 
-// checkTrial validates one trial's four outcomes against the class
+// checkTrial validates one trial's six outcomes against the class
 // contract and the cross-configuration parity requirements.
-func checkTrial(exp Expect, outs [4]Outcome, trial int) []string {
+func checkTrial(exp Expect, outs [6]Outcome, trial int) []string {
 	var fails []string
 	badf := func(format string, args ...any) {
 		fails = append(fails, fmt.Sprintf("trial %d: ", trial)+fmt.Sprintf(format, args...))
 	}
-	names := [4]string{"kill", "kill+cache", "deny", "deny+cache"}
+	names := [6]string{"kill", "kill+cache", "kill+fleet", "deny", "deny+cache", "deny+fleet"}
 
 	// Parity: the fault either fires in every configuration or in none,
-	// and cache on/off must agree exactly within each mode.
-	for i := 1; i < 4; i++ {
+	// and every cache arm must agree exactly within each mode.
+	for i := 1; i < len(outs); i++ {
 		if outs[i].Fired != outs[0].Fired {
 			badf("fired mismatch: %s=%v, kill=%v", names[i], outs[i].Fired, outs[0].Fired)
 		}
 	}
-	if outs[0] != outs[1] {
-		badf("cache parity (kill): %+v vs %+v", outs[0], outs[1])
-	}
-	if outs[2] != outs[3] {
-		badf("cache parity (deny): %+v vs %+v", outs[2], outs[3])
+	for i := 1; i < cacheArms; i++ {
+		if outs[i] != outs[0] {
+			badf("cache parity (%s): %+v vs %+v", names[i], outs[i], outs[0])
+		}
+		if outs[cacheArms+i] != outs[cacheArms] {
+			badf("cache parity (%s): %+v vs %+v", names[cacheArms+i], outs[cacheArms+i], outs[cacheArms])
+		}
 	}
 	// Kill and Deny must agree on detection and on the first reason.
-	if outs[2].Detected != outs[0].Detected {
-		badf("mode parity: deny detected=%v, kill detected=%v", outs[2].Detected, outs[0].Detected)
+	if outs[cacheArms].Detected != outs[0].Detected {
+		badf("mode parity: deny detected=%v, kill detected=%v", outs[cacheArms].Detected, outs[0].Detected)
 	}
-	if outs[0].Detected && outs[2].Detected && outs[2].Reason != outs[0].Reason {
-		badf("mode parity: deny reason %q, kill reason %q", outs[2].Reason, outs[0].Reason)
+	if outs[0].Detected && outs[cacheArms].Detected && outs[cacheArms].Reason != outs[0].Reason {
+		badf("mode parity: deny reason %q, kill reason %q", outs[cacheArms].Reason, outs[0].Reason)
 	}
 
 	for i, o := range outs {
@@ -418,10 +421,10 @@ func checkTrial(exp Expect, outs [4]Outcome, trial int) []string {
 			} else if !exp.ReasonAllowed(kernel.KillReason(o.Reason)) {
 				badf("%s: unexpected reason %q", names[i], o.Reason)
 			}
-			if i < 2 && o.Detected && o.Result != "killed" {
+			if i < cacheArms && o.Detected && o.Result != "killed" {
 				badf("%s: detected but result %q, want killed", names[i], o.Result)
 			}
-			if i >= 2 && o.Result == "killed" {
+			if i >= cacheArms && o.Result == "killed" {
 				badf("%s: deny-mode process was killed", names[i])
 			}
 		}
@@ -429,10 +432,19 @@ func checkTrial(exp Expect, outs [4]Outcome, trial int) []string {
 	return fails
 }
 
+// The cache arms every (class, victim, trial, mode) cell runs: the
+// detection contract may not depend on which fast path is active.
+const (
+	armCacheOff = iota
+	armCachePerProc
+	armCacheFleet
+	cacheArms
+)
+
 // runOne executes one victim run under one configuration. withNet
 // attaches a fresh virtual network (socket-surface victims move real
 // bytes; the network is per-run, so runs stay independent).
-func runOne(cfg Config, class Class, exe *binfmt.File, stdin string, subseed uint64, mode kernel.Enforcement, cache, withNet bool) (Outcome, error) {
+func runOne(cfg Config, class Class, exe *binfmt.File, stdin string, subseed uint64, mode kernel.Enforcement, cache int, withNet bool) (Outcome, error) {
 	fs := vfs.New()
 	for _, d := range []string{"/bin", "/etc", "/tmp", "/data"} {
 		if err := fs.MkdirAll(d, 0o755); err != nil {
@@ -452,8 +464,11 @@ func runOne(cfg Config, class Class, exe *binfmt.File, stdin string, subseed uin
 		kernel.WithInjector(eng),
 		kernel.WithAuditCapacity(ringCap),
 	}
-	if cache {
-		opts = append(opts, kernel.WithVerifyCache())
+	switch cache {
+	case armCachePerProc:
+		opts = append(opts, kernel.WithCacheMode(kernel.CachePerProcess))
+	case armCacheFleet:
+		opts = append(opts, kernel.WithVerifyCache(), kernel.WithBatchVerify(8))
 	}
 	if withNet {
 		opts = append(opts, kernel.WithNetwork(anet.New()))

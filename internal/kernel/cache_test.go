@@ -180,7 +180,7 @@ func TestCacheSoundness(t *testing.T) {
 			if !cached.Killed || cached.KilledBy != uncached.KilledBy {
 				t.Fatalf("cached: killed=%v by=%q, uncached by=%q", cached.Killed, cached.KilledBy, uncached.KilledBy)
 			}
-			if cached.CacheInvalidations.Load() == 0 {
+			if cached.CacheStats().Invalidations == 0 {
 				t.Error("cached run recorded no invalidation")
 			}
 		})
@@ -237,14 +237,15 @@ func TestCacheBenignHits(t *testing.T) {
 		t.Fatalf("exit=%v code=%d", p.Exited, p.Code)
 	}
 	// Sites: open, close (4 iterations each) and exit. Each misses once.
-	if want := uint64(3); p.CacheMisses.Load() != want {
-		t.Errorf("CacheMisses = %d, want %d", p.CacheMisses.Load(), want)
+	cs := p.CacheStats()
+	if want := uint64(3); cs.Misses != want {
+		t.Errorf("CacheMisses = %d, want %d", cs.Misses, want)
 	}
-	if want := uint64(6); p.CacheHits.Load() != want {
-		t.Errorf("CacheHits = %d, want %d", p.CacheHits.Load(), want)
+	if want := uint64(6); cs.Hits != want {
+		t.Errorf("CacheHits = %d, want %d", cs.Hits, want)
 	}
-	if p.CacheInvalidations.Load() != 0 {
-		t.Errorf("CacheInvalidations = %d, want 0", p.CacheInvalidations.Load())
+	if cs.Invalidations != 0 {
+		t.Errorf("CacheInvalidations = %d, want 0", cs.Invalidations)
 	}
 	// The cached kernel must agree with the uncached one on observable
 	// behaviour.
@@ -266,8 +267,7 @@ func TestCacheBenignHits(t *testing.T) {
 func TestCacheDisabledByDefault(t *testing.T) {
 	k := newKernel(t)
 	p := runProc(t, k, buildAuthExe(t, cacheLoopSrc), "")
-	if p.CacheHits.Load() != 0 || p.CacheMisses.Load() != 0 || p.CacheInvalidations.Load() != 0 {
-		t.Fatalf("cache counters nonzero without WithVerifyCache: hits=%d misses=%d inv=%d",
-			p.CacheHits.Load(), p.CacheMisses.Load(), p.CacheInvalidations.Load())
+	if cs := p.CacheStats(); cs != (CacheStats{}) {
+		t.Fatalf("cache counters nonzero without WithVerifyCache: %+v", cs)
 	}
 }

@@ -61,36 +61,48 @@ func (k *Kernel) Checkpoint(p *Process, epoch uint64) ([]byte, error) {
 		return nil, err
 	}
 
+	// Group-committed CF updates must land in application memory before
+	// the segments are captured, or the restored image would disagree
+	// with the restored counter. The drain is off the guest clock: a
+	// checkpoint is an external observation, not work the process did.
+	cyc, aes := p.CPU.Cycles, p.VerifyAESBlocks
+	k.drainCommit(p)
+	p.CPU.Cycles, p.VerifyAESBlocks = cyc, aes
+
 	st := &ckpt.State{
-		Epoch:              epoch,
-		ProgTag:            tag,
-		Name:               p.Name,
-		Authenticated:      p.authenticated,
-		Enforcement:        uint32(p.Enforcement),
-		Regs:               append([]uint32(nil), p.CPU.Regs[:]...),
-		PC:                 p.CPU.PC,
-		Cycles:             p.CPU.Cycles,
-		Halted:             p.CPU.Halted,
-		MemBase:            p.Mem.Base(),
-		MemSize:            p.Mem.Limit() - p.Mem.Base(),
-		Brk:                p.brk,
-		Counter:            p.counter,
-		FDTrack:            p.fdTracker != nil,
-		Cwd:                p.cwd,
-		Umask:              p.umask,
-		Stdin:              append([]byte(nil), p.Stdin...),
-		StdinPos:           uint32(p.stdinPos),
-		Stdout:             append([]byte(nil), p.Stdout...),
-		NumFDSlots:         uint32(len(p.fds)),
-		SyscallCount:       p.SyscallCount,
-		VerifyCount:        p.VerifyCount,
-		VerifyAESBlocks:    p.VerifyAESBlocks,
-		DeniedCount:        p.DeniedCount,
-		AuditedCount:       p.AuditedCount,
-		CacheHits:          p.CacheHits.Load(),
-		CacheMisses:        p.CacheMisses.Load(),
-		CacheInvalidations: p.CacheInvalidations.Load(),
+		Epoch:           epoch,
+		ProgTag:         tag,
+		Name:            p.Name,
+		Authenticated:   p.authenticated,
+		Enforcement:     uint32(p.Enforcement),
+		Regs:            append([]uint32(nil), p.CPU.Regs[:]...),
+		PC:              p.CPU.PC,
+		Cycles:          p.CPU.Cycles,
+		Halted:          p.CPU.Halted,
+		MemBase:         p.Mem.Base(),
+		MemSize:         p.Mem.Limit() - p.Mem.Base(),
+		Brk:             p.brk,
+		Counter:         p.counter,
+		FDTrack:         p.fdTracker != nil,
+		Cwd:             p.cwd,
+		Umask:           p.umask,
+		Stdin:           append([]byte(nil), p.Stdin...),
+		StdinPos:        uint32(p.stdinPos),
+		Stdout:          append([]byte(nil), p.Stdout...),
+		NumFDSlots:      uint32(len(p.fds)),
+		SyscallCount:    p.SyscallCount,
+		VerifyCount:     p.VerifyCount,
+		VerifyAESBlocks: p.VerifyAESBlocks,
+		DeniedCount:     p.DeniedCount,
+		AuditedCount:    p.AuditedCount,
 	}
+	// Shares are a fleet-level metric and deliberately not part of the
+	// sealed blob (the blob format predates the fleet cache); a restored
+	// process re-earns them against the live fleet cache.
+	cs := p.CacheStats()
+	st.CacheHits = cs.Hits
+	st.CacheMisses = cs.Misses
+	st.CacheInvalidations = cs.Invalidations
 	if p.fdTracker != nil {
 		st.FDTrackCounter = p.fdTracker.Counter()
 	}
@@ -283,11 +295,17 @@ func (k *Kernel) overlay(p *Process, st *ckpt.State) error {
 	p.VerifyAESBlocks = st.VerifyAESBlocks
 	p.DeniedCount = st.DeniedCount
 	p.AuditedCount = st.AuditedCount
-	p.CacheHits.Store(st.CacheHits)
-	p.CacheMisses.Store(st.CacheMisses)
-	p.CacheInvalidations.Store(st.CacheInvalidations)
+	p.setCacheStats(CacheStats{
+		Hits:          st.CacheHits,
+		Misses:        st.CacheMisses,
+		Invalidations: st.CacheInvalidations,
+	})
 	// p.vcache stays nil: cached verifications are monitor-internal and
 	// cheap to rebuild, so restore re-verifies every site from scratch.
+	// The group-commit mirror likewise starts cold: the blob's memory
+	// image is self-consistent (Checkpoint drained before sealing), and
+	// the first post-restore CF call re-arms via the classic check.
+	p.commit = cfCommit{pending: p.commit.pending[:0]}
 	return nil
 }
 

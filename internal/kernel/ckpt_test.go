@@ -145,13 +145,18 @@ func TestCheckpointRestoreWithCache(t *testing.T) {
 	if r.vcache != nil {
 		t.Error("restore carried a verify cache")
 	}
-	misses := r.CacheMisses.Load()
+	before := r.CacheStats()
 	runToCompletion(t, k, r)
 	if r.Killed || r.Code != 0 {
 		t.Fatalf("restored run failed: killed=%v (%v) code=%d", r.Killed, r.KilledBy, r.Code)
 	}
-	if r.CacheMisses.Load() == misses {
-		t.Error("no post-restore cache miss: sites were not re-verified")
+	// The per-process cache was dropped, so no site may ride a free L1
+	// hit: each must either re-verify (a miss) or re-adopt a fleet entry
+	// (a share, which byte-compares the restored memory against the
+	// fleet-verified copies).
+	after := r.CacheStats()
+	if after.Misses == before.Misses && after.Shares == before.Shares {
+		t.Error("no post-restore miss or share: sites were not re-checked")
 	}
 }
 

@@ -20,15 +20,35 @@ type CostModel struct {
 	// logic (argument unpacking, record parsing, table checks),
 	// excluding MAC computation.
 	AuthFixed uint64
-	// CacheHit is the fixed cost of a verification-cache hit: the
-	// store-generation compares, the auth-record byte compare, and the
-	// rebuild-and-compare of the canonical call encoding. It replaces
+	// CacheHit is the fixed cost of a verification-cache hit: register
+	// compares against the verified call-site snapshot plus one
+	// store-generation compare per MAC-checked span. It replaces
 	// AuthFixed plus the Step 1/2 AES work on a hit; the control-flow
-	// memory-checker MACs are still charged per AES block.
+	// memory checker is still charged per call (CFCheck batched,
+	// PerAESBlock classic).
 	CacheHit uint64
+	// CacheAdopt is the cost of adopting a fleet-shared cache entry
+	// into a process's first-level cache: a byte compare of the auth
+	// record and every MAC-checked span against the fleet-verified
+	// copies. Paid once per (process, site) — and again after an
+	// invalidation — instead of the full AES re-verification.
+	CacheAdopt uint64
 	// PerAESBlock is the cost of one AES block operation during MAC
 	// computation and verification.
 	PerAESBlock uint64
+	// CFCheck is the AES-free control-flow check under group commit:
+	// the in-kernel mirror compare (watch counter, state-word bytes,
+	// counter equation) plus the predecessor-set membership test.
+	CFCheck uint64
+	// PerAESBlockBatched is the discounted per-block cost inside a
+	// group-commit flush: one key-schedule walk and one scratch
+	// checkout are shared by the whole batch, and the 12-byte state
+	// messages stream through the cipher back to back.
+	PerAESBlockBatched uint64
+	// CommitFlush is the fixed cost of materializing a group-commit
+	// batch: encoding the queued updates, the state-word writeback,
+	// and the read-back validation of the final store.
+	CommitFlush uint64
 	// ReadPerByte and WritePerByte model buffer copying and file system
 	// update costs of read/write-class calls (x1000 fixed point:
 	// cycles = n * PerByte / 1000).
@@ -42,13 +62,17 @@ type CostModel struct {
 
 // DefaultCosts is calibrated against Table 4's original-cost column.
 var DefaultCosts = CostModel{
-	Trap:         1000,
-	AuthFixed:    2400,
-	CacheHit:     700, // ~60B record compare + ~40B encoding rebuild + counter checks
-	PerAESBlock:  250,
-	ReadPerByte:  1420, // read(4096) ≈ 1000 + 500 + 4096*1.42 ≈ 7,300 cycles
-	WritePerByte: 9350, // write(4096) ≈ 1000 + 500 + 4096*9.35 ≈ 39,800 cycles
-	DaemonSwitch: 3000,
+	Trap:               1000,
+	AuthFixed:          2400,
+	CacheHit:           250, // ~8 register compares + ~4 generation compares
+	CacheAdopt:         400, // ~100B memcmp against the fleet-verified copies
+	PerAESBlock:        250,
+	CFCheck:            120,  // watch/bytes/counter compares + pred-set probe
+	PerAESBlockBatched: 80,   // amortized schedule walk, streamed 12B messages
+	CommitFlush:        200,  // batch encode + state writeback + read-back
+	ReadPerByte:        1420, // read(4096) ≈ 1000 + 500 + 4096*1.42 ≈ 7,300 cycles
+	WritePerByte:       9350, // write(4096) ≈ 1000 + 500 + 4096*9.35 ≈ 39,800 cycles
+	DaemonSwitch:       3000,
 }
 
 // handlerCost is the fixed per-call cost of each system call handler, on

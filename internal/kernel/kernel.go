@@ -20,6 +20,7 @@ package kernel
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"strings"
@@ -182,14 +183,18 @@ type Kernel struct {
 	// whether the call is allowed.
 	MonitorOverhead func(p *Process, num uint16, site uint32) (extra uint64, allow bool)
 
-	// VerifyCache enables the per-process, site-keyed verification cache:
-	// once a call site passes the call MAC and string MAC checks, later
-	// traps at the same site skip the AES work when the record bytes and
-	// every MAC-checked buffer are provably unchanged (store-generation
-	// counters in internal/vm; any application store to a covering
-	// segment forces full re-verification). The control-flow memory
-	// checker and the capability-set check stay exact on every call.
-	VerifyCache bool
+	// Cache selects the verification-cache mode. Once a call site passes
+	// the call MAC and string MAC checks, later traps at the same site
+	// skip the AES work when the record bytes and every MAC-checked
+	// buffer are provably unchanged (store-generation counters in
+	// internal/vm; any application store to a covering segment forces
+	// re-validation). CacheShared additionally publishes verified
+	// entries kernel-wide, keyed by program tag and site, so sibling
+	// processes of the same binary adopt them with a byte compare
+	// instead of re-running the AES verification. The control-flow
+	// memory checker and the capability-set check stay exact on every
+	// call.
+	Cache CacheMode
 
 	// Net, when non-nil, backs the socket system call family with the
 	// in-memory loopback network (internal/net): ports, listeners, and
@@ -230,7 +235,31 @@ type Kernel struct {
 	// progTags caches checkpoint program tags by executable identity
 	// (installed executables are immutable; see ckpt.go).
 	progTags sync.Map // *binfmt.File -> mac.Tag
+
+	// shared is the fleet-wide verification cache (CacheShared): one
+	// immutable entry per verified {program tag, site}, adopted by every
+	// process running that binary. Entries are verified before being
+	// published and never mutated afterwards, so concurrent adopters
+	// only ever read them; LoadOrStore keeps exactly one per key.
+	shared sync.Map // sharedKey -> *sharedEntry
+
+	// batchN is the group-commit burst size for control-flow state
+	// updates; values below 2 keep the classic write-per-call checker.
+	batchN int
 }
+
+// CacheMode selects how verification results are cached across traps.
+type CacheMode int
+
+const (
+	// CacheOff re-verifies every trap (the paper's baseline).
+	CacheOff CacheMode = iota
+	// CachePerProcess keys verified sites per process.
+	CachePerProcess
+	// CacheShared keys verified sites kernel-wide by program tag, so
+	// every process of one binary shares a single verification.
+	CacheShared
+)
 
 // Option configures a Kernel.
 type Option func(*Kernel)
@@ -256,9 +285,25 @@ func WithNormalizePaths() Option {
 	return func(k *Kernel) { k.NormalizePaths = true }
 }
 
-// WithVerifyCache enables the site-keyed verification cache.
+// WithVerifyCache enables the site-keyed verification cache in its
+// fleet-shared form (CacheShared). For a single process this behaves
+// exactly like the per-process cache; across processes of one binary it
+// shares the verified entries.
 func WithVerifyCache() Option {
-	return func(k *Kernel) { k.VerifyCache = true }
+	return func(k *Kernel) { k.Cache = CacheShared }
+}
+
+// WithCacheMode selects the verification-cache mode explicitly.
+func WithCacheMode(m CacheMode) Option {
+	return func(k *Kernel) { k.Cache = m }
+}
+
+// WithBatchVerify enables group-committed control-flow verification:
+// state updates from up to n consecutive authenticated calls are queued
+// and flushed with one batched CMAC pass. n below 2 keeps the classic
+// write-per-call memory checker.
+func WithBatchVerify(n int) Option {
+	return func(k *Kernel) { k.batchN = n }
 }
 
 // WithEnforcement sets the default violation response for spawned
@@ -398,11 +443,15 @@ type Process struct {
 	VerifyAESBlocks uint64
 
 	// Verification-cache statistics (all zero unless the kernel runs
-	// with WithVerifyCache). Atomic so a monitor goroutine may sample a
-	// running fleet's hit rates without stopping the workers.
-	CacheHits          atomic.Uint64
-	CacheMisses        atomic.Uint64
-	CacheInvalidations atomic.Uint64
+	// with a verify cache). The fields are atomics bracketed by the
+	// cacheSeq seqlock so a monitor goroutine sampling a running fleet
+	// gets consistent snapshots — read them through CacheStats(), never
+	// field by field.
+	cacheSeq    atomic.Uint64 // odd while an update is in flight
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	cacheInvals atomic.Uint64
+	cacheShares atomic.Uint64
 
 	// Tracing (Permissive mode training runs).
 	Trace   []TraceEntry
@@ -410,8 +459,13 @@ type Process struct {
 
 	sigHandlers map[uint32]uint32
 
-	// vcache is the site-keyed verification cache (nil until first fill).
-	vcache map[uint32]*verifyEntry
+	// vcache is the first-level, site-keyed verification cache (nil
+	// until first fill): per-process generation snapshots over shared
+	// (or privately filled) verified entries.
+	vcache map[uint32]*procEntry
+
+	// commit is the control-flow group-commit queue (WithBatchVerify).
+	commit cfCommit
 
 	// Reusable trap-handler scratch. The verification path is the
 	// hottest kernel code; all of its per-call slices live here so a
@@ -425,6 +479,95 @@ type Process struct {
 	scratchPred  []uint32
 	scratchEnc   []byte
 	scratchEntry verifyEntry
+
+	// Group-commit flush scratch (see flushCF).
+	scratchBatch []byte
+	scratchMsgs  [][]byte
+	scratchTags  []mac.Tag
+}
+
+// CacheStats is a consistent snapshot of one process's (or, summed, one
+// kernel's) verification-cache counters. Hits are first-level hits,
+// Misses full AES verifications, Invalidations stale first-level entries
+// (a MAC-checked span's store generation moved), and Shares adoptions of
+// an already-verified entry by byte compare — from the fleet-shared
+// cache or from the process's own invalidated entry whose bytes proved
+// unchanged.
+type CacheStats struct {
+	Hits          uint64
+	Misses        uint64
+	Invalidations uint64
+	Shares        uint64
+}
+
+// CacheStats returns a torn-read-free snapshot of the process's cache
+// counters. Safe to call from a monitor goroutine while the process
+// runs: the seqlock retries until a quiescent read.
+func (p *Process) CacheStats() CacheStats {
+	for {
+		s1 := p.cacheSeq.Load()
+		if s1&1 != 0 {
+			continue
+		}
+		st := CacheStats{
+			Hits:          p.cacheHits.Load(),
+			Misses:        p.cacheMisses.Load(),
+			Invalidations: p.cacheInvals.Load(),
+			Shares:        p.cacheShares.Load(),
+		}
+		if p.cacheSeq.Load() == s1 {
+			return st
+		}
+	}
+}
+
+// bumpCache applies one logical cache event (possibly touching several
+// counters) inside a single seqlock window.
+func (p *Process) bumpCache(hits, misses, invals, shares uint64) {
+	p.cacheSeq.Add(1)
+	if hits != 0 {
+		p.cacheHits.Add(hits)
+	}
+	if misses != 0 {
+		p.cacheMisses.Add(misses)
+	}
+	if invals != 0 {
+		p.cacheInvals.Add(invals)
+	}
+	if shares != 0 {
+		p.cacheShares.Add(shares)
+	}
+	p.cacheSeq.Add(1)
+}
+
+// setCacheStats overwrites the counters wholesale (checkpoint restore).
+func (p *Process) setCacheStats(st CacheStats) {
+	p.cacheSeq.Add(1)
+	p.cacheHits.Store(st.Hits)
+	p.cacheMisses.Store(st.Misses)
+	p.cacheInvals.Store(st.Invalidations)
+	p.cacheShares.Store(st.Shares)
+	p.cacheSeq.Add(1)
+}
+
+// CacheStats sums the cache counters of every process the kernel has
+// spawned — the fleet-wide view of the shared cache's effectiveness.
+func (k *Kernel) CacheStats() CacheStats {
+	k.mu.Lock()
+	procs := make([]*Process, 0, len(k.procs))
+	for _, p := range k.procs {
+		procs = append(procs, p)
+	}
+	k.mu.Unlock()
+	var sum CacheStats
+	for _, p := range procs {
+		st := p.CacheStats()
+		sum.Hits += st.Hits
+		sum.Misses += st.Misses
+		sum.Invalidations += st.Invalidations
+		sum.Shares += st.Shares
+	}
+	return sum
 }
 
 // arg returns system call argument i from its register (R1..R5).
@@ -476,6 +619,76 @@ type verifyEntry struct {
 	spans    []genSpan
 	predIDs  []uint32
 	pats     []sitePattern
+}
+
+// sharedKey identifies one call site of one installed binary in the
+// fleet-shared cache.
+type sharedKey struct {
+	prog mac.Tag
+	site uint32
+}
+
+// regCheck pins one trap register to its verified value: argument
+// register rc.idx must hold rc.val for a cached verification to cover
+// the current trap (numeric constrained args and the view addresses of
+// string args; R6 and the call number are checked separately).
+type regCheck struct {
+	idx int
+	val uint32
+}
+
+// sharedEntry is one fleet-shared verified site. It is immutable after
+// construction; all per-process state (the generation snapshots) lives
+// in procEntry. A trap is covered by the entry iff
+//
+//   - the call number and auth-record address match,
+//   - every constrained argument register holds its verified value, and
+//   - the bytes of every MAC-checked span — the auth record itself, the
+//     {len, MAC} headers, the string/pattern/pred-set contents — are
+//     unchanged, proven either by store-generation counters (first-level
+//     hit) or by comparing against the verified copies (adoption).
+type sharedEntry struct {
+	num       uint16
+	recAddr   uint32
+	regChecks []regCheck
+	spans     []genSpan // gen fields unused; addr/n only
+	spanBytes [][]byte  // verified contents of each span, copied
+	rec       policy.AuthRecord
+	predIDs   []uint32
+	pats      []sitePattern
+	// chain is the precomputed CMAC prefix of the site's canonical call
+	// encoding, hoisted out of the verify path: a re-verification of
+	// this site pays only the encoding's final block when the prefix
+	// still matches.
+	chain *mac.ChainState
+}
+
+// procEntry is a process's first-level handle on a verified entry: the
+// store-generation snapshot of every span as this process last proved
+// (or adopted) it.
+type procEntry struct {
+	se   *sharedEntry
+	gens []uint64 // parallel to se.spans
+}
+
+// cfCommit is the control-flow group-commit queue of one process. While
+// valid, the kernel mirrors the application's policy state: flushedBytes
+// are the {lastBlock, MAC} words the kernel last materialized at lbPtr,
+// baseCtr the counter sealed into that MAC, tail the block ID of the
+// newest (possibly unflushed) committed call, and pending the state
+// transitions not yet written back. watchGen is the VM write-watch
+// counter over the state words when the mirror was last synchronized; an
+// application store into them fires the watch and invalidates the
+// mirror, routing the next call through the classic checker against the
+// untouched evidence.
+type cfCommit struct {
+	valid        bool
+	lbPtr        uint32
+	tail         uint32
+	baseCtr      uint64
+	flushedBytes [policy.PolicyStateSize]byte
+	watchGen     uint64
+	pending      []policy.StateUpdate
 }
 
 // Spawn loads an executable into a new process. It is safe to call
@@ -565,7 +778,8 @@ func (p *Process) loadImage(f *binfmt.File) error {
 	p.authenticated = f.Authenticated
 	p.counter = 0
 	p.fdTracker = nil
-	p.vcache = nil // execve: cached sites refer to the old image
+	p.vcache = nil                                     // execve: cached sites refer to the old image
+	p.commit = cfCommit{pending: p.commit.pending[:0]} // and so does the commit mirror
 	if addr, ok := f.SymbolAddr("__asc_fdset"); ok && p.kern.key != nil {
 		tr, err := captrack.Attach(p.kern.key, addr, captrack.DefaultCapacity)
 		if err != nil {
@@ -646,6 +860,11 @@ func (k *Kernel) violate(p *Process, num uint16, site uint32, reason KillReason)
 // unverified BlockID into the chain (the call itself was still refused
 // or flagged), where Kill mode never reaches this point.
 func (k *Kernel) resyncCF(p *Process) {
+	// The resync writes the state words directly: the group-commit
+	// mirror no longer describes them, and the queued updates belong to
+	// the pre-violation chain. Drop both; the next call re-arms.
+	p.commit.valid = false
+	p.commit.pending = p.commit.pending[:0]
 	recAddr := p.CPU.Regs[isa.R6]
 	recBytes, err := p.Mem.KernelRead(recAddr, policy.AuthRecordSize)
 	if err != nil {
@@ -781,130 +1000,184 @@ func (k *Kernel) verify(p *Process, num uint16, site uint32, sig sys.Sig, sigOK 
 		k.injector.BeforeVerify(p, num, site, recAddr)
 	}
 
-	var entry *verifyEntry
-	if k.VerifyCache {
-		entry = p.vcache[site]
+	if k.Cache != CacheOff {
+		if pe := p.vcache[site]; pe != nil {
+			if k.l1Hit(p, pe, num, recAddr) {
+				p.bumpCache(1, 0, 0, 0)
+				p.CPU.Cycles += k.Costs.CacheHit
+				se := pe.se
+				return k.verifyDynamic(p, num, &se.rec, se.predIDs, se.pats, sig, sigOK)
+			}
+			// A MAC-checked span's generation moved (or a register
+			// diverged): the first-level entry is stale. Try to re-adopt
+			// by byte compare before falling back to full AES
+			// verification — a benign store elsewhere in a covering
+			// segment leaves the verified bytes intact.
+			delete(p.vcache, site)
+			if npe := k.adopt(p, pe.se, num, recAddr); npe != nil {
+				p.bumpCache(0, 0, 1, 1)
+				p.CPU.Cycles += k.Costs.CacheAdopt
+				p.vcache[site] = npe
+				se := npe.se
+				return k.verifyDynamic(p, num, &se.rec, se.predIDs, se.pats, sig, sigOK)
+			}
+			p.bumpCache(0, 1, 1, 0)
+		} else {
+			// No first-level entry. In shared mode a sibling process may
+			// already have verified this site: adopt its entry without
+			// any AES work if the local bytes match the verified copies.
+			if k.Cache == CacheShared {
+				if se := k.sharedLookup(p, site); se != nil {
+					if npe := k.adopt(p, se, num, recAddr); npe != nil {
+						p.bumpCache(0, 0, 0, 1)
+						p.CPU.Cycles += k.Costs.CacheAdopt
+						if p.vcache == nil {
+							p.vcache = make(map[uint32]*procEntry)
+						}
+						p.vcache[site] = npe
+						return k.verifyDynamic(p, num, &se.rec, se.predIDs, se.pats, sig, sigOK)
+					}
+				}
+			}
+			p.bumpCache(0, 1, 0, 0)
+		}
 	}
-	if entry != nil && k.cachedHit(p, entry, num, site, recAddr) {
-		p.CacheHits.Add(1)
-		p.CPU.Cycles += k.Costs.CacheHit
-		return k.verifyDynamic(p, &entry.rec, entry.predIDs, entry.pats, sig, sigOK)
-	}
-	if entry != nil {
-		// The site was cached but a MAC-checked buffer (or the record,
-		// or the register state) changed: fall back to full AES
-		// verification, which preserves every kill path.
-		p.CacheInvalidations.Add(1)
-		delete(p.vcache, site)
-	}
-	if k.VerifyCache {
-		p.CacheMisses.Add(1)
-	}
-	e, cacheable, reason, ok := k.verifyMACs(p, num, site, recAddr, k.VerifyCache)
+	e, se, reason, ok := k.verifyMACs(p, num, site, recAddr, k.Cache != CacheOff)
 	if !ok {
 		return reason, false
 	}
-	if cacheable {
-		if p.vcache == nil {
-			p.vcache = make(map[uint32]*verifyEntry)
+	if se != nil {
+		if k.Cache == CacheShared {
+			se = k.sharedPublish(p, site, se)
 		}
-		p.vcache[site] = e
+		if npe := k.snapshotGens(p, se); npe != nil {
+			if p.vcache == nil {
+				p.vcache = make(map[uint32]*procEntry)
+			}
+			p.vcache[site] = npe
+		}
+		return k.verifyDynamic(p, num, &se.rec, se.predIDs, se.pats, sig, sigOK)
 	}
-	return k.verifyDynamic(p, &e.rec, e.predIDs, e.pats, sig, sigOK)
+	return k.verifyDynamic(p, num, &e.rec, e.predIDs, e.pats, sig, sigOK)
 }
 
-// cachedHit decides whether the cached verification of a site still
-// covers the current trap. It is AES-free: store-generation compares, a
-// record byte compare, and a rebuild of the canonical encoding from the
-// live register and AS-header state.
-func (k *Kernel) cachedHit(p *Process, e *verifyEntry, num uint16, site, recAddr uint32) bool {
-	if recAddr != e.recAddr {
+// sharedLookup returns the fleet-shared entry for this process's binary
+// at the given site, if a sibling has published one.
+func (k *Kernel) sharedLookup(p *Process, site uint32) *sharedEntry {
+	tag, err := k.progTag(p.file)
+	if err != nil {
+		return nil
+	}
+	if v, ok := k.shared.Load(sharedKey{prog: tag, site: site}); ok {
+		return v.(*sharedEntry)
+	}
+	return nil
+}
+
+// sharedPublish installs a freshly verified entry in the fleet cache.
+// If a sibling published the same site concurrently, both entries
+// describe the same verified bytes; the first one in wins and is used
+// from then on by everyone.
+func (k *Kernel) sharedPublish(p *Process, site uint32, se *sharedEntry) *sharedEntry {
+	tag, err := k.progTag(p.file)
+	if err != nil {
+		return se
+	}
+	got, _ := k.shared.LoadOrStore(sharedKey{prog: tag, site: site}, se)
+	return got.(*sharedEntry)
+}
+
+// l1Hit decides whether a first-level cache entry still covers the
+// current trap. It is AES-free and read-free: the call number, the auth
+// record address, and every constrained argument register must match the
+// verified snapshot, and the store generation of every MAC-checked span
+// must equal the value recorded when this process last proved the bytes.
+func (k *Kernel) l1Hit(p *Process, pe *procEntry, num uint16, recAddr uint32) bool {
+	se := pe.se
+	if num != se.num || recAddr != se.recAddr {
 		return false
 	}
-	// No application store may have touched any MAC-checked buffer.
-	for i := range e.spans {
-		g, ok := p.Mem.SpanGeneration(e.spans[i].addr, e.spans[i].n)
-		if !ok || g != e.spans[i].gen {
+	for _, rc := range se.regChecks {
+		if p.arg(rc.idx) != rc.val {
 			return false
 		}
 	}
-	// The auth record bytes must be exactly the verified ones.
-	recBytes, err := p.Mem.KernelRead(recAddr, uint32(len(e.recBytes)))
-	if err != nil || !bytes.Equal(recBytes, e.recBytes) {
-		return false
-	}
-	// Rebuild the canonical encoding from the actual trap state; equality
-	// with the verified encoding proves the call MAC would match again,
-	// and the generation checks above prove the string MACs would too.
-	enc := policy.CallEncoding{
-		Num: num, Site: site, Desc: e.rec.Desc, BlockID: e.rec.BlockID, LbPtr: e.rec.LbPtr,
-	}
-	enc.Args = p.scratchArgs[:0]
-	patIdx := 0
-	for i := 0; i < sys.MaxArgs; i++ {
-		val := p.arg(i)
-		switch {
-		case e.rec.Desc.ArgConstrained(i) && e.rec.Desc.ArgString(i):
-			view, ok := k.readASView(p, val)
-			if !ok {
-				return false
-			}
-			enc.Args = append(enc.Args, policy.EncodedArg{
-				Index: i, IsString: true, Value: view.Addr, Len: view.Len, MAC: view.MAC,
-			})
-		case e.rec.Desc.ArgConstrained(i):
-			enc.Args = append(enc.Args, policy.EncodedArg{Index: i, Value: val})
-		case e.rec.Desc.ArgPattern(i):
-			if patIdx >= len(e.rec.PatternPtrs) {
-				return false
-			}
-			view, ok := k.readASView(p, e.rec.PatternPtrs[patIdx])
-			patIdx++
-			if !ok {
-				return false
-			}
-			enc.Args = append(enc.Args, policy.EncodedArg{
-				Index: i, IsPattern: true, Value: view.Addr, Len: view.Len, MAC: view.MAC,
-			})
+	for i := range se.spans {
+		g, ok := p.Mem.SpanGeneration(se.spans[i].addr, se.spans[i].n)
+		if !ok || g != pe.gens[i] {
+			return false
 		}
 	}
-	var predView policy.ASView
-	if e.rec.Desc.ControlFlow() {
-		view, ok := k.readASView(p, e.rec.PredSetPtr)
+	return true
+}
+
+// adopt validates a verified entry against this process's live state by
+// byte compare — no AES — and returns a first-level handle on success.
+// Sound because the MAC checks are pure functions of the compared bytes:
+// if the record, headers, and contents equal the fleet-verified copies,
+// re-running Steps 1 and 2 would reproduce the recorded success.
+func (k *Kernel) adopt(p *Process, se *sharedEntry, num uint16, recAddr uint32) *procEntry {
+	if num != se.num || recAddr != se.recAddr {
+		return nil
+	}
+	for _, rc := range se.regChecks {
+		if p.arg(rc.idx) != rc.val {
+			return nil
+		}
+	}
+	gens := make([]uint64, len(se.spans))
+	for i := range se.spans {
+		g, ok := p.Mem.SpanGeneration(se.spans[i].addr, se.spans[i].n)
 		if !ok {
-			return false
+			return nil
 		}
-		predView = view
-		enc.PredSet = &predView
+		b, err := p.Mem.KernelRead(se.spans[i].addr, se.spans[i].n)
+		if err != nil || !bytes.Equal(b, se.spanBytes[i]) {
+			return nil
+		}
+		gens[i] = g
 	}
-	p.scratchEnc = enc.AppendBytes(p.scratchEnc[:0])
-	p.scratchArgs = enc.Args[:0]
-	return bytes.Equal(p.scratchEnc, e.encBytes)
+	return &procEntry{se: se, gens: gens}
+}
+
+// snapshotGens builds the first-level handle for a just-verified entry.
+// It returns nil when a span's immutability is not provable (the span
+// straddles segments), in which case the site stays uncached.
+func (k *Kernel) snapshotGens(p *Process, se *sharedEntry) *procEntry {
+	gens := make([]uint64, len(se.spans))
+	for i := range se.spans {
+		g, ok := p.Mem.SpanGeneration(se.spans[i].addr, se.spans[i].n)
+		if !ok {
+			return nil
+		}
+		gens[i] = g
+	}
+	return &procEntry{se: se, gens: gens}
 }
 
 // verifyMACs performs Steps 1 and 2: reconstruct the encoded call from the
 // actual trap state, check the call MAC, and check the integrity of every
 // authenticated string. When fill is set (and every checked buffer maps to
-// a single segment) it returns a heap-allocated entry ready for the cache;
-// otherwise it returns a per-process scratch entry carrying the decoded
-// artifacts the dynamic steps need.
-func (k *Kernel) verifyMACs(p *Process, num uint16, site, recAddr uint32, fill bool) (*verifyEntry, bool, KillReason, bool) {
+// a single segment) it additionally returns an immutable sharedEntry ready
+// for the cache; otherwise the per-process scratch entry carries the
+// decoded artifacts the dynamic steps need.
+func (k *Kernel) verifyMACs(p *Process, num uint16, site, recAddr uint32, fill bool) (*verifyEntry, *sharedEntry, KillReason, bool) {
 	p.CPU.Cycles += k.Costs.AuthFixed
 
 	// The descriptor (the record's first word) determines whether a
 	// pattern extension follows the fixed part.
 	descWord, err := p.Mem.KernelLoad32(recAddr)
 	if err != nil {
-		return nil, false, KillBadRecord, false
+		return nil, nil, KillBadRecord, false
 	}
 	recSize := uint32(policy.AuthRecordSize + 4*policy.Descriptor(descWord).NumPatterns())
 	recBytes, err := p.Mem.KernelRead(recAddr, recSize)
 	if err != nil {
-		return nil, false, KillBadRecord, false
+		return nil, nil, KillBadRecord, false
 	}
 	rec, err := policy.DecodeAuthRecord(recBytes)
 	if err != nil {
-		return nil, false, KillBadRecord, false
+		return nil, nil, KillBadRecord, false
 	}
 
 	// Reconstruct the encoded call from actual behaviour.
@@ -926,7 +1199,7 @@ func (k *Kernel) verifyMACs(p *Process, num uint16, site, recAddr uint32, fill b
 		case rec.Desc.ArgConstrained(i) && rec.Desc.ArgString(i):
 			view, contents, ok := k.readAS(p, val)
 			if !ok {
-				return nil, false, KillBadString, false
+				return nil, nil, KillBadString, false
 			}
 			enc.Args = append(enc.Args, policy.EncodedArg{
 				Index: i, IsString: true, Value: view.Addr, Len: view.Len, MAC: view.MAC,
@@ -937,12 +1210,12 @@ func (k *Kernel) verifyMACs(p *Process, num uint16, site, recAddr uint32, fill b
 			enc.Args = append(enc.Args, policy.EncodedArg{Index: i, Value: val})
 		case rec.Desc.ArgPattern(i):
 			if patIdx >= len(rec.PatternPtrs) {
-				return nil, false, KillBadRecord, false
+				return nil, nil, KillBadRecord, false
 			}
 			view, contents, ok := k.readAS(p, rec.PatternPtrs[patIdx])
 			patIdx++
 			if !ok {
-				return nil, false, KillBadString, false
+				return nil, nil, KillBadString, false
 			}
 			enc.Args = append(enc.Args, policy.EncodedArg{
 				Index: i, IsPattern: true, Value: view.Addr, Len: view.Len, MAC: view.MAC,
@@ -957,7 +1230,7 @@ func (k *Kernel) verifyMACs(p *Process, num uint16, site, recAddr uint32, fill b
 	if rec.Desc.ControlFlow() {
 		view, contents, ok := k.readAS(p, rec.PredSetPtr)
 		if !ok {
-			return nil, false, KillBadRecord, false
+			return nil, nil, KillBadRecord, false
 		}
 		predView, predBytes = view, contents
 		enc.PredSet = &predView
@@ -965,13 +1238,24 @@ func (k *Kernel) verifyMACs(p *Process, num uint16, site, recAddr uint32, fill b
 		spans = append(spans, asSpan(view))
 	}
 
-	// Step 1: call MAC.
+	// Step 1: call MAC. A site that was verified before carries a
+	// precomputed CMAC prefix over its canonical encoding; SumFrom
+	// resumes from it when the live encoding still begins with the same
+	// bytes and falls back to a full pass otherwise, so only the
+	// encoding's final block(s) are recomputed — and charged — on a
+	// re-verification.
 	p.scratchEnc = enc.AppendBytes(p.scratchEnc[:0])
-	got, blocks := k.key.Sum(p.scratchEnc)
+	var chain *mac.ChainState
+	if fill && k.Cache == CacheShared {
+		if se := k.sharedLookup(p, site); se != nil {
+			chain = se.chain
+		}
+	}
+	got, blocks := k.key.SumFrom(chain, p.scratchEnc)
 	k.chargeAES(p, blocks)
 	if !got.Equal(rec.CallMAC) {
 		p.keepScratch(enc.Args, strChecks, patChecks, spans)
-		return nil, false, KillBadCallMAC, false
+		return nil, nil, KillBadCallMAC, false
 	}
 
 	// Step 2: authenticated string contents.
@@ -980,7 +1264,7 @@ func (k *Kernel) verifyMACs(p *Process, num uint16, site, recAddr uint32, fill b
 		k.chargeAES(p, blocks)
 		if !ok {
 			p.keepScratch(enc.Args, strChecks, patChecks, spans)
-			return nil, false, KillBadString, false
+			return nil, nil, KillBadString, false
 		}
 	}
 
@@ -992,7 +1276,7 @@ func (k *Kernel) verifyMACs(p *Process, num uint16, site, recAddr uint32, fill b
 		pat, err := k.compilePattern(pc.tag, pc.source)
 		if err != nil {
 			p.keepScratch(enc.Args, strChecks, patChecks, spans)
-			return nil, false, KillBadRecord, false
+			return nil, nil, KillBadRecord, false
 		}
 		pats = append(pats, sitePattern{argIndex: pc.argIndex, pat: pat})
 	}
@@ -1004,44 +1288,63 @@ func (k *Kernel) verifyMACs(p *Process, num uint16, site, recAddr uint32, fill b
 		p.scratchPred = ids
 		if err != nil {
 			p.keepScratch(enc.Args, strChecks, patChecks, spans)
-			return nil, false, KillBadPredecessor, false
+			return nil, nil, KillBadPredecessor, false
 		}
 		predIDs = ids
 	}
 
-	e := &p.scratchEntry
-	cacheable := false
+	var se *sharedEntry
 	if fill {
-		filled := &verifyEntry{
-			recAddr:  recAddr,
-			recBytes: append([]byte(nil), recBytes...),
-			encBytes: append([]byte(nil), p.scratchEnc...),
-			rec:      rec,
-			spans:    append([]genSpan(nil), spans...),
-			predIDs:  append([]uint32(nil), predIDs...),
-			pats:     append([]sitePattern(nil), pats...),
-		}
-		cacheable = true
-		for i := range filled.spans {
-			g, ok := p.Mem.SpanGeneration(filled.spans[i].addr, filled.spans[i].n)
-			if !ok {
-				// A buffer straddles segments: immutability is not
-				// provable, so this site is not cacheable.
-				cacheable = false
-				break
-			}
-			filled.spans[i].gen = g
-		}
-		if cacheable {
-			e = filled
-		}
+		se = k.buildSharedEntry(p, num, recAddr, recBytes, rec, spans, predIDs, pats)
 	}
-	if e == &p.scratchEntry {
-		*e = verifyEntry{rec: rec, predIDs: predIDs, pats: pats}
-	}
+	e := &p.scratchEntry
+	*e = verifyEntry{rec: rec, predIDs: predIDs, pats: pats}
 	p.keepScratch(enc.Args, strChecks, patChecks, spans)
 	p.scratchPats = pats
-	return e, cacheable, "", true
+	return e, se, "", true
+}
+
+// buildSharedEntry assembles the immutable cache entry for a site that
+// just passed Steps 1 and 2, copying the auth record and every
+// MAC-checked span out of process memory and precomputing the CMAC
+// prefix of the canonical encoding. It returns nil when a span's
+// immutability is not provable (the buffer straddles segments): such a
+// site is not cacheable.
+func (k *Kernel) buildSharedEntry(p *Process, num uint16, recAddr uint32, recBytes []byte, rec policy.AuthRecord, spans []genSpan, predIDs []uint32, pats []sitePattern) *sharedEntry {
+	allSpans := make([]genSpan, 0, len(spans)+1)
+	allSpans = append(allSpans, genSpan{addr: recAddr, n: uint32(len(recBytes))})
+	allSpans = append(allSpans, spans...)
+	spanBytes := make([][]byte, len(allSpans))
+	for i := range allSpans {
+		if _, ok := p.Mem.SpanGeneration(allSpans[i].addr, allSpans[i].n); !ok {
+			return nil
+		}
+		b, err := p.Mem.KernelRead(allSpans[i].addr, allSpans[i].n)
+		if err != nil {
+			return nil
+		}
+		spanBytes[i] = append([]byte(nil), b...)
+	}
+	var regChecks []regCheck
+	for i := 0; i < sys.MaxArgs; i++ {
+		if rec.Desc.ArgConstrained(i) {
+			regChecks = append(regChecks, regCheck{idx: i, val: p.arg(i)})
+		}
+	}
+	// The prefix schedule reuses the AES work Step 1 just performed; it
+	// is recorded, not recomputed, so no cycles are charged here.
+	chain, _ := k.key.Precompute(p.scratchEnc)
+	return &sharedEntry{
+		num:       num,
+		recAddr:   recAddr,
+		regChecks: regChecks,
+		spans:     allSpans,
+		spanBytes: spanBytes,
+		rec:       rec,
+		predIDs:   append([]uint32(nil), predIDs...),
+		pats:      append([]sitePattern(nil), pats...),
+		chain:     chain,
+	}
 }
 
 // keepScratch hands the (possibly grown) per-call slices back to the
@@ -1073,7 +1376,7 @@ func (k *Kernel) compilePattern(tag mac.Tag, source []byte) (*pattern.Pattern, e
 // verifyDynamic performs the per-call checks that are never cached: path
 // normalization, pattern matching of the live arguments, capability
 // membership, and the control-flow policy via the online memory checker.
-func (k *Kernel) verifyDynamic(p *Process, rec *policy.AuthRecord, predIDs []uint32, pats []sitePattern, sig sys.Sig, sigOK bool) (KillReason, bool) {
+func (k *Kernel) verifyDynamic(p *Process, num uint16, rec *policy.AuthRecord, predIDs []uint32, pats []sitePattern, sig sys.Sig, sigOK bool) (KillReason, bool) {
 	// Step 2a (§5.4 extension): policy-constrained path arguments must
 	// normalize to themselves — a symlink planted at the approved name
 	// redirects the resolution and is rejected.
@@ -1137,47 +1440,214 @@ func (k *Kernel) verifyDynamic(p *Process, rec *policy.AuthRecord, predIDs []uin
 
 	// Step 3: control flow policy via the online memory checker. Never
 	// cached: the state MAC is bound to the in-kernel counter nonce and
-	// must be checked and advanced on every call.
+	// must be checked and advanced on every call. Under group commit
+	// (WithBatchVerify) the per-call AES pass is replaced by an in-kernel
+	// mirror check, with the MAC writeback amortized over a batch.
 	if rec.Desc.ControlFlow() {
-		lastBlock, err := p.Mem.KernelLoad32(rec.LbPtr)
-		if err != nil {
-			return KillBadState, false
+		if k.batchN > 1 {
+			return k.checkCFBatched(p, num, rec, predIDs)
 		}
-		lbMACBytes, err := p.Mem.KernelRead(rec.LbPtr+4, mac.Size)
-		if err != nil {
-			return KillBadState, false
-		}
-		var lbMAC mac.Tag
-		copy(lbMAC[:], lbMACBytes)
-		want, blocks := policy.StateMAC(k.key, lastBlock, p.counter)
-		k.chargeAES(p, blocks)
-		if !want.Equal(lbMAC) {
-			return KillBadState, false
-		}
-		if !policy.PredSetContains(predIDs, lastBlock) {
-			return KillBadPredecessor, false
-		}
-		// Update: counter++, lastBlock = blockID, new state MAC. The MAC
-		// written to application memory is always the intended
-		// single-increment one; the injector's NonceUpdate hook may
-		// desynchronize the in-kernel counter (dropped or duplicated
-		// update), which the next control-flow check then detects.
-		next := p.counter + 1
-		newMAC, blocks := policy.StateMAC(k.key, rec.BlockID, next)
-		k.chargeAES(p, blocks)
-		if err := p.Mem.KernelStore32(rec.LbPtr, rec.BlockID); err != nil {
-			return KillBadState, false
-		}
-		if err := p.Mem.KernelWrite(rec.LbPtr+4, newMAC[:]); err != nil {
-			return KillBadState, false
-		}
-		if k.injector != nil {
-			p.counter += uint64(k.injector.NonceUpdate(p))
-		} else {
-			p.counter = next
-		}
+		return k.checkCFClassic(p, rec, predIDs)
 	}
 	return "", true
+}
+
+// checkCFClassic is the write-per-call control-flow check of §5.2: read
+// the state words, verify the state MAC against the in-kernel counter,
+// check the predecessor set, then write the advanced state back.
+func (k *Kernel) checkCFClassic(p *Process, rec *policy.AuthRecord, predIDs []uint32) (KillReason, bool) {
+	lastBlock, err := p.Mem.KernelLoad32(rec.LbPtr)
+	if err != nil {
+		return KillBadState, false
+	}
+	lbMACBytes, err := p.Mem.KernelRead(rec.LbPtr+4, mac.Size)
+	if err != nil {
+		return KillBadState, false
+	}
+	var lbMAC mac.Tag
+	copy(lbMAC[:], lbMACBytes)
+	want, blocks := policy.StateMAC(k.key, lastBlock, p.counter)
+	k.chargeAES(p, blocks)
+	if !want.Equal(lbMAC) {
+		return KillBadState, false
+	}
+	if !policy.PredSetContains(predIDs, lastBlock) {
+		return KillBadPredecessor, false
+	}
+	// Update: counter++, lastBlock = blockID, new state MAC. The MAC
+	// written to application memory is always the intended
+	// single-increment one; the injector's NonceUpdate hook may
+	// desynchronize the in-kernel counter (dropped or duplicated
+	// update), which the next control-flow check then detects.
+	next := p.counter + 1
+	newMAC, blocks := policy.StateMAC(k.key, rec.BlockID, next)
+	k.chargeAES(p, blocks)
+	if err := p.Mem.KernelStore32(rec.LbPtr, rec.BlockID); err != nil {
+		return KillBadState, false
+	}
+	if err := p.Mem.KernelWrite(rec.LbPtr+4, newMAC[:]); err != nil {
+		return KillBadState, false
+	}
+	if k.injector != nil {
+		p.counter += uint64(k.injector.NonceUpdate(p))
+	} else {
+		p.counter = next
+	}
+	if k.batchN > 1 {
+		k.armCommit(p, rec, next, newMAC)
+	}
+	return "", true
+}
+
+// armCommit (re)establishes the group-commit mirror after a successful
+// classic check wrote the state words: the mirror records the intended
+// bytes now in memory, the intended counter they seal, and the current
+// write-watch generation over the state window. Subsequent calls at this
+// state pointer can then take the AES-free fast path.
+func (k *Kernel) armCommit(p *Process, rec *policy.AuthRecord, next uint64, newMAC mac.Tag) {
+	c := &p.commit
+	c.valid = true
+	c.lbPtr = rec.LbPtr
+	c.tail = rec.BlockID
+	c.baseCtr = next
+	binary.LittleEndian.PutUint32(c.flushedBytes[0:4], rec.BlockID)
+	copy(c.flushedBytes[4:], newMAC[:])
+	c.pending = c.pending[:0]
+	c.watchGen = p.Mem.WatchRange(rec.LbPtr, rec.LbPtr+policy.PolicyStateSize)
+}
+
+// checkCFBatched is the group-commit control-flow check. While the
+// in-kernel mirror can prove the application's state words are exactly
+// the bytes the kernel last wrote (the write watch has not fired and the
+// bytes compare equal) and the counter agrees with the queue, each call
+// pays only the mirror compare and predecessor probe; the state-MAC
+// writes queue up and flush as one batched CMAC pass every batchN calls
+// (and always at exit, so memory is current when the process ends). Any
+// disagreement falls back to the classic checker against whatever the
+// memory actually holds — tampering evidence is never overwritten.
+func (k *Kernel) checkCFBatched(p *Process, num uint16, rec *policy.AuthRecord, predIDs []uint32) (KillReason, bool) {
+	c := &p.commit
+	if c.valid && c.lbPtr != rec.LbPtr {
+		// A program with more than one state window (not emitted by our
+		// installer, but legal): synchronize the old window before the
+		// classic check re-arms on the new one.
+		k.drainCommit(p)
+	}
+	if c.valid && c.lbPtr == rec.LbPtr {
+		live, err := p.Mem.KernelRead(c.lbPtr, policy.PolicyStateSize)
+		tampered := err != nil ||
+			p.Mem.WatchGeneration() != c.watchGen ||
+			!bytes.Equal(live, c.flushedBytes[:])
+		switch {
+		case !tampered && p.counter == c.baseCtr+uint64(len(c.pending)):
+			p.CPU.Cycles += k.Costs.CFCheck
+			if !policy.PredSetContains(predIDs, c.tail) {
+				return KillBadPredecessor, false
+			}
+			intended := c.baseCtr + uint64(len(c.pending)) + 1
+			c.pending = append(c.pending, policy.StateUpdate{Block: rec.BlockID, Ctr: intended})
+			c.tail = rec.BlockID
+			if k.injector != nil {
+				p.counter += uint64(k.injector.NonceUpdate(p))
+			} else {
+				p.counter++
+			}
+			if len(c.pending) >= k.batchN || num == sys.SysExit {
+				if !k.flushCF(p) {
+					return KillBadState, false
+				}
+			}
+			return "", true
+		case !tampered && len(c.pending) > 0:
+			// Memory is exactly as the kernel left it, but the in-kernel
+			// counter disagrees with the queue: a dropped or duplicated
+			// nonce update. Materialize the intended state first; the
+			// classic check below then compares it against the desynced
+			// counter and fails exactly as the write-per-call checker
+			// would have.
+			if !k.flushCF(p) {
+				return KillBadState, false
+			}
+		default:
+			// The state words changed behind the mirror's back (or became
+			// unreadable). The queue is no longer anchored to memory:
+			// discard it and leave the evidence in place for the classic
+			// check to judge.
+			c.valid = false
+			c.pending = c.pending[:0]
+		}
+	}
+	return k.checkCFClassic(p, rec, predIDs)
+}
+
+// flushCF materializes the queued control-flow transitions: one batched
+// CMAC pass over every queued 12-byte state message, then a single
+// writeback of the newest state words. The landed bytes are read back
+// and compared against the intended ones, so a store torn during the
+// flush is detected at the flush itself rather than silently queuing
+// more calls on top of it. Returns false (and invalidates the mirror)
+// when the writeback failed or tore.
+func (k *Kernel) flushCF(p *Process) bool {
+	c := &p.commit
+	if len(c.pending) == 0 {
+		return true
+	}
+	p.scratchBatch = policy.EncodeStateBatch(p.scratchBatch[:0], c.pending)
+	msgs := p.scratchMsgs[:0]
+	for i := range c.pending {
+		off := 4 + i*policy.StateMsgSize
+		msgs = append(msgs, p.scratchBatch[off:off+policy.StateMsgSize])
+	}
+	tags, blocks := k.key.SumBatch(msgs, p.scratchTags[:0])
+	p.CPU.Cycles += uint64(blocks)*k.Costs.PerAESBlockBatched + k.Costs.CommitFlush
+	p.VerifyAESBlocks += uint64(blocks)
+	last := c.pending[len(c.pending)-1]
+	tag := tags[len(tags)-1]
+	p.scratchMsgs = msgs[:0]
+	p.scratchTags = tags[:0]
+	c.baseCtr = last.Ctr
+	binary.LittleEndian.PutUint32(c.flushedBytes[0:4], last.Block)
+	copy(c.flushedBytes[4:], tag[:])
+	c.pending = c.pending[:0]
+	ok := p.Mem.KernelStore32(c.lbPtr, last.Block) == nil &&
+		p.Mem.KernelWrite(c.lbPtr+4, tag[:]) == nil
+	if ok {
+		live, err := p.Mem.KernelRead(c.lbPtr, policy.PolicyStateSize)
+		ok = err == nil && bytes.Equal(live, c.flushedBytes[:])
+	}
+	c.watchGen = p.Mem.WatchGeneration()
+	if !ok {
+		c.valid = false
+		return false
+	}
+	return true
+}
+
+// drainCommit brings application memory up to date with the group-commit
+// queue when an external observer needs it current (checkpoint, scheduler
+// parking, a state-pointer change). The queue is flushed while the state
+// words are untampered — the watch has not fired and the bytes still
+// match the mirror. The in-kernel counter is deliberately NOT consulted:
+// the flush always writes the intended counters, so a desynced counter
+// (a dropped or duplicated nonce update) fails the next classic state-MAC
+// check exactly as it would have without batching. Only tampered memory
+// forces a discard, leaving the evidence in place for the classic
+// checker to judge at the next call.
+func (k *Kernel) drainCommit(p *Process) {
+	c := &p.commit
+	if !c.valid || len(c.pending) == 0 {
+		return
+	}
+	live, err := p.Mem.KernelRead(c.lbPtr, policy.PolicyStateSize)
+	if err != nil || p.Mem.WatchGeneration() != c.watchGen ||
+		!bytes.Equal(live, c.flushedBytes[:]) {
+		c.valid = false
+		c.pending = c.pending[:0]
+		return
+	}
+	if !k.flushCF(p) {
+		c.valid = false
+	}
 }
 
 // updateFDSet maintains the §5.3 capability set across calls that create

@@ -15,12 +15,15 @@ import (
 
 // TestSMPCacheCountersHammer hammers one cache-enabled kernel from 8
 // goroutines, each spawning and running its own copy of the cache loop.
-// Per-process counters must come out exactly as in the serial run:
-// concurrency may not leak hits or misses across processes.
+// The per-process cache mode is used deliberately: it keeps every
+// process's counters and cycle count exactly as in the serial run, so
+// concurrency may not leak hits or misses across processes. (The
+// fleet-shared mode trades this determinism for sharing; see
+// TestSMPFleetCacheHammer.)
 func TestSMPCacheCountersHammer(t *testing.T) {
 	const procs = 8
 	exe := buildAuthExe(t, cacheLoopSrc)
-	k := newKernel(t, WithVerifyCache())
+	k := newKernel(t, WithCacheMode(CachePerProcess))
 	ps := make([]*Process, procs)
 	var wg sync.WaitGroup
 	errs := make([]error, procs)
@@ -46,19 +49,77 @@ func TestSMPCacheCountersHammer(t *testing.T) {
 		if p.Killed {
 			t.Fatalf("proc %d killed: %v", i, p.KilledBy)
 		}
-		if got := p.CacheMisses.Load(); got != 3 {
-			t.Errorf("proc %d: CacheMisses = %d, want 3", i, got)
+		cs := p.CacheStats()
+		if cs.Misses != 3 {
+			t.Errorf("proc %d: CacheMisses = %d, want 3", i, cs.Misses)
 		}
-		if got := p.CacheHits.Load(); got != 6 {
-			t.Errorf("proc %d: CacheHits = %d, want 6", i, got)
+		if cs.Hits != 6 {
+			t.Errorf("proc %d: CacheHits = %d, want 6", i, cs.Hits)
 		}
-		if got := p.CacheInvalidations.Load(); got != 0 {
-			t.Errorf("proc %d: CacheInvalidations = %d, want 0", i, got)
+		if cs.Invalidations != 0 || cs.Shares != 0 {
+			t.Errorf("proc %d: invalidations=%d shares=%d, want 0/0", i, cs.Invalidations, cs.Shares)
 		}
 		// Per-process determinism under concurrency.
 		if p.CPU.Cycles != ps[0].CPU.Cycles {
 			t.Errorf("proc %d: cycles %d != proc 0 cycles %d", i, p.CPU.Cycles, ps[0].CPU.Cycles)
 		}
+	}
+}
+
+// TestSMPFleetCacheHammer hammers the fleet-shared cache with group
+// commit: one warm-up process fully verifies and publishes every site,
+// then seven more run concurrently and must resolve every site by
+// adopting the fleet entries — zero further misses, deterministic
+// per-process counters, and a kernel-wide aggregate that adds up.
+func TestSMPFleetCacheHammer(t *testing.T) {
+	const procs = 8
+	exe := buildAuthExe(t, cacheLoopSrc)
+	k := newKernel(t, WithVerifyCache(), WithBatchVerify(8))
+	ps := make([]*Process, procs)
+	var wg sync.WaitGroup
+	errs := make([]error, procs)
+	for i := 0; i < procs; i++ {
+		p, err := k.Spawn(exe, "fleet")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps[i] = p
+	}
+	// Warm the fleet cache: after this run every site is published.
+	if err := k.Run(ps[0], 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	wg.Add(procs - 1)
+	for i := 1; i < procs; i++ {
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = k.Run(ps[i], 100_000_000)
+		}(i)
+	}
+	wg.Wait()
+	for i, p := range ps {
+		if errs[i] != nil {
+			t.Fatalf("proc %d: %v", i, errs[i])
+		}
+		if p.Killed {
+			t.Fatalf("proc %d killed: %v", i, p.KilledBy)
+		}
+		cs := p.CacheStats()
+		want := CacheStats{Hits: 6, Shares: 3}
+		if i == 0 {
+			want = CacheStats{Hits: 6, Misses: 3}
+		}
+		if cs != want {
+			t.Errorf("proc %d: stats %+v, want %+v", i, cs, want)
+		}
+		if i >= 2 && p.CPU.Cycles != ps[1].CPU.Cycles {
+			t.Errorf("proc %d: cycles %d != proc 1 cycles %d", i, p.CPU.Cycles, ps[1].CPU.Cycles)
+		}
+	}
+	total := k.CacheStats()
+	want := CacheStats{Hits: procs * 6, Misses: 3, Shares: (procs - 1) * 3}
+	if total != want {
+		t.Errorf("kernel aggregate %+v, want %+v", total, want)
 	}
 }
 

@@ -47,6 +47,19 @@ func (k *Kernel) ReleaseNet(p *Process) {
 	}
 }
 
+// parkPoint synchronizes the group-commit queue before an operation
+// that may park the process and hand its run slot to a sibling: guest
+// memory must be current at every scheduling boundary, exactly as it is
+// at checkpoint time. The drain is on the guest clock — materializing a
+// burst is work the process's own calls queued up — and runs whether or
+// not the call actually parks, keeping cycle counts independent of
+// scheduling interleavings.
+func (k *Kernel) parkPoint(p *Process) {
+	if k.batchN > 1 {
+		k.drainCommit(p)
+	}
+}
+
 // sockEntry validates a socket descriptor: EBADF for a bad fd,
 // ENOTSOCK for a descriptor of another kind.
 func (p *Process) sockEntry(fd uint32) (*fdEntry, uint32) {
@@ -181,6 +194,7 @@ func (k *Kernel) sysConnect(p *Process, fd, addr uint32) uint32 {
 	if !ok {
 		return errno(sys.EINVAL)
 	}
+	k.parkPoint(p)
 	c, err := k.Net.Dial(a.Port, p.gate)
 	if err != nil {
 		return netErrno(err)
@@ -206,6 +220,7 @@ func (k *Kernel) sysAccept(p *Process, fd, addrOut uint32) uint32 {
 	if s.lis == nil {
 		return errno(sys.EINVAL)
 	}
+	k.parkPoint(p)
 	c, err := s.lis.Accept(p.gate)
 	if err != nil {
 		return netErrno(err)
@@ -250,6 +265,7 @@ func (k *Kernel) sysSendto(p *Process, fd, buf, n, addr uint32) uint32 {
 	if err != nil {
 		return errno(sys.EFAULT)
 	}
+	k.parkPoint(p)
 	if err := s.conn.Send(b, p.gate); err != nil {
 		if errors.Is(err, anet.ErrReset) {
 			return errno(sys.EPIPE)
@@ -273,6 +289,7 @@ func (k *Kernel) sysRecvfrom(p *Process, fd, buf, n, srcOut uint32) uint32 {
 	if s.conn == nil {
 		return errno(sys.ENOTCONN)
 	}
+	k.parkPoint(p)
 	msg, err := s.conn.Recv(p.gate)
 	if err != nil {
 		return netErrno(err)

@@ -155,3 +155,141 @@ func Blocks(n int) int {
 	}
 	return (n + Size - 1) / Size
 }
+
+// ChainState is a precomputed CMAC prefix: the CBC chaining value after
+// absorbing every complete block of a message except the final one,
+// together with a copy of the absorbed bytes. The kernel precomputes one
+// per verification site at policy-install time, so steady-state site
+// verification pays only the final block(s) of the call encoding.
+//
+// A ChainState is immutable after Precompute and safe for concurrent use.
+type ChainState struct {
+	x      [Size]byte
+	prefix []byte // the absorbed bytes, len a multiple of Size
+}
+
+// Consumed returns how many message bytes the state has absorbed.
+func (st *ChainState) Consumed() int { return len(st.prefix) }
+
+// Precompute absorbs every complete block of msg except the final block
+// and returns the chaining state. It also reports the AES block
+// operations performed (charged once, at install time). For messages of
+// one block or less there is nothing to hoist and the state is empty.
+func (k *Keyed) Precompute(msg []byte) (*ChainState, int) {
+	st := &ChainState{}
+	n := 0
+	if len(msg) > Size {
+		n = (len(msg) - 1) / Size * Size
+	}
+	st.prefix = append([]byte(nil), msg[:n]...)
+	blocks := 0
+	for rem := st.prefix; len(rem) > 0; rem = rem[Size:] {
+		for i := 0; i < Size; i++ {
+			st.x[i] ^= rem[i]
+		}
+		k.block.Encrypt(st.x[:], st.x[:])
+		blocks++
+	}
+	return st, blocks
+}
+
+// SumFrom computes the CMAC tag of msg, resuming from a precomputed
+// prefix state when the live message still begins with the absorbed
+// bytes. When the prefix no longer matches (or st is nil, or msg is too
+// short to extend it) it falls back to a full Sum — the result is always
+// exactly Sum(msg); only the reported AES block count differs.
+func (k *Keyed) SumFrom(st *ChainState, msg []byte) (Tag, int) {
+	if st == nil || len(msg) <= len(st.prefix) ||
+		subtle.ConstantTimeCompare(msg[:len(st.prefix)], st.prefix) != 1 {
+		return k.Sum(msg)
+	}
+	s, _ := k.scratch.Get().(*cmacScratch)
+	if s == nil {
+		s = new(cmacScratch)
+	}
+	s.x = st.x
+	s.last = [Size]byte{}
+	blocks := 0
+	rem := msg[len(st.prefix):]
+	n := len(rem)
+	for n > Size {
+		for i := 0; i < Size; i++ {
+			s.x[i] ^= rem[i]
+		}
+		k.block.Encrypt(s.x[:], s.x[:])
+		blocks++
+		rem = rem[Size:]
+		n -= Size
+	}
+	if n == Size {
+		copy(s.last[:], rem)
+		for i := 0; i < Size; i++ {
+			s.last[i] ^= k.k1[i]
+		}
+	} else {
+		copy(s.last[:], rem)
+		s.last[n] = 0x80
+		for i := 0; i < Size; i++ {
+			s.last[i] ^= k.k2[i]
+		}
+	}
+	for i := 0; i < Size; i++ {
+		s.x[i] ^= s.last[i]
+	}
+	k.block.Encrypt(s.x[:], s.x[:])
+	blocks++
+	var tag Tag
+	copy(tag[:], s.x[:])
+	k.scratch.Put(s)
+	return tag, blocks
+}
+
+// SumBatch computes the CMAC tag of every message in one pass, appending
+// the tags to dst and returning it along with the total AES block count.
+// Each tag equals Sum of the corresponding message; batching changes how
+// the work is scheduled (one key-schedule walk, one scratch checkout for
+// the whole group), which the kernel's cost model reflects with a
+// discounted per-block charge for group-committed verification.
+func (k *Keyed) SumBatch(msgs [][]byte, dst []Tag) ([]Tag, int) {
+	s, _ := k.scratch.Get().(*cmacScratch)
+	if s == nil {
+		s = new(cmacScratch)
+	}
+	total := 0
+	for _, msg := range msgs {
+		s.x = [Size]byte{}
+		s.last = [Size]byte{}
+		n := len(msg)
+		for n > Size {
+			for i := 0; i < Size; i++ {
+				s.x[i] ^= msg[i]
+			}
+			k.block.Encrypt(s.x[:], s.x[:])
+			total++
+			msg = msg[Size:]
+			n -= Size
+		}
+		if n == Size {
+			copy(s.last[:], msg)
+			for i := 0; i < Size; i++ {
+				s.last[i] ^= k.k1[i]
+			}
+		} else {
+			copy(s.last[:], msg)
+			s.last[n] = 0x80
+			for i := 0; i < Size; i++ {
+				s.last[i] ^= k.k2[i]
+			}
+		}
+		for i := 0; i < Size; i++ {
+			s.x[i] ^= s.last[i]
+		}
+		k.block.Encrypt(s.x[:], s.x[:])
+		total++
+		var tag Tag
+		copy(tag[:], s.x[:])
+		dst = append(dst, tag)
+	}
+	k.scratch.Put(s)
+	return dst, total
+}

@@ -209,3 +209,111 @@ func TestSumAllocs(t *testing.T) {
 		t.Errorf("Sum allocates %.1f times per call, want 0", allocs)
 	}
 }
+
+// SumFrom resumed from a matching precomputed prefix must equal Sum, and
+// must charge only the tail blocks.
+func TestSumFromMatchesSum(t *testing.T) {
+	k, err := New(mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, 15, 16, 17, 31, 32, 33, 64, 100, 257} {
+		msg := make([]byte, n)
+		for i := range msg {
+			msg[i] = byte(i*7 + n)
+		}
+		st, preBlocks := k.Precompute(msg)
+		want, wantBlocks := k.Sum(msg)
+		got, tailBlocks := k.SumFrom(st, msg)
+		if got != want {
+			t.Errorf("len %d: SumFrom tag %s, want %s", n, got, want)
+		}
+		if preBlocks+tailBlocks != wantBlocks {
+			t.Errorf("len %d: precompute %d + tail %d blocks, Sum did %d",
+				n, preBlocks, tailBlocks, wantBlocks)
+		}
+		if n > Size && tailBlocks != 1 {
+			t.Errorf("len %d: tail charged %d blocks, want 1", n, tailBlocks)
+		}
+	}
+}
+
+// A stale prefix (live bytes changed since Precompute) must fall back to
+// a full, correct Sum — never a resumed tag over the wrong bytes.
+func TestSumFromStalePrefix(t *testing.T) {
+	k, err := New(mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, 100)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	st, _ := k.Precompute(msg)
+	msg[3] ^= 0x40 // mutate inside the absorbed prefix
+	want, wantBlocks := k.Sum(msg)
+	got, blocks := k.SumFrom(st, msg)
+	if got != want {
+		t.Errorf("stale prefix: SumFrom tag %s, want full Sum %s", got, want)
+	}
+	if blocks != wantBlocks {
+		t.Errorf("stale prefix: charged %d blocks, want full %d", blocks, wantBlocks)
+	}
+	// Shrinking the message below the absorbed length must also fall back.
+	short := msg[:10]
+	want, _ = k.Sum(short)
+	if got, _ := k.SumFrom(st, short); got != want {
+		t.Errorf("short message: SumFrom tag %s, want %s", got, want)
+	}
+	if got, _ := k.SumFrom(nil, msg); got != k.mustSum(msg) {
+		t.Errorf("nil state: SumFrom diverged from Sum")
+	}
+}
+
+func (k *Keyed) mustSum(msg []byte) Tag {
+	tag, _ := k.Sum(msg)
+	return tag
+}
+
+// SumBatch must produce exactly the per-message Sum tags and the summed
+// block count.
+func TestSumBatchMatchesSum(t *testing.T) {
+	k, err := New(mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs [][]byte
+	wantBlocks := 0
+	var want []Tag
+	for _, n := range []int{0, 1, 12, 16, 17, 48, 100} {
+		msg := make([]byte, n)
+		for i := range msg {
+			msg[i] = byte(i ^ n)
+		}
+		msgs = append(msgs, msg)
+		tag, b := k.Sum(msg)
+		want = append(want, tag)
+		wantBlocks += b
+	}
+	got, blocks := k.SumBatch(msgs, nil)
+	if len(got) != len(want) {
+		t.Fatalf("SumBatch returned %d tags, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("msg %d: batch tag %s, want %s", i, got[i], want[i])
+		}
+	}
+	if blocks != wantBlocks {
+		t.Errorf("batch blocks %d, want %d", blocks, wantBlocks)
+	}
+	// Appending into a preallocated dst must reuse it.
+	dst := make([]Tag, 0, len(msgs))
+	out, _ := k.SumBatch(msgs, dst)
+	if &out[0] != &dst[:1][0] {
+		t.Error("SumBatch reallocated a dst with sufficient capacity")
+	}
+	if _, blocks := k.SumBatch(nil, nil); blocks != 0 {
+		t.Errorf("empty batch charged %d blocks", blocks)
+	}
+}

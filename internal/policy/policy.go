@@ -257,9 +257,68 @@ const PolicyStateSize = 4 + mac.Size
 // and the in-kernel counter nonce.
 func StateMAC(k *mac.Keyed, lastBlock uint32, counter uint64) (mac.Tag, int) {
 	var msg [12]byte
+	AppendStateMsg(msg[:0], lastBlock, counter)
+	return k.Sum(msg[:])
+}
+
+// StateMsgSize is the length of one memory-checker state message:
+// lastBlock (4) followed by the per-process counter (8).
+const StateMsgSize = 12
+
+// AppendStateMsg appends the canonical state message — the exact bytes
+// StateMAC authenticates — to dst.
+func AppendStateMsg(dst []byte, lastBlock uint32, counter uint64) []byte {
+	var msg [StateMsgSize]byte
 	binary.LittleEndian.PutUint32(msg[0:], lastBlock)
 	binary.LittleEndian.PutUint64(msg[4:], counter)
-	return k.Sum(msg[:])
+	return append(dst, msg[:]...)
+}
+
+// StateUpdate is one queued control-flow state transition: after the
+// call at block Block commits, the policy state is {Block, MAC(Block,
+// Ctr)}. The kernel's group-commit queue accumulates these and flushes
+// them with one batched CMAC pass.
+type StateUpdate struct {
+	Block uint32
+	Ctr   uint64
+}
+
+// EncodeStateBatch appends the canonical encoding of a group-commit
+// batch to dst: a 4-byte little-endian count followed by each update's
+// state message. The layout is stable — it feeds both the batched MAC
+// pass (each StateMsgSize sub-slice is one message) and the fuzz target
+// guarding the decoder.
+func EncodeStateBatch(dst []byte, ups []StateUpdate) []byte {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(ups)))
+	dst = append(dst, n[:]...)
+	for _, u := range ups {
+		dst = AppendStateMsg(dst, u.Block, u.Ctr)
+	}
+	return dst
+}
+
+// DecodeStateBatch parses an EncodeStateBatch buffer, appending the
+// updates to dst. It rejects truncated, oversized, and trailing-garbage
+// encodings.
+func DecodeStateBatch(dst []StateUpdate, b []byte) ([]StateUpdate, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("policy: state batch header truncated (%d bytes)", len(b))
+	}
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if uint64(len(b)) != uint64(n)*StateMsgSize {
+		return nil, fmt.Errorf("policy: state batch of %d updates wants %d payload bytes, have %d",
+			n, uint64(n)*StateMsgSize, len(b))
+	}
+	for i := uint32(0); i < n; i++ {
+		dst = append(dst, StateUpdate{
+			Block: binary.LittleEndian.Uint32(b[0:]),
+			Ctr:   binary.LittleEndian.Uint64(b[4:]),
+		})
+		b = b[StateMsgSize:]
+	}
+	return dst, nil
 }
 
 // --- encoded policy / encoded call ---

@@ -82,6 +82,17 @@ type Memory struct {
 	segs   []Segment
 	gens   []uint64 // store-generation counters, parallel to segs
 	wfault WriteFaulter
+
+	// Write-watch window: a single byte range whose counter is bumped by
+	// every application store overlapping it (CPU store instructions and
+	// UserWrite), with the same kernel/application split as the segment
+	// generations. Unlike segment generations it is not part of the
+	// checkpointable protection map and is not addressable by
+	// FlipGenerationBit; the kernel uses it to notice application writes
+	// into the control-flow state words between group-commit flushes.
+	watchStart uint32
+	watchEnd   uint32 // exclusive; 0 means no watch installed
+	watchGen   uint64
 }
 
 // SetWriteFaulter installs (or, with nil, removes) the torn-store
@@ -100,6 +111,30 @@ func (m *Memory) FlipGenerationBit(seg int, bit uint) bool {
 	}
 	m.gens[seg] ^= 1 << (bit & 63)
 	return true
+}
+
+// WatchRange installs the write-watch window over [start, end) and
+// returns the current watch counter. Passing start >= end removes the
+// watch. Only one window exists at a time; reinstalling moves it.
+func (m *Memory) WatchRange(start, end uint32) uint64 {
+	if start >= end {
+		m.watchStart, m.watchEnd = 0, 0
+		return m.watchGen
+	}
+	m.watchStart, m.watchEnd = start, end
+	return m.watchGen
+}
+
+// WatchGeneration returns the write-watch counter. It advances exactly
+// when an application store overlapped the installed window.
+func (m *Memory) WatchGeneration() uint64 { return m.watchGen }
+
+// bumpWatch advances the watch counter if [addr, addr+n) overlaps the
+// installed window.
+func (m *Memory) bumpWatch(addr, end uint32) {
+	if m.watchEnd != 0 && addr < m.watchEnd && m.watchStart < end {
+		m.watchGen++
+	}
 }
 
 // NewMemory creates an address space covering [base, base+size).
@@ -159,6 +194,7 @@ func (m *Memory) BumpGeneration(addr, n uint32) {
 			m.gens[i]++
 		}
 	}
+	m.bumpWatch(addr, end)
 }
 
 // storeIndex returns the index of the writable segment wholly containing
@@ -441,6 +477,7 @@ func (c *CPU) store(addr, v uint32, size uint32) error {
 		return &Fault{PC: c.PC, Addr: addr, Msg: "write protection violation"}
 	}
 	c.Mem.gens[idx]++
+	c.Mem.bumpWatch(addr, addr+size)
 	if size == 1 {
 		if !c.Mem.inBounds(addr, 1) {
 			return &Fault{PC: c.PC, Addr: addr, Msg: "write out of bounds"}

@@ -1,0 +1,25 @@
+#!/bin/sh
+# batch.sh — regenerate BENCH_batch.json: the group-commit sweep (an
+# 8-process getpid fleet across burst sizes 1/2/4/8/16 under cache
+# modes off/per-process/shared). Per-call costs are differenced over
+# deterministic cycle counts, so two consecutive runs produce
+# byte-identical JSON; the bench itself fails if cost per call does
+# not fall strictly as the burst grows.
+#
+# Refuses to overwrite an uncommitted BENCH_batch.json unless FORCE=1,
+# so a locally modified artifact is never clobbered silently.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if git diff --quiet -- BENCH_batch.json 2>/dev/null; then
+    : # clean (or not yet tracked with changes): safe to regenerate
+elif [ "${FORCE:-0}" = "1" ]; then
+    echo "batch.sh: BENCH_batch.json is dirty; overwriting (FORCE=1)" >&2
+else
+    echo "batch.sh: BENCH_batch.json has uncommitted changes; commit them or rerun with FORCE=1" >&2
+    exit 1
+fi
+
+go run ./cmd/ascbench -table batch -json BENCH_batch.json
+echo "wrote BENCH_batch.json"

@@ -1,9 +1,10 @@
 #!/bin/sh
 # check.sh — the repository's full verification gate: formatting, vet,
-# build, the tier-1 test suite, the SMP race gate, a short fuzz smoke
-# over auth-record decoding, the kernel syscall benchmarks, the fault-
-# injection campaign, and the machine-readable summaries
-# (BENCH_kernel.json, BENCH_fault.json).
+# build, the tier-1 test suite, the SMP race gate, short fuzz smokes
+# over the decoders, the kernel syscall benchmarks, the fault-
+# injection campaign, the cached-overhead regression guard, and the
+# machine-readable summaries (BENCH_kernel.json, BENCH_batch.json,
+# BENCH_fault.json).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -43,13 +44,22 @@ go test -run '^$' -fuzz FuzzCheckpointDecode -fuzztime 5s ./internal/ckpt
 echo "== fuzz smoke (sockaddr decoding) =="
 go test -run '^$' -fuzz FuzzSockAddrDecode -fuzztime 5s ./internal/net
 
+echo "== fuzz smoke (state-update batch encoding) =="
+go test -run '^$' -fuzz FuzzBatchEncode -fuzztime 5s ./internal/policy
+
 echo "== kernel syscall benchmarks =="
 go test -run '^$' -bench 'SyscallPlain|SyscallVerified|VerifyAllocs' \
     -benchtime 2x ./internal/kernel
 
+# -guard 1.6 is the perf regression gate: fail if the cached getpid
+# cost exceeds 1.6x the plain (unverified) cost.
 echo "== BENCH_kernel.json =="
-go run ./cmd/ascbench -table 4 -json BENCH_kernel.json
+go run ./cmd/ascbench -table 4 -json BENCH_kernel.json -guard 1.6
 echo "wrote BENCH_kernel.json"
+
+echo "== BENCH_batch.json =="
+go run ./cmd/ascbench -table batch -json BENCH_batch.json
+echo "wrote BENCH_batch.json"
 
 echo "== fault-injection campaign =="
 go run ./cmd/ascfault -seed 1 -trials 3 -workers 4 -json BENCH_fault.json
