@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench smp ckpt fault net batch check clean
+.PHONY: build test race bench smp ckpt fault net batch cluster check clean
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,8 @@ test:
 # goroutines must be clean under the race detector.
 race:
 	$(GO) test -race ./internal/sched/... ./internal/kernel/... ./internal/core/... \
-		./internal/fault/... ./internal/bench/... ./internal/net/... ./internal/workload/...
+		./internal/fault/... ./internal/bench/... ./internal/net/... ./internal/workload/... \
+		./internal/cluster/...
 
 bench:
 	$(GO) test -run '^$$' -bench 'SyscallPlain|SyscallVerified|VerifyAllocs' \
@@ -45,6 +46,12 @@ net:
 batch:
 	sh scripts/batch.sh
 
+# cluster regenerates BENCH_cluster.json (the multi-node failover sweep:
+# cluster width x heartbeat cadence with node 1 crashed mid-run). The
+# script refuses to overwrite a dirty BENCH_cluster.json unless FORCE=1.
+cluster:
+	sh scripts/cluster.sh
+
 # check is the full gate: gofmt, vet, build, tier-1 tests, the SMP race
 # gate, the fuzz smokes, the kernel benchmarks, the fault campaign, the
 # cached-overhead regression guard, and the machine-readable summaries
@@ -54,4 +61,4 @@ check:
 
 clean:
 	rm -f BENCH_kernel.json BENCH_fault.json BENCH_smp.json BENCH_ckpt.json \
-		BENCH_net.json BENCH_batch.json
+		BENCH_net.json BENCH_batch.json BENCH_cluster.json

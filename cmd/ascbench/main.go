@@ -1,6 +1,6 @@
 // ascbench regenerates the paper's evaluation tables.
 //
-// Usage: ascbench [-table 1|2|3|4|6|andrew|compare|smp|ckpt|net|batch|all]
+// Usage: ascbench [-table 1|2|3|4|6|andrew|compare|smp|ckpt|net|batch|cluster|all]
 // [-scale N] [-procs N] [-json FILE] [-guard RATIO]
 // [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -9,9 +9,10 @@
 // machine-readable summary; with -table smp the same flag writes the SMP
 // scaling sweep (BENCH_smp.json), with -table ckpt the crash-recovery
 // cadence sweep (BENCH_ckpt.json), with -table net the network fleet
-// sweep (BENCH_net.json), and with -table batch the group-commit sweep
-// (BENCH_batch.json). All of these come from deterministic cycle counts,
-// so the JSON is byte-stable.
+// sweep (BENCH_net.json), with -table batch the group-commit sweep
+// (BENCH_batch.json), and with -table cluster the multi-node failover
+// sweep (BENCH_cluster.json). All of these come from deterministic cycle
+// counts, so the JSON is byte-stable.
 //
 // -guard RATIO fails the run (exit 1) if the Table 4 cached getpid cost
 // exceeds RATIO times the plain cost — the fast-path perf regression
@@ -243,6 +244,61 @@ func writeBatchJSON(path string, t *bench.BatchData) error {
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
+// clusterJSON is the machine-readable failover sweep summary.
+type clusterJSON struct {
+	Iters       int                `json:"iters"`
+	CleanCycles uint64             `json:"clean_cycles"`
+	SliceCycles uint64             `json:"slice_cycles"`
+	CrashTick   int                `json:"crash_tick"`
+	Points      []clusterJSONPoint `json:"points"`
+}
+
+type clusterJSONPoint struct {
+	Nodes          int     `json:"nodes"`
+	HeartbeatEvery int     `json:"heartbeat_every"`
+	Procs          int     `json:"procs"`
+	Ticks          int     `json:"ticks"`
+	DetectTicks    int     `json:"detect_ticks"`
+	FailoverTicks  int     `json:"failover_ticks"`
+	Failovers      int     `json:"failovers"`
+	WarmRestarts   int     `json:"warm_restarts"`
+	ColdStarts     int     `json:"cold_starts"`
+	Checkpoints    int     `json:"checkpoints"`
+	ReplayCycles   uint64  `json:"replay_cycles"`
+	RestoredCycles uint64  `json:"restored_cycles"`
+	RecoveredPct   float64 `json:"recovered_pct"`
+	Beats          int     `json:"beats"`
+	MissedBeats    int     `json:"missed_beats"`
+}
+
+func writeClusterJSON(path string, t *bench.ClusterData) error {
+	out := clusterJSON{Iters: t.Iters, CleanCycles: t.CleanCycles, SliceCycles: t.SliceCycles, CrashTick: t.CrashTick}
+	for _, p := range t.Points {
+		out.Points = append(out.Points, clusterJSONPoint{
+			Nodes:          p.Nodes,
+			HeartbeatEvery: p.HeartbeatEvery,
+			Procs:          p.Procs,
+			Ticks:          p.Ticks,
+			DetectTicks:    p.DetectTicks,
+			FailoverTicks:  p.FailoverTicks,
+			Failovers:      p.Failovers,
+			WarmRestarts:   p.WarmRestarts,
+			ColdStarts:     p.ColdStarts,
+			Checkpoints:    p.Checkpoints,
+			ReplayCycles:   p.ReplayCycles,
+			RestoredCycles: p.RestoredCycles,
+			RecoveredPct:   p.RecoveredPct,
+			Beats:          p.Beats,
+			MissedBeats:    p.MissedBeats,
+		})
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
 // checkGuard enforces the fast-path regression gate on the Table 4 rows.
 func checkGuard(t4 *bench.Table4Data, ratio float64) error {
 	for _, r := range t4.Rows {
@@ -259,7 +315,7 @@ func checkGuard(t4 *bench.Table4Data, ratio float64) error {
 }
 
 func main() {
-	table := flag.String("table", "all", "which artifact to regenerate: 1, 2, 3, 4, 6, andrew, compare, smp, ckpt, net, batch, all")
+	table := flag.String("table", "all", "which artifact to regenerate: 1, 2, 3, 4, 6, andrew, compare, smp, ckpt, net, batch, cluster, all")
 	scale := flag.Int("scale", 1, "divide macro-benchmark iteration counts by N (faster, less precise)")
 	jsonPath := flag.String("json", "", "write the Table 4 (or -table smp) benchmark summary to FILE as JSON")
 	procs := flag.Int("procs", 8, "SMP sweep: processes per fleet")
@@ -367,6 +423,18 @@ func main() {
 		}
 		if *jsonPath != "" {
 			if err := writeNetJSON(*jsonPath, data); err != nil {
+				return nil, fmt.Errorf("write %s: %w", *jsonPath, err)
+			}
+		}
+		return data, nil
+	})
+	run("cluster", func() (interface{ Render() string }, error) {
+		data, err := bench.Cluster(bench.DefaultKey, 400)
+		if err != nil {
+			return nil, err
+		}
+		if *jsonPath != "" {
+			if err := writeClusterJSON(*jsonPath, data); err != nil {
 				return nil, fmt.Errorf("write %s: %w", *jsonPath, err)
 			}
 		}

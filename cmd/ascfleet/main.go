@@ -1,0 +1,158 @@
+// ascfleet runs a fleet of copies of one authenticated SELF binary
+// across a simulated multi-node cluster under the fleet director:
+// round-robin placement, heartbeat failure detection, and failover via
+// sealed-checkpoint migration to surviving nodes.
+//
+// Usage: ascfleet -key passphrase [-nodes N] [-procs N] [-stdin file]
+//
+//	[-enforcement kill|deny|audit] [-slice N] [-checkpoint-every N]
+//	[-heartbeat N] [-miss N] [-kill-node ID -kill-tick T] [-events] exe
+//
+// The binary must have been processed by ascinstall with the same key;
+// every node's kernel re-verifies it, and every checkpoint that moves
+// between nodes is re-verified by the receiving kernel. -kill-node/-
+// kill-tick crash a node at a virtual tick mid-run — the demonstration
+// that the fleet completes anyway, warm from sealed checkpoints.
+// -events prints the director's control-plane timeline.
+//
+// Exit codes: 0 when every process exits clean; 125 when any process
+// was killed by its monitor; 2 on usage errors; 1 on platform errors
+// or lost processes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"asc"
+	"asc/internal/cluster"
+	"asc/internal/core"
+	"asc/internal/kernel"
+)
+
+func main() {
+	key := flag.String("key", "", "MAC key passphrase (required; the cluster always enforces)")
+	nodes := flag.Int("nodes", 3, "cluster width")
+	procs := flag.Int("procs", 0, "fleet size (default: two per node)")
+	stdinFile := flag.String("stdin", "", "file supplying standard input to every process")
+	enfFlag := flag.String("enforcement", "kill", "violation response: kill, deny, or audit")
+	slice := flag.Uint64("slice", 0, "virtual cycles each process advances per tick (default 4096)")
+	ckptEvery := flag.Int64("checkpoint-every", 0, "seal a durable checkpoint every N cycles (default 4 slices; negative disables)")
+	heartbeat := flag.Int("heartbeat", 1, "ticks between heartbeat rounds")
+	miss := flag.Int("miss", 3, "consecutive missed heartbeats that declare a node failed")
+	killNode := flag.Int("kill-node", 0, "crash this node mid-run (0: no crash)")
+	killTick := flag.Int("kill-tick", 3, "virtual tick the -kill-node crash fires")
+	events := flag.Bool("events", false, "print the director's control-plane timeline")
+	flag.Parse()
+	if flag.NArg() != 1 || *key == "" {
+		fmt.Fprintln(os.Stderr, "usage: ascfleet -key passphrase [-nodes N] [-procs N] [-stdin file] [-enforcement kill|deny|audit] [-slice N] [-checkpoint-every N] [-heartbeat N] [-miss N] [-kill-node ID -kill-tick T] [-events] exe")
+		os.Exit(2)
+	}
+	var enf kernel.Enforcement
+	switch *enfFlag {
+	case "kill":
+		enf = kernel.EnforceKill
+	case "deny":
+		enf = kernel.EnforceDeny
+	case "audit":
+		enf = kernel.EnforceAudit
+	default:
+		fmt.Fprintf(os.Stderr, "ascfleet: unknown -enforcement %q\n", *enfFlag)
+		os.Exit(2)
+	}
+	b, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	exe, err := asc.ReadBinary(b)
+	if err != nil {
+		fatal(err)
+	}
+	var stdin string
+	if *stdinFile != "" {
+		sb, err := os.ReadFile(*stdinFile)
+		if err != nil {
+			fatal(err)
+		}
+		stdin = string(sb)
+	}
+
+	cfg := cluster.Config{
+		Nodes:           *nodes,
+		Key:             asc.NewKey(*key),
+		Enforcement:     enf,
+		SliceCycles:     *slice,
+		CheckpointEvery: *ckptEvery,
+		HeartbeatEvery:  *heartbeat,
+		MissThreshold:   *miss,
+	}
+	if *killNode != 0 {
+		if *killNode < 1 || *killNode > *nodes {
+			fmt.Fprintf(os.Stderr, "ascfleet: -kill-node %d out of range (cluster has %d nodes)\n", *killNode, *nodes)
+			os.Exit(2)
+		}
+		cfg.OnTick = func(d *cluster.Director, tick int) {
+			if tick == *killTick {
+				d.CrashNode(cluster.NodeID(*killNode))
+			}
+		}
+	}
+	d, err := cluster.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	n := *procs
+	if n <= 0 {
+		n = 2 * *nodes
+	}
+	reqs := make([]core.RunRequest, n)
+	for i := range reqs {
+		reqs[i] = core.RunRequest{Exe: exe, Name: fmt.Sprintf("p%d", i), Stdin: stdin}
+	}
+	rep, err := d.Run(reqs)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *events {
+		for _, ev := range rep.Events {
+			fmt.Fprintf(os.Stderr, "tick %4d  %s\n", ev.Tick, ev.What)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "ascfleet: %d procs on %d nodes, %d ticks, %d beats (%d missed), nodes down %v\n",
+		n, *nodes, rep.Ticks, rep.Beats, rep.MissedBeats, rep.NodesDown)
+	exit := 0
+	for _, pr := range rep.Procs {
+		switch {
+		case pr.Err != nil:
+			fmt.Fprintf(os.Stderr, "ascfleet: %s: lost: %v\n", pr.Name, pr.Err)
+			exit = 1
+		case pr.Result.Killed:
+			fmt.Fprintf(os.Stderr, "ascfleet: %s: killed by monitor: %s\n", pr.Name, pr.Result.Reason)
+			if exit == 0 {
+				exit = 125
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "ascfleet: %s: node %d, exit %d, %d cycles, %d ckpts, %d failovers (%d warm, %d cold), %d cycles replayed\n",
+				pr.Name, pr.Node, pr.Result.ExitCode, pr.Result.Cycles, pr.Checkpoints,
+				pr.Failovers, pr.WarmRestarts, pr.ColdStarts, pr.ReplayCycles)
+			if pr.Result.ExitCode != 0 && exit == 0 {
+				exit = int(pr.Result.ExitCode) & 0x7f
+			}
+		}
+	}
+	// Every copy computes the same thing; print the first clean output.
+	for _, pr := range rep.Procs {
+		if pr.Err == nil && pr.Result != nil {
+			os.Stdout.WriteString(pr.Result.Output)
+			break
+		}
+	}
+	os.Exit(exit)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ascfleet:", err)
+	os.Exit(1)
+}

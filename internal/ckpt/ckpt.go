@@ -102,6 +102,8 @@ func Reason(err error) string {
 		return ReasonProgram
 	case errors.Is(err, ErrState):
 		return ReasonState
+	case errors.Is(err, ErrNode):
+		return ReasonNode
 	default:
 		return ReasonOther
 	}

@@ -1,0 +1,140 @@
+// migrate.go extends the sealed-checkpoint trust argument across nodes:
+// a Migration is the envelope a checkpoint travels in when a process
+// moves between kernels. The envelope wraps the inner sealed checkpoint
+// with the facts that make a cross-node restore safe and binds them all
+// under a second, domain-separated CMAC:
+//
+//   - the *epoch* the checkpoint was sealed at, repeated in the envelope
+//     so tooling can route the blob without opening the inner seal (the
+//     inner seal remains the trusted copy — Open cross-checks the two);
+//   - the *source and destination node identities*, so an envelope
+//     exported for node B cannot be imported on node C (a node-spoof):
+//     the destination check runs before any inner state is touched; and
+//   - the *process name*, so the importer can place the restored
+//     process without trusting out-of-band metadata.
+//
+// What the envelope deliberately does NOT solve is replay: both seals
+// verify if the same genuine envelope is delivered twice. Replay is a
+// liveness-layer decision — whether the previous owner of this epoch is
+// dead — and lives in the cluster's fence (trusted state held outside
+// the blob, like ckpt.Store's epochs), not in the cryptography.
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+
+	"asc/internal/mac"
+)
+
+// Envelope layout: magic, version, epoch, src, dst, name, inner blob,
+// trailing CMAC over everything before it.
+const (
+	migMagic      = "ASCM"
+	migVersion    = 1
+	migHeaderSize = 4 + 4 + 8 + 4 + 4
+	minMigBlob    = migHeaderSize + 4 + 4 + mac.Size
+)
+
+// migPrefix domain-separates the envelope seal from the checkpoint seal
+// and the program tag.
+var migPrefix = []byte("asc/ckpt/mig/v1\x00")
+
+// ErrNode: the envelope is bound to a different destination node — an
+// import under the wrong node identity (node-spoof).
+var ErrNode = errors.New("ckpt: migration bound to a different node")
+
+// ReasonNode is the canonical reason string for ErrNode.
+const ReasonNode = "node-mismatch"
+
+// Migration is one cross-node transfer of a sealed checkpoint.
+type Migration struct {
+	Epoch uint64
+	Src   uint32 // exporting node
+	Dst   uint32 // the only node allowed to import
+	Name  string // process name
+	Ckpt  []byte // the inner sealed checkpoint blob
+}
+
+// SealMigration serializes the envelope and appends its CMAC.
+func SealMigration(k *mac.Keyed, m *Migration) []byte {
+	b := encodeMigration(m)
+	msg := make([]byte, 0, len(migPrefix)+len(b))
+	msg = append(msg, migPrefix...)
+	msg = append(msg, b...)
+	tag, _ := k.Sum(msg)
+	return append(b, tag[:]...)
+}
+
+// OpenMigration verifies the envelope seal and decodes it. Checks run
+// in trust order: length, envelope seal, payload decode, and finally
+// the epoch cross-check against the inner sealed header — a mismatch
+// means the envelope was assembled around the wrong checkpoint, which a
+// genuine exporter never does.
+func OpenMigration(k *mac.Keyed, blob []byte) (*Migration, error) {
+	if len(blob) < minMigBlob {
+		return nil, fmt.Errorf("%w (%d bytes)", ErrTruncated, len(blob))
+	}
+	body := blob[:len(blob)-mac.Size]
+	var tag mac.Tag
+	copy(tag[:], blob[len(blob)-mac.Size:])
+	msg := make([]byte, 0, len(migPrefix)+len(body))
+	msg = append(msg, migPrefix...)
+	msg = append(msg, body...)
+	if ok, _ := k.Verify(msg, tag); !ok {
+		return nil, ErrSeal
+	}
+	m, err := DecodeMigration(body)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := SealedEpoch(m.Ckpt)
+	if err != nil {
+		return nil, fmt.Errorf("%w: inner checkpoint: %v", ErrMalformed, err)
+	}
+	if inner != m.Epoch {
+		return nil, fmt.Errorf("%w: envelope epoch %d, inner %d", ErrMalformed, m.Epoch, inner)
+	}
+	return m, nil
+}
+
+// DecodeMigration parses an *unsealed* envelope (a blob without its
+// trailing MAC). Like DecodeState it performs no authentication —
+// OpenMigration verifies the seal first — but is safe on arbitrary
+// input: every length is bounds-checked before allocation, so the
+// fuzzer can feed it garbage without panics or memory blowups.
+func DecodeMigration(b []byte) (*Migration, error) {
+	d := dec{b: b}
+	var m Migration
+	if string(d.raw(4)) != migMagic {
+		return nil, fmt.Errorf("%w: bad migration magic", ErrMalformed)
+	}
+	if v := d.u32(); v != migVersion && !d.fail {
+		return nil, fmt.Errorf("%w: migration version %d", ErrMalformed, v)
+	}
+	m.Epoch = d.u64()
+	m.Src = d.u32()
+	m.Dst = d.u32()
+	m.Name = d.str()
+	m.Ckpt = d.bytes()
+	if d.fail {
+		return nil, fmt.Errorf("%w: short migration payload", ErrMalformed)
+	}
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("%w: %d trailing migration bytes", ErrMalformed, len(d.b)-d.off)
+	}
+	return &m, nil
+}
+
+// encodeMigration serializes the envelope header and payload.
+func encodeMigration(m *Migration) []byte {
+	var e enc
+	e.raw(append([]byte(nil), migMagic...))
+	e.u32(migVersion)
+	e.u64(m.Epoch)
+	e.u32(m.Src)
+	e.u32(m.Dst)
+	e.str(m.Name)
+	e.bytes(m.Ckpt)
+	return e.b
+}

@@ -1,0 +1,490 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"asc/internal/binfmt"
+	"asc/internal/core"
+	"asc/internal/kernel"
+	"asc/internal/workload"
+)
+
+var testKey = []byte("0123456789abcdef")
+
+// clusterLoopSrc is the fleet guest: a file held open across a long
+// getpid loop (so mid-run checkpoints capture a live descriptor), then
+// a close and a final report. Checkpointable (no sockets or pipes) and
+// long enough to span many scheduler ticks at test slice sizes.
+const clusterLoopSrc = `
+        .text
+        .global main
+main:
+        MOVI r1, path
+        MOVI r2, 0x41
+        MOVI r3, 420
+        CALL open
+        MOV r11, r0
+        MOVI r12, 200
+.loop:
+        CALL getpid
+        ADDI r12, r12, -1
+        MOVI r9, 0
+        BNE r12, r9, .loop
+        MOV r1, r11
+        CALL close
+        MOVI r1, msg
+        CALL puts
+        MOVI r0, 0
+        RET
+        .rodata
+path:   .asciz "/tmp/cluster.out"
+msg:    .asciz "cluster loop done"
+`
+
+// buildGuest assembles and installs the fleet guest under the shared
+// test key.
+func buildGuest(t testing.TB) *binfmt.File {
+	t.Helper()
+	v := workload.FaultVictim{Name: "guest", Source: clusterLoopSrc}
+	exe, err := v.Build(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exe
+}
+
+// refRun computes the single-node reference result for the guest.
+func refRun(t testing.TB, exe *binfmt.File) *core.Result {
+	t.Helper()
+	sys, err := core.NewSystem(core.Config{Key: testKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Exec(exe, "ref", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Killed || res.ExitCode != 0 {
+		t.Fatalf("reference run failed: %+v", res)
+	}
+	return res
+}
+
+// testConfig is a small-slice cluster so short guests span many ticks
+// and checkpoint often.
+func testConfig(nodes int) Config {
+	return Config{
+		Nodes:           nodes,
+		Key:             testKey,
+		SliceCycles:     512,
+		CheckpointEvery: 512,
+		HeartbeatEvery:  1,
+		MissThreshold:   3,
+	}
+}
+
+// fleet builds n requests over the same guest binary.
+func fleet(exe *binfmt.File, n int) []core.RunRequest {
+	reqs := make([]core.RunRequest, n)
+	for i := range reqs {
+		reqs[i] = core.RunRequest{Exe: exe, Name: "p" + string(rune('0'+i))}
+	}
+	return reqs
+}
+
+// checkFleetOutputs asserts every process finished cleanly with the
+// single-node reference output.
+func checkFleetOutputs(t *testing.T, rep *FleetReport, ref *core.Result) {
+	t.Helper()
+	for _, pr := range rep.Procs {
+		if pr.Err != nil {
+			t.Errorf("%s: err = %v", pr.Name, pr.Err)
+			continue
+		}
+		if pr.Result == nil || pr.Result.Killed || pr.Result.ExitCode != 0 {
+			t.Errorf("%s: bad result %+v", pr.Name, pr.Result)
+			continue
+		}
+		if pr.Result.Output != ref.Output {
+			t.Errorf("%s: output %q, want %q", pr.Name, pr.Result.Output, ref.Output)
+		}
+	}
+}
+
+// TestFleetCompletesAcrossNodes: a healthy 3-node cluster runs a
+// 5-process fleet to completion, every output identical to the
+// single-node run, with zero failovers.
+func TestFleetCompletesAcrossNodes(t *testing.T) {
+	exe := buildGuest(t)
+	ref := refRun(t, exe)
+	d, err := New(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Run(fleet(exe, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFleetOutputs(t, rep, ref)
+	if len(rep.NodesDown) != 0 || rep.MissedBeats != 0 {
+		t.Errorf("healthy cluster: down=%v missed=%d", rep.NodesDown, rep.MissedBeats)
+	}
+	homes := map[NodeID]bool{}
+	for _, pr := range rep.Procs {
+		if pr.Failovers != 0 || pr.ColdStarts != 0 || pr.WarmRestarts != 0 {
+			t.Errorf("%s: unexpected recovery %+v", pr.Name, pr)
+		}
+		homes[pr.Node] = true
+	}
+	if len(homes) != 3 {
+		t.Errorf("fleet used %d nodes, want 3 (round-robin)", len(homes))
+	}
+}
+
+// TestNodeCrashFailsOverWarm: killing a node mid-fleet loses no
+// authenticated state — its processes fail over to survivors, restored
+// from their newest sealed checkpoint (zero cold starts), and every
+// surviving output is identical to the single-node run.
+func TestNodeCrashFailsOverWarm(t *testing.T) {
+	exe := buildGuest(t)
+	ref := refRun(t, exe)
+	cfg := testConfig(3)
+	cfg.OnTick = func(d *Director, tick int) {
+		if tick == 6 {
+			d.CrashNode(2)
+		}
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Run(fleet(exe, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFleetOutputs(t, rep, ref)
+	if len(rep.NodesDown) != 1 || rep.NodesDown[0] != 2 {
+		t.Fatalf("NodesDown = %v, want [2]", rep.NodesDown)
+	}
+	failed := 0
+	for _, pr := range rep.Procs {
+		if pr.Failovers == 0 {
+			continue
+		}
+		failed++
+		if pr.ColdStarts != 0 {
+			t.Errorf("%s: %d cold starts with checkpoints available", pr.Name, pr.ColdStarts)
+		}
+		if pr.WarmRestarts == 0 {
+			t.Errorf("%s: failed over without a warm restart", pr.Name)
+		}
+		if pr.Node == 2 {
+			t.Errorf("%s: still homed on the dead node", pr.Name)
+		}
+	}
+	if failed == 0 {
+		t.Error("no process failed over despite a crashed node")
+	}
+	if rep.MissedBeats < cfg.MissThreshold {
+		t.Errorf("missed beats %d below threshold %d", rep.MissedBeats, cfg.MissThreshold)
+	}
+}
+
+// TestClusterDegradesToOneNode: with every other node killed the fleet
+// degrades gracefully onto the last survivor and still completes with
+// reference outputs.
+func TestClusterDegradesToOneNode(t *testing.T) {
+	exe := buildGuest(t)
+	ref := refRun(t, exe)
+	cfg := testConfig(3)
+	cfg.OnTick = func(d *Director, tick int) {
+		switch tick {
+		case 5:
+			d.CrashNode(1)
+		case 12:
+			d.CrashNode(3)
+		}
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Run(fleet(exe, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFleetOutputs(t, rep, ref)
+	if len(rep.NodesDown) != 2 {
+		t.Fatalf("NodesDown = %v, want two nodes", rep.NodesDown)
+	}
+	for _, pr := range rep.Procs {
+		if pr.Node != 2 {
+			t.Errorf("%s finished on node %d, want the survivor 2", pr.Name, pr.Node)
+		}
+		if pr.ColdStarts != 0 {
+			t.Errorf("%s: %d cold starts", pr.Name, pr.ColdStarts)
+		}
+	}
+}
+
+// TestAllNodesLost: when the last node dies the fleet fails loudly with
+// ErrNoNodes rather than hanging the virtual clock.
+func TestAllNodesLost(t *testing.T) {
+	exe := buildGuest(t)
+	cfg := testConfig(2)
+	cfg.OnTick = func(d *Director, tick int) {
+		if tick == 4 {
+			d.CrashNode(1)
+			d.CrashNode(2)
+		}
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Run(fleet(exe, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range rep.Procs {
+		if !errors.Is(pr.Err, ErrNoNodes) {
+			t.Errorf("%s: err = %v, want ErrNoNodes", pr.Name, pr.Err)
+		}
+	}
+}
+
+// TestMigrationMovesProcess: a planned migration hands a running
+// process to another node with zero replayed cycles and an unchanged
+// final output.
+func TestMigrationMovesProcess(t *testing.T) {
+	exe := buildGuest(t)
+	ref := refRun(t, exe)
+	cfg := testConfig(2)
+	cfg.OnTick = func(d *Director, tick int) {
+		if tick == 4 {
+			reason, err := d.Migrate("p0", 2, CleanMigrate())
+			if err != nil || reason != "" {
+				t.Errorf("migrate: reason=%q err=%v", reason, err)
+			}
+		}
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Run(fleet(exe, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFleetOutputs(t, rep, ref)
+	pr := rep.Procs[0]
+	if pr.Node != 2 || pr.Migrations != 1 {
+		t.Errorf("proc = %+v, want finished on node 2 after 1 migration", pr)
+	}
+	if pr.ReplayCycles != 0 {
+		t.Errorf("planned migration replayed %d cycles, want 0", pr.ReplayCycles)
+	}
+	if pr.Failovers != 0 || pr.ColdStarts != 0 {
+		t.Errorf("migration counted as failure recovery: %+v", pr)
+	}
+}
+
+// TestMigrationReplayRejected: the same sealed envelope delivered a
+// second time — to its own destination node, which verified it happily
+// the first time — dies at the fence with "epoch-replay". Delivered to
+// a third node instead, it dies in the kernel with "node-mismatch".
+// The legitimate process is unharmed either way.
+func TestMigrationReplayRejected(t *testing.T) {
+	exe := buildGuest(t)
+	ref := refRun(t, exe)
+	cfg := testConfig(3)
+	var captured []byte
+	var epoch uint64
+	cfg.OnTick = func(d *Director, tick int) {
+		switch tick {
+		case 4:
+			opts := CleanMigrate()
+			opts.Capture = &captured
+			reason, err := d.Migrate("p0", 2, opts)
+			if err != nil || reason != "" {
+				t.Errorf("migrate: reason=%q err=%v", reason, err)
+			}
+			epoch = d.byName["p0"].store.NewestEpoch()
+		case 6:
+			// Replay: same genuine envelope, same destination.
+			reason, err := d.Deliver(captured, 2, "p0", epoch)
+			if err != nil {
+				t.Errorf("replay deliver: %v", err)
+			}
+			if reason != "epoch-replay" {
+				t.Errorf("replay reason = %q, want epoch-replay", reason)
+			}
+		case 8:
+			// Spoof: same envelope at a node it was never sealed for.
+			reason, err := d.Deliver(captured, 3, "p0", epoch)
+			if err != nil {
+				t.Errorf("spoof deliver: %v", err)
+			}
+			if reason != "node-mismatch" {
+				t.Errorf("spoof reason = %q, want node-mismatch", reason)
+			}
+		}
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Run(fleet(exe, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(captured) == 0 {
+		t.Fatal("no envelope captured")
+	}
+	checkFleetOutputs(t, rep, ref)
+	if rep.Procs[0].Node != 2 {
+		t.Errorf("process on node %d, want 2", rep.Procs[0].Node)
+	}
+}
+
+// TestTornMigrationRecoversWarm: a migration whose destination dies
+// mid-transfer loses nothing — the epoch was made durable before the
+// first byte crossed the fabric and the source was fenced, so ordinary
+// failover re-places the process warm on a survivor.
+func TestTornMigrationRecoversWarm(t *testing.T) {
+	exe := buildGuest(t)
+	ref := refRun(t, exe)
+	cfg := testConfig(3)
+	cfg.OnTick = func(d *Director, tick int) {
+		if tick == 4 {
+			opts := CleanMigrate()
+			opts.TornAfter = 1
+			opts.CrashDst = true
+			reason, err := d.Migrate("p0", 2, opts)
+			if err != nil || reason != "" {
+				t.Errorf("torn migrate: reason=%q err=%v", reason, err)
+			}
+		}
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Run(fleet(exe, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFleetOutputs(t, rep, ref)
+	pr := rep.Procs[0]
+	if pr.ColdStarts != 0 {
+		t.Errorf("torn migration fell to %d cold starts", pr.ColdStarts)
+	}
+	if pr.WarmRestarts == 0 {
+		t.Error("torn migration did not recover warm")
+	}
+	if pr.Node == 2 {
+		t.Error("process homed on the crashed destination")
+	}
+	if pr.ReplayCycles != 0 {
+		t.Errorf("replayed %d cycles; export epoch was durable, want 0", pr.ReplayCycles)
+	}
+}
+
+// TestHeartbeatDelayBelowThreshold: a slow node that misses fewer
+// consecutive beats than the threshold is never declared failed — no
+// false suspicion, no failovers.
+func TestHeartbeatDelayBelowThreshold(t *testing.T) {
+	exe := buildGuest(t)
+	ref := refRun(t, exe)
+	cfg := testConfig(2)
+	cfg.OnTick = func(d *Director, tick int) {
+		if tick == 3 {
+			d.DelayHeartbeats(2, cfg.MissThreshold-1)
+		}
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Run(fleet(exe, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFleetOutputs(t, rep, ref)
+	if len(rep.NodesDown) != 0 {
+		t.Errorf("false suspicion: NodesDown = %v", rep.NodesDown)
+	}
+	if rep.MissedBeats != cfg.MissThreshold-1 {
+		t.Errorf("missed beats = %d, want %d", rep.MissedBeats, cfg.MissThreshold-1)
+	}
+	for _, pr := range rep.Procs {
+		if pr.Failovers != 0 {
+			t.Errorf("%s: %d failovers from a transient delay", pr.Name, pr.Failovers)
+		}
+	}
+}
+
+// TestEnforcementTravelsWithProcess: a Deny-mode fleet keeps its
+// enforcement mode across a crash failover (the mode rides inside the
+// sealed checkpoint).
+func TestEnforcementTravelsWithProcess(t *testing.T) {
+	exe := buildGuest(t)
+	cfg := testConfig(2)
+	cfg.Enforcement = kernel.EnforceDeny
+	cfg.OnTick = func(d *Director, tick int) {
+		if tick == 5 {
+			d.CrashNode(1)
+		}
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Run(fleet(exe, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range rep.Procs {
+		if pr.Err != nil || pr.Result == nil {
+			t.Fatalf("%s: %v", pr.Name, pr.Err)
+		}
+	}
+	// The survivor node's kernel holds the failed-over process; its
+	// enforcement stayed Deny through the restore.
+	pl := d.byName["p0"]
+	if pl.proc.Enforcement != kernel.EnforceDeny {
+		t.Errorf("restored enforcement = %v, want deny", pl.proc.Enforcement)
+	}
+}
+
+// TestEventsNarrateFailover: the event log names the crash detection
+// and the warm re-placement, for the failover timeline in EXPERIMENTS.
+func TestEventsNarrateFailover(t *testing.T) {
+	exe := buildGuest(t)
+	cfg := testConfig(2)
+	cfg.OnTick = func(d *Director, tick int) {
+		if tick == 5 {
+			d.CrashNode(2)
+		}
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Run(fleet(exe, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []string
+	for _, ev := range rep.Events {
+		all = append(all, ev.What)
+	}
+	joined := strings.Join(all, "\n")
+	for _, want := range []string{"node 2 crashed", "node 2 declared failed", "re-placed on node 1 (warm"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("events missing %q:\n%s", want, joined)
+		}
+	}
+}

@@ -57,6 +57,12 @@ type Config struct {
 	// KernelOptions are appended to the kernel's construction options
 	// (fault injectors, audit-ring capacity, verify cache, ...).
 	KernelOptions []kernel.Option
+	// FS, when non-nil, mounts an existing filesystem instead of
+	// creating a private one. Cluster nodes share one durable VFS this
+	// way (the VFS is internally locked, so concurrent kernels are
+	// safe); a checkpoint taken on one node then restores on another
+	// with its open-file paths still resolvable.
+	FS *vfs.FS
 }
 
 // NewSystem builds a machine with a standard directory tree.
@@ -64,7 +70,10 @@ func NewSystem(cfg Config) (*System, error) {
 	if !cfg.Permissive && len(cfg.Key) == 0 {
 		return nil, errors.New("core: enforcement requires a key")
 	}
-	fs := vfs.New()
+	fs := cfg.FS
+	if fs == nil {
+		fs = vfs.New()
+	}
 	for _, d := range []string{"/bin", "/etc", "/tmp", "/data", "/var/log", "/var/run", "/home"} {
 		if err := fs.MkdirAll(d, 0o755); err != nil {
 			return nil, err

@@ -4,7 +4,10 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
+
+	"asc/internal/ckpt"
 )
 
 // TestSuperviseCheckpointWithSiblings hammers the checkpoint path under
@@ -70,5 +73,86 @@ func TestSuperviseCheckpointWithSiblings(t *testing.T) {
 			t.Errorf("sibling %d diverged from quiet baseline: cycles %d/%d verified %d/%d",
 				i, r.Cycles, ref.Cycles, r.Verified, ref.Verified)
 		}
+	}
+}
+
+// TestSuperviseFallbackChainSharedStore exercises the fallback chain
+// while other goroutines continuously read the same checkpoint store —
+// the shape a fleet director takes when it inspects a process's durable
+// chain (NewestEpoch for migration routing, Chain for placement
+// decisions) while the supervisor is still appending to it. The newest
+// entry is served corrupted, so every warm restart walks the chain
+// under concurrent readers. Must be race-clean, and the outcome must
+// match the quiet single-goroutine fallback test: recovery from the
+// older checkpoint, seal rejections on the tampered one, no cold start.
+func TestSuperviseFallbackChainSharedStore(t *testing.T) {
+	s := newSystem(t, Config{})
+	exe, _, _, err := s.Install(buildRaw(t, runAllLoopSrc), "loop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := s.Exec(exe, "loop", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := ref.Cycles * 4 / 5
+
+	store := ckpt.NewStore()
+	// Tamper must be installed before the store is shared; it serves the
+	// newest entry corrupted on every read, forcing chain walks.
+	store.Tamper = func(chain []ckpt.Entry, i int) []byte {
+		if i != 0 {
+			return chain[i].Blob
+		}
+		mut := append([]byte(nil), chain[i].Blob...)
+		mut[len(mut)/2] ^= 0x04
+		return mut
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	const readers = 4
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				newest := store.NewestEpoch()
+				for _, ent := range store.Chain() {
+					if ent.Epoch > newest {
+						// Chain is newest-first and NewestEpoch was read
+						// before: a later epoch can only have been
+						// appended since, never invented.
+						_ = store.Len()
+						break
+					}
+				}
+			}
+		}()
+	}
+
+	stats, err := s.Supervise(exe, "loop", "", SuperviseConfig{
+		MaxRestarts:     8,
+		BackoffBase:     100,
+		MaxCycles:       budget,
+		CheckpointEvery: budget / 3,
+		Checkpoints:     store,
+	})
+	stop.Store(true)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.GaveUp || stats.Final.Output != "done" {
+		t.Fatalf("did not recover: %+v", stats)
+	}
+	if stats.CkptRejected[ckpt.ReasonSeal] == 0 {
+		t.Errorf("rejections = %v, want seal-mismatch", stats.CkptRejected)
+	}
+	if stats.WarmRestarts < 1 {
+		t.Errorf("warm restarts = %d, want >= 1 (fallback to older checkpoint)", stats.WarmRestarts)
+	}
+	if stats.ColdStarts != 0 {
+		t.Errorf("cold starts = %d, want 0 (older checkpoint was intact)", stats.ColdStarts)
 	}
 }

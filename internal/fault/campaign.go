@@ -49,6 +49,10 @@ type Config struct {
 	// SkipCkpt omits the checkpoint fault classes (torn write, bit flip,
 	// epoch replay, wrong-process swap). They run by default.
 	SkipCkpt bool
+	// SkipCluster omits the cluster fault classes (node crash, torn
+	// migration, migration replay, node spoof, heartbeat delay). They
+	// run by default.
+	SkipCluster bool
 }
 
 // DefaultKey is the campaign MAC key used when Config.Key is nil.
@@ -98,6 +102,7 @@ type Matrix struct {
 	Cells     []Cell        `json:"cells"`
 	Restarts  []RestartCell `json:"restarts"`
 	Ckpt      []CkptCell    `json:"ckpt,omitempty"`
+	Cluster   []ClusterCell `json:"cluster,omitempty"`
 }
 
 // Run executes the campaign.
@@ -153,6 +158,25 @@ func Run(cfg Config) (*Matrix, error) {
 			preps[vi] = prep
 		}
 	}
+	// The cluster cells need each victim's single-node reference run —
+	// output identity across a failover is the zero-loss criterion.
+	// Socket-surface victims sit out for the same reason as above: a
+	// process holding live sockets cannot be checkpointed, so it cannot
+	// fail over.
+	var clusterPreps []clusterPrep
+	if !cfg.SkipCluster {
+		clusterPreps = make([]clusterPrep, len(cfg.Victims))
+		for vi := range cfg.Victims {
+			if !ckptEligible(vi) {
+				continue
+			}
+			prep, err := prepCluster(cfg, &cfg.Victims[vi], exes[vi])
+			if err != nil {
+				return nil, err
+			}
+			clusterPreps[vi] = prep
+		}
+	}
 
 	// One task per (victim, class) cell, one restart demonstration per
 	// victim, and one (victim, ckpt class, mode) checkpoint cell per
@@ -160,10 +184,11 @@ func Run(cfg Config) (*Matrix, error) {
 	// engines, so cells run concurrently when cfg.Workers > 1; subseeds
 	// depend only on (seed, victim index, trial), never on scheduling.
 	type task struct {
-		vi    int
-		class Class // zero for the restart task
-		ckpt  bool
-		mode  kernel.Enforcement
+		vi      int
+		class   Class // zero for the restart task
+		ckpt    bool
+		cluster bool
+		mode    kernel.Enforcement
 	}
 	var tasks []task
 	for vi := range cfg.Victims {
@@ -178,10 +203,18 @@ func Run(cfg Config) (*Matrix, error) {
 				}
 			}
 		}
+		if !cfg.SkipCluster && ckptEligible(vi) {
+			for _, class := range ClusterClasses() {
+				for _, mode := range []kernel.Enforcement{kernel.EnforceKill, kernel.EnforceDeny} {
+					tasks = append(tasks, task{vi: vi, class: class, cluster: true, mode: mode})
+				}
+			}
+		}
 	}
 	cells := make([]*Cell, len(tasks))
 	restarts := make([]*RestartCell, len(tasks))
 	ckptCells := make([]*CkptCell, len(tasks))
+	clusterCells := make([]*ClusterCell, len(tasks))
 	errs := make([]error, len(tasks))
 	workers := cfg.Workers
 	if workers < 1 {
@@ -191,6 +224,9 @@ func Run(cfg Config) (*Matrix, error) {
 		tk := tasks[i]
 		v := &cfg.Victims[tk.vi]
 		switch {
+		case tk.cluster:
+			cell, err := runClusterCell(cfg, tk.class, v, exes[tk.vi], uint64(tk.vi), clusterPreps[tk.vi], tk.mode)
+			clusterCells[i], errs[i] = &cell, err
 		case tk.ckpt:
 			// The swap donor is the next checkpoint-eligible victim's
 			// pristine chain — sealed under the same key for a
@@ -219,6 +255,8 @@ func Run(cfg Config) (*Matrix, error) {
 			m.Cells = append(m.Cells, *cells[i])
 		case ckptCells[i] != nil:
 			m.Ckpt = append(m.Ckpt, *ckptCells[i])
+		case clusterCells[i] != nil:
+			m.Cluster = append(m.Cluster, *clusterCells[i])
 		default:
 			m.Restarts = append(m.Restarts, *restarts[i])
 		}
@@ -242,9 +280,21 @@ func Run(cfg Config) (*Matrix, error) {
 		}
 		return a.Mode < b.Mode
 	})
-	// Mode parity: a checkpoint fault never touches the enforcement
-	// path, so the Deny cell must mirror its Kill sibling exactly.
+	sort.SliceStable(m.Cluster, func(i, j int) bool {
+		a, b := m.Cluster[i], m.Cluster[j]
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		if a.Victim != b.Victim {
+			return a.Victim < b.Victim
+		}
+		return a.Mode < b.Mode
+	})
+	// Mode parity: checkpoint and cluster faults never touch the
+	// enforcement path, so each Deny cell must mirror its Kill sibling
+	// exactly.
 	checkCkptParity(m)
+	checkClusterParity(m)
 	return m, nil
 }
 
@@ -538,6 +588,11 @@ func (m *Matrix) Failures() []string {
 			all = append(all, fmt.Sprintf("%s/%s/%s: %s", c.Class, c.Victim, c.Mode, f))
 		}
 	}
+	for _, c := range m.Cluster {
+		for _, f := range c.Failures {
+			all = append(all, fmt.Sprintf("%s/%s/%s: %s", c.Class, c.Victim, c.Mode, f))
+		}
+	}
 	return all
 }
 
@@ -588,6 +643,25 @@ func (m *Matrix) Render() string {
 			fmt.Fprintf(&b, "%-18s %-8s %-5s %6d %6d %9d %5d %10d %7d  %s\n",
 				c.Class, c.Victim, c.Mode, c.Trials, c.Fired, c.Rejected,
 				c.WarmRestarts, c.Recovered, c.ReplayCycles, status)
+		}
+	}
+	if len(m.Cluster) > 0 {
+		fmt.Fprintf(&b, "cluster faults:\n")
+		fmt.Fprintf(&b, "%-24s %-8s %-5s %6s %6s %9s %9s %5s %10s  %s\n",
+			"class", "victim", "mode", "trials", "fired", "rejected", "failovers", "warm", "recovered", "reasons")
+		for _, c := range m.Cluster {
+			reasons := make([]string, 0, len(c.Reasons))
+			for r, n := range c.Reasons {
+				reasons = append(reasons, fmt.Sprintf("%s×%d", r, n))
+			}
+			sort.Strings(reasons)
+			status := strings.Join(reasons, ", ")
+			if len(c.Failures) > 0 {
+				status = fmt.Sprintf("FAILURES=%d %s", len(c.Failures), status)
+			}
+			fmt.Fprintf(&b, "%-24s %-8s %-5s %6d %6d %9d %9d %5d %10d  %s\n",
+				c.Class, c.Victim, c.Mode, c.Trials, c.Fired, c.Rejected,
+				c.Failovers, c.WarmRestarts, c.Recovered, status)
 		}
 	}
 	return b.String()

@@ -1,0 +1,370 @@
+// cluster.go extends the campaign to the cluster surface: faults that
+// kill nodes, tear migration handshakes, and replay or misdirect sealed
+// migration envelopes. Each trial runs a small fleet of one victim
+// across a 3-node cluster on the deterministic virtual clock, injects
+// the class's fault at a seeded tick, and checks the cluster contract:
+//
+//   - crash classes lose no authenticated state — every process
+//     completes with the single-node reference output, recovered warm
+//     (zero cold starts) from its durable sealed checkpoints;
+//   - replay and spoof deliveries are rejected at 100% with their
+//     canonical reasons ("epoch-replay" from the fence,
+//     "node-mismatch" from the kernel's envelope check); and
+//   - a heartbeat delay below the miss threshold causes no false
+//     suspicion: no declared failures, no failovers.
+//
+// Like the checkpoint classes, cluster faults live entirely outside the
+// enforcement path, so each cell runs under Kill and Deny and the pair
+// must be identical in every field but Mode.
+package fault
+
+import (
+	"fmt"
+
+	"asc/internal/binfmt"
+	"asc/internal/ckpt"
+	"asc/internal/cluster"
+	"asc/internal/core"
+	"asc/internal/kernel"
+	"asc/internal/workload"
+)
+
+// The cluster fault classes.
+const (
+	// ClusterCrash crashes one node mid-run; its processes must fail
+	// over warm to survivors.
+	ClusterCrash Class = "node-crash"
+	// ClusterCrashMidMig crashes the source or destination node in the
+	// middle of a migration transfer — a torn handshake.
+	ClusterCrashMidMig Class = "node-crash-mid-migration"
+	// ClusterReplay delivers a captured genuine migration envelope a
+	// second time to its own destination node.
+	ClusterReplay Class = "migration-replay"
+	// ClusterSpoof delivers a captured envelope to a node it was never
+	// sealed for.
+	ClusterSpoof Class = "node-spoof"
+	// ClusterDelay delays one node's heartbeats below the miss
+	// threshold — the false-suspicion probe.
+	ClusterDelay Class = "heartbeat-delay"
+)
+
+// ClusterClasses returns the cluster fault classes in canonical order.
+func ClusterClasses() []Class {
+	return []Class{ClusterCrash, ClusterCrashMidMig, ClusterReplay, ClusterSpoof, ClusterDelay}
+}
+
+// ClusterExpectation returns the rejection reasons a class must (and
+// may only) produce. Crash and delay classes produce none: their
+// contract is recovery, not rejection.
+func ClusterExpectation(c Class) []string {
+	switch c {
+	case ClusterReplay:
+		return []string{ckpt.ReasonEpoch}
+	case ClusterSpoof:
+		return []string{ckpt.ReasonNode}
+	}
+	return nil
+}
+
+// ClusterCell aggregates the trials of one (class, victim, mode)
+// triple.
+type ClusterCell struct {
+	Class        string         `json:"class"`
+	Victim       string         `json:"victim"`
+	Mode         string         `json:"mode"`
+	Trials       int            `json:"trials"`
+	Fired        int            `json:"fired"`
+	Rejected     int            `json:"rejected"` // trials whose delivery was refused
+	Reasons      map[string]int `json:"reasons,omitempty"`
+	Failovers    int            `json:"failovers"`
+	WarmRestarts int            `json:"warm_restarts"`
+	ColdStarts   int            `json:"cold_starts"`
+	Migrations   int            `json:"migrations"`
+	Recovered    int            `json:"recovered"` // trials with every output matching the reference
+	ReplayCycles uint64         `json:"replay_cycles"`
+	Failures     []string       `json:"failures,omitempty"`
+}
+
+// clusterFleet is how many copies of the victim each trial runs — one
+// per node, so round-robin places exactly one process on the node the
+// fault targets.
+const clusterFleet = 3
+
+// clusterPrep is the per-victim serial precomputation: the reference
+// result (output identity is the zero-loss check) and a slice size that
+// stretches the victim across ~10 scheduler ticks.
+type clusterPrep struct {
+	ref   *core.Result
+	slice uint64
+}
+
+// prepCluster measures one victim's single-node reference run.
+func prepCluster(cfg Config, v *workload.FaultVictim, exe *binfmt.File) (clusterPrep, error) {
+	sys, err := core.NewSystem(core.Config{Key: cfg.Key})
+	if err != nil {
+		return clusterPrep{}, err
+	}
+	res, err := sys.Exec(exe, v.Name, v.Stdin)
+	if err != nil {
+		return clusterPrep{}, fmt.Errorf("fault: cluster clean run %s: %w", v.Name, err)
+	}
+	if res.Killed || res.ExitCode != 0 {
+		return clusterPrep{}, fmt.Errorf("fault: cluster clean run %s failed: %+v", v.Name, res)
+	}
+	slice := res.Cycles / 10
+	if slice < 256 {
+		slice = 256
+	}
+	return clusterPrep{ref: res, slice: slice}, nil
+}
+
+// clusterTrial is the state one trial's OnTick hook accumulates.
+type clusterTrial struct {
+	fired    bool
+	reasons  []string // rejection reasons from attack deliveries
+	hookErrs []string
+}
+
+// runClusterCell runs every trial of one (class, victim, mode) triple.
+func runClusterCell(cfg Config, class Class, v *workload.FaultVictim, exe *binfmt.File, vi uint64, prep clusterPrep, mode kernel.Enforcement) (ClusterCell, error) {
+	modeName := "kill"
+	if mode == kernel.EnforceDeny {
+		modeName = "deny"
+	}
+	cell := ClusterCell{
+		Class: string(class), Victim: v.Name, Mode: modeName,
+		Trials: cfg.Trials, Reasons: map[string]int{},
+	}
+	exp := ClusterExpectation(class)
+
+	for trial := 0; trial < cfg.Trials; trial++ {
+		s := cfg.Seed
+		_ = splitmix(&s)
+		subseed := s ^ vi<<40 ^ uint64(trial)<<8
+		pick := splitmix(&subseed)
+
+		tr := &clusterTrial{}
+		ccfg := cluster.Config{
+			Nodes:           clusterFleet,
+			Key:             cfg.Key,
+			Enforcement:     mode,
+			SliceCycles:     prep.slice,
+			CheckpointEvery: int64(prep.slice),
+			HeartbeatEvery:  1,
+			MissThreshold:   3,
+			MaxCycles:       cfg.MaxCycles,
+			OnTick:          clusterHook(class, pick, tr),
+		}
+		d, err := cluster.New(ccfg)
+		if err != nil {
+			return cell, err
+		}
+		reqs := make([]core.RunRequest, clusterFleet)
+		for i := range reqs {
+			reqs[i] = core.RunRequest{Exe: exe, Name: fmt.Sprintf("v%d", i), Stdin: v.Stdin}
+		}
+		rep, err := d.Run(reqs)
+		if err != nil {
+			return cell, fmt.Errorf("fault: cluster %s/%s/%s trial %d: %w", class, v.Name, modeName, trial, err)
+		}
+
+		badf := func(format string, args ...any) {
+			cell.Failures = append(cell.Failures,
+				fmt.Sprintf("trial %d: ", trial)+fmt.Sprintf(format, args...))
+		}
+		for _, msg := range tr.hookErrs {
+			badf("%s", msg)
+		}
+		if tr.fired {
+			cell.Fired++
+		} else {
+			badf("cluster fault never fired")
+		}
+
+		// Zero authenticated-state loss: every process finishes clean
+		// with the single-node reference output.
+		recovered := true
+		for _, pr := range rep.Procs {
+			cell.Failovers += pr.Failovers
+			cell.WarmRestarts += pr.WarmRestarts
+			cell.ColdStarts += pr.ColdStarts
+			cell.Migrations += pr.Migrations
+			cell.ReplayCycles += pr.ReplayCycles
+			switch {
+			case pr.Err != nil:
+				recovered = false
+				badf("%s: %v", pr.Name, pr.Err)
+			case pr.Result == nil || pr.Result.Killed || pr.Result.ExitCode != 0:
+				recovered = false
+				badf("%s: did not exit clean: %+v", pr.Name, pr.Result)
+			case pr.Result.Output != prep.ref.Output:
+				recovered = false
+				badf("%s: output diverged from the single-node run", pr.Name)
+			}
+			if pr.ColdStarts != 0 {
+				badf("%s: %d cold starts with durable checkpoints available", pr.Name, pr.ColdStarts)
+			}
+		}
+		if recovered {
+			cell.Recovered++
+		}
+		if len(tr.reasons) > 0 {
+			cell.Rejected++
+		}
+		for _, reason := range tr.reasons {
+			cell.Reasons[reason]++
+			ok := false
+			for _, want := range exp {
+				if reason == want {
+					ok = true
+				}
+			}
+			if !ok {
+				badf("unexpected rejection reason %q (allowed %v)", reason, exp)
+			}
+		}
+
+		// Per-class contract.
+		totalFailovers := 0
+		for _, pr := range rep.Procs {
+			totalFailovers += pr.Failovers
+		}
+		switch class {
+		case ClusterCrash, ClusterCrashMidMig:
+			if len(rep.NodesDown) == 0 {
+				badf("crashed node was never declared failed")
+			}
+			if totalFailovers == 0 {
+				badf("node crash caused no failovers")
+			}
+		case ClusterReplay, ClusterSpoof:
+			if len(tr.reasons) == 0 {
+				badf("attack delivery was not rejected")
+			}
+			if totalFailovers != 0 {
+				badf("attack delivery disturbed the fleet: %d failovers", totalFailovers)
+			}
+		case ClusterDelay:
+			if len(rep.NodesDown) != 0 {
+				badf("false suspicion: nodes declared down %v", rep.NodesDown)
+			}
+			if totalFailovers != 0 {
+				badf("heartbeat delay caused %d failovers", totalFailovers)
+			}
+			if rep.MissedBeats == 0 {
+				badf("heartbeat delay missed no beats")
+			}
+		}
+	}
+	if len(cell.Reasons) == 0 {
+		cell.Reasons = nil
+	}
+	return cell, nil
+}
+
+// clusterHook builds the OnTick fault injector for one trial. All
+// decisions are a pure function of (class, pick), so the trial is
+// deterministic.
+func clusterHook(class Class, pick uint64, tr *clusterTrial) func(*cluster.Director, int) {
+	fail := func(format string, args ...any) {
+		tr.hookErrs = append(tr.hookErrs, fmt.Sprintf(format, args...))
+	}
+	switch class {
+	case ClusterCrash:
+		crashAt := 2 + int(pick%3)
+		victim := cluster.NodeID(1 + (pick>>8)%clusterFleet)
+		return func(d *cluster.Director, tick int) {
+			if tick == crashAt {
+				d.CrashNode(victim)
+				tr.fired = true
+			}
+		}
+	case ClusterCrashMidMig:
+		migAt := 2 + int(pick%2)
+		dst := cluster.NodeID(2 + (pick>>16)%2) // v0 lives on node 1
+		crashSrc := (pick>>24)&1 == 0
+		return func(d *cluster.Director, tick int) {
+			if tick != migAt {
+				return
+			}
+			opts := cluster.CleanMigrate()
+			opts.TornAfter = int((pick >> 32) % 2)
+			opts.CrashSrc = crashSrc
+			opts.CrashDst = !crashSrc
+			reason, err := d.Migrate("v0", dst, opts)
+			if err != nil {
+				fail("torn migrate: %v", err)
+			}
+			if reason != "" {
+				fail("torn migrate returned verdict %q, want none", reason)
+			}
+			tr.fired = true
+		}
+	case ClusterReplay, ClusterSpoof:
+		migAt := 2 + int(pick%2)
+		attackAt := migAt + 2
+		var captured []byte
+		var epoch uint64
+		return func(d *cluster.Director, tick int) {
+			switch tick {
+			case migAt:
+				opts := cluster.CleanMigrate()
+				opts.Capture = &captured
+				if reason, err := d.Migrate("v0", 2, opts); err != nil || reason != "" {
+					fail("setup migrate: reason=%q err=%v", reason, err)
+					return
+				}
+				epoch = d.Epoch("v0")
+			case attackAt:
+				if len(captured) == 0 {
+					return
+				}
+				target := cluster.NodeID(2) // replay: the genuine destination
+				if class == ClusterSpoof {
+					target = 3 // spoof: a node the envelope was never sealed for
+				}
+				reason, err := d.Deliver(captured, target, "v0", epoch)
+				if err != nil {
+					fail("attack deliver: %v", err)
+					return
+				}
+				tr.fired = true
+				if reason == "" {
+					fail("attack delivery was accepted: fence/envelope failed")
+					return
+				}
+				tr.reasons = append(tr.reasons, reason)
+			}
+		}
+	case ClusterDelay:
+		delayAt := 2 + int(pick%3)
+		victim := cluster.NodeID(1 + (pick>>8)%clusterFleet)
+		return func(d *cluster.Director, tick int) {
+			if tick == delayAt {
+				d.DelayHeartbeats(victim, 2) // below the threshold of 3
+				tr.fired = true
+			}
+		}
+	}
+	return func(*cluster.Director, int) {}
+}
+
+// checkClusterParity compares each (class, victim) pair's Deny cell
+// against its Kill sibling; cluster faults never touch the enforcement
+// path, so the two must agree in every field but Mode.
+func checkClusterParity(m *Matrix) {
+	for i := 0; i+1 < len(m.Cluster); i += 2 {
+		deny, kill := &m.Cluster[i], m.Cluster[i+1]
+		if deny.Class != kill.Class || deny.Victim != kill.Victim {
+			deny.Failures = append(deny.Failures, "unpaired cluster cell")
+			continue
+		}
+		a, b := *deny, kill
+		a.Mode, b.Mode = "", ""
+		a.Failures, b.Failures = nil, nil
+		if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+			deny.Failures = append(deny.Failures,
+				fmt.Sprintf("mode parity: deny %+v, kill %+v", a, b))
+		}
+	}
+}

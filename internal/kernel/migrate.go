@@ -1,0 +1,82 @@
+// migrate.go implements the kernel half of the cross-node migration
+// handshake. Export is "checkpoint plus addressing": it seals the
+// process at the given epoch and wraps the blob in a migration envelope
+// bound to the (source, destination) node pair. Import is the mirror
+// and, like Restore, verifies rather than trusts — envelope seal first,
+// then the destination-node binding (a genuine envelope exported for
+// another node dies here, before any inner state is decoded), then the
+// caller's trusted epoch, and finally the full Restore pipeline over
+// the inner sealed checkpoint (program tag, CF-state MAC, capability
+// set, nonce re-seed).
+//
+// Neither side holds liveness state: whether this epoch may run *here,
+// now* — the previous owner fenced or dead — is the cluster fence's
+// decision, made before Import is attempted.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"asc/internal/binfmt"
+	"asc/internal/ckpt"
+)
+
+// Export seals the complete state of p at the given epoch and wraps it
+// in a migration envelope addressed from node src to node dst. It
+// returns both the envelope (what crosses the fabric) and the inner
+// sealed checkpoint (what the control plane should persist durably
+// before the transfer starts, so a migration torn mid-handshake still
+// recovers warm). The caller owns epoch monotonicity (the durable store
+// enforces it) and must fence the local process afterwards — an
+// exported epoch must never keep running at its source.
+func (k *Kernel) Export(p *Process, epoch uint64, src, dst uint32) (env, inner []byte, err error) {
+	inner, err = k.Checkpoint(p, epoch)
+	if err != nil {
+		return nil, nil, err
+	}
+	env = ckpt.SealMigration(k.key, &ckpt.Migration{
+		Epoch: epoch,
+		Src:   src,
+		Dst:   dst,
+		Name:  p.Name,
+		Ckpt:  inner,
+	})
+	return env, inner, nil
+}
+
+// PeekMigration verifies a migration envelope's seal and decodes its
+// header without building any process state — the staging half of a
+// two-phase import. A destination node stages an arriving envelope with
+// this (cheap, side-effect-free), lets the control plane decide
+// admission, and only then commits with Import.
+func (k *Kernel) PeekMigration(blob []byte) (*ckpt.Migration, error) {
+	if k.key == nil {
+		return nil, errors.New("kernel: migration requires a MAC key")
+	}
+	return ckpt.OpenMigration(k.key, blob)
+}
+
+// Import opens a migration envelope addressed to selfNode and restores
+// the inner sealed checkpoint. wantEpoch is the trusted epoch the
+// importer's control plane admitted for this transfer; both the
+// envelope and the inner seal must agree with it. On any failure no
+// runnable process exists.
+func (k *Kernel) Import(exe *binfmt.File, selfNode uint32, blob []byte, wantEpoch uint64) (*Process, error) {
+	if k.key == nil {
+		return nil, errors.New("kernel: import requires a MAC key")
+	}
+	m, err := ckpt.OpenMigration(k.key, blob)
+	if err != nil {
+		return nil, fmt.Errorf("kernel: import: %w", err)
+	}
+	if m.Dst != selfNode {
+		return nil, fmt.Errorf("kernel: import %s: %w: addressed to node %d, this is node %d",
+			m.Name, ckpt.ErrNode, m.Dst, selfNode)
+	}
+	if m.Epoch != wantEpoch {
+		return nil, fmt.Errorf("kernel: import %s: %w: envelope epoch %d, admitted %d",
+			m.Name, ckpt.ErrEpoch, m.Epoch, wantEpoch)
+	}
+	return k.Restore(exe, m.Name, m.Ckpt, wantEpoch)
+}

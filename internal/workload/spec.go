@@ -263,6 +263,14 @@ func (s *Spec) Source(os libc.OS) string {
 	return out.String()
 }
 
+// ScratchSeed is the 4-byte input prefix every generated program
+// consumes first: main's prologue reads exactly four bytes into the
+// scratch word (see Source) before the command dispatch loop sees any
+// input. The bytes themselves are arbitrary — 'X' is used so the seed
+// is visible in test transcripts — but they must be present, or the
+// first command characters are swallowed by the seed read.
+const ScratchSeed = "XXXX"
+
 // AllRareCommands returns the input string that exercises every rare
 // handler once (the "complete behaviour" input).
 func (s *Spec) AllRareCommands() string {
@@ -271,9 +279,9 @@ func (s *Spec) AllRareCommands() string {
 		cmds = append(cmds, c)
 	}
 	sort.Slice(cmds, func(i, j int) bool { return cmds[i] < cmds[j] })
-	return "XXXX" + string(cmds) // 4 bytes consumed by the scratch seed read
+	return ScratchSeed + string(cmds)
 }
 
 // TrainingInput is the input used for Systrace training runs: it seeds
 // scratch but triggers no rare handler.
-func (s *Spec) TrainingInput() string { return "XXXX" }
+func (s *Spec) TrainingInput() string { return ScratchSeed }

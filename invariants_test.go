@@ -79,7 +79,7 @@ func TestInvariantNoFalseAlarms(t *testing.T) {
 			inputs := []string{
 				spec.TrainingInput(),
 				spec.AllRareCommands(),
-				"XXXXzzzzqq",
+				workload.ScratchSeed + "zzzzqq",
 				"ABCDbcdbcdbcd",
 			}
 			for _, in := range inputs {
@@ -220,7 +220,7 @@ func TestInvariantStateReplayFailStop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p.Stdin = []byte("XXXX")
+	p.Stdin = []byte(workload.ScratchSeed)
 	stateAddr, ok := hardened.SymbolAddr("__asc_state")
 	if !ok {
 		t.Fatal("no __asc_state symbol")

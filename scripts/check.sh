@@ -33,13 +33,17 @@ go test ./...
 # throughput sweep.
 echo "== go test -race (SMP gate) =="
 go test -race ./internal/sched/... ./internal/kernel/... ./internal/core/... \
-    ./internal/fault/... ./internal/bench/... ./internal/net/... ./internal/workload/...
+    ./internal/fault/... ./internal/bench/... ./internal/net/... ./internal/workload/... \
+    ./internal/cluster/...
 
 echo "== fuzz smoke (auth-record decoding) =="
 go test -run '^$' -fuzz FuzzAuthRecord -fuzztime 5s ./internal/kernel
 
 echo "== fuzz smoke (checkpoint decoding) =="
 go test -run '^$' -fuzz FuzzCheckpointDecode -fuzztime 5s ./internal/ckpt
+
+echo "== fuzz smoke (migration-envelope decoding) =="
+go test -run '^$' -fuzz FuzzMigrationDecode -fuzztime 5s ./internal/ckpt
 
 echo "== fuzz smoke (sockaddr decoding) =="
 go test -run '^$' -fuzz FuzzSockAddrDecode -fuzztime 5s ./internal/net

@@ -1,0 +1,26 @@
+#!/bin/sh
+# cluster.sh — regenerate BENCH_cluster.json: the multi-node failover
+# sweep (a fleet of loop workloads spread across 2/3/4 kernel nodes
+# loses node 1 mid-run at three heartbeat cadences; the director must
+# detect the failure and re-place the displaced processes warm from
+# sealed checkpoints). The figures are computed from deterministic
+# cycle counts on a virtual clock, so two consecutive runs produce
+# byte-identical JSON.
+#
+# Refuses to overwrite an uncommitted BENCH_cluster.json unless FORCE=1,
+# so a locally modified artifact is never clobbered silently.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if git diff --quiet -- BENCH_cluster.json 2>/dev/null; then
+    : # clean (or not yet tracked with changes): safe to regenerate
+elif [ "${FORCE:-0}" = "1" ]; then
+    echo "cluster.sh: BENCH_cluster.json is dirty; overwriting (FORCE=1)" >&2
+else
+    echo "cluster.sh: BENCH_cluster.json has uncommitted changes; commit them or rerun with FORCE=1" >&2
+    exit 1
+fi
+
+go run ./cmd/ascbench -table cluster -json BENCH_cluster.json
+echo "wrote BENCH_cluster.json"
