@@ -152,8 +152,19 @@ func writeCkptJSON(path string, t *bench.CkptData) error {
 
 // netJSON is the machine-readable network sweep summary.
 type netJSON struct {
-	Iters int          `json:"iters"`
-	Rows  []netJSONRow `json:"rows"`
+	Iters int            `json:"iters"`
+	Rows  []netJSONRow   `json:"rows"`
+	Shard []shardJSONRow `json:"shard"`
+}
+
+type shardJSONRow struct {
+	Replicas     int            `json:"replicas"`
+	Clients      int            `json:"clients"`
+	Iters        int            `json:"iters"`
+	Requests     uint64         `json:"requests"`
+	CyclesCached uint64         `json:"cycles_cached"`
+	Verified     uint64         `json:"verified_calls"`
+	Points       []netJSONPoint `json:"points"`
 }
 
 type netJSONRow struct {
@@ -201,6 +212,26 @@ func writeNetJSON(path string, t *bench.NetData) error {
 			})
 		}
 		out.Rows = append(out.Rows, row)
+	}
+	for _, r := range t.Shard {
+		row := shardJSONRow{
+			Replicas:     r.Replicas,
+			Clients:      r.Clients,
+			Iters:        r.Iters,
+			Requests:     r.Requests,
+			CyclesCached: r.CyclesCached,
+			Verified:     r.Verified,
+		}
+		for _, p := range r.Points {
+			row.Points = append(row.Points, netJSONPoint{
+				Workers:           p.Workers,
+				MakespanCycles:    p.MakespanCycles,
+				Speedup:           p.Speedup,
+				EfficiencyPct:     p.EfficiencyPct,
+				VerifiedPerMCycle: p.VerifiedPerMCycle,
+			})
+		}
+		out.Shard = append(out.Shard, row)
 	}
 	b, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -320,6 +351,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write the Table 4 (or -table smp) benchmark summary to FILE as JSON")
 	procs := flag.Int("procs", 8, "SMP sweep: processes per fleet")
 	guard := flag.Float64("guard", 0, "fail if Table 4 cached getpid exceeds this ratio of plain (0 = off)")
+	netguard := flag.Float64("netguard", 0, "fail if the sharded fleet's 4-worker efficiency falls below this percentage (0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to FILE")
 	memprofile := flag.String("memprofile", "", "write an allocation profile of the benchmark run to FILE")
 	flag.Parse()
@@ -351,6 +383,20 @@ func main() {
 				os.Exit(1)
 			}
 		}()
+	}
+
+	if *netguard > 0 {
+		speedup, eff, err := bench.ShardGuard(bench.DefaultKey)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ascbench: netguard: %v\n", err)
+			os.Exit(1)
+		}
+		if eff < *netguard {
+			fmt.Fprintf(os.Stderr, "ascbench: netguard: sharded fleet 4-worker efficiency %.1f%% (speedup %.2fx) below floor %.1f%%\n",
+				eff, speedup, *netguard)
+			os.Exit(1)
+		}
+		fmt.Printf("netguard: sharded fleet 4-worker speedup %.2fx, efficiency %.1f%% (floor %.1f%%)\n", speedup, eff, *netguard)
 	}
 
 	run := func(name string, f func() (interface{ Render() string }, error)) {

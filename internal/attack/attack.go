@@ -477,7 +477,7 @@ func (l *Lab) Battery() ([]Outcome, error) {
 	var out []Outcome
 	for _, f := range []func() (Outcome, error){
 		l.Baseline, l.Shellcode, l.Mimicry, l.ControlFlowHijack, l.NonControlData, l.DescriptorTamper,
-		l.NetForgedSend, l.NetPortTamper, l.NetReplayCF,
+		l.NetForgedSend, l.NetPortTamper, l.NetRouteTamper, l.NetReplayCF,
 	} {
 		o, err := f()
 		if err != nil {

@@ -147,8 +147,8 @@ func TestBattery(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Battery: %v", err)
 	}
-	if len(outcomes) != 11 {
-		t.Fatalf("battery ran %d experiments, want 11", len(outcomes))
+	if len(outcomes) != 12 {
+		t.Fatalf("battery ran %d experiments, want 12", len(outcomes))
 	}
 	// Exactly two are expected to be allowed: the benign baseline and
 	// the frankenstein without countermeasure.

@@ -72,6 +72,61 @@ pairbuf: .space 8
 iobuf:  .space 64
 `
 
+// netRouteSource is a miniature LB client: a two-entry replica route
+// table rendered the way the sharded workload renders it — each send
+// site loads its replica's packed sockaddr as a MOVI immediate. The
+// socketpair stands in for the fleet so the experiment stays
+// single-process; what matters is that the route constants are
+// policy-constrained immediates, exactly as in NetLBClientSource.
+const netRouteSource = `
+        .text
+        .global main
+main:
+        MOVI r1, 1
+        MOVI r2, 1
+        MOVI r3, 0
+        MOVI r4, pairbuf
+        CALL socketpair
+        MOVI r7, pairbuf
+        LOAD r15, [r7+0]
+        LOAD r13, [r7+4]
+        MOV r1, r15
+        MOVI r2, req0
+        MOVI r3, 10
+        MOVI r4, 0
+        MOVI r5, 0x02001f40     ; route: replica 0, port 8000
+        CALL sendto
+        MOV r1, r15
+        MOVI r2, req1
+        MOVI r3, 10
+        MOVI r4, 0
+        MOVI r5, 0x02001f41     ; route: replica 1, port 8001
+        CALL sendto
+        MOV r1, r13
+        MOVI r2, iobuf
+        MOVI r3, 64
+        MOVI r4, 0
+        MOVI r5, 0
+        CALL recvfrom
+        MOV r1, r13
+        MOVI r2, iobuf
+        MOVI r3, 64
+        MOVI r4, 0
+        MOVI r5, 0
+        CALL recvfrom
+        MOVI r1, donemsg
+        CALL puts
+        MOVI r0, 0
+        RET
+        .rodata
+req0:   .asciz "S0aaaaaaaa"
+req1:   .asciz "S4aaaaaaaa"
+donemsg: .asciz "routes done\n"
+        .bss
+pairbuf: .space 8
+iobuf:  .space 64
+`
+
 // netReplaySource is the control-flow replay victim. It queues three
 // messages, then around its second recvfrom saves and restores the
 // site's policy state: after a CALL to an installed stub, r6 still
@@ -259,6 +314,41 @@ func (l *Lab) NetPortTamper() (Outcome, error) {
 		return Outcome{}, err
 	}
 	return outcome("net: destination tampering", "patch the constant sockaddr to redirect traffic", p, "net victim done"), nil
+}
+
+// NetRouteTamper rewrites one entry of a miniature LB client's replica
+// route table: the MOVI immediate that steers slot 4's request to
+// replica 1 (port 8001) is patched to replica 0's sockaddr, silently
+// re-homing the key. The sharded fleet's defense is that the route is a
+// policy-constrained immediate under the call MAC, so the misrouted
+// send must die as a call-MAC mismatch, not reach the wrong replica.
+func (l *Lab) NetRouteTamper() (Outcome, error) {
+	goodAddr := 0x02000000 | uint32(8001)
+	evilAddr := 0x02000000 | uint32(8000)
+	poke := func(k *kernel.Kernel, p *kernel.Process, victim *binfmt.File) error {
+		text := victim.Section(binfmt.SecText)
+		for off := uint32(0); off+isa.InstrSize <= uint32(len(text.Data)); off += isa.InstrSize {
+			in, err := isa.Decode(text.Data[off:])
+			if err != nil {
+				continue
+			}
+			if in.Op != isa.OpMOVI || in.Rd != isa.R5 || in.Imm != goodAddr {
+				continue
+			}
+			in.Imm = evilAddr
+			if err := p.Mem.KernelWrite(text.Addr+off, encode(nil, in)); err != nil {
+				return err
+			}
+			p.CPU.PrimeICache(text.Addr, text.Addr+uint32(len(text.Data)))
+			return nil
+		}
+		return fmt.Errorf("attack: route-table MOVI not found")
+	}
+	p, err := l.runNetVictim("netroutes", netRouteSource, poke)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return outcome("net: route-table tampering", "patch an LB route immediate to re-home a key slot", p, "routes done"), nil
 }
 
 // NetReplayCF runs the guest-side policy-state replay across a socket

@@ -57,6 +57,35 @@ type NetRow struct {
 type NetData struct {
 	Iters int
 	Rows  []NetRow
+	// Shard is the sharded-fleet arm: replicas × clients × workers,
+	// plus the 10k-client scale cell as the final row.
+	Shard []ShardRow
+}
+
+// ShardReplicas is the replica-count sweep of the sharded arm.
+var ShardReplicas = []int{1, 2, 4}
+
+// ShardClients is the LB-client-count sweep of the sharded arm.
+var ShardClients = []int{4, 8}
+
+// ShardIters is the per-client iteration count of the sweep cells.
+const ShardIters = 2
+
+// Shard10kClients is the client count of the scale cell: ten thousand
+// LB clients against four event-loop replicas.
+const Shard10kClients = 10000
+
+// ShardRow is one (replicas, clients) cell of the sharded-fleet sweep:
+// N poll-event-loop KV replicas, each owning a consistent-hash slice of
+// the key space, driven by LB clients routing by MAC-pinned immediates.
+type ShardRow struct {
+	Replicas     int
+	Clients      int
+	Iters        int
+	Requests     uint64 // requests served fleet-wide
+	CyclesCached uint64 // fleet cycle total, enforced + verify cache
+	Verified     uint64 // verified calls fleet-wide
+	Points       []NetPoint
 }
 
 // netMode selects the enforcement configuration of one fleet run.
@@ -128,6 +157,183 @@ func runNetFleet(srv, cli *core.RunRequest, key []byte, clients, iters, workers 
 		}
 	}
 	return cycles, verified, nil
+}
+
+// buildShardReqs builds the authenticated replica and LB-client
+// binaries for one sharded cell and returns the fleet's run requests
+// (replicas first) plus the consistent-hash route table.
+func buildShardReqs(key []byte, replicas, clients, iters int) ([]core.RunRequest, []int, error) {
+	routes := workload.ShardMap(replicas)
+	slotsOf := make([]int, replicas)
+	for _, r := range routes {
+		slotsOf[r]++
+	}
+	var reqs []core.RunRequest
+	for r := 0; r < replicas; r++ {
+		name := fmt.Sprintf("netreplica%d", r)
+		src := workload.NetReplicaSource(workload.NetShardPortBase+uint16(r), clients, workload.NetShardRounds(iters, slotsOf[r]))
+		_, auth, err := buildPair(name, src, key)
+		if err != nil {
+			return nil, nil, err
+		}
+		reqs = append(reqs, core.RunRequest{Exe: auth, Name: name})
+	}
+	_, cliAuth, err := buildPair("netlbclient", workload.NetLBClientSource(iters, replicas, routes), key)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < clients; i++ {
+		reqs = append(reqs, core.RunRequest{Exe: cliAuth, Name: "netlbclient"})
+	}
+	return reqs, routes, nil
+}
+
+// runShardFleet drives one sharded fleet (replicas first, then LB
+// clients) to completion under enforcement with the per-process verify
+// cache and returns per-process cycle counts plus the fleet-wide
+// verified-call total. Every output is checked against the workload's
+// closed forms.
+func runShardFleet(reqs []core.RunRequest, key []byte, routes []int, replicas, clients, iters, workers int) ([]uint64, uint64, error) {
+	slotsOf := make([]int, replicas)
+	for _, r := range routes {
+		slotsOf[r]++
+	}
+	cfg := core.Config{
+		Key: key,
+		KernelOptions: []kernel.Option{
+			kernel.WithNetwork(anet.New()),
+			kernel.WithCacheMode(kernel.CachePerProcess),
+			kernel.WithBatchVerify(BatchDepth),
+		},
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := sys.RunAll(reqs, workers)
+	if err != nil {
+		return nil, 0, err
+	}
+	cycles := make([]uint64, len(res))
+	var verified uint64
+	for i, r := range res {
+		if r.Err != nil {
+			return nil, 0, fmt.Errorf("bench: shard %s: %w", reqs[i].Name, r.Err)
+		}
+		if r.Killed {
+			return nil, 0, fmt.Errorf("bench: shard %s killed: %s", reqs[i].Name, r.Reason)
+		}
+		if r.ExitCode != 0 {
+			return nil, 0, fmt.Errorf("bench: shard %s exit=%d", reqs[i].Name, r.ExitCode)
+		}
+		cycles[i] = r.Cycles
+		verified += r.Verified
+	}
+	for r := 0; r < replicas; r++ {
+		if got, want := res[r].Output, workload.NetShardServerOutput(clients, iters, slotsOf[r]); got != want {
+			return nil, 0, fmt.Errorf("bench: shard replica %d output %q, want %q", r, got, want)
+		}
+	}
+	for i := replicas; i < len(res); i++ {
+		if got, want := res[i].Output, workload.NetShardClientOutput(iters); got != want {
+			return nil, 0, fmt.Errorf("bench: shard client %d output %q, want %q", i-replicas, got, want)
+		}
+	}
+	return cycles, verified, nil
+}
+
+// shardSweep runs the sharded arm: every (replicas, clients) cell
+// re-runs the fleet at each worker count and cross-checks that the
+// deterministic per-process cycle counts agree, then the 10k-client
+// scale cell runs once (its per-worker points derive from the same
+// deterministic counts via the makespan model).
+func shardSweep(key []byte) ([]ShardRow, error) {
+	var rows []ShardRow
+	cell := func(replicas, clients, iters int, rerun bool) (ShardRow, error) {
+		reqs, routes, err := buildShardReqs(key, replicas, clients, iters)
+		if err != nil {
+			return ShardRow{}, err
+		}
+		row := ShardRow{
+			Replicas: replicas,
+			Clients:  clients,
+			Iters:    iters,
+			Requests: uint64(clients) * uint64(iters) * 2 * workload.NetShardSlots,
+		}
+		var ref []uint64
+		var refVer, serial uint64
+		for _, w := range NetWorkers {
+			var cyc []uint64
+			var ver uint64
+			if ref == nil || rerun {
+				cyc, ver, err = runShardFleet(reqs, key, routes, replicas, clients, iters, w)
+				if err != nil {
+					return ShardRow{}, err
+				}
+			} else {
+				cyc, ver = ref, refVer
+			}
+			if ref == nil {
+				ref, refVer = cyc, ver
+				row.CyclesCached = sum(cyc)
+				row.Verified = ver
+				serial = sched.Makespan(cyc, 1)
+			} else {
+				for i := range cyc {
+					if cyc[i] != ref[i] {
+						return ShardRow{}, fmt.Errorf("bench: shard r=%d c=%d w=%d: proc %d cycles %d != %d",
+							replicas, clients, w, i, cyc[i], ref[i])
+					}
+				}
+			}
+			mk := sched.Makespan(ref, w)
+			speedup := float64(serial) / float64(mk)
+			row.Points = append(row.Points, NetPoint{
+				Workers:           w,
+				MakespanCycles:    mk,
+				Speedup:           speedup,
+				EfficiencyPct:     100 * speedup / float64(w),
+				VerifiedPerMCycle: 1e6 * float64(refVer) / float64(mk),
+			})
+		}
+		return row, nil
+	}
+	for _, replicas := range ShardReplicas {
+		for _, clients := range ShardClients {
+			row, err := cell(replicas, clients, ShardIters, true)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	// The scale cell: 10k clients, one real run (worker-count
+	// determinism is cross-checked by the sweep cells above).
+	row, err := cell(4, Shard10kClients, 1, false)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row)
+	return rows, nil
+}
+
+// ShardGuard runs the reduced 4-replica/8-client cell and returns its
+// 4-worker speedup and efficiency — the perf regression gate wired
+// into scripts/check.sh (the event loop must keep the replicas busy,
+// not serialized behind a shared wait).
+func ShardGuard(key []byte) (speedup, effPct float64, err error) {
+	reqs, routes, err := buildShardReqs(key, 4, 8, ShardIters)
+	if err != nil {
+		return 0, 0, err
+	}
+	cyc, _, err := runShardFleet(reqs, key, routes, 4, 8, ShardIters, 4)
+	if err != nil {
+		return 0, 0, err
+	}
+	serial := sched.Makespan(cyc, 1)
+	mk := sched.Makespan(cyc, 4)
+	speedup = float64(serial) / float64(mk)
+	return speedup, 100 * speedup / 4, nil
 }
 
 // Net runs the client-count × worker-count × enforcement sweep. All
@@ -209,6 +415,11 @@ func Net(key []byte, iters int) (*NetData, error) {
 		row.CachedOverheadPct = pct(row.CyclesOff, row.CyclesCached)
 		out.Rows = append(out.Rows, row)
 	}
+	shard, err := shardSweep(key)
+	if err != nil {
+		return nil, err
+	}
+	out.Shard = shard
 	return out, nil
 }
 
@@ -242,5 +453,27 @@ func (t *NetData) Render() string {
 		rows = append(rows, row)
 	}
 	title := fmt.Sprintf("Network fleet: echo+KV server + N load-gen clients, %d iterations/client", t.Iters)
-	return renderTable(title, header, rows)
+	out := renderTable(title, header, rows)
+	if len(t.Shard) == 0 {
+		return out
+	}
+	sheader := []string{"Replicas", "Clients", "Requests", "Cached cycles", "Verified"}
+	for _, w := range NetWorkers {
+		sheader = append(sheader, fmt.Sprintf("w=%d speedup", w))
+	}
+	var srows [][]string
+	for _, r := range t.Shard {
+		row := []string{
+			fmt.Sprint(r.Replicas),
+			fmt.Sprint(r.Clients),
+			fmt.Sprint(r.Requests),
+			fmt.Sprint(r.CyclesCached),
+			fmt.Sprint(r.Verified),
+		}
+		for _, p := range r.Points {
+			row = append(row, fmt.Sprintf("%.2fx (%.0f%%)", p.Speedup, p.EfficiencyPct))
+		}
+		srows = append(srows, row)
+	}
+	return out + "\n" + renderTable("Sharded fleet: poll event-loop KV replicas + consistent-hash LB clients", sheader, srows)
 }

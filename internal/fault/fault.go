@@ -68,6 +68,17 @@ const (
 	// a replayed control-flow state must fail the memory checker, whose
 	// in-kernel counter advanced in between.
 	ReplaySockCF Class = "net-replay-cf"
+	// FlipPollFD flips one bit of the pollfd-set pointer register at a
+	// poll site. The pointer is a MOVI-loaded constant — a
+	// policy-constrained immediate in the call encoding — so steering
+	// the event loop at a different pollfd array must surface as a
+	// call-MAC mismatch.
+	FlipPollFD Class = "poll-flip-fds"
+	// ReplayPollCF snapshots the {lastBlock, lbMAC} policy state at a
+	// blocking-capable poll and restores it at the next trap: stale
+	// readiness state replayed into the event loop must fail the memory
+	// checker at the following call.
+	ReplayPollCF Class = "poll-replay-cf"
 )
 
 // Classes returns every fault class in canonical order.
@@ -76,6 +87,7 @@ func Classes() []Class {
 		FlipRecord, FlipString, FlipCFState, FlipDescriptor,
 		FlipCacheGen, DropNonce, DupNonce, TornStore,
 		FlipSockPort, FlipSockMsg, ReplaySockCF,
+		FlipPollFD, ReplayPollCF,
 	}
 }
 
@@ -127,6 +139,11 @@ func Expectation(c Class) Expect {
 	case FlipSockMsg:
 		return Expect{Detected: true, Reasons: []kernel.KillReason{kernel.KillBadString}}
 	case ReplaySockCF:
+		return Expect{Detected: true, Deferred: true,
+			Reasons: []kernel.KillReason{kernel.KillBadState}}
+	case FlipPollFD:
+		return Expect{Detected: true, Reasons: []kernel.KillReason{kernel.KillBadCallMAC}}
+	case ReplayPollCF:
 		return Expect{Detected: true, Deferred: true,
 			Reasons: []kernel.KillReason{kernel.KillBadState}}
 	}
@@ -323,6 +340,36 @@ func (e *Engine) BeforeVerify(p *kernel.Process, num uint16, site uint32, recAdd
 		// Content bytes only — header flips are FlipString territory —
 		// so the detection reason is pinned to the string check.
 		e.flipUserBit(p, ptr, int(length))
+	case FlipPollFD:
+		if num != sys.SysPoll {
+			return // only poll sites carry a pollfd-set pointer
+		}
+		if !e.step() {
+			return
+		}
+		// The pollfd-set address (arg 0) lives in R1 as a MOVI-loaded
+		// constant; like FlipSockPort this is a register perturbation —
+		// the event loop handing the kernel a different array — so there
+		// is no memory store to generation-track, and both the cold path
+		// and a cache hit must catch it when rebuilding the call encoding
+		// from live registers.
+		p.CPU.Regs[isa.R1] ^= 1 << (e.pick % 32)
+		e.fire(num, site)
+	case ReplayPollCF:
+		if num != sys.SysPoll || !recOK || !rec.Desc.ControlFlow() {
+			return
+		}
+		if !e.step() {
+			return
+		}
+		b, err := p.Mem.KernelRead(rec.LbPtr, policy.PolicyStateSize)
+		if err != nil {
+			return
+		}
+		e.armedReplay = true
+		e.replayPtr = rec.LbPtr
+		e.replayState = append([]byte(nil), b...)
+		e.FiredNum, e.FiredSite = num, site
 	case ReplaySockCF:
 		if num != sys.SysRecvfrom || !recOK || !rec.Desc.ControlFlow() {
 			return

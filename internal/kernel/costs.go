@@ -54,6 +54,11 @@ type CostModel struct {
 	// cycles = n * PerByte / 1000).
 	ReadPerByte  uint64
 	WritePerByte uint64
+	// PollPerFD is the per-entry cost of scanning one pollfd (or one
+	// select bit): copy-in, fd resolution, and the readiness probe. It
+	// is charged per call whether or not the call parks, like every
+	// other handler cost.
+	PollPerFD uint64
 	// DaemonSwitch is the cost of one user-space context switch, used
 	// only by the Systrace-style delegating monitor comparison
 	// (Section 2.3: daemon-based monitors pay two per call).
@@ -72,6 +77,7 @@ var DefaultCosts = CostModel{
 	CommitFlush:        200,  // batch encode + state writeback + read-back
 	ReadPerByte:        1420, // read(4096) ≈ 1000 + 500 + 4096*1.42 ≈ 7,300 cycles
 	WritePerByte:       9350, // write(4096) ≈ 1000 + 500 + 4096*9.35 ≈ 39,800 cycles
+	PollPerFD:          50,   // pollfd copy-in + fd resolve + readiness probe
 	DaemonSwitch:       3000,
 }
 
@@ -101,4 +107,10 @@ func init() {
 	handlerCost[78] = 700 // accept (handshake)
 	handlerCost[79] = 200 // shutdown
 	handlerCost[84] = 400 // socketpair
+
+	// Readiness multiplexing. The base covers set decode and writeback;
+	// PollPerFD is added per entry. Charged whether or not the call
+	// parks, like the blocking socket calls above.
+	handlerCost[68] = 400 // select base (plus per-fd)
+	handlerCost[69] = 400 // poll base (plus per-fd)
 }

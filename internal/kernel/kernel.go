@@ -67,7 +67,10 @@ const (
 const (
 	DefaultMemSize   = 4 << 20
 	DefaultStackSize = 256 << 10
-	maxFDs           = 256
+	// maxFDs bounds one process's descriptor table. Sized for the
+	// sharded-service benchmarks, where a single event-loop replica
+	// holds an accepted connection per client in a 10k-client cell.
+	maxFDs = 16384
 )
 
 // KillReason classifies why the monitor terminated a process.
@@ -392,6 +395,10 @@ type socket struct {
 	port  uint16
 	lis   *anet.Listener
 	conn  *anet.Conn
+	// nonblock is the O_NONBLOCK status flag (fcntl F_SETFL): blocking
+	// entry points get a nil gate, so would-park operations fail with
+	// EAGAIN instead.
+	nonblock bool
 }
 
 // Process is one running program.

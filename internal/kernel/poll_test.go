@@ -1,0 +1,255 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"testing"
+
+	anet "asc/internal/net"
+	"asc/internal/sys"
+)
+
+// putPollSet writes an encoded pollfd set into guest memory and returns
+// its address.
+func putPollSet(t *testing.T, p *Process, addr uint32, set []anet.PollFD) {
+	t.Helper()
+	if err := p.Mem.UserWrite(addr, anet.EncodePollSet(set)); err != nil {
+		t.Fatalf("write poll set: %v", err)
+	}
+}
+
+// readPollSet reads nfds entries back from guest memory.
+func readPollSet(t *testing.T, p *Process, addr, nfds uint32) []anet.PollFD {
+	t.Helper()
+	raw, err := p.Mem.KernelRead(addr, nfds*anet.PollFDSize)
+	if err != nil {
+		t.Fatalf("read poll set: %v", err)
+	}
+	set, err := anet.DecodePollSet(raw)
+	if err != nil {
+		t.Fatalf("decode poll set: %v", err)
+	}
+	return set
+}
+
+// TestFcntlNonblock covers the F_GETFL/F_SETFL round trip and the
+// EAGAIN discipline it buys: a nonblocking accept on an empty backlog
+// and a nonblocking recvfrom on an empty inbox fail with EAGAIN, and
+// clearing the flag restores the gate path.
+func TestFcntlNonblock(t *testing.T) {
+	k := netKernel(t)
+	p := newProc(t, k)
+
+	fd := call(k, p, sys.SysSocket, 2, 1, 0)
+	if r := call(k, p, sys.SysFcntl, fd, FGetFL, 0); r != 0 {
+		t.Errorf("F_GETFL fresh socket = %#x, want 0", r)
+	}
+	if r := call(k, p, sys.SysFcntl, fd, FSetFL, ONonblock); r != 0 {
+		t.Fatalf("F_SETFL = %d", int32(r))
+	}
+	if r := call(k, p, sys.SysFcntl, fd, FGetFL, 0); r != ONonblock {
+		t.Errorf("F_GETFL after set = %#x, want %#x", r, ONonblock)
+	}
+	if r := call(k, p, sys.SysFcntl, fd, FSetFL, 0); r != 0 {
+		t.Fatalf("F_SETFL clear = %d", int32(r))
+	}
+	if r := call(k, p, sys.SysFcntl, fd, FGetFL, 0); r != 0 {
+		t.Errorf("F_GETFL after clear = %#x, want 0", r)
+	}
+	// Non-socket descriptors accept and ignore the flag.
+	if r := call(k, p, sys.SysFcntl, 1, FSetFL, ONonblock); r != 0 {
+		t.Errorf("F_SETFL on console = %d", int32(r))
+	}
+	if r := call(k, p, sys.SysFcntl, 1, FGetFL, 0); r != 0 {
+		t.Errorf("F_GETFL on console = %#x, want 0", r)
+	}
+	if r := call(k, p, sys.SysFcntl, 99, FGetFL, 0); int32(r) != -sys.EBADF {
+		t.Errorf("fcntl bad fd = %d, want -EBADF", int32(r))
+	}
+
+	// EAGAIN discipline on a listening socket with an empty backlog.
+	if r := call(k, p, sys.SysBind, fd, anet.EncodeAddr(70)); r != 0 {
+		t.Fatalf("bind = %d", int32(r))
+	}
+	if r := call(k, p, sys.SysListen, fd, 4); r != 0 {
+		t.Fatalf("listen = %d", int32(r))
+	}
+	if r := call(k, p, sys.SysFcntl, fd, FSetFL, ONonblock); r != 0 {
+		t.Fatalf("F_SETFL = %d", int32(r))
+	}
+	if r := call(k, p, sys.SysAccept, fd, 0); int32(r) != -sys.EAGAIN {
+		t.Errorf("nonblocking accept = %d, want -EAGAIN", int32(r))
+	}
+
+	// EAGAIN discipline on an empty socketpair inbox.
+	out := scratch(p)
+	if r := call(k, p, sys.SysSocketpair, 1, 1, 0, out); r != 0 {
+		t.Fatalf("socketpair = %d", int32(r))
+	}
+	b, _ := p.Mem.KernelRead(out, 8)
+	a := binary.LittleEndian.Uint32(b)
+	if r := call(k, p, sys.SysFcntl, a, FSetFL, ONonblock); r != 0 {
+		t.Fatalf("F_SETFL pair = %d", int32(r))
+	}
+	buf := scratch(p) + 64
+	if r := call(k, p, sys.SysRecvfrom, a, buf, 16, 0, 0); int32(r) != -sys.EAGAIN {
+		t.Errorf("nonblocking recvfrom = %d, want -EAGAIN", int32(r))
+	}
+}
+
+// TestPollSyscall drives poll over a socketpair, a listener, a static
+// console fd, and a bad fd, checking the return count, the written-back
+// revents, and the argument validation arms.
+func TestPollSyscall(t *testing.T) {
+	k := netKernel(t)
+	p := newProc(t, k)
+
+	out := scratch(p)
+	if r := call(k, p, sys.SysSocketpair, 1, 1, 0, out); r != 0 {
+		t.Fatalf("socketpair = %d", int32(r))
+	}
+	b, _ := p.Mem.KernelRead(out, 8)
+	a, c := binary.LittleEndian.Uint32(b), binary.LittleEndian.Uint32(b[4:])
+
+	// Idle pair, POLLIN only: nothing ready at timeout 0.
+	setAddr := scratch(p) + 128
+	putPollSet(t, p, setAddr, []anet.PollFD{{FD: c, Events: anet.POLLIN}})
+	if r := call(k, p, sys.SysPoll, setAddr, 1, 0); r != 0 {
+		t.Errorf("poll idle = %d, want 0", int32(r))
+	}
+	// POLLIN|POLLOUT: writable counts.
+	putPollSet(t, p, setAddr, []anet.PollFD{{FD: c, Events: anet.POLLIN | anet.POLLOUT}})
+	if r := call(k, p, sys.SysPoll, setAddr, 1, 0); r != 1 {
+		t.Errorf("poll writable = %d, want 1", int32(r))
+	}
+	if set := readPollSet(t, p, setAddr, 1); set[0].REvents != anet.POLLOUT {
+		t.Errorf("revents = %#x, want POLLOUT", set[0].REvents)
+	}
+	// Queue a message: POLLIN fires even with a blocking timeout (data
+	// is already there, so nothing parks).
+	buf := scratch(p) + 256
+	putStr(t, p, buf, "x")
+	if n := call(k, p, sys.SysSendto, a, buf, 1, 0, 0); n != 1 {
+		t.Fatalf("sendto = %d", int32(n))
+	}
+	putPollSet(t, p, setAddr, []anet.PollFD{{FD: c, Events: anet.POLLIN}})
+	if r := call(k, p, sys.SysPoll, setAddr, 1, 0xffffffff); r != 1 {
+		t.Errorf("poll with data = %d, want 1", int32(r))
+	}
+	if set := readPollSet(t, p, setAddr, 1); set[0].REvents != anet.POLLIN {
+		t.Errorf("revents = %#x, want POLLIN", set[0].REvents)
+	}
+
+	// Mixed set: listener with a pending connection, console (static),
+	// bad fd (POLLNVAL) — all three count as ready.
+	srv := call(k, p, sys.SysSocket, 2, 1, 0)
+	if r := call(k, p, sys.SysBind, srv, anet.EncodeAddr(71)); r != 0 {
+		t.Fatalf("bind = %d", int32(r))
+	}
+	if r := call(k, p, sys.SysListen, srv, 4); r != 0 {
+		t.Fatalf("listen = %d", int32(r))
+	}
+	cli := call(k, p, sys.SysSocket, 2, 1, 0)
+	if r := call(k, p, sys.SysConnect, cli, anet.EncodeAddr(71)); r != 0 {
+		t.Fatalf("connect = %d", int32(r))
+	}
+	putPollSet(t, p, setAddr, []anet.PollFD{
+		{FD: srv, Events: anet.POLLIN},
+		{FD: 1, Events: anet.POLLOUT},
+		{FD: 99, Events: anet.POLLIN},
+	})
+	if r := call(k, p, sys.SysPoll, setAddr, 3, 0); r != 3 {
+		t.Errorf("poll mixed = %d, want 3", int32(r))
+	}
+	set := readPollSet(t, p, setAddr, 3)
+	if set[0].REvents != anet.POLLIN || set[1].REvents != anet.POLLOUT || set[2].REvents != anet.POLLNVAL {
+		t.Errorf("mixed revents = %#x %#x %#x", set[0].REvents, set[1].REvents, set[2].REvents)
+	}
+
+	// Validation arms.
+	if r := call(k, p, sys.SysPoll, setAddr, anet.MaxPollFDs+1, 0); int32(r) != -sys.EINVAL {
+		t.Errorf("poll oversized = %d, want -EINVAL", int32(r))
+	}
+	if r := call(k, p, sys.SysPoll, 0xffff_0000, 1, 0); int32(r) != -sys.EFAULT {
+		t.Errorf("poll bad addr = %d, want -EFAULT", int32(r))
+	}
+	if r := call(k, p, sys.SysPoll, setAddr, 0, 0); r != 0 {
+		t.Errorf("poll nfds=0 = %d, want 0", int32(r))
+	}
+}
+
+// TestSelectSyscall covers the bitmap form: data-ready read fd, always
+// writable socket, cleared except set, and the EBADF arm.
+func TestSelectSyscall(t *testing.T) {
+	k := netKernel(t)
+	p := newProc(t, k)
+
+	out := scratch(p)
+	if r := call(k, p, sys.SysSocketpair, 1, 1, 0, out); r != 0 {
+		t.Fatalf("socketpair = %d", int32(r))
+	}
+	b, _ := p.Mem.KernelRead(out, 8)
+	a, c := binary.LittleEndian.Uint32(b), binary.LittleEndian.Uint32(b[4:])
+	buf := scratch(p) + 64
+	putStr(t, p, buf, "y")
+	if n := call(k, p, sys.SysSendto, a, buf, 1, 0, 0); n != 1 {
+		t.Fatalf("sendto = %d", int32(n))
+	}
+
+	nfds := uint32(32)
+	rAddr, wAddr := scratch(p)+128, scratch(p)+192
+	putWord := func(addr, w uint32) {
+		var raw [4]byte
+		binary.LittleEndian.PutUint32(raw[:], w)
+		if err := p.Mem.UserWrite(addr, raw[:]); err != nil {
+			t.Fatalf("write fd set: %v", err)
+		}
+	}
+	word := func(addr uint32) uint32 {
+		raw, _ := p.Mem.KernelRead(addr, 4)
+		return binary.LittleEndian.Uint32(raw)
+	}
+	// Read-interest in c (has data), write-interest in a (has room):
+	// both fire, timeout pointer nonzero so the call never parks.
+	putWord(rAddr, 1<<c)
+	putWord(wAddr, 1<<a)
+	if r := call(k, p, sys.SysSelect, nfds, rAddr, wAddr, 0, buf); r != 2 {
+		t.Errorf("select = %d, want 2", int32(r))
+	}
+	if got := word(rAddr); got != 1<<c {
+		t.Errorf("read set = %#x, want %#x", got, uint32(1)<<c)
+	}
+	if got := word(wAddr); got != 1<<a {
+		t.Errorf("write set = %#x, want %#x", got, uint32(1)<<a)
+	}
+	// Idle read set: cleared, zero ready.
+	putWord(rAddr, 1<<a)
+	if r := call(k, p, sys.SysSelect, nfds, rAddr, 0, 0, buf); r != 0 {
+		t.Errorf("select idle = %d, want 0", int32(r))
+	}
+	if got := word(rAddr); got != 0 {
+		t.Errorf("idle read set = %#x, want 0", got)
+	}
+	// A bad fd in the set is EBADF (select semantics, not POLLNVAL).
+	putWord(rAddr, 1<<20)
+	if r := call(k, p, sys.SysSelect, nfds, rAddr, 0, 0, buf); int32(r) != -sys.EBADF {
+		t.Errorf("select bad fd = %d, want -EBADF", int32(r))
+	}
+	if r := call(k, p, sys.SysSelect, selectMaxFDs+1, rAddr, 0, 0, buf); int32(r) != -sys.EINVAL {
+		t.Errorf("select oversized = %d, want -EINVAL", int32(r))
+	}
+}
+
+// TestPollLegacyStub: without a network, poll and select keep the
+// historical nothing-is-ready stub behaviour.
+func TestPollLegacyStub(t *testing.T) {
+	k := newKernel(t, WithMode(Permissive))
+	p := newProc(t, k)
+	setAddr := scratch(p)
+	putPollSet(t, p, setAddr, []anet.PollFD{{FD: 1, Events: anet.POLLIN}})
+	if r := call(k, p, sys.SysPoll, setAddr, 1, 0); r != 0 {
+		t.Errorf("legacy poll = %d, want 0", int32(r))
+	}
+	if r := call(k, p, sys.SysSelect, 4, 0, 0, 0, 0); r != 0 {
+		t.Errorf("legacy select = %d, want 0", int32(r))
+	}
+}

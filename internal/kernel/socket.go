@@ -60,6 +60,18 @@ func (k *Kernel) parkPoint(p *Process) {
 	}
 }
 
+// gateFor picks the gate a potentially-blocking operation on s parks
+// on: the process's scheduler gate normally, nil when the socket is in
+// nonblocking mode — a nil gate never parks, so would-block operations
+// fail with ErrWouldBlock and surface as EAGAIN. This is the entire
+// O_NONBLOCK mechanism; the network layer needs no mode of its own.
+func (p *Process) gateFor(s *socket) anet.Gate {
+	if s.nonblock {
+		return nil
+	}
+	return p.gate
+}
+
 // sockEntry validates a socket descriptor: EBADF for a bad fd,
 // ENOTSOCK for a descriptor of another kind.
 func (p *Process) sockEntry(fd uint32) (*fdEntry, uint32) {
@@ -195,7 +207,7 @@ func (k *Kernel) sysConnect(p *Process, fd, addr uint32) uint32 {
 		return errno(sys.EINVAL)
 	}
 	k.parkPoint(p)
-	c, err := k.Net.Dial(a.Port, p.gate)
+	c, err := k.Net.Dial(a.Port, p.gateFor(s))
 	if err != nil {
 		return netErrno(err)
 	}
@@ -221,7 +233,7 @@ func (k *Kernel) sysAccept(p *Process, fd, addrOut uint32) uint32 {
 		return errno(sys.EINVAL)
 	}
 	k.parkPoint(p)
-	c, err := s.lis.Accept(p.gate)
+	c, err := s.lis.Accept(p.gateFor(s))
 	if err != nil {
 		return netErrno(err)
 	}
@@ -266,7 +278,7 @@ func (k *Kernel) sysSendto(p *Process, fd, buf, n, addr uint32) uint32 {
 		return errno(sys.EFAULT)
 	}
 	k.parkPoint(p)
-	if err := s.conn.Send(b, p.gate); err != nil {
+	if err := s.conn.Send(b, p.gateFor(s)); err != nil {
 		if errors.Is(err, anet.ErrReset) {
 			return errno(sys.EPIPE)
 		}
@@ -290,7 +302,7 @@ func (k *Kernel) sysRecvfrom(p *Process, fd, buf, n, srcOut uint32) uint32 {
 		return errno(sys.ENOTCONN)
 	}
 	k.parkPoint(p)
-	msg, err := s.conn.Recv(p.gate)
+	msg, err := s.conn.Recv(p.gateFor(s))
 	if err != nil {
 		return netErrno(err)
 	}
@@ -376,4 +388,180 @@ func (k *Kernel) sysSocketpair(p *Process, buf uint32) uint32 {
 		return errno(sys.EFAULT)
 	}
 	return 0
+}
+
+// pollEntryFor resolves one guest fd to a readiness entry. Unknown fds
+// are Invalid (POLLNVAL); non-socket descriptors (files, pipes, the
+// console) never block in this kernel and are Static always-ready;
+// unconnected sockets resolve to no object and are never ready.
+func (p *Process) pollEntryFor(fd uint32, wantIn, wantOut bool) anet.PollEntry {
+	pe := anet.PollEntry{WantIn: wantIn, WantOut: wantOut}
+	e := p.fd(fd)
+	switch {
+	case e == nil:
+		pe.Invalid = true
+	case e.kind != fdSocket || e.sock == nil:
+		pe.Static = true
+	case e.sock.lis != nil:
+		pe.Lis = e.sock.lis
+	case e.sock.conn != nil:
+		pe.Conn = e.sock.conn
+	}
+	return pe
+}
+
+// sysPoll implements poll(2) over the guest pollfd record set (see
+// internal/net: 8 bytes per entry, fd word + events|revents word). A
+// zero timeout polls once; any nonzero timeout blocks until some entry
+// is ready — elapsed time is not modeled, so finite timeouts never
+// expire. The set pointer is a MOVI constant in every workload, making
+// it a MAC-constrained immediate: a tampered pointer is a call-MAC
+// mismatch, not a misdirected readiness scan.
+func (k *Kernel) sysPoll(p *Process, fdsAddr, nfds, timeout uint32) uint32 {
+	if nfds > anet.MaxPollFDs {
+		return errno(sys.EINVAL)
+	}
+	p.CPU.Cycles += uint64(nfds) * k.Costs.PollPerFD
+	if nfds == 0 {
+		return 0
+	}
+	raw, err := p.Mem.KernelRead(fdsAddr, nfds*anet.PollFDSize)
+	if err != nil {
+		return errno(sys.EFAULT)
+	}
+	set, err := anet.DecodePollSet(raw)
+	if err != nil {
+		return errno(sys.EINVAL)
+	}
+	if k.Net == nil {
+		return 0 // legacy stub: nothing is ever ready
+	}
+	entries := make([]anet.PollEntry, len(set))
+	for i, f := range set {
+		entries[i] = p.pollEntryFor(f.FD, f.Events&anet.POLLIN != 0, f.Events&anet.POLLOUT != 0)
+	}
+	k.parkPoint(p)
+	ready := k.Net.Poll(entries, timeout != 0, p.gate)
+	for i := range set {
+		set[i].REvents = 0
+		if entries[i].Invalid {
+			set[i].REvents |= anet.POLLNVAL
+		}
+		if entries[i].In {
+			set[i].REvents |= anet.POLLIN
+		}
+		if entries[i].Out {
+			set[i].REvents |= anet.POLLOUT
+		}
+	}
+	if err := p.Mem.UserWrite(fdsAddr, anet.EncodePollSet(set)); err != nil {
+		return errno(sys.EFAULT)
+	}
+	return uint32(ready)
+}
+
+// selectMaxFDs bounds the select bitmap width (words = selectMaxFDs/32).
+const selectMaxFDs = 1024
+
+// readFDSet loads a select bitmap (little-endian 32-bit words) from
+// guest memory; a zero address is an absent set.
+func (p *Process) readFDSet(addr, words uint32) ([]uint32, uint32) {
+	if addr == 0 {
+		return nil, 0
+	}
+	raw, err := p.Mem.KernelRead(addr, words*4)
+	if err != nil {
+		return nil, errno(sys.EFAULT)
+	}
+	set := make([]uint32, words)
+	for i := range set {
+		set[i] = binary.LittleEndian.Uint32(raw[i*4:])
+	}
+	return set, 0
+}
+
+// sysSelect implements a minimal select(2): read/write fd bitmaps,
+// except set ignored (always cleared), a nil timeout pointer blocks and
+// a non-nil one polls once. Ready fds stay set in the written-back
+// bitmaps; the return value counts set bits across both maps.
+func (k *Kernel) sysSelect(p *Process, nfds, rAddr, wAddr, eAddr, tAddr uint32) uint32 {
+	if nfds > selectMaxFDs {
+		return errno(sys.EINVAL)
+	}
+	p.CPU.Cycles += uint64(nfds) * k.Costs.PollPerFD
+	if nfds == 0 {
+		return 0
+	}
+	words := (nfds + 31) / 32
+	rSet, rc := p.readFDSet(rAddr, words)
+	if rc != 0 {
+		return rc
+	}
+	wSet, rc := p.readFDSet(wAddr, words)
+	if rc != 0 {
+		return rc
+	}
+	if k.Net == nil {
+		return 0 // legacy stub: nothing is ever ready
+	}
+	type slot struct {
+		fd       uint32
+		entryIdx int
+	}
+	var entries []anet.PollEntry
+	var slots []slot
+	for fd := uint32(0); fd < nfds; fd++ {
+		wantIn := rSet != nil && rSet[fd/32]&(1<<(fd%32)) != 0
+		wantOut := wSet != nil && wSet[fd/32]&(1<<(fd%32)) != 0
+		if !wantIn && !wantOut {
+			continue
+		}
+		pe := p.pollEntryFor(fd, wantIn, wantOut)
+		if pe.Invalid {
+			return errno(sys.EBADF) // select reports bad fds as EBADF
+		}
+		slots = append(slots, slot{fd: fd, entryIdx: len(entries)})
+		entries = append(entries, pe)
+	}
+	if len(entries) > 0 {
+		k.parkPoint(p)
+		k.Net.Poll(entries, tAddr == 0, p.gate)
+	}
+	ready := uint32(0)
+	for i := range rSet {
+		rSet[i] = 0
+	}
+	for i := range wSet {
+		wSet[i] = 0
+	}
+	for _, s := range slots {
+		e := &entries[s.entryIdx]
+		if e.In {
+			rSet[s.fd/32] |= 1 << (s.fd % 32)
+			ready++
+		}
+		if e.Out {
+			wSet[s.fd/32] |= 1 << (s.fd % 32)
+			ready++
+		}
+	}
+	for _, out := range []struct {
+		addr uint32
+		set  []uint32
+	}{{rAddr, rSet}, {wAddr, wSet}} {
+		if out.addr == 0 {
+			continue
+		}
+		raw := make([]byte, len(out.set)*4)
+		for i, w := range out.set {
+			binary.LittleEndian.PutUint32(raw[i*4:], w)
+		}
+		if err := p.Mem.UserWrite(out.addr, raw); err != nil {
+			return errno(sys.EFAULT)
+		}
+	}
+	if eAddr != 0 {
+		k.writeZeros(p, eAddr, words*4)
+	}
+	return ready
 }

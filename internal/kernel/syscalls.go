@@ -22,6 +22,15 @@ const (
 	OCreat  = 0x40
 	OTrunc  = 0x200
 	OAppend = 0x400
+	// ONonblock is a status flag (fcntl F_SETFL), not an open mode:
+	// only sockets honour it, turning would-park operations into EAGAIN.
+	ONonblock = 0x800
+)
+
+// fcntl commands.
+const (
+	FGetFL = 3
+	FSetFL = 4
 )
 
 // Seek whence values.
@@ -148,7 +157,7 @@ func (k *Kernel) dispatch(p *Process, num uint16, site uint32, args [sys.MaxArgs
 		p.CPU.Cycles += 1000 // modeled sleep latency
 		return 0, false
 	case sys.SysFcntl:
-		return k.sysFcntl(p, args[0]), false
+		return k.sysFcntl(p, args[0], args[1], args[2]), false
 	case sys.SysGetdirentries:
 		return k.sysGetdirentries(p, args[0], args[1], args[2]), false
 	case sys.SysFstatfs, sys.SysStatfs:
@@ -213,8 +222,10 @@ func (k *Kernel) dispatch(p *Process, num uint16, site uint32, args [sys.MaxArgs
 		return 0, false
 	case sys.SysGethostname:
 		return k.sysGethostname(p, args[0], args[1]), false
-	case sys.SysSelect, sys.SysPoll:
-		return 0, false
+	case sys.SysPoll:
+		return k.sysPoll(p, args[0], args[1], args[2]), false
+	case sys.SysSelect:
+		return k.sysSelect(p, args[0], args[1], args[2], args[3], args[4]), false
 	case sys.SysPread:
 		return k.sysPRead(p, args[0], args[1], args[2], args[3]), false
 	case sys.SysPwrite:
@@ -677,11 +688,27 @@ func (k *Kernel) sysSigaction(p *Process, sig, act, oldact uint32) uint32 {
 	return 0
 }
 
-func (k *Kernel) sysFcntl(p *Process, fd uint32) uint32 {
-	if p.fd(fd) == nil {
+func (k *Kernel) sysFcntl(p *Process, fd, cmd, arg uint32) uint32 {
+	e := p.fd(fd)
+	if e == nil {
 		return errno(sys.EBADF)
 	}
-	return 0
+	switch cmd {
+	case FGetFL:
+		if e.kind == fdSocket && e.sock != nil && e.sock.nonblock {
+			return ONonblock
+		}
+		return 0
+	case FSetFL:
+		// Only sockets carry a blocking mode; other descriptors accept
+		// and ignore the flags (the historical stub behaviour).
+		if e.kind == fdSocket && e.sock != nil {
+			e.sock.nonblock = arg&ONonblock != 0
+		}
+		return 0
+	default:
+		return 0
+	}
 }
 
 func (k *Kernel) sysGetdirentries(p *Process, fd, buf, n uint32) uint32 {

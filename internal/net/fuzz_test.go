@@ -1,6 +1,9 @@
 package net
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+)
 
 // FuzzSockAddrDecode checks the by-value address codec invariants: a
 // decoded address re-encodes to the same word, and every accepted word
@@ -29,6 +32,35 @@ func FuzzSockAddrDecode(f *testing.F) {
 		}
 		if EncodeAddr(a.Port) != v {
 			t.Fatalf("EncodeAddr(%d) != %#x", a.Port, v)
+		}
+	})
+}
+
+// FuzzPollSetDecode checks the pollfd guest-record codec: every
+// accepted byte string is a whole number of entries within the size
+// cap, decodes without panicking, and re-encodes to the same bytes.
+func FuzzPollSetDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodePollSet([]PollFD{{FD: 3, Events: POLLIN}}))
+	f.Add(EncodePollSet([]PollFD{
+		{FD: 4, Events: POLLIN | POLLOUT, REvents: POLLNVAL},
+		{FD: 0xffffffff, Events: 0xffff, REvents: 0xffff},
+	}))
+	f.Add([]byte{1, 2, 3})
+	f.Add(make([]byte, (MaxPollFDs+1)*PollFDSize))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fds, err := DecodePollSet(b)
+		if err != nil {
+			if len(b)%PollFDSize == 0 && len(b) <= MaxPollFDs*PollFDSize {
+				t.Fatalf("DecodePollSet rejected a well-formed %d-byte set: %v", len(b), err)
+			}
+			return
+		}
+		if len(fds) != len(b)/PollFDSize {
+			t.Fatalf("decoded %d entries from %d bytes", len(fds), len(b))
+		}
+		if got := EncodePollSet(fds); !bytes.Equal(got, b) {
+			t.Fatalf("re-encode mismatch: %x != %x", got, b)
 		}
 	})
 }

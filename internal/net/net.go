@@ -24,13 +24,29 @@
 // so a blocking socket call must not pin its worker: with one worker a
 // parked server would starve the client that could unblock it. Blocking
 // entry points therefore take a Gate — the scheduler's run-slot
-// semaphore. Before parking on the network's condition variable the
-// caller releases its run slot (another runnable process takes the
-// worker), and after waking it re-acquires the slot before returning to
-// guest code. A nil Gate means the caller has no scheduler slot to
-// yield (standalone programs); such callers never park — operations
-// that would block fail with ErrWouldBlock instead, keeping
-// single-process runs hang-free.
+// semaphore. Before parking on a condition variable the caller releases
+// its run slot (another runnable process takes the worker), and after
+// waking it re-acquires the slot before returning to guest code. A nil
+// Gate means the caller has no scheduler slot to yield (standalone
+// programs, or sockets in nonblocking mode); such callers never park —
+// operations that would block fail with ErrWouldBlock instead, keeping
+// single-process runs hang-free and giving O_NONBLOCK its EAGAIN
+// semantics for free.
+//
+// # Wakeup topology
+//
+// One lock (n.mu) still guards the whole network — that sidesteps
+// lock-ordering concerns — but waiting is per-object: each listener has
+// an accept cond (pending connection arrived) and a space cond (backlog
+// slot freed), each endpoint has a data cond (message arrived in my
+// inbox) and a space cond (room freed in my inbox, which is what my
+// peer's Send waits for). Hot-path state changes Signal exactly one
+// waiter instead of broadcasting to every parked socket in the fleet;
+// without this a 10k-client dial storm degenerates into O(clients²)
+// spurious wakeups on a single global cond. Broadcasts survive only on
+// rare or terminal transitions (port bind, close) and for pollers,
+// which by design watch many objects at once and are counted so the
+// broadcast is skipped entirely when nobody polls.
 package net
 
 import (
@@ -74,12 +90,15 @@ const (
 )
 
 // Network is one loopback network: a port namespace plus the single
-// lock and condition variable that all blocking socket operations share
-// (one lock sidesteps lock-ordering concerns; broadcasts are cheap at
-// guest-fleet scale).
+// lock that all socket operations share. Parking is per-object (see the
+// package comment); the network-level conds cover the two cross-object
+// waits — dialers waiting for a port to be bound at all, and pollers
+// watching many objects at once.
 type Network struct {
 	mu        sync.Mutex
-	cond      *sync.Cond
+	bindCond  *sync.Cond // a port was bound; dialers to unbound ports recheck
+	pollCond  *sync.Cond // any state change; only signaled while pollers exist
+	pollers   int        // pollers currently parked on pollCond
 	ports     map[uint16]*Listener
 	ephemeral uint16
 }
@@ -87,33 +106,44 @@ type Network struct {
 // New creates an empty loopback network.
 func New() *Network {
 	n := &Network{ports: make(map[uint16]*Listener), ephemeral: ephemeralBase}
-	n.cond = sync.NewCond(&n.mu)
+	n.bindCond = sync.NewCond(&n.mu)
+	n.pollCond = sync.NewCond(&n.mu)
 	return n
 }
 
-// wait parks the caller until the next state-change broadcast. With a
-// gate, the caller's scheduler slot is released while parked and
-// re-acquired — without the network lock held — before returning.
-func (n *Network) wait(g Gate) {
+// wait parks the caller on c until the next signal. With a gate, the
+// caller's scheduler slot is released while parked and re-acquired —
+// without the network lock held — before returning.
+func (n *Network) wait(c *sync.Cond, g Gate) {
 	if g == nil {
-		n.cond.Wait()
+		c.Wait()
 		return
 	}
 	g.Leave()
-	n.cond.Wait()
+	c.Wait()
 	n.mu.Unlock()
 	g.Enter()
 	n.mu.Lock()
 }
 
+// wakePollers unblocks parked Poll calls after a state change. The
+// counter check keeps the non-polling fast path at one integer compare.
+func (n *Network) wakePollers() {
+	if n.pollers > 0 {
+		n.pollCond.Broadcast()
+	}
+}
+
 // Listener is a bound, listening port with a bounded backlog of
 // connections that completed Dial but have not been Accepted.
 type Listener struct {
-	n        *Network
-	port     uint16
-	capacity int
-	backlog  []*Conn
-	closed   bool
+	n          *Network
+	port       uint16
+	capacity   int
+	backlog    []*Conn
+	closed     bool
+	acceptCond *sync.Cond // pending connection enqueued (or closed)
+	spaceCond  *sync.Cond // backlog slot freed (or closed)
 }
 
 // Listen binds and listens on port with the given backlog capacity
@@ -132,8 +162,11 @@ func (n *Network) Listen(port uint16, backlog int) (*Listener, error) {
 		return nil, ErrInUse
 	}
 	l := &Listener{n: n, port: port, capacity: backlog}
+	l.acceptCond = sync.NewCond(&n.mu)
+	l.spaceCond = sync.NewCond(&n.mu)
 	n.ports[port] = l
-	n.cond.Broadcast() // port now bound: unblock dialers waiting for it
+	n.bindCond.Broadcast() // port now bound: unblock dialers waiting for it
+	n.wakePollers()
 	return l, nil
 }
 
@@ -155,13 +188,13 @@ func (l *Listener) Accept(g Gate) (*Conn, error) {
 			c := l.backlog[0]
 			copy(l.backlog, l.backlog[1:])
 			l.backlog = l.backlog[:len(l.backlog)-1]
-			n.cond.Broadcast() // backlog space freed: unblock dialers
+			l.spaceCond.Signal() // backlog slot freed: one dialer may fill it
 			return c, nil
 		}
 		if g == nil {
 			return nil, ErrWouldBlock
 		}
-		n.wait(g)
+		n.wait(l.acceptCond, g)
 	}
 }
 
@@ -181,7 +214,9 @@ func (l *Listener) Close() {
 		c.closeLocked()
 	}
 	l.backlog = nil
-	n.cond.Broadcast()
+	l.acceptCond.Broadcast()
+	l.spaceCond.Broadcast()
+	n.wakePollers()
 }
 
 // Dial connects to a listening port, parking (via g) while the port is
@@ -205,7 +240,7 @@ func (n *Network) Dial(port uint16, g Gate) (*Conn, error) {
 			if g == nil {
 				return nil, ErrRefused
 			}
-			n.wait(g)
+			n.wait(n.bindCond, g)
 			continue
 		}
 		if len(l.backlog) < l.capacity {
@@ -215,13 +250,14 @@ func (n *Network) Dial(port uint16, g Gate) (*Conn, error) {
 			server.localPort = port
 			server.remotePort = client.localPort
 			l.backlog = append(l.backlog, server)
-			n.cond.Broadcast() // new pending connection: unblock acceptors
+			l.acceptCond.Signal() // new pending connection: one acceptor takes it
+			n.wakePollers()
 			return client, nil
 		}
 		if g == nil {
 			return nil, ErrWouldBlock
 		}
-		n.wait(g)
+		n.wait(l.spaceCond, g)
 	}
 }
 
@@ -246,6 +282,10 @@ func (n *Network) Pair() (*Conn, *Conn) {
 func (n *Network) pairLocked() (*Conn, *Conn) {
 	a := &Conn{n: n}
 	b := &Conn{n: n}
+	a.dataCond = sync.NewCond(&n.mu)
+	a.spaceCond = sync.NewCond(&n.mu)
+	b.dataCond = sync.NewCond(&n.mu)
+	b.spaceCond = sync.NewCond(&n.mu)
 	a.peer, b.peer = b, a
 	return a, b
 }
@@ -260,6 +300,8 @@ type Conn struct {
 	closed     bool
 	localPort  uint16
 	remotePort uint16
+	dataCond   *sync.Cond // message arrived in my inbox (or stream ended)
+	spaceCond  *sync.Cond // room freed in my inbox; my peer's Send waits here
 }
 
 // LocalPort returns the port bound to this endpoint (0 for socketpair
@@ -290,13 +332,14 @@ func (c *Conn) Send(msg []byte, g Gate) error {
 		if c.peer.inboxBytes+len(msg) <= connBuffer || len(c.peer.inbox) == 0 {
 			c.peer.inbox = append(c.peer.inbox, append([]byte(nil), msg...))
 			c.peer.inboxBytes += len(msg)
-			n.cond.Broadcast() // data available: unblock receivers
+			c.peer.dataCond.Signal() // data available: one receiver takes it
+			n.wakePollers()
 			return nil
 		}
 		if g == nil {
 			return ErrWouldBlock
 		}
-		n.wait(g)
+		n.wait(c.peer.spaceCond, g)
 	}
 }
 
@@ -318,7 +361,8 @@ func (c *Conn) Recv(g Gate) ([]byte, error) {
 			c.inbox[len(c.inbox)-1] = nil
 			c.inbox = c.inbox[:len(c.inbox)-1]
 			c.inboxBytes -= len(msg)
-			n.cond.Broadcast() // buffer space freed: unblock senders
+			c.spaceCond.Signal() // buffer space freed: my peer's sender may run
+			n.wakePollers()
 			return msg, nil
 		}
 		if c.peer.closed {
@@ -327,7 +371,7 @@ func (c *Conn) Recv(g Gate) ([]byte, error) {
 		if g == nil {
 			return nil, ErrWouldBlock
 		}
-		n.wait(g)
+		n.wait(c.dataCond, g)
 	}
 }
 
@@ -339,7 +383,7 @@ func (c *Conn) Close() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	c.closeLocked()
-	n.cond.Broadcast()
+	n.wakePollers()
 }
 
 func (c *Conn) closeLocked() {
@@ -349,6 +393,14 @@ func (c *Conn) closeLocked() {
 	c.closed = true
 	c.inbox = nil
 	c.inboxBytes = 0
+	// Terminal transition: wake everything that could be parked on
+	// either endpoint so it observes ErrClosed / ErrReset / EOF.
+	c.dataCond.Broadcast()
+	c.spaceCond.Broadcast()
+	if c.peer != nil {
+		c.peer.dataCond.Broadcast()  // receivers see end of stream
+		c.peer.spaceCond.Broadcast() // nothing will free space now
+	}
 }
 
 // Closed reports whether the endpoint has been closed.

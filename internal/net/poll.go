@@ -1,0 +1,95 @@
+package net
+
+// Readiness multiplexing for the poll/select syscall family. A PollEntry
+// is the in-memory form of one pollfd after the kernel has resolved the
+// guest fd to a network object; Network.Poll evaluates the whole set
+// under one lock acquisition and parks the caller once — on the shared
+// poller cond — instead of blocking per-socket. Readiness predicates
+// mirror the blocking conditions of Accept/Recv/Send exactly, so
+// "poll says ready" always means "the matching call will not park".
+
+// Poll event bits, mirroring the POSIX pollfd constants the guest uses.
+const (
+	POLLIN   = 0x0001
+	POLLOUT  = 0x0004
+	POLLERR  = 0x0008
+	POLLHUP  = 0x0010
+	POLLNVAL = 0x0020
+)
+
+// PollEntry is one member of a poll set. Exactly one of Lis/Conn is set
+// for socket fds; Static marks non-socket fds (files, pipes, console)
+// that this kernel treats as always ready; Invalid marks fds that did
+// not resolve at all (POLLNVAL). The In/Out/Invalid result fields are
+// filled by Poll, masked by the corresponding Want bits.
+type PollEntry struct {
+	Lis     *Listener
+	Conn    *Conn
+	WantIn  bool
+	WantOut bool
+	Static  bool
+	Invalid bool
+
+	In  bool
+	Out bool
+}
+
+// ready evaluates one entry with the network lock held, filling the
+// result bits and reporting whether the entry counts toward Poll's
+// return value.
+func (e *PollEntry) ready() bool {
+	e.In, e.Out = false, false
+	switch {
+	case e.Invalid:
+		return true
+	case e.Static:
+		// Regular files, pipes and the console never block in this
+		// kernel, so they are ready for whatever was asked.
+		e.In, e.Out = e.WantIn, e.WantOut
+	case e.Lis != nil:
+		// Accept-readiness: a pending connection, or closed (Accept
+		// returns ErrClosed without parking).
+		e.In = e.WantIn && (len(e.Lis.backlog) > 0 || e.Lis.closed)
+	case e.Conn != nil:
+		c := e.Conn
+		if c.closed {
+			// Any operation returns ErrClosed immediately.
+			e.In, e.Out = e.WantIn, e.WantOut
+			break
+		}
+		// Recv-readiness: queued data, or EOF from a closed peer.
+		e.In = e.WantIn && (len(c.inbox) > 0 || c.peer.closed)
+		// Send-readiness: the exact complement of Send's park
+		// condition — room in the peer inbox or an empty one — or a
+		// closed peer (Send returns ErrReset without parking).
+		e.Out = e.WantOut && (c.peer.closed ||
+			c.peer.inboxBytes < connBuffer || len(c.peer.inbox) == 0)
+	default:
+		// No object at all: an unconnected socket. Never ready.
+	}
+	return e.In || e.Out
+}
+
+// Poll evaluates the entry set and returns how many entries are ready.
+// If none are and block is true, the caller parks (releasing its gate
+// slot) until a state change makes some entry ready. With block false,
+// or a nil gate, Poll never parks — it returns the instantaneous count,
+// zero included, keeping standalone programs hang-free.
+func (n *Network) Poll(entries []PollEntry, block bool, g Gate) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for {
+		ready := 0
+		for i := range entries {
+			if entries[i].ready() {
+				ready++
+			}
+		}
+		if ready > 0 || !block || g == nil {
+			return ready
+		}
+		n.pollers++
+		n.wait(n.pollCond, g)
+		n.pollers--
+	}
+}

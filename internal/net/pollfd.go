@@ -1,0 +1,59 @@
+package net
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The pollfd set crosses the system-call boundary as a guest-memory
+// record: nfds consecutive 8-byte entries, each two little-endian
+// 32-bit words. Word 0 is the fd; word 1 packs events in the low half
+// and revents in the high half. The *pointer* to the set is a
+// MOVI-loaded constant in every workload, so the installer's dataflow
+// analysis classifies it as a policy-constrained immediate and the
+// call MAC pins it — a tampered poll set address dies as a call-MAC
+// mismatch, not as a misread readiness report.
+
+// PollFDSize is the byte size of one encoded pollfd entry.
+const PollFDSize = 8
+
+// MaxPollFDs caps one poll set; larger nfds fail with EINVAL at the
+// syscall layer and a length error here.
+const MaxPollFDs = 128
+
+// PollFD is one decoded pollfd entry.
+type PollFD struct {
+	FD      uint32
+	Events  uint16
+	REvents uint16
+}
+
+// EncodePollSet packs a poll set into its guest-memory form.
+func EncodePollSet(fds []PollFD) []byte {
+	b := make([]byte, len(fds)*PollFDSize)
+	for i, f := range fds {
+		binary.LittleEndian.PutUint32(b[i*PollFDSize:], f.FD)
+		binary.LittleEndian.PutUint32(b[i*PollFDSize+4:],
+			uint32(f.Events)|uint32(f.REvents)<<16)
+	}
+	return b
+}
+
+// DecodePollSet unpacks a guest poll set. It fails on a length that is
+// not a whole number of entries or that exceeds MaxPollFDs entries.
+func DecodePollSet(b []byte) ([]PollFD, error) {
+	if len(b)%PollFDSize != 0 {
+		return nil, fmt.Errorf("net: poll set length %d not a multiple of %d", len(b), PollFDSize)
+	}
+	if len(b) > MaxPollFDs*PollFDSize {
+		return nil, fmt.Errorf("net: poll set of %d entries exceeds max %d", len(b)/PollFDSize, MaxPollFDs)
+	}
+	fds := make([]PollFD, len(b)/PollFDSize)
+	for i := range fds {
+		fds[i].FD = binary.LittleEndian.Uint32(b[i*PollFDSize:])
+		w := binary.LittleEndian.Uint32(b[i*PollFDSize+4:])
+		fds[i].Events = uint16(w)
+		fds[i].REvents = uint16(w >> 16)
+	}
+	return fds, nil
+}

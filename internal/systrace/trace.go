@@ -49,6 +49,20 @@ func FormatCall(e kernel.TraceEntry) string {
 		args = fmt.Sprintf("fd=%d, cap=%d", e.Args[0], e.Args[2])
 	case sys.SysSetsockopt, sys.SysGetsockopt:
 		args = fmt.Sprintf("fd=%d, level=%d, opt=%d", e.Args[0], e.Args[1], e.Args[2])
+	case sys.SysPoll:
+		args = fmt.Sprintf("fds=%#x, nfds=%d, timeout=%d", e.Args[0], e.Args[1], int32(e.Args[2]))
+	case sys.SysSelect:
+		args = fmt.Sprintf("nfds=%d, readfds=%#x, writefds=%#x, exceptfds=%#x, timeout=%#x",
+			e.Args[0], e.Args[1], e.Args[2], e.Args[3], e.Args[4])
+	case sys.SysFcntl:
+		switch e.Args[1] {
+		case kernel.FGetFL:
+			args = fmt.Sprintf("fd=%d, F_GETFL", e.Args[0])
+		case kernel.FSetFL:
+			args = fmt.Sprintf("fd=%d, F_SETFL, %s", e.Args[0], formatFlags(e.Args[2]))
+		default:
+			args = fmt.Sprintf("fd=%d, cmd=%d, arg=%d", e.Args[0], e.Args[1], e.Args[2])
+		}
 	default:
 		sig, ok := sys.Lookup(e.Num)
 		n := sys.MaxArgs
@@ -61,7 +75,30 @@ func FormatCall(e kernel.TraceEntry) string {
 		}
 		args = strings.Join(parts, ", ")
 	}
-	return fmt.Sprintf("%s(%s) = %d", name, args, int32(e.Ret))
+	return fmt.Sprintf("%s(%s) = %s", name, args, formatRet(e.Ret))
+}
+
+// formatFlags renders an fcntl status-flag word, naming O_NONBLOCK —
+// the flag the nonblocking-socket discipline rests on.
+func formatFlags(fl uint32) string {
+	switch {
+	case fl == kernel.ONonblock:
+		return "O_NONBLOCK"
+	case fl&kernel.ONonblock != 0:
+		return fmt.Sprintf("O_NONBLOCK|%#x", fl&^uint32(kernel.ONonblock))
+	case fl == 0:
+		return "0"
+	}
+	return fmt.Sprintf("%#x", fl)
+}
+
+// formatRet renders a return value. EAGAIN renders symbolically so the
+// nonblocking retry discipline reads as what it is, not a bare -11.
+func formatRet(ret uint32) string {
+	if int32(ret) == -int32(sys.EAGAIN) {
+		return "EAGAIN"
+	}
+	return fmt.Sprintf("%d", int32(ret))
 }
 
 // FormatTrace renders a full trace, one call per line.

@@ -36,6 +36,37 @@ main:
         MOVI r4, 0
         MOVI r5, 0
         CALL recvfrom
+        MOV r1, r13
+        MOVI r2, 4              ; F_SETFL
+        MOVI r3, 2048           ; O_NONBLOCK
+        CALL fcntl
+        MOV r1, r13
+        MOVI r2, 3              ; F_GETFL
+        MOVI r3, 0
+        CALL fcntl
+        MOV r1, r13
+        MOVI r2, iobuf
+        MOVI r3, 64
+        MOVI r4, 0
+        MOVI r5, 0
+        CALL recvfrom           ; drained + nonblocking: EAGAIN
+        MOVI r7, pfd            ; poll the drained read end, no blocking
+        STORE [r7+0], r13
+        MOVI r8, 1              ; POLLIN
+        STORE [r7+4], r8
+        MOVI r1, pfd
+        MOVI r2, 1
+        MOVI r3, 0              ; timeout=0: report, do not park
+        CALL poll
+        MOVI r7, fdset          ; select on the write end: writable
+        MOVI r8, 8              ; 1<<3, fd 3
+        STORE [r7+0], r8
+        MOVI r1, 8
+        MOVI r2, 0
+        MOVI r3, fdset
+        MOVI r4, 0
+        MOVI r5, 1              ; non-null timeout: do not park
+        CALL select
         MOVI r1, 1
         MOVI r2, 1
         MOVI r3, 0
@@ -57,6 +88,8 @@ pmsg:   .asciz "payload"
         .bss
 pairbuf: .space 8
 iobuf:  .space 64
+pfd:    .space 8
+fdset:  .space 8
 `
 
 // TestFormatTraceGolden traces the socket program on a permissive
@@ -86,6 +119,11 @@ func TestFormatTraceGolden(t *testing.T) {
 	const golden = `socketpair(domain=1, type=1, proto=0) = 0
 sendto(fd=3, len=8, 127.0.0.1:7) = 8
 recvfrom(fd=4, cap=64) = 8
+fcntl(fd=4, F_SETFL, O_NONBLOCK) = 0
+fcntl(fd=4, F_GETFL) = 2048
+recvfrom(fd=4, cap=64) = EAGAIN
+poll(fds=0x13f8, nfds=1, timeout=0) = 0
+select(nfds=8, readfds=0x0, writefds=0x1400, exceptfds=0x0, timeout=0x1) = 1
 socket(domain=1, type=1, proto=0) = 5
 bind(fd=5, 127.0.0.1:9) = 0
 listen(fd=5, backlog=4) = 0

@@ -175,6 +175,76 @@ pairbuf: .space 8
 iobuf:  .space 64
 `
 
+// faultPollSrc is the event-loop victim: a socketpair whose read end is
+// switched nonblocking, then three sweeps of the poll discipline — a
+// deterministic EAGAIN probe on the empty socket, a sendto that queues
+// the payload, a blocking poll that reports it readable, and the
+// recvfrom that drains it. The poll sites give the poll fault classes
+// (pollfd-pointer flips, stale-readiness replay) eligible traps, and
+// the nonblocking probe keeps every recvfrom non-blocking so a denied
+// poll can never deadlock the Deny-mode run.
+const faultPollSrc = `
+        .text
+        .global main
+main:
+        MOVI r1, 1
+        MOVI r2, 1
+        MOVI r3, 0
+        MOVI r4, pairbuf
+        CALL socketpair
+        MOVI r7, pairbuf
+        LOAD r15, [r7+0]
+        LOAD r13, [r7+4]
+        MOV r1, r13
+        MOVI r2, 4              ; F_SETFL
+        MOVI r3, 2048           ; O_NONBLOCK
+        CALL fcntl
+        MOVI r11, 3
+.loop:
+        MOVI r7, 0
+        BEQ r11, r7, .done
+        MOV r1, r13
+        MOVI r2, iobuf
+        MOVI r3, 64
+        MOVI r4, 0
+        MOVI r5, 0
+        CALL recvfrom           ; empty + nonblocking: deterministic EAGAIN
+        MOV r1, r15
+        MOVI r2, pmsg
+        MOVI r3, 8
+        MOVI r4, 0
+        MOVI r5, 0x02000007     ; packed AF_INET sockaddr, port 7
+        CALL sendto
+        MOVI r7, pfd            ; poll the read end: the payload is queued
+        STORE [r7+0], r13
+        MOVI r8, 1              ; POLLIN
+        STORE [r7+4], r8
+        MOVI r1, pfd
+        MOVI r2, 1
+        MOVI r3, 1              ; block until ready
+        CALL poll
+        MOV r1, r13
+        MOVI r2, iobuf
+        MOVI r3, 64
+        MOVI r4, 0
+        MOVI r5, 0
+        CALL recvfrom
+        ADDI r11, r11, -1
+        JMP .loop
+.done:
+        MOVI r1, donemsg
+        CALL puts
+        MOVI r0, 0
+        RET
+        .rodata
+pmsg:   .asciz "payload"
+donemsg: .asciz "pollpair done\n"
+        .bss
+pairbuf: .space 8
+iobuf:  .space 64
+pfd:    .space 8
+`
+
 // FaultVictims returns the campaign corpus in canonical order.
 func FaultVictims() []FaultVictim {
 	return []FaultVictim{
@@ -189,5 +259,6 @@ func FaultVictims() []FaultVictim {
 			},
 		},
 		{Name: "netpair", Source: faultNetSrc, Net: true},
+		{Name: "pollpair", Source: faultPollSrc, Net: true},
 	}
 }

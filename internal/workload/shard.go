@@ -1,0 +1,467 @@
+// shard.go defines the sharded network service corpus: N
+// single-threaded event-loop KV replicas, each owning a slice of the
+// 8-slot key space, and a load-balancer client that routes every
+// SET/GET to the owning replica by consistent hash. The routing is the
+// authenticated-syscalls twist on plain sharding: the client's replica
+// destination set is a table of MOVI-constant packed sockaddrs, so each
+// route is a policy-constrained immediate pinned by the call MAC — a
+// tampered route dies as a call-MAC mismatch, not a misdirected
+// request. The replicas run a poll event loop over nonblocking sockets
+// (fcntl O_NONBLOCK + poll readiness), parking once per wait in the
+// scheduler gate instead of blocking per socket.
+//
+// # Determinism
+//
+// Every client runs the identical program, so the t-th request arriving
+// on any accepted connection is byte-identical regardless of which
+// client the listener accepted first. The replica serves connections
+// round-robin (rounds outer, connections inner), so its cycle count and
+// aggregate output are independent of accept order and worker count.
+// Clients pipeline per burst — send one request to every replica that
+// owns a slot in the burst, then collect the replies — which keeps at
+// most one request outstanding per connection and makes the fleet
+// deadlock-free by induction on bursts: a replica parked in round t of
+// some connection is waiting for a request its client already sent
+// before parking on replies from round t.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"asc/internal/net"
+)
+
+// NetShardSlots is the size of the sharded key space (slots 0..7, one
+// digit per key, reusing the unsharded KV protocol).
+const NetShardSlots = 8
+
+// NetShardPortBase is the port of replica 0; replica i listens on
+// NetShardPortBase+i.
+const NetShardPortBase uint16 = 8000
+
+// shardVnodes is how many ring positions each replica occupies.
+const shardVnodes = 16
+
+// shardHash is a splitmix64-style mixer: deterministic, seedless, and
+// good enough to spread 8 slots and a handful of vnodes.
+func shardHash(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ShardMap assigns each key slot to a replica by consistent hashing
+// with bounded loads: slots walk the vnode ring clockwise from their
+// hash and settle on the first replica still under the load cap
+// ceil(slots/replicas). The cap guarantees balance (for replica counts
+// dividing 8, exactly 8/replicas slots each); the ring guarantees that
+// adding a replica moves only the slots the new replica captures,
+// unlike the modulo map which reshuffles almost everything.
+func ShardMap(replicas int) []int {
+	if replicas < 1 {
+		replicas = 1
+	}
+	type vnode struct {
+		pos uint64
+		r   int
+	}
+	ring := make([]vnode, 0, replicas*shardVnodes)
+	for r := 0; r < replicas; r++ {
+		for v := 0; v < shardVnodes; v++ {
+			ring = append(ring, vnode{shardHash(1<<32 | uint64(r)<<8 | uint64(v)), r})
+		}
+	}
+	sort.Slice(ring, func(i, j int) bool { return ring[i].pos < ring[j].pos })
+	cap := (NetShardSlots + replicas - 1) / replicas
+	load := make([]int, replicas)
+	routes := make([]int, NetShardSlots)
+	for k := range routes {
+		h := shardHash(2<<32 | uint64(k))
+		i := sort.Search(len(ring), func(i int) bool { return ring[i].pos >= h })
+		for {
+			r := ring[i%len(ring)].r
+			if load[r] < cap {
+				routes[k] = r
+				load[r]++
+				break
+			}
+			i++
+		}
+	}
+	return routes
+}
+
+// ShardMapModulo is the resharding-unsafe fallback: slot k lives on
+// replica k mod replicas. Trivially balanced, but growing the replica
+// set remaps nearly every slot — it exists as the degenerate baseline
+// (and matches ShardMap exactly for one replica).
+func ShardMapModulo(replicas int) []int {
+	if replicas < 1 {
+		replicas = 1
+	}
+	routes := make([]int, NetShardSlots)
+	for k := range routes {
+		routes[k] = k % replicas
+	}
+	return routes
+}
+
+// shardOwned returns, per replica, the slots it owns in increasing
+// order. Burst b of a client iteration touches owned[r][b] for every
+// replica r with more than b slots.
+func shardOwned(replicas int, routes []int) [][]int {
+	owned := make([][]int, replicas)
+	for k, r := range routes {
+		owned[r] = append(owned[r], k)
+	}
+	return owned
+}
+
+// NetShardClientBytesPerIter is the reply bytes one LB client iteration
+// collects: 8 SET acks ("OK") plus 8 GET values ("abcdefgh").
+const NetShardClientBytesPerIter = NetShardSlots*2 + NetShardSlots*8
+
+// NetShardClientOutput is the exact line each LB client prints.
+func NetShardClientOutput(iters int) string {
+	return fmt.Sprintf("%d bytes\n", iters*NetShardClientBytesPerIter)
+}
+
+// NetShardServerOutput is the exact aggregate line a replica owning
+// `slots` key slots prints after serving `clients` connections for
+// `iters` client iterations: one SET and one GET per owned slot per
+// client iteration, replies of 2 and 8 bytes.
+func NetShardServerOutput(clients, iters, slots int) string {
+	reqs := clients * iters * 2 * slots
+	bytes := clients * iters * slots * (2 + 8)
+	return fmt.Sprintf("%d requests %d bytes\n", reqs, bytes)
+}
+
+// NetReplicaSource returns one event-loop KV replica: bind and listen
+// on port, switch the listener nonblocking, then accept `conns`
+// connections by polling the listener (one park per pending-queue
+// wait), marking each accepted socket nonblocking. The serve phase
+// runs `rounds` round-robin sweeps over the connections — poll the
+// connection for POLLIN, receive exactly one request, answer it — so a
+// parked replica always sits in poll, never in a per-socket blocking
+// call. The pollfd set lives at a MOVI-constant address, making the
+// poll pointer a MAC-pinned immediate.
+//
+// rounds must be iters*2*slotsOwned for the paired NetLBClientSource;
+// the replica then drains one end-of-stream per connection and prints
+// its aggregate totals.
+func NetReplicaSource(port uint16, conns, rounds int) string {
+	return fmt.Sprintf(`
+        .text
+        .global main
+main:
+        MOVI r1, 2
+        MOVI r2, 1
+        MOVI r3, 0
+        CALL socket
+        MOV r15, r0
+        MOV r1, r15
+        MOVI r2, %[1]d          ; packed AF_INET sockaddr, port %[2]d
+        CALL bind
+        MOV r1, r15
+        MOVI r2, 64
+        CALL listen
+        MOV r1, r15
+        MOVI r2, 4              ; F_SETFL
+        MOVI r3, 2048           ; O_NONBLOCK
+        CALL fcntl
+        MOVI r13, 0             ; accepted so far
+.accept:
+        MOVI r7, %[3]d          ; connections to accept
+        BEQ r13, r7, .sstart
+        MOVI r7, pfd            ; poll the listener for a pending conn
+        STORE [r7+0], r15
+        MOVI r8, 1              ; POLLIN
+        STORE [r7+4], r8
+        MOVI r1, pfd
+        MOVI r2, 1
+        MOVI r3, 1              ; block until ready
+        CALL poll
+        MOV r1, r15
+        MOVI r2, 0
+        CALL accept
+        MOV r11, r0
+        MOV r1, r11
+        MOVI r2, 4              ; F_SETFL
+        MOVI r3, 2048           ; O_NONBLOCK
+        CALL fcntl
+        MOVI r7, fdtab
+        MULI r8, r13, 4
+        ADD r7, r7, r8
+        STORE [r7+0], r11
+        ADDI r13, r13, 1
+        JMP .accept
+.sstart:
+        MOVI r15, %[4]d         ; round-robin sweeps (listener fd is dead now)
+.round:
+        MOVI r7, 0
+        BEQ r15, r7, .drain
+        MOVI r13, 0             ; connection index
+.conn:
+        MOVI r7, %[3]d
+        BEQ r13, r7, .roundend
+        MOVI r7, fdtab
+        MULI r8, r13, 4
+        ADD r7, r7, r8
+        LOAD r11, [r7+0]
+        MOVI r7, pfd            ; poll this connection for a request
+        STORE [r7+0], r11
+        MOVI r8, 1              ; POLLIN
+        STORE [r7+4], r8
+        MOVI r1, pfd
+        MOVI r2, 1
+        MOVI r3, 1              ; block until ready
+        CALL poll
+        MOV r1, r11
+        MOVI r2, iobuf
+        MOVI r3, 256
+        MOVI r4, 0
+        MOVI r5, 0
+        CALL recvfrom
+        MOV r10, r0
+        MOVI r7, nreqs          ; nreqs++
+        LOAD r8, [r7+0]
+        ADDI r8, r8, 1
+        STORE [r7+0], r8
+        MOVI r7, iobuf
+        LOADB r8, [r7+0]
+        MOVI r9, 83             ; 'S'
+        BEQ r8, r9, .set
+        MOVI r9, 71             ; 'G'
+        BEQ r8, r9, .get
+        MOVI r2, iobuf          ; default: echo the request back
+        MOV r3, r10
+        JMP .reply
+.set:
+        LOADB r8, [r7+1]
+        ADDI r8, r8, -48        ; slot = digit - '0'
+        ANDI r8, r8, 7
+        ADDI r9, r10, -2
+        MULI r7, r8, 4
+        MOVI r1, kvlen
+        ADD r1, r1, r7
+        STORE [r1+0], r9        ; kvlen[slot] = n-2
+        MULI r7, r8, 64
+        MOVI r1, kv
+        ADD r1, r1, r7
+        MOVI r2, iobuf
+        ADDI r2, r2, 2
+        ADDI r3, r10, -2
+        CALL memcpy             ; kv[slot] = payload
+        MOVI r2, okmsg
+        MOVI r3, 2
+        JMP .reply
+.get:
+        LOADB r8, [r7+1]
+        ADDI r8, r8, -48
+        ANDI r8, r8, 7
+        MULI r7, r8, 4
+        MOVI r2, kvlen
+        ADD r2, r2, r7
+        LOAD r3, [r2+0]
+        MULI r7, r8, 64
+        MOVI r2, kv
+        ADD r2, r2, r7
+.reply:
+        MOV r1, r11
+        MOVI r4, 0
+        MOVI r5, 0
+        CALL sendto
+        MOVI r7, nbytes         ; nbytes += reply length
+        LOAD r8, [r7+0]
+        ADD r8, r8, r0
+        STORE [r7+0], r8
+        ADDI r13, r13, 1
+        JMP .conn
+.roundend:
+        ADDI r15, r15, -1
+        JMP .round
+.drain:
+        MOVI r13, 0
+.drconn:
+        MOVI r7, %[3]d
+        BEQ r13, r7, .totals
+        MOVI r7, fdtab
+        MULI r8, r13, 4
+        ADD r7, r7, r8
+        LOAD r11, [r7+0]
+        MOVI r7, pfd            ; wait for the peer's close (EOF readiness)
+        STORE [r7+0], r11
+        MOVI r8, 1              ; POLLIN
+        STORE [r7+4], r8
+        MOVI r1, pfd
+        MOVI r2, 1
+        MOVI r3, 1
+        CALL poll
+        MOV r1, r11
+        MOVI r2, iobuf
+        MOVI r3, 256
+        MOVI r4, 0
+        MOVI r5, 0
+        CALL recvfrom           ; returns 0: end of stream
+        MOV r1, r11
+        CALL close
+        ADDI r13, r13, 1
+        JMP .drconn
+.totals:
+        MOVI r7, nreqs
+        LOAD r1, [r7+0]
+        CALL print_uint
+        MOVI r1, sep
+        CALL puts
+        MOVI r7, nbytes
+        LOAD r1, [r7+0]
+        CALL print_uint
+        MOVI r1, tail
+        CALL puts
+        MOVI r0, 0
+        RET
+        .rodata
+okmsg:  .asciz "OK"
+sep:    .asciz " requests "
+tail:   .asciz " bytes\n"
+        .bss
+iobuf:  .space 256
+pfd:    .space 8
+kv:     .space 512
+kvlen:  .space 32
+nreqs:  .space 4
+nbytes: .space 4
+fdtab:  .space %[5]d
+`, net.EncodeAddr(port), port, conns, rounds, conns*4)
+}
+
+// NetLBClientSource returns the load-balancer client for a fleet of
+// `replicas` replicas routed by `routes` (slot -> replica, from
+// ShardMap or ShardMapModulo). It connects to every replica, then runs
+// `iters` iterations of a SET sweep and a GET sweep over all 8 slots.
+// Each sweep is pipelined in bursts: send one request to every replica
+// owning a slot in the burst, then collect that burst's replies. The
+// request codegen is straight-line: each send site loads its replica's
+// packed sockaddr with MOVI — the authenticated route table — and its
+// payload from .rodata, so verification pins both the route and the
+// request bytes.
+func NetLBClientSource(iters, replicas int, routes []int) string {
+	owned := shardOwned(replicas, routes)
+	maxOwned := 0
+	for _, o := range owned {
+		if len(o) > maxOwned {
+			maxOwned = len(o)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `
+        .text
+        .global main
+main:
+`)
+	// Connect to every replica; fdtab[r] holds the conn fd.
+	for r := 0; r < replicas; r++ {
+		port := NetShardPortBase + uint16(r)
+		fmt.Fprintf(&b, `
+        MOVI r1, 2
+        MOVI r2, 1
+        MOVI r3, 0
+        CALL socket
+        MOV r15, r0
+        MOV r1, r15
+        MOVI r2, %d             ; replica %d at port %d
+        CALL connect
+        MOVI r7, fdtab
+        STORE [r7+%d], r15
+`, net.EncodeAddr(port), r, port, r*4)
+	}
+	fmt.Fprintf(&b, `
+        MOVI r13, %d            ; iterations
+        MOVI r11, 0             ; reply bytes received
+.loop:
+        MOVI r7, 0
+        BEQ r13, r7, .done
+`, iters)
+	// One send block: route the payload to replica r's connection with
+	// the replica's packed sockaddr as a MOVI immediate.
+	send := func(r int, label string, length int) {
+		port := NetShardPortBase + uint16(r)
+		fmt.Fprintf(&b, `
+        MOVI r7, fdtab
+        LOAD r1, [r7+%d]
+        MOVI r2, %s
+        MOVI r3, %d
+        MOVI r4, 0
+        MOVI r5, %d             ; route: replica %d, port %d
+        CALL sendto
+`, r*4, label, length, net.EncodeAddr(port), r, port)
+	}
+	recv := func(r int) {
+		fmt.Fprintf(&b, `
+        MOVI r7, fdtab
+        LOAD r1, [r7+%d]
+        MOVI r2, iobuf
+        MOVI r3, 256
+        MOVI r4, 0
+        MOVI r5, 0
+        CALL recvfrom
+        ADD r11, r11, r0
+`, r*4)
+	}
+	// SET sweep, then GET sweep, each in pipelined bursts.
+	for _, phase := range []struct {
+		prefix string
+		length int
+	}{{"s", 10}, {"g", 2}} {
+		for burst := 0; burst < maxOwned; burst++ {
+			for r := 0; r < replicas; r++ {
+				if burst < len(owned[r]) {
+					send(r, fmt.Sprintf("%s%d", phase.prefix, owned[r][burst]), phase.length)
+				}
+			}
+			for r := 0; r < replicas; r++ {
+				if burst < len(owned[r]) {
+					recv(r)
+				}
+			}
+		}
+	}
+	fmt.Fprintf(&b, `
+        ADDI r13, r13, -1
+        JMP .loop
+.done:
+`)
+	for r := 0; r < replicas; r++ {
+		fmt.Fprintf(&b, `
+        MOVI r7, fdtab
+        LOAD r1, [r7+%d]
+        CALL close
+`, r*4)
+	}
+	fmt.Fprintf(&b, `
+        MOV r1, r11
+        CALL print_uint
+        MOVI r1, tail
+        CALL puts
+        MOVI r0, 0
+        RET
+        .rodata
+tail:   .asciz " bytes\n"
+`)
+	for k := 0; k < NetShardSlots; k++ {
+		fmt.Fprintf(&b, "s%d:     .asciz \"S%dabcdefgh\"\n", k, k)
+		fmt.Fprintf(&b, "g%d:     .asciz \"G%d\"\n", k, k)
+	}
+	fmt.Fprintf(&b, `        .bss
+iobuf:  .space 256
+fdtab:  .space %d
+`, replicas*4)
+	return b.String()
+}
+
+// NetShardRounds is the serve-phase sweep count a replica owning
+// `slots` slots needs for clients running `iters` iterations.
+func NetShardRounds(iters, slots int) int { return iters * 2 * slots }

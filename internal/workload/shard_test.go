@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"testing"
+
+	"asc/internal/core"
+	"asc/internal/kernel"
+	"asc/internal/libc"
+	anet "asc/internal/net"
+)
+
+func TestShardMap(t *testing.T) {
+	for _, replicas := range []int{1, 2, 3, 4, 8} {
+		routes := ShardMap(replicas)
+		if len(routes) != NetShardSlots {
+			t.Fatalf("replicas=%d: %d routes", replicas, len(routes))
+		}
+		cap := (NetShardSlots + replicas - 1) / replicas
+		load := make([]int, replicas)
+		for k, r := range routes {
+			if r < 0 || r >= replicas {
+				t.Fatalf("replicas=%d slot %d -> %d out of range", replicas, k, r)
+			}
+			load[r]++
+		}
+		for r, n := range load {
+			if n > cap {
+				t.Errorf("replicas=%d: replica %d owns %d slots, cap %d", replicas, r, n, cap)
+			}
+			if NetShardSlots%replicas == 0 && n != NetShardSlots/replicas {
+				t.Errorf("replicas=%d: replica %d owns %d slots, want exactly %d", replicas, r, n, NetShardSlots/replicas)
+			}
+		}
+		// Deterministic: same input, same map.
+		again := ShardMap(replicas)
+		for k := range routes {
+			if routes[k] != again[k] {
+				t.Fatalf("replicas=%d: map not deterministic at slot %d", replicas, k)
+			}
+		}
+	}
+	// One replica owns everything, under both maps.
+	for k, r := range ShardMap(1) {
+		if r != 0 {
+			t.Errorf("ShardMap(1) slot %d -> %d", k, r)
+		}
+	}
+	for k, r := range ShardMapModulo(3) {
+		if r != k%3 {
+			t.Errorf("ShardMapModulo(3) slot %d -> %d", k, r)
+		}
+	}
+	// Resharding: adding one replica keeps more slots in place than the
+	// modulo reshuffle — the property the consistent hash is for. (On
+	// power-of-two doublings the bounded-load cap halves, forcing ~half
+	// the 8 slots to move under any balanced scheme, so the win shows on
+	// single-replica growth.)
+	moved := func(a, b []int) int {
+		n := 0
+		for k := range a {
+			if a[k] != b[k] {
+				n++
+			}
+		}
+		return n
+	}
+	chMoved := moved(ShardMap(3), ShardMap(4))
+	modMoved := moved(ShardMapModulo(3), ShardMapModulo(4))
+	if chMoved >= modMoved {
+		t.Errorf("consistent hash moved %d slots on 3->4, modulo moved %d", chMoved, modMoved)
+	}
+}
+
+// buildShardFleet installs `replicas` event-loop replicas and `clients`
+// LB clients on a networked enforcing system; requests list replicas
+// first, then clients.
+func buildShardFleet(t *testing.T, replicas, clients, iters int, routes []int, opts ...kernel.Option) (*core.System, []core.RunRequest) {
+	t.Helper()
+	key := []byte("net-workload-key")
+	kopts := append([]kernel.Option{kernel.WithNetwork(anet.New())}, opts...)
+	sys, err := core.NewSystem(core.Config{Key: key, KernelOptions: kopts})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	owned := shardOwned(replicas, routes)
+	var reqs []core.RunRequest
+	for r := 0; r < replicas; r++ {
+		name := "netreplica" + string(rune('0'+r))
+		src := NetReplicaSource(NetShardPortBase+uint16(r), clients, NetShardRounds(iters, len(owned[r])))
+		raw, err := BuildSource(name, src, libc.Linux)
+		if err != nil {
+			t.Fatalf("build %s: %v", name, err)
+		}
+		exe, _, _, err := sys.Install(raw, name)
+		if err != nil {
+			t.Fatalf("install %s: %v", name, err)
+		}
+		reqs = append(reqs, core.RunRequest{Exe: exe, Name: name})
+	}
+	cliRaw, err := BuildSource("netlbclient", NetLBClientSource(iters, replicas, routes), libc.Linux)
+	if err != nil {
+		t.Fatalf("build client: %v", err)
+	}
+	cli, _, _, err := sys.Install(cliRaw, "netlbclient")
+	if err != nil {
+		t.Fatalf("install client: %v", err)
+	}
+	for i := 0; i < clients; i++ {
+		reqs = append(reqs, core.RunRequest{Exe: cli, Name: "netlbclient"})
+	}
+	return sys, reqs
+}
+
+func checkShardFleet(t *testing.T, res []core.ProcResult, reqs []core.RunRequest, replicas, clients, iters int, routes []int) {
+	t.Helper()
+	owned := shardOwned(replicas, routes)
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("proc %d (%s): %v", i, reqs[i].Name, r.Err)
+		}
+		if r.Killed {
+			t.Fatalf("proc %d (%s) killed: %v", i, reqs[i].Name, r.Reason)
+		}
+		if r.ExitCode != 0 {
+			t.Fatalf("proc %d (%s) exit=%d output=%q", i, reqs[i].Name, r.ExitCode, r.Output)
+		}
+		if r.Verified == 0 {
+			t.Fatalf("proc %d (%s): no verified calls — traffic bypassed the monitor", i, reqs[i].Name)
+		}
+	}
+	for r := 0; r < replicas; r++ {
+		want := NetShardServerOutput(clients, iters, len(owned[r]))
+		if res[r].Output != want {
+			t.Errorf("replica %d output = %q, want %q", r, res[r].Output, want)
+		}
+	}
+	for i := replicas; i < len(res); i++ {
+		if got, want := res[i].Output, NetShardClientOutput(iters); got != want {
+			t.Errorf("client %d output = %q, want %q", i-replicas, got, want)
+		}
+	}
+}
+
+// TestNetShardFleet runs 4 replicas and 4 LB clients under enforcement
+// with the verify cache: every request crosses the authenticated trap
+// handler, routed by the consistent-hash table.
+func TestNetShardFleet(t *testing.T) {
+	const replicas, clients, iters = 4, 4, 2
+	routes := ShardMap(replicas)
+	sys, reqs := buildShardFleet(t, replicas, clients, iters, routes, kernel.WithVerifyCache())
+	res, err := sys.RunAll(reqs, 4)
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	checkShardFleet(t, res, reqs, replicas, clients, iters, routes)
+}
+
+// TestNetShardFleetModulo runs the modulo-fallback routing end to end.
+func TestNetShardFleetModulo(t *testing.T) {
+	const replicas, clients, iters = 2, 2, 1
+	routes := ShardMapModulo(replicas)
+	sys, reqs := buildShardFleet(t, replicas, clients, iters, routes)
+	res, err := sys.RunAll(reqs, 2)
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	checkShardFleet(t, res, reqs, replicas, clients, iters, routes)
+}
+
+// TestNetShardFleetDeterministic checks the contract the bench sweep
+// relies on: per-process outputs, cycles, and syscall counts do not
+// depend on the worker count driving the fleet.
+func TestNetShardFleetDeterministic(t *testing.T) {
+	const replicas, clients, iters = 2, 4, 1
+	routes := ShardMap(replicas)
+	type snap struct {
+		out    string
+		cycles uint64
+		calls  uint64
+	}
+	var ref []snap
+	for _, workers := range []int{1, 2, 8} {
+		sys, reqs := buildShardFleet(t, replicas, clients, iters, routes)
+		res, err := sys.RunAll(reqs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		cur := make([]snap, len(res))
+		for i, r := range res {
+			if r.Err != nil || r.Killed {
+				t.Fatalf("workers=%d proc %d failed: err=%v killed=%v output=%q", workers, i, r.Err, r.Killed, r.Output)
+			}
+			cur[i] = snap{r.Output, r.Cycles, r.Syscalls}
+		}
+		if ref == nil {
+			ref = cur
+			continue
+		}
+		for i := range cur {
+			if cur[i] != ref[i] {
+				t.Fatalf("workers=%d proc %d diverged: %+v vs %+v", workers, i, cur[i], ref[i])
+			}
+		}
+	}
+}

@@ -48,6 +48,9 @@ go test -run '^$' -fuzz FuzzMigrationDecode -fuzztime 5s ./internal/ckpt
 echo "== fuzz smoke (sockaddr decoding) =="
 go test -run '^$' -fuzz FuzzSockAddrDecode -fuzztime 5s ./internal/net
 
+echo "== fuzz smoke (pollfd-set decoding) =="
+go test -run '^$' -fuzz FuzzPollSetDecode -fuzztime 5s ./internal/net
+
 echo "== fuzz smoke (state-update batch encoding) =="
 go test -run '^$' -fuzz FuzzBatchEncode -fuzztime 5s ./internal/policy
 
@@ -60,6 +63,13 @@ go test -run '^$' -bench 'SyscallPlain|SyscallVerified|VerifyAllocs' \
 echo "== BENCH_kernel.json =="
 go run ./cmd/ascbench -table 4 -json BENCH_kernel.json -guard 1.6
 echo "wrote BENCH_kernel.json"
+
+# -netguard 70 is the event-loop scaling gate: the reduced sharded
+# fleet (4 poll-event-loop replicas, 8 LB clients) must reach at least
+# 70% parallel efficiency at 4 workers — replicas serialized behind a
+# shared wait fail loudly here.
+echo "== sharded-fleet efficiency guard =="
+go run ./cmd/ascbench -netguard 70 -table none
 
 echo "== BENCH_batch.json =="
 go run ./cmd/ascbench -table batch -json BENCH_batch.json
