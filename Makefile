@@ -13,7 +13,7 @@ test:
 race:
 	$(GO) test -race ./internal/sched/... ./internal/kernel/... ./internal/core/... \
 		./internal/fault/... ./internal/bench/... ./internal/net/... ./internal/workload/... \
-		./internal/cluster/...
+		./internal/cluster/... ./internal/durable/...
 
 bench:
 	$(GO) test -run '^$$' -bench 'SyscallPlain|SyscallVerified|VerifyAllocs' \
@@ -47,15 +47,17 @@ batch:
 	sh scripts/batch.sh
 
 # cluster regenerates BENCH_cluster.json (the multi-node failover sweep:
-# cluster width x heartbeat cadence with node 1 crashed mid-run). The
-# script refuses to overwrite a dirty BENCH_cluster.json unless FORCE=1.
+# cluster width x heartbeat cadence with node 1 crashed mid-run, plus
+# the director-takeover arm on the durable control plane). The script
+# refuses to overwrite a dirty BENCH_cluster.json unless FORCE=1.
 cluster:
 	sh scripts/cluster.sh
 
 # check is the full gate: gofmt, vet, build, tier-1 tests, the SMP race
 # gate, the fuzz smokes, the kernel benchmarks, the fault campaign, the
-# cached-overhead regression guard, and the machine-readable summaries
-# (BENCH_kernel.json, BENCH_batch.json, BENCH_fault.json).
+# cached-overhead, fleet-efficiency, and takeover-recovery guards, and
+# the machine-readable summaries (BENCH_kernel.json, BENCH_batch.json,
+# BENCH_fault.json).
 check:
 	sh scripts/check.sh
 

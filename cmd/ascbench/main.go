@@ -277,11 +277,27 @@ func writeBatchJSON(path string, t *bench.BatchData) error {
 
 // clusterJSON is the machine-readable failover sweep summary.
 type clusterJSON struct {
-	Iters       int                `json:"iters"`
-	CleanCycles uint64             `json:"clean_cycles"`
-	SliceCycles uint64             `json:"slice_cycles"`
-	CrashTick   int                `json:"crash_tick"`
-	Points      []clusterJSONPoint `json:"points"`
+	Iters       int                 `json:"iters"`
+	CleanCycles uint64              `json:"clean_cycles"`
+	SliceCycles uint64              `json:"slice_cycles"`
+	CrashTick   int                 `json:"crash_tick"`
+	Points      []clusterJSONPoint  `json:"points"`
+	Takeover    []takeoverJSONPoint `json:"takeover,omitempty"`
+}
+
+type takeoverJSONPoint struct {
+	HeartbeatEvery int    `json:"heartbeat_every"`
+	Procs          int    `json:"procs"`
+	CrashTick      int    `json:"crash_tick"`
+	TakeoverTick   int    `json:"takeover_tick"`
+	DetectTicks    int    `json:"detect_ticks"`
+	Ticks          int    `json:"ticks"`
+	Reattached     int    `json:"reattached"`
+	Restored       int    `json:"restored"`
+	WarmRestarts   int    `json:"warm_restarts"`
+	ColdStarts     int    `json:"cold_starts"`
+	WALRecords     int    `json:"wal_records"`
+	Term           uint32 `json:"term"`
 }
 
 type clusterJSONPoint struct {
@@ -323,6 +339,22 @@ func writeClusterJSON(path string, t *bench.ClusterData) error {
 			MissedBeats:    p.MissedBeats,
 		})
 	}
+	for _, p := range t.Takeover {
+		out.Takeover = append(out.Takeover, takeoverJSONPoint{
+			HeartbeatEvery: p.HeartbeatEvery,
+			Procs:          p.Procs,
+			CrashTick:      p.CrashTick,
+			TakeoverTick:   p.TakeoverTick,
+			DetectTicks:    p.DetectTicks,
+			Ticks:          p.Ticks,
+			Reattached:     p.Reattached,
+			Restored:       p.Restored,
+			WarmRestarts:   p.WarmRestarts,
+			ColdStarts:     p.ColdStarts,
+			WALRecords:     p.WALRecords,
+			Term:           p.Term,
+		})
+	}
 	b, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
@@ -352,6 +384,7 @@ func main() {
 	procs := flag.Int("procs", 8, "SMP sweep: processes per fleet")
 	guard := flag.Float64("guard", 0, "fail if Table 4 cached getpid exceeds this ratio of plain (0 = off)")
 	netguard := flag.Float64("netguard", 0, "fail if the sharded fleet's 4-worker efficiency falls below this percentage (0 = off)")
+	takeoverguard := flag.Bool("takeoverguard", false, "fail if a director crash with a warm standby cold-starts any process")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to FILE")
 	memprofile := flag.String("memprofile", "", "write an allocation profile of the benchmark run to FILE")
 	flag.Parse()
@@ -397,6 +430,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("netguard: sharded fleet 4-worker speedup %.2fx, efficiency %.1f%% (floor %.1f%%)\n", speedup, eff, *netguard)
+	}
+	if *takeoverguard {
+		reattached, restored, cold, err := bench.TakeoverGuard(bench.DefaultKey)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ascbench: takeoverguard: %v\n", err)
+			os.Exit(1)
+		}
+		if cold != 0 {
+			fmt.Fprintf(os.Stderr, "ascbench: takeoverguard: %d cold starts across a director takeover (want 0)\n", cold)
+			os.Exit(1)
+		}
+		fmt.Printf("takeoverguard: director takeover recovered %d live + %d warm, 0 cold starts\n", reattached, restored)
 	}
 
 	run := func(name string, f func() (interface{ Render() string }, error)) {

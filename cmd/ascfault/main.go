@@ -12,9 +12,12 @@
 // -workers runs (class, victim) cells concurrently; the matrix is
 // byte-identical at any worker count. The campaign also tampers with
 // sealed checkpoints (torn write, bit flip, stale replay, wrong
-// process) during supervised warm restarts, and attacks the cluster
+// process) during supervised warm restarts, attacks the cluster
 // surface (node crashes, torn migrations, envelope replay and spoof,
-// heartbeat delays); -ckpt=false and -cluster=false skip those cells.
+// heartbeat delays), and attacks the durable control plane (torn WAL
+// tails, WAL record flips, stale-log replay, stale store epochs,
+// director crashes mid-migration); -ckpt=false, -cluster=false, and
+// -durable=false skip those cells.
 package main
 
 import (
@@ -34,15 +37,17 @@ func main() {
 	workers := flag.Int("workers", 1, "run (class, victim) cells on N workers (matrix is identical at any width)")
 	ckptCells := flag.Bool("ckpt", true, "include the checkpoint-tampering cells")
 	clusterCells := flag.Bool("cluster", true, "include the cluster fault cells")
+	durableCells := flag.Bool("durable", true, "include the durable control-plane fault cells")
 	jsonPath := flag.String("json", "", "write the JSON matrix to this file")
 	quiet := flag.Bool("q", false, "suppress the result table")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: ascfault [-seed N] [-trials N] [-classes a,b,...] [-cycles N] [-workers N] [-ckpt=false] [-cluster=false] [-json file] [-q]")
+		fmt.Fprintln(os.Stderr, "usage: ascfault [-seed N] [-trials N] [-classes a,b,...] [-cycles N] [-workers N] [-ckpt=false] [-cluster=false] [-durable=false] [-json file] [-q]")
 		os.Exit(2)
 	}
 
-	cfg := fault.Config{Seed: *seed, Trials: *trials, MaxCycles: *cycles, Workers: *workers, SkipCkpt: !*ckptCells, SkipCluster: !*clusterCells}
+	cfg := fault.Config{Seed: *seed, Trials: *trials, MaxCycles: *cycles, Workers: *workers,
+		SkipCkpt: !*ckptCells, SkipCluster: !*clusterCells, SkipDurable: !*durableCells}
 	if *classesFlag != "" {
 		known := make(map[string]bool)
 		for _, c := range fault.Classes() {

@@ -6,23 +6,33 @@
 // Usage: ascfleet -key passphrase [-nodes N] [-procs N] [-stdin file]
 //
 //	[-enforcement kill|deny|audit] [-slice N] [-checkpoint-every N]
-//	[-heartbeat N] [-miss N] [-kill-node ID -kill-tick T] [-events] exe
+//	[-heartbeat N] [-miss N] [-kill-node ID -kill-tick T]
+//	[-durable-dir path] [-standby] [-kill-director] [-events] exe
 //
 // The binary must have been processed by ascinstall with the same key;
 // every node's kernel re-verifies it, and every checkpoint that moves
 // between nodes is re-verified by the receiving kernel. -kill-node/-
 // kill-tick crash a node at a virtual tick mid-run — the demonstration
 // that the fleet completes anyway, warm from sealed checkpoints.
-// -events prints the director's control-plane timeline.
+// -durable-dir makes the control plane durable (a sealed WAL of every
+// director decision plus on-disk checkpoint stores under that directory
+// of the cluster's filesystem); -standby attaches a warm standby that
+// takes over on missed director heartbeats; -kill-director crashes the
+// director itself at -kill-tick — with -standby the fleet survives,
+// without it the run ends in a detected director loss. -events prints
+// the control-plane timeline.
 //
-// Exit codes: 0 when every process exits clean; 125 when any process
-// was killed by its monitor; 2 on usage errors; 1 on platform errors
-// or lost processes.
+// Exit codes: 0 when every process exits clean; 123 when the director
+// was lost with no standby attached (every unfinished process reports
+// a director-lost error); 125 when any process was killed by its
+// monitor; 2 on usage errors; 1 on platform errors or lost processes.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"asc"
@@ -32,22 +42,42 @@ import (
 )
 
 func main() {
-	key := flag.String("key", "", "MAC key passphrase (required; the cluster always enforces)")
-	nodes := flag.Int("nodes", 3, "cluster width")
-	procs := flag.Int("procs", 0, "fleet size (default: two per node)")
-	stdinFile := flag.String("stdin", "", "file supplying standard input to every process")
-	enfFlag := flag.String("enforcement", "kill", "violation response: kill, deny, or audit")
-	slice := flag.Uint64("slice", 0, "virtual cycles each process advances per tick (default 4096)")
-	ckptEvery := flag.Int64("checkpoint-every", 0, "seal a durable checkpoint every N cycles (default 4 slices; negative disables)")
-	heartbeat := flag.Int("heartbeat", 1, "ticks between heartbeat rounds")
-	miss := flag.Int("miss", 3, "consecutive missed heartbeats that declare a node failed")
-	killNode := flag.Int("kill-node", 0, "crash this node mid-run (0: no crash)")
-	killTick := flag.Int("kill-tick", 3, "virtual tick the -kill-node crash fires")
-	events := flag.Bool("events", false, "print the director's control-plane timeline")
-	flag.Parse()
-	if flag.NArg() != 1 || *key == "" {
-		fmt.Fprintln(os.Stderr, "usage: ascfleet -key passphrase [-nodes N] [-procs N] [-stdin file] [-enforcement kill|deny|audit] [-slice N] [-checkpoint-every N] [-heartbeat N] [-miss N] [-kill-node ID -kill-tick T] [-events] exe")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams and argv, so the exit-code
+// contract is testable in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fl := flag.NewFlagSet("ascfleet", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	key := fl.String("key", "", "MAC key passphrase (required; the cluster always enforces)")
+	nodes := fl.Int("nodes", 3, "cluster width")
+	procs := fl.Int("procs", 0, "fleet size (default: two per node)")
+	stdinFile := fl.String("stdin", "", "file supplying standard input to every process")
+	enfFlag := fl.String("enforcement", "kill", "violation response: kill, deny, or audit")
+	slice := fl.Uint64("slice", 0, "virtual cycles each process advances per tick (default 4096)")
+	ckptEvery := fl.Int64("checkpoint-every", 0, "seal a durable checkpoint every N cycles (default 4 slices; negative disables)")
+	heartbeat := fl.Int("heartbeat", 1, "ticks between heartbeat rounds")
+	miss := fl.Int("miss", 3, "consecutive missed heartbeats that declare a node failed")
+	killNode := fl.Int("kill-node", 0, "crash this node mid-run (0: no crash)")
+	killTick := fl.Int("kill-tick", 3, "virtual tick the -kill-node/-kill-director crash fires")
+	durableDir := fl.String("durable-dir", "", "make the control plane durable under this cluster-filesystem directory (sealed WAL + on-disk checkpoint stores)")
+	standby := fl.Bool("standby", false, "attach a warm standby director (requires -durable-dir)")
+	killDirector := fl.Bool("kill-director", false, "crash the director at -kill-tick (requires -durable-dir)")
+	events := fl.Bool("events", false, "print the director's control-plane timeline")
+	if err := fl.Parse(args); err != nil {
+		return 2
+	}
+	usage := func() int {
+		fmt.Fprintln(stderr, "usage: ascfleet -key passphrase [-nodes N] [-procs N] [-stdin file] [-enforcement kill|deny|audit] [-slice N] [-checkpoint-every N] [-heartbeat N] [-miss N] [-kill-node ID -kill-tick T] [-durable-dir path] [-standby] [-kill-director] [-events] exe")
+		return 2
+	}
+	if fl.NArg() != 1 || *key == "" {
+		return usage()
+	}
+	if (*standby || *killDirector) && *durableDir == "" {
+		fmt.Fprintln(stderr, "ascfleet: -standby and -kill-director require -durable-dir")
+		return 2
 	}
 	var enf kernel.Enforcement
 	switch *enfFlag {
@@ -58,22 +88,26 @@ func main() {
 	case "audit":
 		enf = kernel.EnforceAudit
 	default:
-		fmt.Fprintf(os.Stderr, "ascfleet: unknown -enforcement %q\n", *enfFlag)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "ascfleet: unknown -enforcement %q\n", *enfFlag)
+		return 2
 	}
-	b, err := os.ReadFile(flag.Arg(0))
+	fatal := func(err error) int {
+		fmt.Fprintln(stderr, "ascfleet:", err)
+		return 1
+	}
+	b, err := os.ReadFile(fl.Arg(0))
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	exe, err := asc.ReadBinary(b)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	var stdin string
 	if *stdinFile != "" {
 		sb, err := os.ReadFile(*stdinFile)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		stdin = string(sb)
 	}
@@ -86,21 +120,11 @@ func main() {
 		CheckpointEvery: *ckptEvery,
 		HeartbeatEvery:  *heartbeat,
 		MissThreshold:   *miss,
+		DurableDir:      *durableDir,
 	}
-	if *killNode != 0 {
-		if *killNode < 1 || *killNode > *nodes {
-			fmt.Fprintf(os.Stderr, "ascfleet: -kill-node %d out of range (cluster has %d nodes)\n", *killNode, *nodes)
-			os.Exit(2)
-		}
-		cfg.OnTick = func(d *cluster.Director, tick int) {
-			if tick == *killTick {
-				d.CrashNode(cluster.NodeID(*killNode))
-			}
-		}
-	}
-	d, err := cluster.New(cfg)
-	if err != nil {
-		fatal(err)
+	if *killNode != 0 && (*killNode < 1 || *killNode > *nodes) {
+		fmt.Fprintf(stderr, "ascfleet: -kill-node %d out of range (cluster has %d nodes)\n", *killNode, *nodes)
+		return 2
 	}
 	n := *procs
 	if n <= 0 {
@@ -110,31 +134,88 @@ func main() {
 	for i := range reqs {
 		reqs[i] = core.RunRequest{Exe: exe, Name: fmt.Sprintf("p%d", i), Stdin: stdin}
 	}
-	rep, err := d.Run(reqs)
-	if err != nil {
-		fatal(err)
+
+	// The HA harness drives the fleet whenever the control plane is
+	// durable (it is a bystander without faults); the plain director
+	// covers the in-memory configuration.
+	var rep *cluster.FleetReport
+	var ha *cluster.HAReport
+	if *durableDir != "" {
+		h, err := cluster.NewHA(cluster.HAConfig{
+			Cluster: cfg,
+			Standby: *standby,
+			OnTick: func(h *cluster.HA, tick int) {
+				if tick != *killTick {
+					return
+				}
+				if *killNode != 0 {
+					h.Primary.CrashNode(cluster.NodeID(*killNode))
+				}
+				if *killDirector {
+					h.CrashPrimary()
+				}
+			},
+		})
+		if err != nil {
+			return fatal(err)
+		}
+		ha, err = h.Run(reqs)
+		if err != nil {
+			return fatal(err)
+		}
+		rep = ha.Fleet
+	} else {
+		if *killDirector {
+			fmt.Fprintln(stderr, "ascfleet: -kill-director requires -durable-dir")
+			return 2
+		}
+		if *killNode != 0 {
+			cfg.OnTick = func(d *cluster.Director, tick int) {
+				if tick == *killTick {
+					d.CrashNode(cluster.NodeID(*killNode))
+				}
+			}
+		}
+		d, err := cluster.New(cfg)
+		if err != nil {
+			return fatal(err)
+		}
+		rep, err = d.Run(reqs)
+		if err != nil {
+			return fatal(err)
+		}
 	}
 
 	if *events {
 		for _, ev := range rep.Events {
-			fmt.Fprintf(os.Stderr, "tick %4d  %s\n", ev.Tick, ev.What)
+			fmt.Fprintf(stderr, "tick %4d  %s\n", ev.Tick, ev.What)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "ascfleet: %d procs on %d nodes, %d ticks, %d beats (%d missed), nodes down %v\n",
+	fmt.Fprintf(stderr, "ascfleet: %d procs on %d nodes, %d ticks, %d beats (%d missed), nodes down %v\n",
 		n, *nodes, rep.Ticks, rep.Beats, rep.MissedBeats, rep.NodesDown)
+	if ha != nil && ha.Term > 1 {
+		fmt.Fprintf(stderr, "ascfleet: standby takeover at tick %d (detected in %d ticks, term %d): %d re-attached, %d re-placed, %d WAL records replayed\n",
+			ha.TakeoverTick, ha.DetectTicks, ha.Term, ha.Reattached, ha.Restored, ha.WALRecords)
+	}
 	exit := 0
 	for _, pr := range rep.Procs {
 		switch {
 		case pr.Err != nil:
-			fmt.Fprintf(os.Stderr, "ascfleet: %s: lost: %v\n", pr.Name, pr.Err)
-			exit = 1
+			fmt.Fprintf(stderr, "ascfleet: %s: lost: %v\n", pr.Name, pr.Err)
+			if errors.Is(pr.Err, cluster.ErrDirectorLost) {
+				if exit == 0 || exit == 1 {
+					exit = 123
+				}
+			} else {
+				exit = 1
+			}
 		case pr.Result.Killed:
-			fmt.Fprintf(os.Stderr, "ascfleet: %s: killed by monitor: %s\n", pr.Name, pr.Result.Reason)
+			fmt.Fprintf(stderr, "ascfleet: %s: killed by monitor: %s\n", pr.Name, pr.Result.Reason)
 			if exit == 0 {
 				exit = 125
 			}
 		default:
-			fmt.Fprintf(os.Stderr, "ascfleet: %s: node %d, exit %d, %d cycles, %d ckpts, %d failovers (%d warm, %d cold), %d cycles replayed\n",
+			fmt.Fprintf(stderr, "ascfleet: %s: node %d, exit %d, %d cycles, %d ckpts, %d failovers (%d warm, %d cold), %d cycles replayed\n",
 				pr.Name, pr.Node, pr.Result.ExitCode, pr.Result.Cycles, pr.Checkpoints,
 				pr.Failovers, pr.WarmRestarts, pr.ColdStarts, pr.ReplayCycles)
 			if pr.Result.ExitCode != 0 && exit == 0 {
@@ -145,14 +226,9 @@ func main() {
 	// Every copy computes the same thing; print the first clean output.
 	for _, pr := range rep.Procs {
 		if pr.Err == nil && pr.Result != nil {
-			os.Stdout.WriteString(pr.Result.Output)
+			io.WriteString(stdout, pr.Result.Output)
 			break
 		}
 	}
-	os.Exit(exit)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ascfleet:", err)
-	os.Exit(1)
+	return exit
 }

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"asc"
+)
+
+// helloSrc loops long enough to span many scheduler ticks at the test
+// slice size, so mid-run director crashes land while the fleet is live.
+const helloSrc = `
+        .text
+        .global main
+main:
+        MOVI r12, 200
+.loop:
+        CALL getpid
+        ADDI r12, r12, -1
+        MOVI r9, 0
+        BNE r12, r9, .loop
+        MOVI r1, msg
+        CALL puts
+        MOVI r0, 0
+        RET
+        .rodata
+msg:    .asciz "hello, fleet\n"
+`
+
+// buildInstalled writes an ascinstall-processed hello binary to a temp
+// file and returns its path.
+func buildInstalled(t *testing.T, pass string) string {
+	t.Helper()
+	exe, err := asc.BuildProgram("hello", helloSrc, asc.Linux)
+	if err != nil {
+		t.Fatalf("BuildProgram: %v", err)
+	}
+	hardened, _, _, err := asc.Install(exe, "hello", asc.InstallOptions{Key: asc.NewKey(pass)})
+	if err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	b, err := hardened.Bytes()
+	if err != nil {
+		t.Fatalf("Bytes: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "hello.self")
+	if err := os.WriteFile(path, b, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDirectorLossExitCode(t *testing.T) {
+	exe := buildInstalled(t, "fleet-pass")
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-key", "fleet-pass", "-nodes", "3", "-procs", "3", "-slice", "512", "-checkpoint-every", "512",
+		"-durable-dir", "/director", "-kill-director", "-kill-tick", "2",
+		exe,
+	}, &out, &errb)
+	if code != 123 {
+		t.Fatalf("exit code %d, want 123 for director loss without standby\nstderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "director lost") {
+		t.Errorf("stderr does not mention the director loss:\n%s", errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("unexpected stdout with every process lost: %q", out.String())
+	}
+}
+
+func TestStandbySurvivesDirectorCrash(t *testing.T) {
+	exe := buildInstalled(t, "fleet-pass")
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-key", "fleet-pass", "-nodes", "3", "-procs", "3", "-slice", "512", "-checkpoint-every", "512",
+		"-durable-dir", "/director", "-standby", "-kill-director", "-kill-tick", "2",
+		exe,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0 with a standby attached\nstderr:\n%s", code, errb.String())
+	}
+	if out.String() != "hello, fleet\n" {
+		t.Errorf("stdout %q, want clean program output", out.String())
+	}
+	if !strings.Contains(errb.String(), "standby takeover") || !strings.Contains(errb.String(), "term 2") {
+		t.Errorf("stderr does not report the takeover:\n%s", errb.String())
+	}
+}
+
+func TestStandbyRequiresDurableDir(t *testing.T) {
+	exe := buildInstalled(t, "fleet-pass")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-key", "fleet-pass", "-standby", exe}, &out, &errb); code != 2 {
+		t.Fatalf("exit code %d, want 2 for -standby without -durable-dir", code)
+	}
+	if code := run([]string{"-key", "fleet-pass", "-kill-director", exe}, &out, &errb); code != 2 {
+		t.Fatalf("exit code %d, want 2 for -kill-director without -durable-dir", code)
+	}
+}
+
+func TestPlainFleetStillRuns(t *testing.T) {
+	exe := buildInstalled(t, "fleet-pass")
+	var out, errb bytes.Buffer
+	code := run([]string{"-key", "fleet-pass", "-nodes", "2", "-procs", "2", exe}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0\nstderr:\n%s", code, errb.String())
+	}
+	if out.String() != "hello, fleet\n" {
+		t.Errorf("stdout %q", out.String())
+	}
+}

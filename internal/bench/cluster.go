@@ -71,6 +71,28 @@ type ClusterPoint struct {
 	MissedBeats    int
 }
 
+// TakeoverPoint is one heartbeat-cadence cell of the director-takeover
+// arm: the director is killed in the worst migration window (checkpoint
+// durable, source fenced, zero bytes moved) and a warm standby must
+// notice, replay the sealed WAL, and resume the fleet.
+type TakeoverPoint struct {
+	HeartbeatEvery int
+	Procs          int
+	CrashTick      int // virtual time the director dies
+	TakeoverTick   int // virtual time the standby takes over
+	DetectTicks    int // takeover latency (missed-beat detection)
+	Ticks          int // virtual clock at fleet completion
+	// Reattached processes resume live on their surviving nodes;
+	// Restored is the mid-migration process finished warm from the
+	// persistent store.
+	Reattached   int
+	Restored     int
+	WarmRestarts int
+	ColdStarts   int
+	WALRecords   int    // sealed records the takeover replayed
+	Term         uint32 // director generation after recovery (2 = one takeover)
+}
+
 // ClusterData is the full failover sweep.
 type ClusterData struct {
 	Iters       int
@@ -78,6 +100,7 @@ type ClusterData struct {
 	SliceCycles uint64 // per-tick slice (clean/10)
 	CrashTick   int    // virtual time node 1 dies in every cell
 	Points      []ClusterPoint
+	Takeover    []TakeoverPoint
 }
 
 // Cluster runs the failover sweep: for each (width, cadence) cell a
@@ -126,7 +149,131 @@ func Cluster(key []byte, iters int) (*ClusterData, error) {
 			out.Points = append(out.Points, p)
 		}
 	}
+	for _, hb := range ClusterHeartbeats {
+		p, err := takeoverCell(key, exe, ref, out, hb)
+		if err != nil {
+			return nil, fmt.Errorf("bench: takeover heartbeat/%d: %w", hb, err)
+		}
+		out.Takeover = append(out.Takeover, p)
+	}
 	return out, nil
+}
+
+// takeoverCell kills the director mid-migration on a durable 3-node
+// cluster with a warm standby and accounts for the takeover: detection
+// latency, WAL replay size, and the recovery split (live re-attach vs
+// warm restore). Cold starts are an error — durable control-plane state
+// means a director death never loses fleet progress.
+func takeoverCell(key []byte, exe *binfmt.File, ref *core.Result, data *ClusterData, hb int) (TakeoverPoint, error) {
+	const nodes = 3
+	crashTick := 4
+	h, err := cluster.NewHA(cluster.HAConfig{
+		Cluster: cluster.Config{
+			Nodes:           nodes,
+			Key:             key,
+			SliceCycles:     data.SliceCycles,
+			CheckpointEvery: int64(data.SliceCycles),
+			HeartbeatEvery:  hb,
+			MissThreshold:   3,
+			DurableDir:      "/director",
+		},
+		Standby: true,
+		OnTick: func(ha *cluster.HA, tick int) {
+			if tick == crashTick {
+				opts := cluster.CleanMigrate()
+				opts.CrashDirector = true
+				_, _ = ha.Primary.Migrate("c0", 2, opts)
+			}
+		},
+	})
+	if err != nil {
+		return TakeoverPoint{}, err
+	}
+	procs := 2 * nodes
+	reqs := make([]core.RunRequest, procs)
+	for i := range reqs {
+		reqs[i] = core.RunRequest{Exe: exe, Name: fmt.Sprintf("c%d", i)}
+	}
+	rep, err := h.Run(reqs)
+	if err != nil {
+		return TakeoverPoint{}, err
+	}
+	p := TakeoverPoint{
+		HeartbeatEvery: hb,
+		Procs:          procs,
+		CrashTick:      rep.CrashTick,
+		TakeoverTick:   rep.TakeoverTick,
+		DetectTicks:    rep.DetectTicks,
+		Ticks:          rep.Fleet.Ticks,
+		Reattached:     rep.Reattached,
+		Restored:       rep.Restored,
+		WALRecords:     rep.WALRecords,
+		Term:           rep.Term,
+	}
+	if rep.DirectorLost || rep.Term != 2 {
+		return p, fmt.Errorf("takeover failed: lost=%v term=%d", rep.DirectorLost, rep.Term)
+	}
+	for _, pr := range rep.Fleet.Procs {
+		if pr.Err != nil {
+			return p, fmt.Errorf("%s: %v", pr.Name, pr.Err)
+		}
+		if pr.Result == nil || pr.Result.Killed || pr.Result.ExitCode != 0 {
+			return p, fmt.Errorf("%s: did not exit clean: %+v", pr.Name, pr.Result)
+		}
+		if pr.Result.Output != ref.Output {
+			return p, fmt.Errorf("%s: output diverged from the single-node run", pr.Name)
+		}
+		p.WarmRestarts += pr.WarmRestarts
+		p.ColdStarts += pr.ColdStarts
+	}
+	if p.ColdStarts != 0 {
+		return p, fmt.Errorf("%d cold starts across a director takeover", p.ColdStarts)
+	}
+	if p.Reattached+p.Restored != procs {
+		return p, fmt.Errorf("takeover accounted for %d of %d processes", p.Reattached+p.Restored, procs)
+	}
+	return p, nil
+}
+
+// TakeoverGuard runs the reduced heartbeat-1 takeover cell and returns
+// its recovery split — the make-check gate asserting a director crash
+// with a standby never cold-starts a process.
+func TakeoverGuard(key []byte) (reattached, restored, cold int, err error) {
+	data, err := takeoverGuardData(key)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	p := data.Takeover[0]
+	return p.Reattached, p.Restored, p.ColdStarts, nil
+}
+
+// takeoverGuardData measures the guard's single cell.
+func takeoverGuardData(key []byte) (*ClusterData, error) {
+	iters := 400
+	v := workload.FaultVictim{Name: "cluster-loop", Source: fmt.Sprintf(clusterBenchSource, iters)}
+	exe, err := v.Build(key)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystem(core.Config{Key: key})
+	if err != nil {
+		return nil, err
+	}
+	ref, err := sys.Exec(exe, "cluster-loop", "")
+	if err != nil {
+		return nil, err
+	}
+	slice := ref.Cycles / 10
+	if slice < 256 {
+		slice = 256
+	}
+	data := &ClusterData{Iters: iters, CleanCycles: ref.Cycles, SliceCycles: slice, CrashTick: 3}
+	p, err := takeoverCell(key, exe, ref, data, 1)
+	if err != nil {
+		return nil, err
+	}
+	data.Takeover = append(data.Takeover, p)
+	return data, nil
 }
 
 // clusterCell runs one (width, cadence) cell: crash node 1 at the fixed
@@ -231,5 +378,24 @@ func (t *ClusterData) Render() string {
 	}
 	title := fmt.Sprintf("Cluster failover: clean run %d cycles, slice %d, node 1 crashed at tick %d, warm re-placement from sealed checkpoints",
 		t.CleanCycles, t.SliceCycles, t.CrashTick)
-	return renderTable(title, header, rows)
+	out := renderTable(title, header, rows)
+	if len(t.Takeover) == 0 {
+		return out
+	}
+	header = []string{"Heartbeat", "Procs", "Detect (ticks)", "WAL records", "Re-attached", "Warm restored", "Cold starts", "Term"}
+	rows = rows[:0]
+	for _, p := range t.Takeover {
+		rows = append(rows, []string{
+			fmt.Sprintf("every %d", p.HeartbeatEvery),
+			fmt.Sprintf("%d", p.Procs),
+			fmt.Sprintf("%d", p.DetectTicks),
+			fmt.Sprintf("%d", p.WALRecords),
+			fmt.Sprintf("%d", p.Reattached),
+			fmt.Sprintf("%d", p.Restored),
+			fmt.Sprintf("%d", p.ColdStarts),
+			fmt.Sprintf("%d", p.Term),
+		})
+	}
+	title = "Director takeover: primary killed mid-migration on a durable 3-node cluster, warm standby replays the sealed WAL"
+	return out + "\n" + renderTable(title, header, rows)
 }

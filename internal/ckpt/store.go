@@ -67,6 +67,26 @@ func (s *Store) NewestEpoch() uint64 {
 	return s.entries[len(s.entries)-1].Epoch
 }
 
+// Prune drops every entry except the newest keep, returning how many
+// were dropped. keep <= 0 empties the store; keep >= Len is a no-op.
+// Pruning bounds the chain's growth under long-running checkpoint
+// cadences; the newest entries are the only ones a fallback chain ever
+// admits warm, so dropping superseded epochs loses no recoverability
+// the fence would have granted.
+func (s *Store) Prune(keep int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if keep < 0 {
+		keep = 0
+	}
+	drop := len(s.entries) - keep
+	if drop <= 0 {
+		return 0
+	}
+	s.entries = append(s.entries[:0], s.entries[drop:]...)
+	return drop
+}
+
 // Chain returns the fallback chain, newest first. Epochs come from the
 // store's own bookkeeping, never from the blobs; blobs pass through the
 // Tamper hook when one is installed.

@@ -1,0 +1,65 @@
+package ckpt
+
+import (
+	"fmt"
+	"testing"
+)
+
+func fillStore(t *testing.T, n int) *Store {
+	t.Helper()
+	s := NewStore()
+	for i := 1; i <= n; i++ {
+		if err := s.Put(uint64(i), []byte(fmt.Sprintf("blob-%d", i))); err != nil {
+			t.Fatalf("Put(%d): %v", i, err)
+		}
+	}
+	return s
+}
+
+func TestStorePruneKeepsNewest(t *testing.T) {
+	s := fillStore(t, 5)
+	if got := s.Prune(2); got != 3 {
+		t.Fatalf("Prune(2) dropped %d, want 3", got)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len after prune = %d, want 2", s.Len())
+	}
+	chain := s.Chain()
+	if chain[0].Epoch != 5 || chain[1].Epoch != 4 {
+		t.Fatalf("chain epochs after prune = %d,%d, want 5,4", chain[0].Epoch, chain[1].Epoch)
+	}
+	// The epoch floor survives pruning: Put still rejects stale epochs.
+	if err := s.Put(3, []byte("stale")); err == nil {
+		t.Fatal("Put(3) after pruning to {4,5} should fail")
+	}
+	if err := s.Put(6, []byte("next")); err != nil {
+		t.Fatalf("Put(6) after prune: %v", err)
+	}
+}
+
+func TestStorePruneBoundaries(t *testing.T) {
+	// keep=0 empties the store.
+	s := fillStore(t, 3)
+	if got := s.Prune(0); got != 3 {
+		t.Fatalf("Prune(0) dropped %d, want 3", got)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len after Prune(0) = %d, want 0", s.Len())
+	}
+	// keep > len is a no-op.
+	s = fillStore(t, 3)
+	if got := s.Prune(10); got != 0 {
+		t.Fatalf("Prune(10) dropped %d, want 0", got)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len after Prune(10) = %d, want 3", s.Len())
+	}
+	// Negative keep behaves like zero.
+	if got := s.Prune(-1); got != 3 {
+		t.Fatalf("Prune(-1) dropped %d, want 3", got)
+	}
+	// Pruning an empty store is a no-op.
+	if got := s.Prune(0); got != 0 {
+		t.Fatalf("Prune(0) on empty dropped %d, want 0", got)
+	}
+}

@@ -104,6 +104,12 @@ type Node struct {
 	// adopted is the process created by the most recent committed
 	// import, for the Director to collect.
 	adopted *kernel.Process
+
+	// owned tracks the live processes placed on this node by name. It
+	// is node-side ground truth a *takeover* director may re-attach to
+	// (the processes survived — only the director died); a node crash
+	// clears it, so a crashed node can never offer stale processes.
+	owned map[string]*kernel.Process
 }
 
 // exeResolver maps a process name to its installed executable.
@@ -154,7 +160,21 @@ func NewNode(id NodeID, fs *vfs.FS, fabric *anet.Network, key []byte, enf kernel
 		fabric:   fabric,
 		lis:      lis,
 		sessions: make(map[*anet.Conn]*session),
+		owned:    make(map[string]*kernel.Process),
 	}, nil
+}
+
+// own records a live process placed on this node; disown forgets it.
+func (nd *Node) own(name string, p *kernel.Process) { nd.owned[name] = p }
+func (nd *Node) disown(name string)                 { delete(nd.owned, name) }
+
+// Owned returns the live process this node holds under name (nil when
+// none) — what a takeover director re-attaches to.
+func (nd *Node) Owned(name string) *kernel.Process {
+	if nd.crashed {
+		return nil
+	}
+	return nd.owned[name]
 }
 
 // Crash kills the node: the control port unbinds (heartbeats start
@@ -174,6 +194,7 @@ func (nd *Node) Crash() {
 	}
 	nd.sessions = make(map[*anet.Conn]*session)
 	nd.staged = nil
+	nd.owned = make(map[string]*kernel.Process)
 }
 
 // Alive reports whether the node has not crashed. It is a modeling

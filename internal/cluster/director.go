@@ -13,6 +13,7 @@ import (
 	"asc/internal/binfmt"
 	"asc/internal/ckpt"
 	"asc/internal/core"
+	"asc/internal/durable"
 	"asc/internal/installer"
 	"asc/internal/kernel"
 	anet "asc/internal/net"
@@ -59,6 +60,17 @@ type Config struct {
 	// MaxTicks bounds the virtual clock (default 1<<20); exceeding it
 	// fails the remaining placements rather than spinning forever.
 	MaxTicks int
+	// DurableDir, when non-empty, makes the control plane durable: the
+	// director writes a sealed WAL of every decision under this
+	// directory of the cluster's shared filesystem, and per-process
+	// checkpoint stores persist there instead of in memory — the state
+	// a standby needs to take over. Empty keeps the in-memory control
+	// plane.
+	DurableDir string
+	// KeepEpochs prunes each process's checkpoint store to this many
+	// newest epochs at checkpoint cadence (default 8; negative
+	// disables pruning).
+	KeepEpochs int
 	// OnTick, when non-nil, runs at the start of every tick — the hook
 	// fault campaigns and benchmarks use to crash nodes, delay
 	// heartbeats, or launch migrations at chosen virtual times.
@@ -99,6 +111,18 @@ type FleetReport struct {
 	Events      []Event
 }
 
+// Store is the checkpoint-store contract a placement needs: trusted
+// epochs outside the blobs, a newest-first fallback chain, and bounded
+// growth. ckpt.Store (in-memory) and durable.Store (VFS-backed,
+// restart-surviving) both satisfy it.
+type Store interface {
+	Put(epoch uint64, blob []byte) error
+	NewestEpoch() uint64
+	Len() int
+	Chain() []ckpt.Entry
+	Prune(keep int) int
+}
+
 // placement is the Director's bookkeeping for one fleet process.
 type placement struct {
 	name  string
@@ -107,7 +131,7 @@ type placement struct {
 
 	home     int // node index; -1 while homeless
 	proc     *kernel.Process
-	store    *ckpt.Store // durable, survives any node
+	store    Store // durable, survives any node
 	nextCkpt uint64
 	deadline uint64
 
@@ -146,6 +170,12 @@ type Director struct {
 	beatSeq  uint64
 	tick     int
 
+	// wal is the sealed decision log (nil without Config.DurableDir).
+	wal *durable.Log
+	// selfCrashed marks the director dead (fault injection); a dead
+	// director stops stepping — an HA harness hands over to a standby.
+	selfCrashed bool
+
 	rep *FleetReport
 }
 
@@ -182,6 +212,9 @@ func New(cfg Config) (*Director, error) {
 	if cfg.MaxTicks <= 0 {
 		cfg.MaxTicks = 1 << 20
 	}
+	if cfg.KeepEpochs == 0 {
+		cfg.KeepEpochs = 8
+	}
 	d := &Director{
 		cfg:      cfg,
 		FS:       vfs.New(),
@@ -202,6 +235,13 @@ func New(cfg Config) (*Director, error) {
 			return exe, ok
 		}
 		d.nodes = append(d.nodes, nd)
+	}
+	if cfg.DurableDir != "" {
+		wal, err := durable.Create(d.FS, cfg.DurableDir, cfg.Key)
+		if err != nil {
+			return nil, err
+		}
+		d.wal = wal
 	}
 	return d, nil
 }
@@ -266,27 +306,46 @@ func (d *Director) event(format string, args ...any) {
 // drives the fleet on the virtual clock until every process finishes
 // (or can no longer be placed). Results are index-aligned with reqs.
 func (d *Director) Run(reqs []core.RunRequest) (*FleetReport, error) {
+	if err := d.place(reqs); err != nil {
+		return nil, err
+	}
+	for !d.allDone() {
+		if d.stepTick() {
+			break
+		}
+	}
+	return d.seal(), nil
+}
+
+// place creates the initial placements. Split from the tick loop so an
+// HA harness can drive stepTick itself (and hand the clock to a standby
+// after a director crash).
+func (d *Director) place(reqs []core.RunRequest) error {
 	if len(d.placements) > 0 {
-		return nil, errors.New("cluster: Director.Run may only be called once")
+		return errors.New("cluster: Director.Run may only be called once")
 	}
 	if len(reqs) == 0 {
-		return nil, errors.New("cluster: empty fleet")
+		return errors.New("cluster: empty fleet")
 	}
 	d.rep = &FleetReport{}
 	for i, r := range reqs {
 		if _, dup := d.byName[r.Name]; dup {
-			return nil, fmt.Errorf("cluster: duplicate process name %q", r.Name)
+			return fmt.Errorf("cluster: duplicate process name %q", r.Name)
 		}
 		home := i % len(d.nodes)
 		nd := d.nodes[home]
 		p, err := nd.Sys.Kernel.Spawn(r.Exe, r.Name)
 		if err != nil {
-			return nil, fmt.Errorf("cluster: spawn %s: %w", r.Name, err)
+			return fmt.Errorf("cluster: spawn %s: %w", r.Name, err)
 		}
 		p.Stdin = []byte(r.Stdin)
 		max := r.MaxCycles
 		if max == 0 {
 			max = d.cfg.MaxCycles
+		}
+		store, err := d.newStore(r.Name)
+		if err != nil {
+			return err
 		}
 		pl := &placement{
 			name:     r.Name,
@@ -294,7 +353,7 @@ func (d *Director) Run(reqs []core.RunRequest) (*FleetReport, error) {
 			stdin:    r.Stdin,
 			home:     home,
 			proc:     p,
-			store:    ckpt.NewStore(),
+			store:    store,
 			deadline: max,
 			rep:      ProcReport{Name: r.Name},
 		}
@@ -305,50 +364,89 @@ func (d *Director) Run(reqs []core.RunRequest) (*FleetReport, error) {
 		d.placements = append(d.placements, pl)
 		d.byName[r.Name] = pl
 		d.fence.Place(r.Name, nd.ID)
+		nd.own(r.Name, p)
+		d.walAppend(&durable.Record{Kind: durable.KindPlace, Name: r.Name,
+			Node: uint32(nd.ID), Cycles: max, Data: []byte(r.Stdin)})
 	}
+	return nil
+}
 
-	for d.tick = 0; !d.allDone(); d.tick++ {
-		if d.tick >= d.cfg.MaxTicks {
-			for _, pl := range d.placements {
-				if !pl.done {
-					d.finish(pl, fmt.Errorf("cluster: %s: virtual clock exhausted at tick %d", pl.name, d.tick))
-				}
-			}
-			break
-		}
-		if d.cfg.OnTick != nil {
-			d.cfg.OnTick(d, d.tick)
-		}
-		// Data plane: every live process advances one slice, ordered by
-		// node then placement for determinism.
-		for ni, nd := range d.nodes {
-			if nd.crashed || d.declared[ni] {
-				continue
-			}
-			for _, pl := range d.placements {
-				if pl.home == ni && !pl.done && !pl.pending {
-					d.runSlice(pl, nd)
-				}
-			}
-		}
-		// Re-placements whose backoff expired.
+// newStore builds a placement's checkpoint store: persistent under
+// DurableDir, in-memory otherwise.
+func (d *Director) newStore(name string) (Store, error) {
+	if d.cfg.DurableDir == "" {
+		return ckpt.NewStore(), nil
+	}
+	return durable.OpenStore(d.FS, durable.StoreDir(d.cfg.DurableDir, name))
+}
+
+// walAppend writes one decision record (no-op without a WAL). The
+// append happening *before* the decision's external effect is the
+// control-plane durability invariant: whatever the director does next,
+// a standby replaying the log knows it was decided.
+func (d *Director) walAppend(r *durable.Record) {
+	if d.wal == nil {
+		return
+	}
+	r.Tick = uint64(d.tick)
+	if err := d.wal.Append(r); err != nil {
+		d.event("wal append %s: %v", r.Kind, err)
+	}
+}
+
+// stepTick advances the fleet by one virtual tick; true means the
+// virtual clock is exhausted and the run must stop.
+func (d *Director) stepTick() bool {
+	if d.tick >= d.cfg.MaxTicks {
 		for _, pl := range d.placements {
-			if pl.pending && !pl.done && d.tick >= pl.resumeAt {
-				d.replace(pl)
+			if !pl.done {
+				d.finish(pl, fmt.Errorf("cluster: %s: virtual clock exhausted at tick %d", pl.name, d.tick))
 			}
 		}
-		// Control plane: heartbeat round.
-		if d.tick%d.cfg.HeartbeatEvery == 0 {
-			d.heartbeatRound()
+		return true
+	}
+	if d.cfg.OnTick != nil {
+		d.cfg.OnTick(d, d.tick)
+	}
+	if d.selfCrashed {
+		return true
+	}
+	// Data plane: every live process advances one slice, ordered by
+	// node then placement for determinism.
+	for ni, nd := range d.nodes {
+		if nd.crashed || d.declared[ni] {
+			continue
+		}
+		for _, pl := range d.placements {
+			if pl.home == ni && !pl.done && !pl.pending {
+				d.runSlice(pl, nd)
+			}
 		}
 	}
+	// Re-placements whose backoff expired.
+	for _, pl := range d.placements {
+		if pl.pending && !pl.done && d.tick >= pl.resumeAt {
+			d.replace(pl)
+		}
+	}
+	// Control plane: heartbeat round, plus the director's own liveness
+	// record — the standby's takeover signal.
+	if d.tick%d.cfg.HeartbeatEvery == 0 {
+		d.heartbeatRound()
+		d.walAppend(&durable.Record{Kind: durable.KindBeat})
+	}
+	d.tick++
+	return false
+}
 
+// seal closes the fleet report.
+func (d *Director) seal() *FleetReport {
 	d.rep.Ticks = d.tick
 	d.rep.Procs = make([]ProcReport, len(d.placements))
 	for i, pl := range d.placements {
 		d.rep.Procs[i] = pl.rep
 	}
-	return d.rep, nil
+	return d.rep
 }
 
 func (d *Director) allDone() bool {
@@ -367,6 +465,7 @@ func (d *Director) finish(pl *placement, err error) {
 	pl.rep.Err = err
 	if pl.home >= 0 {
 		pl.rep.Node = NodeID(pl.home + 1)
+		d.nodes[pl.home].disown(pl.name)
 	}
 	if p := pl.proc; p != nil {
 		pl.rep.Result = &core.Result{
@@ -380,6 +479,21 @@ func (d *Director) finish(pl *placement, err error) {
 			Cache:    p.CacheStats(),
 		}
 	}
+	rec := &durable.Record{Kind: durable.KindFinish, Name: pl.name, Node: uint32(pl.rep.Node)}
+	if r := pl.rep.Result; r != nil {
+		rec.Code = uint32(r.ExitCode)
+		rec.Cycles = r.Cycles
+		rec.Str = string(r.Reason)
+		rec.Data = []byte(r.Output)
+		if r.Killed {
+			rec.Flags |= durable.FlagKilled
+		}
+	}
+	if err != nil {
+		rec.Flags |= durable.FlagErr
+		rec.Str = err.Error()
+	}
+	d.walAppend(rec)
 }
 
 // runSlice advances one process by one tick's slice on its home node,
@@ -433,6 +547,11 @@ func (d *Director) checkpoint(pl *placement, nd *Node) {
 		return
 	}
 	pl.rep.Checkpoints++
+	if d.cfg.KeepEpochs > 0 {
+		pl.store.Prune(d.cfg.KeepEpochs)
+	}
+	d.walAppend(&durable.Record{Kind: durable.KindCheckpoint, Name: pl.name,
+		Node: uint32(nd.ID), Epoch: epoch})
 }
 
 // heartbeatRound pings every not-yet-declared node and applies the
@@ -490,6 +609,7 @@ func (d *Director) declareDown(ni int) {
 	d.fence.NodeDown(id)
 	d.rep.NodesDown = append(d.rep.NodesDown, id)
 	d.event("node %d declared failed (%d missed beats)", id, d.misses[ni])
+	d.walAppend(&durable.Record{Kind: durable.KindNodeDown, Node: uint32(id)})
 	for _, pl := range d.placements {
 		if pl.home == ni && !pl.done {
 			d.scheduleFailover(pl, "node failure")
@@ -502,6 +622,9 @@ func (d *Director) scheduleFailover(pl *placement, why string) {
 	if pl.proc != nil {
 		pl.lastCyc = pl.proc.CPU.Cycles
 	}
+	if pl.home >= 0 {
+		d.nodes[pl.home].disown(pl.name)
+	}
 	pl.home = -1
 	pl.proc = nil
 	pl.pending = true
@@ -510,6 +633,7 @@ func (d *Director) scheduleFailover(pl *placement, why string) {
 	back := d.backoffTicks(pl.failovers)
 	pl.resumeAt = d.tick + back
 	d.event("%s failover %d (%s): re-place after %d ticks", pl.name, pl.failovers, why, back)
+	d.walAppend(&durable.Record{Kind: durable.KindFailover, Name: pl.name, Str: why})
 }
 
 func (d *Director) backoffTicks(n int) int {
@@ -597,8 +721,12 @@ func (d *Director) replace(pl *placement) {
 		pl.rep.WarmRestarts++
 		pl.rep.RestoredCycles += p.CPU.Cycles
 		d.fence.Commit(pl.name, warmEpoch, nd.ID)
+		d.walAppend(&durable.Record{Kind: durable.KindRestore, Name: pl.name,
+			Node: uint32(nd.ID), Epoch: warmEpoch, Cycles: p.CPU.Cycles})
 	} else {
 		d.fence.Place(pl.name, nd.ID)
+		d.walAppend(&durable.Record{Kind: durable.KindColdStart, Name: pl.name,
+			Node: uint32(nd.ID), Cycles: pl.deadline, Data: []byte(pl.stdin)})
 	}
 	if pl.lastCyc > p.CPU.Cycles {
 		pl.rep.ReplayCycles += pl.lastCyc - p.CPU.Cycles
@@ -606,6 +734,7 @@ func (d *Director) replace(pl *placement) {
 	pl.proc = p
 	pl.home = target
 	pl.pending = false
+	nd.own(pl.name, p)
 	if d.cfg.CheckpointEvery > 0 {
 		pl.nextCkpt = p.CPU.Cycles + uint64(d.cfg.CheckpointEvery)
 	}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"asc/internal/ckpt"
+	"asc/internal/durable"
 	"asc/internal/kernel"
 )
 
@@ -39,6 +40,12 @@ type MigrateOpts struct {
 	// Capture, when non-nil, receives a copy of the sealed envelope —
 	// the replay experiment's ammunition.
 	Capture *[]byte
+	// CrashDirector kills the *director* after the checkpoint is
+	// durable, the WAL records the export, and the source is fenced —
+	// but before the first byte crosses the fabric. The worst-case
+	// control-plane crash window: only a standby replaying the WAL can
+	// finish the job.
+	CrashDirector bool
 }
 
 // CleanMigrate is the MigrateOpts zero value with TornAfter disabled.
@@ -78,13 +85,23 @@ func (d *Director) Migrate(name string, dst NodeID, opts MigrateOpts) (string, e
 		*opts.Capture = append([]byte(nil), env...)
 	}
 	// Fence the source: epoch `epoch` must never keep running here.
+	// The WAL append lands with the fence, before any byte crosses the
+	// fabric — the control-plane half of durability-before-transfer.
+	d.walAppend(&durable.Record{Kind: durable.KindExportFence, Name: name,
+		Node: uint32(src.ID), Node2: uint32(dst), Epoch: epoch})
 	d.fence.ExportFence(name)
+	src.disown(name)
 	pl.lastCyc = pl.proc.CPU.Cycles
 	pl.proc = nil
 	pl.home = -1
 	pl.pending = true
 	pl.resumeAt = d.tick + 1
 	d.event("%s exporting epoch %d: node %d → %d", name, epoch, src.ID, dst)
+	if opts.CrashDirector {
+		d.selfCrashed = true
+		d.event("director crashed mid-migration of %s", name)
+		return "", nil
+	}
 
 	target := dst
 	if opts.Divert != 0 {
@@ -103,6 +120,7 @@ func (d *Director) Migrate(name string, dst NodeID, opts MigrateOpts) (string, e
 		pl.rep.Failovers++
 		pl.resumeAt = d.tick + d.backoffTicks(pl.failovers)
 		d.event("%s migration torn: %v", name, err)
+		d.walAppend(&durable.Record{Kind: durable.KindMigTorn, Name: name, Epoch: epoch})
 		return "", nil
 	}
 	if reason != "" {
@@ -111,9 +129,12 @@ func (d *Director) Migrate(name string, dst NodeID, opts MigrateOpts) (string, e
 		return reason, nil
 	}
 	d.fence.Commit(name, epoch, target)
+	d.walAppend(&durable.Record{Kind: durable.KindMigDone, Name: name,
+		Node: uint32(target), Epoch: epoch, Cycles: p.CPU.Cycles})
 	pl.proc = p
 	pl.home = int(target) - 1
 	pl.pending = false
+	d.nodes[pl.home].own(name, p)
 	if d.cfg.CheckpointEvery > 0 {
 		pl.nextCkpt = p.CPU.Cycles + uint64(d.cfg.CheckpointEvery)
 	}

@@ -1,0 +1,241 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"asc/internal/durable"
+)
+
+// haConfig is testConfig plus a durable control plane.
+func haConfig(nodes int) Config {
+	cfg := testConfig(nodes)
+	cfg.DurableDir = "/director"
+	return cfg
+}
+
+// TestTakeoverReattachesFleet: the director dies mid-fleet with a warm
+// standby attached. The standby notices the missed beats, replays the
+// WAL, and re-attaches every process live on its surviving node — no
+// checkpoint is touched, no cycle is re-executed, and every output
+// matches the single-node reference.
+func TestTakeoverReattachesFleet(t *testing.T) {
+	exe := buildGuest(t)
+	ref := refRun(t, exe)
+	h, err := NewHA(HAConfig{
+		Cluster: haConfig(3),
+		Standby: true,
+		OnTick: func(h *HA, tick int) {
+			if tick == 6 {
+				h.CrashPrimary()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.Run(fleet(exe, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFleetOutputs(t, rep.Fleet, ref)
+	if rep.DirectorLost {
+		t.Fatal("director lost despite standby")
+	}
+	if rep.CrashTick != 6 || rep.TakeoverTick < 0 {
+		t.Fatalf("crash/takeover ticks = %d/%d", rep.CrashTick, rep.TakeoverTick)
+	}
+	if rep.DetectTicks < 1 {
+		t.Errorf("DetectTicks = %d, want ≥ 1", rep.DetectTicks)
+	}
+	if rep.Term != 2 {
+		t.Errorf("Term = %d, want 2 (one takeover)", rep.Term)
+	}
+	if rep.Reattached != 5 || rep.Restored != 0 {
+		t.Errorf("reattached/restored = %d/%d, want 5/0", rep.Reattached, rep.Restored)
+	}
+	if rep.WALRecords == 0 {
+		t.Error("takeover replayed zero WAL records")
+	}
+	for _, pr := range rep.Fleet.Procs {
+		if pr.ColdStarts != 0 {
+			t.Errorf("%s: %d cold starts across a director takeover", pr.Name, pr.ColdStarts)
+		}
+	}
+}
+
+// TestTakeoverMidMigration: the director crashes in the worst window —
+// checkpoint durable, source fenced, zero bytes transferred. The
+// standby replays the export fence and finishes the job warm from the
+// persistent store; everything else re-attaches.
+func TestTakeoverMidMigration(t *testing.T) {
+	exe := buildGuest(t)
+	ref := refRun(t, exe)
+	h, err := NewHA(HAConfig{
+		Cluster: haConfig(3),
+		Standby: true,
+		OnTick: func(h *HA, tick int) {
+			if tick == 6 {
+				opts := CleanMigrate()
+				opts.CrashDirector = true
+				if _, err := h.Primary.Migrate("p0", 3, opts); err != nil {
+					t.Fatalf("Migrate: %v", err)
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.Run(fleet(exe, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFleetOutputs(t, rep.Fleet, ref)
+	if rep.Term != 2 || rep.DirectorLost {
+		t.Fatalf("Term = %d, lost = %v", rep.Term, rep.DirectorLost)
+	}
+	if rep.Reattached != 4 || rep.Restored != 1 {
+		t.Errorf("reattached/restored = %d/%d, want 4/1", rep.Reattached, rep.Restored)
+	}
+	p0 := rep.Fleet.Procs[0]
+	if p0.WarmRestarts == 0 {
+		t.Errorf("p0: finished the torn migration without a warm restart: %+v", p0)
+	}
+	if p0.ColdStarts != 0 {
+		t.Errorf("p0: %d cold starts with a durable checkpoint", p0.ColdStarts)
+	}
+	for _, pr := range rep.Fleet.Procs {
+		if pr.ColdStarts != 0 {
+			t.Errorf("%s: cold start across mid-migration takeover", pr.Name)
+		}
+	}
+}
+
+// TestTakeoverRecoversTornWALTail: the director dies mid-append,
+// leaving a torn final frame. Takeover truncates the tear, replays the
+// valid prefix, and the fleet still completes with reference outputs.
+func TestTakeoverRecoversTornWALTail(t *testing.T) {
+	exe := buildGuest(t)
+	ref := refRun(t, exe)
+	h, err := NewHA(HAConfig{
+		Cluster: haConfig(3),
+		Standby: true,
+		OnTick: func(h *HA, tick int) {
+			if tick == 6 {
+				h.CrashPrimary()
+				if err := durable.Tear(h.Primary.FS, "/director", testKey); err != nil {
+					t.Fatalf("Tear: %v", err)
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.Run(fleet(exe, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFleetOutputs(t, rep.Fleet, ref)
+	if !rep.WALTorn {
+		t.Error("takeover did not report the torn tail")
+	}
+	if rep.Term != 2 {
+		t.Errorf("Term = %d, want 2", rep.Term)
+	}
+	for _, pr := range rep.Fleet.Procs {
+		if pr.ColdStarts != 0 {
+			t.Errorf("%s: cold start after torn-tail recovery", pr.Name)
+		}
+	}
+}
+
+// TestDirectorLossWithoutStandby: the same crash with no standby is a
+// detected, reported loss — every unfinished process ends with
+// ErrDirectorLost, never a silent hang or a fabricated result.
+func TestDirectorLossWithoutStandby(t *testing.T) {
+	exe := buildGuest(t)
+	h, err := NewHA(HAConfig{
+		Cluster: haConfig(3),
+		OnTick: func(h *HA, tick int) {
+			if tick == 6 {
+				h.CrashPrimary()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.Run(fleet(exe, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.DirectorLost {
+		t.Fatal("DirectorLost not reported")
+	}
+	if rep.Term != 1 {
+		t.Errorf("Term = %d, want 1 (no takeover)", rep.Term)
+	}
+	for _, pr := range rep.Fleet.Procs {
+		if !errors.Is(pr.Err, ErrDirectorLost) {
+			t.Errorf("%s: err = %v, want ErrDirectorLost", pr.Name, pr.Err)
+		}
+	}
+}
+
+// TestHealthyHAMatchesPlainDirector: with a standby attached but no
+// crash, the HA harness is a bystander — same outputs, term 1, no
+// takeover accounting.
+func TestHealthyHAMatchesPlainDirector(t *testing.T) {
+	exe := buildGuest(t)
+	ref := refRun(t, exe)
+	h, err := NewHA(HAConfig{Cluster: haConfig(3), Standby: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.Run(fleet(exe, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFleetOutputs(t, rep.Fleet, ref)
+	if rep.Term != 1 || rep.CrashTick != -1 || rep.TakeoverTick != -1 {
+		t.Errorf("healthy HA: term %d crash %d takeover %d", rep.Term, rep.CrashTick, rep.TakeoverTick)
+	}
+	if rep.Reattached != 0 || rep.Restored != 0 || rep.WALTorn {
+		t.Errorf("healthy HA: spurious recovery accounting %+v", rep)
+	}
+}
+
+// TestDurableStoreSurvivesAcrossDirectors: checkpoint stores under
+// DurableDir persist on the shared filesystem — a takeover director
+// reopening them sees the primary's sealed epochs and the fence still
+// refuses stale ones.
+func TestDurableStoreSurvivesAcrossDirectors(t *testing.T) {
+	exe := buildGuest(t)
+	cfg := haConfig(2)
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Run(fleet(exe, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range rep.Procs {
+		if pr.Checkpoints == 0 {
+			t.Fatalf("%s: no checkpoints sealed", pr.Name)
+		}
+	}
+	// Reopen one store the way a successor would.
+	st, err := durable.OpenStore(d.FS, durable.StoreDir(cfg.DurableDir, "p0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() == 0 || st.NewestEpoch() == 0 {
+		t.Fatalf("reopened store empty: len=%d newest=%d", st.Len(), st.NewestEpoch())
+	}
+	if err := st.Put(st.NewestEpoch(), []byte("stale")); err == nil {
+		t.Error("reopened store accepted a non-increasing epoch")
+	}
+}

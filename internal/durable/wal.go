@@ -1,0 +1,746 @@
+// Package durable makes the fleet director's control plane restartable:
+// a sealed write-ahead log of every control-plane decision, and a
+// VFS-backed checkpoint store that survives the director process.
+//
+// The trust argument mirrors the checkpoint layer's. Director state that
+// leaves the director's hands — records written to the shared durable
+// filesystem — is never trusted on the way back in: every record is
+// chained by a domain-separated CMAC over the previous record's tag, so
+// a standby replaying the log detects bit flips (the chain breaks) and
+// reordering or splicing (each tag pins its predecessor). What the chain
+// alone cannot decide is freshness — an attacker who snapshots the whole
+// log and anchor early can present a self-consistent prefix — so a
+// separately sealed anchor records the newest (term, seq, tag) after
+// every append. A log whose chain verifies but whose anchor points past
+// its last record is a replayed stale copy and is rejected, not
+// replayed. Torn tails — a crash mid-append — are the one recoverable
+// corruption: the partial frame is detected by framing, truncated, and
+// the log resumes from the last sealed record.
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"asc/internal/mac"
+	"asc/internal/vfs"
+)
+
+const (
+	logMagic    = "ASCW"
+	anchorMagic = "ASCA"
+	version     = 1
+
+	// walPrefix domain-separates record tags from every other CMAC in
+	// the system; anchorPrefix does the same for the anchor seal.
+	walPrefix    = "asc/dir/wal/v1\x00"
+	anchorPrefix = "asc/dir/anchor/v1\x00"
+
+	headerSize = 8 // magic + version
+	// MaxRecord bounds one record body; a frame whose declared length
+	// exceeds it cannot be legitimate and is classified as tampering.
+	MaxRecord = 1 << 20
+)
+
+// Kind enumerates the control-plane decisions the WAL records.
+type Kind uint32
+
+const (
+	// KindPlace: initial (or cold re-) placement of Name on Node; Data
+	// carries the stdin bytes and Cycles the per-process budget, so a
+	// takeover can re-create the placement from the log alone.
+	KindPlace Kind = 1 + iota
+	// KindBeat: director liveness heartbeat, the standby's takeover
+	// signal.
+	KindBeat
+	// KindCheckpoint: Name sealed Epoch into its durable store.
+	KindCheckpoint
+	// KindExportFence: Name's Epoch was exported from Node toward
+	// Node2 and the source fenced — written before the first byte
+	// crosses the fabric.
+	KindExportFence
+	// KindMigDone: the migration of Name at Epoch committed on Node.
+	KindMigDone
+	// KindMigTorn: the transfer died mid-handshake; Name is pending.
+	KindMigTorn
+	// KindNodeDown: the failure detector declared Node failed.
+	KindNodeDown
+	// KindFailover: Name lost its node; Str is the cause.
+	KindFailover
+	// KindRestore: Name re-placed warm on Node from Epoch.
+	KindRestore
+	// KindColdStart: Name re-placed cold on Node.
+	KindColdStart
+	// KindFinish: Name finished; Code/Flags/Str/Data hold the exit
+	// code, killed/error flags, reason, and output, Cycles the final
+	// cycle count — enough for a takeover to report the result.
+	KindFinish
+	// KindTakeover: a standby took over; Term was bumped, fencing the
+	// previous director's log handle.
+	KindTakeover
+
+	kindMax = KindTakeover
+)
+
+var kindNames = [...]string{
+	KindPlace: "place", KindBeat: "beat", KindCheckpoint: "checkpoint",
+	KindExportFence: "export-fence", KindMigDone: "mig-done",
+	KindMigTorn: "mig-torn", KindNodeDown: "node-down",
+	KindFailover: "failover", KindRestore: "restore",
+	KindColdStart: "cold-start", KindFinish: "finish",
+	KindTakeover: "takeover",
+}
+
+func (k Kind) String() string {
+	if k >= 1 && k <= kindMax {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint32(k))
+}
+
+// Flag bits on KindFinish records.
+const (
+	FlagKilled = 1 << 0
+	FlagErr    = 1 << 1
+)
+
+// Record is one fixed-encoding WAL entry. Seq and Term are assigned by
+// Append; everything else is the writer's.
+type Record struct {
+	Seq    uint64 // 1-based position in the log
+	Term   uint32 // director generation (bumped by takeover)
+	Tick   uint64 // virtual tick of the decision
+	Kind   Kind
+	Name   string // process name ("" for fleet-wide records)
+	Node   uint32 // primary node operand (0 when absent)
+	Node2  uint32 // secondary node operand (migration destination)
+	Epoch  uint64
+	Cycles uint64
+	Code   uint32
+	Flags  uint8
+	Str    string // reason / detail
+	Data   []byte // stdin (place) or output (finish)
+}
+
+// Failure classes. Consumers classify with Reason.
+var (
+	// ErrTamper: a record's chained tag does not verify, or the anchor
+	// disagrees with the chain it supposedly sealed.
+	ErrTamper = errors.New("durable: WAL tampered")
+	// ErrReplay: the chain verifies but the anchor points past the last
+	// record — a stale snapshot of the log presented as current.
+	ErrReplay = errors.New("durable: stale WAL (anchor ahead of log)")
+	// ErrFenced: an append through a handle whose term the anchor has
+	// moved past — a deposed director writing after takeover.
+	ErrFenced = errors.New("durable: log fenced by a newer term")
+	// ErrMalformed: a record body that does not decode (only reachable
+	// through DecodeRecord; sealed records always decode).
+	ErrMalformed = errors.New("durable: malformed WAL record")
+)
+
+// Canonical reason strings for the fault campaign.
+const (
+	ReasonTorn   = "wal-torn"
+	ReasonTamper = "wal-tamper"
+	ReasonReplay = "wal-replay"
+)
+
+// Reason classifies a validation error into a canonical string ("" for
+// nil).
+func Reason(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrTamper):
+		return ReasonTamper
+	case errors.Is(err, ErrReplay):
+		return ReasonReplay
+	default:
+		return "other"
+	}
+}
+
+// LogPath and AnchorPath locate the WAL inside a durable directory.
+func LogPath(dir string) string    { return dir + "/wal.log" }
+func AnchorPath(dir string) string { return dir + "/wal.anchor" }
+
+// EncodeRecord serializes a record body (everything the tag covers).
+func EncodeRecord(r *Record) []byte {
+	var e enc
+	e.u64(r.Seq)
+	e.u32(r.Term)
+	e.u64(r.Tick)
+	e.u32(uint32(r.Kind))
+	e.str(r.Name)
+	e.u32(r.Node)
+	e.u32(r.Node2)
+	e.u64(r.Epoch)
+	e.u64(r.Cycles)
+	e.u32(r.Code)
+	e.u8(r.Flags)
+	e.str(r.Str)
+	e.bytes(r.Data)
+	return e.b
+}
+
+// DecodeRecord is the strict inverse of EncodeRecord: it fails on
+// overruns, unknown kinds, and trailing bytes, so decode∘encode is the
+// identity on everything it accepts.
+func DecodeRecord(b []byte) (*Record, error) {
+	d := dec{b: b}
+	var r Record
+	r.Seq = d.u64()
+	r.Term = d.u32()
+	r.Tick = d.u64()
+	r.Kind = Kind(d.u32())
+	r.Name = d.str()
+	r.Node = d.u32()
+	r.Node2 = d.u32()
+	r.Epoch = d.u64()
+	r.Cycles = d.u64()
+	r.Code = d.u32()
+	r.Flags = d.u8()
+	r.Str = d.str()
+	r.Data = d.bytes()
+	if d.fail || d.off != len(b) {
+		return nil, fmt.Errorf("%w (%d bytes)", ErrMalformed, len(b))
+	}
+	if r.Kind < 1 || r.Kind > kindMax {
+		return nil, fmt.Errorf("%w: kind %d", ErrMalformed, uint32(r.Kind))
+	}
+	return &r, nil
+}
+
+// tagOf chains one record onto its predecessor's tag.
+func tagOf(k *mac.Keyed, prev mac.Tag, body []byte) mac.Tag {
+	msg := make([]byte, 0, len(walPrefix)+mac.Size+len(body))
+	msg = append(msg, walPrefix...)
+	msg = append(msg, prev[:]...)
+	msg = append(msg, body...)
+	tag, _ := k.Sum(msg)
+	return tag
+}
+
+// anchor is the sealed freshness pointer: the newest (term, seq, tag)
+// the director has durably acknowledged.
+type anchor struct {
+	Term uint32
+	Seq  uint64
+	Tag  mac.Tag
+}
+
+func encodeAnchor(k *mac.Keyed, a anchor) []byte {
+	body := make([]byte, 0, 4+4+4+8+mac.Size)
+	body = append(body, anchorMagic...)
+	body = binary.LittleEndian.AppendUint32(body, version)
+	body = binary.LittleEndian.AppendUint32(body, a.Term)
+	body = binary.LittleEndian.AppendUint64(body, a.Seq)
+	body = append(body, a.Tag[:]...)
+	msg := make([]byte, 0, len(anchorPrefix)+len(body))
+	msg = append(msg, anchorPrefix...)
+	msg = append(msg, body...)
+	tag, _ := k.Sum(msg)
+	return append(body, tag[:]...)
+}
+
+func decodeAnchor(k *mac.Keyed, b []byte) (anchor, error) {
+	var a anchor
+	const bodyLen = 4 + 4 + 4 + 8 + mac.Size
+	if len(b) != bodyLen+mac.Size {
+		return a, fmt.Errorf("%w: anchor %d bytes", ErrTamper, len(b))
+	}
+	body := b[:bodyLen]
+	var seal mac.Tag
+	copy(seal[:], b[bodyLen:])
+	msg := make([]byte, 0, len(anchorPrefix)+bodyLen)
+	msg = append(msg, anchorPrefix...)
+	msg = append(msg, body...)
+	if ok, _ := k.Verify(msg, seal); !ok {
+		return a, fmt.Errorf("%w: anchor seal", ErrTamper)
+	}
+	if string(body[:4]) != anchorMagic || binary.LittleEndian.Uint32(body[4:]) != version {
+		return a, fmt.Errorf("%w: anchor header", ErrTamper)
+	}
+	a.Term = binary.LittleEndian.Uint32(body[8:])
+	a.Seq = binary.LittleEndian.Uint64(body[12:])
+	copy(a.Tag[:], body[20:])
+	return a, nil
+}
+
+// Log is an open write-ahead log. Safe for one appender plus any number
+// of Tailer readers.
+type Log struct {
+	mu   sync.Mutex
+	fs   *vfs.FS
+	key  *mac.Keyed
+	dir  string
+	node *vfs.Node
+
+	seq     uint64
+	term    uint32
+	prevTag mac.Tag
+}
+
+// Create initializes a fresh WAL (term 1, empty chain) under dir,
+// replacing any previous log there.
+func Create(fs *vfs.FS, dir string, key []byte) (*Log, error) {
+	k, err := mac.New(key)
+	if err != nil {
+		return nil, err
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	if err := fs.WriteFile(LogPath(dir), logHeader(), 0o644); err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	l := &Log{fs: fs, key: k, dir: dir, term: 1}
+	node, err := fs.Lookup(LogPath(dir))
+	if err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	l.node = node
+	if err := l.writeAnchor(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func logHeader() []byte {
+	h := make([]byte, 0, headerSize)
+	h = append(h, logMagic...)
+	return binary.LittleEndian.AppendUint32(h, version)
+}
+
+func (l *Log) writeAnchor() error {
+	b := encodeAnchor(l.key, anchor{Term: l.term, Seq: l.seq, Tag: l.prevTag})
+	if err := l.fs.WriteFile(AnchorPath(l.dir), b, 0o644); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	return nil
+}
+
+// Seq returns the sequence number of the newest appended record.
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Term returns the log handle's director generation.
+func (l *Log) Term() uint32 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.term
+}
+
+// Append assigns the next (seq, term), seals the record onto the chain,
+// appends the frame atomically, and advances the anchor. The write is
+// term-fenced: if the on-disk anchor has moved past this handle's state
+// — a standby took over — the append is refused with ErrFenced, so a
+// deposed director cannot extend the log behind its successor's back.
+func (l *Log) Append(r *Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ab, err := l.fs.ReadFile(AnchorPath(l.dir))
+	if err != nil {
+		return fmt.Errorf("durable: anchor: %w", err)
+	}
+	a, err := decodeAnchor(l.key, ab)
+	if err != nil {
+		return err
+	}
+	if a.Term > l.term || a.Seq != l.seq || !a.Tag.Equal(l.prevTag) {
+		return fmt.Errorf("%w: anchor at term %d seq %d, handle at term %d seq %d",
+			ErrFenced, a.Term, a.Seq, l.term, l.seq)
+	}
+	r.Seq = l.seq + 1
+	r.Term = l.term
+	body := EncodeRecord(r)
+	if len(body) > MaxRecord {
+		return fmt.Errorf("durable: record %d bytes exceeds MaxRecord", len(body))
+	}
+	tag := tagOf(l.key, l.prevTag, body)
+	frame := make([]byte, 0, 4+len(body)+mac.Size)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(body)))
+	frame = append(frame, body...)
+	frame = append(frame, tag[:]...)
+	if _, err := l.fs.Append(l.node, frame); err != nil {
+		return fmt.Errorf("durable: append: %w", err)
+	}
+	l.seq++
+	l.prevTag = tag
+	return l.writeAnchor()
+}
+
+// BumpTerm advances the handle's term without writing a record; the
+// next Append (conventionally a KindTakeover record) seals the new term
+// into the chain and the anchor, fencing the previous term's handle.
+func (l *Log) BumpTerm() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.term++
+}
+
+// LogInfo is the outcome of validating a log against its anchor.
+type LogInfo struct {
+	Records   []Record
+	Torn      bool // a partial frame was found (and is safe to truncate)
+	TornBytes int  // bytes past the last sealed record
+	LastSeq   uint64
+	LastTerm  uint32
+	LastTag   mac.Tag
+	validEnd  int // file offset of the first byte past the last sealed record
+}
+
+// frameInfo is one sealed frame's location and chained tag.
+type frameInfo struct {
+	off, end int
+	tag      mac.Tag
+	rec      *Record
+}
+
+// walkFrames verifies the chain record by record. It returns the sealed
+// frames, torn-tail information, or ErrTamper if a complete frame fails
+// its tag (or the records' seq/term/tick discipline breaks).
+func walkFrames(k *mac.Keyed, b []byte) (frames []frameInfo, torn bool, validEnd int, err error) {
+	if len(b) < headerSize || string(b[:4]) != logMagic ||
+		binary.LittleEndian.Uint32(b[4:]) != version {
+		return nil, false, 0, fmt.Errorf("%w: log header", ErrTamper)
+	}
+	off := headerSize
+	var prev mac.Tag
+	var seq uint64
+	var term uint32 = 1
+	var tick uint64
+	for off < len(b) {
+		if len(b)-off < 4 {
+			return frames, true, off, nil
+		}
+		n := int(binary.LittleEndian.Uint32(b[off:]))
+		if n > MaxRecord {
+			return nil, false, 0, fmt.Errorf("%w: frame %d declares %d bytes", ErrTamper, seq+1, n)
+		}
+		if len(b)-off-4 < n+mac.Size {
+			return frames, true, off, nil
+		}
+		body := b[off+4 : off+4+n]
+		var got mac.Tag
+		copy(got[:], b[off+4+n:])
+		want := tagOf(k, prev, body)
+		if !want.Equal(got) {
+			return nil, false, 0, fmt.Errorf("%w: record %d tag", ErrTamper, seq+1)
+		}
+		rec, derr := DecodeRecord(body)
+		if derr != nil {
+			return nil, false, 0, fmt.Errorf("%w: record %d body", ErrTamper, seq+1)
+		}
+		if rec.Seq != seq+1 || rec.Term < term || rec.Tick < tick {
+			return nil, false, 0, fmt.Errorf("%w: record %d discipline (seq %d term %d tick %d)",
+				ErrTamper, seq+1, rec.Seq, rec.Term, rec.Tick)
+		}
+		seq, term, tick = rec.Seq, rec.Term, rec.Tick
+		end := off + 4 + n + mac.Size
+		frames = append(frames, frameInfo{off: off, end: end, tag: want, rec: rec})
+		prev = want
+		off = end
+	}
+	return frames, false, off, nil
+}
+
+// ValidateBytes verifies a log image against its anchor image: the
+// per-record chain, the seq/term/tick discipline, and freshness. On
+// success the returned LogInfo carries every sealed record plus
+// torn-tail information; the caller decides whether to truncate.
+func ValidateBytes(key, logB, anchorB []byte) (*LogInfo, error) {
+	k, err := mac.New(key)
+	if err != nil {
+		return nil, err
+	}
+	return validate(k, logB, anchorB)
+}
+
+func validate(k *mac.Keyed, logB, anchorB []byte) (*LogInfo, error) {
+	frames, torn, validEnd, err := walkFrames(k, logB)
+	if err != nil {
+		return nil, err
+	}
+	if anchorB == nil {
+		return nil, fmt.Errorf("%w: anchor missing", ErrReplay)
+	}
+	a, err := decodeAnchor(k, anchorB)
+	if err != nil {
+		return nil, err
+	}
+	info := &LogInfo{Torn: torn, TornBytes: len(logB) - validEnd, validEnd: validEnd, LastTerm: 1}
+	for _, f := range frames {
+		info.Records = append(info.Records, *f.rec)
+	}
+	n := len(frames)
+	if n > 0 {
+		last := frames[n-1]
+		info.LastSeq = last.rec.Seq
+		info.LastTerm = last.rec.Term
+		info.LastTag = last.tag
+	}
+	switch {
+	case a.Seq == info.LastSeq:
+		// Anchor and chain agree; their tags must too.
+		if !a.Tag.Equal(info.LastTag) {
+			return nil, fmt.Errorf("%w: anchor tag at seq %d", ErrTamper, a.Seq)
+		}
+	case n > 0 && a.Seq == info.LastSeq-1:
+		// Crash between frame append and anchor advance: the final
+		// record is sealed but unanchored. Accept it iff the anchor
+		// matches its predecessor; Open repairs the anchor.
+		var prevTag mac.Tag
+		if n > 1 {
+			prevTag = frames[n-2].tag
+		}
+		if !a.Tag.Equal(prevTag) {
+			return nil, fmt.Errorf("%w: anchor tag at seq %d", ErrTamper, a.Seq)
+		}
+	case a.Seq > info.LastSeq:
+		return nil, fmt.Errorf("%w: anchor at seq %d, log ends at %d", ErrReplay, a.Seq, info.LastSeq)
+	default: // a.Seq < LastSeq-1
+		return nil, fmt.Errorf("%w: anchor at seq %d far behind log at %d", ErrReplay, a.Seq, info.LastSeq)
+	}
+	return info, nil
+}
+
+// Open validates an existing WAL, recovers a torn tail by truncating to
+// the last sealed record (and normalizing the anchor), and returns a
+// handle positioned to append. Tampered or stale logs are refused — the
+// control plane fails loudly rather than replaying a lie.
+func Open(fs *vfs.FS, dir string, key []byte) (*Log, *LogInfo, error) {
+	k, err := mac.New(key)
+	if err != nil {
+		return nil, nil, err
+	}
+	logB, err := fs.ReadFile(LogPath(dir))
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: %w", err)
+	}
+	anchorB, _ := fs.ReadFile(AnchorPath(dir))
+	info, err := validate(k, logB, anchorB)
+	if err != nil {
+		return nil, nil, err
+	}
+	node, err := fs.Lookup(LogPath(dir))
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: %w", err)
+	}
+	l := &Log{fs: fs, key: k, dir: dir, node: node,
+		seq: info.LastSeq, term: info.LastTerm, prevTag: info.LastTag}
+	if info.Torn {
+		if err := fs.TruncateNode(node, uint32(info.validEnd)); err != nil {
+			return nil, nil, fmt.Errorf("durable: truncate torn tail: %w", err)
+		}
+	}
+	// Normalize the anchor (repairs the one-behind crash window and the
+	// torn tail in one stroke).
+	if err := l.writeAnchor(); err != nil {
+		return nil, nil, err
+	}
+	return l, info, nil
+}
+
+// Tear simulates a crash mid-append for fault injection: it cuts the
+// log mid-way through its final frame and rolls the anchor back to the
+// predecessor record — exactly the on-disk state a director that died
+// between starting a frame and advancing the anchor leaves behind.
+func Tear(fs *vfs.FS, dir string, key []byte) error {
+	k, err := mac.New(key)
+	if err != nil {
+		return err
+	}
+	logB, err := fs.ReadFile(LogPath(dir))
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	frames, torn, _, err := walkFrames(k, logB)
+	if err != nil {
+		return err
+	}
+	if torn || len(frames) < 2 {
+		return errors.New("durable: need two sealed records to tear")
+	}
+	last := frames[len(frames)-1]
+	cut := last.off + (last.end-last.off)/2
+	node, err := fs.Lookup(LogPath(dir))
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := fs.TruncateNode(node, uint32(cut)); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	prev := frames[len(frames)-2]
+	b := encodeAnchor(k, anchor{Term: prev.rec.Term, Seq: prev.rec.Seq, Tag: prev.tag})
+	if err := fs.WriteFile(AnchorPath(dir), b, 0o644); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	return nil
+}
+
+// Frames returns best-effort frame spans (offset and total length,
+// header and tag included) without verifying anything — fault-injection
+// tooling uses it to aim bit flips at record bodies.
+type Span struct{ Off, Len int }
+
+func Frames(b []byte) []Span {
+	var out []Span
+	if len(b) < headerSize {
+		return out
+	}
+	off := headerSize
+	for off < len(b) {
+		if len(b)-off < 4 {
+			return out
+		}
+		n := int(binary.LittleEndian.Uint32(b[off:]))
+		if n > MaxRecord || len(b)-off-4 < n+mac.Size {
+			return out
+		}
+		out = append(out, Span{Off: off, Len: 4 + n + mac.Size})
+		off += 4 + n + mac.Size
+	}
+	return out
+}
+
+// Tailer incrementally reads sealed records as an appender grows the
+// log — the standby's view. It verifies the same chain the validator
+// does, stopping (without error) at an incomplete tail frame.
+type Tailer struct {
+	fs  *vfs.FS
+	key *mac.Keyed
+	dir string
+
+	off     int
+	seq     uint64
+	prevTag mac.Tag
+}
+
+// NewTailer starts a tailer at the beginning of dir's log.
+func NewTailer(fs *vfs.FS, dir string, key []byte) (*Tailer, error) {
+	k, err := mac.New(key)
+	if err != nil {
+		return nil, err
+	}
+	return &Tailer{fs: fs, key: k, dir: dir, off: headerSize}, nil
+}
+
+// Tail returns every record sealed since the previous call. A chain
+// break is ErrTamper; an incomplete tail frame just ends the batch.
+func (t *Tailer) Tail() ([]Record, error) {
+	b, err := t.fs.ReadFile(LogPath(t.dir))
+	if err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	if t.off == headerSize {
+		if len(b) < headerSize || string(b[:4]) != logMagic ||
+			binary.LittleEndian.Uint32(b[4:]) != version {
+			return nil, fmt.Errorf("%w: log header", ErrTamper)
+		}
+	}
+	var out []Record
+	for t.off < len(b) {
+		if len(b)-t.off < 4 {
+			break
+		}
+		n := int(binary.LittleEndian.Uint32(b[t.off:]))
+		if n > MaxRecord {
+			return out, fmt.Errorf("%w: frame %d declares %d bytes", ErrTamper, t.seq+1, n)
+		}
+		if len(b)-t.off-4 < n+mac.Size {
+			break
+		}
+		body := b[t.off+4 : t.off+4+n]
+		var got mac.Tag
+		copy(got[:], b[t.off+4+n:])
+		want := tagOf(t.key, t.prevTag, body)
+		if !want.Equal(got) {
+			return out, fmt.Errorf("%w: record %d tag", ErrTamper, t.seq+1)
+		}
+		rec, derr := DecodeRecord(body)
+		if derr != nil {
+			return out, fmt.Errorf("%w: record %d body", ErrTamper, t.seq+1)
+		}
+		if rec.Seq != t.seq+1 {
+			return out, fmt.Errorf("%w: record %d seq %d", ErrTamper, t.seq+1, rec.Seq)
+		}
+		out = append(out, *rec)
+		t.seq = rec.Seq
+		t.prevTag = want
+		t.off += 4 + n + mac.Size
+	}
+	return out, nil
+}
+
+// enc is a little-endian appender; dec is the matching bounds-checked
+// reader (the same strict-codec pattern the checkpoint layer uses).
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.b = append(e.b, b...)
+}
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+type dec struct {
+	b    []byte
+	off  int
+	fail bool
+}
+
+func (d *dec) raw(n int) []byte {
+	if d.fail || n < 0 || len(d.b)-d.off < n {
+		d.fail = true
+		return nil
+	}
+	out := d.b[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+func (d *dec) u8() uint8 {
+	b := d.raw(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *dec) u32() uint32 {
+	b := d.raw(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *dec) u64() uint64 {
+	b := d.raw(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *dec) bytes() []byte {
+	n := int(d.u32())
+	b := d.raw(n)
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+func (d *dec) str() string { return string(d.bytes()) }

@@ -1,0 +1,202 @@
+package durable
+
+import (
+	"errors"
+	"testing"
+
+	"asc/internal/vfs"
+)
+
+var testKey = []byte("0123456789abcdef")
+
+func newLog(t *testing.T) (*vfs.FS, *Log) {
+	t.Helper()
+	fs := vfs.New()
+	l, err := Create(fs, "/director", testKey)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	return fs, l
+}
+
+func appendN(t *testing.T, l *Log, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		r := &Record{Tick: uint64(i), Kind: KindBeat}
+		if i%3 == 1 {
+			r = &Record{Tick: uint64(i), Kind: KindCheckpoint, Name: "p0", Epoch: uint64(i)}
+		}
+		if err := l.Append(r); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	fs, l := newLog(t)
+	appendN(t, l, 7)
+	l2, info, err := Open(fs, "/director", testKey)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if len(info.Records) != 7 || info.Torn {
+		t.Fatalf("Open: %d records torn=%v, want 7 clean", len(info.Records), info.Torn)
+	}
+	for i, r := range info.Records {
+		if r.Seq != uint64(i+1) || r.Term != 1 || r.Tick != uint64(i) {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+	// The reopened handle continues the chain.
+	if err := l2.Append(&Record{Tick: 7, Kind: KindBeat}); err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+	if got := l2.Seq(); got != 8 {
+		t.Fatalf("Seq after reopen+append = %d, want 8", got)
+	}
+}
+
+func TestWALRecordCodec(t *testing.T) {
+	r := &Record{Seq: 9, Term: 2, Tick: 41, Kind: KindFinish, Name: "p3",
+		Node: 2, Node2: 3, Epoch: 5, Cycles: 123456, Code: 7,
+		Flags: FlagKilled, Str: "cf-violation", Data: []byte("out\n")}
+	b := EncodeRecord(r)
+	got, err := DecodeRecord(b)
+	if err != nil {
+		t.Fatalf("DecodeRecord: %v", err)
+	}
+	if got.Name != r.Name || got.Kind != r.Kind || got.Cycles != r.Cycles ||
+		got.Flags != r.Flags || got.Str != r.Str || string(got.Data) != string(r.Data) {
+		t.Fatalf("round trip: %+v != %+v", got, r)
+	}
+	if _, err := DecodeRecord(append(b, 0)); err == nil {
+		t.Fatal("trailing byte should fail decode")
+	}
+	if _, err := DecodeRecord(b[:len(b)-1]); err == nil {
+		t.Fatal("truncated body should fail decode")
+	}
+}
+
+func TestWALTornTailRecovery(t *testing.T) {
+	fs, l := newLog(t)
+	appendN(t, l, 5)
+	if err := Tear(fs, "/director", testKey); err != nil {
+		t.Fatalf("Tear: %v", err)
+	}
+	l2, info, err := Open(fs, "/director", testKey)
+	if err != nil {
+		t.Fatalf("Open after tear: %v", err)
+	}
+	if !info.Torn || len(info.Records) != 4 {
+		t.Fatalf("recovery: torn=%v records=%d, want torn with 4", info.Torn, len(info.Records))
+	}
+	// Recovery truncated and the log accepts appends again.
+	if err := l2.Append(&Record{Tick: 9, Kind: KindBeat}); err != nil {
+		t.Fatalf("Append after recovery: %v", err)
+	}
+	if _, info2, err := Open(fs, "/director", testKey); err != nil || len(info2.Records) != 5 {
+		t.Fatalf("re-open after recovery append: %v, %d records", err, len(info2.Records))
+	}
+}
+
+func TestWALTamperDetected(t *testing.T) {
+	fs, l := newLog(t)
+	appendN(t, l, 5)
+	logB, _ := fs.ReadFile(LogPath("/director"))
+	anchorB, _ := fs.ReadFile(AnchorPath("/director"))
+	spans := Frames(logB)
+	if len(spans) != 5 {
+		t.Fatalf("Frames: %d, want 5", len(spans))
+	}
+	// Flip one byte inside the middle record's body.
+	mut := append([]byte(nil), logB...)
+	mut[spans[2].Off+6] ^= 0x40
+	_, err := ValidateBytes(testKey, mut, anchorB)
+	if !errors.Is(err, ErrTamper) {
+		t.Fatalf("flipped record: %v, want ErrTamper", err)
+	}
+	if Reason(err) != ReasonTamper {
+		t.Fatalf("Reason = %q, want %q", Reason(err), ReasonTamper)
+	}
+	// The pristine image still validates.
+	if _, err := ValidateBytes(testKey, logB, anchorB); err != nil {
+		t.Fatalf("pristine image: %v", err)
+	}
+}
+
+func TestWALStaleLogRejected(t *testing.T) {
+	fs, l := newLog(t)
+	appendN(t, l, 3)
+	oldLog, _ := fs.ReadFile(LogPath("/director"))
+	appendN(t, l, 3)
+	anchorB, _ := fs.ReadFile(AnchorPath("/director"))
+	_, err := ValidateBytes(testKey, oldLog, anchorB)
+	if !errors.Is(err, ErrReplay) {
+		t.Fatalf("stale log vs fresh anchor: %v, want ErrReplay", err)
+	}
+	if Reason(err) != ReasonReplay {
+		t.Fatalf("Reason = %q, want %q", Reason(err), ReasonReplay)
+	}
+	// A stale anchor (far behind) is a freshness failure too.
+	if _, err := ValidateBytes(testKey, oldLog, nil); !errors.Is(err, ErrReplay) {
+		t.Fatalf("missing anchor: %v, want ErrReplay", err)
+	}
+}
+
+func TestWALTermFencing(t *testing.T) {
+	fs, l := newLog(t)
+	appendN(t, l, 4)
+	// A standby opens the same log, bumps the term, and writes the
+	// takeover record.
+	l2, _, err := Open(fs, "/director", testKey)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	l2.BumpTerm()
+	if err := l2.Append(&Record{Tick: 10, Kind: KindTakeover}); err != nil {
+		t.Fatalf("takeover append: %v", err)
+	}
+	if l2.Term() != 2 {
+		t.Fatalf("Term = %d, want 2", l2.Term())
+	}
+	// The deposed handle is fenced out.
+	err = l.Append(&Record{Tick: 11, Kind: KindBeat})
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("deposed append: %v, want ErrFenced", err)
+	}
+	// The new handle keeps appending, and validation sees both terms.
+	if err := l2.Append(&Record{Tick: 11, Kind: KindBeat}); err != nil {
+		t.Fatalf("new-term append: %v", err)
+	}
+	_, info, err := Open(fs, "/director", testKey)
+	if err != nil {
+		t.Fatalf("re-open: %v", err)
+	}
+	if info.LastTerm != 2 || len(info.Records) != 6 {
+		t.Fatalf("after takeover: term %d, %d records", info.LastTerm, len(info.Records))
+	}
+}
+
+func TestWALTailerFollowsAppends(t *testing.T) {
+	fs, l := newLog(t)
+	tl, err := NewTailer(fs, "/director", testKey)
+	if err != nil {
+		t.Fatalf("NewTailer: %v", err)
+	}
+	appendN(t, l, 3)
+	recs, err := tl.Tail()
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("first Tail: %v, %d records", err, len(recs))
+	}
+	if recs, _ := tl.Tail(); len(recs) != 0 {
+		t.Fatalf("idle Tail returned %d records", len(recs))
+	}
+	appendN(t, l, 2)
+	recs, err = tl.Tail()
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("incremental Tail: %v, %d records", err, len(recs))
+	}
+	if recs[1].Seq != 5 {
+		t.Fatalf("tailer lost sync: last seq %d, want 5", recs[1].Seq)
+	}
+}

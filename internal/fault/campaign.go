@@ -53,6 +53,10 @@ type Config struct {
 	// migration, migration replay, node spoof, heartbeat delay). They
 	// run by default.
 	SkipCluster bool
+	// SkipDurable omits the durable control-plane fault classes (torn
+	// WAL tail, WAL record flip, stale-log replay, stale store epoch,
+	// director crash mid-migration). They run by default.
+	SkipDurable bool
 }
 
 // DefaultKey is the campaign MAC key used when Config.Key is nil.
@@ -103,6 +107,10 @@ type Matrix struct {
 	Restarts  []RestartCell `json:"restarts"`
 	Ckpt      []CkptCell    `json:"ckpt,omitempty"`
 	Cluster   []ClusterCell `json:"cluster,omitempty"`
+	// Durable reuses ClusterCell: the durable control-plane classes
+	// check the same zero-loss/canonical-rejection contract one layer
+	// down (WAL, persistent store, takeover).
+	Durable []ClusterCell `json:"durable,omitempty"`
 }
 
 // Run executes the campaign.
@@ -158,13 +166,13 @@ func Run(cfg Config) (*Matrix, error) {
 			preps[vi] = prep
 		}
 	}
-	// The cluster cells need each victim's single-node reference run —
-	// output identity across a failover is the zero-loss criterion.
-	// Socket-surface victims sit out for the same reason as above: a
-	// process holding live sockets cannot be checkpointed, so it cannot
-	// fail over.
+	// The cluster and durable cells need each victim's single-node
+	// reference run — output identity across a failover is the
+	// zero-loss criterion. Socket-surface victims sit out for the same
+	// reason as above: a process holding live sockets cannot be
+	// checkpointed, so it cannot fail over.
 	var clusterPreps []clusterPrep
-	if !cfg.SkipCluster {
+	if !cfg.SkipCluster || !cfg.SkipDurable {
 		clusterPreps = make([]clusterPrep, len(cfg.Victims))
 		for vi := range cfg.Victims {
 			if !ckptEligible(vi) {
@@ -188,6 +196,7 @@ func Run(cfg Config) (*Matrix, error) {
 		class   Class // zero for the restart task
 		ckpt    bool
 		cluster bool
+		durable bool
 		mode    kernel.Enforcement
 	}
 	var tasks []task
@@ -210,11 +219,19 @@ func Run(cfg Config) (*Matrix, error) {
 				}
 			}
 		}
+		if !cfg.SkipDurable && ckptEligible(vi) {
+			for _, class := range DurableClasses() {
+				for _, mode := range []kernel.Enforcement{kernel.EnforceKill, kernel.EnforceDeny} {
+					tasks = append(tasks, task{vi: vi, class: class, durable: true, mode: mode})
+				}
+			}
+		}
 	}
 	cells := make([]*Cell, len(tasks))
 	restarts := make([]*RestartCell, len(tasks))
 	ckptCells := make([]*CkptCell, len(tasks))
 	clusterCells := make([]*ClusterCell, len(tasks))
+	durableCells := make([]*ClusterCell, len(tasks))
 	errs := make([]error, len(tasks))
 	workers := cfg.Workers
 	if workers < 1 {
@@ -224,6 +241,9 @@ func Run(cfg Config) (*Matrix, error) {
 		tk := tasks[i]
 		v := &cfg.Victims[tk.vi]
 		switch {
+		case tk.durable:
+			cell, err := runDurableCell(cfg, tk.class, v, exes[tk.vi], uint64(tk.vi), clusterPreps[tk.vi], tk.mode)
+			durableCells[i], errs[i] = &cell, err
 		case tk.cluster:
 			cell, err := runClusterCell(cfg, tk.class, v, exes[tk.vi], uint64(tk.vi), clusterPreps[tk.vi], tk.mode)
 			clusterCells[i], errs[i] = &cell, err
@@ -257,6 +277,8 @@ func Run(cfg Config) (*Matrix, error) {
 			m.Ckpt = append(m.Ckpt, *ckptCells[i])
 		case clusterCells[i] != nil:
 			m.Cluster = append(m.Cluster, *clusterCells[i])
+		case durableCells[i] != nil:
+			m.Durable = append(m.Durable, *durableCells[i])
 		default:
 			m.Restarts = append(m.Restarts, *restarts[i])
 		}
@@ -290,11 +312,22 @@ func Run(cfg Config) (*Matrix, error) {
 		}
 		return a.Mode < b.Mode
 	})
-	// Mode parity: checkpoint and cluster faults never touch the
-	// enforcement path, so each Deny cell must mirror its Kill sibling
-	// exactly.
+	sort.SliceStable(m.Durable, func(i, j int) bool {
+		a, b := m.Durable[i], m.Durable[j]
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		if a.Victim != b.Victim {
+			return a.Victim < b.Victim
+		}
+		return a.Mode < b.Mode
+	})
+	// Mode parity: checkpoint, cluster, and durable faults never touch
+	// the enforcement path, so each Deny cell must mirror its Kill
+	// sibling exactly.
 	checkCkptParity(m)
 	checkClusterParity(m)
+	checkDurableParity(m)
 	return m, nil
 }
 
@@ -593,6 +626,11 @@ func (m *Matrix) Failures() []string {
 			all = append(all, fmt.Sprintf("%s/%s/%s: %s", c.Class, c.Victim, c.Mode, f))
 		}
 	}
+	for _, c := range m.Durable {
+		for _, f := range c.Failures {
+			all = append(all, fmt.Sprintf("%s/%s/%s: %s", c.Class, c.Victim, c.Mode, f))
+		}
+	}
 	return all
 }
 
@@ -660,6 +698,25 @@ func (m *Matrix) Render() string {
 				status = fmt.Sprintf("FAILURES=%d %s", len(c.Failures), status)
 			}
 			fmt.Fprintf(&b, "%-24s %-8s %-5s %6d %6d %9d %9d %5d %10d  %s\n",
+				c.Class, c.Victim, c.Mode, c.Trials, c.Fired, c.Rejected,
+				c.Failovers, c.WarmRestarts, c.Recovered, status)
+		}
+	}
+	if len(m.Durable) > 0 {
+		fmt.Fprintf(&b, "durable control-plane faults:\n")
+		fmt.Fprintf(&b, "%-28s %-8s %-5s %6s %6s %9s %9s %5s %10s  %s\n",
+			"class", "victim", "mode", "trials", "fired", "rejected", "failovers", "warm", "recovered", "reasons")
+		for _, c := range m.Durable {
+			reasons := make([]string, 0, len(c.Reasons))
+			for r, n := range c.Reasons {
+				reasons = append(reasons, fmt.Sprintf("%s×%d", r, n))
+			}
+			sort.Strings(reasons)
+			status := strings.Join(reasons, ", ")
+			if len(c.Failures) > 0 {
+				status = fmt.Sprintf("FAILURES=%d %s", len(c.Failures), status)
+			}
+			fmt.Fprintf(&b, "%-28s %-8s %-5s %6d %6d %9d %9d %5d %10d  %s\n",
 				c.Class, c.Victim, c.Mode, c.Trials, c.Fired, c.Rejected,
 				c.Failovers, c.WarmRestarts, c.Recovered, status)
 		}

@@ -1,0 +1,403 @@
+// durable.go extends the campaign to the durable control plane: faults
+// against the director's sealed WAL, the persistent checkpoint store,
+// and the replicated-takeover path. Each trial runs a 3-victim fleet on
+// a durable 3-node cluster with a warm standby attached and checks the
+// control-plane contract:
+//
+//   - crash classes (torn WAL tail, director death mid-migration) lose
+//     nothing: the standby takes over by replaying the WAL and every
+//     process completes with the single-node reference output — zero
+//     cold starts, term exactly 2;
+//   - probe classes (record bit flip, stale-log replay) are pure
+//     validation attacks on copies of the on-disk images: they must be
+//     rejected with their canonical reasons ("wal-tamper",
+//     "wal-replay") while the running fleet is never disturbed; and
+//   - a stale blob written over the newest store epoch is refused at
+//     restore with "epoch-replay" and the fallback chain recovers warm
+//     from the older genuine checkpoint.
+//
+// Durable faults live outside the enforcement path, so each cell runs
+// under Kill and Deny and the pair must be identical but for Mode.
+package fault
+
+import (
+	"fmt"
+
+	"asc/internal/binfmt"
+	"asc/internal/ckpt"
+	"asc/internal/cluster"
+	"asc/internal/core"
+	"asc/internal/durable"
+	"asc/internal/kernel"
+	"asc/internal/workload"
+)
+
+// The durable control-plane fault classes.
+const (
+	// DurableTornTail crashes the director mid-append, leaving a torn
+	// final WAL frame; the standby must truncate and take over.
+	DurableTornTail Class = "wal-torn-tail"
+	// DurableRecordFlip flips one bit inside a sealed WAL record image;
+	// validation must refuse the whole log as tampered.
+	DurableRecordFlip Class = "wal-record-flip"
+	// DurableStaleLog validates an old snapshot of the log against the
+	// current anchor — the rolled-back-log replay.
+	DurableStaleLog Class = "wal-replay-old-log"
+	// DurableStaleEpoch overwrites the newest on-disk store epoch with
+	// an older sealed blob, then crashes the owner node.
+	DurableStaleEpoch Class = "store-stale-epoch"
+	// DurableDirectorCrash kills the director in the worst migration
+	// window: checkpoint durable, source fenced, zero bytes moved.
+	DurableDirectorCrash Class = "director-crash-mid-migration"
+)
+
+// DurableClasses returns the durable fault classes in canonical order.
+func DurableClasses() []Class {
+	return []Class{DurableTornTail, DurableRecordFlip, DurableStaleLog,
+		DurableStaleEpoch, DurableDirectorCrash}
+}
+
+// DurableExpectation returns the rejection reasons a class must (and
+// may only) produce. Crash classes produce none: their contract is
+// recovery.
+func DurableExpectation(c Class) []string {
+	switch c {
+	case DurableRecordFlip:
+		return []string{durable.ReasonTamper}
+	case DurableStaleLog:
+		return []string{durable.ReasonReplay}
+	case DurableStaleEpoch:
+		return []string{ckpt.ReasonEpoch}
+	}
+	return nil
+}
+
+// durableDir is where each trial's cluster keeps its control plane.
+const durableDir = "/director"
+
+// runDurableCell runs every trial of one (class, victim, mode) triple
+// on an HA cluster. It reuses ClusterCell: the durable classes check
+// the same zero-loss/canonical-rejection contract one layer down.
+func runDurableCell(cfg Config, class Class, v *workload.FaultVictim, exe *binfmt.File, vi uint64, prep clusterPrep, mode kernel.Enforcement) (ClusterCell, error) {
+	modeName := "kill"
+	if mode == kernel.EnforceDeny {
+		modeName = "deny"
+	}
+	cell := ClusterCell{
+		Class: string(class), Victim: v.Name, Mode: modeName,
+		Trials: cfg.Trials, Reasons: map[string]int{},
+	}
+	exp := DurableExpectation(class)
+
+	for trial := 0; trial < cfg.Trials; trial++ {
+		s := cfg.Seed
+		_ = splitmix(&s)
+		subseed := s ^ vi<<40 ^ uint64(trial)<<8
+		pick := splitmix(&subseed)
+
+		tr := &clusterTrial{}
+		h, err := cluster.NewHA(cluster.HAConfig{
+			Cluster: cluster.Config{
+				Nodes:           clusterFleet,
+				Key:             cfg.Key,
+				Enforcement:     mode,
+				SliceCycles:     prep.slice,
+				CheckpointEvery: int64(prep.slice),
+				HeartbeatEvery:  1,
+				MissThreshold:   3,
+				MaxCycles:       cfg.MaxCycles,
+				DurableDir:      durableDir,
+			},
+			Standby: true,
+			OnTick:  durableHook(cfg, class, pick, tr),
+		})
+		if err != nil {
+			return cell, err
+		}
+		reqs := make([]core.RunRequest, clusterFleet)
+		for i := range reqs {
+			reqs[i] = core.RunRequest{Exe: exe, Name: fmt.Sprintf("v%d", i), Stdin: v.Stdin}
+		}
+		rep, err := h.Run(reqs)
+		if err != nil {
+			return cell, fmt.Errorf("fault: durable %s/%s/%s trial %d: %w", class, v.Name, modeName, trial, err)
+		}
+
+		badf := func(format string, args ...any) {
+			cell.Failures = append(cell.Failures,
+				fmt.Sprintf("trial %d: ", trial)+fmt.Sprintf(format, args...))
+		}
+		for _, msg := range tr.hookErrs {
+			badf("%s", msg)
+		}
+		if tr.fired {
+			cell.Fired++
+		} else {
+			badf("durable fault never fired")
+		}
+		if rep.DirectorLost {
+			badf("director lost despite standby")
+		}
+
+		// Zero loss: every process finishes clean with the reference
+		// output, and the durable store means no recovery is ever cold.
+		recovered := true
+		totalFailovers := 0
+		for _, pr := range rep.Fleet.Procs {
+			cell.Failovers += pr.Failovers
+			cell.WarmRestarts += pr.WarmRestarts
+			cell.ColdStarts += pr.ColdStarts
+			cell.Migrations += pr.Migrations
+			cell.ReplayCycles += pr.ReplayCycles
+			totalFailovers += pr.Failovers
+			switch {
+			case pr.Err != nil:
+				recovered = false
+				badf("%s: %v", pr.Name, pr.Err)
+			case pr.Result == nil || pr.Result.Killed || pr.Result.ExitCode != 0:
+				recovered = false
+				badf("%s: did not exit clean: %+v", pr.Name, pr.Result)
+			case pr.Result.Output != prep.ref.Output:
+				recovered = false
+				badf("%s: output diverged from the single-node run", pr.Name)
+			}
+			if pr.ColdStarts != 0 {
+				badf("%s: %d cold starts with a durable control plane", pr.Name, pr.ColdStarts)
+			}
+			// The store-stale-epoch rejection surfaces in the fallback
+			// chain's per-process rejection map.
+			for reason, n := range pr.Rejected {
+				for i := 0; i < n; i++ {
+					tr.reasons = append(tr.reasons, reason)
+				}
+			}
+		}
+		if recovered {
+			cell.Recovered++
+		}
+		if len(tr.reasons) > 0 {
+			cell.Rejected++
+		}
+		for _, reason := range tr.reasons {
+			cell.Reasons[reason]++
+			ok := false
+			for _, want := range exp {
+				if reason == want {
+					ok = true
+				}
+			}
+			if !ok {
+				badf("unexpected rejection reason %q (allowed %v)", reason, exp)
+			}
+		}
+
+		// Per-class contract.
+		switch class {
+		case DurableTornTail:
+			if rep.Term != 2 {
+				badf("term %d after director crash, want 2 (one takeover)", rep.Term)
+			}
+			if !rep.WALTorn {
+				badf("takeover did not report the torn WAL tail")
+			}
+			if rep.Reattached+rep.Restored != clusterFleet {
+				badf("takeover accounted for %d of %d processes",
+					rep.Reattached+rep.Restored, clusterFleet)
+			}
+		case DurableRecordFlip, DurableStaleLog:
+			if len(tr.reasons) == 0 {
+				badf("probe was not rejected")
+			}
+			if totalFailovers != 0 {
+				badf("probe disturbed the fleet: %d failovers", totalFailovers)
+			}
+			if rep.Term != 1 {
+				badf("probe caused a takeover: term %d", rep.Term)
+			}
+		case DurableStaleEpoch:
+			if len(tr.reasons) == 0 {
+				badf("stale store epoch was not rejected")
+			}
+			if cellWarm(rep) == 0 {
+				badf("no warm restart after refusing the stale epoch")
+			}
+			if len(rep.Fleet.NodesDown) != 1 {
+				badf("NodesDown = %v, want exactly the crashed owner", rep.Fleet.NodesDown)
+			}
+		case DurableDirectorCrash:
+			if rep.Term != 2 {
+				badf("term %d after director crash, want 2", rep.Term)
+			}
+			if rep.Restored == 0 {
+				badf("mid-migration process was not finished by the takeover")
+			}
+		}
+	}
+	if len(cell.Reasons) == 0 {
+		cell.Reasons = nil
+	}
+	return cell, nil
+}
+
+// cellWarm sums a report's warm restarts.
+func cellWarm(rep *cluster.HAReport) int {
+	n := 0
+	for _, pr := range rep.Fleet.Procs {
+		n += pr.WarmRestarts
+	}
+	return n
+}
+
+// durableHook builds the per-trial fault injector. All decisions are a
+// pure function of (class, pick), so trials are deterministic at any
+// worker count.
+func durableHook(cfg Config, class Class, pick uint64, tr *clusterTrial) func(*cluster.HA, int) {
+	fail := func(format string, args ...any) {
+		tr.hookErrs = append(tr.hookErrs, fmt.Sprintf(format, args...))
+	}
+	switch class {
+	case DurableTornTail:
+		crashAt := 3 + int(pick%3)
+		return func(h *cluster.HA, tick int) {
+			if tick != crashAt {
+				return
+			}
+			h.CrashPrimary()
+			if err := durable.Tear(h.Primary.FS, durableDir, cfg.Key); err != nil {
+				fail("tear: %v", err)
+				return
+			}
+			tr.fired = true
+		}
+	case DurableRecordFlip:
+		probeAt := 3 + int(pick%3)
+		return func(h *cluster.HA, tick int) {
+			if tick != probeAt {
+				return
+			}
+			fs := h.Primary.FS
+			logB, err := fs.ReadFile(durable.LogPath(durableDir))
+			if err != nil {
+				fail("read log: %v", err)
+				return
+			}
+			anchorB, err := fs.ReadFile(durable.AnchorPath(durableDir))
+			if err != nil {
+				fail("read anchor: %v", err)
+				return
+			}
+			frames := durable.Frames(logB)
+			if len(frames) == 0 {
+				fail("no sealed frames to flip")
+				return
+			}
+			// Flip one bit inside a frame's body or tag (never the
+			// length prefix: that would read as torn, not tampered).
+			f := frames[int(pick>>8)%len(frames)]
+			off := f.Off + 4 + int(pick>>16)%(f.Len-4)
+			flipped := append([]byte(nil), logB...)
+			flipped[off] ^= 1 << (pick >> 32 % 8)
+			tr.fired = true
+			if _, err := durable.ValidateBytes(cfg.Key, flipped, anchorB); err != nil {
+				tr.reasons = append(tr.reasons, durable.Reason(err))
+			} else {
+				fail("bit-flipped WAL image validated")
+			}
+		}
+	case DurableStaleLog:
+		snapAt := 2 + int(pick%2)
+		probeAt := snapAt + 3
+		var snapped []byte
+		return func(h *cluster.HA, tick int) {
+			fs := h.Primary.FS
+			switch tick {
+			case snapAt:
+				b, err := fs.ReadFile(durable.LogPath(durableDir))
+				if err != nil {
+					fail("snapshot log: %v", err)
+					return
+				}
+				snapped = append([]byte(nil), b...)
+			case probeAt:
+				if snapped == nil {
+					return
+				}
+				anchorB, err := fs.ReadFile(durable.AnchorPath(durableDir))
+				if err != nil {
+					fail("read anchor: %v", err)
+					return
+				}
+				tr.fired = true
+				// The old image is internally consistent; only the
+				// anchor's freshness can convict it.
+				if _, err := durable.ValidateBytes(cfg.Key, snapped, anchorB); err != nil {
+					tr.reasons = append(tr.reasons, durable.Reason(err))
+				} else {
+					fail("stale WAL snapshot validated against a fresh anchor")
+				}
+			}
+		}
+	case DurableStaleEpoch:
+		tamperAt := 4 + int(pick%2)
+		return func(h *cluster.HA, tick int) {
+			if tick != tamperAt {
+				return
+			}
+			fs := h.Primary.FS
+			sd := durable.StoreDir(durableDir, "v0")
+			st, err := durable.OpenStore(fs, sd)
+			if err != nil {
+				fail("open store: %v", err)
+				return
+			}
+			chain := st.Chain()
+			if len(chain) < 2 {
+				fail("need two sealed epochs to tamper, have %d", len(chain))
+				return
+			}
+			// The newest epoch's file now holds an older sealed blob; the
+			// restore chain must refuse it and fall back warm.
+			stale := chain[1].Blob
+			if err := fs.WriteFile(durable.EpochPath(sd, chain[0].Epoch), stale, 0o644); err != nil {
+				fail("overwrite epoch: %v", err)
+				return
+			}
+			h.Primary.CrashNode(1) // v0's round-robin home
+			tr.fired = true
+		}
+	case DurableDirectorCrash:
+		migAt := 2 + int(pick%2)
+		dst := cluster.NodeID(2 + (pick>>8)%2) // v0 lives on node 1
+		return func(h *cluster.HA, tick int) {
+			if tick != migAt {
+				return
+			}
+			opts := cluster.CleanMigrate()
+			opts.CrashDirector = true
+			if _, err := h.Primary.Migrate("v0", dst, opts); err != nil {
+				fail("migrate: %v", err)
+				return
+			}
+			tr.fired = true
+		}
+	}
+	return func(*cluster.HA, int) {}
+}
+
+// checkDurableParity mirrors checkClusterParity for the durable cells.
+func checkDurableParity(m *Matrix) {
+	for i := 0; i+1 < len(m.Durable); i += 2 {
+		deny, kill := &m.Durable[i], m.Durable[i+1]
+		if deny.Class != kill.Class || deny.Victim != kill.Victim {
+			deny.Failures = append(deny.Failures, "unpaired durable cell")
+			continue
+		}
+		a, b := *deny, kill
+		a.Mode, b.Mode = "", ""
+		a.Failures, b.Failures = nil, nil
+		if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+			deny.Failures = append(deny.Failures,
+				fmt.Sprintf("mode parity: deny %+v, kill %+v", a, b))
+		}
+	}
+}

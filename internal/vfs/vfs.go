@@ -617,6 +617,24 @@ func (fs *FS) WriteAt(n *Node, off uint32, b []byte) (int, error) {
 	return len(b), nil
 }
 
+// Append atomically appends b to the end of the file node and returns
+// the new size. The size read and the write happen under one lock, so
+// concurrent readers (a log tailer) either see none or all of b —
+// never a torn suffix.
+func (fs *FS) Append(n *Node, b []byte) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if n.Kind != KindFile {
+		return 0, ErrIsDir
+	}
+	if len(n.Data)+len(b) > MaxFileSize {
+		return 0, ErrNoSpace
+	}
+	n.Data = append(n.Data, b...)
+	n.mtime = fs.tick()
+	return len(n.Data), nil
+}
+
 // ReadAt reads up to len(b) bytes from the file at offset off.
 func (fs *FS) ReadAt(n *Node, off uint32, b []byte) (int, error) {
 	fs.mu.RLock()

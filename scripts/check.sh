@@ -34,7 +34,7 @@ go test ./...
 echo "== go test -race (SMP gate) =="
 go test -race ./internal/sched/... ./internal/kernel/... ./internal/core/... \
     ./internal/fault/... ./internal/bench/... ./internal/net/... ./internal/workload/... \
-    ./internal/cluster/...
+    ./internal/cluster/... ./internal/durable/...
 
 echo "== fuzz smoke (auth-record decoding) =="
 go test -run '^$' -fuzz FuzzAuthRecord -fuzztime 5s ./internal/kernel
@@ -54,6 +54,9 @@ go test -run '^$' -fuzz FuzzPollSetDecode -fuzztime 5s ./internal/net
 echo "== fuzz smoke (state-update batch encoding) =="
 go test -run '^$' -fuzz FuzzBatchEncode -fuzztime 5s ./internal/policy
 
+echo "== fuzz smoke (WAL record decoding) =="
+go test -run '^$' -fuzz FuzzWALRecordDecode -fuzztime 5s ./internal/durable
+
 echo "== kernel syscall benchmarks =="
 go test -run '^$' -bench 'SyscallPlain|SyscallVerified|VerifyAllocs' \
     -benchtime 2x ./internal/kernel
@@ -70,6 +73,13 @@ echo "wrote BENCH_kernel.json"
 # shared wait fail loudly here.
 echo "== sharded-fleet efficiency guard =="
 go run ./cmd/ascbench -netguard 70 -table none
+
+# -takeoverguard is the durable-control-plane recovery gate: a director
+# crash mid-migration on a durable 3-node cluster must be survived by
+# the warm standby with every process re-attached or warm-restored and
+# zero cold starts.
+echo "== director takeover recovery guard =="
+go run ./cmd/ascbench -takeoverguard -table none
 
 echo "== BENCH_batch.json =="
 go run ./cmd/ascbench -table batch -json BENCH_batch.json

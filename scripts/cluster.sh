@@ -3,9 +3,12 @@
 # sweep (a fleet of loop workloads spread across 2/3/4 kernel nodes
 # loses node 1 mid-run at three heartbeat cadences; the director must
 # detect the failure and re-place the displaced processes warm from
-# sealed checkpoints). The figures are computed from deterministic
-# cycle counts on a virtual clock, so two consecutive runs produce
-# byte-identical JSON.
+# sealed checkpoints) plus the director-takeover arm (the primary
+# director is killed mid-migration on a durable 3-node cluster at each
+# heartbeat cadence; the warm standby replays the sealed WAL and the
+# fleet finishes with zero cold starts). The figures are computed from
+# deterministic cycle counts on a virtual clock, so two consecutive
+# runs produce byte-identical JSON.
 #
 # Refuses to overwrite an uncommitted BENCH_cluster.json unless FORCE=1,
 # so a locally modified artifact is never clobbered silently.
