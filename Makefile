@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench smp ckpt fault net batch cluster check clean
+.PHONY: build test race bench smp ckpt fault net batch cluster mem check clean
 
 build:
 	$(GO) build ./...
@@ -13,7 +13,7 @@ test:
 race:
 	$(GO) test -race ./internal/sched/... ./internal/kernel/... ./internal/core/... \
 		./internal/fault/... ./internal/bench/... ./internal/net/... ./internal/workload/... \
-		./internal/cluster/... ./internal/durable/...
+		./internal/cluster/... ./internal/durable/... ./internal/vm/... ./internal/ckpt/...
 
 bench:
 	$(GO) test -run '^$$' -bench 'SyscallPlain|SyscallVerified|VerifyAllocs' \
@@ -53,6 +53,13 @@ batch:
 cluster:
 	sh scripts/cluster.sh
 
+# mem regenerates BENCH_mem.json (the paged-memory working-set sweep:
+# resident budget x working set with the authenticated swap device off,
+# enforced, and enforced+cached). The script refuses to overwrite a
+# dirty BENCH_mem.json unless FORCE=1.
+mem:
+	sh scripts/mem.sh
+
 # check is the full gate: gofmt, vet, build, tier-1 tests, the SMP race
 # gate, the fuzz smokes, the kernel benchmarks, the fault campaign, the
 # cached-overhead, fleet-efficiency, and takeover-recovery guards, and
@@ -63,4 +70,4 @@ check:
 
 clean:
 	rm -f BENCH_kernel.json BENCH_fault.json BENCH_smp.json BENCH_ckpt.json \
-		BENCH_net.json BENCH_batch.json BENCH_cluster.json
+		BENCH_net.json BENCH_batch.json BENCH_cluster.json BENCH_mem.json

@@ -1,6 +1,6 @@
 // ascbench regenerates the paper's evaluation tables.
 //
-// Usage: ascbench [-table 1|2|3|4|6|andrew|compare|smp|ckpt|net|batch|cluster|all]
+// Usage: ascbench [-table 1|2|3|4|6|andrew|compare|smp|ckpt|net|batch|cluster|mem|all]
 // [-scale N] [-procs N] [-json FILE] [-guard RATIO]
 // [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -10,9 +10,10 @@
 // scaling sweep (BENCH_smp.json), with -table ckpt the crash-recovery
 // cadence sweep (BENCH_ckpt.json), with -table net the network fleet
 // sweep (BENCH_net.json), with -table batch the group-commit sweep
-// (BENCH_batch.json), and with -table cluster the multi-node failover
-// sweep (BENCH_cluster.json). All of these come from deterministic cycle
-// counts, so the JSON is byte-stable.
+// (BENCH_batch.json), with -table cluster the multi-node failover
+// sweep (BENCH_cluster.json), and with -table mem the paged-memory
+// working-set sweep (BENCH_mem.json). All of these come from
+// deterministic cycle counts, so the JSON is byte-stable.
 //
 // -guard RATIO fails the run (exit 1) if the Table 4 cached getpid cost
 // exceeds RATIO times the plain cost — the fast-path perf regression
@@ -362,6 +363,48 @@ func writeClusterJSON(path string, t *bench.ClusterData) error {
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
+// memJSON is the machine-readable paged-memory sweep summary.
+type memJSON struct {
+	Sweeps int            `json:"sweeps"`
+	Points []memJSONPoint `json:"points"`
+}
+
+type memJSONPoint struct {
+	BudgetPages       int     `json:"budget_pages"`
+	WSPages           int     `json:"ws_pages"`
+	Faults            uint64  `json:"faults"`
+	Evicts            uint64  `json:"evicts"`
+	Swapins           uint64  `json:"swapins"`
+	CyclesOff         uint64  `json:"cycles_off"`
+	CyclesOn          uint64  `json:"cycles_enforced"`
+	CyclesCached      uint64  `json:"cycles_cached"`
+	OverheadPct       float64 `json:"overhead_pct"`
+	CachedOverheadPct float64 `json:"cached_overhead_pct"`
+}
+
+func writeMemJSON(path string, t *bench.MemData) error {
+	out := memJSON{Sweeps: t.Sweeps}
+	for _, p := range t.Points {
+		out.Points = append(out.Points, memJSONPoint{
+			BudgetPages:       p.BudgetPages,
+			WSPages:           p.WSPages,
+			Faults:            p.Faults,
+			Evicts:            p.Evicts,
+			Swapins:           p.Swapins,
+			CyclesOff:         p.CyclesOff,
+			CyclesOn:          p.CyclesOn,
+			CyclesCached:      p.CyclesCached,
+			OverheadPct:       p.OverheadPct,
+			CachedOverheadPct: p.CachedOverheadPct,
+		})
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
 // checkGuard enforces the fast-path regression gate on the Table 4 rows.
 func checkGuard(t4 *bench.Table4Data, ratio float64) error {
 	for _, r := range t4.Rows {
@@ -378,7 +421,7 @@ func checkGuard(t4 *bench.Table4Data, ratio float64) error {
 }
 
 func main() {
-	table := flag.String("table", "all", "which artifact to regenerate: 1, 2, 3, 4, 6, andrew, compare, smp, ckpt, net, batch, cluster, all")
+	table := flag.String("table", "all", "which artifact to regenerate: 1, 2, 3, 4, 6, andrew, compare, smp, ckpt, net, batch, cluster, mem, all")
 	scale := flag.Int("scale", 1, "divide macro-benchmark iteration counts by N (faster, less precise)")
 	jsonPath := flag.String("json", "", "write the Table 4 (or -table smp) benchmark summary to FILE as JSON")
 	procs := flag.Int("procs", 8, "SMP sweep: processes per fleet")
@@ -538,6 +581,18 @@ func main() {
 		}
 		if *jsonPath != "" {
 			if err := writeBatchJSON(*jsonPath, data); err != nil {
+				return nil, fmt.Errorf("write %s: %w", *jsonPath, err)
+			}
+		}
+		return data, nil
+	})
+	run("mem", func() (interface{ Render() string }, error) {
+		data, err := bench.Mem(bench.DefaultKey)
+		if err != nil {
+			return nil, err
+		}
+		if *jsonPath != "" {
+			if err := writeMemJSON(*jsonPath, data); err != nil {
 				return nil, fmt.Errorf("write %s: %w", *jsonPath, err)
 			}
 		}

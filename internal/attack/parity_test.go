@@ -16,14 +16,16 @@ func freshInjector(class fault.Class, seed uint64) kernel.Option {
 	}
 }
 
-// cacheArms are the fast-path configurations the battery must agree
-// across: no cache, the per-process cache, and the fleet-shared cache
-// with group-commit batching. Sharing and batching change cost, never
-// detection.
+// cacheArms are the kernel configurations the battery must agree
+// across: no cache, the per-process cache, the fleet-shared cache with
+// group-commit batching, and paged memory with the authenticated swap
+// device. Sharing, batching, and paging change cost and memory layout,
+// never detection.
 var cacheArms = map[string][]kernel.Option{
 	"uncached": nil,
 	"cached":   {kernel.WithCacheMode(kernel.CachePerProcess)},
 	"fleet":    {kernel.WithVerifyCache(), kernel.WithBatchVerify(8)},
+	"paged":    {kernel.WithPagedMemory(4)},
 }
 
 // TestBatteryFaultParity runs the full attack battery inside a fault
@@ -66,7 +68,7 @@ func TestBatteryFaultParity(t *testing.T) {
 			if len(plain) != len(control) {
 				t.Fatalf("%s seed %d: battery sizes differ", name, seed)
 			}
-			for _, arm := range []string{"cached", "fleet"} {
+			for _, arm := range []string{"cached", "fleet", "paged"} {
 				got := run(class, seed, arm)
 				if len(got) != len(plain) {
 					t.Fatalf("%s seed %d: %s battery size differs", name, seed, arm)

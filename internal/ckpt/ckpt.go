@@ -35,7 +35,7 @@ import (
 // trailing CMAC over everything before it.
 const (
 	magic      = "ASCK"
-	version    = 1
+	version    = 2 // v2: paged-memory section (page table, swap residue)
 	headerSize = 4 + 4 + 8
 	minBlob    = headerSize + mac.Size
 )
@@ -185,6 +185,26 @@ type State struct {
 	CacheHits          uint64
 	CacheMisses        uint64
 	CacheInvalidations uint64
+
+	// Paged virtual memory (format v2). Paged records whether the process
+	// ran on a demand-paged kernel; the remaining fields describe its
+	// mmap-arena page table and the swap residue of evicted pages. The
+	// arena's *resident* contents travel inside the ordinary segment
+	// capture; SwapPages carries the evicted pages' plaintext (verified
+	// against their sealed frames at capture time) so a restore can
+	// re-seal them under the restored process's identity.
+	Paged     bool
+	PageBase  uint32
+	PageHand  uint32
+	PageFlags []byte   // one vm.PageFlags byte per arena page
+	PageGens  []uint64 // per-page swap generation, parallel to PageFlags
+	SwapPages []SwapPageState
+}
+
+// SwapPageState is one evicted page's verified plaintext.
+type SwapPageState struct {
+	Index uint32
+	Data  []byte
 }
 
 // ProgramTag computes the program-binding tag over an executable's
@@ -307,6 +327,22 @@ func encode(s *State) []byte {
 	} {
 		e.u64(v)
 	}
+
+	e.bool(s.Paged)
+	if s.Paged {
+		e.u32(s.PageBase)
+		e.u32(s.PageHand)
+		e.bytes(s.PageFlags)
+		e.u32(uint32(len(s.PageGens)))
+		for _, g := range s.PageGens {
+			e.u64(g)
+		}
+		e.u32(uint32(len(s.SwapPages)))
+		for i := range s.SwapPages {
+			e.u32(s.SwapPages[i].Index)
+			e.bytes(s.SwapPages[i].Data)
+		}
+	}
 	return e.b
 }
 
@@ -385,6 +421,29 @@ func DecodeState(b []byte) (*State, error) {
 		&s.CacheHits, &s.CacheMisses, &s.CacheInvalidations,
 	} {
 		*p = d.u64()
+	}
+
+	s.Paged = d.bool()
+	if s.Paged {
+		s.PageBase = d.u32()
+		s.PageHand = d.u32()
+		s.PageFlags = d.bytes()
+		ngens := d.count(8)
+		if !d.fail && ngens != len(s.PageFlags) {
+			return nil, fmt.Errorf("%w: page generation count %d for %d pages",
+				ErrMalformed, ngens, len(s.PageFlags))
+		}
+		s.PageGens = make([]uint64, 0, ngens)
+		for i := 0; i < ngens; i++ {
+			s.PageGens = append(s.PageGens, d.u64())
+		}
+		nswap := d.count(8)
+		for i := 0; i < nswap && !d.fail; i++ {
+			var sp SwapPageState
+			sp.Index = d.u32()
+			sp.Data = d.bytes()
+			s.SwapPages = append(s.SwapPages, sp)
+		}
 	}
 	if d.fail {
 		return nil, fmt.Errorf("%w: short payload", ErrMalformed)

@@ -1,0 +1,120 @@
+// swap.go seals individual memory pages for the kernel's authenticated
+// swap device. Evicting a page is checkpointing in miniature: the frame
+// binds the page bytes to its owner process, page index, and a
+// kernel-held generation counter under a domain-separated CMAC, so a
+// frame read back at fault-in time proves (1) the bytes are the ones
+// written at eviction — a flipped bit fails the seal — and (2) they are
+// the *latest* ones — replaying an older frame carries an older
+// generation, which the kernel's counter rejects. The generation lives
+// inside the sealed bytes but is trusted only by comparison against the
+// kernel's in-memory (or checkpointed) expectation, mirroring the
+// paper's in-kernel nonce argument.
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"asc/internal/mac"
+)
+
+// Swap frame wire format: magic, version, owner, page, gen, data length,
+// data, CMAC over the domain prefix plus everything before the tag.
+const (
+	swapMagic   = "ASSW"
+	swapVersion = 1
+	// magic + version + owner + page + gen + length
+	swapHeaderSize = 4 + 4 + 8 + 4 + 8 + 4
+	minSwapFrame   = swapHeaderSize + mac.Size
+)
+
+var swapPrefix = []byte("asc/swap/seal/v1\x00")
+
+// Swap frame error classes. ErrSwapSeal covers integrity failures (bit
+// flips, truncation of sealed bytes, wrong owner's frame); ErrSwapStale
+// covers authenticity-of-freshness failures (a genuine frame that is not
+// the latest for its slot — the replay case).
+var (
+	ErrSwapFrame = errors.New("ckpt: malformed swap frame")
+	ErrSwapSeal  = errors.New("ckpt: swap frame seal mismatch")
+	ErrSwapStale = errors.New("ckpt: stale swap frame")
+)
+
+// SwapFrame is one sealed page at rest on the swap device.
+type SwapFrame struct {
+	Owner uint64 // owning process identity (PID is fine: frames die with the process)
+	Page  uint32 // page index within the owner's arena
+	Gen   uint64 // eviction generation; the kernel holds the expected value
+	Data  []byte
+}
+
+// SealSwapFrame serializes and seals a frame. A nil key produces an
+// unauthenticated frame (all-zero tag) for kernels running without a
+// MAC key; OpenSwapFrame with a nil key skips the seal check
+// symmetrically. Structure and generation checks still apply — an
+// unauthenticated device detects accidents, not adversaries.
+func SealSwapFrame(k *mac.Keyed, f *SwapFrame) []byte {
+	b := make([]byte, 0, swapHeaderSize+len(f.Data)+mac.Size)
+	b = append(b, swapMagic...)
+	b = binary.LittleEndian.AppendUint32(b, swapVersion)
+	b = binary.LittleEndian.AppendUint64(b, f.Owner)
+	b = binary.LittleEndian.AppendUint32(b, f.Page)
+	b = binary.LittleEndian.AppendUint64(b, f.Gen)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(f.Data)))
+	b = append(b, f.Data...)
+	var tag mac.Tag
+	if k != nil {
+		msg := make([]byte, 0, len(swapPrefix)+len(b))
+		msg = append(msg, swapPrefix...)
+		msg = append(msg, b...)
+		tag, _ = k.Sum(msg)
+	}
+	return append(b, tag[:]...)
+}
+
+// OpenSwapFrame verifies blob as the frame for (owner, page) at exactly
+// generation wantGen and returns it. Checks run in trust order: length
+// and magic, then the seal, then — over authenticated bytes only — the
+// binding and freshness comparisons.
+func OpenSwapFrame(k *mac.Keyed, owner uint64, page uint32, wantGen uint64, blob []byte) (*SwapFrame, error) {
+	if len(blob) < minSwapFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrSwapFrame, len(blob))
+	}
+	if string(blob[:4]) != swapMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrSwapFrame)
+	}
+	if v := binary.LittleEndian.Uint32(blob[4:]); v != swapVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrSwapFrame, v)
+	}
+	body := blob[:len(blob)-mac.Size]
+	if k != nil {
+		var tag mac.Tag
+		copy(tag[:], blob[len(blob)-mac.Size:])
+		msg := make([]byte, 0, len(swapPrefix)+len(body))
+		msg = append(msg, swapPrefix...)
+		msg = append(msg, body...)
+		if ok, _ := k.Verify(msg, tag); !ok {
+			return nil, ErrSwapSeal
+		}
+	}
+	f := &SwapFrame{
+		Owner: binary.LittleEndian.Uint64(body[8:]),
+		Page:  binary.LittleEndian.Uint32(body[16:]),
+		Gen:   binary.LittleEndian.Uint64(body[20:]),
+	}
+	n := binary.LittleEndian.Uint32(body[28:])
+	if uint64(swapHeaderSize)+uint64(n) != uint64(len(body)) {
+		return nil, fmt.Errorf("%w: data length %d in %d-byte body", ErrSwapFrame, n, len(body))
+	}
+	if f.Owner != owner || f.Page != page {
+		// A genuine frame in the wrong slot is cross-slot replay.
+		return nil, fmt.Errorf("%w: frame for owner %d page %d in slot owner %d page %d",
+			ErrSwapStale, f.Owner, f.Page, owner, page)
+	}
+	if f.Gen != wantGen {
+		return nil, fmt.Errorf("%w: generation %d, kernel expects %d", ErrSwapStale, f.Gen, wantGen)
+	}
+	f.Data = append([]byte(nil), body[swapHeaderSize:]...)
+	return f, nil
+}

@@ -1,0 +1,126 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"asc/internal/mac"
+)
+
+func swapKey(t *testing.T) *mac.Keyed {
+	t.Helper()
+	k, err := mac.New([]byte("swap-frame-test-"))
+	if err != nil {
+		t.Fatalf("mac.New: %v", err)
+	}
+	return k
+}
+
+func testFrame() *SwapFrame {
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	return &SwapFrame{Owner: 42, Page: 7, Gen: 3, Data: data}
+}
+
+func TestSwapFrameRoundTrip(t *testing.T) {
+	k := swapKey(t)
+	f := testFrame()
+	blob := SealSwapFrame(k, f)
+	got, err := OpenSwapFrame(k, 42, 7, 3, blob)
+	if err != nil {
+		t.Fatalf("OpenSwapFrame: %v", err)
+	}
+	if !bytes.Equal(got.Data, f.Data) {
+		t.Fatalf("data mismatch after round trip")
+	}
+}
+
+func TestSwapFrameDetectsBitFlip(t *testing.T) {
+	k := swapKey(t)
+	blob := SealSwapFrame(k, testFrame())
+	for _, off := range []int{0, 9, swapHeaderSize + 100, len(blob) - 1} {
+		mut := append([]byte(nil), blob...)
+		mut[off] ^= 0x40
+		_, err := OpenSwapFrame(k, 42, 7, 3, mut)
+		if err == nil {
+			t.Fatalf("flip at %d accepted", off)
+		}
+		if !errors.Is(err, ErrSwapSeal) && !errors.Is(err, ErrSwapFrame) {
+			t.Fatalf("flip at %d: %v, want seal/frame error", off, err)
+		}
+	}
+}
+
+func TestSwapFrameDetectsReplay(t *testing.T) {
+	k := swapKey(t)
+	f := testFrame()
+	stale := SealSwapFrame(k, f)
+	// Kernel has since evicted generation 4; the gen-3 frame is stale.
+	if _, err := OpenSwapFrame(k, 42, 7, 4, stale); !errors.Is(err, ErrSwapStale) {
+		t.Fatalf("stale generation: %v, want ErrSwapStale", err)
+	}
+	// A genuine frame from another slot is cross-slot replay.
+	if _, err := OpenSwapFrame(k, 42, 8, 3, stale); !errors.Is(err, ErrSwapStale) {
+		t.Fatalf("wrong page: %v, want ErrSwapStale", err)
+	}
+	if _, err := OpenSwapFrame(k, 41, 7, 3, stale); !errors.Is(err, ErrSwapStale) {
+		t.Fatalf("wrong owner: %v, want ErrSwapStale", err)
+	}
+}
+
+func TestSwapFrameTruncation(t *testing.T) {
+	k := swapKey(t)
+	blob := SealSwapFrame(k, testFrame())
+	for _, n := range []int{0, 4, swapHeaderSize, len(blob) - 1} {
+		if _, err := OpenSwapFrame(k, 42, 7, 3, blob[:n]); err == nil {
+			t.Fatalf("truncation to %d accepted", n)
+		}
+	}
+}
+
+func TestSwapFrameNilKey(t *testing.T) {
+	f := testFrame()
+	blob := SealSwapFrame(nil, f)
+	got, err := OpenSwapFrame(nil, 42, 7, 3, blob)
+	if err != nil {
+		t.Fatalf("nil-key round trip: %v", err)
+	}
+	if !bytes.Equal(got.Data, f.Data) {
+		t.Fatalf("nil-key data mismatch")
+	}
+	// Freshness still enforced without a key.
+	if _, err := OpenSwapFrame(nil, 42, 7, 9, blob); !errors.Is(err, ErrSwapStale) {
+		t.Fatalf("nil-key stale frame: %v, want ErrSwapStale", err)
+	}
+	// An unauthenticated frame must not open under a keyed kernel.
+	k := swapKey(t)
+	if _, err := OpenSwapFrame(k, 42, 7, 3, blob); !errors.Is(err, ErrSwapSeal) {
+		t.Fatalf("unauthenticated frame under keyed open: %v, want ErrSwapSeal", err)
+	}
+}
+
+func FuzzSwapFrameDecode(f *testing.F) {
+	k, err := mac.New([]byte("swap-frame-fuzz-"))
+	if err != nil {
+		f.Fatalf("mac.New: %v", err)
+	}
+	f.Add(SealSwapFrame(k, testFrame()))
+	f.Add(SealSwapFrame(nil, &SwapFrame{Owner: 1, Page: 0, Gen: 1, Data: []byte{1, 2, 3}}))
+	f.Add([]byte("ASSW"))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		// Must never panic; anything that opens must carry the exact
+		// binding it was asked for.
+		for _, key := range []*mac.Keyed{nil, k} {
+			got, err := OpenSwapFrame(key, 42, 7, 3, b)
+			if err != nil {
+				continue
+			}
+			if got.Owner != 42 || got.Page != 7 || got.Gen != 3 {
+				t.Fatalf("opened frame with wrong binding: %+v", got)
+			}
+		}
+	})
+}

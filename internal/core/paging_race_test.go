@@ -1,0 +1,101 @@
+//go:build race
+
+package core
+
+import (
+	"testing"
+
+	"asc/internal/kernel"
+)
+
+// pagedSweepSrc maps 16 anonymous pages read-write and walks them three
+// times, storing the sweep counter into each page and checking the
+// read-back — on a 4-page resident budget every sweep evicts through
+// the shared swap device, so a cross-process frame mix-up surfaces as a
+// wrong value, not just a race report. Iteration counts are fixed in
+// the source, so per-process cycle counts are deterministic.
+const pagedSweepSrc = `
+        .text
+        .global main
+main:
+        MOVI r1, 0
+        MOVI r2, 65536          ; 16 pages
+        MOVI r3, 3              ; PROT_READ|PROT_WRITE
+        MOVI r4, 0x22           ; MAP_PRIVATE|MAP_ANONYMOUS
+        MOVI r5, 0
+        CALL mmap
+        MOV r8, r0
+        MOVI r12, 3             ; sweeps
+.sweep:
+        MOV r10, r8
+        MOVI r11, 16            ; pages per sweep
+.page:
+        STORE [r10+0], r12
+        LOAD r9, [r10+0]
+        BNE r9, r12, .fail
+        ADDI r10, r10, 4096
+        ADDI r11, r11, -1
+        MOVI r9, 0
+        BNE r11, r9, .page
+        ADDI r12, r12, -1
+        MOVI r9, 0
+        BNE r12, r9, .sweep
+        MOV r1, r8
+        MOVI r2, 65536
+        CALL munmap
+        MOVI r1, msg
+        CALL puts
+        MOVI r0, 0
+        RET
+.fail:
+        MOVI r0, 1
+        RET
+        .rodata
+msg:    .asciz "done"
+`
+
+// TestRunAllPagedSharedSwap is the SMP-gate hammer for the paged-memory
+// subsystem: eight paged processes run through the worker pool on one
+// kernel, all evicting through the same VFS-backed swap device (one
+// /var/run/swap tree, per-PID frame directories). Run under -race; the
+// assertions beyond data-race freedom are that every process sees its
+// own page contents (the in-guest read-back check), every evicted
+// frame re-verifies on fault-in (Enforce mode, shared MAC key), and
+// per-process cycle counts stay deterministic under concurrency.
+func TestRunAllPagedSharedSwap(t *testing.T) {
+	const procs = 8
+	s := newSystem(t, Config{KernelOptions: []kernel.Option{kernel.WithPagedMemory(4)}})
+	exe, _, _, err := s.Install(buildRaw(t, pagedSweepSrc), "paged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := s.Exec(exe, "paged", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Killed || ref.ExitCode != 0 || ref.Output != "done" {
+		t.Fatalf("quiet reference run failed: %+v", ref)
+	}
+
+	reqs := make([]RunRequest, procs)
+	for i := range reqs {
+		reqs[i] = RunRequest{Exe: exe, Name: "paged"}
+	}
+	for _, w := range []int{4, 8} {
+		res, err := s.RunAll(reqs, w)
+		if err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		for i, r := range res {
+			if r.Err != nil || r.Killed {
+				t.Fatalf("w=%d proc %d: err=%v killed=%v reason=%v", w, i, r.Err, r.Killed, r.Reason)
+			}
+			if r.ExitCode != 0 || r.Output != "done" {
+				t.Errorf("w=%d proc %d: exit=%d output=%q (page read-back failed)", w, i, r.ExitCode, r.Output)
+			}
+			if r.Cycles != ref.Cycles {
+				t.Errorf("w=%d proc %d: cycles %d != quiet baseline %d", w, i, r.Cycles, ref.Cycles)
+			}
+		}
+	}
+}

@@ -1,7 +1,8 @@
 // campaign.go drives the deterministic fault-injection campaign: N
 // seeded trials per fault class per victim workload, each trial executed
-// under Kill and Deny enforcement across three cache arms (no cache,
-// per-process cache, fleet-shared cache with group-commit batching). The
+// under Kill and Deny enforcement across four kernel arms (no cache,
+// per-process cache, fleet-shared cache with group-commit batching, and
+// demand-paged memory with the authenticated swap device). The
 // driver checks the platform's contract — every fault inside the
 // MAC-protected surface is detected with an expected reason, faults
 // outside it are survived cleanly, and outcomes are identical across
@@ -150,8 +151,10 @@ func Run(cfg Config) (*Matrix, error) {
 	// Socket-surface victims sit out the checkpoint sub-campaign: a
 	// process holding live sockets is not checkpointable by design
 	// (kernel.Checkpoint fails with ckpt.ErrUnsupported), so they have
-	// no chain to tamper with.
-	ckptEligible := func(vi int) bool { return !cfg.Victims[vi].Net }
+	// no chain to tamper with. The paged victim sits out too: its run is
+	// one long trapless sweep, and the checkpoint/cluster cadences
+	// assume trap-dense victims.
+	ckptEligible := func(vi int) bool { return !cfg.Victims[vi].Net && !cfg.Victims[vi].Paged }
 	var preps []ckptPrep
 	if !cfg.SkipCkpt {
 		preps = make([]ckptPrep, len(cfg.Victims))
@@ -410,7 +413,7 @@ func runCell(cfg Config, class Class, v *workload.FaultVictim, exe *binfmt.File,
 		s := cfg.Seed
 		_ = splitmix(&s)
 		subseed := s ^ vi<<40 ^ uint64(trial)<<8
-		var outs [6]Outcome
+		var outs [2 * cacheArms]Outcome
 		i := 0
 		for _, mode := range []kernel.Enforcement{kernel.EnforceKill, kernel.EnforceDeny} {
 			for cache := 0; cache < cacheArms; cache++ {
@@ -453,14 +456,17 @@ func (c *Cell) note(msgs []string) {
 	c.Failures = append(c.Failures, msgs...)
 }
 
-// checkTrial validates one trial's six outcomes against the class
+// checkTrial validates one trial's eight outcomes against the class
 // contract and the cross-configuration parity requirements.
-func checkTrial(exp Expect, outs [6]Outcome, trial int) []string {
+func checkTrial(exp Expect, outs [2 * cacheArms]Outcome, trial int) []string {
 	var fails []string
 	badf := func(format string, args ...any) {
 		fails = append(fails, fmt.Sprintf("trial %d: ", trial)+fmt.Sprintf(format, args...))
 	}
-	names := [6]string{"kill", "kill+cache", "kill+fleet", "deny", "deny+cache", "deny+fleet"}
+	names := [2 * cacheArms]string{
+		"kill", "kill+cache", "kill+fleet", "kill+paged",
+		"deny", "deny+cache", "deny+fleet", "deny+paged",
+	}
 
 	// Parity: the fault either fires in every configuration or in none,
 	// and every cache arm must agree exactly within each mode.
@@ -515,14 +521,28 @@ func checkTrial(exp Expect, outs [6]Outcome, trial int) []string {
 	return fails
 }
 
-// The cache arms every (class, victim, trial, mode) cell runs: the
-// detection contract may not depend on which fast path is active.
+// The kernel arms every (class, victim, trial, mode) cell runs: the
+// detection contract may not depend on which fast path is active, and
+// turning on demand paging may not change any existing class's outcome.
 const (
 	armCacheOff = iota
 	armCachePerProc
 	armCacheFleet
+	armPaged
 	cacheArms
 )
+
+// pagedBudget is the resident-page budget of paged campaign arms: the
+// minimum, so the paged victim's working set overflows immediately.
+const pagedBudget = 4
+
+// classNeedsPaging: the swap classes inject on the eviction path, which
+// only exists on a paged kernel, so they run paged in every arm (the
+// cross-arm parity check then covers cache interactions). Every other
+// class exercises paging only in the dedicated paged arm.
+func classNeedsPaging(class Class, cache int) bool {
+	return cache == armPaged || class == SwapFlip || class == SwapReplay
+}
 
 // runOne executes one victim run under one configuration. withNet
 // attaches a fresh virtual network (socket-surface victims move real
@@ -552,6 +572,9 @@ func runOne(cfg Config, class Class, exe *binfmt.File, stdin string, subseed uin
 		opts = append(opts, kernel.WithCacheMode(kernel.CachePerProcess))
 	case armCacheFleet:
 		opts = append(opts, kernel.WithVerifyCache(), kernel.WithBatchVerify(8))
+	}
+	if classNeedsPaging(class, cache) {
+		opts = append(opts, kernel.WithPagedMemory(pagedBudget))
 	}
 	if withNet {
 		opts = append(opts, kernel.WithNetwork(anet.New()))

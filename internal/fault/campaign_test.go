@@ -38,7 +38,7 @@ func TestCampaignContract(t *testing.T) {
 
 	// Every victim's supervised-restart demo recovered from its
 	// transient fault in exactly one restart.
-	if len(m.Restarts) != 5 {
+	if len(m.Restarts) != 6 {
 		t.Fatalf("restart cells = %d, want one per victim", len(m.Restarts))
 	}
 	for _, r := range m.Restarts {

@@ -79,6 +79,14 @@ const (
 	// readiness state replayed into the event loop must fail the memory
 	// checker at the following call.
 	ReplayPollCF Class = "poll-replay-cf"
+	// SwapFlip flips one bit of a sealed swap frame on its way to the
+	// swap device: a bit rot (or scribble) on swapped-out memory must
+	// fail the frame's CMAC when the page faults back in.
+	SwapFlip Class = "swap-page-flip"
+	// SwapReplay captures a sealed swap frame and substitutes it at the
+	// next eviction of the same page: a stale-but-genuinely-sealed frame
+	// must fail the generation comparison at fault-in.
+	SwapReplay Class = "swap-page-replay"
 )
 
 // Classes returns every fault class in canonical order.
@@ -88,6 +96,7 @@ func Classes() []Class {
 		FlipCacheGen, DropNonce, DupNonce, TornStore,
 		FlipSockPort, FlipSockMsg, ReplaySockCF,
 		FlipPollFD, ReplayPollCF,
+		SwapFlip, SwapReplay,
 	}
 }
 
@@ -146,6 +155,14 @@ func Expectation(c Class) Expect {
 	case ReplayPollCF:
 		return Expect{Detected: true, Deferred: true,
 			Reasons: []kernel.KillReason{kernel.KillBadState}}
+	case SwapFlip:
+		// Detection happens at the later fault-in that re-verifies the
+		// frame, not at the eviction that tampered it.
+		return Expect{Detected: true, Deferred: true,
+			Reasons: []kernel.KillReason{kernel.KillSwapSeal}}
+	case SwapReplay:
+		return Expect{Detected: true, Deferred: true,
+			Reasons: []kernel.KillReason{kernel.KillSwapReplay}}
 	}
 	return Expect{}
 }
@@ -181,6 +198,9 @@ type Engine struct {
 	armedReplay bool
 	replayPtr   uint32
 	replayState []byte
+	armedSwap   bool
+	swapPage    uint32
+	swapBlob    []byte
 
 	// FiredNum and FiredSite record the trap at which the fault was
 	// injected (valid once Fired() is true).
@@ -443,6 +463,51 @@ func (e *Engine) NonceUpdate(p *kernel.Process) int {
 		return 0
 	}
 	return 2
+}
+
+// swapFaultNum mirrors the kernel's pseudo syscall number for
+// violations on the page-fault path; there is no trap in flight when a
+// swap fault is injected, so FiredNum carries this marker and FiredSite
+// the page index.
+const swapFaultNum uint16 = 0xffff
+
+// SwapEvict implements kernel.SwapInjector: it observes every sealed
+// frame on its way to the swap device and perturbs the chosen one. The
+// trigger counts evictions, not traps — swap classes never fire from
+// BeforeVerify.
+func (e *Engine) SwapEvict(p *kernel.Process, page uint32, gen uint64, blob []byte) []byte {
+	if e.fired {
+		return nil
+	}
+	switch e.class {
+	case SwapFlip:
+		if !e.step() {
+			return nil
+		}
+		mut := append([]byte(nil), blob...)
+		bit := e.pick % uint64(len(mut)*8)
+		mut[bit/8] ^= 1 << (bit % 8)
+		e.fire(swapFaultNum, page)
+		return mut
+	case SwapReplay:
+		if !e.armedSwap {
+			if e.step() {
+				// Capture the frame; the stale copy substitutes at the
+				// next eviction of the same page, whose generation will
+				// have advanced past the captured one.
+				e.armedSwap = true
+				e.swapPage = page
+				e.swapBlob = append([]byte(nil), blob...)
+			}
+			return nil
+		}
+		if page != e.swapPage {
+			return nil
+		}
+		e.fire(swapFaultNum, page)
+		return e.swapBlob
+	}
+	return nil
 }
 
 // TornWrite implements vm.WriteFaulter: the armed state-MAC store is

@@ -110,7 +110,16 @@ func (k *Kernel) Checkpoint(p *Process, epoch uint64) ([]byte, error) {
 	segs, gens := p.Mem.SnapshotSegments()
 	st.Segs = make([]ckpt.SegState, len(segs))
 	for i, sg := range segs {
-		data, err := p.Mem.KernelRead(sg.Start, sg.End-sg.Start)
+		// The mmap arena is captured raw: resident pages carry their live
+		// bytes, evicted pages read as the zero scrub. Going through the
+		// paged accessors here would thrash the working set (and fault on
+		// unmapped pages); the evicted contents travel in the paged
+		// section below instead.
+		read := p.Mem.KernelRead
+		if p.pager != nil && sg.Name == "mmap" {
+			read = p.Mem.RawRead
+		}
+		data, err := read(sg.Start, sg.End-sg.Start)
 		if err != nil {
 			return nil, fmt.Errorf("kernel: checkpoint segment %s: %w", sg.Name, err)
 		}
@@ -118,6 +127,10 @@ func (k *Kernel) Checkpoint(p *Process, epoch uint64) ([]byte, error) {
 			Name: sg.Name, Start: sg.Start, End: sg.End, Perms: sg.Perms,
 			Gen: gens[i], Data: append([]byte(nil), data...),
 		}
+	}
+
+	if err := k.checkpointPaging(p, st); err != nil {
+		return nil, err
 	}
 
 	for slot, e := range p.fds {
@@ -145,6 +158,119 @@ func (k *Kernel) Checkpoint(p *Process, epoch uint64) ([]byte, error) {
 	}
 
 	return ckpt.Seal(k.key, st), nil
+}
+
+// checkpointPaging captures the paged-memory section: the page table,
+// the per-page swap generations, and the swap residue (evicted pages
+// whose sealed frames still live on the device). Each residue frame is
+// verified at capture time — a checkpoint must not launder a tampered
+// swap device into a sealed blob the restore would then trust.
+func (k *Kernel) checkpointPaging(p *Process, st *ckpt.State) error {
+	if p.pager == nil {
+		return nil
+	}
+	g := p.pager
+	n := g.pt.NumPages()
+	st.Paged = true
+	st.PageBase = g.pt.Base()
+	st.PageHand = uint32(g.hand)
+	st.PageFlags = make([]byte, n)
+	st.PageGens = append([]uint64(nil), g.gens...)
+	for i := 0; i < n; i++ {
+		st.PageFlags[i] = byte(g.pt.Flags(i))
+		if g.pt.Flags(i)&vm.PagePresent != 0 || g.gens[i] == 0 {
+			continue
+		}
+		blob, err := k.FS.ReadFile(g.framePath(i))
+		if err != nil {
+			return fmt.Errorf("kernel: checkpoint swap page %d: %w: %v", i, ckpt.ErrState, err)
+		}
+		f, err := ckpt.OpenSwapFrame(k.key, uint64(p.PID), uint32(i), g.gens[i], blob)
+		if err != nil {
+			return fmt.Errorf("kernel: checkpoint swap page %d: %w: %v", i, ckpt.ErrState, err)
+		}
+		if len(f.Data) != vm.PageSize {
+			return fmt.Errorf("kernel: checkpoint swap page %d: %w: %d-byte frame", i, ckpt.ErrState, len(f.Data))
+		}
+		st.SwapPages = append(st.SwapPages, ckpt.SwapPageState{Index: uint32(i), Data: f.Data})
+	}
+	return nil
+}
+
+// restorePaging overlays the paged-memory section onto a freshly spawned
+// pager: the page table and generations come back verbatim, and the swap
+// residue is re-sealed under the restored process's identity (new PID,
+// same generations) so the restored frames bind to the process that will
+// fault them in.
+func (k *Kernel) restorePaging(p *Process, st *ckpt.State) error {
+	statef := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ckpt.ErrState, fmt.Sprintf(format, args...))
+	}
+	g := p.pager
+	n := g.pt.NumPages()
+	if st.PageBase != g.pt.Base() {
+		return statef("arena base %#x, want %#x", st.PageBase, g.pt.Base())
+	}
+	if len(st.PageFlags) != n {
+		return statef("%d page-table entries, want %d", len(st.PageFlags), n)
+	}
+	if st.PageHand >= uint32(n) {
+		return statef("clock hand %d outside %d pages", st.PageHand, n)
+	}
+	resident := 0
+	for i := 0; i < n; i++ {
+		f := vm.PageFlags(st.PageFlags[i])
+		if f&^(vm.PageProtMask|vm.PageMapped|vm.PagePresent|vm.PageAccessed|vm.PageDirty) != 0 {
+			return statef("page %d: unknown flag bits %#x", i, st.PageFlags[i])
+		}
+		if f&vm.PageMapped == 0 && (f != 0 || st.PageGens[i] != 0) {
+			return statef("page %d: state on an unmapped page", i)
+		}
+		if f&vm.PagePresent != 0 {
+			resident++
+		}
+		g.pt.SetFlags(i, f)
+	}
+	if resident > g.budget {
+		return statef("%d resident pages over a budget of %d", resident, g.budget)
+	}
+	copy(g.gens, st.PageGens)
+	g.hand = int(st.PageHand)
+	g.resident = resident
+
+	// Swap residue: exactly the evicted pages, each exactly once.
+	want := make(map[uint32]bool, len(st.SwapPages))
+	for i := 0; i < n; i++ {
+		if vm.PageFlags(st.PageFlags[i])&vm.PagePresent == 0 && st.PageGens[i] != 0 {
+			want[uint32(i)] = true
+		}
+	}
+	if len(st.SwapPages) != len(want) {
+		return statef("%d swap pages for %d evicted", len(st.SwapPages), len(want))
+	}
+	for i := range st.SwapPages {
+		sp := &st.SwapPages[i]
+		if !want[sp.Index] {
+			return statef("swap page %d: duplicate or not evicted", sp.Index)
+		}
+		want[sp.Index] = false
+		if len(sp.Data) != vm.PageSize {
+			return statef("swap page %d: %d data bytes", sp.Index, len(sp.Data))
+		}
+		blob := ckpt.SealSwapFrame(k.key, &ckpt.SwapFrame{
+			Owner: uint64(p.PID), Page: sp.Index, Gen: g.gens[sp.Index], Data: sp.Data,
+		})
+		if !g.dirMade {
+			if err := k.FS.MkdirAll(g.dir, 0o700); err != nil {
+				return statef("swap device: %v", err)
+			}
+			g.dirMade = true
+		}
+		if err := k.FS.WriteFile(g.framePath(int(sp.Index)), blob, 0o600); err != nil {
+			return statef("swap device: %v", err)
+		}
+	}
+	return nil
 }
 
 // Restore spawns a fresh process from exe and overlays a sealed
@@ -223,6 +349,9 @@ func (k *Kernel) overlay(p *Process, st *ckpt.State) error {
 	if st.NumFDSlots > maxFDs {
 		return statef("%d fd slots, max %d", st.NumFDSlots, maxFDs)
 	}
+	if st.Paged != (p.pager != nil) {
+		return statef("paged=%v, spawned on a kernel with paged=%v", st.Paged, p.pager != nil)
+	}
 
 	// Memory: write each segment's bytes, then install the protection
 	// map and generation counters wholesale.
@@ -234,7 +363,15 @@ func (k *Kernel) overlay(p *Process, st *ckpt.State) error {
 			return statef("segment %s: %d data bytes for [%#x,%#x)", sg.Name, len(sg.Data), sg.Start, sg.End)
 		}
 		if len(sg.Data) > 0 {
-			if err := p.Mem.KernelWrite(sg.Start, sg.Data); err != nil {
+			// The arena bytes were captured raw (resident contents plus
+			// zero scrub); restore them the same way. The torn-write
+			// fault class depends on every other segment going through
+			// the checked KernelWrite path.
+			write := p.Mem.KernelWrite
+			if p.pager != nil && sg.Name == "mmap" {
+				write = p.Mem.RawWrite
+			}
+			if err := write(sg.Start, sg.Data); err != nil {
 				return statef("segment %s: %v", sg.Name, err)
 			}
 		}
@@ -243,6 +380,11 @@ func (k *Kernel) overlay(p *Process, st *ckpt.State) error {
 	}
 	if err := p.Mem.RestoreSegments(segs, gens); err != nil {
 		return statef("%v", err)
+	}
+	if st.Paged {
+		if err := k.restorePaging(p, st); err != nil {
+			return err
+		}
 	}
 
 	copy(p.CPU.Regs[:], st.Regs)

@@ -63,6 +63,15 @@ type CostModel struct {
 	// only by the Systrace-style delegating monitor comparison
 	// (Section 2.3: daemon-based monitors pay two per call).
 	DaemonSwitch uint64
+	// PageFault is the fixed cost of servicing one page fault on the
+	// demand-paged mmap arena (fault decode, page-table walk, residency
+	// bookkeeping), excluding the AES cost of verifying a swapped-in
+	// frame (charged per block at the batched rate).
+	PageFault uint64
+	// PageEvict is the fixed cost of evicting one resident page: the
+	// clock scan amortized, swap-device write, and page-table update,
+	// excluding the AES cost of sealing the frame.
+	PageEvict uint64
 }
 
 // DefaultCosts is calibrated against Table 4's original-cost column.
@@ -79,6 +88,8 @@ var DefaultCosts = CostModel{
 	WritePerByte:       9350, // write(4096) ≈ 1000 + 500 + 4096*9.35 ≈ 39,800 cycles
 	PollPerFD:          50,   // pollfd copy-in + fd resolve + readiness probe
 	DaemonSwitch:       3000,
+	PageFault:          600, // fault decode + table walk + residency bookkeeping
+	PageEvict:          400, // amortized clock scan + swap write + table update
 }
 
 // handlerCost is the fixed per-call cost of each system call handler, on
@@ -107,6 +118,12 @@ func init() {
 	handlerCost[78] = 700 // accept (handshake)
 	handlerCost[79] = 200 // shutdown
 	handlerCost[84] = 400 // socketpair
+
+	// Memory-mapping family (paged mode; the legacy brk-bump mmap pays
+	// the same fixed cost).
+	handlerCost[10] = 400 // mmap (page-table scan + mapping setup)
+	handlerCost[11] = 300 // munmap (table walk + swap-residue unlink)
+	handlerCost[87] = 250 // mprotect (table walk + flag rewrite)
 
 	// Readiness multiplexing. The base covers set decode and writeback;
 	// PollPerFD is added per entry. Charged whether or not the call

@@ -87,6 +87,8 @@ const (
 	KillBadPattern      KillReason = "argument does not match authenticated pattern"
 	KillBadCapability   KillReason = "file descriptor is not a live capability"
 	KillSymlinkRace     KillReason = "path argument resolves outside its policy name (symlink race)"
+	KillSwapSeal        KillReason = "swap page MAC mismatch"
+	KillSwapReplay      KillReason = "stale swap page (generation mismatch)"
 )
 
 // Enforcement selects the kernel's response to a verification failure,
@@ -249,6 +251,11 @@ type Kernel struct {
 	// batchN is the group-commit burst size for control-flow state
 	// updates; values below 2 keep the classic write-per-call checker.
 	batchN int
+
+	// pagedBudget is the resident-page budget for the demand-paged mmap
+	// arena; 0 disables paged mode entirely (mmap stays the historical
+	// brk-bump allocator and every access takes the flat fast path).
+	pagedBudget int
 }
 
 // CacheMode selects how verification results are cached across traps.
@@ -332,6 +339,19 @@ func WithInjector(i Injector) Option {
 // scheduler gate. Kernels sharing one Network share its port namespace.
 func WithNetwork(n *anet.Network) Option {
 	return func(k *Kernel) { k.Net = n }
+}
+
+// WithPagedMemory enables the demand-paged mmap arena with a resident
+// budget of n pages (minimum 4): mmap/munmap/mprotect manage page-table
+// mappings, accesses beyond the budget evict through the clock policy to
+// a VFS-backed swap device, and — on kernels holding a MAC key — every
+// evicted page is sealed with a per-page CMAC plus generation counter so
+// bit flips and stale-page replay are detected at fault-in.
+func WithPagedMemory(n int) Option {
+	if n < minPageBudget {
+		n = minPageBudget
+	}
+	return func(k *Kernel) { k.pagedBudget = n }
 }
 
 // New creates a kernel. The key is the MAC key shared with the trusted
@@ -433,6 +453,10 @@ type Process struct {
 	authenticated bool
 	counter       uint64            // memory-checker nonce
 	fdTracker     *captrack.Tracker // §5.3 capability set, nil unless installed
+
+	// pager services page faults on the demand-paged mmap arena; nil
+	// unless the kernel runs WithPagedMemory (see paging.go).
+	pager *pager
 
 	// gate is the scheduler's run-slot semaphore; blocking socket calls
 	// release it while parked (see internal/net). Nil outside gated
@@ -759,6 +783,12 @@ func (p *Process) loadImage(f *binfmt.File) error {
 		Name: "stack", Start: top - DefaultStackSize, End: top,
 		Perms: vm.PermRead | vm.PermWrite | vm.PermExec,
 	})
+	// Paged mode: the mmap arena sits just below the stack; sysBrk caps
+	// the heap at its base.
+	p.pager = nil
+	if p.kern.pagedBudget > 0 {
+		p.installPaging(mem, top-DefaultStackSize)
+	}
 
 	cpu := p.CPU
 	if cpu == nil {
@@ -813,6 +843,13 @@ func (t *trapAdapter) Trap(c *vm.CPU, site uint32, authed bool) (uint32, bool, e
 func (k *Kernel) Run(p *Process, maxCycles uint64) error {
 	err := p.CPU.Run(maxCycles)
 	if err != nil {
+		// A kill decided on the page-fault path unwinds the faulting
+		// instruction as a VM error; the process state already says
+		// everything (Killed, KilledBy), so it is not a Run failure —
+		// same contract as a kill decided inside a trap.
+		if p.Killed {
+			return nil
+		}
 		return err
 	}
 	return nil

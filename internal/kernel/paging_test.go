@@ -1,0 +1,423 @@
+package kernel
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"asc/internal/ckpt"
+	"asc/internal/vm"
+)
+
+// pagedSweepSrc mmaps 8 anonymous pages read-write, sweeps them three
+// times (write + read back per page), read-protects the first page,
+// reads it once more, and unmaps. With a budget of 4 resident pages the
+// sweeps force evictions and verified fault-ins.
+const pagedSweepSrc = `
+        .text
+        .global main
+main:
+        ; mmap(0, 8*4096, PROT_READ|PROT_WRITE, MAP_PRIVATE|MAP_ANONYMOUS, 0)
+        MOVI r1, 0
+        MOVI r2, 32768
+        MOVI r3, 3
+        MOVI r4, 0x22
+        MOVI r5, 0
+        CALL mmap
+        MOV r8, r0
+        MOVI r12, 3             ; sweeps
+.sweep:
+        MOV r10, r8            ; cursor
+        MOVI r11, 8             ; pages per sweep
+.page:
+        STORE [r10+0], r12      ; dirty the page
+        LOAD r9, [r10+8]        ; and read it
+        ADDI r10, r10, 4096
+        ADDI r11, r11, -1
+        MOVI r9, 0
+        BNE r11, r9, .page
+        ADDI r12, r12, -1
+        MOVI r9, 0
+        BNE r12, r9, .sweep
+        ; mprotect(base, 4096, PROT_READ) then a legal read
+        MOV r1, r8
+        MOVI r2, 4096
+        MOVI r3, 1
+        CALL mprotect
+        LOAD r9, [r8+0]
+        ; munmap(base, 8*4096)
+        MOV r1, r8
+        MOVI r2, 32768
+        CALL munmap
+        MOVI r1, donemsg
+        CALL puts
+        MOVI r0, 0
+        RET
+        .rodata
+donemsg: .asciz "paged done\n"
+`
+
+func TestPagedSweepEnforced(t *testing.T) {
+	k := newKernel(t, WithPagedMemory(4))
+	p := runProc(t, k, buildAuthExe(t, pagedSweepSrc), "")
+	if !p.Exited || p.Killed || p.Code != 0 {
+		t.Fatalf("exited=%v killed=%v (%s) code=%d", p.Exited, p.Killed, p.KilledBy, p.Code)
+	}
+	if p.Output() != "paged done\n" {
+		t.Errorf("stdout = %q", p.Output())
+	}
+	faults, evicts, swapins := p.PageStats()
+	if faults == 0 || evicts == 0 || swapins == 0 {
+		t.Errorf("PageStats = %d/%d/%d, want all nonzero (working set 8 > budget 4)", faults, evicts, swapins)
+	}
+	// Sealed frames actually landed on the swap device.
+	if _, err := k.FS.Lookup(SwapDir); err != nil {
+		t.Errorf("swap directory missing: %v", err)
+	}
+}
+
+func TestPagedSweepLegacyKernelUnaffected(t *testing.T) {
+	// The same binary on a non-paged kernel takes the historical
+	// brk-bump mmap and no-op munmap/mprotect.
+	k := newKernel(t)
+	p := runProc(t, k, buildAuthExe(t, pagedSweepSrc), "")
+	if !p.Exited || p.Killed || p.Code != 0 {
+		t.Fatalf("exited=%v killed=%v (%s) code=%d", p.Exited, p.Killed, p.KilledBy, p.Code)
+	}
+	if p.Output() != "paged done\n" {
+		t.Errorf("stdout = %q", p.Output())
+	}
+	faults, evicts, swapins := p.PageStats()
+	if faults != 0 || evicts != 0 || swapins != 0 {
+		t.Errorf("PageStats = %d/%d/%d on a non-paged kernel", faults, evicts, swapins)
+	}
+}
+
+const protViolationSrc = `
+        .text
+        .global main
+main:
+        ; mmap(0, 4096, PROT_READ, MAP_PRIVATE|MAP_ANONYMOUS, 0)
+        MOVI r1, 0
+        MOVI r2, 4096
+        MOVI r3, 1
+        MOVI r4, 0x22
+        MOVI r5, 0
+        CALL mmap
+        ; store to a read-only page must fault
+        MOVI r9, 7
+        STORE [r0+0], r9
+        MOVI r0, 0
+        RET
+`
+
+func TestPagedProtectionViolationFaults(t *testing.T) {
+	k := newKernel(t, WithPagedMemory(4))
+	p, err := k.Spawn(buildAuthExe(t, protViolationSrc), "test")
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	err = k.Run(p, 100_000_000)
+	if err == nil {
+		t.Fatalf("store to PROT_READ page did not fault")
+	}
+	if !strings.Contains(err.Error(), "page protection violation") {
+		t.Errorf("fault = %v, want page protection violation", err)
+	}
+	if p.Killed {
+		t.Errorf("hardware fault must not be recorded as a monitor kill")
+	}
+}
+
+const unmappedAccessSrc = `
+        .text
+        .global main
+main:
+        ; mmap then munmap, then touch the dead mapping
+        MOVI r1, 0
+        MOVI r2, 4096
+        MOVI r3, 3
+        MOVI r4, 0x22
+        MOVI r5, 0
+        CALL mmap
+        MOV r8, r0
+        MOVI r9, 7
+        STORE [r8+0], r9
+        MOV r1, r8
+        MOVI r2, 4096
+        CALL munmap
+        LOAD r9, [r8+0]
+        MOVI r0, 0
+        RET
+`
+
+func TestPagedUseAfterUnmapFaults(t *testing.T) {
+	k := newKernel(t, WithPagedMemory(4))
+	p, err := k.Spawn(buildAuthExe(t, unmappedAccessSrc), "test")
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	err = k.Run(p, 100_000_000)
+	if err == nil || !strings.Contains(err.Error(), "unmapped page") {
+		t.Fatalf("use-after-unmap: err = %v, want unmapped page fault", err)
+	}
+}
+
+// swapTamperInjector is a minimal fault injector for the swap path: it
+// perturbs the nth sealed frame on its way to the device.
+type swapTamperInjector struct {
+	n      int // tamper on the nth eviction (0-based)
+	seen   int
+	replay bool // capture frame n and substitute it at the next eviction of the same page
+
+	capturedPage uint32
+	captured     []byte
+	fired        bool
+}
+
+func (s *swapTamperInjector) BeforeVerify(p *Process, num uint16, site uint32, recAddr uint32) {}
+func (s *swapTamperInjector) NonceUpdate(p *Process) int                                       { return 1 }
+
+func (s *swapTamperInjector) SwapEvict(p *Process, page uint32, gen uint64, blob []byte) []byte {
+	defer func() { s.seen++ }()
+	if s.fired {
+		return nil
+	}
+	if s.replay {
+		if s.captured == nil {
+			if s.seen == s.n {
+				s.capturedPage = page
+				s.captured = append([]byte(nil), blob...)
+			}
+			return nil
+		}
+		if page == s.capturedPage {
+			s.fired = true
+			return s.captured
+		}
+		return nil
+	}
+	if s.seen == s.n {
+		s.fired = true
+		mut := append([]byte(nil), blob...)
+		mut[len(mut)/2] ^= 0x10
+		return mut
+	}
+	return nil
+}
+
+func TestPagedSwapFlipKilled(t *testing.T) {
+	inj := &swapTamperInjector{n: 1}
+	k := newKernel(t, WithPagedMemory(4), WithInjector(inj))
+	p, err := k.Spawn(buildAuthExe(t, pagedSweepSrc), "test")
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	if err := k.Run(p, 100_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !inj.fired {
+		t.Fatalf("injector never fired")
+	}
+	if !p.Killed || p.KilledBy != KillSwapSeal {
+		t.Fatalf("killed=%v by=%q, want kill with %q", p.Killed, p.KilledBy, KillSwapSeal)
+	}
+}
+
+func TestPagedSwapReplayDenied(t *testing.T) {
+	inj := &swapTamperInjector{n: 0, replay: true}
+	k := newKernel(t, WithPagedMemory(4), WithInjector(inj), WithEnforcement(EnforceDeny))
+	p, err := k.Spawn(buildAuthExe(t, pagedSweepSrc), "test")
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	if err := k.Run(p, 100_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !inj.fired {
+		t.Fatalf("injector never fired")
+	}
+	if p.Killed {
+		t.Fatalf("deny mode killed the process (%s)", p.KilledBy)
+	}
+	if !p.Exited || p.Code != 0 {
+		t.Fatalf("exited=%v code=%d, want clean exit under deny", p.Exited, p.Code)
+	}
+	if p.DeniedCount == 0 {
+		t.Errorf("DeniedCount = 0, want at least one denied fault-in")
+	}
+	var found bool
+	for _, v := range k.Audit.Entries() {
+		if v.Reason == KillSwapReplay && v.Action == ActionDeny {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no deny-mode audit record with reason %q", KillSwapReplay)
+	}
+}
+
+// TestPagedCheckpointRestoreRoundTrip: a paged process checkpointed
+// mid-sweep — with live swap residue — restores onto a new PID and
+// finishes with the reference run's exact output and cycle count. The
+// residue travels verified inside the sealed blob and is re-sealed
+// under the restored identity, so the restored process faults its
+// evicted pages back in through the normal verified path.
+func TestPagedCheckpointRestoreRoundTrip(t *testing.T) {
+	exe := buildAuthExe(t, pagedSweepSrc)
+	k := newKernel(t, WithPagedMemory(4))
+
+	ref, err := k.Spawn(exe, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runToCompletion(t, k, ref)
+	if ref.Killed || !ref.Exited || ref.Code != 0 {
+		t.Fatalf("reference run failed: killed=%v code=%d", ref.Killed, ref.Code)
+	}
+
+	p, err := k.Spawn(exe, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(p, ref.CPU.Cycles*3/4); !errors.Is(err, vm.ErrCycleLimit) {
+		t.Fatalf("slice run: err = %v, want cycle limit", err)
+	}
+	if _, evicts, _ := p.PageStats(); evicts == 0 {
+		t.Fatalf("no evictions before the checkpoint; the slice point carries no swap residue")
+	}
+	blob, err := k.Checkpoint(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := k.Restore(exe, "test", blob, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PID == p.PID {
+		t.Fatalf("restore reused PID %d", p.PID)
+	}
+	if r.pager == nil {
+		t.Fatalf("restored process has no pager")
+	}
+	if r.pager.resident != p.pager.resident || r.pager.hand != p.pager.hand {
+		t.Errorf("pager state resident=%d hand=%d, sealed %d/%d",
+			r.pager.resident, r.pager.hand, p.pager.resident, p.pager.hand)
+	}
+	runToCompletion(t, k, r)
+	if r.Killed || !r.Exited || r.Code != 0 {
+		t.Fatalf("restored run failed: killed=%v (%s) code=%d", r.Killed, r.KilledBy, r.Code)
+	}
+	if r.Output() != ref.Output() {
+		t.Errorf("output %q, want %q", r.Output(), ref.Output())
+	}
+	if r.CPU.Cycles != ref.CPU.Cycles {
+		t.Errorf("final cycles %d, want %d", r.CPU.Cycles, ref.CPU.Cycles)
+	}
+}
+
+// TestPagedCheckpointTamperedResidue: a swap frame tampered on the
+// device fails checkpoint capture — the checkpoint must not launder an
+// unverifiable swap device into a blob a restore would trust.
+func TestPagedCheckpointTamperedResidue(t *testing.T) {
+	exe := buildAuthExe(t, pagedSweepSrc)
+	k := newKernel(t, WithPagedMemory(4))
+
+	ref, err := k.Spawn(exe, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runToCompletion(t, k, ref)
+
+	p, err := k.Spawn(exe, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(p, ref.CPU.Cycles/2); !errors.Is(err, vm.ErrCycleLimit) {
+		t.Fatalf("slice run: err = %v, want cycle limit", err)
+	}
+	g := p.pager
+	var victim = -1
+	for i := 0; i < g.pt.NumPages(); i++ {
+		if g.pt.Flags(i)&vm.PagePresent == 0 && g.gens[i] != 0 {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatalf("no swap residue at the slice point")
+	}
+	frame, err := k.FS.ReadFile(g.framePath(victim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := append([]byte(nil), frame...)
+	mut[len(mut)/2] ^= 0x01
+	if err := k.FS.WriteFile(g.framePath(victim), mut, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Checkpoint(p, 1); !errors.Is(err, ckpt.ErrState) {
+		t.Fatalf("checkpoint over a tampered frame: err = %v, want ErrState", err)
+	}
+}
+
+// TestPagedCheckpointKernelMismatch: a paged checkpoint does not
+// restore on a non-paged kernel (and vice versa) — the page table and
+// residue have nowhere to go.
+func TestPagedCheckpointKernelMismatch(t *testing.T) {
+	exe := buildAuthExe(t, pagedSweepSrc)
+	paged := newKernel(t, WithPagedMemory(4))
+	flat := newKernel(t)
+
+	ref, err := paged.Spawn(exe, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runToCompletion(t, paged, ref)
+
+	p, err := paged.Spawn(exe, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := paged.Run(p, ref.CPU.Cycles/2); !errors.Is(err, vm.ErrCycleLimit) {
+		t.Fatalf("slice run: err = %v, want cycle limit", err)
+	}
+	blob, err := paged.Checkpoint(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flat.Restore(exe, "test", blob, 1); !errors.Is(err, ckpt.ErrState) {
+		t.Fatalf("paged blob on a flat kernel: err = %v, want ErrState", err)
+	}
+
+	fp, err := flat.Spawn(exe, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flat.Run(fp, 20_000); !errors.Is(err, vm.ErrCycleLimit) {
+		t.Fatalf("flat slice run: err = %v, want cycle limit", err)
+	}
+	fblob, err := flat.Checkpoint(fp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := paged.Restore(exe, "test", fblob, 1); !errors.Is(err, ckpt.ErrState) {
+		t.Fatalf("flat blob on a paged kernel: err = %v, want ErrState", err)
+	}
+}
+
+func TestPagedBrkCappedByArena(t *testing.T) {
+	k := newKernel(t, WithPagedMemory(4))
+	p, err := k.Spawn(buildAuthExe(t, pagedSweepSrc), "test")
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	arenaBase := p.pager.pt.Base()
+	if r := k.sysBrk(p, arenaBase); int32(r) >= 0 {
+		t.Errorf("brk into the arena base succeeded (%#x)", r)
+	}
+	if r := k.sysBrk(p, arenaBase-vm.PageSize); int32(r) < 0 {
+		t.Errorf("brk below the arena failed")
+	}
+}

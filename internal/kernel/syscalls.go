@@ -98,8 +98,21 @@ func (k *Kernel) dispatch(p *Process, num uint16, site uint32, args [sys.MaxArgs
 	case sys.SysBrk:
 		return k.sysBrk(p, args[0]), false
 	case sys.SysMmap:
+		if p.pager != nil {
+			return k.sysMmapPaged(p, args[0], args[1], args[2], args[3], args[4]), false
+		}
 		return k.sysMmap(p, args[1]), false
-	case sys.SysMunmap, sys.SysMadvise, sys.SysMprotect, sys.SysMsync:
+	case sys.SysMunmap:
+		if p.pager != nil {
+			return k.sysMunmapPaged(p, args[0], args[1]), false
+		}
+		return 0, false
+	case sys.SysMprotect:
+		if p.pager != nil {
+			return k.sysMprotectPaged(p, args[0], args[1], args[2]), false
+		}
+		return 0, false
+	case sys.SysMadvise, sys.SysMsync:
 		return 0, false
 	case sys.SysGetpid:
 		return uint32(p.PID), false
@@ -483,8 +496,12 @@ func (k *Kernel) sysBrk(p *Process, addr uint32) uint32 {
 		return p.brk
 	}
 	start := heapStartOf(p)
-	stackStart := p.Mem.Limit() - DefaultStackSize
-	if addr < start || addr >= stackStart {
+	ceiling := p.Mem.Limit() - DefaultStackSize
+	if p.pager != nil {
+		// Paged mode: the mmap arena sits between heap and stack.
+		ceiling = p.pager.pt.Base()
+	}
+	if addr < start || addr >= ceiling {
 		return errno(sys.EINVAL)
 	}
 	p.brk = addr

@@ -187,6 +187,7 @@ const (
 	EPERM        = 1
 	ENOENT       = 2
 	EBADF        = 9
+	ENOMEM       = 12
 	EACCES       = 13
 	EFAULT       = 14
 	EEXIST       = 17
@@ -208,6 +209,17 @@ const (
 	EISCONN      = 106
 	ENOTCONN     = 107
 	ECONNREFUSED = 111
+)
+
+// mmap protection bits and mapping flags (Linux values).
+const (
+	ProtNone  = 0
+	ProtRead  = 1
+	ProtWrite = 2
+	ProtExec  = 4
+
+	MapPrivate   = 0x02
+	MapAnonymous = 0x20
 )
 
 var sigs = []Sig{

@@ -54,6 +54,15 @@ func FormatCall(e kernel.TraceEntry) string {
 	case sys.SysSelect:
 		args = fmt.Sprintf("nfds=%d, readfds=%#x, writefds=%#x, exceptfds=%#x, timeout=%#x",
 			e.Args[0], e.Args[1], e.Args[2], e.Args[3], e.Args[4])
+	case sys.SysMmap:
+		args = fmt.Sprintf("addr=%#x, len=%d, %s, flags=%#x, fd=%d",
+			e.Args[0], e.Args[1], formatProt(e.Args[2]), e.Args[3], int32(e.Args[4]))
+		// mmap returns an address, not a count; render it in hex.
+		return fmt.Sprintf("%s(%s) = %s", name, args, formatMmapRet(e.Ret))
+	case sys.SysMunmap:
+		args = fmt.Sprintf("addr=%#x, len=%d", e.Args[0], e.Args[1])
+	case sys.SysMprotect:
+		args = fmt.Sprintf("addr=%#x, len=%d, %s", e.Args[0], e.Args[1], formatProt(e.Args[2]))
 	case sys.SysFcntl:
 		switch e.Args[1] {
 		case kernel.FGetFL:
@@ -90,6 +99,37 @@ func formatFlags(fl uint32) string {
 		return "0"
 	}
 	return fmt.Sprintf("%#x", fl)
+}
+
+// formatProt renders an mmap/mprotect protection word symbolically;
+// unknown bits render in hex so a tampered immediate stays visible.
+func formatProt(prot uint32) string {
+	if prot == sys.ProtNone {
+		return "PROT_NONE"
+	}
+	var parts []string
+	if prot&sys.ProtRead != 0 {
+		parts = append(parts, "PROT_READ")
+	}
+	if prot&sys.ProtWrite != 0 {
+		parts = append(parts, "PROT_WRITE")
+	}
+	if prot&sys.ProtExec != 0 {
+		parts = append(parts, "PROT_EXEC")
+	}
+	if rest := prot &^ uint32(sys.ProtRead|sys.ProtWrite|sys.ProtExec); rest != 0 {
+		parts = append(parts, fmt.Sprintf("%#x", rest))
+	}
+	return strings.Join(parts, "|")
+}
+
+// formatMmapRet renders an mmap result: negative errnos as decimal like
+// every other call, mapped addresses in hex.
+func formatMmapRet(ret uint32) string {
+	if int32(ret) < 0 {
+		return fmt.Sprintf("%d", int32(ret))
+	}
+	return fmt.Sprintf("%#x", ret)
 }
 
 // formatRet renders a return value. EAGAIN renders symbolically so the

@@ -135,6 +135,85 @@ exit(0) = 0
 	}
 }
 
+// mmapSrc exercises the memory-mapping family once with constant
+// arguments: map two pages read-write, read-protect the first, unmap.
+const mmapSrc = `
+        .text
+        .global main
+main:
+        MOVI r1, 0
+        MOVI r2, 8192
+        MOVI r3, 3
+        MOVI r4, 0x22
+        MOVI r5, 0
+        CALL mmap
+        MOV r8, r0
+        MOV r1, r8
+        MOVI r2, 4096
+        MOVI r3, 1
+        CALL mprotect
+        MOV r1, r8
+        MOVI r2, 8192
+        CALL munmap
+        MOVI r0, 0
+        RET
+`
+
+// TestFormatTraceGoldenMmap traces the mmap program on a paged kernel
+// and pins the decoded rendering: symbolic PROT_* bits and the mapped
+// address in hex.
+func TestFormatTraceGoldenMmap(t *testing.T) {
+	exe := buildExe(t, mmapSrc, libc.Linux)
+	fs := vfs.New()
+	if err := fs.Mkdir("/tmp", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.New(fs, nil, kernel.WithMode(kernel.Permissive), kernel.WithPagedMemory(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := k.Spawn(exe, "mmap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.DoTrace = true
+	if err := k.Run(p, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Killed {
+		t.Fatalf("traced run killed: %v", p.KilledBy)
+	}
+	const golden = `mmap(addr=0x0, len=8192, PROT_READ|PROT_WRITE, flags=0x22, fd=0) = 0x2c1000
+mprotect(addr=0x2c1000, len=4096, PROT_READ) = 0
+munmap(addr=0x2c1000, len=8192) = 0
+exit(0) = 0
+`
+	if got := FormatTrace(p.Trace); got != golden {
+		t.Errorf("trace rendering diverged:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+}
+
+// TestFormatProt pins the symbolic protection rendering, including the
+// hex fallback that keeps tampered immediates visible.
+func TestFormatProt(t *testing.T) {
+	cases := []struct {
+		prot uint32
+		want string
+	}{
+		{0, "PROT_NONE"},
+		{1, "PROT_READ"},
+		{3, "PROT_READ|PROT_WRITE"},
+		{7, "PROT_READ|PROT_WRITE|PROT_EXEC"},
+		{4, "PROT_EXEC"},
+		{0x13, "PROT_READ|PROT_WRITE|0x10"},
+	}
+	for _, c := range cases {
+		if got := formatProt(c.prot); got != c.want {
+			t.Errorf("formatProt(%#x) = %q, want %q", c.prot, got, c.want)
+		}
+	}
+}
+
 // TestFormatCallMalformedAddr pins the fallback for sockaddr words that
 // do not decode: raw hex, so tampered addresses stay visible.
 func TestFormatCallMalformedAddr(t *testing.T) {

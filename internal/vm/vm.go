@@ -93,6 +93,11 @@ type Memory struct {
 	watchStart uint32
 	watchEnd   uint32 // exclusive; 0 means no watch installed
 	watchGen   uint64
+
+	// Optional demand paging over the mmap arena (paging.go). With pt
+	// nil every access takes the flat fast path.
+	pt    *PageTable
+	pager PageFaulter
 }
 
 // SetWriteFaulter installs (or, with nil, removes) the torn-store
@@ -302,6 +307,9 @@ func (m *Memory) KernelRead(addr, n uint32) ([]byte, error) {
 	if !m.inBounds(addr, n) {
 		return nil, &Fault{Addr: addr, Msg: fmt.Sprintf("kernel read of %d bytes out of bounds", n)}
 	}
+	if err := m.pageCheck(addr, n, 0); err != nil {
+		return nil, err
+	}
 	off := addr - m.base
 	return m.data[off : off+n], nil
 }
@@ -312,6 +320,9 @@ func (m *Memory) KernelRead(addr, n uint32) ([]byte, error) {
 func (m *Memory) KernelWrite(addr uint32, b []byte) error {
 	if !m.inBounds(addr, uint32(len(b))) {
 		return &Fault{Addr: addr, Msg: fmt.Sprintf("kernel write of %d bytes out of bounds", len(b))}
+	}
+	if err := m.pageCheck(addr, uint32(len(b)), 0); err != nil {
+		return err
 	}
 	if m.wfault != nil {
 		if n := m.wfault.TornWrite(addr, len(b)); n >= 0 && n < len(b) {
@@ -336,6 +347,9 @@ func (m *Memory) UserWrite(addr uint32, b []byte) error {
 
 // KernelLoad32 reads a 32-bit word with kernel privilege.
 func (m *Memory) KernelLoad32(addr uint32) (uint32, error) {
+	if err := m.pageCheck(addr, 4, 0); err != nil {
+		return 0, err
+	}
 	v, ok := m.load32(addr)
 	if !ok {
 		return 0, &Fault{Addr: addr, Msg: "kernel load out of bounds"}
@@ -350,6 +364,9 @@ func (m *Memory) KernelStore32(addr, v uint32) error {
 		var b [4]byte
 		b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
 		return m.KernelWrite(addr, b[:])
+	}
+	if err := m.pageCheck(addr, 4, 0); err != nil {
+		return err
 	}
 	if !m.store32(addr, v) {
 		return &Fault{Addr: addr, Msg: "kernel store out of bounds"}
@@ -369,6 +386,13 @@ func (m *Memory) CString(addr, max uint32) (string, error) {
 		limit = max
 	}
 	for i := uint32(0); i < limit; i++ {
+		// Paged scan: fault in each page lazily so the string's length,
+		// not max, decides how many pages the lookup touches.
+		if m.pt != nil && (i == 0 || (addr+i)&(PageSize-1) == 0) {
+			if err := m.pageCheck(addr+i, 1, 0); err != nil {
+				return "", err
+			}
+		}
 		if m.data[off+i] == 0 {
 			return string(m.data[off : off+i]), nil
 		}
@@ -442,6 +466,9 @@ func (c *CPU) fetch() (isa.Instr, error) {
 	if !c.Mem.check(pc, isa.InstrSize, PermRead|PermExec) {
 		return isa.Instr{}, &Fault{PC: pc, Addr: pc, Msg: "instruction fetch protection violation"}
 	}
+	if err := c.Mem.pageCheck(pc, isa.InstrSize, PermRead|PermExec); err != nil {
+		return isa.Instr{}, err
+	}
 	b, err := c.Mem.KernelRead(pc, isa.InstrSize)
 	if err != nil {
 		return isa.Instr{}, &Fault{PC: pc, Addr: pc, Msg: "instruction fetch out of bounds"}
@@ -456,6 +483,9 @@ func (c *CPU) fetch() (isa.Instr, error) {
 func (c *CPU) load(addr uint32, size uint32) (uint32, error) {
 	if !c.Mem.check(addr, size, PermRead) {
 		return 0, &Fault{PC: c.PC, Addr: addr, Msg: "read protection violation"}
+	}
+	if err := c.Mem.pageCheck(addr, size, PermRead); err != nil {
+		return 0, err
 	}
 	if size == 1 {
 		b, err := c.Mem.KernelRead(addr, 1)
@@ -475,6 +505,9 @@ func (c *CPU) store(addr, v uint32, size uint32) error {
 	idx := c.Mem.storeIndex(addr, size)
 	if idx < 0 {
 		return &Fault{PC: c.PC, Addr: addr, Msg: "write protection violation"}
+	}
+	if err := c.Mem.pageCheck(addr, size, PermWrite); err != nil {
+		return err
 	}
 	c.Mem.gens[idx]++
 	c.Mem.bumpWatch(addr, addr+size)

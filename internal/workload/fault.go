@@ -25,6 +25,11 @@ type FaultVictim struct {
 	// Net asks the campaign to attach a virtual network to the victim's
 	// kernel so socket calls move real bytes (the "netpair" victim).
 	Net bool
+	// Paged marks the demand-paging victim: its working set is sized
+	// against the paged arms' resident budget, and it sits out the
+	// checkpoint/cluster/durable sub-campaigns, whose cadence assumes a
+	// trap-dense victim (the sweep is one long trapless stretch).
+	Paged bool
 }
 
 // Build assembles, links, and installs the victim with the given key,
@@ -245,11 +250,57 @@ iobuf:  .space 64
 pfd:    .space 8
 `
 
+// faultPagedSrc mmaps an 8-page anonymous region and sweeps it five
+// times (write + read back per page). On a paged kernel with a small
+// resident budget the sweeps overflow the working set, so pages cycle
+// through the authenticated swap device — giving the swap fault classes
+// eviction and fault-in sites to target. The sweep asserts no values
+// (a deny-mode zero page must not change the exit code), and on a
+// non-paged kernel the same binary runs over the legacy brk-bump mmap
+// with no paging activity at all.
+const faultPagedSrc = `
+        .text
+        .global main
+main:
+        CALL getpid             ; pads the trap sequence so the trigger
+                                ; window never lands on the exit trap
+        MOVI r1, 0
+        MOVI r2, 32768
+        MOVI r3, 3
+        MOVI r4, 0x22
+        MOVI r5, 0
+        CALL mmap
+        MOV r8, r0
+        MOVI r9, 0
+        BLT r8, r9, .done       ; a denied mmap returns a negative errno
+        MOVI r12, 5             ; sweeps
+.sweep:
+        MOV r10, r8             ; cursor
+        MOVI r11, 8             ; pages per sweep
+.page:
+        STORE [r10+0], r12
+        LOAD r9, [r10+8]
+        ADDI r10, r10, 4096
+        ADDI r11, r11, -1
+        MOVI r9, 0
+        BNE r11, r9, .page
+        ADDI r12, r12, -1
+        MOVI r9, 0
+        BNE r12, r9, .sweep
+        MOV r1, r8
+        MOVI r2, 32768
+        CALL munmap
+.done:
+        MOVI r0, 0
+        RET
+`
+
 // FaultVictims returns the campaign corpus in canonical order.
 func FaultVictims() []FaultVictim {
 	return []FaultVictim{
 		{Name: "loop", Source: faultLoopSrc},
 		{Name: "chain", Source: faultChainSrc},
+		{Name: "paged", Source: faultPagedSrc, Paged: true},
 		{
 			Name:   "dynamic",
 			Source: faultDynamicSrc,

@@ -34,7 +34,7 @@ go test ./...
 echo "== go test -race (SMP gate) =="
 go test -race ./internal/sched/... ./internal/kernel/... ./internal/core/... \
     ./internal/fault/... ./internal/bench/... ./internal/net/... ./internal/workload/... \
-    ./internal/cluster/... ./internal/durable/...
+    ./internal/cluster/... ./internal/durable/... ./internal/vm/... ./internal/ckpt/...
 
 echo "== fuzz smoke (auth-record decoding) =="
 go test -run '^$' -fuzz FuzzAuthRecord -fuzztime 5s ./internal/kernel
@@ -56,6 +56,12 @@ go test -run '^$' -fuzz FuzzBatchEncode -fuzztime 5s ./internal/policy
 
 echo "== fuzz smoke (WAL record decoding) =="
 go test -run '^$' -fuzz FuzzWALRecordDecode -fuzztime 5s ./internal/durable
+
+echo "== fuzz smoke (swap-frame decoding) =="
+go test -run '^$' -fuzz FuzzSwapFrameDecode -fuzztime 5s ./internal/ckpt
+
+echo "== fuzz smoke (page-table-record decoding) =="
+go test -run '^$' -fuzz FuzzPageTableDecode -fuzztime 5s ./internal/vm
 
 echo "== kernel syscall benchmarks =="
 go test -run '^$' -bench 'SyscallPlain|SyscallVerified|VerifyAllocs' \

@@ -1,0 +1,24 @@
+#!/bin/sh
+# mem.sh — regenerate BENCH_mem.json: the paged-memory working-set
+# sweep (resident budget x working set, with the authenticated swap
+# device off, enforced, and enforced with the verify cache). The
+# figures are computed from deterministic cycle counts, so two
+# consecutive runs produce byte-identical JSON.
+#
+# Refuses to overwrite an uncommitted BENCH_mem.json unless FORCE=1,
+# so a locally modified artifact is never clobbered silently.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if git diff --quiet -- BENCH_mem.json 2>/dev/null; then
+    : # clean (or not yet tracked with changes): safe to regenerate
+elif [ "${FORCE:-0}" = "1" ]; then
+    echo "mem.sh: BENCH_mem.json is dirty; overwriting (FORCE=1)" >&2
+else
+    echo "mem.sh: BENCH_mem.json has uncommitted changes; commit them or rerun with FORCE=1" >&2
+    exit 1
+fi
+
+go run ./cmd/ascbench -table mem -json BENCH_mem.json
+echo "wrote BENCH_mem.json"
